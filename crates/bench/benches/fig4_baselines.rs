@@ -1,0 +1,107 @@
+//! Fig. 4 / Table 9 — AUC-PR of ten model-selection solutions.
+//!
+//! Five non-NN baselines (KNN, SVC, AdaBoost, RandomForest on TSFresh-style
+//! features; Rocket = MiniRocket + ridge), four standard NN selectors
+//! (ConvNet, ResNet, InceptionTime, Transformer), and **Ours** — ResNet
+//! trained with KDSelector's PISL & MKI (PA excluded, the paper's accuracy
+//! protocol). One column per method, one row per test dataset family.
+//!
+//! ```sh
+//! cargo bench -p kdselector-bench --bench fig4_baselines
+//! ```
+
+use kdselector_bench::{print_table, record_result, report_json, Scale};
+use kdselector_core::eval::reference_points;
+use kdselector_core::nonnn::FeatureModel;
+use kdselector_core::train::TrainConfig;
+use kdselector_core::Architecture;
+
+fn main() {
+    let pipeline = Scale::from_env().prepare();
+    let base = pipeline.config.train;
+
+    let mut methods: Vec<String> = Vec::new();
+    let mut reports = Vec::new();
+    let mut times = Vec::new();
+
+    // Non-NN baselines.
+    for kind in [
+        FeatureModel::Knn,
+        FeatureModel::Svc,
+        FeatureModel::AdaBoost,
+        FeatureModel::RandomForest,
+    ] {
+        eprintln!("[fig4] {} ...", kind.name());
+        let (report, seconds) = pipeline.run_feature_baseline(kind);
+        methods.push(kind.name().to_string());
+        reports.push(report);
+        times.push(seconds);
+    }
+    eprintln!("[fig4] Rocket ...");
+    let (rocket_report, rocket_seconds) = pipeline.run_rocket_baseline();
+    methods.push("Rocket".to_string());
+    reports.push(rocket_report);
+    times.push(rocket_seconds);
+
+    // Standard NN selectors.
+    for arch in Architecture::ALL {
+        eprintln!("[fig4] {} ...", arch.name());
+        let cfg = TrainConfig { arch, ..base };
+        let outcome = pipeline.train_nn_with(&cfg, arch.name());
+        methods.push(arch.name().to_string());
+        times.push(outcome.stats.train_seconds);
+        reports.push(outcome.report);
+    }
+
+    // Ours: ResNet + PISL & MKI.
+    eprintln!("[fig4] Ours (ResNet + KDSelector) ...");
+    let ours_cfg = TrainConfig {
+        epochs: base.epochs,
+        width: base.width,
+        ..TrainConfig::knowledge_enhanced(Architecture::ResNet)
+    };
+    let ours = pipeline.train_nn_with(&ours_cfg, "Ours");
+    methods.push("Ours".to_string());
+    times.push(ours.stats.train_seconds);
+    reports.push(ours.report);
+
+    let refs: Vec<&_> = reports.iter().collect();
+    print_table(
+        "Fig. 4: AUC-PR of different model-selection solutions",
+        &methods,
+        &refs,
+        Some(&times),
+    );
+
+    // Context rows: oracle and best fixed model.
+    let refs_points = reference_points(&pipeline.test_perf);
+    println!(
+        "\nOracle (per-series best model): {:.4}; best single model: {} at {:.4}",
+        refs_points.oracle,
+        refs_points.best_single.0,
+        refs_points.best_single.1
+    );
+    let ours_avg = reports.last().unwrap().average_auc_pr();
+    let best_baseline = reports[..reports.len() - 1]
+        .iter()
+        .map(|r| r.average_auc_pr())
+        .fold(f64::MIN, f64::max);
+    println!(
+        "Shape check vs paper: Ours ({ours_avg:.4}) vs best baseline ({best_baseline:.4}) — \
+         paper has Ours best on average (0.46 vs ≤0.44)"
+    );
+
+    let json = serde_json::json!({
+        "figure": "4",
+        "methods": methods,
+        "results": reports
+            .iter()
+            .zip(&times)
+            .map(|(r, &t)| report_json(r, t))
+            .collect::<Vec<_>>(),
+        "oracle": refs_points.oracle,
+        "best_single_model": refs_points.best_single.0.name(),
+        "best_single_model_auc": refs_points.best_single.1,
+    });
+    record_result("fig4_baselines", &json);
+}

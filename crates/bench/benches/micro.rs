@@ -1,0 +1,119 @@
+//! Criterion microbenchmarks of the substrates.
+//!
+//! Not a paper table — these quantify the building blocks so regressions in
+//! the hot paths (conv backward, detector scoring, LSH, pruning plans) are
+//! visible. Sample counts are kept small; the macro tables dominate runtime.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kdselector_core::prune::{PruneState, PruningStrategy};
+use rand::SeedableRng;
+use std::hint::black_box;
+use tsad_models::{Detector, ModelId};
+use tsfeatures::MiniRocket;
+use tslsh::SimHash;
+use tsnn::layers::{Conv1d, Layer, MultiHeadSelfAttention};
+use tsnn::loss::info_nce;
+use tsnn::Tensor;
+
+fn bench_series(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|t| {
+            (2.0 * std::f64::consts::PI * t as f64 / 25.0).sin()
+                + 0.1 * ((t * 2654435761) % 1000) as f64 / 1000.0
+        })
+        .collect()
+}
+
+fn conv1d_benches(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let mut conv = Conv1d::new(8, 16, 5, &mut rng);
+    let x = Tensor::from_vec(&[16, 8, 64], vec![0.1; 16 * 8 * 64]);
+    c.bench_function("conv1d_forward_16x8x64", |b| {
+        b.iter(|| black_box(conv.forward(black_box(&x), false)))
+    });
+    c.bench_function("conv1d_forward_backward_16x8x64", |b| {
+        b.iter(|| {
+            let y = conv.forward(black_box(&x), true);
+            black_box(conv.backward(&y))
+        })
+    });
+}
+
+fn attention_bench(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let mut attn = MultiHeadSelfAttention::new(32, 4, &mut rng);
+    let x = Tensor::from_vec(&[8, 16, 32], vec![0.05; 8 * 16 * 32]);
+    c.bench_function("attention_forward_8x16x32", |b| {
+        b.iter(|| black_box(attn.forward(black_box(&x), false)))
+    });
+}
+
+fn detector_benches(c: &mut Criterion) {
+    let series = bench_series(1200);
+    let mut group = c.benchmark_group("detectors_1200pts");
+    group.sample_size(10);
+    for (name, det) in [
+        ("HBOS", Box::new(tsad_models::hbos::Hbos::default_config()) as Box<dyn Detector>),
+        ("IForest", Box::new(tsad_models::iforest::IForest::windows(1))),
+        ("MP", Box::new(tsad_models::mp::MatrixProfile::default_config())),
+        ("POLY", Box::new(tsad_models::poly::Poly::default_config())),
+    ] {
+        group.bench_function(name, |b| b.iter(|| black_box(det.score(black_box(&series)))));
+        assert_eq!(det.id().index() < ModelId::ALL.len(), true);
+    }
+    group.finish();
+}
+
+fn lsh_bench(c: &mut Criterion) {
+    let hasher = SimHash::new(320, 14, 3);
+    let v: Vec<f64> = (0..320).map(|i| (i as f64 * 0.37).sin()).collect();
+    c.bench_function("simhash_14bit_320d", |b| {
+        b.iter(|| black_box(hasher.hash(black_box(&v))))
+    });
+}
+
+fn minirocket_bench(c: &mut Criterion) {
+    let windows: Vec<Vec<f64>> = (0..8)
+        .map(|s| (0..64).map(|t| ((t + s * 3) as f64 * 0.2).sin()).collect())
+        .collect();
+    let rocket = MiniRocket::fit(&windows, 2, 0);
+    c.bench_function("minirocket_transform_64pt", |b| {
+        b.iter(|| black_box(rocket.transform(black_box(&windows[0]))))
+    });
+}
+
+fn infonce_bench(c: &mut Criterion) {
+    let zt = Tensor::from_vec(&[64, 64], (0..4096).map(|i| ((i * 7 % 97) as f32 - 48.0) * 0.01).collect());
+    let zk = Tensor::from_vec(&[64, 64], (0..4096).map(|i| ((i * 13 % 89) as f32 - 44.0) * 0.01).collect());
+    c.bench_function("infonce_64x64", |b| {
+        b.iter(|| black_box(info_nce(black_box(&zt), black_box(&zk), 0.1, None)))
+    });
+}
+
+fn prune_plan_bench(c: &mut Criterion) {
+    let n = 4000;
+    let inputs: Vec<Vec<f64>> = (0..n)
+        .map(|i| (0..64).map(|j| ((i * 31 + j * 7) % 113) as f64 * 0.01).collect())
+        .collect();
+    c.bench_function("pa_plan_4000_samples", |b| {
+        b.iter(|| {
+            let mut st = PruneState::new(
+                PruningStrategy::Pa { ratio: 0.8, lsh_bits: 14, bins: 8, anneal: 0.125 },
+                Some(&inputs),
+                n,
+                7,
+            );
+            let idx: Vec<usize> = (0..n).collect();
+            let losses: Vec<f64> = (0..n).map(|i| (i % 100) as f64 * 0.01).collect();
+            st.record_losses(&idx, &losses);
+            black_box(st.plan_epoch(1, 10))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = conv1d_benches, attention_bench, detector_benches, lsh_bench, minirocket_bench, infonce_bench, prune_plan_bench
+}
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Table 2 / Table 7 — pruning-based acceleration.
+//!
+//! Full data vs +InfoBatch vs +PA, all with PISL and MKI enabled (the
+//! paper's protocol for evaluating PA). Reports per-dataset AUC-PR, training
+//! time, the time saved relative to full data, and the fraction of sample
+//! visits each strategy actually performed.
+//!
+//! ```sh
+//! cargo bench -p kdselector-bench --bench table2_pa
+//! ```
+
+use kdselector_bench::{print_table, record_result, report_json, Scale};
+use kdselector_core::prune::PruningStrategy;
+use kdselector_core::train::TrainConfig;
+
+fn main() {
+    let pipeline = Scale::from_env().prepare();
+    let base = TrainConfig::knowledge_enhanced(pipeline.config.train.arch);
+    let base = TrainConfig {
+        epochs: pipeline.config.train.epochs,
+        width: pipeline.config.train.width,
+        ..base
+    };
+
+    let variants: Vec<(&str, PruningStrategy)> = vec![
+        ("Full data", PruningStrategy::None),
+        ("+InfoBatch", PruningStrategy::info_batch_default()),
+        ("+PA (Ours)", PruningStrategy::pa_default()),
+    ];
+
+    let mut methods = Vec::new();
+    let mut reports = Vec::new();
+    let mut times = Vec::new();
+    let mut visited = Vec::new();
+    for (name, pruning) in variants {
+        eprintln!("[table2] training {name} ...");
+        let cfg = TrainConfig { pruning, ..base };
+        let outcome = pipeline.train_nn_with(&cfg, name);
+        methods.push(name.to_string());
+        times.push(outcome.stats.train_seconds);
+        visited.push(outcome.stats.examined_fraction());
+        reports.push(outcome.report);
+    }
+
+    let refs: Vec<&_> = reports.iter().collect();
+    print_table(
+        "Table 2: Results of PA (PISL & MKI kept on, ResNet)",
+        &methods,
+        &refs,
+        Some(&times),
+    );
+    print!("{:<14}", "Visited (%)");
+    for v in &visited {
+        print!("{:>15.1}", v * 100.0);
+    }
+    println!();
+    print!("{:<14}", "Time saved");
+    for t in &times {
+        print!("{:>14.1}%", (1.0 - t / times[0]) * 100.0);
+    }
+    println!();
+
+    println!("\nShape check vs paper:");
+    println!("  paper: InfoBatch −39.1% time (−0.006 AUC), PA −58.3% time (−0.009 AUC)");
+    println!(
+        "  ours:  InfoBatch −{:.1}% time ({:+.3} AUC), PA −{:.1}% time ({:+.3} AUC)",
+        (1.0 - times[1] / times[0]) * 100.0,
+        reports[1].average_auc_pr() - reports[0].average_auc_pr(),
+        (1.0 - times[2] / times[0]) * 100.0,
+        reports[2].average_auc_pr() - reports[0].average_auc_pr(),
+    );
+
+    let json = serde_json::json!({
+        "table": "2",
+        "methods": methods,
+        "visited_fraction": visited,
+        "results": reports
+            .iter()
+            .zip(&times)
+            .map(|(r, &t)| report_json(r, t))
+            .collect::<Vec<_>>(),
+    });
+    record_result("table2_pa", &json);
+}

@@ -1,0 +1,17 @@
+//! Wall-clock calibration: label generation + one ResNet training run.
+use kdselector_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    let pipeline = scale.prepare();
+    eprintln!("windows = {}", pipeline.dataset.len());
+    let t0 = std::time::Instant::now();
+    let outcome = pipeline.train_nn_selector();
+    eprintln!(
+        "train: {:.1}s ({} epochs), avg AUC-PR {:.3}, oracle {:.3}",
+        t0.elapsed().as_secs_f64(),
+        outcome.stats.epoch_loss.len(),
+        outcome.report.average_auc_pr(),
+        pipeline.test_perf.oracle_mean(),
+    );
+}

@@ -1,0 +1,85 @@
+//! Two-layer MLP used for the MKI projections `h_T` and `h_K`.
+
+use rand::rngs::StdRng;
+use tsnn::layers::{Layer, Linear, Relu};
+use tsnn::{Param, Tensor};
+
+/// `in → hidden (ReLU) → out` projection, as specified in §B.1 of the paper
+/// (one hidden layer of 256 units).
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    fc1: Linear,
+    relu: Relu,
+    fc2: Linear,
+}
+
+impl Mlp {
+    /// New projection MLP.
+    pub fn new(input: usize, hidden: usize, output: usize, rng: &mut StdRng) -> Self {
+        Self {
+            fc1: Linear::new(input, hidden, rng),
+            relu: Relu::new(),
+            fc2: Linear::new(hidden, output, rng),
+        }
+    }
+
+    /// Forward pass on `(N, in) → (N, out)`.
+    pub fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let h = self.fc1.forward(x, train);
+        let a = self.relu.forward(&h, train);
+        self.fc2.forward(&a, train)
+    }
+
+    /// Backward pass; returns ∂loss/∂input.
+    pub fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let g = self.fc2.backward(grad);
+        let g = self.relu.backward(&g);
+        self.fc1.backward(&g)
+    }
+
+    /// Trainable parameters.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut p = self.fc1.params_mut();
+        p.extend(self.fc2.params_mut());
+        p
+    }
+
+    /// Output width.
+    pub fn out_dim(&self) -> usize {
+        self.fc2.out_features()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shapes_flow_through() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut mlp = Mlp::new(8, 16, 4, &mut rng);
+        let x = Tensor::zeros(&[3, 8]);
+        let y = mlp.forward(&x, false);
+        assert_eq!(y.shape(), &[3, 4]);
+        assert_eq!(mlp.out_dim(), 4);
+    }
+
+    #[test]
+    fn backward_returns_input_gradient() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut mlp = Mlp::new(4, 8, 2, &mut rng);
+        let x = Tensor::from_vec(&[2, 4], (0..8).map(|i| i as f32 * 0.1).collect());
+        let y = mlp.forward(&x, true);
+        let g = mlp.backward(&Tensor::from_vec(y.shape(), vec![1.0; y.numel()]));
+        assert_eq!(g.shape(), x.shape());
+    }
+
+    #[test]
+    fn param_count() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut mlp = Mlp::new(4, 8, 2, &mut rng);
+        let count: usize = mlp.params_mut().iter().map(|p| p.numel()).sum();
+        assert_eq!(count, 4 * 8 + 8 + 8 * 2 + 2);
+    }
+}

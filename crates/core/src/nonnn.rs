@@ -1,0 +1,233 @@
+//! Non-NN baseline selectors (the left half of Fig. 4).
+//!
+//! * Feature-based: TSFresh-style features per window → KNN / SVC /
+//!   AdaBoost / RandomForest.
+//! * Kernel-based: MiniRocket transform → ridge-regression classifier
+//!   (the "Rocket" baseline).
+
+use crate::dataset::SelectorDataset;
+use crate::selector::Selector;
+use tsclassic::{
+    adaboost::AdaBoostConfig, forest::ForestConfig, svc::SvcConfig, AdaBoost, Classifier, Knn,
+    LinearSvc, RandomForest, RidgeClassifier, StandardScaler,
+};
+use tsdata::{extract_windows, TimeSeries, WindowConfig};
+use tsfeatures::{extract_features, MiniRocket};
+
+/// Which classic classifier a feature-based selector uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeatureModel {
+    /// K-nearest neighbours.
+    Knn,
+    /// Linear SVC.
+    Svc,
+    /// AdaBoost (SAMME).
+    AdaBoost,
+    /// Random forest.
+    RandomForest,
+}
+
+impl FeatureModel {
+    /// Display name matching the paper's Fig. 4 legend.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FeatureModel::Knn => "KNN",
+            FeatureModel::Svc => "SVC",
+            FeatureModel::AdaBoost => "AdaBoost",
+            FeatureModel::RandomForest => "RandomForest",
+        }
+    }
+}
+
+enum FittedModel {
+    Knn(Knn),
+    Svc(LinearSvc),
+    Ada(AdaBoost),
+    Forest(RandomForest),
+}
+
+impl FittedModel {
+    fn predict(&self, x: &[f64]) -> usize {
+        match self {
+            FittedModel::Knn(m) => m.predict(x),
+            FittedModel::Svc(m) => m.predict(x),
+            FittedModel::Ada(m) => m.predict(x),
+            FittedModel::Forest(m) => m.predict(x),
+        }
+    }
+}
+
+/// A feature-based selector: window → features → classic classifier.
+pub struct FeatureSelector {
+    label: String,
+    scaler: StandardScaler,
+    model: FittedModel,
+    window_cfg: WindowConfig,
+}
+
+impl FeatureSelector {
+    /// Trains the selector on the dataset's windows and hard labels.
+    ///
+    /// `seed` drives the stochastic trainers (forest bootstrap, SVC shuffle).
+    pub fn train(dataset: &SelectorDataset, kind: FeatureModel, seed: u64) -> Self {
+        let features: Vec<Vec<f64>> = dataset
+            .windows
+            .iter()
+            .map(|w| {
+                let as_f64: Vec<f64> = w.iter().map(|&v| v as f64).collect();
+                extract_features(&as_f64)
+            })
+            .collect();
+        let scaler = StandardScaler::fit(&features);
+        let scaled = scaler.transform_batch(&features);
+        let labels = &dataset.hard_labels;
+        let model = match kind {
+            FeatureModel::Knn => FittedModel::Knn(Knn::fit(scaled, labels.clone(), 7)),
+            FeatureModel::Svc => FittedModel::Svc(LinearSvc::fit(
+                &scaled,
+                labels,
+                SvcConfig { seed, ..SvcConfig::default() },
+            )),
+            FeatureModel::AdaBoost => FittedModel::Ada(AdaBoost::fit(
+                &scaled,
+                labels,
+                AdaBoostConfig { seed, ..AdaBoostConfig::default() },
+            )),
+            FeatureModel::RandomForest => FittedModel::Forest(RandomForest::fit(
+                &scaled,
+                labels,
+                ForestConfig { seed, ..ForestConfig::default() },
+            )),
+        };
+        Self {
+            label: kind.name().to_string(),
+            scaler,
+            model,
+            window_cfg: dataset.window_cfg,
+        }
+    }
+}
+
+impl Selector for FeatureSelector {
+    fn name(&self) -> &str {
+        &self.label
+    }
+
+    fn window_votes(&mut self, ts: &TimeSeries) -> Vec<usize> {
+        extract_windows(ts, 0, &self.window_cfg)
+            .into_iter()
+            .map(|w| {
+                let as_f64: Vec<f64> = w.values.iter().map(|&v| v as f64).collect();
+                let f = self.scaler.transform(&extract_features(&as_f64));
+                self.model.predict(&f)
+            })
+            .collect()
+    }
+}
+
+/// The Rocket baseline: MiniRocket features + ridge classifier.
+pub struct RocketSelector {
+    label: String,
+    rocket: MiniRocket,
+    ridge: RidgeClassifier,
+    window_cfg: WindowConfig,
+}
+
+impl RocketSelector {
+    /// Trains MiniRocket bias quantiles and the ridge head.
+    pub fn train(dataset: &SelectorDataset, seed: u64) -> Self {
+        let windows64: Vec<Vec<f64>> = dataset
+            .windows
+            .iter()
+            .map(|w| w.iter().map(|&v| v as f64).collect())
+            .collect();
+        let rocket = MiniRocket::fit(&windows64, 2, seed);
+        let features = rocket.transform_batch(&windows64);
+        let ridge = RidgeClassifier::fit(&features, &dataset.hard_labels, 1.0);
+        Self {
+            label: "Rocket".to_string(),
+            rocket,
+            ridge,
+            window_cfg: dataset.window_cfg,
+        }
+    }
+}
+
+impl Selector for RocketSelector {
+    fn name(&self) -> &str {
+        &self.label
+    }
+
+    fn window_votes(&mut self, ts: &TimeSeries) -> Vec<usize> {
+        extract_windows(ts, 0, &self.window_cfg)
+            .into_iter()
+            .map(|w| {
+                let as_f64: Vec<f64> = w.values.iter().map(|&v| v as f64).collect();
+                self.ridge.predict(&self.rocket.transform(&as_f64))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labels::PerfMatrix;
+    use tsdata::{Benchmark, BenchmarkConfig};
+    use tstext::FrozenTextEncoder;
+
+    fn toy_dataset() -> (SelectorDataset, Vec<TimeSeries>) {
+        let mut cfg = BenchmarkConfig::tiny();
+        cfg.series_length = 256;
+        let b = Benchmark::generate(cfg);
+        let series: Vec<_> = b.train.into_iter().take(6).collect();
+        let rows: Vec<Vec<f64>> = (0..6)
+            .map(|i| (0..12).map(|m| if m == i % 2 { 0.8 } else { 0.1 }).collect())
+            .collect();
+        let perf = PerfMatrix {
+            series_ids: series.iter().map(|s| s.id.clone()).collect(),
+            rows,
+        };
+        let enc = FrozenTextEncoder::new(32, 0);
+        let wc = tsdata::WindowConfig { length: 32, stride: 32, znormalize: true };
+        (SelectorDataset::build(&series, &perf, wc, &enc), series)
+    }
+
+    #[test]
+    fn all_feature_selectors_train_and_vote() {
+        let (ds, series) = toy_dataset();
+        for kind in [
+            FeatureModel::Knn,
+            FeatureModel::Svc,
+            FeatureModel::AdaBoost,
+            FeatureModel::RandomForest,
+        ] {
+            let mut sel = FeatureSelector::train(&ds, kind, 3);
+            assert_eq!(sel.name(), kind.name());
+            let votes = sel.window_votes(&series[0]);
+            assert!(!votes.is_empty(), "{kind:?}");
+            assert!(votes.iter().all(|&v| v < 12), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn rocket_selector_trains_and_votes() {
+        let (ds, series) = toy_dataset();
+        let mut sel = RocketSelector::train(&ds, 5);
+        assert_eq!(sel.name(), "Rocket");
+        let votes = sel.window_votes(&series[1]);
+        assert!(!votes.is_empty());
+        assert!(votes.iter().all(|&v| v < 12));
+    }
+
+    #[test]
+    fn knn_memorises_training_windows() {
+        let (ds, series) = toy_dataset();
+        let mut sel = FeatureSelector::train(&ds, FeatureModel::Knn, 0);
+        // Voting on a training series should mostly recover its label.
+        let votes = sel.window_votes(&series[0]);
+        let label = ds.hard_labels[0];
+        let hits = votes.iter().filter(|&&v| v == label).count();
+        assert!(hits * 2 >= votes.len(), "hits {hits}/{}", votes.len());
+    }
+}

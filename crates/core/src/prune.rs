@@ -1,0 +1,385 @@
+//! Dynamic training-data pruning: InfoBatch and the paper's PA module.
+//!
+//! Both strategies score each sample by the **running mean of its past
+//! per-epoch losses** (`¯L_i`) and prune below-mean samples with probability
+//! `r`, rescaling surviving gradients by `1/(1-r)` so the expected objective
+//! is unchanged (paper §A.2). PA additionally prunes *redundant* above-mean
+//! samples: samples that hash to the same LSH signature **and** fall in the
+//! same equi-depth average-loss bin form a bucket, and buckets of size > 1
+//! are pruned the same way (§3, "Pruning-based acceleration").
+//!
+//! Following InfoBatch, the final epochs anneal back to the full dataset so
+//! the last gradient steps are unbiased sample-for-sample.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tslsh::SimHash;
+
+/// Which pruning strategy the trainer uses.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum PruningStrategy {
+    /// Iterate over all samples every epoch (the standard framework).
+    None,
+    /// InfoBatch: prune below-mean samples with probability `ratio`.
+    InfoBatch {
+        /// Pruning probability `r`.
+        ratio: f64,
+        /// Fraction of final epochs trained on full data.
+        anneal: f64,
+    },
+    /// The paper's PA: InfoBatch + LSH-bucketed pruning of redundant
+    /// above-mean samples.
+    Pa {
+        /// Pruning probability `r`.
+        ratio: f64,
+        /// SimHash signature bits.
+        lsh_bits: usize,
+        /// Number of equi-depth average-loss bins `p`.
+        bins: usize,
+        /// Fraction of final epochs trained on full data.
+        anneal: f64,
+    },
+}
+
+impl PruningStrategy {
+    /// The paper's default InfoBatch setting (r = 0.8, 12.5 % anneal).
+    pub fn info_batch_default() -> Self {
+        PruningStrategy::InfoBatch { ratio: 0.8, anneal: 0.125 }
+    }
+
+    /// The paper's default PA setting (r = 0.8, 14 bits, 8 bins).
+    pub fn pa_default() -> Self {
+        PruningStrategy::Pa { ratio: 0.8, lsh_bits: 14, bins: 8, anneal: 0.125 }
+    }
+
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PruningStrategy::None => "full-data",
+            PruningStrategy::InfoBatch { .. } => "InfoBatch",
+            PruningStrategy::Pa { .. } => "PA",
+        }
+    }
+}
+
+/// The samples (and gradient weights) to use for one epoch.
+#[derive(Debug, Clone)]
+pub struct EpochPlan {
+    /// Sample indices to iterate this epoch.
+    pub indices: Vec<usize>,
+    /// Gradient rescale weight per kept sample (aligned with `indices`).
+    pub weights: Vec<f32>,
+}
+
+impl EpochPlan {
+    fn full(n: usize) -> Self {
+        Self { indices: (0..n).collect(), weights: vec![1.0; n] }
+    }
+}
+
+/// Per-sample loss bookkeeping plus the pruning logic.
+pub struct PruneState {
+    strategy: PruningStrategy,
+    n: usize,
+    loss_sum: Vec<f64>,
+    loss_count: Vec<u32>,
+    /// LSH signature per sample (PA only).
+    signatures: Option<Vec<u64>>,
+    rng: StdRng,
+}
+
+impl PruneState {
+    /// Creates the state. For PA, `lsh_inputs` provides the sample vectors
+    /// `X_i` to hash; signatures are computed once here, **before** training
+    /// starts, because sample values never change (§3).
+    pub fn new(
+        strategy: PruningStrategy,
+        lsh_inputs: Option<&[Vec<f64>]>,
+        n: usize,
+        seed: u64,
+    ) -> Self {
+        let signatures = match strategy {
+            PruningStrategy::Pa { lsh_bits, .. } => {
+                let inputs = lsh_inputs.expect("PA requires LSH inputs");
+                assert_eq!(inputs.len(), n, "LSH inputs must cover all samples");
+                let dim = inputs.first().map_or(1, |v| v.len());
+                let hasher = SimHash::new(dim.max(1), lsh_bits, seed ^ 0x5A5A);
+                Some(inputs.iter().map(|v| hasher.hash(v)).collect())
+            }
+            _ => None,
+        };
+        Self {
+            strategy,
+            n,
+            loss_sum: vec![0.0; n],
+            loss_count: vec![0; n],
+            signatures,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Records the unweighted per-sample losses of the samples visited in
+    /// the current epoch.
+    pub fn record_losses(&mut self, indices: &[usize], losses: &[f64]) {
+        assert_eq!(indices.len(), losses.len(), "index/loss length mismatch");
+        for (&i, &l) in indices.iter().zip(losses) {
+            self.loss_sum[i] += l;
+            self.loss_count[i] += 1;
+        }
+    }
+
+    /// Average past loss of sample `i` (`¯L_i`); `None` if never visited.
+    pub fn avg_loss(&self, i: usize) -> Option<f64> {
+        (self.loss_count[i] > 0).then(|| self.loss_sum[i] / self.loss_count[i] as f64)
+    }
+
+    /// Plans the sample set for `epoch` of `total_epochs`.
+    pub fn plan_epoch(&mut self, epoch: usize, total_epochs: usize) -> EpochPlan {
+        let (ratio, anneal) = match self.strategy {
+            PruningStrategy::None => return EpochPlan::full(self.n),
+            PruningStrategy::InfoBatch { ratio, anneal } => (ratio, anneal),
+            PruningStrategy::Pa { ratio, anneal, .. } => (ratio, anneal),
+        };
+        // First epoch: no loss history yet. Last `anneal` fraction: full data.
+        let anneal_start = ((1.0 - anneal) * total_epochs as f64).ceil() as usize;
+        if epoch == 0 || epoch >= anneal_start {
+            return EpochPlan::full(self.n);
+        }
+
+        // Split by the mean of the average losses.
+        let avg: Vec<f64> = (0..self.n)
+            .map(|i| self.avg_loss(i).unwrap_or(f64::INFINITY))
+            .collect();
+        let visited: Vec<usize> = (0..self.n).filter(|&i| avg[i].is_finite()).collect();
+        if visited.is_empty() {
+            return EpochPlan::full(self.n);
+        }
+        let mean: f64 =
+            visited.iter().map(|&i| avg[i]).sum::<f64>() / visited.len() as f64;
+
+        let mut indices = Vec::with_capacity(self.n);
+        let mut weights = Vec::with_capacity(self.n);
+        let keep_weight = (1.0 / (1.0 - ratio)) as f32;
+
+        // Below-mean samples: InfoBatch pruning (never-visited samples count
+        // as high-loss and are kept).
+        let mut high: Vec<usize> = Vec::new();
+        for i in 0..self.n {
+            if avg[i] < mean {
+                if self.rng.random_bool(1.0 - ratio) {
+                    indices.push(i);
+                    weights.push(keep_weight);
+                }
+            } else {
+                high.push(i);
+            }
+        }
+
+        match self.strategy {
+            PruningStrategy::InfoBatch { .. } => {
+                // Above-mean samples are all kept with weight 1.
+                for i in high {
+                    indices.push(i);
+                    weights.push(1.0);
+                }
+            }
+            PruningStrategy::Pa { bins, .. } => {
+                self.prune_high_buckets(&high, &avg, bins, ratio, &mut indices, &mut weights);
+            }
+            PruningStrategy::None => unreachable!(),
+        }
+        EpochPlan { indices, weights }
+    }
+
+    /// PA's above-mean handling: equi-depth bins over `¯L_i` × LSH signature
+    /// → buckets; buckets with more than one member are pruned with gradient
+    /// rescaling, singletons are kept untouched.
+    fn prune_high_buckets(
+        &mut self,
+        high: &[usize],
+        avg: &[f64],
+        bins: usize,
+        ratio: f64,
+        indices: &mut Vec<usize>,
+        weights: &mut Vec<f32>,
+    ) {
+        let signatures = self.signatures.as_ref().expect("PA state has signatures");
+        let keep_weight = (1.0 / (1.0 - ratio)) as f32;
+        // Sort by average loss for equi-depth binning. Unvisited samples
+        // (infinite avg) sort last and land in the top bin.
+        let mut order: Vec<usize> = high.to_vec();
+        order.sort_by(|&a, &b| {
+            avg[a].partial_cmp(&avg[b]).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let m = order.len();
+        let bins = bins.max(1);
+        let mut buckets: std::collections::HashMap<(u64, usize), Vec<usize>> =
+            std::collections::HashMap::new();
+        for (rank, &i) in order.iter().enumerate() {
+            let bin = rank * bins / m.max(1);
+            buckets.entry((signatures[i], bin)).or_default().push(i);
+        }
+        // Deterministic iteration order (HashMap order is not stable).
+        let mut keys: Vec<(u64, usize)> = buckets.keys().copied().collect();
+        keys.sort_unstable();
+        for key in keys {
+            let members = &buckets[&key];
+            if members.len() == 1 {
+                indices.push(members[0]);
+                weights.push(1.0);
+            } else {
+                for &i in members {
+                    if self.rng.random_bool(1.0 - ratio) {
+                        indices.push(i);
+                        weights.push(keep_weight);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a state with synthetic loss history: first half low losses,
+    /// second half high losses.
+    fn seeded_state(strategy: PruningStrategy, n: usize) -> PruneState {
+        let inputs: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                // Two clusters of very similar samples + distinct tail.
+                if i % 2 == 0 {
+                    vec![1.0, 2.0, 3.0, (i / 16) as f64 * 1e-4]
+                } else {
+                    vec![-(i as f64), 1.0, (i * i) as f64 * 0.1, 5.0]
+                }
+            })
+            .collect();
+        let mut st = PruneState::new(strategy, Some(&inputs), n, 42);
+        let idx: Vec<usize> = (0..n).collect();
+        let losses: Vec<f64> =
+            (0..n).map(|i| if i < n / 2 { 0.1 } else { 2.0 }).collect();
+        st.record_losses(&idx, &losses);
+        st
+    }
+
+    #[test]
+    fn no_pruning_keeps_everything() {
+        let mut st = PruneState::new(PruningStrategy::None, None, 100, 0);
+        let plan = st.plan_epoch(3, 10);
+        assert_eq!(plan.indices.len(), 100);
+        assert!(plan.weights.iter().all(|&w| w == 1.0));
+    }
+
+    #[test]
+    fn first_epoch_is_always_full() {
+        let mut st = seeded_state(PruningStrategy::info_batch_default(), 100);
+        let plan = st.plan_epoch(0, 10);
+        assert_eq!(plan.indices.len(), 100);
+    }
+
+    #[test]
+    fn anneal_epochs_are_full() {
+        let mut st = seeded_state(PruningStrategy::info_batch_default(), 100);
+        let plan = st.plan_epoch(9, 10); // last epoch with anneal 0.125
+        assert_eq!(plan.indices.len(), 100);
+    }
+
+    #[test]
+    fn infobatch_prunes_only_low_loss_samples() {
+        let n = 400;
+        let mut st = seeded_state(PruningStrategy::InfoBatch { ratio: 0.8, anneal: 0.0 }, n);
+        let plan = st.plan_epoch(1, 10);
+        // All high-loss samples (second half) present with weight 1.
+        let kept_high =
+            plan.indices.iter().zip(&plan.weights).filter(|(&i, _)| i >= n / 2).count();
+        assert_eq!(kept_high, n / 2);
+        for (&i, &w) in plan.indices.iter().zip(&plan.weights) {
+            if i >= n / 2 {
+                assert_eq!(w, 1.0);
+            } else {
+                assert!((w - 5.0).abs() < 1e-5, "rescale 1/(1-0.8) = 5");
+            }
+        }
+        // Roughly 20% of low-loss samples survive.
+        let kept_low = plan.indices.len() - kept_high;
+        assert!((10..=80).contains(&kept_low), "kept_low={kept_low}");
+    }
+
+    #[test]
+    fn pa_prunes_more_than_infobatch() {
+        let n = 400;
+        let mut ib = seeded_state(PruningStrategy::InfoBatch { ratio: 0.8, anneal: 0.0 }, n);
+        let mut pa = seeded_state(
+            PruningStrategy::Pa { ratio: 0.8, lsh_bits: 14, bins: 4, anneal: 0.0 },
+            n,
+        );
+        let kept_ib = ib.plan_epoch(1, 10).indices.len();
+        let kept_pa = pa.plan_epoch(1, 10).indices.len();
+        assert!(
+            kept_pa < kept_ib,
+            "PA should prune redundant high-loss samples: PA={kept_pa} IB={kept_ib}"
+        );
+    }
+
+    #[test]
+    fn pa_keeps_singleton_buckets_untouched() {
+        // All-distinct samples with distinct losses: every bucket is a
+        // singleton, so PA must keep every high-loss sample with weight 1.
+        let n = 64;
+        let inputs: Vec<Vec<f64>> = (0..n)
+            .map(|i| (0..8).map(|j| ((i * 131 + j * 17) % 97) as f64 - 48.0).collect())
+            .collect();
+        let mut st = PruneState::new(
+            PruningStrategy::Pa { ratio: 0.8, lsh_bits: 16, bins: 8, anneal: 0.0 },
+            Some(&inputs),
+            n,
+            3,
+        );
+        let idx: Vec<usize> = (0..n).collect();
+        let losses: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        st.record_losses(&idx, &losses);
+        let plan = st.plan_epoch(1, 10);
+        // Kept high-loss samples in singleton buckets carry weight 1; the
+        // only weight-rescaled samples come from (rare) LSH collisions.
+        let high_weight_one = plan
+            .indices
+            .iter()
+            .zip(&plan.weights)
+            .filter(|(&i, &w)| i >= 32 && w == 1.0)
+            .count();
+        // Most high-loss samples survive untouched (a handful of 16-bit LSH
+        // collisions among 64 vectors is expected).
+        assert!(high_weight_one >= 24, "singleton high-loss kept: {high_weight_one}");
+    }
+
+    #[test]
+    fn expected_weighted_count_is_unbiased() {
+        // Σ w over kept low-loss samples ≈ number of low-loss samples.
+        let n = 2000;
+        let mut st = seeded_state(PruningStrategy::InfoBatch { ratio: 0.8, anneal: 0.0 }, n);
+        let plan = st.plan_epoch(1, 10);
+        let weighted_low: f32 = plan
+            .indices
+            .iter()
+            .zip(&plan.weights)
+            .filter(|(&i, _)| i < n / 2)
+            .map(|(_, &w)| w)
+            .sum();
+        let expected = (n / 2) as f32;
+        assert!(
+            (weighted_low - expected).abs() < expected * 0.2,
+            "weighted {weighted_low} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn record_losses_accumulates_running_mean() {
+        let mut st = PruneState::new(PruningStrategy::None, None, 2, 0);
+        st.record_losses(&[0], &[1.0]);
+        st.record_losses(&[0], &[3.0]);
+        assert_eq!(st.avg_loss(0), Some(2.0));
+        assert_eq!(st.avg_loss(1), None);
+    }
+}

@@ -1,0 +1,96 @@
+//! The selector protocol and majority voting (§2 of the paper).
+
+use crate::train::TrainedSelector;
+use tsad_models::ModelId;
+use tsdata::{extract_windows, TimeSeries, WindowConfig};
+
+/// A TSAD model selector: predicts the best model for a series.
+pub trait Selector {
+    /// Display name, e.g. `"ResNet"` or `"Ours"`.
+    fn name(&self) -> &str;
+
+    /// Per-window class votes for one series.
+    fn window_votes(&mut self, ts: &TimeSeries) -> Vec<usize>;
+
+    /// Selects a model for a series by majority vote over its windows
+    /// (ties break toward the lower model index, deterministically).
+    fn select(&mut self, ts: &TimeSeries) -> ModelId {
+        let votes = self.window_votes(ts);
+        ModelId::from_index(majority_vote(&votes, ModelId::ALL.len()))
+    }
+}
+
+/// Majority vote with deterministic low-index tie-break.
+pub fn majority_vote(votes: &[usize], n_classes: usize) -> usize {
+    let mut counts = vec![0usize; n_classes];
+    for &v in votes {
+        if v < n_classes {
+            counts[v] += 1;
+        }
+    }
+    counts
+        .iter()
+        .enumerate()
+        .max_by_key(|&(i, &c)| (c, std::cmp::Reverse(i)))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+/// An NN selector: a trained encoder+classifier plus window preprocessing.
+pub struct NnSelector {
+    /// Display name.
+    pub label: String,
+    /// The trained network.
+    pub model: TrainedSelector,
+    /// Window extraction used at inference (must match training).
+    pub window_cfg: WindowConfig,
+}
+
+impl NnSelector {
+    /// Wraps a trained model.
+    pub fn new(label: impl Into<String>, model: TrainedSelector, window_cfg: WindowConfig) -> Self {
+        Self { label: label.into(), model, window_cfg }
+    }
+}
+
+impl Selector for NnSelector {
+    fn name(&self) -> &str {
+        &self.label
+    }
+
+    fn window_votes(&mut self, ts: &TimeSeries) -> Vec<usize> {
+        let windows: Vec<Vec<f32>> = extract_windows(ts, 0, &self.window_cfg)
+            .into_iter()
+            .map(|w| w.values)
+            .collect();
+        if windows.is_empty() {
+            return Vec::new();
+        }
+        self.model.predict_windows(&windows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn majority_vote_picks_mode() {
+        assert_eq!(majority_vote(&[1, 2, 2, 3, 2], 12), 2);
+    }
+
+    #[test]
+    fn majority_vote_tie_breaks_low_index() {
+        assert_eq!(majority_vote(&[5, 3, 5, 3], 12), 3);
+    }
+
+    #[test]
+    fn majority_vote_empty_defaults_to_zero() {
+        assert_eq!(majority_vote(&[], 12), 0);
+    }
+
+    #[test]
+    fn out_of_range_votes_ignored() {
+        assert_eq!(majority_vote(&[99, 99, 1], 12), 1);
+    }
+}

@@ -1,0 +1,597 @@
+//! The KDSelector trainer.
+//!
+//! Implements the standard NN selector-learning loop (cross-entropy on hard
+//! labels, SGD over all samples) and the three plug-and-play modules:
+//!
+//! * **PISL** — adds `α · L_PISL` where the soft target is
+//!   `softmax(P(M_j(T_i)) / t_soft)`, and scales the hard-label term by
+//!   `(1 − α)`.
+//! * **MKI** — adds `λ · L_InfoNCE(h_T(z_T), h_K(z_K))` where `z_K` is the
+//!   frozen metadata embedding; `h_T`, `h_K` are trainable MLP projections.
+//! * **PA / InfoBatch** — delegates the per-epoch sample plan to
+//!   [`crate::prune::PruneState`]; surviving samples carry gradient weights
+//!   `1/(1−r)` which flow through the per-sample-weighted losses.
+//!
+//! The trainer reports wall-clock training time and per-epoch sample counts,
+//! which the benchmark harness uses to reproduce the paper's time columns.
+
+use crate::arch::{Architecture, Encoder};
+use crate::dataset::SelectorDataset;
+use crate::mlp::Mlp;
+use crate::prune::{PruneState, PruningStrategy};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tsad_models::ModelId;
+use tsnn::layers::{Layer, Linear};
+use tsnn::loss::{cross_entropy, info_nce, soft_cross_entropy};
+use tsnn::optim::{clip_grad_norm, Adam};
+use tsnn::Tensor;
+
+/// PISL hyperparameters (§3, Table of §B.1).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PislConfig {
+    /// Relative importance of the soft label, `α ∈ [0, 1]`.
+    pub alpha: f32,
+    /// Soft-label temperature `t_soft`.
+    pub t_soft: f64,
+}
+
+impl Default for PislConfig {
+    fn default() -> Self {
+        Self { alpha: 0.4, t_soft: 0.25 }
+    }
+}
+
+/// MKI hyperparameters (§3, §B.1).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MkiConfig {
+    /// Weight `λ` of the InfoNCE term.
+    pub lambda: f32,
+    /// Shared projection dimension `H`.
+    pub proj_dim: usize,
+    /// Hidden width of the projection MLPs.
+    pub hidden: usize,
+    /// InfoNCE temperature.
+    pub temperature: f32,
+}
+
+impl Default for MkiConfig {
+    fn default() -> Self {
+        // λ = 1.0 is the paper's selected value (it picks λ ∈ {0.78, 1.0}).
+        // On this reproduction's deliberately small encoders MKI is
+        // neutral-to-negative at any λ we tried (1.0 and 0.3 are both
+        // benchmarked; see EXPERIMENTS.md, "Notes on fidelity") — the
+        // default stays paper-faithful rather than tuned to our substrate.
+        Self { lambda: 1.0, proj_dim: 64, hidden: 256, temperature: 0.1 }
+    }
+}
+
+/// Full training configuration.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TrainConfig {
+    /// Selector architecture.
+    pub arch: Architecture,
+    /// Base channel width of the encoder.
+    pub width: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Global gradient-norm clip (the §A.1 boundedness assumption).
+    pub grad_clip: f64,
+    /// Weight decay (the §A.1 strong-convexity device).
+    pub weight_decay: f32,
+    /// Seed for init, shuffling and pruning randomness.
+    pub seed: u64,
+    /// PISL module (None = hard labels only).
+    pub pisl: Option<PislConfig>,
+    /// MKI module (None = no knowledge integration).
+    pub mki: Option<MkiConfig>,
+    /// Pruning strategy.
+    pub pruning: PruningStrategy,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            arch: Architecture::ResNet,
+            width: 8,
+            epochs: 10,
+            batch_size: 64,
+            lr: 3e-3,
+            grad_clip: 5.0,
+            weight_decay: 1e-4,
+            seed: 7,
+            pisl: None,
+            mki: None,
+            pruning: PruningStrategy::None,
+        }
+    }
+}
+
+impl TrainConfig {
+    /// The full KDSelector configuration: PISL + MKI + PA with the paper's
+    /// defaults.
+    pub fn kdselector(arch: Architecture) -> Self {
+        Self {
+            arch,
+            pisl: Some(PislConfig::default()),
+            mki: Some(MkiConfig::default()),
+            pruning: PruningStrategy::pa_default(),
+            ..Self::default()
+        }
+    }
+
+    /// Knowledge-enhanced but unpruned (the accuracy-comparison setting the
+    /// paper uses for Table 1, Fig. 4 and the AUC-PR columns of Table 3).
+    pub fn knowledge_enhanced(arch: Architecture) -> Self {
+        Self {
+            arch,
+            pisl: Some(PislConfig::default()),
+            mki: Some(MkiConfig::default()),
+            pruning: PruningStrategy::None,
+            ..Self::default()
+        }
+    }
+}
+
+/// Per-training-run statistics.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct TrainStats {
+    /// Mean combined loss per epoch.
+    pub epoch_loss: Vec<f64>,
+    /// Training accuracy (hard label) per epoch.
+    pub epoch_accuracy: Vec<f64>,
+    /// Samples examined per epoch (pruning shrinks this).
+    pub epoch_examined: Vec<usize>,
+    /// Wall-clock training seconds (includes LSH setup for PA).
+    pub train_seconds: f64,
+    /// Total number of windows in the training set.
+    pub total_windows: usize,
+}
+
+impl TrainStats {
+    /// Fraction of sample visits saved relative to full-data training.
+    pub fn examined_fraction(&self) -> f64 {
+        if self.total_windows == 0 || self.epoch_examined.is_empty() {
+            return 1.0;
+        }
+        let visited: usize = self.epoch_examined.iter().sum();
+        visited as f64 / (self.total_windows * self.epoch_examined.len()) as f64
+    }
+}
+
+/// A trained NN selector: encoder + linear classifier.
+pub struct TrainedSelector {
+    /// Architecture used.
+    pub arch: Architecture,
+    /// Window length the selector expects.
+    pub window: usize,
+    /// Encoder width.
+    pub width: usize,
+    /// Seed used at build time (needed to rebuild for weight loading).
+    pub seed: u64,
+    pub(crate) encoder: Box<dyn Encoder>,
+    pub(crate) classifier: Linear,
+}
+
+impl TrainedSelector {
+    /// Builds an untrained selector (used by the loader).
+    pub fn build(arch: Architecture, window: usize, width: usize, seed: u64) -> Self {
+        let encoder = arch.build(window, width, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC1A5);
+        let classifier = Linear::new(encoder.feature_dim(), ModelId::ALL.len(), &mut rng);
+        Self { arch, window, width, seed, encoder, classifier }
+    }
+
+    /// All trainable parameters (encoder then classifier), stable order.
+    pub fn params_mut(&mut self) -> Vec<&mut tsnn::Param> {
+        let mut p = self.encoder.params_mut();
+        p.extend(self.classifier.params_mut());
+        p
+    }
+
+    /// Non-trainable state (batch-norm running statistics). Persistence must
+    /// save these alongside the parameters or inference-mode normalisation
+    /// breaks after a reload.
+    pub fn buffers_mut(&mut self) -> Vec<&mut Vec<f32>> {
+        self.encoder.buffers_mut()
+    }
+
+    /// Class logits for a batch of windows (inference mode, chunked).
+    pub fn predict_logits(&mut self, windows: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        let mut out = Vec::with_capacity(windows.len());
+        for chunk in windows.chunks(256) {
+            let x = Tensor::from_rows(chunk).reshape(&[chunk.len(), 1, self.window]);
+            let z = self.encoder.forward(&x, false);
+            let logits = self.classifier.forward(&z, false);
+            for i in 0..chunk.len() {
+                out.push(logits.row(i).to_vec());
+            }
+        }
+        out
+    }
+
+    /// Hard class predictions for a batch of windows.
+    pub fn predict_windows(&mut self, windows: &[Vec<f32>]) -> Vec<usize> {
+        self.predict_logits(windows)
+            .into_iter()
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+}
+
+/// Trains a selector on the dataset with the given configuration.
+///
+/// # Panics
+/// Panics if the dataset is empty or its window length is inconsistent.
+pub fn train(dataset: &SelectorDataset, cfg: &TrainConfig) -> (TrainedSelector, TrainStats) {
+    assert!(!dataset.is_empty(), "cannot train on an empty dataset");
+    let window = dataset.window_cfg.length;
+    let n = dataset.len();
+    let classes = ModelId::ALL.len();
+
+    let start = std::time::Instant::now();
+
+    // Model components.
+    let mut encoder = cfg.arch.build(window, cfg.width, cfg.seed);
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xC1A5);
+    let mut classifier = Linear::new(encoder.feature_dim(), classes, &mut rng);
+    let (mut h_t, mut h_k) = match cfg.mki {
+        Some(mki) => {
+            let mut mki_rng = StdRng::seed_from_u64(cfg.seed ^ 0x17E);
+            (
+                Some(Mlp::new(encoder.feature_dim(), mki.hidden, mki.proj_dim, &mut mki_rng)),
+                Some(Mlp::new(dataset.text_dim, mki.hidden, mki.proj_dim, &mut mki_rng)),
+            )
+        }
+        None => (None, None),
+    };
+    let mut opt = Adam::new(cfg.lr, cfg.weight_decay);
+
+    // Precompute soft labels per series (PISL) as f32 rows.
+    let soft_by_series: Option<Vec<Vec<f32>>> = cfg.pisl.map(|p| {
+        (0..dataset.n_series())
+            .map(|s| {
+                // Reuse the dataset helper through any window of the series;
+                // series without windows cannot occur by construction.
+                let row = &dataset.series_perf[s];
+                softmax_scaled_f32(row, p.t_soft)
+            })
+            .collect()
+    });
+
+    // Pruning state (LSH signatures computed before epoch 0 for PA).
+    let lsh_inputs: Option<Vec<Vec<f64>>> = match cfg.pruning {
+        PruningStrategy::Pa { .. } => Some(
+            (0..n).map(|i| dataset.lsh_input(i, cfg.mki.is_some())).collect(),
+        ),
+        _ => None,
+    };
+    let mut prune = PruneState::new(cfg.pruning, lsh_inputs.as_deref(), n, cfg.seed ^ 0x9A);
+
+    let mut shuffle_rng = StdRng::seed_from_u64(cfg.seed ^ 0x5F);
+    let mut stats = TrainStats {
+        epoch_loss: Vec::with_capacity(cfg.epochs),
+        epoch_accuracy: Vec::with_capacity(cfg.epochs),
+        epoch_examined: Vec::with_capacity(cfg.epochs),
+        train_seconds: 0.0,
+        total_windows: n,
+    };
+
+    for epoch in 0..cfg.epochs {
+        let mut plan = prune.plan_epoch(epoch, cfg.epochs);
+        shuffle_pair(&mut plan.indices, &mut plan.weights, &mut shuffle_rng);
+        stats.epoch_examined.push(plan.indices.len());
+
+        let mut epoch_loss = 0.0f64;
+        let mut correct = 0usize;
+        let mut seen = 0usize;
+
+        let mut cursor = 0;
+        while cursor < plan.indices.len() {
+            let end = (cursor + cfg.batch_size).min(plan.indices.len());
+            let batch_idx = &plan.indices[cursor..end];
+            let batch_w = &plan.weights[cursor..end];
+            let b = batch_idx.len();
+            cursor = end;
+
+            // Assemble input tensor (B, 1, L).
+            let rows: Vec<Vec<f32>> =
+                batch_idx.iter().map(|&i| dataset.windows[i].clone()).collect();
+            let x = Tensor::from_rows(&rows).reshape(&[b, 1, window]);
+            let targets: Vec<usize> =
+                batch_idx.iter().map(|&i| dataset.hard_labels[i]).collect();
+
+            // Zero every gradient before this batch's backward passes
+            // (classifier/MKI backward runs accumulate before the encoder's).
+            {
+                let mut params = encoder.params_mut();
+                params.extend(classifier.params_mut());
+                if let Some(ht) = h_t.as_mut() {
+                    params.extend(ht.params_mut());
+                }
+                if let Some(hk) = h_k.as_mut() {
+                    params.extend(hk.params_mut());
+                }
+                for p in params.iter_mut() {
+                    p.zero_grad();
+                }
+            }
+
+            // Forward.
+            let z_t = encoder.forward(&x, true);
+            let logits = classifier.forward(&z_t, true);
+
+            // Hard CE (scaled by 1−α under PISL).
+            let hard_scale = cfg.pisl.map_or(1.0, |p| 1.0 - p.alpha);
+            let ce = cross_entropy(&logits, &targets, Some(batch_w));
+            let mut grad_logits = ce.grad.clone();
+            grad_logits.scale_(hard_scale);
+            let mut per_sample: Vec<f64> =
+                ce.per_sample.iter().map(|&l| l * hard_scale as f64).collect();
+            let mut batch_loss = ce.loss * hard_scale as f64;
+
+            // PISL soft term.
+            if let Some(p) = cfg.pisl {
+                let soft = soft_by_series.as_ref().expect("soft labels precomputed");
+                let soft_rows: Vec<Vec<f32>> = batch_idx
+                    .iter()
+                    .map(|&i| soft[dataset.series_index[i]].clone())
+                    .collect();
+                let soft_targets = Tensor::from_rows(&soft_rows);
+                let soft_out = soft_cross_entropy(&logits, &soft_targets, Some(batch_w));
+                let mut g = soft_out.grad;
+                g.scale_(p.alpha);
+                grad_logits.add_assign(&g);
+                for (acc, &l) in per_sample.iter_mut().zip(&soft_out.per_sample) {
+                    *acc += p.alpha as f64 * l;
+                }
+                batch_loss += p.alpha as f64 * soft_out.loss;
+            }
+
+            // Classifier backward feeds the encoder gradient.
+            let mut g_z = classifier.backward(&grad_logits);
+
+            // MKI term.
+            if let (Some(mki), Some(ht), Some(hk)) = (cfg.mki, h_t.as_mut(), h_k.as_mut()) {
+                let know_rows: Vec<Vec<f32>> =
+                    batch_idx.iter().map(|&i| dataset.knowledge(i).to_vec()).collect();
+                let z_k = Tensor::from_rows(&know_rows);
+                let zt_proj = ht.forward(&z_t, true);
+                let zk_proj = hk.forward(&z_k, true);
+                let (nce_loss, nce_per_sample, mut g_zt_proj, mut g_zk_proj) =
+                    info_nce(&zt_proj, &zk_proj, mki.temperature, Some(batch_w));
+                g_zt_proj.scale_(mki.lambda);
+                g_zk_proj.scale_(mki.lambda);
+                let g_from_mki = ht.backward(&g_zt_proj);
+                let _ = hk.backward(&g_zk_proj); // z_K is frozen input
+                g_z.add_assign(&g_from_mki);
+                for (acc, &l) in per_sample.iter_mut().zip(&nce_per_sample) {
+                    *acc += mki.lambda as f64 * l;
+                }
+                batch_loss += mki.lambda as f64 * nce_loss;
+            }
+
+            // Encoder backward and optimizer step.
+            let _ = encoder.backward(&g_z);
+            {
+                let mut params = encoder.params_mut();
+                params.extend(classifier.params_mut());
+                if let Some(ht) = h_t.as_mut() {
+                    params.extend(ht.params_mut());
+                }
+                if let Some(hk) = h_k.as_mut() {
+                    params.extend(hk.params_mut());
+                }
+                clip_grad_norm(&mut params, cfg.grad_clip);
+                opt.step(&mut params);
+            }
+
+            // Bookkeeping.
+            prune.record_losses(batch_idx, &per_sample);
+            epoch_loss += batch_loss * b as f64;
+            seen += b;
+            // Accuracy from logits.
+            for (bi, &t) in targets.iter().enumerate() {
+                let row = logits.row(bi);
+                let pred = row
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, c| a.1.partial_cmp(c.1).unwrap_or(std::cmp::Ordering::Equal))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0);
+                if pred == t {
+                    correct += 1;
+                }
+            }
+        }
+
+        stats.epoch_loss.push(if seen > 0 { epoch_loss / seen as f64 } else { 0.0 });
+        stats.epoch_accuracy.push(if seen > 0 { correct as f64 / seen as f64 } else { 0.0 });
+    }
+
+    stats.train_seconds = start.elapsed().as_secs_f64();
+    (
+        TrainedSelector {
+            arch: cfg.arch,
+            window,
+            width: cfg.width,
+            seed: cfg.seed,
+            encoder,
+            classifier,
+        },
+        stats,
+    )
+}
+
+/// Zero-bug duplicate of the dataset's softmax (kept local to avoid exposing
+/// an f32 variant publicly).
+fn softmax_scaled_f32(row: &[f64], t: f64) -> Vec<f32> {
+    let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = row.iter().map(|&v| ((v - max) / t).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.iter().map(|&e| (e / sum) as f32).collect()
+}
+
+fn shuffle_pair(indices: &mut [usize], weights: &mut [f32], rng: &mut StdRng) {
+    debug_assert_eq!(indices.len(), weights.len());
+    for i in (1..indices.len()).rev() {
+        let j = rng.random_range(0..=i);
+        indices.swap(i, j);
+        weights.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labels::PerfMatrix;
+    use tsdata::{Benchmark, BenchmarkConfig, WindowConfig};
+    use tstext::FrozenTextEncoder;
+
+    /// Small dataset with synthetic perf rows (no detector runs).
+    fn toy_dataset() -> SelectorDataset {
+        let mut cfg = BenchmarkConfig::tiny();
+        cfg.series_length = 256;
+        let b = Benchmark::generate(cfg);
+        let series: Vec<_> = b.train.into_iter().take(6).collect();
+        let rows: Vec<Vec<f64>> = (0..6)
+            .map(|i| (0..12).map(|m| if m == i % 3 { 0.8 } else { 0.1 }).collect())
+            .collect();
+        let perf = PerfMatrix {
+            series_ids: series.iter().map(|s| s.id.clone()).collect(),
+            rows,
+        };
+        let enc = FrozenTextEncoder::new(48, 0);
+        let wc = WindowConfig { length: 32, stride: 32, znormalize: true };
+        SelectorDataset::build(&series, &perf, wc, &enc)
+    }
+
+    fn quick_cfg() -> TrainConfig {
+        TrainConfig {
+            arch: Architecture::ConvNet,
+            width: 4,
+            epochs: 3,
+            batch_size: 16,
+            lr: 5e-3,
+            ..TrainConfig::default()
+        }
+    }
+
+    #[test]
+    fn standard_training_decreases_loss() {
+        let ds = toy_dataset();
+        let mut cfg = quick_cfg();
+        cfg.epochs = 6;
+        let (_sel, stats) = train(&ds, &cfg);
+        assert_eq!(stats.epoch_loss.len(), 6);
+        assert!(
+            stats.epoch_loss.last().unwrap() < stats.epoch_loss.first().unwrap(),
+            "loss {:?}",
+            stats.epoch_loss
+        );
+        assert!((stats.examined_fraction() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pisl_and_mki_paths_run_and_learn() {
+        let ds = toy_dataset();
+        let mut cfg = quick_cfg();
+        cfg.pisl = Some(PislConfig::default());
+        cfg.mki = Some(MkiConfig { hidden: 32, proj_dim: 16, ..MkiConfig::default() });
+        cfg.epochs = 5;
+        let (_sel, stats) = train(&ds, &cfg);
+        assert!(
+            stats.epoch_loss.last().unwrap() < stats.epoch_loss.first().unwrap(),
+            "loss {:?}",
+            stats.epoch_loss
+        );
+    }
+
+    #[test]
+    fn pruning_reduces_examined_samples() {
+        let ds = toy_dataset();
+        let mut cfg = quick_cfg();
+        cfg.epochs = 6;
+        cfg.pruning = PruningStrategy::InfoBatch { ratio: 0.8, anneal: 0.17 };
+        let (_sel, stats) = train(&ds, &cfg);
+        assert!(stats.examined_fraction() < 1.0, "{:?}", stats.epoch_examined);
+        // First epoch always full.
+        assert_eq!(stats.epoch_examined[0], ds.len());
+        // Last (anneal) epoch full again.
+        assert_eq!(*stats.epoch_examined.last().unwrap(), ds.len());
+    }
+
+    #[test]
+    fn pa_examines_fewer_samples_than_infobatch() {
+        let ds = toy_dataset();
+        let mut cfg = quick_cfg();
+        cfg.epochs = 6;
+        cfg.pruning = PruningStrategy::InfoBatch { ratio: 0.8, anneal: 0.0 };
+        let (_s, ib) = train(&ds, &cfg);
+        cfg.pruning = PruningStrategy::Pa { ratio: 0.8, lsh_bits: 10, bins: 4, anneal: 0.0 };
+        let (_s, pa) = train(&ds, &cfg);
+        let ib_total: usize = ib.epoch_examined.iter().sum();
+        let pa_total: usize = pa.epoch_examined.iter().sum();
+        assert!(pa_total <= ib_total, "PA {pa_total} vs IB {ib_total}");
+    }
+
+    #[test]
+    fn trained_selector_predicts_in_class_range() {
+        let ds = toy_dataset();
+        let (mut sel, _) = train(&ds, &quick_cfg());
+        let preds = sel.predict_windows(&ds.windows[..10.min(ds.len())]);
+        assert!(preds.iter().all(|&p| p < 12));
+    }
+
+    #[test]
+    fn training_is_deterministic_per_seed() {
+        let ds = toy_dataset();
+        let cfg = quick_cfg();
+        let (mut a, _) = train(&ds, &cfg);
+        let (mut b, _) = train(&ds, &cfg);
+        assert_eq!(
+            a.predict_windows(&ds.windows[..4]),
+            b.predict_windows(&ds.windows[..4])
+        );
+        let la = a.predict_logits(&ds.windows[..2]);
+        let lb = b.predict_logits(&ds.windows[..2]);
+        assert_eq!(la, lb);
+    }
+
+    #[test]
+    fn learns_family_correlated_labels() {
+        // Labels that correlate with the signal family (series i/2 share a
+        // family and a label) are learnable from window shape alone.
+        let mut cfg_b = BenchmarkConfig::tiny();
+        cfg_b.series_length = 256;
+        let b = Benchmark::generate(cfg_b);
+        let series: Vec<_> = b.train.into_iter().take(6).collect();
+        let rows: Vec<Vec<f64>> = (0..6)
+            .map(|i| (0..12).map(|m| if m == i / 2 { 0.8 } else { 0.1 }).collect())
+            .collect();
+        let perf = PerfMatrix {
+            series_ids: series.iter().map(|s| s.id.clone()).collect(),
+            rows,
+        };
+        let enc = FrozenTextEncoder::new(48, 0);
+        let wc = WindowConfig { length: 32, stride: 32, znormalize: true };
+        let ds = SelectorDataset::build(&series, &perf, wc, &enc);
+
+        let mut cfg = quick_cfg();
+        cfg.epochs = 25;
+        cfg.lr = 5e-3;
+        let (_sel, stats) = train(&ds, &cfg);
+        let final_acc = *stats.epoch_accuracy.last().unwrap();
+        assert!(final_acc > 0.6, "accuracy {final_acc}");
+    }
+}

@@ -1,0 +1,110 @@
+//! Shared utilities for detectors: windowing, score mapping, auto-sizing.
+
+use tslinalg::dft::dominant_period;
+use tslinalg::stats;
+
+/// Default subsequence length bounds for window-based detectors.
+pub const MIN_WINDOW: usize = 16;
+/// Upper bound of the auto-sized window.
+pub const MAX_WINDOW: usize = 64;
+
+/// Picks a window length for a series: the dominant period when one exists,
+/// clamped to `[MIN_WINDOW, MAX_WINDOW]` and the series length.
+pub fn auto_window(series: &[f64]) -> usize {
+    let fallback = 32;
+    let period = dominant_period(series).unwrap_or(fallback);
+    period.clamp(MIN_WINDOW, MAX_WINDOW).min(series.len().max(1))
+}
+
+/// Extracts all sliding windows of length `w` with the given stride.
+pub fn sliding_windows(series: &[f64], w: usize, stride: usize) -> Vec<Vec<f64>> {
+    if series.len() < w || w == 0 {
+        return Vec::new();
+    }
+    (0..=series.len() - w)
+        .step_by(stride.max(1))
+        .map(|s| series[s..s + w].to_vec())
+        .collect()
+}
+
+/// Z-normalises each window in place.
+pub fn znormalize_windows(windows: &mut [Vec<f64>]) {
+    for w in windows {
+        stats::znormalize(w);
+    }
+}
+
+/// Spreads per-window scores (windows starting at `0, stride, …`) back to
+/// per-point scores: each point receives the **maximum** score of any window
+/// covering it — the TSB-UAD convention that keeps short anomalies sharp.
+pub fn window_scores_to_points(
+    window_scores: &[f64],
+    n: usize,
+    w: usize,
+    stride: usize,
+) -> Vec<f64> {
+    let mut out = vec![0.0f64; n];
+    for (wi, &s) in window_scores.iter().enumerate() {
+        let start = wi * stride;
+        let end = (start + w).min(n);
+        for v in &mut out[start..end] {
+            if s > *v {
+                *v = s;
+            }
+        }
+    }
+    out
+}
+
+/// Min–max scales scores to `[0, 1]` (constant scores become zeros).
+pub fn normalize_scores(mut scores: Vec<f64>) -> Vec<f64> {
+    stats::minmax_scale(&mut scores);
+    scores
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sliding_windows_counts() {
+        let s: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ws = sliding_windows(&s, 4, 2);
+        assert_eq!(ws.len(), 4); // starts 0,2,4,6
+        assert_eq!(ws[3], vec![6.0, 7.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn short_series_yields_no_windows() {
+        assert!(sliding_windows(&[1.0, 2.0], 5, 1).is_empty());
+    }
+
+    #[test]
+    fn window_scores_spread_with_max() {
+        let pts = window_scores_to_points(&[0.2, 0.9, 0.1], 5, 3, 1);
+        // Point 2 is covered by all three windows → max 0.9; point 4 only by
+        // the last window.
+        assert_eq!(pts, vec![0.2, 0.9, 0.9, 0.9, 0.1]);
+    }
+
+    #[test]
+    fn auto_window_finds_period() {
+        let s: Vec<f64> =
+            (0..512).map(|t| (2.0 * std::f64::consts::PI * t as f64 / 24.0).sin()).collect();
+        let w = auto_window(&s);
+        assert!((16..=32).contains(&w), "w={w}");
+    }
+
+    #[test]
+    fn auto_window_clamps_for_noise() {
+        let s: Vec<f64> = (0..100).map(|i| ((i * 7919) % 97) as f64).collect();
+        let w = auto_window(&s);
+        assert!((MIN_WINDOW..=MAX_WINDOW).contains(&w));
+    }
+
+    #[test]
+    fn normalize_scores_bounds() {
+        let s = normalize_scores(vec![5.0, 10.0, 7.5]);
+        assert_eq!(s, vec![0.0, 1.0, 0.5]);
+    }
+}

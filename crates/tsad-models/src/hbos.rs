@@ -1,0 +1,102 @@
+//! Histogram-based outlier score.
+
+use crate::common::normalize_scores;
+use crate::{Detector, ModelId};
+
+/// HBOS: a value histogram over the series; the score of each point is the
+/// negative log-height of its bin (rare values ⇒ high score).
+#[derive(Debug, Clone)]
+pub struct Hbos {
+    bins: usize,
+}
+
+impl Hbos {
+    /// Default configuration (20 bins).
+    pub fn default_config() -> Self {
+        Self { bins: 20 }
+    }
+
+    /// Custom bin count.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0`.
+    pub fn with_bins(bins: usize) -> Self {
+        assert!(bins > 0, "need at least one bin");
+        Self { bins }
+    }
+}
+
+impl Detector for Hbos {
+    fn id(&self) -> ModelId {
+        ModelId::Hbos
+    }
+
+    fn score(&self, series: &[f64]) -> Vec<f64> {
+        let n = series.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &v in series {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        if !(hi - lo).is_finite() || hi - lo < 1e-12 {
+            return vec![0.0; n];
+        }
+        let width = (hi - lo) / self.bins as f64;
+        let mut counts = vec![0usize; self.bins];
+        let bin_of = |v: f64| (((v - lo) / width) as usize).min(self.bins - 1);
+        for &v in series {
+            counts[bin_of(v)] += 1;
+        }
+        // Laplace-smoothed densities.
+        let scores: Vec<f64> = series
+            .iter()
+            .map(|&v| {
+                let density = (counts[bin_of(v)] as f64 + 1.0) / (n as f64 + self.bins as f64);
+                -density.ln()
+            })
+            .collect();
+        normalize_scores(scores)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rare_values_score_high() {
+        let mut s = vec![0.0; 200];
+        // Values cluster near 0; two extreme points.
+        for (i, v) in s.iter_mut().enumerate() {
+            *v = ((i % 10) as f64) * 0.01;
+        }
+        s[100] = 10.0;
+        s[150] = -10.0;
+        let scores = Hbos::default_config().score(&s);
+        assert!(scores[100] > 0.9);
+        assert!(scores[150] > 0.9);
+        assert!(scores[5] < 0.5);
+    }
+
+    #[test]
+    fn constant_series_scores_zero() {
+        let scores = Hbos::default_config().score(&[3.0; 50]);
+        assert!(scores.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn scores_bounded() {
+        let s: Vec<f64> = (0..300).map(|i| ((i * 31) % 101) as f64).collect();
+        let scores = Hbos::with_bins(10).score(&s);
+        assert_eq!(scores.len(), 300);
+        assert!(scores.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(Hbos::default_config().score(&[]).is_empty());
+    }
+}

@@ -1,0 +1,206 @@
+//! Isolation forest (Liu et al.) on windows (IForest) or points (IForest1).
+
+use crate::common::{
+    auto_window, normalize_scores, sliding_windows, window_scores_to_points,
+};
+use crate::{Detector, ModelId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Isolation forest detector.
+///
+/// `IForest` isolates sliding-window vectors; `IForest1` isolates individual
+/// points (dimension 1), making it sensitive to global value outliers only.
+#[derive(Debug, Clone)]
+pub struct IForest {
+    point_mode: bool,
+    n_trees: usize,
+    subsample: usize,
+    seed: u64,
+}
+
+impl IForest {
+    /// Window-mode forest (the `IForest` model).
+    pub fn windows(seed: u64) -> Self {
+        Self { point_mode: false, n_trees: 40, subsample: 128, seed }
+    }
+
+    /// Point-mode forest (the `IForest1` model).
+    pub fn points(seed: u64) -> Self {
+        Self { point_mode: true, n_trees: 40, subsample: 128, seed }
+    }
+}
+
+/// One isolation tree: recursive random splits until isolation.
+enum ITree {
+    Leaf { size: usize },
+    Node { feature: usize, threshold: f64, left: Box<ITree>, right: Box<ITree> },
+}
+
+impl ITree {
+    fn build(data: &[&[f64]], depth: usize, max_depth: usize, rng: &mut StdRng) -> ITree {
+        if data.len() <= 1 || depth >= max_depth {
+            return ITree::Leaf { size: data.len() };
+        }
+        let d = data[0].len();
+        // Try a few random features looking for one with spread.
+        for _ in 0..4 {
+            let feature = rng.random_range(0..d);
+            let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+            for row in data {
+                let v = row[feature];
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            if hi - lo < 1e-12 {
+                continue;
+            }
+            let threshold = rng.random_range(lo..hi);
+            let left: Vec<&[f64]> =
+                data.iter().copied().filter(|r| r[feature] < threshold).collect();
+            let right: Vec<&[f64]> =
+                data.iter().copied().filter(|r| r[feature] >= threshold).collect();
+            if left.is_empty() || right.is_empty() {
+                continue;
+            }
+            return ITree::Node {
+                feature,
+                threshold,
+                left: Box::new(ITree::build(&left, depth + 1, max_depth, rng)),
+                right: Box::new(ITree::build(&right, depth + 1, max_depth, rng)),
+            };
+        }
+        ITree::Leaf { size: data.len() }
+    }
+
+    fn path_length(&self, x: &[f64], depth: f64) -> f64 {
+        match self {
+            ITree::Leaf { size } => depth + c_factor(*size),
+            ITree::Node { feature, threshold, left, right } => {
+                if x[*feature] < *threshold {
+                    left.path_length(x, depth + 1.0)
+                } else {
+                    right.path_length(x, depth + 1.0)
+                }
+            }
+        }
+    }
+}
+
+/// Average path length of an unsuccessful BST search — the normaliser of the
+/// isolation-forest score.
+fn c_factor(n: usize) -> f64 {
+    if n <= 1 {
+        return 0.0;
+    }
+    let n = n as f64;
+    2.0 * ((n - 1.0).ln() + 0.577_215_664_9) - 2.0 * (n - 1.0) / n
+}
+
+fn forest_scores(rows: &[Vec<f64>], n_trees: usize, subsample: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rows.len();
+    let sub = subsample.min(n).max(2);
+    let max_depth = (sub as f64).log2().ceil() as usize + 1;
+    let mut trees = Vec::with_capacity(n_trees);
+    for _ in 0..n_trees {
+        let sample: Vec<&[f64]> =
+            (0..sub).map(|_| rows[rng.random_range(0..n)].as_slice()).collect();
+        trees.push(ITree::build(&sample, 0, max_depth, &mut rng));
+    }
+    let c = c_factor(sub);
+    rows.iter()
+        .map(|row| {
+            let avg: f64 = trees.iter().map(|t| t.path_length(row, 0.0)).sum::<f64>()
+                / n_trees as f64;
+            // s = 2^(−avg/c): deep isolation ⇒ small score; invert convention
+            // is already "higher = anomalous" because short paths → s near 1.
+            2f64.powf(-avg / c.max(1e-9))
+        })
+        .collect()
+}
+
+impl Detector for IForest {
+    fn id(&self) -> ModelId {
+        if self.point_mode {
+            ModelId::IForest1
+        } else {
+            ModelId::IForest
+        }
+    }
+
+    fn score(&self, series: &[f64]) -> Vec<f64> {
+        let n = series.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        if self.point_mode {
+            let rows: Vec<Vec<f64>> = series.iter().map(|&v| vec![v]).collect();
+            return normalize_scores(forest_scores(&rows, self.n_trees, self.subsample, self.seed));
+        }
+        let w = auto_window(series);
+        let stride = (w / 4).max(1);
+        let windows = sliding_windows(series, w, stride);
+        if windows.is_empty() {
+            return vec![0.0; n];
+        }
+        let ws = forest_scores(&windows, self.n_trees, self.subsample, self.seed);
+        normalize_scores(window_scores_to_points(&ws, n, w, stride))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spiky_series() -> Vec<f64> {
+        let mut s: Vec<f64> =
+            (0..400).map(|t| (2.0 * std::f64::consts::PI * t as f64 / 25.0).sin()).collect();
+        s[200] = 8.0;
+        s[201] = 8.5;
+        s
+    }
+
+    #[test]
+    fn point_mode_flags_global_outliers() {
+        let s = spiky_series();
+        let scores = IForest::points(1).score(&s);
+        assert_eq!(scores.len(), s.len());
+        let spike = scores[200].max(scores[201]);
+        let normal = scores[50];
+        assert!(spike > normal + 0.3, "spike={spike} normal={normal}");
+    }
+
+    #[test]
+    fn window_mode_scores_whole_series() {
+        let s = spiky_series();
+        let scores = IForest::windows(1).score(&s);
+        assert_eq!(scores.len(), s.len());
+        assert!(scores.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        // Spike region scores above the median region.
+        let spike_region: f64 = scores[195..206].iter().cloned().fold(0.0, f64::max);
+        let mid = scores[40..60].iter().sum::<f64>() / 20.0;
+        assert!(spike_region > mid, "spike={spike_region} mid={mid}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let s = spiky_series();
+        assert_eq!(IForest::windows(5).score(&s), IForest::windows(5).score(&s));
+    }
+
+    #[test]
+    fn empty_and_tiny_series_are_safe() {
+        assert!(IForest::windows(0).score(&[]).is_empty());
+        let tiny = vec![1.0, 2.0, 3.0];
+        let scores = IForest::points(0).score(&tiny);
+        assert_eq!(scores.len(), 3);
+    }
+
+    #[test]
+    fn c_factor_grows_with_n() {
+        assert!(c_factor(2) < c_factor(10));
+        assert!(c_factor(10) < c_factor(1000));
+        assert_eq!(c_factor(1), 0.0);
+    }
+}

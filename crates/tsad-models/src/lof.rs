@@ -1,0 +1,141 @@
+//! Local outlier factor on sliding windows.
+
+use crate::common::{
+    auto_window, normalize_scores, sliding_windows, window_scores_to_points,
+};
+use crate::{Detector, ModelId};
+
+/// LOF detector: ratio of neighbour density to local density of each window.
+#[derive(Debug, Clone)]
+pub struct Lof {
+    k: usize,
+    /// Cap on the number of windows (subsampled by stride) to keep the
+    /// O(m²) distance matrix tractable.
+    max_windows: usize,
+}
+
+impl Lof {
+    /// Default configuration (k = 10).
+    pub fn default_config() -> Self {
+        Self { k: 10, max_windows: 600 }
+    }
+}
+
+impl Detector for Lof {
+    fn id(&self) -> ModelId {
+        ModelId::Lof
+    }
+
+    fn score(&self, series: &[f64]) -> Vec<f64> {
+        let n = series.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let w = auto_window(series);
+        // Stride chosen so the window count stays under the cap.
+        let mut stride = (w / 4).max(1);
+        loop {
+            let count = if n >= w { (n - w) / stride + 1 } else { 0 };
+            if count <= self.max_windows || stride >= w {
+                break;
+            }
+            stride += 1;
+        }
+        let windows = sliding_windows(series, w, stride);
+        let m = windows.len();
+        if m <= self.k + 1 {
+            return vec![0.0; n];
+        }
+
+        // Pairwise distances.
+        let mut dist = vec![0.0f64; m * m];
+        for i in 0..m {
+            for j in i + 1..m {
+                let d: f64 = windows[i]
+                    .iter()
+                    .zip(&windows[j])
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum::<f64>()
+                    .sqrt();
+                dist[i * m + j] = d;
+                dist[j * m + i] = d;
+            }
+        }
+
+        // k-NN per window.
+        let k = self.k.min(m - 1);
+        let mut neighbours: Vec<Vec<usize>> = Vec::with_capacity(m);
+        let mut kdist = vec![0.0f64; m];
+        for i in 0..m {
+            let mut idx: Vec<usize> = (0..m).filter(|&j| j != i).collect();
+            idx.sort_by(|&a, &b| {
+                dist[i * m + a]
+                    .partial_cmp(&dist[i * m + b])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            idx.truncate(k);
+            kdist[i] = dist[i * m + idx[k - 1]];
+            neighbours.push(idx);
+        }
+
+        // Local reachability density.
+        let mut lrd = vec![0.0f64; m];
+        for i in 0..m {
+            let sum: f64 = neighbours[i]
+                .iter()
+                .map(|&j| dist[i * m + j].max(kdist[j]))
+                .sum();
+            lrd[i] = if sum < 1e-12 { 1e12 } else { k as f64 / sum };
+        }
+
+        // LOF = mean neighbour lrd / own lrd.
+        let lof: Vec<f64> = (0..m)
+            .map(|i| {
+                let mean_nb: f64 =
+                    neighbours[i].iter().map(|&j| lrd[j]).sum::<f64>() / k as f64;
+                mean_nb / lrd[i].max(1e-12)
+            })
+            .collect();
+
+        normalize_scores(window_scores_to_points(&lof, n, w, stride))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_subsequence_outlier() {
+        let mut s: Vec<f64> =
+            (0..500).map(|t| (2.0 * std::f64::consts::PI * t as f64 / 20.0).sin()).collect();
+        for v in &mut s[240..260] {
+            *v += 4.0;
+        }
+        let scores = Lof::default_config().score(&s);
+        assert_eq!(scores.len(), 500);
+        let anom: f64 = scores[240..260].iter().cloned().fold(0.0, f64::max);
+        let norm: f64 = scores[50..70].iter().sum::<f64>() / 20.0;
+        assert!(anom > norm, "anom={anom} norm={norm}");
+    }
+
+    #[test]
+    fn short_series_returns_zeros() {
+        let scores = Lof::default_config().score(&[1.0; 30]);
+        assert_eq!(scores.len(), 30);
+        assert!(scores.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn scores_in_unit_interval() {
+        let s: Vec<f64> = (0..400).map(|t| ((t % 37) as f64).sin() * (t as f64 * 0.01)).collect();
+        let scores = Lof::default_config().score(&s);
+        assert!(scores.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn deterministic() {
+        let s: Vec<f64> = (0..300).map(|t| (t as f64 * 0.2).sin()).collect();
+        assert_eq!(Lof::default_config().score(&s), Lof::default_config().score(&s));
+    }
+}

@@ -1,0 +1,155 @@
+//! LSTM-AD: next-point forecasting with an LSTM; errors flag anomalies.
+
+use crate::common::normalize_scores;
+use crate::{Detector, ModelId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tslinalg::stats;
+use tsnn::layers::{Layer, Linear, Lstm};
+use tsnn::loss::mse;
+use tsnn::optim::Adam;
+use tsnn::Tensor;
+
+/// LSTM-AD detector: an LSTM consumes the previous `history` points and
+/// predicts the next one; the squared prediction error is the anomaly score.
+#[derive(Debug, Clone)]
+pub struct LstmAd {
+    seed: u64,
+    history: usize,
+    hidden: usize,
+    epochs: usize,
+    max_train_pairs: usize,
+}
+
+impl LstmAd {
+    /// Default configuration.
+    pub fn new(seed: u64) -> Self {
+        Self { seed, history: 24, hidden: 12, epochs: 12, max_train_pairs: 150 }
+    }
+}
+
+struct Net {
+    lstm: Lstm,
+    head: Linear,
+}
+
+impl Net {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let h = self.lstm.forward(x, train);
+        self.head.forward(&h, train)
+    }
+
+    fn backward(&mut self, grad: &Tensor) {
+        let g = self.head.backward(grad);
+        let _ = self.lstm.backward(&g);
+    }
+
+    fn params(&mut self) -> Vec<&mut tsnn::Param> {
+        let mut p = self.lstm.params_mut();
+        p.extend(self.head.params_mut());
+        p
+    }
+}
+
+impl Detector for LstmAd {
+    fn id(&self) -> ModelId {
+        ModelId::LstmAd
+    }
+
+    fn score(&self, series: &[f64]) -> Vec<f64> {
+        let n = series.len();
+        let p = self.history;
+        if n < 2 * p + 4 {
+            return vec![0.0; n];
+        }
+        // Standardise the series so the forecaster works on unit scale.
+        let mut values: Vec<f64> = series.to_vec();
+        stats::znormalize(&mut values);
+        let values: Vec<f32> = values.iter().map(|&v| v as f32).collect();
+
+        // Training pairs (window → next value), evenly subsampled.
+        let all_targets: Vec<usize> = (p..n).collect();
+        let step = all_targets.len().div_ceil(self.max_train_pairs).max(1);
+        let train_targets: Vec<usize> = all_targets.iter().copied().step_by(step).collect();
+
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut net =
+            Net { lstm: Lstm::new(1, self.hidden, &mut rng), head: Linear::new(self.hidden, 1, &mut rng) };
+        let mut opt = Adam::new(0.01, 0.0);
+
+        let make_batch = |targets: &[usize]| -> (Tensor, Tensor) {
+            let mut xs = Vec::with_capacity(targets.len() * p);
+            let mut ys = Vec::with_capacity(targets.len());
+            for &t in targets {
+                xs.extend_from_slice(&values[t - p..t]);
+                ys.push(values[t]);
+            }
+            (
+                Tensor::from_vec(&[targets.len(), p, 1], xs),
+                Tensor::from_vec(&[targets.len(), 1], ys),
+            )
+        };
+
+        let (x_train, y_train) = make_batch(&train_targets);
+        for _ in 0..self.epochs {
+            let pred = net.forward(&x_train, true);
+            let out = mse(&pred, &y_train, None);
+            for par in net.params() {
+                par.zero_grad();
+            }
+            net.backward(&out.grad);
+            opt.step(&mut net.params());
+        }
+
+        // Score every point; the first `p` points inherit the first score.
+        let mut errors = vec![0.0f64; n];
+        let chunk = 256;
+        let mut t0 = p;
+        while t0 < n {
+            let t1 = (t0 + chunk).min(n);
+            let targets: Vec<usize> = (t0..t1).collect();
+            let (x, y) = make_batch(&targets);
+            let pred = net.forward(&x, false);
+            for (i, &t) in targets.iter().enumerate() {
+                let e = (pred.row(i)[0] - y.row(i)[0]) as f64;
+                errors[t] = e * e;
+            }
+            t0 = t1;
+        }
+        let head = errors[p];
+        for e in errors.iter_mut().take(p) {
+            *e = head;
+        }
+        normalize_scores(errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forecast_error_spikes_on_level_shift() {
+        let mut s: Vec<f64> =
+            (0..500).map(|t| (2.0 * std::f64::consts::PI * t as f64 / 20.0).sin()).collect();
+        for v in &mut s[300..330] {
+            *v += 4.0;
+        }
+        let scores = LstmAd::new(1).score(&s);
+        assert_eq!(scores.len(), 500);
+        let anom: f64 = scores[298..332].iter().cloned().fold(0.0, f64::max);
+        let normal: f64 = scores[100..130].iter().cloned().fold(0.0, f64::max);
+        assert!(anom > normal, "anom={anom} normal={normal}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let s: Vec<f64> = (0..200).map(|t| (t as f64 * 0.25).sin()).collect();
+        assert_eq!(LstmAd::new(7).score(&s), LstmAd::new(7).score(&s));
+    }
+
+    #[test]
+    fn short_series_zeros() {
+        assert!(LstmAd::new(0).score(&[1.0; 30]).iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,163 @@
+//! Matrix profile: 1-NN z-normalised distance of every subsequence.
+
+use crate::common::{auto_window, normalize_scores, window_scores_to_points};
+use crate::{Detector, ModelId};
+use tslinalg::stats;
+
+/// Matrix-profile discord detector: the anomaly score of a subsequence is
+/// its z-normalised Euclidean distance to its nearest non-trivial match.
+#[derive(Debug, Clone)]
+pub struct MatrixProfile {
+    /// Cap on the number of profiled subsequences (stride grows beyond it).
+    max_subsequences: usize,
+}
+
+impl MatrixProfile {
+    /// Default configuration.
+    pub fn default_config() -> Self {
+        Self { max_subsequences: 1500 }
+    }
+}
+
+impl Detector for MatrixProfile {
+    fn id(&self) -> ModelId {
+        ModelId::Mp
+    }
+
+    fn score(&self, series: &[f64]) -> Vec<f64> {
+        let n = series.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let w = auto_window(series);
+        if n < 2 * w {
+            return vec![0.0; n];
+        }
+        // Stride keeps the O(m²) profile tractable on long series.
+        let mut stride = 1usize;
+        while (n - w) / stride + 1 > self.max_subsequences {
+            stride += 1;
+        }
+        // Z-normalised subsequences.
+        let starts: Vec<usize> = (0..=n - w).step_by(stride).collect();
+        let m = starts.len();
+        let mut subs: Vec<Vec<f64>> = starts.iter().map(|&s| series[s..s + w].to_vec()).collect();
+        for s in &mut subs {
+            stats::znormalize(s);
+        }
+
+        // Exclusion zone: ignore trivially overlapping matches.
+        let exclusion = (w / 2).max(stride);
+        let mut profile = vec![f64::INFINITY; m];
+        for i in 0..m {
+            for j in i + 1..m {
+                if starts[j] - starts[i] < exclusion {
+                    continue;
+                }
+                let mut d2 = 0.0;
+                for (a, b) in subs[i].iter().zip(&subs[j]) {
+                    d2 += (a - b) * (a - b);
+                    // Early abandon once both current minima are beaten.
+                    if d2 >= profile[i] && d2 >= profile[j] {
+                        break;
+                    }
+                }
+                if d2 < profile[i] {
+                    profile[i] = d2;
+                }
+                if d2 < profile[j] {
+                    profile[j] = d2;
+                }
+            }
+        }
+        for v in &mut profile {
+            if !v.is_finite() {
+                *v = 0.0;
+            } else {
+                *v = v.sqrt();
+            }
+        }
+        normalize_scores(window_scores_to_points(&profile, n, w, stride))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Periodic signal with one distorted cycle — the classic discord.
+    fn discord_series() -> (Vec<f64>, usize, usize) {
+        let period = 25;
+        let mut s: Vec<f64> = (0..600)
+            .map(|t| (2.0 * std::f64::consts::PI * t as f64 / period as f64).sin())
+            .collect();
+        let (a, b) = (300, 325);
+        for t in a..b {
+            // Invert one cycle: same value range, wrong shape.
+            s[t] = -s[t] * 0.8 + 0.1;
+        }
+        (s, a, b)
+    }
+
+    #[test]
+    fn discord_cycle_gets_top_score() {
+        let (s, a, b) = discord_series();
+        let scores = MatrixProfile::default_config().score(&s);
+        let anom: f64 = scores[a..b].iter().cloned().fold(0.0, f64::max);
+        let normal: f64 = scores[100..150].iter().cloned().fold(0.0, f64::max);
+        assert!(anom > normal + 0.2, "anom={anom} normal={normal}");
+        // The global maximum lies inside (or adjacent to) the discord.
+        let argmax = scores
+            .iter()
+            .enumerate()
+            .max_by(|x, y| x.1.partial_cmp(y.1).unwrap())
+            .unwrap()
+            .0;
+        assert!((a.saturating_sub(30)..b + 30).contains(&argmax), "argmax={argmax}");
+    }
+
+    #[test]
+    fn too_short_series_scores_zero() {
+        let scores = MatrixProfile::default_config().score(&[1.0; 20]);
+        assert!(scores.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn scores_bounded_and_full_length() {
+        let (s, _, _) = discord_series();
+        let scores = MatrixProfile::default_config().score(&s);
+        assert_eq!(scores.len(), s.len());
+        assert!(scores.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn twin_discords_deflate_each_other() {
+        // The classic "twin freak" property: a discord that occurs twice
+        // matches its twin, so its profile value drops relative to a series
+        // where it occurs once. Compare region-max / series-mean ratios.
+        let period = 25;
+        let base: Vec<f64> = (0..800)
+            .map(|t| (2.0 * std::f64::consts::PI * t as f64 / period as f64).sin())
+            .collect();
+        let distort = |s: &mut [f64], at: usize| {
+            for t in at..at + period {
+                s[t] = -s[t] * 0.8 + 0.1;
+            }
+        };
+        let mut single = base.clone();
+        distort(&mut single, 400);
+        let mut twin = base.clone();
+        distort(&mut twin, 200);
+        distort(&mut twin, 600);
+
+        let d = MatrixProfile::default_config();
+        let ratio = |scores: &[f64], a: usize| {
+            let peak: f64 = scores[a..a + period].iter().cloned().fold(0.0, f64::max);
+            let mean: f64 = scores.iter().sum::<f64>() / scores.len() as f64;
+            peak / mean.max(1e-9)
+        };
+        let r_single = ratio(&d.score(&single), 400);
+        let r_twin = ratio(&d.score(&twin), 200);
+        assert!(r_single > r_twin, "single={r_single} twin={r_twin}");
+    }
+}

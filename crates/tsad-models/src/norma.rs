@@ -1,0 +1,166 @@
+//! NORMA: normal-pattern discovery by clustering, scoring by distance.
+
+use crate::common::{
+    auto_window, normalize_scores, sliding_windows, window_scores_to_points,
+};
+use crate::{Detector, ModelId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tslinalg::stats;
+
+/// NORMA-style detector: k-means over z-normalised subsequences discovers the
+/// recurring "normal" patterns; each subsequence is scored by its distance to
+/// the nearest pattern, weighted by how common that pattern is.
+#[derive(Debug, Clone)]
+pub struct Norma {
+    k: usize,
+    seed: u64,
+    max_windows: usize,
+}
+
+impl Norma {
+    /// Default configuration (3 normal patterns).
+    pub fn new(seed: u64) -> Self {
+        Self { k: 3, seed, max_windows: 800 }
+    }
+}
+
+impl Detector for Norma {
+    fn id(&self) -> ModelId {
+        ModelId::Norma
+    }
+
+    fn score(&self, series: &[f64]) -> Vec<f64> {
+        let n = series.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let w = auto_window(series);
+        if n < 2 * w {
+            return vec![0.0; n];
+        }
+        let mut stride = (w / 4).max(1);
+        while (n - w) / stride + 1 > self.max_windows {
+            stride += 1;
+        }
+        let mut windows = sliding_windows(series, w, stride);
+        for win in &mut windows {
+            stats::znormalize(win);
+        }
+        let m = windows.len();
+        let k = self.k.min(m);
+
+        // k-means with deterministic seeding.
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut centroids: Vec<Vec<f64>> =
+            (0..k).map(|_| windows[rng.random_range(0..m)].clone()).collect();
+        let mut assignment = vec![0usize; m];
+        for _ in 0..20 {
+            let mut changed = false;
+            for (i, win) in windows.iter().enumerate() {
+                let best = nearest(win, &centroids).0;
+                if assignment[i] != best {
+                    assignment[i] = best;
+                    changed = true;
+                }
+            }
+            // Recompute centroids.
+            let mut sums = vec![vec![0.0f64; w]; k];
+            let mut counts = vec![0usize; k];
+            for (i, win) in windows.iter().enumerate() {
+                let c = assignment[i];
+                counts[c] += 1;
+                for (s, &v) in sums[c].iter_mut().zip(win) {
+                    *s += v;
+                }
+            }
+            for c in 0..k {
+                if counts[c] == 0 {
+                    // Re-seed empty cluster.
+                    centroids[c] = windows[rng.random_range(0..m)].clone();
+                    continue;
+                }
+                for (cv, &s) in centroids[c].iter_mut().zip(&sums[c]) {
+                    *cv = s / counts[c] as f64;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Cluster frequency weights: common clusters are "more normal", so
+        // distance to them is divided by a larger weight.
+        let mut counts = vec![0usize; k];
+        for &a in &assignment {
+            counts[a] += 1;
+        }
+        let weights: Vec<f64> =
+            counts.iter().map(|&c| (c as f64 / m as f64).max(1e-3)).collect();
+
+        let scores: Vec<f64> = windows
+            .iter()
+            .map(|win| {
+                // Effective distance: min over patterns of dist / weight.
+                centroids
+                    .iter()
+                    .zip(&weights)
+                    .map(|(c, &wt)| stats::euclidean(win, c) / wt.sqrt())
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+
+        normalize_scores(window_scores_to_points(&scores, n, w, stride))
+    }
+}
+
+fn nearest(x: &[f64], centroids: &[Vec<f64>]) -> (usize, f64) {
+    let mut best = (0usize, f64::INFINITY);
+    for (i, c) in centroids.iter().enumerate() {
+        let d = stats::euclidean(x, c);
+        if d < best.1 {
+            best = (i, d);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distorted_cycle_scores_above_normal_cycles() {
+        let period = 20;
+        let mut s: Vec<f64> = (0..600)
+            .map(|t| (2.0 * std::f64::consts::PI * t as f64 / period as f64).sin())
+            .collect();
+        for t in 300..340 {
+            s[t] = -0.5 * s[t] + ((t - 300) as f64 * 0.35).sin();
+        }
+        let scores = Norma::new(1).score(&s);
+        let anom: f64 = scores[300..340].iter().cloned().fold(0.0, f64::max);
+        let normal: f64 = scores[80..120].iter().cloned().fold(0.0, f64::max);
+        assert!(anom > normal, "anom={anom} normal={normal}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let s: Vec<f64> = (0..400).map(|t| (t as f64 * 0.3).sin()).collect();
+        assert_eq!(Norma::new(2).score(&s), Norma::new(2).score(&s));
+    }
+
+    #[test]
+    fn short_series_zeros() {
+        let scores = Norma::new(0).score(&[0.5; 25]);
+        assert!(scores.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn bounded_scores() {
+        let s: Vec<f64> = (0..500).map(|t| ((t / 50) % 2) as f64 + (t as f64 * 0.7).sin() * 0.1).collect();
+        let scores = Norma::new(3).score(&s);
+        assert_eq!(scores.len(), 500);
+        assert!(scores.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+}

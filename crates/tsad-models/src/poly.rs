@@ -1,0 +1,138 @@
+//! POLY: polynomial extrapolation error.
+//!
+//! Fits a low-degree polynomial to each history window (least squares with a
+//! small ridge term) and predicts the next point by extrapolation. Because
+//! the time basis is identical for every window, the projection matrix
+//! `(VᵀV + λI)⁻¹Vᵀ` is computed once and applied to each window.
+
+use crate::common::normalize_scores;
+use crate::{Detector, ModelId};
+use tslinalg::decomp::solve_spd;
+use tslinalg::stats;
+use tslinalg::Matrix;
+
+/// Polynomial-regression forecaster.
+#[derive(Debug, Clone)]
+pub struct Poly {
+    history: usize,
+    degree: usize,
+}
+
+impl Poly {
+    /// Default configuration (window 24, degree 3).
+    pub fn default_config() -> Self {
+        Self { history: 24, degree: 3 }
+    }
+
+    /// Custom window and degree.
+    ///
+    /// # Panics
+    /// Panics if `history <= degree`.
+    pub fn with_params(history: usize, degree: usize) -> Self {
+        assert!(history > degree, "history must exceed degree");
+        Self { history, degree }
+    }
+}
+
+impl Detector for Poly {
+    fn id(&self) -> ModelId {
+        ModelId::Poly
+    }
+
+    fn score(&self, series: &[f64]) -> Vec<f64> {
+        let n = series.len();
+        let p = self.history;
+        if n < p + 2 {
+            return vec![0.0; n];
+        }
+        let mut values = series.to_vec();
+        stats::znormalize(&mut values);
+
+        let k = self.degree + 1;
+        // Vandermonde on normalised time t/p ∈ [0,1).
+        let mut vander = Matrix::zeros(p, k);
+        for t in 0..p {
+            let x = t as f64 / p as f64;
+            let mut pow = 1.0;
+            for j in 0..k {
+                vander[(t, j)] = pow;
+                pow *= x;
+            }
+        }
+        // Projection: coef = (VᵀV + λI)⁻¹ Vᵀ y, solved column by column once.
+        let mut gram = vander.gram();
+        gram.add_diagonal(1e-6);
+        // proj is k×p: row j gives the weights mapping a window to coef j.
+        let mut proj = Matrix::zeros(k, p);
+        for t in 0..p {
+            let mut unit = vec![0.0; p];
+            unit[t] = 1.0;
+            let rhs = vander.t_matvec(&unit);
+            let col = solve_spd(&gram, &rhs).expect("ridge Vandermonde is SPD");
+            for j in 0..k {
+                proj[(j, t)] = col[j];
+            }
+        }
+        // Extrapolation basis at x = 1 (the next point).
+        let basis_next: Vec<f64> = (0..k)
+            .map(|j| 1.0f64.powi(j as i32))
+            .collect(); // all ones, kept explicit for clarity
+
+        let mut errors = vec![0.0f64; n];
+        for t in p..n {
+            let window = &values[t - p..t];
+            let mut pred = 0.0;
+            for j in 0..k {
+                let coef: f64 = proj.row(j).iter().zip(window).map(|(a, b)| a * b).sum();
+                pred += coef * basis_next[j];
+            }
+            let e = values[t] - pred;
+            errors[t] = e * e;
+        }
+        let head = errors[p];
+        for e in errors.iter_mut().take(p) {
+            *e = head;
+        }
+        normalize_scores(errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smooth_trend_is_predictable_spike_is_not() {
+        let mut s: Vec<f64> = (0..300).map(|t| 0.01 * t as f64 + (t as f64 * 0.05).sin()).collect();
+        s[200] += 5.0;
+        let scores = Poly::default_config().score(&s);
+        assert_eq!(scores.len(), 300);
+        let spike = scores[200];
+        let normal = scores[100];
+        assert!(spike > normal + 0.3, "spike={spike} normal={normal}");
+    }
+
+    #[test]
+    fn trend_break_detected() {
+        let mut s: Vec<f64> = (0..400).map(|t| 0.005 * t as f64).collect();
+        for (off, t) in (250..320).enumerate() {
+            s[t] += 0.2 * off as f64; // sudden steep slope
+        }
+        let scores = Poly::default_config().score(&s);
+        let anom: f64 = scores[250..255].iter().cloned().fold(0.0, f64::max);
+        let normal: f64 = scores[100..105].iter().cloned().fold(0.0, f64::max);
+        assert!(anom > normal, "anom={anom} normal={normal}");
+    }
+
+    #[test]
+    fn short_series_zeros() {
+        assert!(Poly::default_config().score(&[1.0; 10]).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn deterministic() {
+        let s: Vec<f64> = (0..200).map(|t| (t as f64 * 0.17).sin()).collect();
+        let d = Poly::default_config();
+        assert_eq!(d.score(&s), d.score(&s));
+    }
+}

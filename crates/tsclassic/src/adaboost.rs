@@ -1,0 +1,166 @@
+//! Multi-class AdaBoost (SAMME) over decision stumps.
+
+use crate::tree::{DecisionTree, TreeConfig};
+use crate::Classifier;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// SAMME AdaBoost with depth-2 trees as weak learners.
+#[derive(Debug, Clone)]
+pub struct AdaBoost {
+    learners: Vec<(f64, DecisionTree)>,
+    n_classes: usize,
+}
+
+/// Boosting hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct AdaBoostConfig {
+    /// Number of boosting rounds.
+    pub n_rounds: usize,
+    /// Depth of each weak learner.
+    pub depth: usize,
+    /// RNG seed (drives tie-breaking in the trees).
+    pub seed: u64,
+}
+
+impl Default for AdaBoostConfig {
+    fn default() -> Self {
+        Self { n_rounds: 40, depth: 2, seed: 0 }
+    }
+}
+
+impl AdaBoost {
+    /// Trains the boosted ensemble with the SAMME weight updates.
+    ///
+    /// # Panics
+    /// Panics on empty input.
+    pub fn fit(xs: &[Vec<f64>], ys: &[usize], cfg: AdaBoostConfig) -> Self {
+        assert!(!xs.is_empty(), "AdaBoost needs training data");
+        assert_eq!(xs.len(), ys.len(), "labels mismatch");
+        let n = xs.len();
+        let k = ys.iter().copied().max().unwrap_or(0) + 1;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut weights = vec![1.0 / n as f64; n];
+        let mut learners = Vec::new();
+        let tree_cfg =
+            TreeConfig { max_depth: cfg.depth, min_samples_split: 2, max_features: None };
+
+        for _ in 0..cfg.n_rounds {
+            let tree = DecisionTree::fit(xs, ys, Some(&weights), tree_cfg, &mut rng);
+            // Weighted error.
+            let mut err = 0.0;
+            let preds: Vec<usize> = xs.iter().map(|x| tree.predict(x)).collect();
+            for ((&w, &p), &y) in weights.iter().zip(&preds).zip(ys) {
+                if p != y {
+                    err += w;
+                }
+            }
+            err = err.clamp(1e-12, 1.0);
+            // SAMME: stop if no better than chance.
+            if err >= 1.0 - 1.0 / k as f64 {
+                if learners.is_empty() {
+                    learners.push((1.0, tree));
+                }
+                break;
+            }
+            let alpha = ((1.0 - err) / err).ln() + (k as f64 - 1.0).ln();
+            // Re-weight: misclassified up.
+            for ((w, &p), &y) in weights.iter_mut().zip(&preds).zip(ys) {
+                if p != y {
+                    *w *= alpha.exp();
+                }
+            }
+            let total: f64 = weights.iter().sum();
+            for w in &mut weights {
+                *w /= total;
+            }
+            let perfect = err <= 1e-11;
+            learners.push((alpha, tree));
+            if perfect {
+                break; // a perfect learner ends boosting
+            }
+        }
+        Self { learners, n_classes: k }
+    }
+
+    /// Number of fitted rounds.
+    pub fn n_learners(&self) -> usize {
+        self.learners.len()
+    }
+
+    /// Weighted vote scores per class.
+    pub fn decision_function(&self, x: &[f64]) -> Vec<f64> {
+        let mut scores = vec![0.0; self.n_classes];
+        for (alpha, tree) in &self.learners {
+            scores[tree.predict(x)] += alpha;
+        }
+        scores
+    }
+}
+
+impl Classifier for AdaBoost {
+    fn predict(&self, x: &[f64]) -> usize {
+        self.decision_function(x)
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testdata::{blobs, xor};
+
+    #[test]
+    fn boosts_stumps_to_solve_blobs() {
+        let (xs, ys) = blobs();
+        let ada = AdaBoost::fit(&xs, &ys, AdaBoostConfig::default());
+        let acc = ada
+            .predict_batch(&xs)
+            .iter()
+            .zip(&ys)
+            .filter(|(a, b)| a == b)
+            .count() as f64
+            / xs.len() as f64;
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn solves_xor_with_depth_two() {
+        let (xs, ys) = xor();
+        let ada = AdaBoost::fit(&xs, &ys, AdaBoostConfig { n_rounds: 20, depth: 2, seed: 0 });
+        let acc = ada
+            .predict_batch(&xs)
+            .iter()
+            .zip(&ys)
+            .filter(|(a, b)| a == b)
+            .count() as f64
+            / xs.len() as f64;
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn stops_early_on_perfect_learner() {
+        // Trivially separable data: first stump is perfect.
+        let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let ys: Vec<usize> = (0..20).map(|i| usize::from(i >= 10)).collect();
+        let ada = AdaBoost::fit(&xs, &ys, AdaBoostConfig::default());
+        assert!(ada.n_learners() <= 2, "learners={}", ada.n_learners());
+    }
+
+    #[test]
+    fn decision_scores_nonnegative() {
+        let (xs, ys) = blobs();
+        let ada = AdaBoost::fit(&xs, &ys, AdaBoostConfig { n_rounds: 5, depth: 2, seed: 1 });
+        let s = ada.decision_function(&[0.5, 0.5]);
+        assert_eq!(s.len(), 3);
+        assert!(s.iter().all(|&v| v >= 0.0));
+    }
+}

@@ -1,0 +1,167 @@
+//! Random forest (bagging + feature subsampling over CART trees).
+
+use crate::tree::{DecisionTree, TreeConfig};
+use crate::Classifier;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random-forest classifier.
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    trees: Vec<DecisionTree>,
+    n_classes: usize,
+}
+
+/// Forest hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ForestConfig {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        Self { n_trees: 50, max_depth: 10, seed: 0 }
+    }
+}
+
+impl RandomForest {
+    /// Trains the forest: each tree sees a bootstrap sample and √d features
+    /// per split.
+    ///
+    /// # Panics
+    /// Panics on empty input.
+    pub fn fit(xs: &[Vec<f64>], ys: &[usize], cfg: ForestConfig) -> Self {
+        assert!(!xs.is_empty(), "forest needs training data");
+        assert_eq!(xs.len(), ys.len(), "labels mismatch");
+        let n = xs.len();
+        let d = xs[0].len();
+        let n_classes = ys.iter().copied().max().unwrap_or(0) + 1;
+        let max_features = (d as f64).sqrt().ceil() as usize;
+        let tree_cfg = TreeConfig {
+            max_depth: cfg.max_depth,
+            min_samples_split: 2,
+            max_features: Some(max_features.max(1)),
+        };
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut trees = Vec::with_capacity(cfg.n_trees);
+        for _ in 0..cfg.n_trees {
+            // Bootstrap resample.
+            let mut bx = Vec::with_capacity(n);
+            let mut by = Vec::with_capacity(n);
+            for _ in 0..n {
+                let i = rng.random_range(0..n);
+                bx.push(xs[i].clone());
+                by.push(ys[i]);
+            }
+            // Keep class count stable even if a class is missing in the
+            // bootstrap: pad the label space by passing dummy distribution
+            // width through ys' max — simplest fix: ensure one sample of the
+            // max class exists.
+            if by.iter().copied().max().unwrap_or(0) + 1 < n_classes {
+                if let Some(pos) = ys.iter().position(|&y| y == n_classes - 1) {
+                    bx.push(xs[pos].clone());
+                    by.push(ys[pos]);
+                }
+            }
+            trees.push(DecisionTree::fit(&bx, &by, None, tree_cfg, &mut rng));
+        }
+        Self { trees, n_classes }
+    }
+
+    /// Averaged class probabilities across trees.
+    pub fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+        let mut acc = vec![0.0f64; self.n_classes];
+        for t in &self.trees {
+            let p = t.predict_proba(x);
+            for (a, &v) in acc.iter_mut().zip(&p) {
+                *a += v;
+            }
+        }
+        let total: f64 = acc.iter().sum();
+        if total > 0.0 {
+            for a in &mut acc {
+                *a /= total;
+            }
+        }
+        acc
+    }
+
+    /// Number of trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+impl Classifier for RandomForest {
+    fn predict(&self, x: &[f64]) -> usize {
+        let p = self.predict_proba(x);
+        p.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testdata::{blobs, xor};
+
+    #[test]
+    fn fits_blobs() {
+        let (xs, ys) = blobs();
+        let rf = RandomForest::fit(&xs, &ys, ForestConfig { n_trees: 20, ..Default::default() });
+        let acc = rf
+            .predict_batch(&xs)
+            .iter()
+            .zip(&ys)
+            .filter(|(a, b)| a == b)
+            .count() as f64
+            / xs.len() as f64;
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn solves_xor() {
+        let (xs, ys) = xor();
+        let rf = RandomForest::fit(&xs, &ys, ForestConfig { n_trees: 30, ..Default::default() });
+        let acc = rf
+            .predict_batch(&xs)
+            .iter()
+            .zip(&ys)
+            .filter(|(a, b)| a == b)
+            .count() as f64
+            / xs.len() as f64;
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (xs, ys) = blobs();
+        let cfg = ForestConfig { n_trees: 5, max_depth: 4, seed: 11 };
+        let a = RandomForest::fit(&xs, &ys, cfg);
+        let b = RandomForest::fit(&xs, &ys, cfg);
+        let test = vec![1.5, 2.5];
+        assert_eq!(a.predict_proba(&test), b.predict_proba(&test));
+    }
+
+    #[test]
+    fn proba_is_a_distribution() {
+        let (xs, ys) = blobs();
+        let rf = RandomForest::fit(&xs, &ys, ForestConfig { n_trees: 7, ..Default::default() });
+        let p = rf.predict_proba(&[3.0, 3.0]);
+        assert_eq!(p.len(), 3);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(p.iter().all(|&v| v >= 0.0));
+    }
+}

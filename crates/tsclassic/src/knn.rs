@@ -1,0 +1,99 @@
+//! K-nearest-neighbours classifier.
+
+use crate::Classifier;
+
+/// Brute-force KNN with Euclidean distance and majority vote
+/// (distance-weighted tie-break).
+#[derive(Debug, Clone)]
+pub struct Knn {
+    k: usize,
+    xs: Vec<Vec<f64>>,
+    ys: Vec<usize>,
+    n_classes: usize,
+}
+
+impl Knn {
+    /// Stores the training set.
+    ///
+    /// # Panics
+    /// Panics if inputs are empty or lengths mismatch, or `k == 0`.
+    pub fn fit(xs: Vec<Vec<f64>>, ys: Vec<usize>, k: usize) -> Self {
+        assert!(!xs.is_empty(), "KNN needs training data");
+        assert_eq!(xs.len(), ys.len(), "labels mismatch");
+        assert!(k >= 1, "k must be at least 1");
+        let n_classes = ys.iter().copied().max().unwrap_or(0) + 1;
+        Self { k, xs, ys, n_classes }
+    }
+}
+
+impl Classifier for Knn {
+    fn predict(&self, x: &[f64]) -> usize {
+        let mut dists: Vec<(f64, usize)> = self
+            .xs
+            .iter()
+            .zip(&self.ys)
+            .map(|(t, &y)| {
+                let d: f64 = t.iter().zip(x).map(|(a, b)| (a - b) * (a - b)).sum();
+                (d, y)
+            })
+            .collect();
+        let k = self.k.min(dists.len());
+        dists.select_nth_unstable_by(k - 1, |a, b| {
+            a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        // Distance-weighted vote over the k nearest.
+        let mut votes = vec![0.0f64; self.n_classes];
+        for &(d, y) in &dists[..k] {
+            votes[y] += 1.0 / (d.sqrt() + 1e-9);
+        }
+        votes
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testdata::blobs;
+
+    #[test]
+    fn classifies_blobs_perfectly() {
+        let (xs, ys) = blobs();
+        let knn = Knn::fit(xs.clone(), ys.clone(), 3);
+        let preds = knn.predict_batch(&xs);
+        let acc = preds.iter().zip(&ys).filter(|(a, b)| a == b).count();
+        assert_eq!(acc, xs.len());
+    }
+
+    #[test]
+    fn k_one_memorises_training_points() {
+        let (xs, ys) = blobs();
+        let knn = Knn::fit(xs.clone(), ys.clone(), 1);
+        assert_eq!(knn.predict(&xs[17]), ys[17]);
+    }
+
+    #[test]
+    fn predicts_nearby_unseen_points() {
+        let (xs, ys) = blobs();
+        let knn = Knn::fit(xs, ys, 5);
+        assert_eq!(knn.predict(&[0.1, 0.1]), 0);
+        assert_eq!(knn.predict(&[5.9, 0.2]), 1);
+        assert_eq!(knn.predict(&[0.0, 6.3]), 2);
+    }
+
+    #[test]
+    fn k_larger_than_dataset_is_clamped() {
+        let xs = vec![vec![0.0], vec![1.0]];
+        let ys = vec![0, 1];
+        let knn = Knn::fit(xs, ys, 100);
+        let _ = knn.predict(&[0.4]); // must not panic
+    }
+}

@@ -1,0 +1,75 @@
+//! Classic machine-learning classifiers for the non-NN selector baselines.
+//!
+//! Implements the four feature-based selectors of the benchmark paper (KNN,
+//! SVC, AdaBoost, RandomForest) plus the ridge-regression classifier used on
+//! top of the MiniRocket transform. All classifiers operate on dense `f64`
+//! feature vectors and share the [`Classifier`] protocol.
+
+pub mod adaboost;
+pub mod forest;
+pub mod knn;
+pub mod ridge;
+pub mod scaler;
+pub mod svc;
+pub mod tree;
+
+pub use adaboost::AdaBoost;
+pub use forest::RandomForest;
+pub use knn::Knn;
+pub use ridge::RidgeClassifier;
+pub use scaler::StandardScaler;
+pub use svc::LinearSvc;
+
+/// A fitted multi-class classifier over dense feature vectors.
+pub trait Classifier {
+    /// Predicts the class of one sample.
+    fn predict(&self, x: &[f64]) -> usize;
+
+    /// Number of classes the model was trained with.
+    fn n_classes(&self) -> usize;
+
+    /// Predicts a batch.
+    fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<usize> {
+        xs.iter().map(|x| self.predict(x)).collect()
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testdata {
+    //! Shared toy datasets for classifier tests.
+
+    /// Three well-separated Gaussian-ish blobs in 2-D (deterministic).
+    pub fn blobs() -> (Vec<Vec<f64>>, Vec<usize>) {
+        let centers = [(0.0, 0.0), (6.0, 0.0), (0.0, 6.0)];
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for (c, &(cx, cy)) in centers.iter().enumerate() {
+            for i in 0..30 {
+                // Deterministic jitter.
+                let a = ((i * 37 + c * 101) % 17) as f64 / 17.0 - 0.5;
+                let b = ((i * 53 + c * 29) % 13) as f64 / 13.0 - 0.5;
+                xs.push(vec![cx + a, cy + b]);
+                ys.push(c);
+            }
+        }
+        (xs, ys)
+    }
+
+    /// XOR-style data that linear models cannot separate but trees can.
+    pub fn xor() -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..40 {
+            let jitter = (i % 7) as f64 * 0.02;
+            let (qx, qy) = match i % 4 {
+                0 => (1.0, 1.0),
+                1 => (-1.0, -1.0),
+                2 => (1.0, -1.0),
+                _ => (-1.0, 1.0),
+            };
+            xs.push(vec![qx + jitter, qy - jitter]);
+            ys.push(if qx * qy > 0.0 { 0 } else { 1 });
+        }
+        (xs, ys)
+    }
+}

@@ -1,0 +1,81 @@
+//! Per-feature standardisation.
+
+/// Z-score scaler fitted on training features; constant features pass
+/// through unchanged (std clamped to 1).
+#[derive(Debug, Clone)]
+pub struct StandardScaler {
+    mean: Vec<f64>,
+    std: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Fits the scaler on training rows.
+    ///
+    /// # Panics
+    /// Panics if `xs` is empty or ragged.
+    pub fn fit(xs: &[Vec<f64>]) -> Self {
+        assert!(!xs.is_empty(), "scaler needs data");
+        let d = xs[0].len();
+        let n = xs.len() as f64;
+        let mut mean = vec![0.0; d];
+        for x in xs {
+            assert_eq!(x.len(), d, "ragged feature rows");
+            for (m, &v) in mean.iter_mut().zip(x) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut var = vec![0.0; d];
+        for x in xs {
+            for ((s, &v), &m) in var.iter_mut().zip(x).zip(&mean) {
+                *s += (v - m) * (v - m);
+            }
+        }
+        let std =
+            var.into_iter().map(|v| (v / n).sqrt()).map(|s| if s < 1e-9 { 1.0 } else { s }).collect();
+        Self { mean, std }
+    }
+
+    /// Scales one row.
+    pub fn transform(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.mean.len(), "dimension mismatch");
+        x.iter()
+            .zip(&self.mean)
+            .zip(&self.std)
+            .map(|((&v, &m), &s)| (v - m) / s)
+            .collect()
+    }
+
+    /// Scales a batch.
+    pub fn transform_batch(&self, xs: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        xs.iter().map(|x| self.transform(x)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_training_data_has_zero_mean_unit_std() {
+        let xs: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64, 100.0 - 2.0 * i as f64]).collect();
+        let sc = StandardScaler::fit(&xs);
+        let scaled = sc.transform_batch(&xs);
+        for d in 0..2 {
+            let mean: f64 = scaled.iter().map(|r| r[d]).sum::<f64>() / 50.0;
+            let var: f64 = scaled.iter().map(|r| r[d] * r[d]).sum::<f64>() / 50.0;
+            assert!(mean.abs() < 1e-10);
+            assert!((var - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn constant_feature_passes_through() {
+        let xs = vec![vec![3.0], vec![3.0], vec![3.0]];
+        let sc = StandardScaler::fit(&xs);
+        assert_eq!(sc.transform(&[3.0]), vec![0.0]);
+        assert_eq!(sc.transform(&[4.0]), vec![1.0]);
+    }
+}

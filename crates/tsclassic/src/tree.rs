@@ -1,0 +1,324 @@
+//! CART decision tree (Gini impurity), the base learner for the forest and
+//! the stump pool of AdaBoost.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A trained decision tree.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    nodes: Vec<Node>,
+    n_classes: usize,
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        /// Class-probability distribution at the leaf.
+        dist: Vec<f64>,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// Tree-growing parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeConfig {
+    /// Maximum depth (1 = decision stump).
+    pub max_depth: usize,
+    /// Minimum samples to attempt a split.
+    pub min_samples_split: usize,
+    /// Number of random features considered per split
+    /// (`None` = all features; forests use √d).
+    pub max_features: Option<usize>,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        Self { max_depth: 12, min_samples_split: 2, max_features: None }
+    }
+}
+
+impl DecisionTree {
+    /// Grows a tree on (optionally weighted) samples.
+    ///
+    /// `sample_weights` of `None` means uniform.
+    ///
+    /// # Panics
+    /// Panics on empty/ragged input.
+    pub fn fit(
+        xs: &[Vec<f64>],
+        ys: &[usize],
+        sample_weights: Option<&[f64]>,
+        cfg: TreeConfig,
+        rng: &mut StdRng,
+    ) -> Self {
+        assert!(!xs.is_empty(), "tree needs training data");
+        assert_eq!(xs.len(), ys.len(), "labels mismatch");
+        let n_classes = ys.iter().copied().max().unwrap_or(0) + 1;
+        let idx: Vec<usize> = (0..xs.len()).collect();
+        let mut tree = Self { nodes: Vec::new(), n_classes };
+        tree.grow(xs, ys, sample_weights, &idx, 0, cfg, rng);
+        tree
+    }
+
+    fn grow(
+        &mut self,
+        xs: &[Vec<f64>],
+        ys: &[usize],
+        weights: Option<&[f64]>,
+        idx: &[usize],
+        depth: usize,
+        cfg: TreeConfig,
+        rng: &mut StdRng,
+    ) -> usize {
+        let dist = class_distribution(ys, weights, idx, self.n_classes);
+        let node_gini = gini(&dist);
+        let make_leaf = depth >= cfg.max_depth
+            || idx.len() < cfg.min_samples_split
+            || node_gini < 1e-12;
+        if make_leaf {
+            self.nodes.push(Node::Leaf { dist });
+            return self.nodes.len() - 1;
+        }
+
+        let d = xs[0].len();
+        let n_feats = cfg.max_features.unwrap_or(d).min(d).max(1);
+        // Sample features without replacement.
+        let mut features: Vec<usize> = (0..d).collect();
+        for i in 0..n_feats {
+            let j = rng.random_range(i..d);
+            features.swap(i, j);
+        }
+        let features = &features[..n_feats];
+
+        let mut best: Option<(f64, usize, f64)> = None; // (impurity, feature, threshold)
+        for &f in features {
+            if let Some((imp, thr)) = best_split_on_feature(xs, ys, weights, idx, f, self.n_classes)
+            {
+                if best.map_or(true, |(bi, _, _)| imp < bi) {
+                    best = Some((imp, f, thr));
+                }
+            }
+        }
+
+        let Some((imp, feature, threshold)) = best else {
+            self.nodes.push(Node::Leaf { dist });
+            return self.nodes.len() - 1;
+        };
+        if imp >= node_gini - 1e-12 {
+            // No impurity improvement.
+            self.nodes.push(Node::Leaf { dist });
+            return self.nodes.len() - 1;
+        }
+
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+            idx.iter().partition(|&&i| xs[i][feature] <= threshold);
+        if left_idx.is_empty() || right_idx.is_empty() {
+            self.nodes.push(Node::Leaf { dist });
+            return self.nodes.len() - 1;
+        }
+
+        // Reserve this node's slot, then grow children.
+        let me = self.nodes.len();
+        self.nodes.push(Node::Leaf { dist: vec![] }); // placeholder
+        let left = self.grow(xs, ys, weights, &left_idx, depth + 1, cfg, rng);
+        let right = self.grow(xs, ys, weights, &right_idx, depth + 1, cfg, rng);
+        self.nodes[me] = Node::Split { feature, threshold, left, right };
+        me
+    }
+
+    /// Class-probability distribution for one sample.
+    pub fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+        let mut node = 0usize;
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { dist } => return dist.clone(),
+                Node::Split { feature, threshold, left, right } => {
+                    node = if x[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Hard prediction.
+    pub fn predict(&self, x: &[f64]) -> usize {
+        argmax(&self.predict_proba(x))
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Number of nodes (for tests / introspection).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+fn argmax(xs: &[f64]) -> usize {
+    xs.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+fn class_distribution(
+    ys: &[usize],
+    weights: Option<&[f64]>,
+    idx: &[usize],
+    n_classes: usize,
+) -> Vec<f64> {
+    let mut dist = vec![0.0; n_classes];
+    let mut total = 0.0;
+    for &i in idx {
+        let w = weights.map_or(1.0, |w| w[i]);
+        dist[ys[i]] += w;
+        total += w;
+    }
+    if total > 0.0 {
+        for v in &mut dist {
+            *v /= total;
+        }
+    }
+    dist
+}
+
+fn gini(dist: &[f64]) -> f64 {
+    1.0 - dist.iter().map(|p| p * p).sum::<f64>()
+}
+
+/// Finds the weighted-Gini-optimal threshold on one feature.
+/// Returns `(weighted child impurity, threshold)` or `None` if the feature is
+/// constant on the subset.
+fn best_split_on_feature(
+    xs: &[Vec<f64>],
+    ys: &[usize],
+    weights: Option<&[f64]>,
+    idx: &[usize],
+    feature: usize,
+    n_classes: usize,
+) -> Option<(f64, f64)> {
+    let mut order: Vec<usize> = idx.to_vec();
+    order.sort_by(|&a, &b| {
+        xs[a][feature]
+            .partial_cmp(&xs[b][feature])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let first = xs[order[0]][feature];
+    let last = xs[*order.last().expect("non-empty")][feature];
+    if (last - first).abs() < 1e-12 {
+        return None;
+    }
+
+    let mut left_counts = vec![0.0f64; n_classes];
+    let mut right_counts = vec![0.0f64; n_classes];
+    let mut right_total = 0.0;
+    for &i in &order {
+        let w = weights.map_or(1.0, |w| w[i]);
+        right_counts[ys[i]] += w;
+        right_total += w;
+    }
+    let mut left_total = 0.0;
+    let total = right_total;
+
+    let mut best: Option<(f64, f64)> = None;
+    for k in 0..order.len() - 1 {
+        let i = order[k];
+        let w = weights.map_or(1.0, |w| w[i]);
+        left_counts[ys[i]] += w;
+        left_total += w;
+        right_counts[ys[i]] -= w;
+        right_total -= w;
+        let v = xs[i][feature];
+        let v_next = xs[order[k + 1]][feature];
+        if v_next - v < 1e-12 {
+            continue; // ties cannot be split here
+        }
+        let gl = gini_counts(&left_counts, left_total);
+        let gr = gini_counts(&right_counts, right_total);
+        let imp = (left_total * gl + right_total * gr) / total;
+        let thr = (v + v_next) / 2.0;
+        if best.map_or(true, |(bi, _)| imp < bi) {
+            best = Some((imp, thr));
+        }
+    }
+    best
+}
+
+fn gini_counts(counts: &[f64], total: f64) -> f64 {
+    if total <= 0.0 {
+        return 0.0;
+    }
+    1.0 - counts.iter().map(|c| (c / total) * (c / total)).sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testdata::{blobs, xor};
+    use rand::SeedableRng;
+
+    #[test]
+    fn fits_blobs_perfectly() {
+        let (xs, ys) = blobs();
+        let mut rng = StdRng::seed_from_u64(0);
+        let tree = DecisionTree::fit(&xs, &ys, None, TreeConfig::default(), &mut rng);
+        for (x, &y) in xs.iter().zip(&ys) {
+            assert_eq!(tree.predict(x), y);
+        }
+    }
+
+    #[test]
+    fn solves_xor_unlike_linear_models() {
+        let (xs, ys) = xor();
+        let mut rng = StdRng::seed_from_u64(1);
+        let tree = DecisionTree::fit(&xs, &ys, None, TreeConfig::default(), &mut rng);
+        let acc = xs
+            .iter()
+            .zip(&ys)
+            .filter(|(x, &y)| tree.predict(x) == y)
+            .count() as f64
+            / xs.len() as f64;
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn depth_one_is_a_stump() {
+        let (xs, ys) = blobs();
+        let mut rng = StdRng::seed_from_u64(2);
+        let cfg = TreeConfig { max_depth: 1, ..Default::default() };
+        let tree = DecisionTree::fit(&xs, &ys, None, cfg, &mut rng);
+        // Stump: 1 split + 2 leaves.
+        assert!(tree.node_count() <= 3);
+    }
+
+    #[test]
+    fn sample_weights_shift_the_leaf_distribution() {
+        // Two overlapping points with different labels: weight decides.
+        let xs = vec![vec![0.0], vec![0.0]];
+        let ys = vec![0, 1];
+        let mut rng = StdRng::seed_from_u64(3);
+        let heavy_one =
+            DecisionTree::fit(&xs, &ys, Some(&[0.1, 0.9]), TreeConfig::default(), &mut rng);
+        assert_eq!(heavy_one.predict(&[0.0]), 1);
+        let heavy_zero =
+            DecisionTree::fit(&xs, &ys, Some(&[0.9, 0.1]), TreeConfig::default(), &mut rng);
+        assert_eq!(heavy_zero.predict(&[0.0]), 0);
+    }
+
+    #[test]
+    fn proba_sums_to_one() {
+        let (xs, ys) = blobs();
+        let mut rng = StdRng::seed_from_u64(4);
+        let tree = DecisionTree::fit(&xs, &ys, None, TreeConfig::default(), &mut rng);
+        let p = tree.predict_proba(&[1.0, 1.0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,304 @@
+//! Anomaly taxonomy and injection.
+//!
+//! Each [`AnomalyKind`] distorts a clean base signal in a way that favours a
+//! different class of detector, which is what makes model selection a
+//! non-trivial problem on the synthetic benchmark:
+//!
+//! | Kind | Typical winner class |
+//! |---|---|
+//! | `Spike` / `Dip` | value-density detectors (IForest1, HBOS) |
+//! | `LevelShift` | distribution / projection detectors (PCA, HBOS) |
+//! | `NoiseBurst` | boundary / reconstruction detectors (OCSVM, AE) |
+//! | `Flatline` | discord detectors (MP, NORMA) |
+//! | `PatternDistortion` | discord / normal-pattern detectors (MP, NORMA) |
+//! | `FrequencyShift` | forecasting detectors (LSTM-AD, CNN) |
+//! | `TrendBreak` | regression detectors (POLY) |
+//! | `AmplitudeChange` | normal-pattern detectors (NORMA, AE) |
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The type of an injected anomaly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AnomalyKind {
+    /// Isolated extreme high values (1–3 points).
+    Spike,
+    /// Isolated extreme low values (1–3 points).
+    Dip,
+    /// The signal mean jumps for the duration of the interval.
+    LevelShift,
+    /// White noise of large variance is added over the interval.
+    NoiseBurst,
+    /// The signal freezes at a constant value.
+    Flatline,
+    /// A periodic cycle is replaced by a distorted version (e.g. premature
+    /// contraction in ECG).
+    PatternDistortion,
+    /// The local oscillation frequency changes.
+    FrequencyShift,
+    /// The local trend slope changes abruptly.
+    TrendBreak,
+    /// The local amplitude is scaled up or down.
+    AmplitudeChange,
+}
+
+impl AnomalyKind {
+    /// All kinds, for enumeration in tests.
+    pub const ALL: [AnomalyKind; 9] = [
+        AnomalyKind::Spike,
+        AnomalyKind::Dip,
+        AnomalyKind::LevelShift,
+        AnomalyKind::NoiseBurst,
+        AnomalyKind::Flatline,
+        AnomalyKind::PatternDistortion,
+        AnomalyKind::FrequencyShift,
+        AnomalyKind::TrendBreak,
+        AnomalyKind::AmplitudeChange,
+    ];
+
+    /// A short stable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AnomalyKind::Spike => "spike",
+            AnomalyKind::Dip => "dip",
+            AnomalyKind::LevelShift => "level_shift",
+            AnomalyKind::NoiseBurst => "noise_burst",
+            AnomalyKind::Flatline => "flatline",
+            AnomalyKind::PatternDistortion => "pattern_distortion",
+            AnomalyKind::FrequencyShift => "frequency_shift",
+            AnomalyKind::TrendBreak => "trend_break",
+            AnomalyKind::AmplitudeChange => "amplitude_change",
+        }
+    }
+
+    /// Default interval length range (in points) for this kind, given the
+    /// base period of the signal.
+    pub fn length_range(&self, period: usize) -> (usize, usize) {
+        match self {
+            AnomalyKind::Spike | AnomalyKind::Dip => (1, 3),
+            AnomalyKind::LevelShift => (period, 3 * period),
+            AnomalyKind::NoiseBurst => (period / 2 + 1, 2 * period),
+            AnomalyKind::Flatline => (period / 2 + 1, 2 * period),
+            AnomalyKind::PatternDistortion => (period.max(4), 2 * period),
+            AnomalyKind::FrequencyShift => (period, 3 * period),
+            AnomalyKind::TrendBreak => (period, 3 * period),
+            AnomalyKind::AmplitudeChange => (period, 2 * period),
+        }
+    }
+}
+
+/// A labeled anomaly occupying `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnomalyInterval {
+    /// First anomalous index.
+    pub start: usize,
+    /// One past the last anomalous index.
+    pub end: usize,
+    /// What was injected.
+    pub kind: AnomalyKind,
+}
+
+impl AnomalyInterval {
+    /// Interval length in points.
+    pub fn len(&self) -> usize {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// Whether the interval is empty.
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+
+    /// True if `t` lies inside the interval.
+    pub fn contains(&self, t: usize) -> bool {
+        t >= self.start && t < self.end
+    }
+}
+
+/// Applies the distortion of `kind` to `values[start..end]` in place.
+///
+/// `scale` is the characteristic amplitude of the clean signal (used to size
+/// the distortion) and `period` its base period.
+pub fn inject(
+    values: &mut [f64],
+    kind: AnomalyKind,
+    start: usize,
+    end: usize,
+    scale: f64,
+    period: usize,
+    rng: &mut StdRng,
+) {
+    let end = end.min(values.len());
+    if start >= end {
+        return;
+    }
+    let seg = &mut values[start..end];
+    let n = seg.len();
+    match kind {
+        AnomalyKind::Spike => {
+            let magnitude = scale * rng.random_range(3.0..6.0);
+            for v in seg.iter_mut() {
+                *v += magnitude;
+            }
+        }
+        AnomalyKind::Dip => {
+            let magnitude = scale * rng.random_range(3.0..6.0);
+            for v in seg.iter_mut() {
+                *v -= magnitude;
+            }
+        }
+        AnomalyKind::LevelShift => {
+            let sign = if rng.random_bool(0.5) { 1.0 } else { -1.0 };
+            let magnitude = sign * scale * rng.random_range(1.5..3.0);
+            for v in seg.iter_mut() {
+                *v += magnitude;
+            }
+        }
+        AnomalyKind::NoiseBurst => {
+            let sigma = scale * rng.random_range(1.5..3.0);
+            for v in seg.iter_mut() {
+                *v += sigma * gaussian(rng);
+            }
+        }
+        AnomalyKind::Flatline => {
+            let level = seg[0];
+            for v in seg.iter_mut() {
+                *v = level;
+            }
+        }
+        AnomalyKind::PatternDistortion => {
+            // Replace the segment with a compressed + inverted echo of
+            // itself plus a bump — structurally wrong, value range similar.
+            let bump_center = n as f64 / 2.0;
+            let width = (n as f64 / 4.0).max(1.0);
+            let original: Vec<f64> = seg.to_vec();
+            for (i, v) in seg.iter_mut().enumerate() {
+                let src = (i * 2) % n;
+                let bump = scale
+                    * 1.5
+                    * (-((i as f64 - bump_center) / width).powi(2)).exp();
+                *v = -0.6 * original[src] + 0.4 * original[i] + bump;
+            }
+        }
+        AnomalyKind::FrequencyShift => {
+            // Resample the segment at double speed (reads past the segment
+            // are clamped), doubling the local frequency.
+            let original: Vec<f64> = seg.to_vec();
+            for (i, v) in seg.iter_mut().enumerate() {
+                let src = (i * 2).min(n - 1);
+                *v = original[src];
+            }
+            let _ = period;
+        }
+        AnomalyKind::TrendBreak => {
+            let slope = scale * rng.random_range(0.05..0.15)
+                * if rng.random_bool(0.5) { 1.0 } else { -1.0 };
+            for (i, v) in seg.iter_mut().enumerate() {
+                *v += slope * i as f64;
+            }
+        }
+        AnomalyKind::AmplitudeChange => {
+            let factor = if rng.random_bool(0.5) {
+                rng.random_range(2.0..3.5)
+            } else {
+                rng.random_range(0.05..0.3)
+            };
+            let mean: f64 = seg.iter().sum::<f64>() / n as f64;
+            for v in seg.iter_mut() {
+                *v = mean + (*v - mean) * factor;
+            }
+        }
+    }
+}
+
+/// Box–Muller standard Gaussian.
+pub(crate) fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn sine(n: usize) -> Vec<f64> {
+        (0..n).map(|t| (2.0 * std::f64::consts::PI * t as f64 / 20.0).sin()).collect()
+    }
+
+    #[test]
+    fn spike_raises_values() {
+        let mut v = sine(100);
+        let before = v[50];
+        let mut rng = StdRng::seed_from_u64(1);
+        inject(&mut v, AnomalyKind::Spike, 50, 52, 1.0, 20, &mut rng);
+        assert!(v[50] > before + 2.0);
+        // Outside the interval untouched.
+        assert_eq!(v[49], sine(100)[49]);
+    }
+
+    #[test]
+    fn flatline_freezes_segment() {
+        let mut v = sine(100);
+        let mut rng = StdRng::seed_from_u64(2);
+        inject(&mut v, AnomalyKind::Flatline, 30, 50, 1.0, 20, &mut rng);
+        let first = v[30];
+        assert!(v[30..50].iter().all(|&x| x == first));
+    }
+
+    #[test]
+    fn level_shift_moves_mean() {
+        let mut v = sine(200);
+        let mut rng = StdRng::seed_from_u64(3);
+        inject(&mut v, AnomalyKind::LevelShift, 100, 140, 1.0, 20, &mut rng);
+        let shifted_mean: f64 = v[100..140].iter().sum::<f64>() / 40.0;
+        assert!(shifted_mean.abs() > 1.0, "mean={shifted_mean}");
+    }
+
+    #[test]
+    fn noise_burst_raises_variance() {
+        let mut v = vec![0.0; 200];
+        let mut rng = StdRng::seed_from_u64(4);
+        inject(&mut v, AnomalyKind::NoiseBurst, 50, 150, 1.0, 20, &mut rng);
+        let var: f64 = v[50..150].iter().map(|x| x * x).sum::<f64>() / 100.0;
+        assert!(var > 0.5, "var={var}");
+        assert!(v[..50].iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn amplitude_change_scales_around_mean() {
+        let mut v = sine(200);
+        let mut rng = StdRng::seed_from_u64(5);
+        inject(&mut v, AnomalyKind::AmplitudeChange, 60, 100, 1.0, 20, &mut rng);
+        let max_inside = v[60..100].iter().cloned().fold(f64::MIN, f64::max).abs();
+        assert!(max_inside > 1.5 || max_inside < 0.5, "max={max_inside}");
+    }
+
+    #[test]
+    fn out_of_range_injection_is_clipped() {
+        let mut v = sine(50);
+        let mut rng = StdRng::seed_from_u64(6);
+        inject(&mut v, AnomalyKind::Spike, 45, 500, 1.0, 20, &mut rng);
+        assert_eq!(v.len(), 50);
+        inject(&mut v, AnomalyKind::Spike, 60, 70, 1.0, 20, &mut rng); // no-op
+    }
+
+    #[test]
+    fn all_kinds_produce_finite_values() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for kind in AnomalyKind::ALL {
+            let mut v = sine(300);
+            inject(&mut v, kind, 100, 160, 1.0, 20, &mut rng);
+            assert!(v.iter().all(|x| x.is_finite()), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn length_ranges_are_valid() {
+        for kind in AnomalyKind::ALL {
+            let (lo, hi) = kind.length_range(32);
+            assert!(lo >= 1 && lo <= hi, "{kind:?}: {lo}..{hi}");
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! Benchmark assembly: families → labeled train/test series.
+
+use crate::anomaly::{gaussian, inject, AnomalyInterval, AnomalyKind};
+use crate::families::{all_families, DatasetFamily};
+use crate::series::TimeSeries;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Size and seed parameters of a benchmark instantiation.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct BenchmarkConfig {
+    /// Training series generated per family.
+    pub train_series_per_family: usize,
+    /// Test series generated per family (only `in_test_split` families).
+    pub test_series_per_family: usize,
+    /// Points per series.
+    pub series_length: usize,
+    /// Master seed; every series derives its own stream from it.
+    pub seed: u64,
+}
+
+impl Default for BenchmarkConfig {
+    fn default() -> Self {
+        Self {
+            train_series_per_family: 12,
+            test_series_per_family: 6,
+            series_length: 1200,
+            seed: 7,
+        }
+    }
+}
+
+impl BenchmarkConfig {
+    /// A small configuration for unit/integration tests.
+    pub fn tiny() -> Self {
+        Self {
+            train_series_per_family: 2,
+            test_series_per_family: 1,
+            series_length: 400,
+            seed: 7,
+        }
+    }
+
+    /// A stable fingerprint of the configuration, used as the cache key for
+    /// expensive derived artifacts (detector label matrices).
+    pub fn fingerprint(&self) -> String {
+        format!(
+            "bench-t{}-e{}-l{}-s{}",
+            self.train_series_per_family,
+            self.test_series_per_family,
+            self.series_length,
+            self.seed
+        )
+    }
+}
+
+/// A generated benchmark: labeled train and test series across families.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// Configuration that produced this benchmark.
+    pub config: BenchmarkConfig,
+    /// Training series (all 16 families).
+    pub train: Vec<TimeSeries>,
+    /// Test series (14 test-split families).
+    pub test: Vec<TimeSeries>,
+}
+
+impl Benchmark {
+    /// Generates the benchmark deterministically from its config.
+    pub fn generate(config: BenchmarkConfig) -> Self {
+        let families = all_families();
+        let mut train = Vec::new();
+        let mut test = Vec::new();
+        for (fi, family) in families.iter().enumerate() {
+            for s in 0..config.train_series_per_family {
+                let seed = derive_seed(config.seed, fi as u64, s as u64, 0);
+                train.push(generate_series(
+                    family,
+                    config.series_length,
+                    seed,
+                    &format!("{}-train-{s:03}", family.name),
+                ));
+            }
+            if family.in_test_split {
+                for s in 0..config.test_series_per_family {
+                    let seed = derive_seed(config.seed, fi as u64, s as u64, 1);
+                    test.push(generate_series(
+                        family,
+                        config.series_length,
+                        seed,
+                        &format!("{}-test-{s:03}", family.name),
+                    ));
+                }
+            }
+        }
+        Self { config, train, test }
+    }
+
+    /// Test series grouped by dataset family, in family order.
+    pub fn test_by_family(&self) -> Vec<(&str, Vec<&TimeSeries>)> {
+        let mut out: Vec<(&str, Vec<&TimeSeries>)> = Vec::new();
+        for ts in &self.test {
+            match out.iter_mut().find(|(name, _)| *name == ts.dataset) {
+                Some((_, list)) => list.push(ts),
+                None => out.push((ts.dataset.as_str(), vec![ts])),
+            }
+        }
+        out
+    }
+}
+
+/// Mixes the master seed with indices (splitmix-style) for stable per-series
+/// streams that do not depend on generation order.
+fn derive_seed(master: u64, a: u64, b: u64, c: u64) -> u64 {
+    let mut x = master
+        ^ a.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ b.wrapping_mul(0xBF58_476D_1CE4_E5B9)
+        ^ c.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x
+}
+
+/// Generates one labeled series of a family.
+pub fn generate_series(
+    family: &DatasetFamily,
+    length: usize,
+    seed: u64,
+    id: &str,
+) -> TimeSeries {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut values = family.base.generate(length, &mut rng);
+    let period = family.base.period();
+
+    // Characteristic amplitude of the clean signal, for sizing distortions.
+    let mean = values.iter().sum::<f64>() / length as f64;
+    let scale = (values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
+        / length as f64)
+        .sqrt()
+        .max(0.1);
+
+    // Observation noise.
+    let sigma = family.noise_level * scale;
+    if sigma > 0.0 {
+        for v in values.iter_mut() {
+            *v += sigma * gaussian(&mut rng);
+        }
+    }
+
+    // Sample anomaly intervals: count, kinds, non-overlapping placements.
+    let n_anomalies = rng.random_range(1..=family.max_anomalies);
+    let mut intervals: Vec<AnomalyInterval> = Vec::new();
+    let mut attempts = 0;
+    while intervals.len() < n_anomalies && attempts < 50 {
+        attempts += 1;
+        let kind = sample_kind(family, &mut rng);
+        let (lo, hi) = kind.length_range(period);
+        let max_len = (length / 6).max(2);
+        let len = rng.random_range(lo..=hi.max(lo)).min(max_len);
+        let margin = (length / 20).max(2);
+        if length <= 2 * margin + len {
+            break;
+        }
+        let start = rng.random_range(margin..length - margin - len);
+        let end = start + len;
+        // Keep a gap of one period between anomalies so labels stay crisp.
+        let gap = period;
+        if intervals
+            .iter()
+            .any(|iv| start < iv.end + gap && iv.start < end + gap)
+        {
+            continue;
+        }
+        intervals.push(AnomalyInterval { start, end, kind });
+    }
+
+    for iv in &intervals {
+        inject(&mut values, iv.kind, iv.start, iv.end, scale, period, &mut rng);
+    }
+
+    TimeSeries::new(id, family.name, values, intervals)
+}
+
+fn sample_kind(family: &DatasetFamily, rng: &mut StdRng) -> AnomalyKind {
+    let total: f64 = family.anomaly_profile.iter().map(|(_, w)| w).sum();
+    let mut pick = rng.random_range(0.0..total);
+    for &(kind, w) in family.anomaly_profile {
+        if pick < w {
+            return kind;
+        }
+        pick -= w;
+    }
+    family.anomaly_profile.last().expect("non-empty profile").0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_has_expected_counts() {
+        let cfg = BenchmarkConfig::tiny();
+        let b = Benchmark::generate(cfg);
+        assert_eq!(b.train.len(), 16 * cfg.train_series_per_family);
+        assert_eq!(b.test.len(), 14 * cfg.test_series_per_family);
+    }
+
+    #[test]
+    fn every_series_has_at_least_one_anomaly() {
+        let b = Benchmark::generate(BenchmarkConfig::tiny());
+        for ts in b.train.iter().chain(&b.test) {
+            assert!(!ts.anomalies.is_empty(), "{} has no anomalies", ts.id);
+            assert!(ts.contamination() < 0.5, "{} too contaminated", ts.id);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Benchmark::generate(BenchmarkConfig::tiny());
+        let b = Benchmark::generate(BenchmarkConfig::tiny());
+        assert_eq!(a.train[3].values, b.train[3].values);
+        assert_eq!(a.test[5].anomalies, b.test[5].anomalies);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut cfg = BenchmarkConfig::tiny();
+        let a = Benchmark::generate(cfg);
+        cfg.seed = 99;
+        let b = Benchmark::generate(cfg);
+        assert_ne!(a.train[0].values, b.train[0].values);
+    }
+
+    #[test]
+    fn test_by_family_covers_fourteen_families() {
+        let b = Benchmark::generate(BenchmarkConfig::tiny());
+        let grouped = b.test_by_family();
+        assert_eq!(grouped.len(), 14);
+        for (_, list) in &grouped {
+            assert_eq!(list.len(), 1);
+        }
+    }
+
+    #[test]
+    fn anomalies_do_not_overlap() {
+        let b = Benchmark::generate(BenchmarkConfig::default());
+        for ts in &b.train {
+            for pair in ts.anomalies.windows(2) {
+                assert!(pair[0].end <= pair[1].start, "{}: overlap", ts.id);
+            }
+        }
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_configs() {
+        let a = BenchmarkConfig::default().fingerprint();
+        let mut cfg = BenchmarkConfig::default();
+        cfg.seed = 8;
+        assert_ne!(a, cfg.fingerprint());
+    }
+
+    #[test]
+    fn ids_encode_family_and_split() {
+        let b = Benchmark::generate(BenchmarkConfig::tiny());
+        assert!(b.train.iter().any(|t| t.id.starts_with("ECG-train-")));
+        assert!(b.test.iter().any(|t| t.id.starts_with("YAHOO-test-")));
+    }
+}

@@ -1,0 +1,237 @@
+//! The 16 dataset families mirroring the TSB-UAD subsets of Table 4.
+
+use crate::anomaly::AnomalyKind;
+use crate::signal::BaseSignal;
+
+/// Configuration of one synthetic dataset family.
+#[derive(Debug, Clone)]
+pub struct DatasetFamily {
+    /// Family name (matches the TSB-UAD subset it stands in for).
+    pub name: &'static str,
+    /// Domain description used verbatim in the MKI metadata text
+    /// (abridged from Table 4 of the paper).
+    pub description: &'static str,
+    /// Clean base signal.
+    pub base: BaseSignal,
+    /// Anomaly kinds this family exhibits, with sampling weights.
+    pub anomaly_profile: &'static [(AnomalyKind, f64)],
+    /// Expected number of anomalies per series (1..=this).
+    pub max_anomalies: usize,
+    /// Observation noise standard deviation relative to signal scale.
+    pub noise_level: f64,
+    /// Whether series from this family appear in the test split
+    /// (the paper trains on all 16 subsets but tests on 14).
+    pub in_test_split: bool,
+}
+
+/// All 16 families in a stable order.
+pub fn all_families() -> Vec<DatasetFamily> {
+    use AnomalyKind::*;
+    vec![
+        DatasetFamily {
+            name: "Dodgers",
+            description: "a loop sensor data for the Glendale on-ramp for the 101 North freeway in Los Angeles",
+            base: BaseSignal::PulseTrain { period: 60, duty: 0.45 },
+            anomaly_profile: &[(AmplitudeChange, 0.5), (Spike, 0.3), (LevelShift, 0.2)],
+            max_anomalies: 3,
+            noise_level: 0.08,
+            in_test_split: false,
+        },
+        DatasetFamily {
+            name: "ECG",
+            description: "a standard electrocardiogram dataset where the anomalies represent ventricular premature contractions",
+            base: BaseSignal::EcgBeat { period: 48 },
+            anomaly_profile: &[(PatternDistortion, 0.8), (Flatline, 0.2)],
+            max_anomalies: 3,
+            noise_level: 0.03,
+            in_test_split: true,
+        },
+        DatasetFamily {
+            name: "IOPS",
+            description: "a dataset with performance indicators that reflect the scale, quality of web services, and health status of a machine",
+            base: BaseSignal::Ar1 { phi: 0.92, drift: 0.0 },
+            anomaly_profile: &[(Spike, 0.45), (LevelShift, 0.35), (Dip, 0.2)],
+            max_anomalies: 4,
+            noise_level: 0.10,
+            in_test_split: true,
+        },
+        DatasetFamily {
+            name: "KDD21",
+            description: "a composite dataset released in a recent SIGKDD 2021 competition with 250 time series",
+            base: BaseSignal::SineMix { period: 36, harmonics: 2 },
+            anomaly_profile: &[
+                (PatternDistortion, 0.3),
+                (Spike, 0.2),
+                (FrequencyShift, 0.2),
+                (NoiseBurst, 0.15),
+                (LevelShift, 0.15),
+            ],
+            max_anomalies: 2,
+            noise_level: 0.06,
+            in_test_split: true,
+        },
+        DatasetFamily {
+            name: "MGAB",
+            description: "composed of Mackey-Glass time series with non-trivial anomalies that exhibit chaotic behavior difficult for the human eye to distinguish",
+            base: BaseSignal::MackeyGlass,
+            anomaly_profile: &[(PatternDistortion, 0.6), (FrequencyShift, 0.4)],
+            max_anomalies: 2,
+            noise_level: 0.01,
+            in_test_split: true,
+        },
+        DatasetFamily {
+            name: "NAB",
+            description: "composed of labeled real-world and artificial time series including AWS server metrics, online advertisement clicking rates, real time traffic data, and Twitter mentions",
+            base: BaseSignal::Ar1 { phi: 0.85, drift: 0.0002 },
+            anomaly_profile: &[(Spike, 0.35), (LevelShift, 0.3), (NoiseBurst, 0.2), (Dip, 0.15)],
+            max_anomalies: 3,
+            noise_level: 0.12,
+            in_test_split: true,
+        },
+        DatasetFamily {
+            name: "SensorScope",
+            description: "a collection of environmental data, such as temperature, humidity, and solar radiation, collected from a tiered sensor measurement system",
+            base: BaseSignal::SineMix { period: 96, harmonics: 1 },
+            anomaly_profile: &[(Flatline, 0.4), (Spike, 0.3), (NoiseBurst, 0.3)],
+            max_anomalies: 3,
+            noise_level: 0.10,
+            in_test_split: true,
+        },
+        DatasetFamily {
+            name: "YAHOO",
+            description: "a dataset published by Yahoo labs consisting of real and synthetic time series based on the real production traffic to Yahoo production systems",
+            base: BaseSignal::SineMix { period: 48, harmonics: 2 },
+            anomaly_profile: &[(Spike, 0.4), (Dip, 0.25), (LevelShift, 0.2), (TrendBreak, 0.15)],
+            max_anomalies: 4,
+            noise_level: 0.07,
+            in_test_split: true,
+        },
+        DatasetFamily {
+            name: "Daphnet",
+            description: "contains the annotated readings of acceleration sensors at the hip and leg of Parkinson's disease patients that experience freezing of gait during walking tasks",
+            base: BaseSignal::SineMix { period: 20, harmonics: 3 },
+            anomaly_profile: &[(Flatline, 0.45), (FrequencyShift, 0.35), (AmplitudeChange, 0.2)],
+            max_anomalies: 3,
+            noise_level: 0.15,
+            in_test_split: true,
+        },
+        DatasetFamily {
+            name: "GHL",
+            description: "a Gasoil Heating Loop dataset containing the status of 3 reservoirs such as the temperature and level, where anomalies indicate changes in max temperature or pump frequency",
+            base: BaseSignal::StepRegime { dwell: 80, levels: 3 },
+            anomaly_profile: &[(TrendBreak, 0.4), (LevelShift, 0.35), (Spike, 0.25)],
+            max_anomalies: 2,
+            noise_level: 0.05,
+            in_test_split: true,
+        },
+        DatasetFamily {
+            name: "Genesis",
+            description: "a portable pick-and-place demonstrator which uses an air tank to supply all the gripping and storage units",
+            base: BaseSignal::PulseTrain { period: 40, duty: 0.3 },
+            // "Stutter" anomalies of the demonstrator present as short
+            // pattern distortions, so they share that kind.
+            anomaly_profile: &[(PatternDistortion, 0.65), (Flatline, 0.35)],
+            max_anomalies: 2,
+            noise_level: 0.04,
+            in_test_split: true,
+        },
+        DatasetFamily {
+            name: "MITDB",
+            description: "contains 48 half-hour excerpts of two-channel ambulatory ECG recordings obtained from 47 subjects studied by the BIH Arrhythmia Laboratory",
+            base: BaseSignal::EcgBeat { period: 40 },
+            anomaly_profile: &[(PatternDistortion, 0.6), (Spike, 0.2), (AmplitudeChange, 0.2)],
+            max_anomalies: 4,
+            noise_level: 0.08,
+            in_test_split: true,
+        },
+        DatasetFamily {
+            name: "OPPORTUNITY",
+            description: "a dataset devised to benchmark human activity recognition algorithms comprising the readings of motion sensors recorded while users executed typical daily activities",
+            base: BaseSignal::StepRegime { dwell: 50, levels: 5 },
+            anomaly_profile: &[(NoiseBurst, 0.4), (LevelShift, 0.3), (Flatline, 0.3)],
+            max_anomalies: 3,
+            noise_level: 0.12,
+            in_test_split: true,
+        },
+        DatasetFamily {
+            name: "Occupancy",
+            description: "contains experimental data used for binary classification of room occupancy from temperature, humidity, light, and CO2",
+            base: BaseSignal::PulseTrain { period: 120, duty: 0.4 },
+            anomaly_profile: &[(LevelShift, 0.45), (Spike, 0.3), (Flatline, 0.25)],
+            max_anomalies: 2,
+            noise_level: 0.06,
+            in_test_split: false,
+        },
+        DatasetFamily {
+            name: "SMD",
+            description: "a 5-week-long dataset collected from a large Internet company containing 3 groups of entities from 28 different machines",
+            base: BaseSignal::Ar1 { phi: 0.9, drift: 0.0 },
+            anomaly_profile: &[(Spike, 0.3), (NoiseBurst, 0.3), (LevelShift, 0.25), (Dip, 0.15)],
+            max_anomalies: 4,
+            noise_level: 0.09,
+            in_test_split: true,
+        },
+        DatasetFamily {
+            name: "SVDB",
+            description: "includes 78 half-hour ECG recordings chosen to supplement the examples of supraventricular arrhythmias in the MIT-BIH Arrhythmia Database",
+            base: BaseSignal::EcgBeat { period: 32 },
+            anomaly_profile: &[(PatternDistortion, 0.7), (FrequencyShift, 0.3)],
+            max_anomalies: 4,
+            noise_level: 0.05,
+            in_test_split: true,
+        },
+    ]
+}
+
+/// Names of the 14 families used in the test split (the paper's Fig. 4).
+pub fn test_family_names() -> Vec<&'static str> {
+    all_families().iter().filter(|f| f.in_test_split).map(|f| f.name).collect()
+}
+
+/// Looks a family up by name.
+pub fn family_by_name(name: &str) -> Option<DatasetFamily> {
+    all_families().into_iter().find(|f| f.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixteen_families_fourteen_in_test() {
+        let fams = all_families();
+        assert_eq!(fams.len(), 16);
+        assert_eq!(test_family_names().len(), 14);
+    }
+
+    #[test]
+    fn family_names_are_unique() {
+        let fams = all_families();
+        let names: std::collections::BTreeSet<_> = fams.iter().map(|f| f.name).collect();
+        assert_eq!(names.len(), fams.len());
+    }
+
+    #[test]
+    fn profiles_are_normalisable() {
+        for f in all_families() {
+            let total: f64 = f.anomaly_profile.iter().map(|(_, w)| w).sum();
+            assert!(total > 0.0, "{}", f.name);
+            assert!(f.max_anomalies >= 1, "{}", f.name);
+            assert!(f.noise_level >= 0.0, "{}", f.name);
+        }
+    }
+
+    #[test]
+    fn excluded_families_match_paper() {
+        let fams = all_families();
+        let excluded: Vec<_> =
+            fams.iter().filter(|f| !f.in_test_split).map(|f| f.name).collect();
+        assert_eq!(excluded, vec!["Dodgers", "Occupancy"]);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(family_by_name("ECG").is_some());
+        assert!(family_by_name("nope").is_none());
+    }
+}

@@ -1,0 +1,132 @@
+//! The labeled time-series container.
+
+use crate::anomaly::AnomalyInterval;
+
+/// A univariate time series with point-wise anomaly ground truth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeSeries {
+    /// Unique identifier, e.g. `"ECG-train-003"`.
+    pub id: String,
+    /// Name of the dataset family this series belongs to, e.g. `"ECG"`.
+    pub dataset: String,
+    /// The raw values.
+    pub values: Vec<f64>,
+    /// Labeled anomaly intervals (non-overlapping, sorted by start).
+    pub anomalies: Vec<AnomalyInterval>,
+}
+
+impl TimeSeries {
+    /// Creates a series, normalising the anomaly list (sorted, clipped to the
+    /// series length, overlaps merged).
+    pub fn new(
+        id: impl Into<String>,
+        dataset: impl Into<String>,
+        values: Vec<f64>,
+        mut anomalies: Vec<AnomalyInterval>,
+    ) -> Self {
+        let len = values.len();
+        anomalies.retain(|a| a.start < len && a.start < a.end);
+        for a in &mut anomalies {
+            a.end = a.end.min(len);
+        }
+        anomalies.sort_by_key(|a| a.start);
+        // Merge overlaps so labels are well defined.
+        let mut merged: Vec<AnomalyInterval> = Vec::with_capacity(anomalies.len());
+        for a in anomalies {
+            match merged.last_mut() {
+                Some(prev) if a.start <= prev.end => {
+                    prev.end = prev.end.max(a.end);
+                }
+                _ => merged.push(a),
+            }
+        }
+        Self { id: id.into(), dataset: dataset.into(), values, anomalies: merged }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Point-wise boolean anomaly labels.
+    pub fn point_labels(&self) -> Vec<bool> {
+        let mut labels = vec![false; self.values.len()];
+        for a in &self.anomalies {
+            for l in &mut labels[a.start..a.end] {
+                *l = true;
+            }
+        }
+        labels
+    }
+
+    /// Lengths of the labeled anomalies, in points (metadata input for MKI).
+    pub fn anomaly_lengths(&self) -> Vec<usize> {
+        self.anomalies.iter().map(|a| a.end - a.start).collect()
+    }
+
+    /// Fraction of points labeled anomalous.
+    pub fn contamination(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        let n: usize = self.anomalies.iter().map(|a| a.end - a.start).sum();
+        n as f64 / self.values.len() as f64
+    }
+
+    /// True if the point at `t` lies inside a labeled anomaly.
+    pub fn is_anomalous_at(&self, t: usize) -> bool {
+        self.anomalies.iter().any(|a| a.contains(t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::anomaly::AnomalyKind;
+
+    fn interval(start: usize, end: usize) -> AnomalyInterval {
+        AnomalyInterval { start, end, kind: AnomalyKind::Spike }
+    }
+
+    #[test]
+    fn point_labels_mark_intervals() {
+        let ts = TimeSeries::new("t", "D", vec![0.0; 10], vec![interval(2, 4), interval(7, 8)]);
+        let labels = ts.point_labels();
+        assert_eq!(
+            labels,
+            vec![false, false, true, true, false, false, false, true, false, false]
+        );
+    }
+
+    #[test]
+    fn overlapping_intervals_are_merged() {
+        let ts = TimeSeries::new("t", "D", vec![0.0; 10], vec![interval(2, 5), interval(4, 7)]);
+        assert_eq!(ts.anomalies.len(), 1);
+        assert_eq!((ts.anomalies[0].start, ts.anomalies[0].end), (2, 7));
+    }
+
+    #[test]
+    fn intervals_clipped_to_length() {
+        let ts = TimeSeries::new("t", "D", vec![0.0; 5], vec![interval(3, 100)]);
+        assert_eq!(ts.anomalies[0].end, 5);
+        let ts2 = TimeSeries::new("t", "D", vec![0.0; 5], vec![interval(10, 20)]);
+        assert!(ts2.anomalies.is_empty());
+    }
+
+    #[test]
+    fn contamination_fraction() {
+        let ts = TimeSeries::new("t", "D", vec![0.0; 10], vec![interval(0, 2)]);
+        assert!((ts.contamination() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn anomaly_lengths_reported() {
+        let ts = TimeSeries::new("t", "D", vec![0.0; 20], vec![interval(1, 4), interval(10, 15)]);
+        assert_eq!(ts.anomaly_lengths(), vec![3, 5]);
+    }
+}

@@ -1,0 +1,286 @@
+//! Clean base-signal generators for the synthetic benchmark families.
+
+use crate::anomaly::gaussian;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::f64::consts::PI;
+
+/// Which clean signal a dataset family is built from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BaseSignal {
+    /// Sum of a few sinusoids; `period` is the dominant one.
+    SineMix { period: usize, harmonics: usize },
+    /// Synthetic heartbeat train (Gaussian P/QRS/T bumps per cycle).
+    EcgBeat { period: usize },
+    /// Mackey–Glass chaotic series (τ = 17).
+    MackeyGlass,
+    /// Mean-reverting AR(1) process, optionally with linear drift.
+    Ar1 { phi: f64, drift: f64 },
+    /// Rectangular pulse train with the given duty cycle, smoothed.
+    PulseTrain { period: usize, duty: f64 },
+    /// Piecewise-constant regimes switching every ~`dwell` points.
+    StepRegime { dwell: usize, levels: usize },
+    /// Sawtooth wave.
+    Sawtooth { period: usize },
+}
+
+impl BaseSignal {
+    /// Characteristic period of the signal (used to size anomalies and the
+    /// detectors' subsequence windows).
+    pub fn period(&self) -> usize {
+        match *self {
+            BaseSignal::SineMix { period, .. } => period,
+            BaseSignal::EcgBeat { period } => period,
+            BaseSignal::MackeyGlass => 50,
+            BaseSignal::Ar1 { .. } => 32,
+            BaseSignal::PulseTrain { period, .. } => period,
+            BaseSignal::StepRegime { dwell, .. } => dwell,
+            BaseSignal::Sawtooth { period } => period,
+        }
+    }
+
+    /// Generates `n` points of the clean signal.
+    ///
+    /// The RNG drives per-series variation (phases, regime levels, AR noise)
+    /// so that two series of the same family are related but not identical.
+    pub fn generate(&self, n: usize, rng: &mut StdRng) -> Vec<f64> {
+        match *self {
+            BaseSignal::SineMix { period, harmonics } => sine_mix(n, period, harmonics, rng),
+            BaseSignal::EcgBeat { period } => ecg_beat(n, period, rng),
+            BaseSignal::MackeyGlass => mackey_glass(n, rng),
+            BaseSignal::Ar1 { phi, drift } => ar1(n, phi, drift, rng),
+            BaseSignal::PulseTrain { period, duty } => pulse_train(n, period, duty, rng),
+            BaseSignal::StepRegime { dwell, levels } => step_regime(n, dwell, levels, rng),
+            BaseSignal::Sawtooth { period } => sawtooth(n, period, rng),
+        }
+    }
+}
+
+fn sine_mix(n: usize, period: usize, harmonics: usize, rng: &mut StdRng) -> Vec<f64> {
+    let base_phase: f64 = rng.random_range(0.0..2.0 * PI);
+    let mut comps = vec![(1.0f64, 1.0f64, base_phase)];
+    for h in 1..=harmonics {
+        let freq_mult = (h + 1) as f64 * rng.random_range(0.95..1.05);
+        let amp = rng.random_range(0.15..0.45) / h as f64;
+        let phase = rng.random_range(0.0..2.0 * PI);
+        comps.push((freq_mult, amp, phase));
+    }
+    (0..n)
+        .map(|t| {
+            let x = 2.0 * PI * t as f64 / period as f64;
+            comps.iter().map(|&(f, a, p)| a * (f * x + p).sin()).sum()
+        })
+        .collect()
+}
+
+fn ecg_beat(n: usize, period: usize, rng: &mut StdRng) -> Vec<f64> {
+    // P, Q, R, S, T bumps at fixed fractions of the cycle.
+    let bumps: [(f64, f64, f64); 5] = [
+        (0.18, 0.12, 0.035), // P wave
+        (0.38, -0.18, 0.012),
+        (0.42, 1.0, 0.014), // R spike
+        (0.46, -0.28, 0.012),
+        (0.68, 0.30, 0.055), // T wave
+    ];
+    let rate_jitter: f64 = rng.random_range(0.97..1.03);
+    let amp_jitter: f64 = rng.random_range(0.9..1.1);
+    (0..n)
+        .map(|t| {
+            let phase = (t as f64 * rate_jitter / period as f64).fract();
+            bumps
+                .iter()
+                .map(|&(center, amp, width)| {
+                    let d = phase - center;
+                    amp_jitter * amp * (-(d * d) / (2.0 * width * width)).exp()
+                })
+                .sum()
+        })
+        .collect()
+}
+
+fn mackey_glass(n: usize, rng: &mut StdRng) -> Vec<f64> {
+    const TAU: usize = 17;
+    const BETA: f64 = 0.2;
+    const GAMMA: f64 = 0.1;
+    const N_EXP: i32 = 10;
+    let warmup = 200;
+    let total = n + warmup + TAU;
+    let mut x = vec![0.0f64; total];
+    for slot in x.iter_mut().take(TAU + 1) {
+        *slot = 1.2 + 0.05 * gaussian(rng);
+    }
+    for t in TAU..total - 1 {
+        let delayed = x[t - TAU];
+        let dx = BETA * delayed / (1.0 + delayed.powi(N_EXP)) - GAMMA * x[t];
+        x[t + 1] = x[t] + dx;
+    }
+    x[warmup + TAU..].to_vec()
+}
+
+fn ar1(n: usize, phi: f64, drift: f64, rng: &mut StdRng) -> Vec<f64> {
+    let mut out = Vec::with_capacity(n);
+    let mut x = gaussian(rng);
+    for t in 0..n {
+        x = phi * x + gaussian(rng) * 0.3;
+        out.push(x + drift * t as f64);
+    }
+    out
+}
+
+fn pulse_train(n: usize, period: usize, duty: f64, rng: &mut StdRng) -> Vec<f64> {
+    let phase_off: f64 = rng.random_range(0.0..1.0);
+    let height: f64 = rng.random_range(0.9..1.1);
+    let raw: Vec<f64> = (0..n)
+        .map(|t| {
+            let phase = (t as f64 / period as f64 + phase_off).fract();
+            if phase < duty {
+                height
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    // Light smoothing so edges are not perfectly sharp.
+    smooth3(&raw)
+}
+
+fn step_regime(n: usize, dwell: usize, levels: usize, rng: &mut StdRng) -> Vec<f64> {
+    let mut out = Vec::with_capacity(n);
+    let mut level: f64 = rng.random_range(0..levels) as f64;
+    let mut remaining = jittered_dwell(dwell, rng);
+    for _ in 0..n {
+        if remaining == 0 {
+            level = rng.random_range(0..levels) as f64;
+            remaining = jittered_dwell(dwell, rng);
+        }
+        remaining -= 1;
+        out.push(level);
+    }
+    smooth3(&out)
+}
+
+fn jittered_dwell(dwell: usize, rng: &mut StdRng) -> usize {
+    let lo = (dwell / 2).max(2);
+    let hi = dwell * 3 / 2 + 2;
+    rng.random_range(lo..hi)
+}
+
+fn sawtooth(n: usize, period: usize, rng: &mut StdRng) -> Vec<f64> {
+    let phase_off: f64 = rng.random_range(0.0..1.0);
+    (0..n)
+        .map(|t| 2.0 * ((t as f64 / period as f64 + phase_off).fract()) - 1.0)
+        .collect()
+}
+
+fn smooth3(xs: &[f64]) -> Vec<f64> {
+    let n = xs.len();
+    (0..n)
+        .map(|i| {
+            let a = xs[i.saturating_sub(1)];
+            let b = xs[i];
+            let c = xs[(i + 1).min(n - 1)];
+            (a + 2.0 * b + c) / 4.0
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use tslinalg_shim::autocorr;
+
+    /// Tiny local autocorrelation (avoid a dev-dependency cycle).
+    mod tslinalg_shim {
+        pub fn autocorr(xs: &[f64], lag: usize) -> f64 {
+            let n = xs.len();
+            let m = xs.iter().sum::<f64>() / n as f64;
+            let denom: f64 = xs.iter().map(|x| (x - m) * (x - m)).sum();
+            if denom < 1e-12 {
+                return 0.0;
+            }
+            let num: f64 = (0..n - lag).map(|i| (xs[i] - m) * (xs[i + lag] - m)).sum();
+            num / denom
+        }
+    }
+
+    #[test]
+    fn all_generators_produce_finite_values_of_requested_length() {
+        let signals = [
+            BaseSignal::SineMix { period: 24, harmonics: 3 },
+            BaseSignal::EcgBeat { period: 48 },
+            BaseSignal::MackeyGlass,
+            BaseSignal::Ar1 { phi: 0.9, drift: 0.001 },
+            BaseSignal::PulseTrain { period: 50, duty: 0.3 },
+            BaseSignal::StepRegime { dwell: 40, levels: 4 },
+            BaseSignal::Sawtooth { period: 30 },
+        ];
+        let mut rng = StdRng::seed_from_u64(11);
+        for s in signals {
+            let v = s.generate(500, &mut rng);
+            assert_eq!(v.len(), 500, "{s:?}");
+            assert!(v.iter().all(|x| x.is_finite()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn sine_mix_is_periodic() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let v = BaseSignal::SineMix { period: 25, harmonics: 0 }.generate(500, &mut rng);
+        // The biased ACF estimator tops out at (n-lag)/n = 0.95 for a
+        // perfect sine; require most of that.
+        assert!(autocorr(&v, 25) > 0.9);
+    }
+
+    #[test]
+    fn ecg_beat_has_periodic_r_spikes() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let v = BaseSignal::EcgBeat { period: 50 }.generate(1000, &mut rng);
+        assert!(autocorr(&v, 50) > 0.7, "acf={}", autocorr(&v, 50));
+        let max = v.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(max > 0.7, "R peak expected, max={max}");
+    }
+
+    #[test]
+    fn mackey_glass_is_bounded_and_aperiodic() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let v = BaseSignal::MackeyGlass.generate(2000, &mut rng);
+        assert!(v.iter().all(|&x| x > 0.0 && x < 2.0));
+        // Chaotic: autocorrelation at large lag decays below periodic level.
+        assert!(autocorr(&v, 500).abs() < 0.9);
+    }
+
+    #[test]
+    fn ar1_is_mean_reverting_without_drift() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let v = BaseSignal::Ar1 { phi: 0.8, drift: 0.0 }.generate(5000, &mut rng);
+        let m = v.iter().sum::<f64>() / v.len() as f64;
+        assert!(m.abs() < 0.3, "mean={m}");
+    }
+
+    #[test]
+    fn pulse_train_duty_cycle_roughly_respected() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let v = BaseSignal::PulseTrain { period: 40, duty: 0.25 }.generate(4000, &mut rng);
+        let high = v.iter().filter(|&&x| x > 0.5).count() as f64 / v.len() as f64;
+        assert!((high - 0.25).abs() < 0.08, "duty={high}");
+    }
+
+    #[test]
+    fn step_regime_uses_multiple_levels() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let v = BaseSignal::StepRegime { dwell: 30, levels: 4 }.generate(2000, &mut rng);
+        let distinct: std::collections::BTreeSet<i64> =
+            v.iter().map(|&x| (x * 10.0).round() as i64).collect();
+        assert!(distinct.len() >= 3, "levels used: {}", distinct.len());
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = BaseSignal::MackeyGlass.generate(200, &mut StdRng::seed_from_u64(1));
+        let b = BaseSignal::MackeyGlass.generate(200, &mut StdRng::seed_from_u64(1));
+        let c = BaseSignal::MackeyGlass.generate(200, &mut StdRng::seed_from_u64(2));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

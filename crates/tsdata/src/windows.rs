@@ -1,0 +1,163 @@
+//! Fixed-length window extraction (§2 of the paper).
+//!
+//! The selector classifies fixed-length subsequences; per-series selection is
+//! a majority vote over the window predictions. Windows are z-normalised by
+//! default, the standard preprocessing for time-series classification.
+
+use crate::series::TimeSeries;
+
+/// Window extraction parameters.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct WindowConfig {
+    /// Window length `L`.
+    pub length: usize,
+    /// Hop between consecutive windows.
+    pub stride: usize,
+    /// Z-normalise each window.
+    pub znormalize: bool,
+}
+
+impl Default for WindowConfig {
+    fn default() -> Self {
+        Self { length: 64, stride: 64, znormalize: true }
+    }
+}
+
+/// One extracted window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Window {
+    /// Index of the source series in the caller's collection.
+    pub series_index: usize,
+    /// Start offset within the source series.
+    pub start: usize,
+    /// The (possibly z-normalised) values, as `f32` for the NN substrate.
+    pub values: Vec<f32>,
+}
+
+/// Extracts windows from a series.
+///
+/// If the series is shorter than `length`, a single window padded by edge
+/// replication is emitted so every series yields at least one window.
+pub fn extract_windows(ts: &TimeSeries, series_index: usize, cfg: &WindowConfig) -> Vec<Window> {
+    assert!(cfg.length > 0 && cfg.stride > 0, "length and stride must be positive");
+    let n = ts.len();
+    let mut out = Vec::new();
+    if n == 0 {
+        return out;
+    }
+    if n < cfg.length {
+        let mut values: Vec<f32> = ts.values.iter().map(|&v| v as f32).collect();
+        values.resize(cfg.length, *values.last().expect("non-empty") as f32);
+        if cfg.znormalize {
+            znorm(&mut values);
+        }
+        out.push(Window { series_index, start: 0, values });
+        return out;
+    }
+    let mut start = 0;
+    while start + cfg.length <= n {
+        let mut values: Vec<f32> =
+            ts.values[start..start + cfg.length].iter().map(|&v| v as f32).collect();
+        if cfg.znormalize {
+            znorm(&mut values);
+        }
+        out.push(Window { series_index, start, values });
+        start += cfg.stride;
+    }
+    // Cover the tail if the stride skipped it.
+    let last_start = n - cfg.length;
+    if out.last().map(|w| w.start) != Some(last_start) && last_start % cfg.stride != 0 {
+        let mut values: Vec<f32> =
+            ts.values[last_start..].iter().map(|&v| v as f32).collect();
+        if cfg.znormalize {
+            znorm(&mut values);
+        }
+        out.push(Window { series_index, start: last_start, values });
+    }
+    out
+}
+
+fn znorm(values: &mut [f32]) {
+    let n = values.len() as f32;
+    let mean: f32 = values.iter().sum::<f32>() / n;
+    let var: f32 = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
+    let std = var.sqrt();
+    if std < 1e-6 {
+        for v in values.iter_mut() {
+            *v = 0.0;
+        }
+    } else {
+        for v in values.iter_mut() {
+            *v = (*v - mean) / std;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(n: usize) -> TimeSeries {
+        TimeSeries::new("t", "D", (0..n).map(|i| i as f64).collect(), vec![])
+    }
+
+    #[test]
+    fn window_count_matches_stride() {
+        let ts = series(100);
+        let cfg = WindowConfig { length: 20, stride: 20, znormalize: false };
+        let ws = extract_windows(&ts, 0, &cfg);
+        assert_eq!(ws.len(), 5);
+        assert_eq!(ws[2].start, 40);
+        assert_eq!(ws[2].values[0], 40.0);
+    }
+
+    #[test]
+    fn overlapping_windows() {
+        let ts = series(100);
+        let cfg = WindowConfig { length: 40, stride: 20, znormalize: false };
+        let ws = extract_windows(&ts, 0, &cfg);
+        assert_eq!(ws.len(), 4); // starts 0,20,40,60
+    }
+
+    #[test]
+    fn tail_window_added_when_stride_skips_it() {
+        let ts = series(105);
+        let cfg = WindowConfig { length: 20, stride: 20, znormalize: false };
+        let ws = extract_windows(&ts, 0, &cfg);
+        assert_eq!(ws.last().unwrap().start, 85);
+    }
+
+    #[test]
+    fn short_series_padded() {
+        let ts = series(10);
+        let cfg = WindowConfig { length: 20, stride: 20, znormalize: false };
+        let ws = extract_windows(&ts, 3, &cfg);
+        assert_eq!(ws.len(), 1);
+        assert_eq!(ws[0].values.len(), 20);
+        assert_eq!(ws[0].series_index, 3);
+        assert_eq!(ws[0].values[15], 9.0); // edge replication
+    }
+
+    #[test]
+    fn znormalized_windows_have_zero_mean() {
+        let ts = series(128);
+        let cfg = WindowConfig { length: 64, stride: 64, znormalize: true };
+        for w in extract_windows(&ts, 0, &cfg) {
+            let mean: f32 = w.values.iter().sum::<f32>() / 64.0;
+            assert!(mean.abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn constant_window_znorms_to_zero() {
+        let ts = TimeSeries::new("t", "D", vec![5.0; 64], vec![]);
+        let ws = extract_windows(&ts, 0, &WindowConfig::default());
+        assert!(ws[0].values.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn empty_series_yields_no_windows() {
+        let ts = TimeSeries::new("t", "D", vec![], vec![]);
+        assert!(extract_windows(&ts, 0, &WindowConfig::default()).is_empty());
+    }
+}

@@ -1,0 +1,18 @@
+//! Feature extraction for the non-NN baselines.
+//!
+//! The benchmark paper's feature-based selectors run TSFresh over each window
+//! and train classic classifiers on the result; the kernel-based selector is
+//! MiniRocket + ridge regression. This crate provides both substrates:
+//!
+//! * [`features`] — a TSFresh-style statistical feature vector (location,
+//!   dispersion, shape, autocorrelation, spectral and complexity features).
+//! * [`minirocket`] — a reimplementation of the MiniRocket transform: fixed
+//!   length-9 kernels with weights in {−1, 2}, exponential dilations, bias
+//!   quantiles taken from the data, and PPV (proportion of positive values)
+//!   pooling.
+
+pub mod features;
+pub mod minirocket;
+
+pub use features::{extract_features, feature_names, FEATURE_COUNT};
+pub use minirocket::MiniRocket;

@@ -1,0 +1,182 @@
+//! Cholesky factorisation and symmetric positive-definite linear solves.
+
+use crate::Matrix;
+
+/// Error returned when a matrix is not (numerically) positive definite.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NotPositiveDefinite {
+    /// Index of the pivot that failed.
+    pub pivot: usize,
+}
+
+impl std::fmt::Display for NotPositiveDefinite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "matrix is not positive definite (pivot {})", self.pivot)
+    }
+}
+
+impl std::error::Error for NotPositiveDefinite {}
+
+/// Computes the lower-triangular Cholesky factor `L` with `A = L Lᵀ`.
+///
+/// # Errors
+/// Returns [`NotPositiveDefinite`] if a pivot is not strictly positive.
+///
+/// # Panics
+/// Panics if `a` is not square.
+pub fn cholesky(a: &Matrix) -> Result<Matrix, NotPositiveDefinite> {
+    assert_eq!(a.rows(), a.cols(), "Cholesky needs a square matrix");
+    let n = a.rows();
+    let mut l = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[(i, j)];
+            for k in 0..j {
+                sum -= l[(i, k)] * l[(j, k)];
+            }
+            if i == j {
+                if sum <= 0.0 || !sum.is_finite() {
+                    return Err(NotPositiveDefinite { pivot: i });
+                }
+                l[(i, j)] = sum.sqrt();
+            } else {
+                l[(i, j)] = sum / l[(j, j)];
+            }
+        }
+    }
+    Ok(l)
+}
+
+/// Solves `A x = b` for symmetric positive-definite `A` via Cholesky.
+///
+/// # Errors
+/// Returns [`NotPositiveDefinite`] if the factorisation fails.
+pub fn solve_spd(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, NotPositiveDefinite> {
+    let l = cholesky(a)?;
+    Ok(solve_with_factor(&l, b))
+}
+
+/// Solves `A X = B` column-by-column for symmetric positive-definite `A`.
+///
+/// `b` has one right-hand side per *column*; the result has the same shape.
+///
+/// # Errors
+/// Returns [`NotPositiveDefinite`] if the factorisation fails.
+pub fn solve_spd_multi(a: &Matrix, b: &Matrix) -> Result<Matrix, NotPositiveDefinite> {
+    assert_eq!(a.rows(), b.rows(), "dimension mismatch");
+    let l = cholesky(a)?;
+    let mut out = Matrix::zeros(b.rows(), b.cols());
+    let mut rhs = vec![0.0; b.rows()];
+    for j in 0..b.cols() {
+        for i in 0..b.rows() {
+            rhs[i] = b[(i, j)];
+        }
+        let x = solve_with_factor(&l, &rhs);
+        for i in 0..b.rows() {
+            out[(i, j)] = x[i];
+        }
+    }
+    Ok(out)
+}
+
+/// Solves `L Lᵀ x = b` given the lower-triangular factor `L`.
+fn solve_with_factor(l: &Matrix, b: &[f64]) -> Vec<f64> {
+    let n = l.rows();
+    assert_eq!(b.len(), n, "rhs length must match matrix size");
+    // Forward substitution: L y = b.
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l[(i, k)] * y[k];
+        }
+        y[i] = sum / l[(i, i)];
+    }
+    // Backward substitution: Lᵀ x = y.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = y[i];
+        for k in i + 1..n {
+            sum -= l[(k, i)] * x[k];
+        }
+        x[i] = sum / l[(i, i)];
+    }
+    x
+}
+
+/// Solves the ridge-regression normal equations `(XᵀX + λI) w = Xᵀy`.
+///
+/// This is the closed-form trainer used by the Rocket baseline's ridge
+/// classifier. `lambda` must be positive so the system is always SPD.
+pub fn ridge_solve(x: &Matrix, y: &[f64], lambda: f64) -> Vec<f64> {
+    assert!(lambda > 0.0, "ridge lambda must be positive");
+    let mut gram = x.gram();
+    gram.add_diagonal(lambda);
+    let rhs = x.t_matvec(y);
+    solve_spd(&gram, &rhs).expect("ridge system is SPD by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix {
+        // A = B Bᵀ + I for random-ish B, guaranteed SPD.
+        Matrix::from_vec(3, 3, vec![5.0, 2.0, 1.0, 2.0, 6.0, 2.0, 1.0, 2.0, 4.0])
+    }
+
+    #[test]
+    fn cholesky_reconstructs_input() {
+        let a = spd3();
+        let l = cholesky(&a).unwrap();
+        let recon = l.matmul(&l.transpose());
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((recon[(i, j)] - a[(i, j)]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_spd_recovers_known_solution() {
+        let a = spd3();
+        let x_true = vec![1.0, -2.0, 0.5];
+        let b = a.matvec(&x_true);
+        let x = solve_spd(&a, &b).unwrap();
+        for (got, want) in x.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-10, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn solve_spd_multi_matches_single_solves() {
+        let a = spd3();
+        let b = Matrix::from_vec(3, 2, vec![1.0, 0.0, 0.0, 1.0, 2.0, -1.0]);
+        let x = solve_spd_multi(&a, &b).unwrap();
+        for j in 0..2 {
+            let col: Vec<f64> = (0..3).map(|i| b[(i, j)]).collect();
+            let single = solve_spd(&a, &col).unwrap();
+            for i in 0..3 {
+                assert!((x[(i, j)] - single[i]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn non_spd_matrix_is_rejected() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 1.0]); // eigenvalues 3, -1
+        assert!(cholesky(&a).is_err());
+    }
+
+    #[test]
+    fn ridge_solution_shrinks_towards_zero_with_lambda() {
+        // One-feature regression: w = Σxy / (Σx² + λ).
+        let x = Matrix::from_vec(4, 1, vec![1.0, 2.0, 3.0, 4.0]);
+        let y = vec![2.0, 4.0, 6.0, 8.0];
+        let w_small = ridge_solve(&x, &y, 1e-6)[0];
+        let w_big = ridge_solve(&x, &y, 100.0)[0];
+        assert!((w_small - 2.0).abs() < 1e-4);
+        assert!(w_big < w_small);
+        assert!(w_big > 0.0);
+    }
+}

@@ -1,0 +1,191 @@
+//! Small real discrete Fourier transform for spectral features.
+//!
+//! The feature extractor only needs magnitude spectra of short windows
+//! (≤ 1024 points), so a direct O(n²) DFT with precomputed twiddle factors is
+//! fast enough and keeps the crate dependency-free. A radix-2 path handles
+//! power-of-two lengths in O(n log n) for the longer series used by NORMA's
+//! periodicity estimator.
+
+use std::f64::consts::PI;
+
+/// Magnitude spectrum of a real signal: `|X_k|` for `k = 0 .. n/2`.
+///
+/// Uses radix-2 FFT when `n` is a power of two, otherwise a direct DFT.
+pub fn magnitude_spectrum(signal: &[f64]) -> Vec<f64> {
+    let n = signal.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let (re, im) = if n.is_power_of_two() && n >= 2 {
+        fft_radix2(signal)
+    } else {
+        dft_direct(signal)
+    };
+    (0..=n / 2).map(|k| (re[k] * re[k] + im[k] * im[k]).sqrt()).collect()
+}
+
+/// Dominant period of a signal estimated from the magnitude spectrum,
+/// ignoring the DC component. Returns `None` for constant/degenerate input.
+///
+/// This is the periodicity hint used by the NORMA and MP detectors to pick a
+/// subsequence length automatically.
+pub fn dominant_period(signal: &[f64]) -> Option<usize> {
+    let n = signal.len();
+    if n < 8 {
+        return None;
+    }
+    // Work on a power-of-two prefix for speed.
+    let m = n.next_power_of_two() / 2;
+    let m = m.clamp(8, n);
+    let spec = magnitude_spectrum(&signal[..m]);
+    // Skip DC (k=0) and the lowest bin (trend); find the peak.
+    let mut best_k = 0;
+    let mut best_v = 0.0;
+    for (k, &v) in spec.iter().enumerate().skip(2) {
+        if v > best_v {
+            best_v = v;
+            best_k = k;
+        }
+    }
+    if best_k == 0 || best_v <= 1e-12 {
+        return None;
+    }
+    let period = m / best_k;
+    if period >= 2 {
+        Some(period)
+    } else {
+        None
+    }
+}
+
+fn dft_direct(signal: &[f64]) -> (Vec<f64>, Vec<f64>) {
+    let n = signal.len();
+    let mut re = vec![0.0; n];
+    let mut im = vec![0.0; n];
+    let step = -2.0 * PI / n as f64;
+    for k in 0..n {
+        let mut sr = 0.0;
+        let mut si = 0.0;
+        for (t, &x) in signal.iter().enumerate() {
+            let angle = step * (k * t % n) as f64;
+            sr += x * angle.cos();
+            si += x * angle.sin();
+        }
+        re[k] = sr;
+        im[k] = si;
+    }
+    (re, im)
+}
+
+/// Iterative radix-2 Cooley–Tukey FFT of a real signal.
+fn fft_radix2(signal: &[f64]) -> (Vec<f64>, Vec<f64>) {
+    let n = signal.len();
+    debug_assert!(n.is_power_of_two());
+    let mut re: Vec<f64> = signal.to_vec();
+    let mut im = vec![0.0; n];
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i.reverse_bits() >> (usize::BITS - bits)) & (n - 1);
+        if j > i {
+            re.swap(i, j);
+            im.swap(i, j);
+        }
+    }
+    let mut len = 2;
+    while len <= n {
+        let angle = -2.0 * PI / len as f64;
+        let (wr, wi) = (angle.cos(), angle.sin());
+        let mut start = 0;
+        while start < n {
+            let mut cr = 1.0;
+            let mut ci = 0.0;
+            for k in 0..len / 2 {
+                let even = start + k;
+                let odd = start + k + len / 2;
+                let tr = cr * re[odd] - ci * im[odd];
+                let ti = cr * im[odd] + ci * re[odd];
+                re[odd] = re[even] - tr;
+                im[odd] = im[even] - ti;
+                re[even] += tr;
+                im[even] += ti;
+                let ncr = cr * wr - ci * wi;
+                ci = cr * wi + ci * wr;
+                cr = ncr;
+            }
+            start += len;
+        }
+        len <<= 1;
+    }
+    (re, im)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spectrum_of_pure_sine_peaks_at_its_frequency() {
+        let n = 128;
+        let freq = 8; // cycles over the window
+        let signal: Vec<f64> =
+            (0..n).map(|t| (2.0 * PI * freq as f64 * t as f64 / n as f64).sin()).collect();
+        let spec = magnitude_spectrum(&signal);
+        let peak = spec
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(k, _)| k)
+            .unwrap();
+        assert_eq!(peak, freq);
+    }
+
+    #[test]
+    fn fft_matches_direct_dft() {
+        let signal: Vec<f64> = (0..64).map(|t| ((t * t) as f64 * 0.1).sin() + 0.3).collect();
+        let (fr, fi) = fft_radix2(&signal);
+        let (dr, di) = dft_direct(&signal);
+        for k in 0..64 {
+            assert!((fr[k] - dr[k]).abs() < 1e-8, "re[{k}]");
+            assert!((fi[k] - di[k]).abs() < 1e-8, "im[{k}]");
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_lengths_work() {
+        let signal: Vec<f64> = (0..100).map(|t| (t as f64 * 0.2).cos()).collect();
+        let spec = magnitude_spectrum(&signal);
+        assert_eq!(spec.len(), 51);
+        assert!(spec.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn dominant_period_of_periodic_signal() {
+        let period = 16;
+        let signal: Vec<f64> =
+            (0..512).map(|t| (2.0 * PI * t as f64 / period as f64).sin()).collect();
+        let p = dominant_period(&signal).unwrap();
+        assert!(
+            (p as i64 - period as i64).abs() <= 2,
+            "estimated {p}, expected ~{period}"
+        );
+    }
+
+    #[test]
+    fn dominant_period_none_for_constant() {
+        let signal = vec![3.0; 256];
+        assert_eq!(dominant_period(&signal), None);
+    }
+
+    #[test]
+    fn empty_signal_gives_empty_spectrum() {
+        assert!(magnitude_spectrum(&[]).is_empty());
+    }
+
+    #[test]
+    fn dc_component_equals_sum() {
+        let signal = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        let spec = magnitude_spectrum(&signal);
+        assert!((spec[0] - 15.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,25 @@
+//! Minimal dense linear-algebra substrate for the KDSelector workspace.
+//!
+//! This crate deliberately implements only what the reproduction needs:
+//!
+//! * [`Matrix`] — a row-major dense `f64` matrix with the handful of
+//!   operations used by the classic-ML and detector crates (multiplication,
+//!   transpose, Gram matrices).
+//! * [`decomp`] — Cholesky factorisation and linear solves, used by the
+//!   ridge-regression classifier behind the Rocket baseline.
+//! * [`pca`] — covariance + power-iteration eigen decomposition, used by the
+//!   PCA anomaly detector and the feature extractor.
+//! * [`dft`] — a small real discrete Fourier transform for spectral features.
+//! * [`stats`] — scalar statistics shared across crates (mean, variance,
+//!   quantiles, ranks).
+//!
+//! Everything is pure safe Rust with no external dependencies, so the rest of
+//! the workspace can rely on deterministic, portable numerics.
+
+pub mod decomp;
+pub mod dft;
+pub mod matrix;
+pub mod pca;
+pub mod stats;
+
+pub use matrix::Matrix;

@@ -1,0 +1,260 @@
+//! Principal component analysis via power iteration with deflation.
+//!
+//! Used by the PCA anomaly detector (reconstruction-error scoring) and kept
+//! deliberately simple: the detectors only need the first handful of
+//! components of small covariance matrices (window length ≤ a few hundred).
+
+use crate::Matrix;
+
+/// Result of a PCA fit.
+#[derive(Debug, Clone)]
+pub struct Pca {
+    /// Per-feature mean subtracted before projection.
+    pub mean: Vec<f64>,
+    /// Principal axes, one row per component (unit vectors).
+    pub components: Matrix,
+    /// Eigenvalues (explained variance) per component, descending.
+    pub explained_variance: Vec<f64>,
+}
+
+impl Pca {
+    /// Fits `n_components` principal components to the rows of `x`.
+    ///
+    /// Components whose eigenvalue collapses to (numerical) zero are dropped,
+    /// so the returned model may have fewer components than requested.
+    ///
+    /// # Panics
+    /// Panics if `x` has no rows or no columns.
+    pub fn fit(x: &Matrix, n_components: usize) -> Self {
+        assert!(x.rows() > 0 && x.cols() > 0, "PCA needs a non-empty matrix");
+        let d = x.cols();
+        let mean = column_means(x);
+        let cov = covariance(x, &mean);
+
+        let mut deflated = cov;
+        let mut components = Vec::new();
+        let mut eigenvalues = Vec::new();
+        let k = n_components.min(d);
+        for c in 0..k {
+            let (val, vec) = match dominant_eigenpair(&deflated, 256, 1e-10, c as u64) {
+                Some(pair) => pair,
+                None => break,
+            };
+            if val <= 1e-12 {
+                break;
+            }
+            // Deflate: C ← C − λ v vᵀ.
+            for i in 0..d {
+                for j in 0..d {
+                    deflated[(i, j)] -= val * vec[i] * vec[j];
+                }
+            }
+            components.push(vec);
+            eigenvalues.push(val);
+        }
+        let comp_mat = if components.is_empty() {
+            Matrix::zeros(0, d)
+        } else {
+            Matrix::from_rows(&components)
+        };
+        Pca { mean, components: comp_mat, explained_variance: eigenvalues }
+    }
+
+    /// Number of retained components.
+    pub fn n_components(&self) -> usize {
+        self.components.rows()
+    }
+
+    /// Projects a single sample into component space.
+    pub fn transform(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.mean.len(), "dimension mismatch");
+        let centered: Vec<f64> = x.iter().zip(&self.mean).map(|(a, m)| a - m).collect();
+        self.components.matvec(&centered)
+    }
+
+    /// Squared reconstruction error of `x` after projecting onto the
+    /// retained components — the PCA anomaly score.
+    pub fn reconstruction_error(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.mean.len(), "dimension mismatch");
+        let centered: Vec<f64> = x.iter().zip(&self.mean).map(|(a, m)| a - m).collect();
+        let proj = self.components.matvec(&centered);
+        // ||c||² − ||proj||² because the components are orthonormal.
+        let total: f64 = centered.iter().map(|v| v * v).sum();
+        let captured: f64 = proj.iter().map(|v| v * v).sum();
+        (total - captured).max(0.0)
+    }
+}
+
+/// Column means of a matrix.
+pub fn column_means(x: &Matrix) -> Vec<f64> {
+    let mut mean = vec![0.0; x.cols()];
+    for i in 0..x.rows() {
+        for (m, &v) in mean.iter_mut().zip(x.row(i)) {
+            *m += v;
+        }
+    }
+    let n = x.rows() as f64;
+    for m in &mut mean {
+        *m /= n;
+    }
+    mean
+}
+
+/// Sample covariance matrix of the rows of `x` (divides by `n`, not `n-1`,
+/// matching what the detectors need — only relative magnitudes matter).
+pub fn covariance(x: &Matrix, mean: &[f64]) -> Matrix {
+    let d = x.cols();
+    let mut cov = Matrix::zeros(d, d);
+    let mut centered = vec![0.0; d];
+    for i in 0..x.rows() {
+        for (c, (&v, &m)) in centered.iter_mut().zip(x.row(i).iter().zip(mean)) {
+            *c = v - m;
+        }
+        for a in 0..d {
+            let ca = centered[a];
+            if ca == 0.0 {
+                continue;
+            }
+            let row = cov.row_mut(a);
+            for (o, &cb) in row.iter_mut().zip(&centered) {
+                *o += ca * cb;
+            }
+        }
+    }
+    let n = x.rows() as f64;
+    for a in 0..d {
+        for v in cov.row_mut(a) {
+            *v /= n;
+        }
+    }
+    cov
+}
+
+/// Power iteration for the dominant eigenpair of a symmetric matrix.
+///
+/// Returns `None` if the iteration degenerates (e.g. zero matrix).
+fn dominant_eigenpair(
+    a: &Matrix,
+    max_iters: usize,
+    tol: f64,
+    seed: u64,
+) -> Option<(f64, Vec<f64>)> {
+    let n = a.rows();
+    // Deterministic pseudo-random start vector (splitmix64) so ties break
+    // reproducibly without an RNG dependency.
+    let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut v: Vec<f64> = (0..n)
+        .map(|_| {
+            state = state.wrapping_mul(0xBF58_476D_1CE4_E5B9).rotate_left(31);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        })
+        .collect();
+    normalize(&mut v)?;
+    let mut eigenvalue = 0.0;
+    for _ in 0..max_iters {
+        let mut w = a.matvec(&v);
+        let norm = normalize(&mut w)?;
+        let delta: f64 = w.iter().zip(&v).map(|(a, b)| (a - b).abs()).sum();
+        v = w;
+        eigenvalue = norm;
+        if delta < tol {
+            break;
+        }
+    }
+    // Rayleigh quotient for a signed eigenvalue estimate.
+    let av = a.matvec(&v);
+    let rq: f64 = av.iter().zip(&v).map(|(a, b)| a * b).sum();
+    let _ = eigenvalue;
+    Some((rq, v))
+}
+
+fn normalize(v: &mut [f64]) -> Option<f64> {
+    let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if norm < 1e-300 || !norm.is_finite() {
+        return None;
+    }
+    for x in v.iter_mut() {
+        *x /= norm;
+    }
+    Some(norm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Points stretched along the x-axis: first component must be ~(1, 0).
+    #[test]
+    fn first_component_follows_dominant_direction() {
+        let mut rows = Vec::new();
+        for i in 0..50 {
+            let t = i as f64 / 10.0 - 2.5;
+            rows.push(vec![10.0 * t, 0.1 * (i % 3) as f64]);
+        }
+        let x = Matrix::from_rows(&rows);
+        let pca = Pca::fit(&x, 2);
+        assert!(pca.n_components() >= 1);
+        let c0 = pca.components.row(0);
+        assert!(c0[0].abs() > 0.999, "dominant axis should be x: {c0:?}");
+    }
+
+    #[test]
+    fn components_are_orthonormal() {
+        let mut rows = Vec::new();
+        for i in 0..40 {
+            let t = i as f64;
+            rows.push(vec![t.sin() * 3.0, t.cos() * 2.0, (t * 0.3).sin()]);
+        }
+        let x = Matrix::from_rows(&rows);
+        let pca = Pca::fit(&x, 3);
+        let k = pca.n_components();
+        for a in 0..k {
+            for b in 0..k {
+                let dot: f64 = pca
+                    .components
+                    .row(a)
+                    .iter()
+                    .zip(pca.components.row(b))
+                    .map(|(x, y)| x * y)
+                    .sum();
+                let expected = if a == b { 1.0 } else { 0.0 };
+                assert!((dot - expected).abs() < 1e-4, "component {a}·{b} = {dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn explained_variance_is_descending() {
+        let mut rows = Vec::new();
+        for i in 0..60 {
+            let t = i as f64 / 5.0;
+            rows.push(vec![5.0 * t, t + (i % 2) as f64, 0.05 * (i % 5) as f64]);
+        }
+        let pca = Pca::fit(&Matrix::from_rows(&rows), 3);
+        for w in pca.explained_variance.windows(2) {
+            assert!(w[0] >= w[1] - 1e-9, "variance must be descending: {:?}", pca.explained_variance);
+        }
+    }
+
+    #[test]
+    fn reconstruction_error_zero_for_in_subspace_points() {
+        // Data on a line through the mean: 1 component reconstructs exactly.
+        let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64, 2.0 * i as f64]).collect();
+        let x = Matrix::from_rows(&rows);
+        let pca = Pca::fit(&x, 1);
+        let err = pca.reconstruction_error(&[5.0, 10.0]);
+        assert!(err < 1e-8, "on-line point should reconstruct: {err}");
+        let err_off = pca.reconstruction_error(&[5.0, -10.0]);
+        assert!(err_off > 1.0, "off-line point should have error: {err_off}");
+    }
+
+    #[test]
+    fn transform_centers_data() {
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64 + 100.0]).collect();
+        let x = Matrix::from_rows(&rows);
+        let pca = Pca::fit(&x, 1);
+        // Mean point must project to ~0.
+        let z = pca.transform(&[104.5]);
+        assert!(z[0].abs() < 1e-9);
+    }
+}

@@ -1,0 +1,174 @@
+//! Charikar SimHash locality-sensitive hashing.
+//!
+//! The PA module of KDSelector buckets training samples whose *values* are
+//! similar. Because sample values never change during training, signatures
+//! are computed once before the first epoch (§3 of the paper). The scheme is
+//! the classic random-hyperplane construction [Charikar, STOC'02]: each of
+//! the `b` bits records the sign of the dot product with a random Gaussian
+//! hyperplane, so the Hamming distance between signatures estimates the
+//! angular distance between samples.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A `b`-bit SimHash signature (b ≤ 64).
+pub type Signature = u64;
+
+/// Random-hyperplane SimHash for dense `f32`/`f64` vectors.
+#[derive(Debug, Clone)]
+pub struct SimHash {
+    /// One hyperplane per bit, each of length `dim`.
+    hyperplanes: Vec<Vec<f64>>,
+    dim: usize,
+}
+
+impl SimHash {
+    /// Creates a hasher with `bits` hyperplanes for `dim`-dimensional input.
+    ///
+    /// # Panics
+    /// Panics if `bits` is 0 or exceeds 64, or if `dim` is 0.
+    pub fn new(dim: usize, bits: usize, seed: u64) -> Self {
+        assert!((1..=64).contains(&bits), "bits must be in 1..=64");
+        assert!(dim > 0, "dimension must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let hyperplanes = (0..bits)
+            .map(|_| (0..dim).map(|_| gaussian(&mut rng)).collect())
+            .collect();
+        Self { hyperplanes, dim }
+    }
+
+    /// Number of signature bits.
+    pub fn bits(&self) -> usize {
+        self.hyperplanes.len()
+    }
+
+    /// Input dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Hashes a vector to its signature.
+    ///
+    /// # Panics
+    /// Panics if `v.len() != dim`.
+    pub fn hash(&self, v: &[f64]) -> Signature {
+        assert_eq!(v.len(), self.dim, "input dimension mismatch");
+        let mut sig = 0u64;
+        for (bit, plane) in self.hyperplanes.iter().enumerate() {
+            let dot: f64 = plane.iter().zip(v).map(|(a, b)| a * b).sum();
+            if dot >= 0.0 {
+                sig |= 1 << bit;
+            }
+        }
+        sig
+    }
+
+    /// Hashes an `f32` vector (the NN substrate stores samples as `f32`).
+    pub fn hash_f32(&self, v: &[f32]) -> Signature {
+        assert_eq!(v.len(), self.dim, "input dimension mismatch");
+        let mut sig = 0u64;
+        for (bit, plane) in self.hyperplanes.iter().enumerate() {
+            let dot: f64 = plane.iter().zip(v).map(|(a, &b)| a * b as f64).sum();
+            if dot >= 0.0 {
+                sig |= 1 << bit;
+            }
+        }
+        sig
+    }
+}
+
+/// Hamming distance between two signatures.
+pub fn hamming(a: Signature, b: Signature) -> u32 {
+    (a ^ b).count_ones()
+}
+
+/// Estimated cosine similarity from the Hamming distance of `bits`-bit
+/// signatures: `cos(π · d / b)`.
+pub fn estimated_cosine(a: Signature, b: Signature, bits: usize) -> f64 {
+    let d = hamming(a, b) as f64 / bits as f64;
+    (std::f64::consts::PI * d).cos()
+}
+
+/// Box–Muller standard Gaussian sample.
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_vectors_share_signature() {
+        let h = SimHash::new(16, 14, 7);
+        let v: Vec<f64> = (0..16).map(|i| (i as f64).sin()).collect();
+        assert_eq!(h.hash(&v), h.hash(&v));
+    }
+
+    #[test]
+    fn scaling_preserves_signature() {
+        // SimHash depends only on direction, not magnitude.
+        let h = SimHash::new(8, 12, 3);
+        let v = vec![1.0, -2.0, 0.5, 3.0, -1.0, 0.1, 2.0, -0.7];
+        let scaled: Vec<f64> = v.iter().map(|x| x * 42.0).collect();
+        assert_eq!(h.hash(&v), h.hash(&scaled));
+    }
+
+    #[test]
+    fn opposite_vectors_have_max_distance() {
+        let h = SimHash::new(8, 16, 11);
+        let v = vec![1.0, -2.0, 0.5, 3.0, -1.0, 0.1, 2.0, -0.7];
+        let neg: Vec<f64> = v.iter().map(|x| -x).collect();
+        assert_eq!(hamming(h.hash(&v), h.hash(&neg)), 16);
+    }
+
+    #[test]
+    fn near_vectors_collide_more_than_far_vectors() {
+        let h = SimHash::new(32, 16, 5);
+        let base: Vec<f64> = (0..32).map(|i| (i as f64 * 0.3).sin()).collect();
+        let near: Vec<f64> = base.iter().map(|x| x + 0.01).collect();
+        let far: Vec<f64> = (0..32).map(|i| (i as f64 * 1.7).cos() * 5.0).collect();
+        let d_near = hamming(h.hash(&base), h.hash(&near));
+        let d_far = hamming(h.hash(&base), h.hash(&far));
+        assert!(d_near < d_far, "near={d_near} far={d_far}");
+    }
+
+    #[test]
+    fn estimated_cosine_matches_true_cosine_roughly() {
+        let h = SimHash::new(64, 64, 123);
+        let a: Vec<f64> = (0..64).map(|i| (i as f64 * 0.1).sin()).collect();
+        let b: Vec<f64> = (0..64).map(|i| (i as f64 * 0.1).sin() + 0.3).collect();
+        let dot: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        let na: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
+        let nb: f64 = b.iter().map(|x| x * x).sum::<f64>().sqrt();
+        let true_cos = dot / (na * nb);
+        let est = estimated_cosine(h.hash(&a), h.hash(&b), 64);
+        assert!((true_cos - est).abs() < 0.35, "true={true_cos} est={est}");
+    }
+
+    #[test]
+    fn f32_and_f64_hashing_agree() {
+        let h = SimHash::new(10, 14, 99);
+        let v64: Vec<f64> = (0..10).map(|i| i as f64 - 4.5).collect();
+        let v32: Vec<f32> = v64.iter().map(|&x| x as f32).collect();
+        assert_eq!(h.hash(&v64), h.hash_f32(&v32));
+    }
+
+    #[test]
+    fn different_seeds_give_different_hyperplanes() {
+        let a = SimHash::new(16, 14, 1);
+        let b = SimHash::new(16, 14, 2);
+        let v: Vec<f64> = (0..16).map(|i| (i as f64).cos()).collect();
+        // Not guaranteed different in general, but with 14 bits the
+        // probability of collision across seeds is negligible.
+        assert_ne!(a.hash(&v), b.hash(&v));
+    }
+
+    #[test]
+    #[should_panic(expected = "bits must be in 1..=64")]
+    fn too_many_bits_panics() {
+        let _ = SimHash::new(4, 65, 0);
+    }
+}

@@ -1,0 +1,220 @@
+//! Threshold-free metrics: AUC-PR (average precision), AUC-ROC, best F1.
+
+/// One point of the precision-recall curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrPoint {
+    /// Score threshold that produced this point.
+    pub threshold: f64,
+    /// Precision at the threshold.
+    pub precision: f64,
+    /// Recall at the threshold.
+    pub recall: f64,
+}
+
+/// Sorts indices by descending score, ties broken by index for determinism.
+fn ranked_indices(scores: &[f64]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    idx
+}
+
+/// Area under the precision-recall curve, computed as **average precision**:
+/// `AP = Σ_k (R_k − R_{k−1}) · P_k` sweeping the threshold over the sorted
+/// scores. Tied scores are processed as a block so the result does not depend
+/// on sort stability.
+///
+/// Returns 0.0 if there are no positive labels, 0.0 for empty input.
+///
+/// # Panics
+/// Panics if `scores` and `labels` have different lengths.
+pub fn auc_pr(scores: &[f64], labels: &[bool]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+    let total_pos = labels.iter().filter(|&&b| b).count();
+    if total_pos == 0 || scores.is_empty() {
+        return 0.0;
+    }
+    let order = ranked_indices(scores);
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut ap = 0.0;
+    let mut prev_recall = 0.0;
+    let mut i = 0;
+    while i < order.len() {
+        // Process the whole tie block at once.
+        let mut j = i;
+        let s = scores[order[i]];
+        while j < order.len() && scores[order[j]] == s {
+            if labels[order[j]] {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+            j += 1;
+        }
+        let recall = tp as f64 / total_pos as f64;
+        let precision = tp as f64 / (tp + fp) as f64;
+        ap += (recall - prev_recall) * precision;
+        prev_recall = recall;
+        i = j;
+    }
+    ap
+}
+
+/// Area under the ROC curve via the rank-sum (Mann–Whitney) formulation,
+/// with the standard tie correction (ties contribute half).
+///
+/// Returns 0.5 when either class is empty (no information).
+pub fn auc_roc(scores: &[f64], labels: &[bool]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+    let pos = labels.iter().filter(|&&b| b).count();
+    let neg = labels.len() - pos;
+    if pos == 0 || neg == 0 {
+        return 0.5;
+    }
+    // Assign mid-ranks to tied scores.
+    let order = ranked_indices(scores);
+    let n = order.len();
+    let mut rank = vec![0.0f64; n]; // rank 1 = highest score
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        let s = scores[order[i]];
+        while j < n && scores[order[j]] == s {
+            j += 1;
+        }
+        let mid = (i + 1 + j) as f64 / 2.0; // average of ranks i+1 ..= j
+        for &k in &order[i..j] {
+            rank[k] = mid;
+        }
+        i = j;
+    }
+    // Positives should have *small* ranks (high scores). Convert to AUC.
+    let pos_rank_sum: f64 =
+        rank.iter().zip(labels).filter(|(_, &y)| y).map(|(&r, _)| r).sum();
+    // Sum of ranks if positives were ranked best: 1 + 2 + ... + pos.
+    let best = (pos * (pos + 1)) as f64 / 2.0;
+    let u = pos_rank_sum - best; // number of (pos, neg) inversions
+    1.0 - u / (pos as f64 * neg as f64)
+}
+
+/// Best F1 over all score thresholds, with the threshold that achieves it.
+///
+/// Returns `(0.0, +inf)` when there are no positives.
+pub fn best_f1(scores: &[f64], labels: &[bool]) -> (f64, f64) {
+    assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+    let total_pos = labels.iter().filter(|&&b| b).count();
+    if total_pos == 0 || scores.is_empty() {
+        return (0.0, f64::INFINITY);
+    }
+    let order = ranked_indices(scores);
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut best = (0.0f64, f64::INFINITY);
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        let s = scores[order[i]];
+        while j < order.len() && scores[order[j]] == s {
+            if labels[order[j]] {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+            j += 1;
+        }
+        let precision = tp as f64 / (tp + fp) as f64;
+        let recall = tp as f64 / total_pos as f64;
+        let f1 = if precision + recall < 1e-12 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        if f1 > best.0 {
+            best = (f1, s);
+        }
+        i = j;
+    }
+    best
+}
+
+/// Precision and recall for `score >= threshold` predictions.
+pub fn precision_recall_at(scores: &[f64], labels: &[bool], threshold: f64) -> PrPoint {
+    let c = crate::Counts::at_threshold(scores, labels, threshold);
+    PrPoint { threshold, precision: c.precision(), recall: c.recall() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking_gives_auc_pr_one() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let labels = [true, true, false, false];
+        assert!((auc_pr(&scores, &labels) - 1.0).abs() < 1e-12);
+        assert!((auc_roc(&scores, &labels) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverted_ranking_gives_auc_roc_zero() {
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        let labels = [true, true, false, false];
+        assert!(auc_roc(&scores, &labels) < 1e-12);
+    }
+
+    #[test]
+    fn random_scores_auc_pr_near_prevalence() {
+        // With constant scores everything ties: AP equals prevalence.
+        let scores = vec![0.5; 1000];
+        let labels: Vec<bool> = (0..1000).map(|i| i % 10 == 0).collect();
+        let ap = auc_pr(&scores, &labels);
+        assert!((ap - 0.1).abs() < 1e-9, "ap={ap}");
+        let roc = auc_roc(&scores, &labels);
+        assert!((roc - 0.5).abs() < 1e-9, "roc={roc}");
+    }
+
+    #[test]
+    fn auc_pr_no_positives_is_zero() {
+        assert_eq!(auc_pr(&[0.1, 0.2], &[false, false]), 0.0);
+    }
+
+    #[test]
+    fn auc_is_invariant_to_monotone_transforms() {
+        let scores = [0.1, 0.4, 0.35, 0.8, 0.05];
+        let labels = [false, true, false, true, false];
+        let transformed: Vec<f64> = scores.iter().map(|s| s * 100.0 + 3.0).collect();
+        assert!((auc_pr(&scores, &labels) - auc_pr(&transformed, &labels)).abs() < 1e-12);
+        assert!((auc_roc(&scores, &labels) - auc_roc(&transformed, &labels)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn best_f1_perfect_separator() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let labels = [true, true, false, false];
+        let (f1, thr) = best_f1(&scores, &labels);
+        assert!((f1 - 1.0).abs() < 1e-12);
+        assert!(thr >= 0.8);
+    }
+
+    #[test]
+    fn auc_pr_handles_single_positive() {
+        // Positive ranked 2nd of 4: AP = 1/2 (precision at its recall step).
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let labels = [false, true, false, false];
+        assert!((auc_pr(&scores, &labels) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_roc_tie_correction() {
+        // One positive tied with one negative at the top.
+        let scores = [0.9, 0.9, 0.1];
+        let labels = [true, false, false];
+        // Tie contributes half: AUC = (1*0.5 + 1*1.0)/2 = 0.75.
+        assert!((auc_roc(&scores, &labels) - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,152 @@
+//! Evaluation metrics for time-series anomaly detection.
+//!
+//! The paper scores every TSAD model with point-wise **AUC-PR** (the area
+//! under the precision-recall curve, computed as average precision) on the
+//! anomaly scores it emits; that score is both the selection target
+//! (`P(M_j(T_i))` in Def. 2.1) and the headline evaluation metric of every
+//! table and figure. This crate implements AUC-PR plus the companions used in
+//! the demonstration system (AUC-ROC, best F1, precision/recall at a
+//! threshold).
+
+mod curves;
+
+pub use curves::{auc_pr, auc_roc, best_f1, precision_recall_at, PrPoint};
+
+/// Binary classification counts at a fixed threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Counts {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// True negatives.
+    pub tn: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl Counts {
+    /// Computes counts for `score >= threshold` predictions.
+    ///
+    /// # Panics
+    /// Panics if `scores` and `labels` have different lengths.
+    pub fn at_threshold(scores: &[f64], labels: &[bool], threshold: f64) -> Self {
+        assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+        let mut c = Counts { tp: 0, fp: 0, tn: 0, fn_: 0 };
+        for (&s, &y) in scores.iter().zip(labels) {
+            match (s >= threshold, y) {
+                (true, true) => c.tp += 1,
+                (true, false) => c.fp += 1,
+                (false, false) => c.tn += 1,
+                (false, true) => c.fn_ += 1,
+            }
+        }
+        c
+    }
+
+    /// Precision (1.0 when nothing is predicted positive).
+    pub fn precision(&self) -> f64 {
+        let denom = self.tp + self.fp;
+        if denom == 0 {
+            1.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// Recall (0.0 when there are no positives).
+    pub fn recall(&self) -> f64 {
+        let denom = self.tp + self.fn_;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// F1 score (0.0 when precision+recall is 0).
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r < 1e-12 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Accuracy of hard predictions against hard labels.
+///
+/// Returns 0 for empty input.
+pub fn accuracy(predictions: &[usize], labels: &[usize]) -> f64 {
+    assert_eq!(predictions.len(), labels.len(), "length mismatch");
+    if predictions.is_empty() {
+        return 0.0;
+    }
+    let hits = predictions.iter().zip(labels).filter(|(p, l)| p == l).count();
+    hits as f64 / predictions.len() as f64
+}
+
+/// Top-k accuracy: fraction of samples whose true label appears among the
+/// `k` highest-probability classes. Used by the demo system's
+/// "Top-K Validation Accuracy" panel.
+///
+/// # Panics
+/// Panics if any probability row is empty or lengths mismatch.
+pub fn top_k_accuracy(probabilities: &[Vec<f64>], labels: &[usize], k: usize) -> f64 {
+    assert_eq!(probabilities.len(), labels.len(), "length mismatch");
+    if probabilities.is_empty() {
+        return 0.0;
+    }
+    let mut hits = 0;
+    for (probs, &label) in probabilities.iter().zip(labels) {
+        assert!(!probs.is_empty(), "empty probability row");
+        let mut idx: Vec<usize> = (0..probs.len()).collect();
+        idx.sort_by(|&a, &b| probs[b].partial_cmp(&probs[a]).unwrap_or(std::cmp::Ordering::Equal));
+        if idx.iter().take(k).any(|&i| i == label) {
+            hits += 1;
+        }
+    }
+    hits as f64 / probabilities.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_f1_basics() {
+        let scores = [0.9, 0.8, 0.3, 0.1];
+        let labels = [true, false, true, false];
+        let c = Counts::at_threshold(&scores, &labels, 0.5);
+        assert_eq!(c, Counts { tp: 1, fp: 1, tn: 1, fn_: 1 });
+        assert!((c.precision() - 0.5).abs() < 1e-12);
+        assert!((c.recall() - 0.5).abs() < 1e-12);
+        assert!((c.f1() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_prediction_has_precision_one() {
+        let c = Counts::at_threshold(&[0.1, 0.2], &[true, false], 0.9);
+        assert_eq!(c.precision(), 1.0);
+        assert_eq!(c.recall(), 0.0);
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        assert!((accuracy(&[1, 2, 3], &[1, 2, 0]) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_k_accuracy_widens_with_k() {
+        let probs = vec![vec![0.5, 0.3, 0.2], vec![0.1, 0.2, 0.7]];
+        let labels = vec![1, 0];
+        let top1 = top_k_accuracy(&probs, &labels, 1);
+        let top2 = top_k_accuracy(&probs, &labels, 2);
+        let top3 = top_k_accuracy(&probs, &labels, 3);
+        assert_eq!(top1, 0.0);
+        assert_eq!(top2, 0.5);
+        assert_eq!(top3, 1.0);
+    }
+}

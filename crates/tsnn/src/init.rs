@@ -1,0 +1,81 @@
+//! Weight initialisation.
+
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Kaiming/He uniform initialisation for a tensor with the given fan-in:
+/// `U(-√(6/fan_in), +√(6/fan_in))`. Suitable for ReLU networks.
+pub fn kaiming_uniform(shape: &[usize], fan_in: usize, rng: &mut StdRng) -> Tensor {
+    assert!(fan_in > 0, "fan_in must be positive");
+    let bound = (6.0 / fan_in as f64).sqrt() as f32;
+    let numel: usize = shape.iter().product();
+    let data = (0..numel).map(|_| rng.random_range(-bound..bound)).collect();
+    Tensor::from_vec(shape, data)
+}
+
+/// Xavier/Glorot uniform initialisation:
+/// `U(-√(6/(fan_in+fan_out)), +√(6/(fan_in+fan_out)))`. Suitable for
+/// attention blocks and linear projections followed by soft nonlinearities.
+pub fn xavier_uniform(shape: &[usize], fan_in: usize, fan_out: usize, rng: &mut StdRng) -> Tensor {
+    assert!(fan_in + fan_out > 0, "fans must be positive");
+    let bound = (6.0 / (fan_in + fan_out) as f64).sqrt() as f32;
+    let numel: usize = shape.iter().product();
+    let data = (0..numel).map(|_| rng.random_range(-bound..bound)).collect();
+    Tensor::from_vec(shape, data)
+}
+
+/// Standard Gaussian initialisation scaled by `std`.
+pub fn normal(shape: &[usize], std: f32, rng: &mut StdRng) -> Tensor {
+    let numel: usize = shape.iter().product();
+    let data = (0..numel).map(|_| std * gaussian(rng) as f32).collect();
+    Tensor::from_vec(shape, data)
+}
+
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn kaiming_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = kaiming_uniform(&[100, 10], 10, &mut rng);
+        let bound = (6.0f64 / 10.0).sqrt() as f32;
+        assert!(t.data().iter().all(|&v| v.abs() <= bound));
+        // Not all zero / degenerate.
+        assert!(t.data().iter().any(|&v| v.abs() > bound / 10.0));
+    }
+
+    #[test]
+    fn xavier_bound_smaller_with_larger_fans() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = xavier_uniform(&[1000], 500, 500, &mut rng);
+        let bound = (6.0f64 / 1000.0).sqrt() as f32;
+        assert!(t.data().iter().all(|&v| v.abs() <= bound));
+    }
+
+    #[test]
+    fn normal_has_roughly_requested_std() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = normal(&[10_000], 0.5, &mut rng);
+        let mean: f32 = t.data().iter().sum::<f32>() / 10_000.0;
+        let var: f32 =
+            t.data().iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / 10_000.0;
+        assert!(mean.abs() < 0.02, "mean={mean}");
+        assert!((var.sqrt() - 0.5).abs() < 0.05, "std={}", var.sqrt());
+    }
+
+    #[test]
+    fn init_is_deterministic_per_seed() {
+        let a = kaiming_uniform(&[8], 4, &mut StdRng::seed_from_u64(9));
+        let b = kaiming_uniform(&[8], 4, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,151 @@
+//! Elementwise activations.
+
+use crate::param::{Layer, Param};
+use crate::tensor::Tensor;
+
+/// Rectified linear unit.
+#[derive(Debug, Clone, Default)]
+pub struct Relu {
+    mask: Option<Vec<bool>>,
+}
+
+impl Relu {
+    /// New ReLU.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let mut y = x.clone();
+        if train {
+            let mask: Vec<bool> = x.data().iter().map(|&v| v > 0.0).collect();
+            for (v, &keep) in y.data_mut().iter_mut().zip(&mask) {
+                if !keep {
+                    *v = 0.0;
+                }
+            }
+            self.mask = Some(mask);
+        } else {
+            for v in y.data_mut() {
+                if *v < 0.0 {
+                    *v = 0.0;
+                }
+            }
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mask = self.mask.take().expect("backward without forward(train)");
+        let mut g = grad_out.clone();
+        for (v, keep) in g.data_mut().iter_mut().zip(mask) {
+            if !keep {
+                *v = 0.0;
+            }
+        }
+        g
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+}
+
+/// Gaussian error linear unit (tanh approximation, as used by transformer
+/// feed-forward blocks).
+#[derive(Debug, Clone, Default)]
+pub struct Gelu {
+    cached_input: Option<Tensor>,
+}
+
+impl Gelu {
+    /// New GELU.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    fn value(x: f32) -> f32 {
+        const C: f32 = 0.797_884_6; // √(2/π)
+        0.5 * x * (1.0 + (C * (x + 0.044715 * x * x * x)).tanh())
+    }
+
+    #[inline]
+    fn derivative(x: f32) -> f32 {
+        const C: f32 = 0.797_884_6;
+        let u = C * (x + 0.044715 * x * x * x);
+        let t = u.tanh();
+        let sech2 = 1.0 - t * t;
+        0.5 * (1.0 + t) + 0.5 * x * sech2 * C * (1.0 + 3.0 * 0.044715 * x * x)
+    }
+}
+
+impl Layer for Gelu {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let mut y = x.clone();
+        for v in y.data_mut() {
+            *v = Self::value(*v);
+        }
+        if train {
+            self.cached_input = Some(x.clone());
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self.cached_input.take().expect("backward without forward(train)");
+        let mut g = grad_out.clone();
+        for (gv, &xv) in g.data_mut().iter_mut().zip(x.data()) {
+            *gv *= Self::derivative(xv);
+        }
+        g
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_layer_gradients;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut r = Relu::new();
+        let x = Tensor::from_vec(&[4], vec![-1.0, 0.0, 2.0, -3.0]);
+        let y = r.forward(&x, false);
+        assert_eq!(y.data(), &[0.0, 0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn relu_gradients() {
+        let mut r = Relu::new();
+        let x = Tensor::from_vec(&[6], vec![-1.0, 0.5, 2.0, -3.0, 1.0, -0.2]);
+        check_layer_gradients(&mut r, &x, 1e-3, 1e-2);
+    }
+
+    #[test]
+    fn gelu_known_values() {
+        // GELU(0) = 0, GELU(large) ≈ identity, GELU(-large) ≈ 0.
+        assert!(Gelu::value(0.0).abs() < 1e-6);
+        assert!((Gelu::value(10.0) - 10.0).abs() < 1e-3);
+        assert!(Gelu::value(-10.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn gelu_gradients() {
+        let mut g = Gelu::new();
+        let x = Tensor::from_vec(&[5], vec![-2.0, -0.5, 0.0, 0.5, 2.0]);
+        check_layer_gradients(&mut g, &x, 1e-3, 2e-2);
+    }
+
+    #[test]
+    fn activations_have_no_params() {
+        assert_eq!(Relu::new().param_count(), 0);
+        assert_eq!(Gelu::new().param_count(), 0);
+    }
+}

@@ -1,0 +1,239 @@
+//! 1-D convolution with "same" padding.
+
+use crate::init::kaiming_uniform;
+use crate::param::{Layer, Param};
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+
+/// 1-D convolution on `(N, C_in, L) → (N, C_out, L)` with stride 1 and
+/// zero "same" padding (`pad = k / 2`; odd kernel sizes keep the length).
+///
+/// The inner loops run over the contiguous time axis so LLVM can vectorise
+/// them — this layer dominates the wall-clock of selector training.
+#[derive(Debug, Clone)]
+pub struct Conv1d {
+    /// Weights, shape `(C_out, C_in, K)`.
+    pub weight: Param,
+    /// Bias, shape `(C_out,)`.
+    pub bias: Param,
+    kernel: usize,
+    in_channels: usize,
+    out_channels: usize,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv1d {
+    /// New layer with Kaiming-uniform weights (fan-in = `C_in · K`).
+    ///
+    /// # Panics
+    /// Panics if `kernel` is even (same-padding needs odd kernels).
+    pub fn new(in_channels: usize, out_channels: usize, kernel: usize, rng: &mut StdRng) -> Self {
+        assert!(kernel % 2 == 1, "Conv1d requires odd kernel size, got {kernel}");
+        let fan_in = in_channels * kernel;
+        Self {
+            weight: Param::new(kaiming_uniform(
+                &[out_channels, in_channels, kernel],
+                fan_in,
+                rng,
+            )),
+            bias: Param::new(Tensor::zeros(&[out_channels])),
+            kernel,
+            in_channels,
+            out_channels,
+            cached_input: None,
+        }
+    }
+
+    /// Output channel count.
+    #[allow(dead_code)]
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+}
+
+impl Layer for Conv1d {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        assert_eq!(x.shape().len(), 3, "Conv1d expects (N, C, L)");
+        assert_eq!(x.dim(1), self.in_channels, "channel mismatch");
+        let (n, l) = (x.dim(0), x.dim(2));
+        let pad = self.kernel / 2;
+        let mut y = Tensor::zeros(&[n, self.out_channels, l]);
+        let w = self.weight.value.data();
+        let b = self.bias.value.data();
+        for ni in 0..n {
+            let xb = x.batch(ni);
+            let yb = y.batch_mut(ni);
+            for co in 0..self.out_channels {
+                let y_row = &mut yb[co * l..(co + 1) * l];
+                let bias = b[co];
+                for v in y_row.iter_mut() {
+                    *v = bias;
+                }
+                for ci in 0..self.in_channels {
+                    let x_row = &xb[ci * l..(ci + 1) * l];
+                    let w_base = (co * self.in_channels + ci) * self.kernel;
+                    for k in 0..self.kernel {
+                        let wv = w[w_base + k];
+                        if wv == 0.0 {
+                            continue;
+                        }
+                        // y[t] += w * x[t + k - pad] over valid t.
+                        let (t0, t1) = valid_range(l, k, pad);
+                        let off = k as isize - pad as isize;
+                        let xs = &x_row[(t0 as isize + off) as usize
+                            ..(t1 as isize + off) as usize];
+                        for (yv, &xv) in y_row[t0..t1].iter_mut().zip(xs) {
+                            *yv += wv * xv;
+                        }
+                    }
+                }
+            }
+        }
+        if train {
+            self.cached_input = Some(x.clone());
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self.cached_input.take().expect("backward without forward(train)");
+        let (n, l) = (x.dim(0), x.dim(2));
+        assert_eq!(grad_out.shape(), &[n, self.out_channels, l]);
+        let pad = self.kernel / 2;
+        let mut gx = Tensor::zeros(&[n, self.in_channels, l]);
+        let w = self.weight.value.data().to_vec();
+        let gw = self.weight.grad.data_mut();
+        for ni in 0..n {
+            let xb = x.batch(ni);
+            let gb = grad_out.batch(ni);
+            for co in 0..self.out_channels {
+                let g_row = &gb[co * l..(co + 1) * l];
+                // Bias gradient: sum over time.
+                self.bias.grad.data_mut()[co] += g_row.iter().sum::<f32>();
+                for ci in 0..self.in_channels {
+                    let x_row = &xb[ci * l..(ci + 1) * l];
+                    let w_base = (co * self.in_channels + ci) * self.kernel;
+                    for k in 0..self.kernel {
+                        let (t0, t1) = valid_range(l, k, pad);
+                        if t0 >= t1 {
+                            continue;
+                        }
+                        let off = k as isize - pad as isize;
+                        let xs = &x_row[(t0 as isize + off) as usize
+                            ..(t1 as isize + off) as usize];
+                        // dW[k] += Σ_t g[t] · x[t+k-pad]
+                        let mut acc = 0.0f32;
+                        for (&g, &xv) in g_row[t0..t1].iter().zip(xs) {
+                            acc += g * xv;
+                        }
+                        gw[w_base + k] += acc;
+                    }
+                }
+            }
+            // dX: gx[ci][t+k-pad] += w[co][ci][k] * g[co][t]
+            let gxb = gx.batch_mut(ni);
+            for co in 0..self.out_channels {
+                let g_row = &gb[co * l..(co + 1) * l];
+                for ci in 0..self.in_channels {
+                    let gx_row = &mut gxb[ci * l..(ci + 1) * l];
+                    let w_base = (co * self.in_channels + ci) * self.kernel;
+                    for k in 0..self.kernel {
+                        let wv = w[w_base + k];
+                        if wv == 0.0 {
+                            continue;
+                        }
+                        let (t0, t1) = valid_range(l, k, pad);
+                        let off = k as isize - pad as isize;
+                        let gxs = &mut gx_row[(t0 as isize + off) as usize
+                            ..(t1 as isize + off) as usize];
+                        for (gxv, &g) in gxs.iter_mut().zip(&g_row[t0..t1]) {
+                            *gxv += wv * g;
+                        }
+                    }
+                }
+            }
+        }
+        gx
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+}
+
+/// Valid output range `[t0, t1)` such that `t + k - pad ∈ [0, l)`.
+#[inline]
+fn valid_range(l: usize, k: usize, pad: usize) -> (usize, usize) {
+    let off = k as isize - pad as isize;
+    let t0 = (-off).max(0) as usize;
+    let t1 = ((l as isize - off).min(l as isize)).max(0) as usize;
+    (t0, t1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_layer_gradients;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identity_kernel_reproduces_input() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut c = Conv1d::new(1, 1, 3, &mut rng);
+        c.weight.value.data_mut().copy_from_slice(&[0.0, 1.0, 0.0]);
+        c.bias.value.data_mut()[0] = 0.0;
+        let x = Tensor::from_vec(&[1, 1, 5], vec![1., 2., 3., 4., 5.]);
+        let y = c.forward(&x, false);
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn shift_kernel_pads_with_zero() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut c = Conv1d::new(1, 1, 3, &mut rng);
+        // y[t] = x[t-1] (weight on k=0 reads offset -1).
+        c.weight.value.data_mut().copy_from_slice(&[1.0, 0.0, 0.0]);
+        c.bias.value.data_mut()[0] = 0.0;
+        let x = Tensor::from_vec(&[1, 1, 4], vec![1., 2., 3., 4.]);
+        let y = c.forward(&x, false);
+        assert_eq!(y.data(), &[0., 1., 2., 3.]);
+    }
+
+    #[test]
+    fn multi_channel_shapes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut c = Conv1d::new(3, 5, 7, &mut rng);
+        let x = Tensor::zeros(&[2, 3, 16]);
+        let y = c.forward(&x, false);
+        assert_eq!(y.shape(), &[2, 5, 16]);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut c = Conv1d::new(2, 3, 3, &mut rng);
+        let x = Tensor::from_vec(
+            &[2, 2, 6],
+            (0..24).map(|i| ((i * 7 % 11) as f32 - 5.0) * 0.1).collect(),
+        );
+        check_layer_gradients(&mut c, &x, 1e-2, 2e-2);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd kernel")]
+    fn even_kernel_rejected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let _ = Conv1d::new(1, 1, 4, &mut rng);
+    }
+
+    #[test]
+    fn bias_applied_everywhere() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut c = Conv1d::new(1, 2, 3, &mut rng);
+        c.weight.value.zero_();
+        c.bias.value.data_mut().copy_from_slice(&[0.5, -0.5]);
+        let x = Tensor::zeros(&[1, 1, 4]);
+        let y = c.forward(&x, false);
+        assert_eq!(y.batch(0), &[0.5, 0.5, 0.5, 0.5, -0.5, -0.5, -0.5, -0.5]);
+    }
+}

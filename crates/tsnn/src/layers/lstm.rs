@@ -1,0 +1,317 @@
+//! Single-layer LSTM with full backpropagation through time.
+//!
+//! Used by the LSTM-AD detector: encode a window, predict the next value(s)
+//! from the final hidden state.
+
+use crate::init::xavier_uniform;
+use crate::param::{Layer, Param};
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+
+/// LSTM over `(N, T, I) → (N, H)` (final hidden state).
+///
+/// Gate order in the stacked weight matrices is `[i, f, g, o]`.
+#[derive(Debug, Clone)]
+pub struct Lstm {
+    /// Input weights, shape `(I, 4H)`.
+    pub w_x: Param,
+    /// Recurrent weights, shape `(H, 4H)`.
+    pub w_h: Param,
+    /// Bias, shape `(4H,)` (forget gate initialised to 1).
+    pub bias: Param,
+    input_dim: usize,
+    hidden: usize,
+    cache: Option<LstmCache>,
+}
+
+#[derive(Debug, Clone)]
+struct LstmCache {
+    x: Tensor,
+    /// Per timestep: gates after nonlinearity `(N, 4H)`, cell `(N, H)`,
+    /// hidden `(N, H)`, and tanh(c) `(N, H)`.
+    gates: Vec<Vec<f32>>,
+    cells: Vec<Vec<f32>>,
+    hiddens: Vec<Vec<f32>>,
+    tanh_c: Vec<Vec<f32>>,
+}
+
+impl Lstm {
+    /// New LSTM with `hidden` units for `input_dim`-dimensional inputs.
+    pub fn new(input_dim: usize, hidden: usize, rng: &mut StdRng) -> Self {
+        let mut bias = Tensor::zeros(&[4 * hidden]);
+        // Forget-gate bias 1.0: the standard trick for gradient flow.
+        for v in &mut bias.data_mut()[hidden..2 * hidden] {
+            *v = 1.0;
+        }
+        Self {
+            w_x: Param::new(xavier_uniform(&[input_dim, 4 * hidden], input_dim, hidden, rng)),
+            w_h: Param::new(xavier_uniform(&[hidden, 4 * hidden], hidden, hidden, rng)),
+            bias: Param::new(bias),
+            input_dim,
+            hidden,
+            cache: None,
+        }
+    }
+
+    /// Hidden width.
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden
+    }
+}
+
+#[inline]
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+impl Layer for Lstm {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        assert_eq!(x.shape().len(), 3, "Lstm expects (N, T, I)");
+        let (n, t, i_dim) = (x.dim(0), x.dim(1), x.dim(2));
+        assert_eq!(i_dim, self.input_dim, "input width mismatch");
+        let h = self.hidden;
+        let wx = self.w_x.value.data();
+        let wh = self.w_h.value.data();
+        let b = self.bias.value.data();
+
+        let mut h_prev = vec![0.0f32; n * h];
+        let mut c_prev = vec![0.0f32; n * h];
+        let mut gates_t = Vec::with_capacity(t);
+        let mut cells_t = Vec::with_capacity(t);
+        let mut hidden_t = Vec::with_capacity(t);
+        let mut tanh_c_t = Vec::with_capacity(t);
+
+        for ti in 0..t {
+            let mut pre = vec![0.0f32; n * 4 * h];
+            for ni in 0..n {
+                let x_row = &x.data()[(ni * t + ti) * i_dim..(ni * t + ti + 1) * i_dim];
+                let pre_row = &mut pre[ni * 4 * h..(ni + 1) * 4 * h];
+                pre_row.copy_from_slice(b);
+                for (ii, &xv) in x_row.iter().enumerate() {
+                    if xv == 0.0 {
+                        continue;
+                    }
+                    let w_row = &wx[ii * 4 * h..(ii + 1) * 4 * h];
+                    for (p, &w) in pre_row.iter_mut().zip(w_row) {
+                        *p += xv * w;
+                    }
+                }
+                let h_row = &h_prev[ni * h..(ni + 1) * h];
+                for (hi, &hv) in h_row.iter().enumerate() {
+                    if hv == 0.0 {
+                        continue;
+                    }
+                    let w_row = &wh[hi * 4 * h..(hi + 1) * 4 * h];
+                    for (p, &w) in pre_row.iter_mut().zip(w_row) {
+                        *p += hv * w;
+                    }
+                }
+            }
+            // Nonlinearities and state update.
+            let mut gates = vec![0.0f32; n * 4 * h];
+            let mut c_new = vec![0.0f32; n * h];
+            let mut h_new = vec![0.0f32; n * h];
+            let mut tc = vec![0.0f32; n * h];
+            for ni in 0..n {
+                for k in 0..h {
+                    let base = ni * 4 * h;
+                    let ig = sigmoid(pre[base + k]);
+                    let fg = sigmoid(pre[base + h + k]);
+                    let gg = pre[base + 2 * h + k].tanh();
+                    let og = sigmoid(pre[base + 3 * h + k]);
+                    gates[base + k] = ig;
+                    gates[base + h + k] = fg;
+                    gates[base + 2 * h + k] = gg;
+                    gates[base + 3 * h + k] = og;
+                    let c = fg * c_prev[ni * h + k] + ig * gg;
+                    let tch = c.tanh();
+                    c_new[ni * h + k] = c;
+                    tc[ni * h + k] = tch;
+                    h_new[ni * h + k] = og * tch;
+                }
+            }
+            h_prev = h_new.clone();
+            c_prev = c_new.clone();
+            gates_t.push(gates);
+            cells_t.push(c_new);
+            hidden_t.push(h_new);
+            tanh_c_t.push(tc);
+        }
+
+        let out = Tensor::from_vec(&[n, h], h_prev);
+        if train {
+            self.cache = Some(LstmCache {
+                x: x.clone(),
+                gates: gates_t,
+                cells: cells_t,
+                hiddens: hidden_t,
+                tanh_c: tanh_c_t,
+            });
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self.cache.take().expect("backward without forward(train)");
+        let x = &cache.x;
+        let (n, t, i_dim) = (x.dim(0), x.dim(1), x.dim(2));
+        let h = self.hidden;
+        let wx = self.w_x.value.data().to_vec();
+        let wh = self.w_h.value.data().to_vec();
+
+        let mut gx = Tensor::zeros(&[n, t, i_dim]);
+        let mut dh = grad_out.data().to_vec(); // (N, H) gradient on final h
+        let mut dc = vec![0.0f32; n * h];
+
+        for ti in (0..t).rev() {
+            let gates = &cache.gates[ti];
+            let tanh_c = &cache.tanh_c[ti];
+            let c_prev: &[f32] = if ti == 0 {
+                &[]
+            } else {
+                &cache.cells[ti - 1]
+            };
+            let h_prev: &[f32] = if ti == 0 {
+                &[]
+            } else {
+                &cache.hiddens[ti - 1]
+            };
+            // Gate pre-activation gradients for this step.
+            let mut dpre = vec![0.0f32; n * 4 * h];
+            for ni in 0..n {
+                for k in 0..h {
+                    let base = ni * 4 * h;
+                    let idx = ni * h + k;
+                    let ig = gates[base + k];
+                    let fg = gates[base + h + k];
+                    let gg = gates[base + 2 * h + k];
+                    let og = gates[base + 3 * h + k];
+                    let tch = tanh_c[idx];
+                    let dh_k = dh[idx];
+                    // dc accumulates from h (through tanh) and carry-in.
+                    let dc_k = dc[idx] + dh_k * og * (1.0 - tch * tch);
+                    let cp = if ti == 0 { 0.0 } else { c_prev[idx] };
+                    dpre[base + k] = dc_k * gg * ig * (1.0 - ig); // input gate
+                    dpre[base + h + k] = dc_k * cp * fg * (1.0 - fg); // forget
+                    dpre[base + 2 * h + k] = dc_k * ig * (1.0 - gg * gg); // cell cand
+                    dpre[base + 3 * h + k] = dh_k * tch * og * (1.0 - og); // output
+                    dc[idx] = dc_k * fg; // carry to t-1
+                }
+            }
+            // Parameter gradients and input/hidden gradients.
+            let mut dh_next = vec![0.0f32; n * h];
+            for ni in 0..n {
+                let pre_row = &dpre[ni * 4 * h..(ni + 1) * 4 * h];
+                let x_row = &x.data()[(ni * t + ti) * i_dim..(ni * t + ti + 1) * i_dim];
+                // dWx += xᵀ · dpre
+                for (ii, &xv) in x_row.iter().enumerate() {
+                    if xv != 0.0 {
+                        let gw = &mut self.w_x.grad.data_mut()[ii * 4 * h..(ii + 1) * 4 * h];
+                        for (g, &p) in gw.iter_mut().zip(pre_row) {
+                            *g += xv * p;
+                        }
+                    }
+                }
+                // dWh += h_prevᵀ · dpre
+                if ti > 0 {
+                    let hp_row = &h_prev[ni * h..(ni + 1) * h];
+                    for (hi, &hv) in hp_row.iter().enumerate() {
+                        if hv != 0.0 {
+                            let gw =
+                                &mut self.w_h.grad.data_mut()[hi * 4 * h..(hi + 1) * 4 * h];
+                            for (g, &p) in gw.iter_mut().zip(pre_row) {
+                                *g += hv * p;
+                            }
+                        }
+                    }
+                }
+                // db += dpre
+                for (g, &p) in self.bias.grad.data_mut().iter_mut().zip(pre_row) {
+                    *g += p;
+                }
+                // dx = dpre · Wxᵀ
+                let gx_row =
+                    &mut gx.data_mut()[(ni * t + ti) * i_dim..(ni * t + ti + 1) * i_dim];
+                for (ii, gxv) in gx_row.iter_mut().enumerate() {
+                    let w_row = &wx[ii * 4 * h..(ii + 1) * 4 * h];
+                    let mut acc = 0.0f32;
+                    for (&w, &p) in w_row.iter().zip(pre_row) {
+                        acc += w * p;
+                    }
+                    *gxv = acc;
+                }
+                // dh_prev = dpre · Whᵀ
+                let dhn_row = &mut dh_next[ni * h..(ni + 1) * h];
+                for (hi, dhv) in dhn_row.iter_mut().enumerate() {
+                    let w_row = &wh[hi * 4 * h..(hi + 1) * 4 * h];
+                    let mut acc = 0.0f32;
+                    for (&w, &p) in w_row.iter().zip(pre_row) {
+                        acc += w * p;
+                    }
+                    *dhv = acc;
+                }
+            }
+            dh = dh_next;
+        }
+        gx
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.w_x, &mut self.w_h, &mut self.bias]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_layer_gradients;
+    use rand::SeedableRng;
+
+    #[test]
+    fn output_is_final_hidden_state_shape() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut lstm = Lstm::new(1, 6, &mut rng);
+        let x = Tensor::zeros(&[4, 10, 1]);
+        let y = lstm.forward(&x, false);
+        assert_eq!(y.shape(), &[4, 6]);
+    }
+
+    #[test]
+    fn hidden_state_is_bounded() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut lstm = Lstm::new(1, 4, &mut rng);
+        let x = Tensor::from_vec(&[1, 20, 1], (0..20).map(|i| (i as f32).sin() * 5.0).collect());
+        let y = lstm.forward(&x, false);
+        // h = o ⊙ tanh(c) ∈ (-1, 1).
+        assert!(y.data().iter().all(|&v| v.abs() < 1.0));
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut lstm = Lstm::new(2, 3, &mut rng);
+        let x = Tensor::from_vec(
+            &[2, 4, 2],
+            (0..16).map(|i| ((i * 5 % 9) as f32 - 4.0) * 0.2).collect(),
+        );
+        check_layer_gradients(&mut lstm, &x, 1e-2, 3e-2);
+    }
+
+    #[test]
+    fn forget_bias_initialised_to_one() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let lstm = Lstm::new(1, 5, &mut rng);
+        let b = lstm.bias.value.data();
+        assert!(b[5..10].iter().all(|&v| v == 1.0));
+        assert!(b[0..5].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn different_inputs_give_different_states() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut lstm = Lstm::new(1, 4, &mut rng);
+        let a = lstm.forward(&Tensor::from_vec(&[1, 5, 1], vec![1., 2., 3., 4., 5.]), false);
+        let b = lstm.forward(&Tensor::from_vec(&[1, 5, 1], vec![5., 4., 3., 2., 1.]), false);
+        assert_ne!(a.data(), b.data());
+    }
+}

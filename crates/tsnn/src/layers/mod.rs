@@ -1,0 +1,21 @@
+//! Neural-network layers with hand-written backward passes.
+
+mod activation;
+mod attention;
+mod conv1d;
+mod dropout;
+mod linear;
+mod lstm;
+mod norm;
+mod pool;
+
+pub use activation::{Gelu, Relu};
+pub use attention::MultiHeadSelfAttention;
+pub use conv1d::Conv1d;
+pub use dropout::Dropout;
+pub use linear::Linear;
+pub use lstm::Lstm;
+pub use norm::{BatchNorm1d, LayerNorm};
+pub use pool::{GlobalAvgPool1d, MaxPool1d};
+
+pub use crate::param::Layer;

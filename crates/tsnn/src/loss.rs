@@ -1,0 +1,397 @@
+//! Loss functions with per-sample weights.
+//!
+//! Every loss takes an optional per-sample weight vector. The InfoBatch/PA
+//! pruning strategies rescale surviving samples' gradients by `1/(1-r)`
+//! (paper Eq. 20–22); multiplying the per-sample loss by that factor is the
+//! exact equivalent, so the weights thread through here.
+//!
+//! All losses return the scalar loss (mean over the batch) and the gradient
+//! with respect to their inputs.
+
+use crate::tensor::Tensor;
+
+/// Scalar loss and input gradient.
+#[derive(Debug, Clone)]
+pub struct LossOutput {
+    /// Mean loss over the batch.
+    pub loss: f64,
+    /// ∂loss/∂input, same shape as the input.
+    pub grad: Tensor,
+}
+
+/// Per-sample losses alongside the batch gradient — the pruning strategies
+/// need the individual values to maintain running means.
+#[derive(Debug, Clone)]
+pub struct PerSampleLoss {
+    /// Mean (weighted) loss.
+    pub loss: f64,
+    /// Unweighted per-sample losses (length N).
+    pub per_sample: Vec<f64>,
+    /// ∂loss/∂input.
+    pub grad: Tensor,
+}
+
+fn weight_of(weights: Option<&[f32]>, i: usize) -> f32 {
+    weights.map_or(1.0, |w| w[i])
+}
+
+/// Numerically stable row softmax of a `(N, m)` tensor.
+pub fn softmax_rows(logits: &Tensor) -> Tensor {
+    assert_eq!(logits.shape().len(), 2);
+    let (n, m) = (logits.dim(0), logits.dim(1));
+    let mut out = Tensor::zeros(&[n, m]);
+    for i in 0..n {
+        let row = logits.row(i);
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let o_row = out.row_mut(i);
+        let mut sum = 0.0f32;
+        for (o, &v) in o_row.iter_mut().zip(row) {
+            *o = (v - max).exp();
+            sum += *o;
+        }
+        for o in o_row.iter_mut() {
+            *o /= sum;
+        }
+    }
+    out
+}
+
+/// Hard-label cross-entropy over logits `(N, m)`.
+///
+/// `loss = (1/N) Σ_i w_i · (−log softmax(logits_i)[y_i])`.
+///
+/// # Panics
+/// Panics if a target is out of range or lengths mismatch.
+pub fn cross_entropy(
+    logits: &Tensor,
+    targets: &[usize],
+    weights: Option<&[f32]>,
+) -> PerSampleLoss {
+    let (n, m) = (logits.dim(0), logits.dim(1));
+    assert_eq!(targets.len(), n, "target count mismatch");
+    let probs = softmax_rows(logits);
+    let mut grad = Tensor::zeros(&[n, m]);
+    let mut per_sample = Vec::with_capacity(n);
+    let mut total = 0.0f64;
+    for i in 0..n {
+        let y = targets[i];
+        assert!(y < m, "target {y} out of range for {m} classes");
+        let w = weight_of(weights, i);
+        let p = probs.row(i)[y].max(1e-12);
+        let li = -(p as f64).ln();
+        per_sample.push(li);
+        total += w as f64 * li;
+        let g_row = grad.row_mut(i);
+        let p_row = probs.row(i);
+        let scale = w / n as f32;
+        for j in 0..m {
+            g_row[j] = scale * (p_row[j] - if j == y { 1.0 } else { 0.0 });
+        }
+    }
+    PerSampleLoss { loss: total / n as f64, per_sample, grad }
+}
+
+/// Soft-label cross-entropy (the PISL objective): targets are probability
+/// rows `p_i ∈ [0,1]^m`, loss `= (1/N) Σ_i w_i · (−Σ_j p_ij log p̂_ij)`.
+pub fn soft_cross_entropy(
+    logits: &Tensor,
+    soft_targets: &Tensor,
+    weights: Option<&[f32]>,
+) -> PerSampleLoss {
+    let (n, m) = (logits.dim(0), logits.dim(1));
+    assert_eq!(soft_targets.shape(), &[n, m], "soft target shape mismatch");
+    let probs = softmax_rows(logits);
+    let mut grad = Tensor::zeros(&[n, m]);
+    let mut per_sample = Vec::with_capacity(n);
+    let mut total = 0.0f64;
+    for i in 0..n {
+        let w = weight_of(weights, i);
+        let p_row = probs.row(i);
+        let t_row = soft_targets.row(i);
+        let mut li = 0.0f64;
+        let mut t_sum = 0.0f32;
+        for j in 0..m {
+            li -= t_row[j] as f64 * (p_row[j].max(1e-12) as f64).ln();
+            t_sum += t_row[j];
+        }
+        per_sample.push(li);
+        total += w as f64 * li;
+        // d/dlogits of −Σ t log softmax = (Σt)·softmax − t.
+        let g_row = grad.row_mut(i);
+        let scale = w / n as f32;
+        for j in 0..m {
+            g_row[j] = scale * (t_sum * p_row[j] - t_row[j]);
+        }
+    }
+    PerSampleLoss { loss: total / n as f64, per_sample, grad }
+}
+
+/// Mean squared error with per-sample weights (mean over all elements).
+/// Predictions and targets are `(N, d)`.
+pub fn mse(pred: &Tensor, target: &Tensor, weights: Option<&[f32]>) -> PerSampleLoss {
+    assert_eq!(pred.shape(), target.shape(), "shape mismatch");
+    let (n, d) = (pred.dim(0), pred.dim(1));
+    let mut grad = Tensor::zeros(pred.shape());
+    let mut per_sample = Vec::with_capacity(n);
+    let mut total = 0.0f64;
+    for i in 0..n {
+        let w = weight_of(weights, i);
+        let p_row = pred.row(i);
+        let t_row = target.row(i);
+        let mut li = 0.0f64;
+        let g_row = grad.row_mut(i);
+        for j in 0..d {
+            let diff = p_row[j] - t_row[j];
+            li += (diff as f64) * (diff as f64);
+            g_row[j] = w * 2.0 * diff / (n * d) as f32;
+        }
+        li /= d as f64;
+        per_sample.push(li);
+        total += w as f64 * li;
+    }
+    PerSampleLoss { loss: total / n as f64, per_sample, grad }
+}
+
+/// Bidirectional InfoNCE (the MKI objective).
+///
+/// Rows of `z_t` (time-series features) and `z_k` (knowledge features) are
+/// L2-normalised; similarities are scaled by `1/temperature`; the loss is the
+/// symmetric cross-entropy that matches each series with its own metadata:
+///
+/// `L = (1/2N) Σ_i w_i [ −log softmax_row(S)_ii − log softmax_col(S)_ii ]`.
+///
+/// Returns the loss, per-sample losses, and gradients for both inputs.
+pub fn info_nce(
+    z_t: &Tensor,
+    z_k: &Tensor,
+    temperature: f32,
+    weights: Option<&[f32]>,
+) -> (f64, Vec<f64>, Tensor, Tensor) {
+    assert_eq!(z_t.shape(), z_k.shape(), "feature shape mismatch");
+    assert!(temperature > 0.0, "temperature must be positive");
+    let (n, d) = (z_t.dim(0), z_t.dim(1));
+    if n < 2 {
+        // A single pair carries no contrastive signal.
+        return (0.0, vec![0.0; n], Tensor::zeros(&[n, d]), Tensor::zeros(&[n, d]));
+    }
+
+    // L2-normalise rows, remembering norms for the backward pass.
+    let normalize = |z: &Tensor| -> (Tensor, Vec<f32>) {
+        let mut out = z.clone();
+        let mut norms = Vec::with_capacity(n);
+        for i in 0..n {
+            let row = out.row_mut(i);
+            let norm = row.iter().map(|&v| v * v).sum::<f32>().sqrt().max(1e-6);
+            for v in row.iter_mut() {
+                *v /= norm;
+            }
+            norms.push(norm);
+        }
+        (out, norms)
+    };
+    let (zt_hat, t_norms) = normalize(z_t);
+    let (zk_hat, k_norms) = normalize(z_k);
+
+    // Similarity matrix S = ẑt ẑkᵀ / τ.
+    let mut sim = zt_hat.matmul_t(&zk_hat);
+    sim.scale_(1.0 / temperature);
+
+    // Row softmax P and column softmax Q.
+    let p = softmax_rows(&sim);
+    let sim_t = {
+        // transpose
+        let mut t = Tensor::zeros(&[n, n]);
+        for i in 0..n {
+            for j in 0..n {
+                t.row_mut(j)[i] = sim.row(i)[j];
+            }
+        }
+        t
+    };
+    let q_t = softmax_rows(&sim_t); // q_t[j][i] = Q[i][j]
+
+    let mut per_sample = Vec::with_capacity(n);
+    let mut total = 0.0f64;
+    for i in 0..n {
+        let w = weight_of(weights, i) as f64;
+        let li = -(p.row(i)[i].max(1e-12) as f64).ln()
+            - (q_t.row(i)[i].max(1e-12) as f64).ln();
+        let li = li / 2.0;
+        per_sample.push(li);
+        total += w * li;
+    }
+    let loss = total / n as f64;
+
+    // dL/dS[i][j] = w_i (P[i,j] − δ)/2N  +  w_j (Q[i,j] − δ)/2N.
+    let mut ds = Tensor::zeros(&[n, n]);
+    for i in 0..n {
+        for j in 0..n {
+            let delta = if i == j { 1.0 } else { 0.0 };
+            let wi = weight_of(weights, i);
+            let wj = weight_of(weights, j);
+            ds.row_mut(i)[j] = (wi * (p.row(i)[j] - delta)
+                + wj * (q_t.row(j)[i] - delta))
+                / (2.0 * n as f32);
+        }
+    }
+    ds.scale_(1.0 / temperature);
+
+    // Grads wrt normalised features, then through the normalisation.
+    let g_zt_hat = ds.matmul(&zk_hat); // (N,N)·(N,D)
+    let g_zk_hat = ds.t_matmul(&zt_hat); // dsᵀ·ẑt
+
+    let denormalize = |g_hat: &Tensor, z_hat: &Tensor, norms: &[f32]| -> Tensor {
+        let mut g = Tensor::zeros(&[n, d]);
+        for i in 0..n {
+            let gh = g_hat.row(i);
+            let zh = z_hat.row(i);
+            let dot: f32 = gh.iter().zip(zh).map(|(&a, &b)| a * b).sum();
+            let g_row = g.row_mut(i);
+            for j in 0..d {
+                g_row[j] = (gh[j] - zh[j] * dot) / norms[i];
+            }
+        }
+        g
+    };
+    let g_zt = denormalize(&g_zt_hat, &zt_hat, &t_norms);
+    let g_zk = denormalize(&g_zk_hat, &zk_hat, &k_norms);
+
+    (loss, per_sample, g_zt, g_zk)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_function_gradient;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let t = Tensor::from_vec(&[2, 3], vec![1., 2., 3., -1., 0., 1.]);
+        let s = softmax_rows(&t);
+        for i in 0..2 {
+            let sum: f32 = s.row(i).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_perfect_prediction_is_low() {
+        let logits = Tensor::from_vec(&[1, 3], vec![10.0, -10.0, -10.0]);
+        let out = cross_entropy(&logits, &[0], None);
+        assert!(out.loss < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_uniform_logits_is_log_m() {
+        let logits = Tensor::zeros(&[1, 4]);
+        let out = cross_entropy(&logits, &[2], None);
+        assert!((out.loss - (4.0f64).ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_finite_differences() {
+        let logits = Tensor::from_vec(&[2, 3], vec![0.5, -0.2, 0.1, 1.0, 0.3, -0.7]);
+        let targets = [2usize, 0usize];
+        let analytic = cross_entropy(&logits, &targets, None).grad;
+        let mut f = |x: &Tensor| cross_entropy(x, &targets, None).loss;
+        check_function_gradient(&mut f, &logits, &analytic, 1e-3, 1e-2);
+    }
+
+    #[test]
+    fn cross_entropy_weight_scales_loss_and_grad() {
+        let logits = Tensor::from_vec(&[1, 2], vec![0.3, -0.4]);
+        let unweighted = cross_entropy(&logits, &[1], None);
+        let weighted = cross_entropy(&logits, &[1], Some(&[2.5]));
+        assert!((weighted.loss - 2.5 * unweighted.loss).abs() < 1e-9);
+        for (a, b) in weighted.grad.data().iter().zip(unweighted.grad.data()) {
+            assert!((a - 2.5 * b).abs() < 1e-6);
+        }
+        // Per-sample losses stay unweighted (pruning bookkeeping).
+        assert!((weighted.per_sample[0] - unweighted.per_sample[0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn soft_ce_equals_hard_ce_for_one_hot_targets() {
+        let logits = Tensor::from_vec(&[2, 3], vec![0.5, -0.2, 0.1, 1.0, 0.3, -0.7]);
+        let hard = cross_entropy(&logits, &[1, 2], None);
+        let one_hot = Tensor::from_vec(&[2, 3], vec![0., 1., 0., 0., 0., 1.]);
+        let soft = soft_cross_entropy(&logits, &one_hot, None);
+        assert!((hard.loss - soft.loss).abs() < 1e-6);
+        for (a, b) in hard.grad.data().iter().zip(soft.grad.data()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn soft_ce_gradient_matches_finite_differences() {
+        let logits = Tensor::from_vec(&[2, 3], vec![0.2, -0.5, 0.9, -0.1, 0.4, 0.0]);
+        let targets = Tensor::from_vec(&[2, 3], vec![0.6, 0.3, 0.1, 0.2, 0.2, 0.6]);
+        let analytic = soft_cross_entropy(&logits, &targets, None).grad;
+        let mut f = |x: &Tensor| soft_cross_entropy(x, &targets, None).loss;
+        check_function_gradient(&mut f, &logits, &analytic, 1e-3, 1e-2);
+    }
+
+    #[test]
+    fn mse_basics_and_gradient() {
+        let pred = Tensor::from_vec(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let target = Tensor::from_vec(&[2, 2], vec![1.0, 1.0, 3.0, 5.0]);
+        let out = mse(&pred, &target, None);
+        assert!((out.loss - 0.5).abs() < 1e-9); // mean of (0+1)/2 and (0+1)/2
+        let analytic = out.grad;
+        let mut f = |x: &Tensor| mse(x, &target, None).loss;
+        check_function_gradient(&mut f, &pred, &analytic, 1e-3, 1e-2);
+    }
+
+    #[test]
+    fn info_nce_aligned_pairs_have_lower_loss() {
+        // Aligned: z_k = z_t ⇒ diagonal dominant ⇒ loss below log N.
+        let zt = Tensor::from_vec(&[3, 4], vec![
+            1.0, 0.0, 0.0, 0.0, //
+            0.0, 1.0, 0.0, 0.0, //
+            0.0, 0.0, 1.0, 0.0,
+        ]);
+        let (aligned, _, _, _) = info_nce(&zt, &zt, 0.1, None);
+        // Misaligned: z_k rows permuted.
+        let zk = Tensor::from_vec(&[3, 4], vec![
+            0.0, 1.0, 0.0, 0.0, //
+            0.0, 0.0, 1.0, 0.0, //
+            1.0, 0.0, 0.0, 0.0,
+        ]);
+        let (misaligned, _, _, _) = info_nce(&zt, &zk, 0.1, None);
+        assert!(aligned < 0.01, "aligned={aligned}");
+        assert!(misaligned > aligned + 1.0, "misaligned={misaligned}");
+    }
+
+    #[test]
+    fn info_nce_gradients_match_finite_differences() {
+        let zt = Tensor::from_vec(&[3, 4], (0..12).map(|i| ((i * 7 % 13) as f32 - 6.0) * 0.2).collect());
+        let zk = Tensor::from_vec(&[3, 4], (0..12).map(|i| ((i * 5 % 11) as f32 - 5.0) * 0.2).collect());
+        let (_, _, g_zt, g_zk) = info_nce(&zt, &zk, 0.5, None);
+        let mut f_t = |x: &Tensor| info_nce(x, &zk, 0.5, None).0;
+        check_function_gradient(&mut f_t, &zt, &g_zt, 1e-3, 2e-2);
+        let mut f_k = |x: &Tensor| info_nce(&zt, x, 0.5, None).0;
+        check_function_gradient(&mut f_k, &zk, &g_zk, 1e-3, 2e-2);
+    }
+
+    #[test]
+    fn info_nce_single_sample_is_zero() {
+        let z = Tensor::from_vec(&[1, 3], vec![1.0, 2.0, 3.0]);
+        let (loss, per, g1, g2) = info_nce(&z, &z, 0.1, None);
+        assert_eq!(loss, 0.0);
+        assert_eq!(per, vec![0.0]);
+        assert!(g1.data().iter().all(|&v| v == 0.0));
+        assert!(g2.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn info_nce_scale_invariance_of_inputs() {
+        // L2 normalisation makes the loss invariant to row scaling.
+        let zt = Tensor::from_vec(&[2, 3], vec![1.0, 0.5, -0.3, -0.2, 0.8, 0.1]);
+        let zk = Tensor::from_vec(&[2, 3], vec![0.9, 0.4, -0.2, -0.1, 0.7, 0.2]);
+        let mut zt_scaled = zt.clone();
+        zt_scaled.scale_(7.0);
+        let (a, _, _, _) = info_nce(&zt, &zk, 0.2, None);
+        let (b, _, _, _) = info_nce(&zt_scaled, &zk, 0.2, None);
+        assert!((a - b).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,191 @@
+//! Optimizers and gradient clipping.
+
+use crate::param::Param;
+
+/// Clips gradients to a maximum global L2 norm, returning the pre-clip norm.
+///
+/// This enforces the bounded-gradient assumption of the paper's §A.1.
+pub fn clip_grad_norm(params: &mut [&mut Param], max_norm: f64) -> f64 {
+    let total: f64 = params.iter().map(|p| p.grad.sq_norm()).sum();
+    let norm = total.sqrt();
+    if norm > max_norm && norm > 0.0 {
+        let scale = (max_norm / norm) as f32;
+        for p in params.iter_mut() {
+            p.grad.scale_(scale);
+        }
+    }
+    norm
+}
+
+/// Plain SGD with momentum and optional weight decay.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocity: Vec<Vec<f32>>,
+}
+
+impl Sgd {
+    /// New optimizer.
+    pub fn new(lr: f32, momentum: f32, weight_decay: f32) -> Self {
+        Self { lr, momentum, weight_decay, velocity: Vec::new() }
+    }
+
+    /// Applies one update step. The parameter list must be the same (same
+    /// order, same shapes) on every call.
+    pub fn step(&mut self, params: &mut [&mut Param]) {
+        if self.velocity.is_empty() {
+            self.velocity = params.iter().map(|p| vec![0.0; p.value.numel()]).collect();
+        }
+        assert_eq!(self.velocity.len(), params.len(), "parameter list changed");
+        for (p, vel) in params.iter_mut().zip(&mut self.velocity) {
+            let wd = self.weight_decay;
+            for ((w, &g), v) in
+                p.value.data_mut().iter_mut().zip(p.grad.data()).zip(vel.iter_mut())
+            {
+                let g = g + wd * *w;
+                *v = self.momentum * *v + g;
+                *w -= self.lr * *v;
+            }
+        }
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Sets the learning rate (for schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam optimizer (Kingma & Ba) with decoupled weight decay off by default.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    t: i32,
+    m: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+}
+
+impl Adam {
+    /// New optimizer with the standard betas (0.9, 0.999).
+    pub fn new(lr: f32, weight_decay: f32) -> Self {
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Applies one update step. The parameter list must be stable across
+    /// calls.
+    pub fn step(&mut self, params: &mut [&mut Param]) {
+        if self.m.is_empty() {
+            self.m = params.iter().map(|p| vec![0.0; p.value.numel()]).collect();
+            self.v = params.iter().map(|p| vec![0.0; p.value.numel()]).collect();
+        }
+        assert_eq!(self.m.len(), params.len(), "parameter list changed");
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t);
+        let bc2 = 1.0 - self.beta2.powi(self.t);
+        for ((p, m), v) in params.iter_mut().zip(&mut self.m).zip(&mut self.v) {
+            let wd = self.weight_decay;
+            for (((w, &g), mi), vi) in p
+                .value
+                .data_mut()
+                .iter_mut()
+                .zip(p.grad.data())
+                .zip(m.iter_mut())
+                .zip(v.iter_mut())
+            {
+                let g = g + wd * *w;
+                *mi = self.beta1 * *mi + (1.0 - self.beta1) * g;
+                *vi = self.beta2 * *vi + (1.0 - self.beta2) * g * g;
+                let m_hat = *mi / bc1;
+                let v_hat = *vi / bc2;
+                *w -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        }
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Sets the learning rate (for schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Tensor;
+
+    /// Minimises f(w) = (w − 3)² with the given stepper.
+    fn converges(mut step: impl FnMut(&mut Param)) -> f32 {
+        let mut p = Param::new(Tensor::from_vec(&[1], vec![0.0]));
+        for _ in 0..500 {
+            let w = p.value.data()[0];
+            p.grad.data_mut()[0] = 2.0 * (w - 3.0);
+            step(&mut p);
+        }
+        p.value.data()[0]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.05, 0.9, 0.0);
+        let w = converges(|p| opt.step(&mut [p]));
+        assert!((w - 3.0).abs() < 1e-3, "w={w}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.05, 0.0);
+        let w = converges(|p| opt.step(&mut [p]));
+        assert!((w - 3.0).abs() < 0.05, "w={w}");
+    }
+
+    #[test]
+    fn weight_decay_shrinks_solution() {
+        let mut opt = Sgd::new(0.05, 0.0, 1.0);
+        let w = converges(|p| opt.step(&mut [p]));
+        assert!(w < 2.5 && w > 0.0, "w={w}");
+    }
+
+    #[test]
+    fn clip_caps_global_norm() {
+        let mut p1 = Param::new(Tensor::zeros(&[2]));
+        let mut p2 = Param::new(Tensor::zeros(&[2]));
+        p1.grad.data_mut().copy_from_slice(&[3.0, 0.0]);
+        p2.grad.data_mut().copy_from_slice(&[0.0, 4.0]);
+        let norm = clip_grad_norm(&mut [&mut p1, &mut p2], 1.0);
+        assert!((norm - 5.0).abs() < 1e-6);
+        let after: f64 = p1.grad.sq_norm() + p2.grad.sq_norm();
+        assert!((after.sqrt() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn clip_noop_below_threshold() {
+        let mut p = Param::new(Tensor::zeros(&[1]));
+        p.grad.data_mut()[0] = 0.5;
+        clip_grad_norm(&mut [&mut p], 1.0);
+        assert_eq!(p.grad.data()[0], 0.5);
+    }
+}

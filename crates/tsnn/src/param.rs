@@ -1,0 +1,82 @@
+//! Trainable parameters and the layer protocol.
+
+use crate::tensor::Tensor;
+
+/// A trainable parameter: value plus accumulated gradient.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Current value.
+    pub value: Tensor,
+    /// Gradient accumulated by the current backward pass.
+    pub grad: Tensor,
+}
+
+impl Param {
+    /// Wraps a tensor as a parameter with a zero gradient.
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.shape());
+        Self { value, grad }
+    }
+
+    /// Clears the accumulated gradient.
+    pub fn zero_grad(&mut self) {
+        self.grad.zero_();
+    }
+
+    /// Number of scalar parameters.
+    pub fn numel(&self) -> usize {
+        self.value.numel()
+    }
+}
+
+/// The layer protocol: stateful forward (caches activations), backward
+/// (consumes the cache, accumulates parameter gradients, returns the input
+/// gradient), and parameter access for the optimizer.
+///
+/// `train` distinguishes training from inference for layers with different
+/// behaviours (dropout, batch-norm running statistics).
+pub trait Layer {
+    /// Forward pass. Caches whatever `backward` will need when `train` is
+    /// true.
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor;
+
+    /// Backward pass: given ∂loss/∂output, accumulates parameter gradients
+    /// and returns ∂loss/∂input. Must be called after a `forward` with
+    /// `train = true`.
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Mutable access to all trainable parameters (possibly empty).
+    fn params_mut(&mut self) -> Vec<&mut Param>;
+
+    /// Total number of scalar parameters.
+    fn param_count(&mut self) -> usize {
+        self.params_mut().iter().map(|p| p.numel()).sum()
+    }
+}
+
+/// Zeroes the gradients of a parameter list.
+pub fn zero_grads(params: &mut [&mut Param]) {
+    for p in params.iter_mut() {
+        p.zero_grad();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_starts_with_zero_grad() {
+        let p = Param::new(Tensor::from_vec(&[2], vec![1.0, -1.0]));
+        assert!(p.grad.data().iter().all(|&g| g == 0.0));
+        assert_eq!(p.numel(), 2);
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut p = Param::new(Tensor::zeros(&[2]));
+        p.grad.data_mut()[0] = 5.0;
+        p.zero_grad();
+        assert_eq!(p.grad.data(), &[0.0, 0.0]);
+    }
+}

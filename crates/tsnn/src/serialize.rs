@@ -1,0 +1,121 @@
+//! Portable (de)serialisation of tensors and parameter sets.
+//!
+//! Selector management (save / load / list) needs to persist trained models.
+//! Tensors serialise to a plain `{shape, data}` pair; a named parameter set
+//! serialises to an ordered list so architectures can rebuild themselves and
+//! load weights positionally.
+
+use crate::param::Param;
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Serialisable tensor snapshot.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct TensorData {
+    /// Shape of the tensor.
+    pub shape: Vec<usize>,
+    /// Flat row-major values.
+    pub data: Vec<f32>,
+}
+
+impl From<&Tensor> for TensorData {
+    fn from(t: &Tensor) -> Self {
+        Self { shape: t.shape().to_vec(), data: t.data().to_vec() }
+    }
+}
+
+impl TensorData {
+    /// Rebuilds the tensor.
+    ///
+    /// # Panics
+    /// Panics if the shape and buffer disagree.
+    pub fn to_tensor(&self) -> Tensor {
+        Tensor::from_vec(&self.shape, self.data.clone())
+    }
+}
+
+/// Snapshot of an ordered parameter list (weights only, no gradients).
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct StateDict {
+    /// Parameter tensors in `params_mut()` order.
+    pub tensors: Vec<TensorData>,
+}
+
+/// Extracts a state dict from a parameter list.
+pub fn save_params(params: &[&mut Param]) -> StateDict {
+    StateDict { tensors: params.iter().map(|p| TensorData::from(&p.value)).collect() }
+}
+
+/// Loads a state dict into a parameter list.
+///
+/// # Errors
+/// Returns a message if counts or shapes mismatch.
+pub fn load_params(params: &mut [&mut Param], state: &StateDict) -> Result<(), String> {
+    if params.len() != state.tensors.len() {
+        return Err(format!(
+            "parameter count mismatch: model has {}, snapshot has {}",
+            params.len(),
+            state.tensors.len()
+        ));
+    }
+    for (i, (p, t)) in params.iter_mut().zip(&state.tensors).enumerate() {
+        if p.value.shape() != t.shape.as_slice() {
+            return Err(format!(
+                "parameter {i} shape mismatch: model {:?}, snapshot {:?}",
+                p.value.shape(),
+                t.shape
+            ));
+        }
+        p.value = t.to_tensor();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tensor_roundtrip() {
+        let t = Tensor::from_vec(&[2, 3], (0..6).map(|i| i as f32).collect());
+        let snap = TensorData::from(&t);
+        assert_eq!(snap.to_tensor(), t);
+    }
+
+    #[test]
+    fn params_roundtrip() {
+        let mut p1 = Param::new(Tensor::from_vec(&[2], vec![1.0, 2.0]));
+        let mut p2 = Param::new(Tensor::from_vec(&[1, 2], vec![3.0, 4.0]));
+        let state = save_params(&[&mut p1, &mut p2]);
+
+        let mut q1 = Param::new(Tensor::zeros(&[2]));
+        let mut q2 = Param::new(Tensor::zeros(&[1, 2]));
+        load_params(&mut [&mut q1, &mut q2], &state).unwrap();
+        assert_eq!(q1.value.data(), &[1.0, 2.0]);
+        assert_eq!(q2.value.data(), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn load_rejects_count_mismatch() {
+        let mut p = Param::new(Tensor::zeros(&[2]));
+        let state = StateDict { tensors: vec![] };
+        assert!(load_params(&mut [&mut p], &state).is_err());
+    }
+
+    #[test]
+    fn load_rejects_shape_mismatch() {
+        let mut p1 = Param::new(Tensor::zeros(&[2]));
+        let state = save_params(&[&mut p1]);
+        let mut q = Param::new(Tensor::zeros(&[3]));
+        assert!(load_params(&mut [&mut q], &state).is_err());
+    }
+
+    #[test]
+    fn json_roundtrip_via_serde() {
+        let t = Tensor::from_vec(&[2], vec![0.5, -0.5]);
+        let snap = TensorData::from(&t);
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: TensorData = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+}

@@ -1,0 +1,221 @@
+//! Deterministic hashed bag-of-tokens embedding.
+
+/// A frozen text encoder: deterministic, training-free, vocabulary-free.
+///
+/// Construction parameters are the embedding dimension and a seed; two
+/// encoders with the same parameters produce identical embeddings on every
+/// platform, which stands in for the "frozen pre-trained LLM" of the paper.
+#[derive(Debug, Clone)]
+pub struct FrozenTextEncoder {
+    dim: usize,
+    seed: u64,
+}
+
+impl FrozenTextEncoder {
+    /// Creates an encoder producing `dim`-dimensional embeddings.
+    ///
+    /// # Panics
+    /// Panics if `dim == 0`.
+    pub fn new(dim: usize, seed: u64) -> Self {
+        assert!(dim > 0, "embedding dimension must be positive");
+        Self { dim, seed }
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Encodes a text into an L2-normalised embedding.
+    ///
+    /// Empty or punctuation-only text returns the zero vector.
+    pub fn encode(&self, text: &str) -> Vec<f32> {
+        let mut acc = vec![0.0f64; self.dim];
+        let mut any = false;
+        for (token, weight) in tokens_with_weights(text) {
+            any = true;
+            self.add_token(&mut acc, token_hash(&token), weight);
+        }
+        if !any {
+            return vec![0.0; self.dim];
+        }
+        let norm: f64 = acc.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if norm < 1e-12 {
+            return vec![0.0; self.dim];
+        }
+        acc.iter().map(|&x| (x / norm) as f32).collect()
+    }
+
+    /// Cosine similarity between two embeddings of this encoder.
+    pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+        assert_eq!(a.len(), b.len(), "embedding dimension mismatch");
+        let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+        let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+        let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+        if na < 1e-12 || nb < 1e-12 {
+            0.0
+        } else {
+            dot / (na * nb)
+        }
+    }
+
+    /// Adds the seeded Gaussian vector for a token hash, scaled by `weight`.
+    ///
+    /// The per-token vector is generated on the fly from a splitmix64 stream
+    /// keyed by `(encoder seed, token hash)` — no vocabulary is stored, so
+    /// the encoder handles arbitrary open-vocabulary input.
+    fn add_token(&self, acc: &mut [f64], token_hash: u64, weight: f64) {
+        let mut state = self.seed ^ token_hash.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut i = 0;
+        while i < acc.len() {
+            state = splitmix64(state);
+            // Two approximately-Gaussian values per 64-bit state via the sum
+            // of uniform nibbles (Irwin–Hall, 12 terms ≈ N(0,1)).
+            let g = irwin_hall_gaussian(state);
+            acc[i] += weight * g;
+            i += 1;
+        }
+    }
+}
+
+/// splitmix64 step.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Approximate standard Gaussian from a 64-bit state (Irwin–Hall with 12
+/// uniform(0,1) terms built from 5-bit slices).
+fn irwin_hall_gaussian(state: u64) -> f64 {
+    let mut sum = 0.0;
+    for k in 0..12 {
+        let bits = (state >> (k * 5)) & 0x1F;
+        sum += bits as f64 / 31.0;
+    }
+    sum - 6.0
+}
+
+/// FNV-1a hash of a token.
+fn token_hash(token: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in token.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Tokenises text into weighted terms:
+/// * lowercase word tokens (weight 1.0),
+/// * numeric magnitude buckets `⟨num:⌊log2⌋⟩` (weight 0.8) so nearby numbers
+///   share a token,
+/// * character trigrams of each word (weight 0.25) for robustness to
+///   morphology and typos.
+fn tokens_with_weights(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for raw in text.split(|c: char| !c.is_alphanumeric() && c != '.') {
+        if raw.is_empty() {
+            continue;
+        }
+        let word = raw.to_lowercase();
+        if let Ok(value) = word.parse::<f64>() {
+            // Exact value token plus a magnitude bucket for smoothness.
+            out.push((format!("num#{word}"), 0.6));
+            let bucket = if value.abs() < 1.0 { 0 } else { value.abs().log2().floor() as i64 };
+            out.push((format!("mag#{bucket}"), 0.8));
+            continue;
+        }
+        out.push((word.clone(), 1.0));
+        let chars: Vec<char> = word.chars().collect();
+        if chars.len() >= 3 {
+            for w in chars.windows(3) {
+                out.push((format!("tri#{}{}{}", w[0], w[1], w[2]), 0.25));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let enc = FrozenTextEncoder::new(128, 42);
+        let a = enc.encode("This is a time series from dataset ECG.");
+        let b = enc.encode("This is a time series from dataset ECG.");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn embeddings_are_unit_norm() {
+        let enc = FrozenTextEncoder::new(256, 7);
+        let v = enc.encode("anomaly detection benchmark");
+        let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-4, "norm={norm}");
+    }
+
+    #[test]
+    fn similar_texts_are_closer_than_different_texts() {
+        let enc = FrozenTextEncoder::new(384, 1);
+        let a = enc.encode("This is a time series from dataset ECG with 3 anomalies.");
+        let b = enc.encode("This is a time series from dataset ECG with 4 anomalies.");
+        let c = enc.encode("completely unrelated gibberish about cooking recipes");
+        let sim_ab = FrozenTextEncoder::cosine(&a, &b);
+        let sim_ac = FrozenTextEncoder::cosine(&a, &c);
+        assert!(sim_ab > sim_ac + 0.2, "ab={sim_ab} ac={sim_ac}");
+    }
+
+    #[test]
+    fn nearby_numbers_share_magnitude_bucket() {
+        let enc = FrozenTextEncoder::new(384, 1);
+        let a = enc.encode("length 1000");
+        let b = enc.encode("length 1100");
+        let c = enc.encode("length 3");
+        let sim_ab = FrozenTextEncoder::cosine(&a, &b);
+        let sim_ac = FrozenTextEncoder::cosine(&a, &c);
+        assert!(sim_ab > sim_ac, "ab={sim_ab} ac={sim_ac}");
+    }
+
+    #[test]
+    fn empty_text_is_zero_vector() {
+        let enc = FrozenTextEncoder::new(64, 9);
+        let v = enc.encode("   ,,, !!! ");
+        assert!(v.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn different_seeds_give_different_spaces() {
+        let a = FrozenTextEncoder::new(64, 1).encode("hello world");
+        let b = FrozenTextEncoder::new(64, 2).encode("hello world");
+        assert!(FrozenTextEncoder::cosine(&a, &b).abs() < 0.5);
+    }
+
+    #[test]
+    fn case_insensitive() {
+        let enc = FrozenTextEncoder::new(128, 5);
+        assert_eq!(enc.encode("ECG Dataset"), enc.encode("ecg dataset"));
+    }
+
+    #[test]
+    fn gaussian_has_roughly_unit_variance() {
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        let n = 10_000;
+        let mut state = 12345u64;
+        for _ in 0..n {
+            state = splitmix64(state);
+            let g = irwin_hall_gaussian(state);
+            sum += g;
+            sumsq += g * g;
+        }
+        let mean = sum / n as f64;
+        let var = sumsq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.05, "mean={mean}");
+        assert!((var - 1.0).abs() < 0.15, "var={var}");
+    }
+}

@@ -1,0 +1,90 @@
+//! The paper's metadata-to-natural-language template (§B.1).
+
+/// Metadata describing one time series, rendered into the MKI input text.
+///
+/// Mirrors the fields the paper feeds to BERT: series length, anomaly count,
+/// anomaly lengths, and the dataset's domain description (Table 4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesMetadata {
+    /// Dataset name, e.g. `"ECG"`.
+    pub dataset_name: String,
+    /// Domain description from the benchmark's documentation.
+    pub domain_description: String,
+    /// Number of points in the series.
+    pub series_length: usize,
+    /// Length (in points) of each labeled anomaly.
+    pub anomaly_lengths: Vec<usize>,
+}
+
+impl SeriesMetadata {
+    /// Number of anomalies.
+    pub fn num_anomalies(&self) -> usize {
+        self.anomaly_lengths.len()
+    }
+}
+
+/// Renders metadata with the exact template of §B.1:
+///
+/// > “This is a time series from dataset \[Dataset name\], \[Description\].
+/// > The length of the series is \[Length of series\]. There are \[Number of
+/// > anomalies\] anomalies in this series. The lengths of the anomalies are
+/// > \[Length of anomalies\].” (last sentence omitted when there are no
+/// > anomalies)
+pub fn render_metadata(meta: &SeriesMetadata) -> String {
+    let mut text = format!(
+        "This is a time series from dataset {}, {}. The length of the series is {}. \
+         There are {} anomalies in this series.",
+        meta.dataset_name,
+        meta.domain_description.trim_end_matches('.'),
+        meta.series_length,
+        meta.num_anomalies(),
+    );
+    if !meta.anomaly_lengths.is_empty() {
+        let lengths: Vec<String> =
+            meta.anomaly_lengths.iter().map(|l| l.to_string()).collect();
+        text.push_str(&format!(
+            " The lengths of the anomalies are {}.",
+            lengths.join(", ")
+        ));
+    }
+    text
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(anoms: Vec<usize>) -> SeriesMetadata {
+        SeriesMetadata {
+            dataset_name: "ECG".into(),
+            domain_description: "a standard electrocardiogram dataset".into(),
+            series_length: 1200,
+            anomaly_lengths: anoms,
+        }
+    }
+
+    #[test]
+    fn template_with_anomalies() {
+        let text = render_metadata(&meta(vec![36, 12]));
+        assert!(text.starts_with("This is a time series from dataset ECG,"));
+        assert!(text.contains("The length of the series is 1200."));
+        assert!(text.contains("There are 2 anomalies in this series."));
+        assert!(text.contains("The lengths of the anomalies are 36, 12."));
+    }
+
+    #[test]
+    fn template_without_anomalies_omits_last_sentence() {
+        let text = render_metadata(&meta(vec![]));
+        assert!(text.contains("There are 0 anomalies in this series."));
+        assert!(!text.contains("lengths of the anomalies"));
+    }
+
+    #[test]
+    fn trailing_period_in_description_not_doubled() {
+        let mut m = meta(vec![5]);
+        m.domain_description = "a dataset.".into();
+        let text = render_metadata(&m);
+        assert!(text.contains("a dataset. The length"));
+        assert!(!text.contains("a dataset.. "));
+    }
+}

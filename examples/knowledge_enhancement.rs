@@ -1,0 +1,59 @@
+//! PISL & MKI ablation (the paper's Table 1, example-sized).
+//!
+//! Trains the same ResNet selector four ways — Standard, +PISL, +MKI,
+//! +PISL&MKI — and prints per-dataset AUC-PR plus training time, showing
+//! that the knowledge modules improve accuracy with negligible overhead.
+//!
+//! ```sh
+//! cargo run --release --example knowledge_enhancement
+//! ```
+
+use kdselector::core::pipeline::{Pipeline, PipelineConfig};
+use kdselector::core::train::{MkiConfig, PislConfig, TrainConfig};
+use kdselector::core::Architecture;
+use tsdata::BenchmarkConfig;
+
+fn main() {
+    let mut cfg = PipelineConfig::quick();
+    cfg.benchmark = BenchmarkConfig {
+        train_series_per_family: 3,
+        test_series_per_family: 2,
+        series_length: 600,
+        seed: 5,
+    };
+    cfg.train = TrainConfig {
+        arch: Architecture::ResNet,
+        epochs: 8,
+        width: 6,
+        ..TrainConfig::default()
+    };
+    let pipeline = Pipeline::prepare(cfg).expect("label generation");
+
+    let base = pipeline.config.train;
+    let variants: Vec<(&str, TrainConfig)> = vec![
+        ("Standard", base),
+        ("+PISL", TrainConfig { pisl: Some(PislConfig::default()), ..base }),
+        ("+MKI", TrainConfig { mki: Some(MkiConfig::default()), ..base }),
+        (
+            "+PISL&MKI",
+            TrainConfig {
+                pisl: Some(PislConfig::default()),
+                mki: Some(MkiConfig::default()),
+                ..base
+            },
+        ),
+    ];
+
+    println!("{:<12} {:>10} {:>12}", "Method", "AUC-PR", "Time (s)");
+    let mut standard_auc = 0.0;
+    for (name, cfg) in variants {
+        let outcome = pipeline.train_nn_with(&cfg, name);
+        let auc = outcome.report.average_auc_pr();
+        if name == "Standard" {
+            standard_auc = auc;
+        }
+        println!("{:<12} {:>10.4} {:>12.1}", name, auc, outcome.stats.train_seconds);
+    }
+    println!("\n(Standard = hard labels only; improvements over {standard_auc:.4} come from");
+    println!(" the detector-performance soft labels and the metadata InfoNCE term.)");
+}

@@ -1,0 +1,107 @@
+//! The full demonstration workflow of the paper's §4, as a program:
+//!
+//! 1. **Selector learning** — configure and train, inspect the loss curve.
+//! 2. **Selector management** — save, list, reload.
+//! 3. **Model selection** — per-series votes, like the demo system shows.
+//! 4. **Anomaly detection** — run the selected model, compare with an
+//!    alternative to validate the selection.
+//!
+//! ```sh
+//! cargo run --release --example model_selection_pipeline
+//! ```
+
+use kdselector::core::manage::SelectorStore;
+use kdselector::core::pipeline::{Pipeline, PipelineConfig};
+use kdselector::core::selector::{majority_vote, NnSelector, Selector};
+use kdselector::core::train::TrainConfig;
+use kdselector::core::Architecture;
+use kdselector::detectors::{default_model_set, ModelId};
+use kdselector::metrics::auc_pr;
+use tsdata::BenchmarkConfig;
+
+fn main() {
+    // --- Step 0: data -------------------------------------------------
+    let mut cfg = PipelineConfig::quick();
+    cfg.benchmark = BenchmarkConfig {
+        train_series_per_family: 2,
+        test_series_per_family: 1,
+        series_length: 500,
+        seed: 21,
+    };
+    cfg.train = TrainConfig {
+        epochs: 8,
+        width: 6,
+        ..TrainConfig::knowledge_enhanced(Architecture::ResNet)
+    };
+    let pipeline = Pipeline::prepare(cfg).expect("label generation");
+
+    // --- Step 1: selector learning -------------------------------------
+    println!("== Selector learning ==");
+    let outcome = pipeline.train_nn_selector();
+    for (e, (loss, acc)) in outcome
+        .stats
+        .epoch_loss
+        .iter()
+        .zip(&outcome.stats.epoch_accuracy)
+        .enumerate()
+    {
+        println!("  epoch {e:>2}: loss {loss:.4}  train-acc {acc:.3}");
+    }
+    println!("  training time: {:.1}s", outcome.stats.train_seconds);
+
+    // --- Step 2: selector management -----------------------------------
+    println!("\n== Selector management ==");
+    let store_dir = std::env::temp_dir().join("kdselector-demo-store");
+    let store = SelectorStore::open(&store_dir).expect("store");
+    let mut selector = outcome.selector;
+    store
+        .save(
+            "resnet-kd",
+            &mut selector.model,
+            &format!("avg AUC-PR {:.3}", outcome.report.average_auc_pr()),
+        )
+        .expect("save");
+    for m in store.list().expect("list") {
+        println!("  saved selector: {} ({:?}, window {}) — {}", m.name, m.arch, m.window, m.notes);
+    }
+    let reloaded = store.load("resnet-kd").expect("load");
+    let mut selector = NnSelector::new("resnet-kd", reloaded, pipeline.config.window);
+
+    // --- Step 3: model selection ---------------------------------------
+    println!("\n== Model selection ==");
+    let ts = &pipeline.benchmark.test[2];
+    let votes = selector.window_votes(ts);
+    let mut counts = vec![0usize; 12];
+    for &v in &votes {
+        counts[v] += 1;
+    }
+    println!("  series {} ({}) — votes per model:", ts.id, ts.dataset);
+    for (i, &c) in counts.iter().enumerate() {
+        if c > 0 {
+            println!("    {:<10} {:>3} votes", ModelId::from_index(i).name(), c);
+        }
+    }
+    let winner = ModelId::from_index(majority_vote(&votes, 12));
+    println!("  majority vote → {winner}");
+
+    // --- Step 4: anomaly detection -------------------------------------
+    println!("\n== Anomaly detection ==");
+    let labels = ts.point_labels();
+    let set = default_model_set(7);
+    let chosen = set.iter().find(|d| d.id() == winner).expect("chosen model");
+    let chosen_auc = auc_pr(&chosen.score(&ts.values), &labels);
+    println!("  {} (selected): AUC-PR {:.3}", winner, chosen_auc);
+    // Comparative analysis: run one alternative model.
+    let alternative = if winner == ModelId::Hbos { ModelId::Mp } else { ModelId::Hbos };
+    let alt = set.iter().find(|d| d.id() == alternative).expect("alternative model");
+    let alt_auc = auc_pr(&alt.score(&ts.values), &labels);
+    println!("  {} (alternative): AUC-PR {:.3}", alternative, alt_auc);
+    println!(
+        "  oracle on this series: {} (AUC-PR {:.3})",
+        pipeline
+            .test_perf
+            .best_model(2),
+        pipeline.test_perf.perf_of(2, pipeline.test_perf.best_model(2))
+    );
+    let _ = std::fs::remove_dir_all(&store_dir);
+}

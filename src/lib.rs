@@ -1,0 +1,24 @@
+//! # kdselector — facade crate
+//!
+//! Re-exports the full KDSelector workspace behind one dependency. See
+//! [`kdselector_core`] for the framework itself and the README for a guided
+//! tour.
+//!
+//! ```no_run
+//! use kdselector::core::pipeline::{Pipeline, PipelineConfig};
+//!
+//! let pipeline = Pipeline::prepare(PipelineConfig::quick()).expect("labels");
+//! let outcome = pipeline.train_nn_selector();
+//! println!("avg AUC-PR: {:.3}", outcome.report.average_auc_pr());
+//! ```
+
+pub use kdselector_core as core;
+pub use tsad_models as detectors;
+pub use tsclassic as classic;
+pub use tsdata as data;
+pub use tsfeatures as features;
+pub use tslinalg as linalg;
+pub use tslsh as lsh;
+pub use tsmetrics as metrics;
+pub use tsnn as nn;
+pub use tstext as text;

@@ -1,0 +1,42 @@
+//! Shared fixtures for the integration tests.
+//!
+//! Builds one tiny — but *real* — pipeline per test binary: the full
+//! synthetic benchmark, all 12 detectors run for labels (cached in a
+//! process-unique temp dir), window dataset assembled.
+
+use kdselector::core::pipeline::{Pipeline, PipelineConfig};
+use kdselector::core::train::TrainConfig;
+use kdselector::core::Architecture;
+use std::path::PathBuf;
+use tsdata::{BenchmarkConfig, WindowConfig};
+
+/// Process-unique cache dir so parallel test binaries do not race.
+pub fn temp_cache(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("kdsel-it-{tag}-{}", std::process::id()))
+}
+
+/// A tiny pipeline: 16 train + 14 test series of 400 points, window 32.
+pub fn tiny_pipeline(tag: &str) -> Pipeline {
+    let mut cfg = PipelineConfig::quick();
+    cfg.benchmark = BenchmarkConfig {
+        train_series_per_family: 1,
+        test_series_per_family: 1,
+        series_length: 400,
+        seed: 13,
+    };
+    cfg.window = WindowConfig { length: 32, stride: 32, znormalize: true };
+    cfg.train = TrainConfig {
+        arch: Architecture::ConvNet,
+        width: 4,
+        epochs: 4,
+        batch_size: 32,
+        ..TrainConfig::default()
+    };
+    cfg.cache_dir = temp_cache(tag);
+    Pipeline::prepare(cfg).expect("tiny pipeline")
+}
+
+/// Removes the cache dir of a tagged pipeline.
+pub fn cleanup(tag: &str) {
+    let _ = std::fs::remove_dir_all(temp_cache(tag));
+}

@@ -1,0 +1,71 @@
+//! Contract tests: every detector in the model set behaves on every dataset
+//! family the benchmark generates.
+
+use kdselector::detectors::{default_model_set, ModelId};
+use kdselector::metrics::auc_pr;
+use tsdata::benchmark::generate_series;
+use tsdata::families::all_families;
+
+#[test]
+fn all_detectors_score_all_families_within_bounds() {
+    let detectors = default_model_set(3);
+    for family in all_families() {
+        let ts = generate_series(&family, 400, 99, "contract");
+        for d in &detectors {
+            let scores = d.score(&ts.values);
+            assert_eq!(scores.len(), ts.len(), "{} on {}", d.id(), family.name);
+            assert!(
+                scores.iter().all(|&s| (0.0..=1.0).contains(&s) && s.is_finite()),
+                "{} on {} out of bounds",
+                d.id(),
+                family.name
+            );
+        }
+    }
+}
+
+#[test]
+fn detectors_are_deterministic() {
+    let family = &all_families()[2]; // IOPS
+    let ts = generate_series(family, 400, 5, "det");
+    for d in default_model_set(11) {
+        let a = d.score(&ts.values);
+        let b = d.score(&ts.values);
+        assert_eq!(a, b, "{} not deterministic", d.id());
+    }
+}
+
+#[test]
+fn no_single_model_dominates_every_family() {
+    // The premise of model selection: winners differ across the benchmark.
+    let detectors = default_model_set(3);
+    let mut winners = std::collections::BTreeSet::new();
+    for (fi, family) in all_families().iter().enumerate() {
+        let ts = generate_series(family, 600, 17 + fi as u64, "dom");
+        let labels = ts.point_labels();
+        let mut best = (ModelId::IForest, f64::MIN);
+        for d in &detectors {
+            let pr = auc_pr(&d.score(&ts.values), &labels);
+            if pr > best.1 {
+                best = (d.id(), pr);
+            }
+        }
+        winners.insert(best.0);
+    }
+    assert!(
+        winners.len() >= 3,
+        "expected heterogeneous winners across 16 families, got {winners:?}"
+    );
+}
+
+#[test]
+fn degenerate_inputs_never_panic() {
+    for d in default_model_set(0) {
+        assert!(d.score(&[]).is_empty(), "{}", d.id());
+        let constant = vec![1.0; 50];
+        let s = d.score(&constant);
+        assert_eq!(s.len(), 50, "{}", d.id());
+        let tiny = vec![0.5; 3];
+        assert_eq!(d.score(&tiny).len(), 3, "{}", d.id());
+    }
+}

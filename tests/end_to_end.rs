@@ -1,0 +1,91 @@
+//! End-to-end integration: benchmark → labels → training → evaluation →
+//! persistence, across crate boundaries.
+
+mod common;
+
+use kdselector::core::manage::SelectorStore;
+use kdselector::core::selector::{NnSelector, Selector};
+use kdselector::core::train::{MkiConfig, PislConfig, TrainConfig};
+
+#[test]
+fn full_pipeline_trains_evaluates_and_round_trips() {
+    let pipeline = common::tiny_pipeline("e2e");
+
+    // The benchmark has the paper's shape: 16 train families, 14 test.
+    assert_eq!(pipeline.benchmark.train.len(), 16);
+    assert_eq!(pipeline.benchmark.test.len(), 14);
+    assert_eq!(pipeline.train_perf.len(), 16);
+    assert_eq!(pipeline.test_perf.len(), 14);
+
+    // Every perf row has 12 valid AUC-PR values.
+    for row in &pipeline.train_perf.rows {
+        assert_eq!(row.len(), 12);
+        assert!(row.iter().all(|v| (0.0..=1.0).contains(v)));
+    }
+
+    // Train the full KDSelector stack (PISL + MKI) on the tiny dataset.
+    let cfg = TrainConfig {
+        pisl: Some(PislConfig::default()),
+        mki: Some(MkiConfig { hidden: 32, proj_dim: 16, ..MkiConfig::default() }),
+        ..pipeline.config.train
+    };
+    let outcome = pipeline.train_nn_with(&cfg, "kd-tiny");
+    assert_eq!(outcome.report.per_dataset.len(), 14);
+    let avg = outcome.report.average_auc_pr();
+    assert!((0.0..=1.0).contains(&avg), "avg={avg}");
+    // The selected models' scores can never exceed the oracle.
+    assert!(avg <= pipeline.test_perf.oracle_mean() + 1e-9);
+
+    // Losses are finite and positive (monotone decrease is asserted in the
+    // core unit tests with a longer budget; 4 epochs on 16 series with the
+    // InfoNCE term is too noisy for that here).
+    let stats = &outcome.stats;
+    assert!(stats.epoch_loss.iter().all(|l| l.is_finite() && *l > 0.0));
+
+    // Persistence round-trip preserves behaviour exactly.
+    let store_dir = common::temp_cache("e2e-store");
+    let store = SelectorStore::open(&store_dir).unwrap();
+    let mut selector = outcome.selector;
+    let before: Vec<_> =
+        pipeline.benchmark.test.iter().map(|ts| selector.select(ts)).collect();
+    store.save("roundtrip", &mut selector.model, "integration").unwrap();
+    let loaded = store.load("roundtrip").unwrap();
+    let mut reloaded = NnSelector::new("roundtrip", loaded, pipeline.config.window);
+    let after: Vec<_> =
+        pipeline.benchmark.test.iter().map(|ts| reloaded.select(ts)).collect();
+    assert_eq!(before, after);
+
+    let _ = std::fs::remove_dir_all(&store_dir);
+    common::cleanup("e2e");
+}
+
+#[test]
+fn training_determinism_across_runs() {
+    let pipeline = common::tiny_pipeline("det");
+    let a = pipeline.train_nn_selector();
+    let b = pipeline.train_nn_selector();
+    assert_eq!(a.report.selections, b.report.selections);
+    assert_eq!(a.stats.epoch_loss, b.stats.epoch_loss);
+    common::cleanup("det");
+}
+
+#[test]
+fn evaluation_never_exceeds_oracle_per_dataset() {
+    let pipeline = common::tiny_pipeline("oracle");
+    let outcome = pipeline.train_nn_selector();
+    // Build the oracle per-dataset means.
+    for (ds, auc) in &outcome.report.per_dataset {
+        let mut oracle_sum = 0.0;
+        let mut n = 0usize;
+        for (i, ts) in pipeline.benchmark.test.iter().enumerate() {
+            if &ts.dataset == ds {
+                oracle_sum +=
+                    pipeline.test_perf.perf_of(i, pipeline.test_perf.best_model(i));
+                n += 1;
+            }
+        }
+        let oracle = oracle_sum / n as f64;
+        assert!(*auc <= oracle + 1e-9, "{ds}: {auc} > oracle {oracle}");
+    }
+    common::cleanup("oracle");
+}

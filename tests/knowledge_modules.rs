@@ -1,0 +1,100 @@
+//! Cross-crate behaviour of the knowledge modules (PISL soft labels, MKI
+//! embeddings) on real pipeline data.
+
+mod common;
+
+use kdselector::core::dataset::metadata_text;
+use kdselector::core::train::{MkiConfig, PislConfig, TrainConfig};
+use kdselector::text::FrozenTextEncoder;
+
+#[test]
+fn soft_labels_agree_with_hard_labels_at_low_temperature() {
+    let pipeline = common::tiny_pipeline("pisl");
+    let ds = &pipeline.dataset;
+    for i in (0..ds.len()).step_by(7) {
+        let soft = ds.soft_label(i, 0.05);
+        let argmax = soft
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(j, _)| j)
+            .unwrap();
+        assert_eq!(argmax, ds.hard_labels[i], "window {i}");
+        let sum: f32 = soft.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-4);
+    }
+    common::cleanup("pisl");
+}
+
+#[test]
+fn metadata_embeddings_cluster_by_family() {
+    let pipeline = common::tiny_pipeline("mki");
+    // Two series of the same family should have more similar metadata
+    // embeddings than two series of different families, because the
+    // rendered text shares the dataset name and the domain description.
+    let enc = FrozenTextEncoder::new(256, 0xBEB7);
+    let texts: Vec<String> =
+        pipeline.benchmark.train.iter().map(metadata_text).collect();
+    let embeds: Vec<Vec<f32>> = texts.iter().map(|t| enc.encode(t)).collect();
+    // With 1 train series per family, test same-family via train/test pairs.
+    let ecg_train = pipeline
+        .benchmark
+        .train
+        .iter()
+        .position(|t| t.dataset == "ECG")
+        .expect("ECG series");
+    let ecg_test = pipeline
+        .benchmark
+        .test
+        .iter()
+        .find(|t| t.dataset == "ECG")
+        .expect("ECG test series");
+    let mgab_train = pipeline
+        .benchmark
+        .train
+        .iter()
+        .position(|t| t.dataset == "MGAB")
+        .expect("MGAB series");
+    let ecg_test_embed = enc.encode(&metadata_text(ecg_test));
+    let same = FrozenTextEncoder::cosine(&embeds[ecg_train], &ecg_test_embed);
+    let diff = FrozenTextEncoder::cosine(&embeds[ecg_train], &embeds[mgab_train]);
+    assert!(same > diff, "same-family {same} vs cross-family {diff}");
+    common::cleanup("mki");
+}
+
+#[test]
+fn pisl_alpha_zero_equals_standard_training() {
+    let pipeline = common::tiny_pipeline("alpha0");
+    let base = pipeline.config.train;
+    let standard = pipeline.train_nn_with(&base, "standard");
+    let alpha0 = pipeline.train_nn_with(
+        &TrainConfig {
+            pisl: Some(PislConfig { alpha: 0.0, t_soft: 0.25 }),
+            ..base
+        },
+        "alpha0",
+    );
+    // α = 0 removes the soft term entirely: identical training trajectory.
+    assert_eq!(standard.stats.epoch_loss, alpha0.stats.epoch_loss);
+    assert_eq!(standard.report.selections, alpha0.report.selections);
+    common::cleanup("alpha0");
+}
+
+#[test]
+fn mki_lambda_zero_matches_standard_selections() {
+    let pipeline = common::tiny_pipeline("lambda0");
+    let base = pipeline.config.train;
+    let standard = pipeline.train_nn_with(&base, "standard");
+    let lambda0 = pipeline.train_nn_with(
+        &TrainConfig {
+            mki: Some(MkiConfig { lambda: 0.0, hidden: 16, proj_dim: 8, ..MkiConfig::default() }),
+            ..base
+        },
+        "lambda0",
+    );
+    // λ = 0 zeroes the InfoNCE gradients; the selector path is untouched
+    // (the extra MLPs still consume RNG, so trajectories may differ —
+    // but the classifier loss must match at epoch 0 before any divergence).
+    assert!((standard.stats.epoch_loss[0] - lambda0.stats.epoch_loss[0]).abs() < 1e-6);
+    common::cleanup("lambda0");
+}

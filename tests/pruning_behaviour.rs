@@ -1,0 +1,57 @@
+//! Cross-crate pruning behaviour: InfoBatch vs PA on a real training run.
+
+mod common;
+
+use kdselector::core::prune::PruningStrategy;
+use kdselector::core::train::TrainConfig;
+
+#[test]
+fn pa_visits_fewest_samples_and_stays_close_in_accuracy() {
+    let pipeline = common::tiny_pipeline("prune");
+    let mut base = pipeline.config.train;
+    base.epochs = 8;
+
+    let full = pipeline.train_nn_with(&TrainConfig { pruning: PruningStrategy::None, ..base }, "full");
+    let ib = pipeline.train_nn_with(
+        &TrainConfig { pruning: PruningStrategy::InfoBatch { ratio: 0.8, anneal: 0.125 }, ..base },
+        "infobatch",
+    );
+    let pa = pipeline.train_nn_with(
+        &TrainConfig {
+            pruning: PruningStrategy::Pa { ratio: 0.8, lsh_bits: 14, bins: 8, anneal: 0.125 },
+            ..base
+        },
+        "pa",
+    );
+
+    // Visit counts: full > InfoBatch >= PA.
+    let visits = |s: &kdselector::core::TrainStats| s.epoch_examined.iter().sum::<usize>();
+    assert!(visits(&full.stats) > visits(&ib.stats), "InfoBatch must prune");
+    assert!(visits(&ib.stats) >= visits(&pa.stats), "PA prunes at least as much");
+
+    // Accuracy stays in a sane band (synthetic tiny data ⇒ loose tolerance).
+    let f = full.report.average_auc_pr();
+    let p = pa.report.average_auc_pr();
+    assert!(
+        (f - p).abs() < 0.25,
+        "PA accuracy drifted too far: full={f:.3} pa={p:.3}"
+    );
+    common::cleanup("prune");
+}
+
+#[test]
+fn first_and_anneal_epochs_use_full_data() {
+    let pipeline = common::tiny_pipeline("anneal");
+    let mut cfg = pipeline.config.train;
+    cfg.epochs = 8;
+    cfg.pruning = PruningStrategy::Pa { ratio: 0.8, lsh_bits: 12, bins: 4, anneal: 0.25 };
+    let outcome = pipeline.train_nn_with(&cfg, "pa");
+    let n = outcome.stats.total_windows;
+    let examined = &outcome.stats.epoch_examined;
+    assert_eq!(examined[0], n, "epoch 0 must be full");
+    assert_eq!(examined[6], n, "anneal tail (25% of 8 = last 2 epochs) must be full");
+    assert_eq!(examined[7], n);
+    // Some middle epoch must actually prune.
+    assert!(examined[1..6].iter().any(|&e| e < n), "{examined:?}");
+    common::cleanup("anneal");
+}
