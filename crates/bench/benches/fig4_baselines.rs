@@ -77,9 +77,7 @@ fn main() {
     let refs_points = reference_points(&pipeline.test_perf);
     println!(
         "\nOracle (per-series best model): {:.4}; best single model: {} at {:.4}",
-        refs_points.oracle,
-        refs_points.best_single.0,
-        refs_points.best_single.1
+        refs_points.oracle, refs_points.best_single.0, refs_points.best_single.1
     );
     let ours_avg = reports.last().unwrap().average_auc_pr();
     let best_baseline = reports[..reports.len() - 1]

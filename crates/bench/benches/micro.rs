@@ -24,6 +24,50 @@ fn bench_series(n: usize) -> Vec<f64> {
         .collect()
 }
 
+/// Matmul shapes drawn from the selector architectures: MKI projection MLP
+/// layers (`arch.feature_dim() ≈ 64` → 256 hidden → 64) forward and
+/// backward, plus a square stress shape for cache-blocking headroom. The
+/// wider shape sweep (InfoNCE similarity, classifier head) lives in the
+/// `micro_kernels` bin, which also records `BENCH_micro.json`.
+fn matmul_kernel_benches(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let mut mk = |shape: &[usize]| {
+        use rand::Rng as _;
+        let numel: usize = shape.iter().product();
+        Tensor::from_vec(
+            shape,
+            (0..numel).map(|_| rng.random_range(-0.5f32..0.5)).collect(),
+        )
+    };
+    let mut group = c.benchmark_group("gemm");
+    group.sample_size(12);
+
+    let cases: Vec<(&str, Tensor, Tensor)> = vec![
+        ("mlp_fc1_64x256x64", mk(&[64, 64]), mk(&[64, 256])),
+        ("mlp_fc2_64x64x256", mk(&[64, 256]), mk(&[256, 64])),
+        ("square_256", mk(&[256, 256]), mk(&[256, 256])),
+    ];
+    for (name, a, b) in &cases {
+        group.bench_function(&format!("matmul_{name}"), |bch| {
+            bch.iter(|| black_box(a.matmul(black_box(b))))
+        });
+        group.bench_function(&format!("matmul_naive_{name}"), |bch| {
+            bch.iter(|| black_box(a.matmul_naive(black_box(b))))
+        });
+    }
+    // Backward-pass shapes: dW = xᵀ·g and dx = g·Wᵀ for the fc1 layer.
+    let x = mk(&[64, 64]);
+    let g = mk(&[64, 256]);
+    let w = mk(&[64, 256]);
+    group.bench_function("t_matmul_dw_64x256x64", |bch| {
+        bch.iter(|| black_box(x.t_matmul(black_box(&g))))
+    });
+    group.bench_function("matmul_t_dx_64x64x256", |bch| {
+        bch.iter(|| black_box(g.matmul_t(black_box(&w))))
+    });
+    group.finish();
+}
+
 fn conv1d_benches(c: &mut Criterion) {
     let mut rng = rand::rngs::StdRng::seed_from_u64(1);
     let mut conv = Conv1d::new(8, 16, 5, &mut rng);
@@ -53,13 +97,24 @@ fn detector_benches(c: &mut Criterion) {
     let mut group = c.benchmark_group("detectors_1200pts");
     group.sample_size(10);
     for (name, det) in [
-        ("HBOS", Box::new(tsad_models::hbos::Hbos::default_config()) as Box<dyn Detector>),
-        ("IForest", Box::new(tsad_models::iforest::IForest::windows(1))),
-        ("MP", Box::new(tsad_models::mp::MatrixProfile::default_config())),
+        (
+            "HBOS",
+            Box::new(tsad_models::hbos::Hbos::default_config()) as Box<dyn Detector>,
+        ),
+        (
+            "IForest",
+            Box::new(tsad_models::iforest::IForest::windows(1)),
+        ),
+        (
+            "MP",
+            Box::new(tsad_models::mp::MatrixProfile::default_config()),
+        ),
         ("POLY", Box::new(tsad_models::poly::Poly::default_config())),
     ] {
-        group.bench_function(name, |b| b.iter(|| black_box(det.score(black_box(&series)))));
-        assert_eq!(det.id().index() < ModelId::ALL.len(), true);
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(det.score(black_box(&series))))
+        });
+        assert!(det.id().index() < ModelId::ALL.len());
     }
     group.finish();
 }
@@ -83,8 +138,18 @@ fn minirocket_bench(c: &mut Criterion) {
 }
 
 fn infonce_bench(c: &mut Criterion) {
-    let zt = Tensor::from_vec(&[64, 64], (0..4096).map(|i| ((i * 7 % 97) as f32 - 48.0) * 0.01).collect());
-    let zk = Tensor::from_vec(&[64, 64], (0..4096).map(|i| ((i * 13 % 89) as f32 - 44.0) * 0.01).collect());
+    let zt = Tensor::from_vec(
+        &[64, 64],
+        (0..4096)
+            .map(|i| ((i * 7 % 97) as f32 - 48.0) * 0.01)
+            .collect(),
+    );
+    let zk = Tensor::from_vec(
+        &[64, 64],
+        (0..4096)
+            .map(|i| ((i * 13 % 89) as f32 - 44.0) * 0.01)
+            .collect(),
+    );
     c.bench_function("infonce_64x64", |b| {
         b.iter(|| black_box(info_nce(black_box(&zt), black_box(&zk), 0.1, None)))
     });
@@ -93,12 +158,21 @@ fn infonce_bench(c: &mut Criterion) {
 fn prune_plan_bench(c: &mut Criterion) {
     let n = 4000;
     let inputs: Vec<Vec<f64>> = (0..n)
-        .map(|i| (0..64).map(|j| ((i * 31 + j * 7) % 113) as f64 * 0.01).collect())
+        .map(|i| {
+            (0..64)
+                .map(|j| ((i * 31 + j * 7) % 113) as f64 * 0.01)
+                .collect()
+        })
         .collect();
     c.bench_function("pa_plan_4000_samples", |b| {
         b.iter(|| {
             let mut st = PruneState::new(
-                PruningStrategy::Pa { ratio: 0.8, lsh_bits: 14, bins: 8, anneal: 0.125 },
+                PruningStrategy::Pa {
+                    ratio: 0.8,
+                    lsh_bits: 14,
+                    bins: 8,
+                    anneal: 0.125,
+                },
                 Some(&inputs),
                 n,
                 7,
@@ -114,6 +188,6 @@ fn prune_plan_bench(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = conv1d_benches, attention_bench, detector_benches, lsh_bench, minirocket_bench, infonce_bench, prune_plan_bench
+    targets = matmul_kernel_benches, conv1d_benches, attention_bench, detector_benches, lsh_bench, minirocket_bench, infonce_bench, prune_plan_bench
 }
 criterion_main!(benches);

@@ -18,8 +18,20 @@ fn main() {
 
     let variants: Vec<(&str, TrainConfig)> = vec![
         ("Standard", base),
-        ("+PISL", TrainConfig { pisl: Some(PislConfig::default()), ..base }),
-        ("+MKI", TrainConfig { mki: Some(MkiConfig::default()), ..base }),
+        (
+            "+PISL",
+            TrainConfig {
+                pisl: Some(PislConfig::default()),
+                ..base
+            },
+        ),
+        (
+            "+MKI",
+            TrainConfig {
+                mki: Some(MkiConfig::default()),
+                ..base
+            },
+        ),
         (
             "+PISL&MKI",
             TrainConfig {

@@ -16,8 +16,11 @@ use kdselector_core::Architecture;
 fn main() {
     let pipeline = Scale::from_env().prepare();
     let base = pipeline.config.train;
-    let archs =
-        [Architecture::ResNet, Architecture::InceptionTime, Architecture::Transformer];
+    let archs = [
+        Architecture::ResNet,
+        Architecture::InceptionTime,
+        Architecture::Transformer,
+    ];
 
     println!("\n=== Table 3: KDSelector on different architectures ===");
     println!(
@@ -37,8 +40,7 @@ fn main() {
             width: base.width,
             ..TrainConfig::knowledge_enhanced(arch)
         };
-        let acc_run =
-            pipeline.train_nn_with(&acc_cfg, &format!("{}+KD", arch.name()));
+        let acc_run = pipeline.train_nn_with(&acc_cfg, &format!("{}+KD", arch.name()));
 
         eprintln!("[table3] {} +PISL&MKI&PA (time) ...", arch.name());
         let fast_cfg = TrainConfig {
@@ -46,13 +48,11 @@ fn main() {
             width: base.width,
             ..TrainConfig::kdselector(arch)
         };
-        let fast_run =
-            pipeline.train_nn_with(&fast_cfg, &format!("{}+KD+PA", arch.name()));
+        let fast_run = pipeline.train_nn_with(&fast_cfg, &format!("{}+KD+PA", arch.name()));
 
         let d_auc = default_run.report.average_auc_pr();
         let k_auc = acc_run.report.average_auc_pr();
-        let saved = (1.0 - fast_run.stats.train_seconds / default_run.stats.train_seconds)
-            * 100.0;
+        let saved = (1.0 - fast_run.stats.train_seconds / default_run.stats.train_seconds) * 100.0;
         println!(
             "{:<15} {:>12.4} {:>12.4} {:>+12.4} {:>12.1} {:>11.1}%",
             arch.name(),
@@ -76,5 +76,8 @@ fn main() {
     println!("  paper: ΔAUC-PR +0.040 / +0.046 / +0.015; saved 58.3% / 71.0% / 74.2%");
     println!("  (improvement positive on every architecture, large time savings)");
 
-    record_result("table3_architectures", &serde_json::json!({ "table": "3", "rows": rows }));
+    record_result(
+        "table3_architectures",
+        &serde_json::json!({ "table": "3", "rows": rows }),
+    );
 }

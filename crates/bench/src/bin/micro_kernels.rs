@@ -1,0 +1,156 @@
+//! Kernel-level speedup record: blocked/parallel GEMM vs the naive seed
+//! kernel, at matrix shapes drawn from the selector architectures.
+//!
+//! Appends one compact JSON line per run to `BENCH_micro.json` (repo root,
+//! override with `KD_BENCH_OUT`) so the perf trajectory is tracked PR over
+//! PR. Run via `scripts/bench.sh` or:
+//!
+//! ```text
+//! cargo run --release -p kdselector-bench --bin micro_kernels
+//! ```
+
+use std::io::Write as _;
+use std::time::Instant;
+use tsnn::Tensor;
+
+/// (label, op, n, m, k) — shapes taken from the workspace's hot paths:
+/// Linear forward/backward in the MKI projection MLPs (256-wide hidden),
+/// the InfoNCE similarity matrix, classifier layers over minibatches, and
+/// a square stress shape for the cache-blocking headroom.
+const CASES: &[(&str, &str, usize, usize, usize)] = &[
+    ("mki_mlp_fc1", "matmul", 64, 256, 64),
+    ("mki_mlp_fc1_dw", "t_matmul", 64, 256, 64),
+    ("mki_mlp_fc1_dx", "matmul_t", 64, 64, 256),
+    ("mki_mlp_fc2", "matmul", 64, 64, 256),
+    ("infonce_sim", "matmul_t", 64, 64, 64),
+    ("classifier", "matmul", 256, 12, 128),
+    ("classifier_dw", "t_matmul", 256, 12, 128),
+    ("square_256", "matmul", 256, 256, 256),
+    ("square_256_t", "matmul_t", 256, 256, 256),
+];
+
+fn filled(shape: &[usize], seed: u32) -> Tensor {
+    // Cheap deterministic fill; values in [-0.5, 0.5).
+    let numel: usize = shape.iter().product();
+    let data = (0..numel)
+        .map(|i| {
+            (((i as u32).wrapping_mul(2654435761).wrapping_add(seed) >> 8) & 0xFFFF) as f32
+                / 65536.0
+                - 0.5
+        })
+        .collect();
+    Tensor::from_vec(shape, data)
+}
+
+/// Median-of-samples nanoseconds per call.
+fn time_ns(mut f: impl FnMut() -> Tensor) -> f64 {
+    // Calibrate batch size to ~10ms.
+    let t0 = Instant::now();
+    let _keep = f();
+    let once = t0.elapsed().as_secs_f64().max(1e-7);
+    let batch = ((0.01 / once).ceil() as usize).clamp(1, 20_000);
+    let mut samples = Vec::with_capacity(7);
+    for _ in 0..7 {
+        let t = Instant::now();
+        for _ in 0..batch {
+            std::hint::black_box(f());
+        }
+        samples.push(t.elapsed().as_secs_f64() / batch as f64);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2] * 1e9
+}
+
+fn max_abs_diff(a: &Tensor, b: &Tensor) -> f64 {
+    a.data()
+        .iter()
+        .zip(b.data())
+        .map(|(&x, &y)| (x - y).abs() as f64)
+        .fold(0.0, f64::max)
+}
+
+fn main() {
+    let threads = tspar::threads();
+    println!("kernel micro-bench: {threads} thread(s) (KD_THREADS to override)\n");
+    println!(
+        "{:<16} {:>10} {:>5}x{:<4}x{:<4} {:>12} {:>12} {:>8} {:>10}",
+        "case", "op", "n", "m", "k", "naive ns", "blocked ns", "speedup", "max|Δ|"
+    );
+
+    let mut rows = Vec::new();
+    let mut log_speedup_sum = 0.0f64;
+    for &(label, op, n, m, k) in CASES {
+        let (a, b) = match op {
+            "matmul" => (filled(&[n, k], 1), filled(&[k, m], 2)),
+            // t_matmul: self is (inner, rows_out) = (k, n) in tensor terms.
+            "t_matmul" => (filled(&[k, n], 1), filled(&[k, m], 2)),
+            // matmul_t: other is (m, k).
+            "matmul_t" => (filled(&[n, k], 1), filled(&[m, k], 2)),
+            _ => unreachable!(),
+        };
+        let (fast, slow): (Tensor, Tensor) = match op {
+            "matmul" => (a.matmul(&b), a.matmul_naive(&b)),
+            "t_matmul" => (a.t_matmul(&b), a.t_matmul_naive(&b)),
+            "matmul_t" => (a.matmul_t(&b), a.matmul_t_naive(&b)),
+            _ => unreachable!(),
+        };
+        let diff = max_abs_diff(&fast, &slow);
+        assert!(
+            diff <= 1e-5,
+            "{label}: blocked kernel diverged from naive ({diff})"
+        );
+
+        let naive_ns = match op {
+            "matmul" => time_ns(|| a.matmul_naive(&b)),
+            "t_matmul" => time_ns(|| a.t_matmul_naive(&b)),
+            "matmul_t" => time_ns(|| a.matmul_t_naive(&b)),
+            _ => unreachable!(),
+        };
+        let blocked_ns = match op {
+            "matmul" => time_ns(|| a.matmul(&b)),
+            "t_matmul" => time_ns(|| a.t_matmul(&b)),
+            "matmul_t" => time_ns(|| a.matmul_t(&b)),
+            _ => unreachable!(),
+        };
+        let speedup = naive_ns / blocked_ns;
+        log_speedup_sum += speedup.ln();
+        println!(
+            "{:<16} {:>10} {:>5}x{:<4}x{:<4} {:>12.0} {:>12.0} {:>7.2}x {:>10.2e}",
+            label, op, n, m, k, naive_ns, blocked_ns, speedup, diff
+        );
+        rows.push(serde_json::json!({
+            "case": label,
+            "op": op,
+            "n": n,
+            "m": m,
+            "k": k,
+            "naive_ns": naive_ns,
+            "blocked_ns": blocked_ns,
+            "speedup": speedup,
+            "max_abs_diff": diff,
+        }));
+    }
+
+    let geomean = (log_speedup_sum / CASES.len() as f64).exp();
+    println!("\ngeomean speedup: {geomean:.2}x at {threads} thread(s)");
+
+    let record = serde_json::json!({
+        "bench": "micro_kernels",
+        "threads": threads,
+        "geomean_speedup": geomean,
+        "cases": rows,
+    });
+    let path = std::env::var("KD_BENCH_OUT").unwrap_or_else(|_| "BENCH_micro.json".into());
+    let line = serde_json::to_string(&record).expect("serializable record");
+    match std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
+        Ok(mut f) => {
+            let _ = writeln!(f, "{line}");
+            println!("appended record to {path}");
+        }
+        Err(e) => eprintln!("could not append to {path}: {e}"),
+    }
+}

@@ -39,8 +39,14 @@ impl Scale {
 
     /// The pipeline configuration for this scale.
     pub fn pipeline_config(&self) -> PipelineConfig {
-        let mut cfg = PipelineConfig::default();
-        cfg.window = WindowConfig { length: 64, stride: 64, znormalize: true };
+        let mut cfg = PipelineConfig {
+            window: WindowConfig {
+                length: 64,
+                stride: 64,
+                znormalize: true,
+            },
+            ..PipelineConfig::default()
+        };
         match self {
             Scale::Quick => {
                 cfg.benchmark = BenchmarkConfig {
@@ -49,7 +55,11 @@ impl Scale {
                     series_length: 800,
                     seed: 7,
                 };
-                cfg.train = TrainConfig { epochs: 6, width: 6, ..TrainConfig::default() };
+                cfg.train = TrainConfig {
+                    epochs: 6,
+                    width: 6,
+                    ..TrainConfig::default()
+                };
             }
             Scale::Default => {
                 cfg.benchmark = BenchmarkConfig {
@@ -58,7 +68,11 @@ impl Scale {
                     series_length: 1200,
                     seed: 7,
                 };
-                cfg.train = TrainConfig { epochs: 10, width: 8, ..TrainConfig::default() };
+                cfg.train = TrainConfig {
+                    epochs: 10,
+                    width: 8,
+                    ..TrainConfig::default()
+                };
             }
             Scale::Paper => {
                 cfg.benchmark = BenchmarkConfig {
@@ -67,7 +81,11 @@ impl Scale {
                     series_length: 1600,
                     seed: 7,
                 };
-                cfg.train = TrainConfig { epochs: 12, width: 10, ..TrainConfig::default() };
+                cfg.train = TrainConfig {
+                    epochs: 12,
+                    width: 10,
+                    ..TrainConfig::default()
+                };
             }
         }
         cfg
@@ -98,8 +116,11 @@ pub fn print_table(
     times_seconds: Option<&[f64]>,
 ) {
     println!("\n=== {title} ===");
-    let datasets: Vec<&str> =
-        reports[0].per_dataset.iter().map(|(d, _)| d.as_str()).collect();
+    let datasets: Vec<&str> = reports[0]
+        .per_dataset
+        .iter()
+        .map(|(d, _)| d.as_str())
+        .collect();
     print!("{:<14}", "Dataset");
     for m in methods {
         print!("{m:>15}");
@@ -138,7 +159,11 @@ pub fn record_result(name: &str, value: &serde_json::Value) {
     let path = results_dir().join(format!("{name}.json"));
     match std::fs::File::create(&path) {
         Ok(mut f) => {
-            let _ = writeln!(f, "{}", serde_json::to_string_pretty(value).unwrap_or_default());
+            let _ = writeln!(
+                f,
+                "{}",
+                serde_json::to_string_pretty(value).unwrap_or_default()
+            );
             eprintln!("[kdsel] recorded {}", path.display());
         }
         Err(e) => eprintln!("[kdsel] could not record {name}: {e}"),

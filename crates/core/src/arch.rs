@@ -16,8 +16,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use tsnn::layers::{
-    BatchNorm1d, Conv1d, Gelu, Layer, LayerNorm, Linear, MaxPool1d, MultiHeadSelfAttention,
-    Relu,
+    BatchNorm1d, Conv1d, Gelu, Layer, LayerNorm, Linear, MaxPool1d, MultiHeadSelfAttention, Relu,
 };
 use tsnn::{init, Param, Tensor};
 
@@ -87,9 +86,7 @@ impl Architecture {
             Architecture::ConvNet => Box::new(ConvNetEncoder::new(width, &mut rng)),
             Architecture::ResNet => Box::new(ResNetEncoder::new(width, &mut rng)),
             Architecture::InceptionTime => Box::new(InceptionEncoder::new(width, &mut rng)),
-            Architecture::Transformer => {
-                Box::new(TransformerEncoder::new(window, width, &mut rng))
-            }
+            Architecture::Transformer => Box::new(TransformerEncoder::new(window, width, &mut rng)),
         }
     }
 }
@@ -275,7 +272,8 @@ impl ResBlock {
             r2: Relu::new(),
             c3: Conv1d::new(cout, cout, 3, rng),
             b3: BatchNorm1d::new(cout),
-            shortcut: (cin != cout).then(|| (Conv1d::new(cin, cout, 1, rng), BatchNorm1d::new(cout))),
+            shortcut: (cin != cout)
+                .then(|| (Conv1d::new(cin, cout, 1, rng), BatchNorm1d::new(cout))),
             out_relu: Relu::new(),
             cached_input: None,
         }
@@ -431,7 +429,10 @@ struct MaxPool3Same {
 
 impl MaxPool3Same {
     fn new() -> Self {
-        Self { argmax: None, in_shape: None }
+        Self {
+            argmax: None,
+            in_shape: None,
+        }
     }
 
     fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
@@ -511,7 +512,8 @@ fn split_channels(grad: &Tensor, widths: &[usize]) -> Vec<Tensor> {
         let gb = grad.batch(ni);
         let mut offset = 0;
         for (o, &c) in outs.iter_mut().zip(widths) {
-            o.batch_mut(ni).copy_from_slice(&gb[offset * l..(offset + c) * l]);
+            o.batch_mut(ni)
+                .copy_from_slice(&gb[offset * l..(offset + c) * l]);
             offset += c;
         }
     }
@@ -536,7 +538,10 @@ impl InceptionModule {
         let bc = if cin > 1 { f } else { 1 };
         Self {
             bottleneck,
-            convs: [5usize, 11, 21].iter().map(|&k| Conv1d::new(bc, f, k, rng)).collect(),
+            convs: [5usize, 11, 21]
+                .iter()
+                .map(|&k| Conv1d::new(bc, f, k, rng))
+                .collect(),
             pool: MaxPool3Same::new(),
             pool_conv: Conv1d::new(cin, f, 1, rng),
             bn: BatchNorm1d::new(4 * f),
@@ -550,8 +555,11 @@ impl InceptionModule {
             Some(conv) => conv.forward(x, train),
             None => x.clone(),
         };
-        let mut parts: Vec<Tensor> =
-            self.convs.iter_mut().map(|c| c.forward(&b, train)).collect();
+        let mut parts: Vec<Tensor> = self
+            .convs
+            .iter_mut()
+            .map(|c| c.forward(&b, train))
+            .collect();
         let pooled = self.pool.forward(x, train);
         parts.push(self.pool_conv.forward(&pooled, train));
         let y = concat_channels(&parts);
@@ -791,7 +799,10 @@ impl TransformerEncoder {
             stem_relu: Relu::new(),
             stem_pool: MaxPool1d::new(pool),
             pos: Param::new(init::normal(&[tokens, dim], 0.02, rng)),
-            blocks: vec![TransformerBlock::new(dim, heads, rng), TransformerBlock::new(dim, heads, rng)],
+            blocks: vec![
+                TransformerBlock::new(dim, heads, rng),
+                TransformerBlock::new(dim, heads, rng),
+            ],
             final_ln: LayerNorm::new(dim),
             dim,
             tokens,
@@ -807,7 +818,7 @@ impl Encoder for TransformerEncoder {
         let y = self.stem_relu.forward(&y, train);
         let y = self.stem_pool.forward(&y, train); // (N, D, T)
         let mut tokens = transpose_cl(&y); // (N, T, D)
-        // Add positional embedding.
+                                           // Add positional embedding.
         let (t, d) = (self.tokens, self.dim);
         for ni in 0..n {
             let tb = tokens.batch_mut(ni);
@@ -892,7 +903,9 @@ mod tests {
         let mut enc = arch.build(64, 8, 3);
         let x = Tensor::from_vec(
             &[4, 1, 64],
-            (0..256).map(|i| ((i * 13 % 29) as f32 - 14.0) * 0.1).collect(),
+            (0..256)
+                .map(|i| ((i * 13 % 29) as f32 - 14.0) * 0.1)
+                .collect(),
         );
         let z = enc.forward(&x, true);
         assert_eq!(z.dim(0), 4);
@@ -944,7 +957,9 @@ mod tests {
         let mut enc = Architecture::ConvNet.build(32, 4, 1);
         let x = Tensor::from_vec(
             &[8, 1, 32],
-            (0..256).map(|i| ((i * 7 % 23) as f32 - 11.0) * 0.1).collect(),
+            (0..256)
+                .map(|i| ((i * 7 % 23) as f32 - 11.0) * 0.1)
+                .collect(),
         );
         let target = Tensor::zeros(&[8, enc.feature_dim()]);
         let mut opt = Adam::new(0.01, 0.0);

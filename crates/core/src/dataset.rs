@@ -38,7 +38,11 @@ impl SelectorDataset {
         window_cfg: WindowConfig,
         text_encoder: &FrozenTextEncoder,
     ) -> Self {
-        assert_eq!(perf.len(), series.len(), "perf matrix must cover all series");
+        assert_eq!(
+            perf.len(),
+            series.len(),
+            "perf matrix must cover all series"
+        );
         let mut windows = Vec::new();
         let mut series_index = Vec::new();
         let mut hard_labels = Vec::new();
@@ -188,8 +192,7 @@ mod tests {
         let (series, perf) = toy();
         let enc = FrozenTextEncoder::new(64, 0);
         let ds = SelectorDataset::build(&series, &perf, WindowConfig::default(), &enc);
-        let same_series: Vec<usize> =
-            (0..ds.len()).filter(|&i| ds.series_index[i] == 0).collect();
+        let same_series: Vec<usize> = (0..ds.len()).filter(|&i| ds.series_index[i] == 0).collect();
         assert!(same_series.len() >= 2);
         assert_eq!(ds.knowledge(same_series[0]), ds.knowledge(same_series[1]));
     }

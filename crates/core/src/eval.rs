@@ -32,7 +32,10 @@ impl EvalReport {
 
     /// AUC-PR of a specific dataset family, if present.
     pub fn dataset_auc_pr(&self, dataset: &str) -> Option<f64> {
-        self.per_dataset.iter().find(|(d, _)| d == dataset).map(|(_, v)| *v)
+        self.per_dataset
+            .iter()
+            .find(|(d, _)| d == dataset)
+            .map(|(_, v)| *v)
     }
 }
 
@@ -40,12 +43,12 @@ impl EvalReport {
 ///
 /// # Panics
 /// Panics if `perf` does not cover `test`.
-pub fn evaluate(
-    selector: &mut dyn Selector,
-    test: &[TimeSeries],
-    perf: &PerfMatrix,
-) -> EvalReport {
-    assert_eq!(perf.len(), test.len(), "perf matrix must cover the test set");
+pub fn evaluate(selector: &mut dyn Selector, test: &[TimeSeries], perf: &PerfMatrix) -> EvalReport {
+    assert_eq!(
+        perf.len(),
+        test.len(),
+        "perf matrix must cover the test set"
+    );
     let mut selections = Vec::with_capacity(test.len());
     let mut sums: Vec<(String, f64, usize)> = Vec::new();
     for (i, ts) in test.iter().enumerate() {
@@ -62,7 +65,10 @@ pub fn evaluate(
     }
     EvalReport {
         selector: selector.name().to_string(),
-        per_dataset: sums.into_iter().map(|(d, t, c)| (d, t / c as f64)).collect(),
+        per_dataset: sums
+            .into_iter()
+            .map(|(d, t, c)| (d, t / c as f64))
+            .collect(),
         selections,
     }
 }
@@ -83,13 +89,15 @@ pub fn reference_points(perf: &PerfMatrix) -> ReferencePoints {
     let n = perf.len().max(1);
     let mut best = (ModelId::IForest, f64::MIN);
     for model in ModelId::ALL {
-        let mean: f64 =
-            (0..perf.len()).map(|i| perf.perf_of(i, model)).sum::<f64>() / n as f64;
+        let mean: f64 = (0..perf.len()).map(|i| perf.perf_of(i, model)).sum::<f64>() / n as f64;
         if mean > best.1 {
             best = (model, mean);
         }
     }
-    ReferencePoints { oracle, best_single: best }
+    ReferencePoints {
+        oracle,
+        best_single: best,
+    }
 }
 
 #[cfg(test)]

@@ -71,40 +71,16 @@ impl PerfMatrix {
 }
 
 /// Computes the performance matrix for a set of series, running all 12
-/// detectors on each. Work is split across two worker threads (the detector
-/// runs are independent per series).
+/// detectors on each. Series are scored on the shared [`tspar`] pool (one
+/// task per series, dealt round-robin across all configured workers), so
+/// the full model set saturates every core instead of the previous
+/// hard-coded cap of 4 threads.
 pub fn compute_perf_matrix(series: &[TimeSeries], seed: u64) -> PerfMatrix {
-    let n = series.len();
-    let mut rows: Vec<Vec<f64>> = vec![Vec::new(); n];
-    let n_workers = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1).min(4);
-    if n_workers <= 1 || n < 2 {
-        for (i, ts) in series.iter().enumerate() {
-            rows[i] = score_series(ts, seed);
-        }
-    } else {
-        let results: Vec<(usize, Vec<f64>)> = crossbeam::thread::scope(|scope| {
-            let chunks: Vec<Vec<usize>> = (0..n_workers)
-                .map(|w| (0..n).filter(|i| i % n_workers == w).collect())
-                .collect();
-            let handles: Vec<_> = chunks
-                .into_iter()
-                .map(|chunk| {
-                    scope.spawn(move |_| {
-                        chunk
-                            .into_iter()
-                            .map(|i| (i, score_series(&series[i], seed)))
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            handles.into_iter().flat_map(|h| h.join().expect("worker panicked")).collect()
-        })
-        .expect("thread scope");
-        for (i, row) in results {
-            rows[i] = row;
-        }
+    let rows = tspar::par_map(series.len(), |i| score_series(&series[i], seed));
+    PerfMatrix {
+        series_ids: series.iter().map(|s| s.id.clone()).collect(),
+        rows,
     }
-    PerfMatrix { series_ids: series.iter().map(|s| s.id.clone()).collect(), rows }
 }
 
 /// Runs the full model set on one series and scores each with AUC-PR.
@@ -136,7 +112,11 @@ pub fn cached_perf_matrix(
     if let Ok(bytes) = std::fs::read(&path) {
         if let Ok(matrix) = serde_json::from_slice::<PerfMatrix>(&bytes) {
             if matrix.len() == series.len()
-                && matrix.series_ids.iter().zip(series).all(|(id, s)| *id == s.id)
+                && matrix
+                    .series_ids
+                    .iter()
+                    .zip(series)
+                    .all(|(id, s)| *id == s.id)
             {
                 return Ok(matrix);
             }
@@ -188,7 +168,9 @@ mod tests {
     fn best_model_is_argmax() {
         let m = PerfMatrix {
             series_ids: vec!["a".into()],
-            rows: vec![vec![0.1, 0.9, 0.2, 0.3, 0.1, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]],
+            rows: vec![vec![
+                0.1, 0.9, 0.2, 0.3, 0.1, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0,
+            ]],
         };
         assert_eq!(m.best_model(0), ModelId::IForest1);
         assert!((m.perf_of(0, ModelId::IForest1) - 0.9).abs() < 1e-12);
@@ -215,8 +197,7 @@ mod tests {
     fn parallel_and_serial_agree() {
         let series = tiny_series();
         let parallel = compute_perf_matrix(&series, 2);
-        let serial: Vec<Vec<f64>> =
-            series.iter().map(|ts| score_series(ts, 2)).collect();
+        let serial: Vec<Vec<f64>> = series.iter().map(|ts| score_series(ts, 2)).collect();
         assert_eq!(parallel.rows, serial);
     }
 }

@@ -69,8 +69,7 @@ impl SelectorStore {
             notes: notes.to_string(),
         };
         let params = save_params(&selector.params_mut());
-        let buffers: Vec<Vec<f32>> =
-            selector.buffers_mut().iter().map(|b| b.to_vec()).collect();
+        let buffers: Vec<Vec<f32>> = selector.buffers_mut().iter().map(|b| b.to_vec()).collect();
         let state = SavedState { params, buffers };
         std::fs::write(
             self.manifest_path(name),
@@ -85,8 +84,7 @@ impl SelectorStore {
         validate_name(name)?;
         let manifest: SelectorManifest =
             serde_json::from_slice(&std::fs::read(self.manifest_path(name))?)?;
-        let state: SavedState =
-            serde_json::from_slice(&std::fs::read(self.weights_path(name))?)?;
+        let state: SavedState = serde_json::from_slice(&std::fs::read(self.weights_path(name))?)?;
         let mut selector = TrainedSelector::build(
             manifest.arch,
             manifest.window,
@@ -199,10 +197,13 @@ mod tests {
                 *v = 0.5 + 0.01 * (i + j) as f32;
             }
         }
-        let windows: Vec<Vec<f32>> =
-            (0..3).map(|s| (0..32).map(|t| ((t + s) as f32 * 0.3).sin()).collect()).collect();
+        let windows: Vec<Vec<f32>> = (0..3)
+            .map(|s| (0..32).map(|t| ((t + s) as f32 * 0.3).sin()).collect())
+            .collect();
         let before = original.predict_logits(&windows);
-        store.save("my-selector", &mut original, "unit test").unwrap();
+        store
+            .save("my-selector", &mut original, "unit test")
+            .unwrap();
 
         let mut loaded = store.load("my-selector").unwrap();
         let after = loaded.predict_logits(&windows);

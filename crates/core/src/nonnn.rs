@@ -70,14 +70,10 @@ impl FeatureSelector {
     ///
     /// `seed` drives the stochastic trainers (forest bootstrap, SVC shuffle).
     pub fn train(dataset: &SelectorDataset, kind: FeatureModel, seed: u64) -> Self {
-        let features: Vec<Vec<f64>> = dataset
-            .windows
-            .iter()
-            .map(|w| {
-                let as_f64: Vec<f64> = w.iter().map(|&v| v as f64).collect();
-                extract_features(&as_f64)
-            })
-            .collect();
+        let features: Vec<Vec<f64>> = tspar::par_map(dataset.windows.len(), |i| {
+            let as_f64: Vec<f64> = dataset.windows[i].iter().map(|&v| v as f64).collect();
+            extract_features(&as_f64)
+        });
         let scaler = StandardScaler::fit(&features);
         let scaled = scaler.transform_batch(&features);
         let labels = &dataset.hard_labels;
@@ -86,17 +82,26 @@ impl FeatureSelector {
             FeatureModel::Svc => FittedModel::Svc(LinearSvc::fit(
                 &scaled,
                 labels,
-                SvcConfig { seed, ..SvcConfig::default() },
+                SvcConfig {
+                    seed,
+                    ..SvcConfig::default()
+                },
             )),
             FeatureModel::AdaBoost => FittedModel::Ada(AdaBoost::fit(
                 &scaled,
                 labels,
-                AdaBoostConfig { seed, ..AdaBoostConfig::default() },
+                AdaBoostConfig {
+                    seed,
+                    ..AdaBoostConfig::default()
+                },
             )),
             FeatureModel::RandomForest => FittedModel::Forest(RandomForest::fit(
                 &scaled,
                 labels,
-                ForestConfig { seed, ..ForestConfig::default() },
+                ForestConfig {
+                    seed,
+                    ..ForestConfig::default()
+                },
             )),
         };
         Self {
@@ -182,14 +187,22 @@ mod tests {
         let b = Benchmark::generate(cfg);
         let series: Vec<_> = b.train.into_iter().take(6).collect();
         let rows: Vec<Vec<f64>> = (0..6)
-            .map(|i| (0..12).map(|m| if m == i % 2 { 0.8 } else { 0.1 }).collect())
+            .map(|i| {
+                (0..12)
+                    .map(|m| if m == i % 2 { 0.8 } else { 0.1 })
+                    .collect()
+            })
             .collect();
         let perf = PerfMatrix {
             series_ids: series.iter().map(|s| s.id.clone()).collect(),
             rows,
         };
         let enc = FrozenTextEncoder::new(32, 0);
-        let wc = tsdata::WindowConfig { length: 32, stride: 32, znormalize: true };
+        let wc = tsdata::WindowConfig {
+            length: 32,
+            stride: 32,
+            znormalize: true,
+        };
         (SelectorDataset::build(&series, &perf, wc, &enc), series)
     }
 

@@ -35,7 +35,11 @@ impl Default for PipelineConfig {
     fn default() -> Self {
         Self {
             benchmark: BenchmarkConfig::default(),
-            window: WindowConfig { length: 64, stride: 64, znormalize: true },
+            window: WindowConfig {
+                length: 64,
+                stride: 64,
+                znormalize: true,
+            },
             train: TrainConfig::default(),
             text_dim: 256,
             detector_seed: 11,
@@ -47,12 +51,14 @@ impl Default for PipelineConfig {
 impl PipelineConfig {
     /// Small configuration for tests and quick demos (minutes → seconds).
     pub fn quick() -> Self {
-        let mut cfg = Self::default();
-        cfg.benchmark = BenchmarkConfig {
-            train_series_per_family: 3,
-            test_series_per_family: 2,
-            series_length: 600,
-            seed: 7,
+        let mut cfg = Self {
+            benchmark: BenchmarkConfig {
+                train_series_per_family: 3,
+                test_series_per_family: 2,
+                series_length: 600,
+                seed: 7,
+            },
+            ..Self::default()
         };
         cfg.train.epochs = 6;
         cfg.train.width = 6;
@@ -105,7 +111,13 @@ impl Pipeline {
         let encoder = FrozenTextEncoder::new(config.text_dim, 0xBEB7);
         let dataset =
             SelectorDataset::build(&benchmark.train, &train_perf, config.window, &encoder);
-        Ok(Self { config, benchmark, train_perf, test_perf, dataset })
+        Ok(Self {
+            config,
+            benchmark,
+            train_perf,
+            test_perf,
+            dataset,
+        })
     }
 
     /// Trains an NN selector with the pipeline's training config.
@@ -118,7 +130,11 @@ impl Pipeline {
         let (model, stats) = train(&self.dataset, cfg);
         let mut selector = NnSelector::new(label, model, self.config.window);
         let report = evaluate(&mut selector, &self.benchmark.test, &self.test_perf);
-        TrainOutcome { selector, stats, report }
+        TrainOutcome {
+            selector,
+            stats,
+            report,
+        }
     }
 
     /// Trains and evaluates a feature-based baseline.
@@ -126,7 +142,10 @@ impl Pipeline {
         let start = std::time::Instant::now();
         let mut selector = FeatureSelector::train(&self.dataset, kind, self.config.train.seed);
         let seconds = start.elapsed().as_secs_f64();
-        (evaluate(&mut selector, &self.benchmark.test, &self.test_perf), seconds)
+        (
+            evaluate(&mut selector, &self.benchmark.test, &self.test_perf),
+            seconds,
+        )
     }
 
     /// Trains and evaluates the Rocket baseline.
@@ -134,7 +153,10 @@ impl Pipeline {
         let start = std::time::Instant::now();
         let mut selector = RocketSelector::train(&self.dataset, self.config.train.seed);
         let seconds = start.elapsed().as_secs_f64();
-        (evaluate(&mut selector, &self.benchmark.test, &self.test_perf), seconds)
+        (
+            evaluate(&mut selector, &self.benchmark.test, &self.test_perf),
+            seconds,
+        )
     }
 
     /// Evaluates an already-trained selector on this pipeline's test split.
@@ -158,11 +180,14 @@ mod tests {
             series_length: 300,
             seed: 3,
         };
-        cfg.window = WindowConfig { length: 32, stride: 32, znormalize: true };
+        cfg.window = WindowConfig {
+            length: 32,
+            stride: 32,
+            znormalize: true,
+        };
         cfg.train.epochs = 2;
         cfg.train.width = 4;
-        cfg.cache_dir =
-            std::env::temp_dir().join(format!("kdsel-pipe-{}", std::process::id()));
+        cfg.cache_dir = std::env::temp_dir().join(format!("kdsel-pipe-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&cfg.cache_dir);
 
         let pipeline = Pipeline::prepare(cfg).unwrap();

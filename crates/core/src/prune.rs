@@ -44,12 +44,20 @@ pub enum PruningStrategy {
 impl PruningStrategy {
     /// The paper's default InfoBatch setting (r = 0.8, 12.5 % anneal).
     pub fn info_batch_default() -> Self {
-        PruningStrategy::InfoBatch { ratio: 0.8, anneal: 0.125 }
+        PruningStrategy::InfoBatch {
+            ratio: 0.8,
+            anneal: 0.125,
+        }
     }
 
     /// The paper's default PA setting (r = 0.8, 14 bits, 8 bins).
     pub fn pa_default() -> Self {
-        PruningStrategy::Pa { ratio: 0.8, lsh_bits: 14, bins: 8, anneal: 0.125 }
+        PruningStrategy::Pa {
+            ratio: 0.8,
+            lsh_bits: 14,
+            bins: 8,
+            anneal: 0.125,
+        }
     }
 
     /// Short display name.
@@ -73,7 +81,10 @@ pub struct EpochPlan {
 
 impl EpochPlan {
     fn full(n: usize) -> Self {
-        Self { indices: (0..n).collect(), weights: vec![1.0; n] }
+        Self {
+            indices: (0..n).collect(),
+            weights: vec![1.0; n],
+        }
     }
 }
 
@@ -104,7 +115,10 @@ impl PruneState {
                 assert_eq!(inputs.len(), n, "LSH inputs must cover all samples");
                 let dim = inputs.first().map_or(1, |v| v.len());
                 let hasher = SimHash::new(dim.max(1), lsh_bits, seed ^ 0x5A5A);
-                Some(inputs.iter().map(|v| hasher.hash(v)).collect())
+                // Signatures are independent per sample; hash them on the
+                // shared pool (this is the PA setup cost the paper folds
+                // into training time).
+                Some(tspar::par_map(inputs.len(), |i| hasher.hash(&inputs[i])))
             }
             _ => None,
         };
@@ -154,8 +168,7 @@ impl PruneState {
         if visited.is_empty() {
             return EpochPlan::full(self.n);
         }
-        let mean: f64 =
-            visited.iter().map(|&i| avg[i]).sum::<f64>() / visited.len() as f64;
+        let mean: f64 = visited.iter().map(|&i| avg[i]).sum::<f64>() / visited.len() as f64;
 
         let mut indices = Vec::with_capacity(self.n);
         let mut weights = Vec::with_capacity(self.n);
@@ -164,8 +177,8 @@ impl PruneState {
         // Below-mean samples: InfoBatch pruning (never-visited samples count
         // as high-loss and are kept).
         let mut high: Vec<usize> = Vec::new();
-        for i in 0..self.n {
-            if avg[i] < mean {
+        for (i, &avg_i) in avg.iter().enumerate() {
+            if avg_i < mean {
                 if self.rng.random_bool(1.0 - ratio) {
                     indices.push(i);
                     weights.push(keep_weight);
@@ -209,7 +222,9 @@ impl PruneState {
         // (infinite avg) sort last and land in the top bin.
         let mut order: Vec<usize> = high.to_vec();
         order.sort_by(|&a, &b| {
-            avg[a].partial_cmp(&avg[b]).unwrap_or(std::cmp::Ordering::Equal)
+            avg[a]
+                .partial_cmp(&avg[b])
+                .unwrap_or(std::cmp::Ordering::Equal)
         });
         let m = order.len();
         let bins = bins.max(1);
@@ -258,8 +273,7 @@ mod tests {
             .collect();
         let mut st = PruneState::new(strategy, Some(&inputs), n, 42);
         let idx: Vec<usize> = (0..n).collect();
-        let losses: Vec<f64> =
-            (0..n).map(|i| if i < n / 2 { 0.1 } else { 2.0 }).collect();
+        let losses: Vec<f64> = (0..n).map(|i| if i < n / 2 { 0.1 } else { 2.0 }).collect();
         st.record_losses(&idx, &losses);
         st
     }
@@ -289,11 +303,21 @@ mod tests {
     #[test]
     fn infobatch_prunes_only_low_loss_samples() {
         let n = 400;
-        let mut st = seeded_state(PruningStrategy::InfoBatch { ratio: 0.8, anneal: 0.0 }, n);
+        let mut st = seeded_state(
+            PruningStrategy::InfoBatch {
+                ratio: 0.8,
+                anneal: 0.0,
+            },
+            n,
+        );
         let plan = st.plan_epoch(1, 10);
         // All high-loss samples (second half) present with weight 1.
-        let kept_high =
-            plan.indices.iter().zip(&plan.weights).filter(|(&i, _)| i >= n / 2).count();
+        let kept_high = plan
+            .indices
+            .iter()
+            .zip(&plan.weights)
+            .filter(|(&i, _)| i >= n / 2)
+            .count();
         assert_eq!(kept_high, n / 2);
         for (&i, &w) in plan.indices.iter().zip(&plan.weights) {
             if i >= n / 2 {
@@ -310,9 +334,20 @@ mod tests {
     #[test]
     fn pa_prunes_more_than_infobatch() {
         let n = 400;
-        let mut ib = seeded_state(PruningStrategy::InfoBatch { ratio: 0.8, anneal: 0.0 }, n);
+        let mut ib = seeded_state(
+            PruningStrategy::InfoBatch {
+                ratio: 0.8,
+                anneal: 0.0,
+            },
+            n,
+        );
         let mut pa = seeded_state(
-            PruningStrategy::Pa { ratio: 0.8, lsh_bits: 14, bins: 4, anneal: 0.0 },
+            PruningStrategy::Pa {
+                ratio: 0.8,
+                lsh_bits: 14,
+                bins: 4,
+                anneal: 0.0,
+            },
             n,
         );
         let kept_ib = ib.plan_epoch(1, 10).indices.len();
@@ -329,10 +364,19 @@ mod tests {
         // singleton, so PA must keep every high-loss sample with weight 1.
         let n = 64;
         let inputs: Vec<Vec<f64>> = (0..n)
-            .map(|i| (0..8).map(|j| ((i * 131 + j * 17) % 97) as f64 - 48.0).collect())
+            .map(|i| {
+                (0..8)
+                    .map(|j| ((i * 131 + j * 17) % 97) as f64 - 48.0)
+                    .collect()
+            })
             .collect();
         let mut st = PruneState::new(
-            PruningStrategy::Pa { ratio: 0.8, lsh_bits: 16, bins: 8, anneal: 0.0 },
+            PruningStrategy::Pa {
+                ratio: 0.8,
+                lsh_bits: 16,
+                bins: 8,
+                anneal: 0.0,
+            },
             Some(&inputs),
             n,
             3,
@@ -351,14 +395,23 @@ mod tests {
             .count();
         // Most high-loss samples survive untouched (a handful of 16-bit LSH
         // collisions among 64 vectors is expected).
-        assert!(high_weight_one >= 24, "singleton high-loss kept: {high_weight_one}");
+        assert!(
+            high_weight_one >= 24,
+            "singleton high-loss kept: {high_weight_one}"
+        );
     }
 
     #[test]
     fn expected_weighted_count_is_unbiased() {
         // Σ w over kept low-loss samples ≈ number of low-loss samples.
         let n = 2000;
-        let mut st = seeded_state(PruningStrategy::InfoBatch { ratio: 0.8, anneal: 0.0 }, n);
+        let mut st = seeded_state(
+            PruningStrategy::InfoBatch {
+                ratio: 0.8,
+                anneal: 0.0,
+            },
+            n,
+        );
         let plan = st.plan_epoch(1, 10);
         let weighted_low: f32 = plan
             .indices

@@ -49,7 +49,11 @@ pub struct NnSelector {
 impl NnSelector {
     /// Wraps a trained model.
     pub fn new(label: impl Into<String>, model: TrainedSelector, window_cfg: WindowConfig) -> Self {
-        Self { label: label.into(), model, window_cfg }
+        Self {
+            label: label.into(),
+            model,
+            window_cfg,
+        }
     }
 }
 

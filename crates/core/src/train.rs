@@ -38,7 +38,10 @@ pub struct PislConfig {
 
 impl Default for PislConfig {
     fn default() -> Self {
-        Self { alpha: 0.4, t_soft: 0.25 }
+        Self {
+            alpha: 0.4,
+            t_soft: 0.25,
+        }
     }
 }
 
@@ -62,7 +65,12 @@ impl Default for MkiConfig {
         // neutral-to-negative at any λ we tried (1.0 and 0.3 are both
         // benchmarked; see EXPERIMENTS.md, "Notes on fidelity") — the
         // default stays paper-faithful rather than tuned to our substrate.
-        Self { lambda: 1.0, proj_dim: 64, hidden: 256, temperature: 0.1 }
+        Self {
+            lambda: 1.0,
+            proj_dim: 64,
+            hidden: 256,
+            temperature: 0.1,
+        }
     }
 }
 
@@ -183,7 +191,14 @@ impl TrainedSelector {
         let encoder = arch.build(window, width, seed);
         let mut rng = StdRng::seed_from_u64(seed ^ 0xC1A5);
         let classifier = Linear::new(encoder.feature_dim(), ModelId::ALL.len(), &mut rng);
-        Self { arch, window, width, seed, encoder, classifier }
+        Self {
+            arch,
+            window,
+            width,
+            seed,
+            encoder,
+            classifier,
+        }
     }
 
     /// All trainable parameters (encoder then classifier), stable order.
@@ -249,8 +264,18 @@ pub fn train(dataset: &SelectorDataset, cfg: &TrainConfig) -> (TrainedSelector, 
         Some(mki) => {
             let mut mki_rng = StdRng::seed_from_u64(cfg.seed ^ 0x17E);
             (
-                Some(Mlp::new(encoder.feature_dim(), mki.hidden, mki.proj_dim, &mut mki_rng)),
-                Some(Mlp::new(dataset.text_dim, mki.hidden, mki.proj_dim, &mut mki_rng)),
+                Some(Mlp::new(
+                    encoder.feature_dim(),
+                    mki.hidden,
+                    mki.proj_dim,
+                    &mut mki_rng,
+                )),
+                Some(Mlp::new(
+                    dataset.text_dim,
+                    mki.hidden,
+                    mki.proj_dim,
+                    &mut mki_rng,
+                )),
             )
         }
         None => (None, None),
@@ -272,7 +297,9 @@ pub fn train(dataset: &SelectorDataset, cfg: &TrainConfig) -> (TrainedSelector, 
     // Pruning state (LSH signatures computed before epoch 0 for PA).
     let lsh_inputs: Option<Vec<Vec<f64>>> = match cfg.pruning {
         PruningStrategy::Pa { .. } => Some(
-            (0..n).map(|i| dataset.lsh_input(i, cfg.mki.is_some())).collect(),
+            (0..n)
+                .map(|i| dataset.lsh_input(i, cfg.mki.is_some()))
+                .collect(),
         ),
         _ => None,
     };
@@ -286,6 +313,15 @@ pub fn train(dataset: &SelectorDataset, cfg: &TrainConfig) -> (TrainedSelector, 
         train_seconds: 0.0,
         total_windows: n,
     };
+
+    // Scratch buffers reused across every minibatch: batch assembly used to
+    // clone each window/soft-label/knowledge row into a fresh Vec<Vec<f32>>
+    // per step, which dominated allocator traffic. The flat buffers travel
+    // into the input tensors and are reclaimed via `Tensor::into_data`.
+    let mut x_buf: Vec<f32> = Vec::new();
+    let mut soft_buf: Vec<f32> = Vec::new();
+    let mut know_buf: Vec<f32> = Vec::new();
+    let mut targets: Vec<usize> = Vec::with_capacity(cfg.batch_size);
 
     for epoch in 0..cfg.epochs {
         let mut plan = prune.plan_epoch(epoch, cfg.epochs);
@@ -304,12 +340,16 @@ pub fn train(dataset: &SelectorDataset, cfg: &TrainConfig) -> (TrainedSelector, 
             let b = batch_idx.len();
             cursor = end;
 
-            // Assemble input tensor (B, 1, L).
-            let rows: Vec<Vec<f32>> =
-                batch_idx.iter().map(|&i| dataset.windows[i].clone()).collect();
-            let x = Tensor::from_rows(&rows).reshape(&[b, 1, window]);
-            let targets: Vec<usize> =
-                batch_idx.iter().map(|&i| dataset.hard_labels[i]).collect();
+            // Assemble input tensor (B, 1, L) into the reusable buffer —
+            // one contiguous copy per batch, no per-row allocations.
+            x_buf.clear();
+            x_buf.reserve(b * window);
+            for &i in batch_idx {
+                x_buf.extend_from_slice(&dataset.windows[i]);
+            }
+            let x = Tensor::from_vec(&[b, 1, window], std::mem::take(&mut x_buf));
+            targets.clear();
+            targets.extend(batch_idx.iter().map(|&i| dataset.hard_labels[i]));
 
             // Zero every gradient before this batch's backward passes
             // (classifier/MKI backward runs accumulate before the encoder's).
@@ -336,18 +376,22 @@ pub fn train(dataset: &SelectorDataset, cfg: &TrainConfig) -> (TrainedSelector, 
             let ce = cross_entropy(&logits, &targets, Some(batch_w));
             let mut grad_logits = ce.grad.clone();
             grad_logits.scale_(hard_scale);
-            let mut per_sample: Vec<f64> =
-                ce.per_sample.iter().map(|&l| l * hard_scale as f64).collect();
+            let mut per_sample: Vec<f64> = ce
+                .per_sample
+                .iter()
+                .map(|&l| l * hard_scale as f64)
+                .collect();
             let mut batch_loss = ce.loss * hard_scale as f64;
 
             // PISL soft term.
             if let Some(p) = cfg.pisl {
                 let soft = soft_by_series.as_ref().expect("soft labels precomputed");
-                let soft_rows: Vec<Vec<f32>> = batch_idx
-                    .iter()
-                    .map(|&i| soft[dataset.series_index[i]].clone())
-                    .collect();
-                let soft_targets = Tensor::from_rows(&soft_rows);
+                soft_buf.clear();
+                soft_buf.reserve(b * classes);
+                for &i in batch_idx {
+                    soft_buf.extend_from_slice(&soft[dataset.series_index[i]]);
+                }
+                let soft_targets = Tensor::from_vec(&[b, classes], std::mem::take(&mut soft_buf));
                 let soft_out = soft_cross_entropy(&logits, &soft_targets, Some(batch_w));
                 let mut g = soft_out.grad;
                 g.scale_(p.alpha);
@@ -356,6 +400,7 @@ pub fn train(dataset: &SelectorDataset, cfg: &TrainConfig) -> (TrainedSelector, 
                     *acc += p.alpha as f64 * l;
                 }
                 batch_loss += p.alpha as f64 * soft_out.loss;
+                soft_buf = soft_targets.into_data();
             }
 
             // Classifier backward feeds the encoder gradient.
@@ -363,9 +408,12 @@ pub fn train(dataset: &SelectorDataset, cfg: &TrainConfig) -> (TrainedSelector, 
 
             // MKI term.
             if let (Some(mki), Some(ht), Some(hk)) = (cfg.mki, h_t.as_mut(), h_k.as_mut()) {
-                let know_rows: Vec<Vec<f32>> =
-                    batch_idx.iter().map(|&i| dataset.knowledge(i).to_vec()).collect();
-                let z_k = Tensor::from_rows(&know_rows);
+                know_buf.clear();
+                know_buf.reserve(b * dataset.text_dim);
+                for &i in batch_idx {
+                    know_buf.extend_from_slice(dataset.knowledge(i));
+                }
+                let z_k = Tensor::from_vec(&[b, dataset.text_dim], std::mem::take(&mut know_buf));
                 let zt_proj = ht.forward(&z_t, true);
                 let zk_proj = hk.forward(&z_k, true);
                 let (nce_loss, nce_per_sample, mut g_zt_proj, mut g_zk_proj) =
@@ -379,6 +427,7 @@ pub fn train(dataset: &SelectorDataset, cfg: &TrainConfig) -> (TrainedSelector, 
                     *acc += mki.lambda as f64 * l;
                 }
                 batch_loss += mki.lambda as f64 * nce_loss;
+                know_buf = z_k.into_data();
             }
 
             // Encoder backward and optimizer step.
@@ -413,10 +462,21 @@ pub fn train(dataset: &SelectorDataset, cfg: &TrainConfig) -> (TrainedSelector, 
                     correct += 1;
                 }
             }
+
+            // Recycle the input buffer for the next batch.
+            x_buf = x.into_data();
         }
 
-        stats.epoch_loss.push(if seen > 0 { epoch_loss / seen as f64 } else { 0.0 });
-        stats.epoch_accuracy.push(if seen > 0 { correct as f64 / seen as f64 } else { 0.0 });
+        stats.epoch_loss.push(if seen > 0 {
+            epoch_loss / seen as f64
+        } else {
+            0.0
+        });
+        stats.epoch_accuracy.push(if seen > 0 {
+            correct as f64 / seen as f64
+        } else {
+            0.0
+        });
     }
 
     stats.train_seconds = start.elapsed().as_secs_f64();
@@ -465,14 +525,22 @@ mod tests {
         let b = Benchmark::generate(cfg);
         let series: Vec<_> = b.train.into_iter().take(6).collect();
         let rows: Vec<Vec<f64>> = (0..6)
-            .map(|i| (0..12).map(|m| if m == i % 3 { 0.8 } else { 0.1 }).collect())
+            .map(|i| {
+                (0..12)
+                    .map(|m| if m == i % 3 { 0.8 } else { 0.1 })
+                    .collect()
+            })
             .collect();
         let perf = PerfMatrix {
             series_ids: series.iter().map(|s| s.id.clone()).collect(),
             rows,
         };
         let enc = FrozenTextEncoder::new(48, 0);
-        let wc = WindowConfig { length: 32, stride: 32, znormalize: true };
+        let wc = WindowConfig {
+            length: 32,
+            stride: 32,
+            znormalize: true,
+        };
         SelectorDataset::build(&series, &perf, wc, &enc)
     }
 
@@ -507,7 +575,11 @@ mod tests {
         let ds = toy_dataset();
         let mut cfg = quick_cfg();
         cfg.pisl = Some(PislConfig::default());
-        cfg.mki = Some(MkiConfig { hidden: 32, proj_dim: 16, ..MkiConfig::default() });
+        cfg.mki = Some(MkiConfig {
+            hidden: 32,
+            proj_dim: 16,
+            ..MkiConfig::default()
+        });
         cfg.epochs = 5;
         let (_sel, stats) = train(&ds, &cfg);
         assert!(
@@ -522,9 +594,16 @@ mod tests {
         let ds = toy_dataset();
         let mut cfg = quick_cfg();
         cfg.epochs = 6;
-        cfg.pruning = PruningStrategy::InfoBatch { ratio: 0.8, anneal: 0.17 };
+        cfg.pruning = PruningStrategy::InfoBatch {
+            ratio: 0.8,
+            anneal: 0.17,
+        };
         let (_sel, stats) = train(&ds, &cfg);
-        assert!(stats.examined_fraction() < 1.0, "{:?}", stats.epoch_examined);
+        assert!(
+            stats.examined_fraction() < 1.0,
+            "{:?}",
+            stats.epoch_examined
+        );
         // First epoch always full.
         assert_eq!(stats.epoch_examined[0], ds.len());
         // Last (anneal) epoch full again.
@@ -536,9 +615,17 @@ mod tests {
         let ds = toy_dataset();
         let mut cfg = quick_cfg();
         cfg.epochs = 6;
-        cfg.pruning = PruningStrategy::InfoBatch { ratio: 0.8, anneal: 0.0 };
+        cfg.pruning = PruningStrategy::InfoBatch {
+            ratio: 0.8,
+            anneal: 0.0,
+        };
         let (_s, ib) = train(&ds, &cfg);
-        cfg.pruning = PruningStrategy::Pa { ratio: 0.8, lsh_bits: 10, bins: 4, anneal: 0.0 };
+        cfg.pruning = PruningStrategy::Pa {
+            ratio: 0.8,
+            lsh_bits: 10,
+            bins: 4,
+            anneal: 0.0,
+        };
         let (_s, pa) = train(&ds, &cfg);
         let ib_total: usize = ib.epoch_examined.iter().sum();
         let pa_total: usize = pa.epoch_examined.iter().sum();
@@ -577,14 +664,22 @@ mod tests {
         let b = Benchmark::generate(cfg_b);
         let series: Vec<_> = b.train.into_iter().take(6).collect();
         let rows: Vec<Vec<f64>> = (0..6)
-            .map(|i| (0..12).map(|m| if m == i / 2 { 0.8 } else { 0.1 }).collect())
+            .map(|i| {
+                (0..12)
+                    .map(|m| if m == i / 2 { 0.8 } else { 0.1 })
+                    .collect()
+            })
             .collect();
         let perf = PerfMatrix {
             series_ids: series.iter().map(|s| s.id.clone()).collect(),
             rows,
         };
         let enc = FrozenTextEncoder::new(48, 0);
-        let wc = WindowConfig { length: 32, stride: 32, znormalize: true };
+        let wc = WindowConfig {
+            length: 32,
+            stride: 32,
+            znormalize: true,
+        };
         let ds = SelectorDataset::build(&series, &perf, wc, &enc);
 
         let mut cfg = quick_cfg();

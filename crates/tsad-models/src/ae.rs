@@ -1,8 +1,6 @@
 //! Autoencoder reconstruction-error detector.
 
-use crate::common::{
-    auto_window, normalize_scores, sliding_windows, window_scores_to_points,
-};
+use crate::common::{auto_window, normalize_scores, sliding_windows, window_scores_to_points};
 use crate::{Detector, ModelId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -24,7 +22,11 @@ pub struct AutoEncoder {
 impl AutoEncoder {
     /// Default configuration.
     pub fn new(seed: u64) -> Self {
-        Self { seed, epochs: 30, max_windows: 250 }
+        Self {
+            seed,
+            epochs: 30,
+            max_windows: 250,
+        }
     }
 }
 
@@ -36,7 +38,11 @@ struct AeNet {
 
 impl AeNet {
     fn new(w: usize, h: usize, rng: &mut StdRng) -> Self {
-        Self { enc: Linear::new(w, h, rng), relu: Relu::new(), dec: Linear::new(h, w, rng) }
+        Self {
+            enc: Linear::new(w, h, rng),
+            relu: Relu::new(),
+            dec: Linear::new(h, w, rng),
+        }
     }
 
     fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
@@ -106,8 +112,10 @@ impl Detector for AutoEncoder {
         }
 
         // Score every window.
-        let all: Vec<Vec<f32>> =
-            windows.iter().map(|win| win.iter().map(|&v| v as f32).collect()).collect();
+        let all: Vec<Vec<f32>> = windows
+            .iter()
+            .map(|win| win.iter().map(|&v| v as f32).collect())
+            .collect();
         let xs = Tensor::from_rows(&all);
         let recon = net.forward(&xs, false);
         let scores: Vec<f64> = (0..windows.len())
@@ -131,10 +139,11 @@ mod tests {
 
     #[test]
     fn reconstructs_dominant_pattern_and_flags_distortion() {
-        let mut s: Vec<f64> =
-            (0..600).map(|t| (2.0 * std::f64::consts::PI * t as f64 / 30.0).sin()).collect();
-        for t in 350..380 {
-            s[t] = ((t * t) as f64 * 0.37).sin() * 1.2; // structurally different
+        let mut s: Vec<f64> = (0..600)
+            .map(|t| (2.0 * std::f64::consts::PI * t as f64 / 30.0).sin())
+            .collect();
+        for (t, v) in s.iter_mut().enumerate().take(380).skip(350) {
+            *v = ((t * t) as f64 * 0.37).sin() * 1.2; // structurally different
         }
         let scores = AutoEncoder::new(1).score(&s);
         let anom: f64 = scores[350..380].iter().cloned().fold(0.0, f64::max);
@@ -150,6 +159,9 @@ mod tests {
 
     #[test]
     fn short_series_zeros() {
-        assert!(AutoEncoder::new(0).score(&[0.0; 20]).iter().all(|&v| v == 0.0));
+        assert!(AutoEncoder::new(0)
+            .score(&[0.0; 20])
+            .iter()
+            .all(|&v| v == 0.0));
     }
 }

@@ -24,7 +24,13 @@ pub struct CnnForecaster {
 impl CnnForecaster {
     /// Default configuration.
     pub fn new(seed: u64) -> Self {
-        Self { seed, history: 24, channels: 8, epochs: 20, max_train_pairs: 200 }
+        Self {
+            seed,
+            history: 24,
+            channels: 8,
+            epochs: 20,
+            max_train_pairs: 200,
+        }
     }
 }
 
@@ -150,10 +156,11 @@ mod tests {
 
     #[test]
     fn flags_frequency_shift() {
-        let mut s: Vec<f64> =
-            (0..500).map(|t| (2.0 * std::f64::consts::PI * t as f64 / 25.0).sin()).collect();
-        for t in 300..350 {
-            s[t] = (2.0 * std::f64::consts::PI * t as f64 / 7.0).sin();
+        let mut s: Vec<f64> = (0..500)
+            .map(|t| (2.0 * std::f64::consts::PI * t as f64 / 25.0).sin())
+            .collect();
+        for (t, v) in s.iter_mut().enumerate().take(350).skip(300) {
+            *v = (2.0 * std::f64::consts::PI * t as f64 / 7.0).sin();
         }
         let scores = CnnForecaster::new(1).score(&s);
         let anom: f64 = scores[300..352].iter().cloned().fold(0.0, f64::max);
@@ -164,11 +171,17 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let s: Vec<f64> = (0..200).map(|t| (t as f64 * 0.3).cos()).collect();
-        assert_eq!(CnnForecaster::new(2).score(&s), CnnForecaster::new(2).score(&s));
+        assert_eq!(
+            CnnForecaster::new(2).score(&s),
+            CnnForecaster::new(2).score(&s)
+        );
     }
 
     #[test]
     fn short_series_zeros() {
-        assert!(CnnForecaster::new(0).score(&[0.5; 40]).iter().all(|&v| v == 0.0));
+        assert!(CnnForecaster::new(0)
+            .score(&[0.5; 40])
+            .iter()
+            .all(|&v| v == 0.0));
     }
 }

@@ -13,7 +13,9 @@ pub const MAX_WINDOW: usize = 64;
 pub fn auto_window(series: &[f64]) -> usize {
     let fallback = 32;
     let period = dominant_period(series).unwrap_or(fallback);
-    period.clamp(MIN_WINDOW, MAX_WINDOW).min(series.len().max(1))
+    period
+        .clamp(MIN_WINDOW, MAX_WINDOW)
+        .min(series.len().max(1))
 }
 
 /// Extracts all sliding windows of length `w` with the given stride.
@@ -89,8 +91,9 @@ mod tests {
 
     #[test]
     fn auto_window_finds_period() {
-        let s: Vec<f64> =
-            (0..512).map(|t| (2.0 * std::f64::consts::PI * t as f64 / 24.0).sin()).collect();
+        let s: Vec<f64> = (0..512)
+            .map(|t| (2.0 * std::f64::consts::PI * t as f64 / 24.0).sin())
+            .collect();
         let w = auto_window(&s);
         assert!((16..=32).contains(&w), "w={w}");
     }

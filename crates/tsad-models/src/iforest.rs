@@ -1,8 +1,6 @@
 //! Isolation forest (Liu et al.) on windows (IForest) or points (IForest1).
 
-use crate::common::{
-    auto_window, normalize_scores, sliding_windows, window_scores_to_points,
-};
+use crate::common::{auto_window, normalize_scores, sliding_windows, window_scores_to_points};
 use crate::{Detector, ModelId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -22,19 +20,36 @@ pub struct IForest {
 impl IForest {
     /// Window-mode forest (the `IForest` model).
     pub fn windows(seed: u64) -> Self {
-        Self { point_mode: false, n_trees: 40, subsample: 128, seed }
+        Self {
+            point_mode: false,
+            n_trees: 40,
+            subsample: 128,
+            seed,
+        }
     }
 
     /// Point-mode forest (the `IForest1` model).
     pub fn points(seed: u64) -> Self {
-        Self { point_mode: true, n_trees: 40, subsample: 128, seed }
+        Self {
+            point_mode: true,
+            n_trees: 40,
+            subsample: 128,
+            seed,
+        }
     }
 }
 
 /// One isolation tree: recursive random splits until isolation.
 enum ITree {
-    Leaf { size: usize },
-    Node { feature: usize, threshold: f64, left: Box<ITree>, right: Box<ITree> },
+    Leaf {
+        size: usize,
+    },
+    Node {
+        feature: usize,
+        threshold: f64,
+        left: Box<ITree>,
+        right: Box<ITree>,
+    },
 }
 
 impl ITree {
@@ -56,10 +71,16 @@ impl ITree {
                 continue;
             }
             let threshold = rng.random_range(lo..hi);
-            let left: Vec<&[f64]> =
-                data.iter().copied().filter(|r| r[feature] < threshold).collect();
-            let right: Vec<&[f64]> =
-                data.iter().copied().filter(|r| r[feature] >= threshold).collect();
+            let left: Vec<&[f64]> = data
+                .iter()
+                .copied()
+                .filter(|r| r[feature] < threshold)
+                .collect();
+            let right: Vec<&[f64]> = data
+                .iter()
+                .copied()
+                .filter(|r| r[feature] >= threshold)
+                .collect();
             if left.is_empty() || right.is_empty() {
                 continue;
             }
@@ -76,7 +97,12 @@ impl ITree {
     fn path_length(&self, x: &[f64], depth: f64) -> f64 {
         match self {
             ITree::Leaf { size } => depth + c_factor(*size),
-            ITree::Node { feature, threshold, left, right } => {
+            ITree::Node {
+                feature,
+                threshold,
+                left,
+                right,
+            } => {
                 if x[*feature] < *threshold {
                     left.path_length(x, depth + 1.0)
                 } else {
@@ -104,15 +130,16 @@ fn forest_scores(rows: &[Vec<f64>], n_trees: usize, subsample: usize, seed: u64)
     let max_depth = (sub as f64).log2().ceil() as usize + 1;
     let mut trees = Vec::with_capacity(n_trees);
     for _ in 0..n_trees {
-        let sample: Vec<&[f64]> =
-            (0..sub).map(|_| rows[rng.random_range(0..n)].as_slice()).collect();
+        let sample: Vec<&[f64]> = (0..sub)
+            .map(|_| rows[rng.random_range(0..n)].as_slice())
+            .collect();
         trees.push(ITree::build(&sample, 0, max_depth, &mut rng));
     }
     let c = c_factor(sub);
     rows.iter()
         .map(|row| {
-            let avg: f64 = trees.iter().map(|t| t.path_length(row, 0.0)).sum::<f64>()
-                / n_trees as f64;
+            let avg: f64 =
+                trees.iter().map(|t| t.path_length(row, 0.0)).sum::<f64>() / n_trees as f64;
             // s = 2^(−avg/c): deep isolation ⇒ small score; invert convention
             // is already "higher = anomalous" because short paths → s near 1.
             2f64.powf(-avg / c.max(1e-9))
@@ -136,7 +163,12 @@ impl Detector for IForest {
         }
         if self.point_mode {
             let rows: Vec<Vec<f64>> = series.iter().map(|&v| vec![v]).collect();
-            return normalize_scores(forest_scores(&rows, self.n_trees, self.subsample, self.seed));
+            return normalize_scores(forest_scores(
+                &rows,
+                self.n_trees,
+                self.subsample,
+                self.seed,
+            ));
         }
         let w = auto_window(series);
         let stride = (w / 4).max(1);
@@ -154,8 +186,9 @@ mod tests {
     use super::*;
 
     fn spiky_series() -> Vec<f64> {
-        let mut s: Vec<f64> =
-            (0..400).map(|t| (2.0 * std::f64::consts::PI * t as f64 / 25.0).sin()).collect();
+        let mut s: Vec<f64> = (0..400)
+            .map(|t| (2.0 * std::f64::consts::PI * t as f64 / 25.0).sin())
+            .collect();
         s[200] = 8.0;
         s[201] = 8.5;
         s

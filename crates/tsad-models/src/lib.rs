@@ -39,16 +39,7 @@ use std::fmt;
 /// Identifier of a TSAD model in the model set. Order matches the paper's
 /// Table 5 and is the class order used by every selector.
 #[derive(
-    Debug,
-    Clone,
-    Copy,
-    PartialEq,
-    Eq,
-    Hash,
-    PartialOrd,
-    Ord,
-    serde::Serialize,
-    serde::Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
 )]
 pub enum ModelId {
     /// Isolation forest on windows.
@@ -114,7 +105,10 @@ impl ModelId {
 
     /// Index in [`ModelId::ALL`] (the selector class id).
     pub fn index(&self) -> usize {
-        Self::ALL.iter().position(|m| m == self).expect("all ids enumerated")
+        Self::ALL
+            .iter()
+            .position(|m| m == self)
+            .expect("all ids enumerated")
     }
 
     /// Inverse of [`ModelId::index`].
@@ -187,8 +181,7 @@ mod tests {
 
     #[test]
     fn names_are_unique() {
-        let names: std::collections::BTreeSet<_> =
-            ModelId::ALL.iter().map(|m| m.name()).collect();
+        let names: std::collections::BTreeSet<_> = ModelId::ALL.iter().map(|m| m.name()).collect();
         assert_eq!(names.len(), 12);
     }
 }

@@ -1,8 +1,6 @@
 //! Local outlier factor on sliding windows.
 
-use crate::common::{
-    auto_window, normalize_scores, sliding_windows, window_scores_to_points,
-};
+use crate::common::{auto_window, normalize_scores, sliding_windows, window_scores_to_points};
 use crate::{Detector, ModelId};
 
 /// LOF detector: ratio of neighbour density to local density of each window.
@@ -17,7 +15,10 @@ pub struct Lof {
 impl Lof {
     /// Default configuration (k = 10).
     pub fn default_config() -> Self {
-        Self { k: 10, max_windows: 600 }
+        Self {
+            k: 10,
+            max_windows: 600,
+        }
     }
 }
 
@@ -91,8 +92,7 @@ impl Detector for Lof {
         // LOF = mean neighbour lrd / own lrd.
         let lof: Vec<f64> = (0..m)
             .map(|i| {
-                let mean_nb: f64 =
-                    neighbours[i].iter().map(|&j| lrd[j]).sum::<f64>() / k as f64;
+                let mean_nb: f64 = neighbours[i].iter().map(|&j| lrd[j]).sum::<f64>() / k as f64;
                 mean_nb / lrd[i].max(1e-12)
             })
             .collect();
@@ -107,8 +107,9 @@ mod tests {
 
     #[test]
     fn flags_subsequence_outlier() {
-        let mut s: Vec<f64> =
-            (0..500).map(|t| (2.0 * std::f64::consts::PI * t as f64 / 20.0).sin()).collect();
+        let mut s: Vec<f64> = (0..500)
+            .map(|t| (2.0 * std::f64::consts::PI * t as f64 / 20.0).sin())
+            .collect();
         for v in &mut s[240..260] {
             *v += 4.0;
         }
@@ -128,7 +129,9 @@ mod tests {
 
     #[test]
     fn scores_in_unit_interval() {
-        let s: Vec<f64> = (0..400).map(|t| ((t % 37) as f64).sin() * (t as f64 * 0.01)).collect();
+        let s: Vec<f64> = (0..400)
+            .map(|t| ((t % 37) as f64).sin() * (t as f64 * 0.01))
+            .collect();
         let scores = Lof::default_config().score(&s);
         assert!(scores.iter().all(|&v| (0.0..=1.0).contains(&v)));
     }
@@ -136,6 +139,9 @@ mod tests {
     #[test]
     fn deterministic() {
         let s: Vec<f64> = (0..300).map(|t| (t as f64 * 0.2).sin()).collect();
-        assert_eq!(Lof::default_config().score(&s), Lof::default_config().score(&s));
+        assert_eq!(
+            Lof::default_config().score(&s),
+            Lof::default_config().score(&s)
+        );
     }
 }

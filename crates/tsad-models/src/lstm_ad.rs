@@ -24,7 +24,13 @@ pub struct LstmAd {
 impl LstmAd {
     /// Default configuration.
     pub fn new(seed: u64) -> Self {
-        Self { seed, history: 24, hidden: 12, epochs: 12, max_train_pairs: 150 }
+        Self {
+            seed,
+            history: 24,
+            hidden: 12,
+            epochs: 12,
+            max_train_pairs: 150,
+        }
     }
 }
 
@@ -73,8 +79,10 @@ impl Detector for LstmAd {
         let train_targets: Vec<usize> = all_targets.iter().copied().step_by(step).collect();
 
         let mut rng = StdRng::seed_from_u64(self.seed);
-        let mut net =
-            Net { lstm: Lstm::new(1, self.hidden, &mut rng), head: Linear::new(self.hidden, 1, &mut rng) };
+        let mut net = Net {
+            lstm: Lstm::new(1, self.hidden, &mut rng),
+            head: Linear::new(self.hidden, 1, &mut rng),
+        };
         let mut opt = Adam::new(0.01, 0.0);
 
         let make_batch = |targets: &[usize]| -> (Tensor, Tensor) {
@@ -130,8 +138,9 @@ mod tests {
 
     #[test]
     fn forecast_error_spikes_on_level_shift() {
-        let mut s: Vec<f64> =
-            (0..500).map(|t| (2.0 * std::f64::consts::PI * t as f64 / 20.0).sin()).collect();
+        let mut s: Vec<f64> = (0..500)
+            .map(|t| (2.0 * std::f64::consts::PI * t as f64 / 20.0).sin())
+            .collect();
         for v in &mut s[300..330] {
             *v += 4.0;
         }

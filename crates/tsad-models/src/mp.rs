@@ -15,7 +15,9 @@ pub struct MatrixProfile {
 impl MatrixProfile {
     /// Default configuration.
     pub fn default_config() -> Self {
-        Self { max_subsequences: 1500 }
+        Self {
+            max_subsequences: 1500,
+        }
     }
 }
 
@@ -92,9 +94,9 @@ mod tests {
             .map(|t| (2.0 * std::f64::consts::PI * t as f64 / period as f64).sin())
             .collect();
         let (a, b) = (300, 325);
-        for t in a..b {
+        for v in &mut s[a..b] {
             // Invert one cycle: same value range, wrong shape.
-            s[t] = -s[t] * 0.8 + 0.1;
+            *v = -*v * 0.8 + 0.1;
         }
         (s, a, b)
     }
@@ -113,7 +115,10 @@ mod tests {
             .max_by(|x, y| x.1.partial_cmp(y.1).unwrap())
             .unwrap()
             .0;
-        assert!((a.saturating_sub(30)..b + 30).contains(&argmax), "argmax={argmax}");
+        assert!(
+            (a.saturating_sub(30)..b + 30).contains(&argmax),
+            "argmax={argmax}"
+        );
     }
 
     #[test]
@@ -140,8 +145,8 @@ mod tests {
             .map(|t| (2.0 * std::f64::consts::PI * t as f64 / period as f64).sin())
             .collect();
         let distort = |s: &mut [f64], at: usize| {
-            for t in at..at + period {
-                s[t] = -s[t] * 0.8 + 0.1;
+            for v in &mut s[at..at + period] {
+                *v = -*v * 0.8 + 0.1;
             }
         };
         let mut single = base.clone();

@@ -1,8 +1,6 @@
 //! NORMA: normal-pattern discovery by clustering, scoring by distance.
 
-use crate::common::{
-    auto_window, normalize_scores, sliding_windows, window_scores_to_points,
-};
+use crate::common::{auto_window, normalize_scores, sliding_windows, window_scores_to_points};
 use crate::{Detector, ModelId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -21,7 +19,11 @@ pub struct Norma {
 impl Norma {
     /// Default configuration (3 normal patterns).
     pub fn new(seed: u64) -> Self {
-        Self { k: 3, seed, max_windows: 800 }
+        Self {
+            k: 3,
+            seed,
+            max_windows: 800,
+        }
     }
 }
 
@@ -52,8 +54,9 @@ impl Detector for Norma {
 
         // k-means with deterministic seeding.
         let mut rng = StdRng::seed_from_u64(self.seed);
-        let mut centroids: Vec<Vec<f64>> =
-            (0..k).map(|_| windows[rng.random_range(0..m)].clone()).collect();
+        let mut centroids: Vec<Vec<f64>> = (0..k)
+            .map(|_| windows[rng.random_range(0..m)].clone())
+            .collect();
         let mut assignment = vec![0usize; m];
         for _ in 0..20 {
             let mut changed = false;
@@ -95,8 +98,10 @@ impl Detector for Norma {
         for &a in &assignment {
             counts[a] += 1;
         }
-        let weights: Vec<f64> =
-            counts.iter().map(|&c| (c as f64 / m as f64).max(1e-3)).collect();
+        let weights: Vec<f64> = counts
+            .iter()
+            .map(|&c| (c as f64 / m as f64).max(1e-3))
+            .collect();
 
         let scores: Vec<f64> = windows
             .iter()
@@ -135,8 +140,8 @@ mod tests {
         let mut s: Vec<f64> = (0..600)
             .map(|t| (2.0 * std::f64::consts::PI * t as f64 / period as f64).sin())
             .collect();
-        for t in 300..340 {
-            s[t] = -0.5 * s[t] + ((t - 300) as f64 * 0.35).sin();
+        for (t, v) in s.iter_mut().enumerate().take(340).skip(300) {
+            *v = -0.5 * *v + ((t - 300) as f64 * 0.35).sin();
         }
         let scores = Norma::new(1).score(&s);
         let anom: f64 = scores[300..340].iter().cloned().fold(0.0, f64::max);
@@ -158,7 +163,9 @@ mod tests {
 
     #[test]
     fn bounded_scores() {
-        let s: Vec<f64> = (0..500).map(|t| ((t / 50) % 2) as f64 + (t as f64 * 0.7).sin() * 0.1).collect();
+        let s: Vec<f64> = (0..500)
+            .map(|t| ((t / 50) % 2) as f64 + (t as f64 * 0.7).sin() * 0.1)
+            .collect();
         let scores = Norma::new(3).score(&s);
         assert_eq!(scores.len(), 500);
         assert!(scores.iter().all(|&v| (0.0..=1.0).contains(&v)));

@@ -6,9 +6,7 @@
 //! objective `½‖w‖² + (1/νm) Σ max(0, ρ − w·φ(x)) − ρ` is solved by SGD.
 //! Documented as a substitution in DESIGN.md.
 
-use crate::common::{
-    auto_window, normalize_scores, sliding_windows, window_scores_to_points,
-};
+use crate::common::{auto_window, normalize_scores, sliding_windows, window_scores_to_points};
 use crate::{Detector, ModelId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -29,7 +27,13 @@ pub struct OcSvm {
 impl OcSvm {
     /// Default configuration.
     pub fn new(seed: u64) -> Self {
-        Self { seed, rff_dim: 64, nu: 0.1, epochs: 25, max_windows: 600 }
+        Self {
+            seed,
+            rff_dim: 64,
+            nu: 0.1,
+            epochs: 25,
+            max_windows: 600,
+        }
     }
 }
 
@@ -68,8 +72,9 @@ impl Detector for OcSvm {
         let omega: Vec<Vec<f64>> = (0..d)
             .map(|_| (0..w).map(|_| gaussian(&mut rng) * gamma).collect())
             .collect();
-        let offsets: Vec<f64> =
-            (0..d).map(|_| rng.random_range(0.0..2.0 * std::f64::consts::PI)).collect();
+        let offsets: Vec<f64> = (0..d)
+            .map(|_| rng.random_range(0.0..2.0 * std::f64::consts::PI))
+            .collect();
         let scale = (2.0 / d as f64).sqrt();
         let phi = |x: &[f64]| -> Vec<f64> {
             omega
@@ -139,12 +144,13 @@ mod tests {
 
     #[test]
     fn noise_burst_lies_outside_normal_boundary() {
-        let mut s: Vec<f64> =
-            (0..600).map(|t| (2.0 * std::f64::consts::PI * t as f64 / 30.0).sin()).collect();
+        let mut s: Vec<f64> = (0..600)
+            .map(|t| (2.0 * std::f64::consts::PI * t as f64 / 30.0).sin())
+            .collect();
         // Deterministic pseudo-noise burst.
-        for t in 350..420 {
+        for (t, v) in s.iter_mut().enumerate().take(420).skip(350) {
             let r = ((t * 2654435761) % 1000) as f64 / 1000.0 - 0.5;
-            s[t] += r * 4.0;
+            *v += r * 4.0;
         }
         let scores = OcSvm::new(1).score(&s);
         let anom: f64 = scores[350..420].iter().cloned().fold(0.0, f64::max);

@@ -1,8 +1,6 @@
 //! PCA reconstruction-error detector.
 
-use crate::common::{
-    auto_window, normalize_scores, sliding_windows, window_scores_to_points,
-};
+use crate::common::{auto_window, normalize_scores, sliding_windows, window_scores_to_points};
 use crate::{Detector, ModelId};
 use tslinalg::pca::Pca;
 use tslinalg::Matrix;
@@ -18,7 +16,10 @@ pub struct PcaDetector {
 impl PcaDetector {
     /// Default configuration (3 components).
     pub fn default_config() -> Self {
-        Self { n_components: 3, max_windows: 800 }
+        Self {
+            n_components: 3,
+            max_windows: 800,
+        }
     }
 }
 
@@ -49,8 +50,10 @@ impl Detector for PcaDetector {
         if pca.n_components() == 0 {
             return vec![0.0; n];
         }
-        let scores: Vec<f64> =
-            windows.iter().map(|win| pca.reconstruction_error(win)).collect();
+        let scores: Vec<f64> = windows
+            .iter()
+            .map(|win| pca.reconstruction_error(win))
+            .collect();
         normalize_scores(window_scores_to_points(&scores, n, w, stride))
     }
 }
@@ -61,8 +64,9 @@ mod tests {
 
     #[test]
     fn level_shift_yields_high_reconstruction_error() {
-        let mut s: Vec<f64> =
-            (0..500).map(|t| (2.0 * std::f64::consts::PI * t as f64 / 25.0).sin()).collect();
+        let mut s: Vec<f64> = (0..500)
+            .map(|t| (2.0 * std::f64::consts::PI * t as f64 / 25.0).sin())
+            .collect();
         for v in &mut s[300..360] {
             *v += 3.0;
         }
@@ -74,8 +78,9 @@ mod tests {
 
     #[test]
     fn clean_periodic_signal_scores_low_everywhere() {
-        let s: Vec<f64> =
-            (0..500).map(|t| (2.0 * std::f64::consts::PI * t as f64 / 25.0).sin()).collect();
+        let s: Vec<f64> = (0..500)
+            .map(|t| (2.0 * std::f64::consts::PI * t as f64 / 25.0).sin())
+            .collect();
         let scores = PcaDetector::default_config().score(&s);
         // After min-max scaling something is 1.0 by construction; check the
         // distribution is not degenerate rather than absolute values.
@@ -85,12 +90,17 @@ mod tests {
 
     #[test]
     fn short_series_zeros() {
-        assert!(PcaDetector::default_config().score(&[1.0; 10]).iter().all(|&v| v == 0.0));
+        assert!(PcaDetector::default_config()
+            .score(&[1.0; 10])
+            .iter()
+            .all(|&v| v == 0.0));
     }
 
     #[test]
     fn deterministic() {
-        let s: Vec<f64> = (0..300).map(|t| (t as f64 * 0.1).cos() * t as f64 * 0.01).collect();
+        let s: Vec<f64> = (0..300)
+            .map(|t| (t as f64 * 0.1).cos() * t as f64 * 0.01)
+            .collect();
         let d = PcaDetector::default_config();
         assert_eq!(d.score(&s), d.score(&s));
     }

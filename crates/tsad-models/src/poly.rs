@@ -21,7 +21,10 @@ pub struct Poly {
 impl Poly {
     /// Default configuration (window 24, degree 3).
     pub fn default_config() -> Self {
-        Self { history: 24, degree: 3 }
+        Self {
+            history: 24,
+            degree: 3,
+        }
     }
 
     /// Custom window and degree.
@@ -74,17 +77,15 @@ impl Detector for Poly {
             }
         }
         // Extrapolation basis at x = 1 (the next point).
-        let basis_next: Vec<f64> = (0..k)
-            .map(|j| 1.0f64.powi(j as i32))
-            .collect(); // all ones, kept explicit for clarity
+        let basis_next: Vec<f64> = (0..k).map(|j| 1.0f64.powi(j as i32)).collect(); // all ones, kept explicit for clarity
 
         let mut errors = vec![0.0f64; n];
         for t in p..n {
             let window = &values[t - p..t];
             let mut pred = 0.0;
-            for j in 0..k {
+            for (j, &basis) in basis_next.iter().enumerate() {
                 let coef: f64 = proj.row(j).iter().zip(window).map(|(a, b)| a * b).sum();
-                pred += coef * basis_next[j];
+                pred += coef * basis;
             }
             let e = values[t] - pred;
             errors[t] = e * e;
@@ -103,7 +104,9 @@ mod tests {
 
     #[test]
     fn smooth_trend_is_predictable_spike_is_not() {
-        let mut s: Vec<f64> = (0..300).map(|t| 0.01 * t as f64 + (t as f64 * 0.05).sin()).collect();
+        let mut s: Vec<f64> = (0..300)
+            .map(|t| 0.01 * t as f64 + (t as f64 * 0.05).sin())
+            .collect();
         s[200] += 5.0;
         let scores = Poly::default_config().score(&s);
         assert_eq!(scores.len(), 300);
@@ -126,7 +129,10 @@ mod tests {
 
     #[test]
     fn short_series_zeros() {
-        assert!(Poly::default_config().score(&[1.0; 10]).iter().all(|&v| v == 0.0));
+        assert!(Poly::default_config()
+            .score(&[1.0; 10])
+            .iter()
+            .all(|&v| v == 0.0));
     }
 
     #[test]

@@ -25,7 +25,11 @@ pub struct AdaBoostConfig {
 
 impl Default for AdaBoostConfig {
     fn default() -> Self {
-        Self { n_rounds: 40, depth: 2, seed: 0 }
+        Self {
+            n_rounds: 40,
+            depth: 2,
+            seed: 0,
+        }
     }
 }
 
@@ -42,8 +46,11 @@ impl AdaBoost {
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut weights = vec![1.0 / n as f64; n];
         let mut learners = Vec::new();
-        let tree_cfg =
-            TreeConfig { max_depth: cfg.depth, min_samples_split: 2, max_features: None };
+        let tree_cfg = TreeConfig {
+            max_depth: cfg.depth,
+            min_samples_split: 2,
+            max_features: None,
+        };
 
         for _ in 0..cfg.n_rounds {
             let tree = DecisionTree::fit(xs, ys, Some(&weights), tree_cfg, &mut rng);
@@ -80,7 +87,10 @@ impl AdaBoost {
                 break; // a perfect learner ends boosting
             }
         }
-        Self { learners, n_classes: k }
+        Self {
+            learners,
+            n_classes: k,
+        }
     }
 
     /// Number of fitted rounds.
@@ -135,7 +145,15 @@ mod tests {
     #[test]
     fn solves_xor_with_depth_two() {
         let (xs, ys) = xor();
-        let ada = AdaBoost::fit(&xs, &ys, AdaBoostConfig { n_rounds: 20, depth: 2, seed: 0 });
+        let ada = AdaBoost::fit(
+            &xs,
+            &ys,
+            AdaBoostConfig {
+                n_rounds: 20,
+                depth: 2,
+                seed: 0,
+            },
+        );
         let acc = ada
             .predict_batch(&xs)
             .iter()
@@ -158,7 +176,15 @@ mod tests {
     #[test]
     fn decision_scores_nonnegative() {
         let (xs, ys) = blobs();
-        let ada = AdaBoost::fit(&xs, &ys, AdaBoostConfig { n_rounds: 5, depth: 2, seed: 1 });
+        let ada = AdaBoost::fit(
+            &xs,
+            &ys,
+            AdaBoostConfig {
+                n_rounds: 5,
+                depth: 2,
+                seed: 1,
+            },
+        );
         let s = ada.decision_function(&[0.5, 0.5]);
         assert_eq!(s.len(), 3);
         assert!(s.iter().all(|&v| v >= 0.0));

@@ -25,7 +25,11 @@ pub struct ForestConfig {
 
 impl Default for ForestConfig {
     fn default() -> Self {
-        Self { n_trees: 50, max_depth: 10, seed: 0 }
+        Self {
+            n_trees: 50,
+            max_depth: 10,
+            seed: 0,
+        }
     }
 }
 
@@ -120,7 +124,14 @@ mod tests {
     #[test]
     fn fits_blobs() {
         let (xs, ys) = blobs();
-        let rf = RandomForest::fit(&xs, &ys, ForestConfig { n_trees: 20, ..Default::default() });
+        let rf = RandomForest::fit(
+            &xs,
+            &ys,
+            ForestConfig {
+                n_trees: 20,
+                ..Default::default()
+            },
+        );
         let acc = rf
             .predict_batch(&xs)
             .iter()
@@ -134,7 +145,14 @@ mod tests {
     #[test]
     fn solves_xor() {
         let (xs, ys) = xor();
-        let rf = RandomForest::fit(&xs, &ys, ForestConfig { n_trees: 30, ..Default::default() });
+        let rf = RandomForest::fit(
+            &xs,
+            &ys,
+            ForestConfig {
+                n_trees: 30,
+                ..Default::default()
+            },
+        );
         let acc = rf
             .predict_batch(&xs)
             .iter()
@@ -148,7 +166,11 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let (xs, ys) = blobs();
-        let cfg = ForestConfig { n_trees: 5, max_depth: 4, seed: 11 };
+        let cfg = ForestConfig {
+            n_trees: 5,
+            max_depth: 4,
+            seed: 11,
+        };
         let a = RandomForest::fit(&xs, &ys, cfg);
         let b = RandomForest::fit(&xs, &ys, cfg);
         let test = vec![1.5, 2.5];
@@ -158,7 +180,14 @@ mod tests {
     #[test]
     fn proba_is_a_distribution() {
         let (xs, ys) = blobs();
-        let rf = RandomForest::fit(&xs, &ys, ForestConfig { n_trees: 7, ..Default::default() });
+        let rf = RandomForest::fit(
+            &xs,
+            &ys,
+            ForestConfig {
+                n_trees: 7,
+                ..Default::default()
+            },
+        );
         let p = rf.predict_proba(&[3.0, 3.0]);
         assert_eq!(p.len(), 3);
         assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);

@@ -22,7 +22,12 @@ impl Knn {
         assert_eq!(xs.len(), ys.len(), "labels mismatch");
         assert!(k >= 1, "k must be at least 1");
         let n_classes = ys.iter().copied().max().unwrap_or(0) + 1;
-        Self { k, xs, ys, n_classes }
+        Self {
+            k,
+            xs,
+            ys,
+            n_classes,
+        }
     }
 }
 

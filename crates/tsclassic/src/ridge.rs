@@ -82,7 +82,11 @@ impl RidgeClassifier {
             }
             intercepts[c] = target_means[c] - dot;
         }
-        Self { weights, intercepts, n_classes: k }
+        Self {
+            weights,
+            intercepts,
+            n_classes: k,
+        }
     }
 
     /// Decision value per class.

@@ -33,8 +33,11 @@ impl StandardScaler {
                 *s += (v - m) * (v - m);
             }
         }
-        let std =
-            var.into_iter().map(|v| (v / n).sqrt()).map(|s| if s < 1e-9 { 1.0 } else { s }).collect();
+        let std = var
+            .into_iter()
+            .map(|v| (v / n).sqrt())
+            .map(|s| if s < 1e-9 { 1.0 } else { s })
+            .collect();
         Self { mean, std }
     }
 
@@ -60,7 +63,9 @@ mod tests {
 
     #[test]
     fn scaled_training_data_has_zero_mean_unit_std() {
-        let xs: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64, 100.0 - 2.0 * i as f64]).collect();
+        let xs: Vec<Vec<f64>> = (0..50)
+            .map(|i| vec![i as f64, 100.0 - 2.0 * i as f64])
+            .collect();
         let sc = StandardScaler::fit(&xs);
         let scaled = sc.transform_batch(&xs);
         for d in 0..2 {

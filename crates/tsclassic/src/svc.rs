@@ -31,7 +31,11 @@ pub struct SvcConfig {
 
 impl Default for SvcConfig {
     fn default() -> Self {
-        Self { lambda: 1e-4, epochs: 30, seed: 0 }
+        Self {
+            lambda: 1e-4,
+            epochs: 30,
+            seed: 0,
+        }
     }
 }
 
@@ -64,8 +68,7 @@ impl LinearSvc {
                     t += 1;
                     let eta = 1.0 / (cfg.lambda * t as f64);
                     let y = if ys[i] == class { 1.0 } else { -1.0 };
-                    let margin: f64 =
-                        w.iter().zip(&xs[i]).map(|(a, b)| a * b).sum::<f64>() + *b;
+                    let margin: f64 = w.iter().zip(&xs[i]).map(|(a, b)| a * b).sum::<f64>() + *b;
                     // L2 shrinkage.
                     let shrink = 1.0 - eta * cfg.lambda;
                     for wv in w.iter_mut() {
@@ -118,8 +121,7 @@ mod tests {
         let (xs, ys) = blobs();
         let svc = LinearSvc::fit(&xs, &ys, SvcConfig::default());
         let preds = svc.predict_batch(&xs);
-        let acc =
-            preds.iter().zip(&ys).filter(|(a, b)| a == b).count() as f64 / xs.len() as f64;
+        let acc = preds.iter().zip(&ys).filter(|(a, b)| a == b).count() as f64 / xs.len() as f64;
         assert!(acc > 0.95, "accuracy {acc}");
     }
 

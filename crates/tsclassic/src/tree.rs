@@ -39,7 +39,11 @@ pub struct TreeConfig {
 
 impl Default for TreeConfig {
     fn default() -> Self {
-        Self { max_depth: 12, min_samples_split: 2, max_features: None }
+        Self {
+            max_depth: 12,
+            min_samples_split: 2,
+            max_features: None,
+        }
     }
 }
 
@@ -61,11 +65,15 @@ impl DecisionTree {
         assert_eq!(xs.len(), ys.len(), "labels mismatch");
         let n_classes = ys.iter().copied().max().unwrap_or(0) + 1;
         let idx: Vec<usize> = (0..xs.len()).collect();
-        let mut tree = Self { nodes: Vec::new(), n_classes };
+        let mut tree = Self {
+            nodes: Vec::new(),
+            n_classes,
+        };
         tree.grow(xs, ys, sample_weights, &idx, 0, cfg, rng);
         tree
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn grow(
         &mut self,
         xs: &[Vec<f64>],
@@ -78,9 +86,8 @@ impl DecisionTree {
     ) -> usize {
         let dist = class_distribution(ys, weights, idx, self.n_classes);
         let node_gini = gini(&dist);
-        let make_leaf = depth >= cfg.max_depth
-            || idx.len() < cfg.min_samples_split
-            || node_gini < 1e-12;
+        let make_leaf =
+            depth >= cfg.max_depth || idx.len() < cfg.min_samples_split || node_gini < 1e-12;
         if make_leaf {
             self.nodes.push(Node::Leaf { dist });
             return self.nodes.len() - 1;
@@ -100,7 +107,7 @@ impl DecisionTree {
         for &f in features {
             if let Some((imp, thr)) = best_split_on_feature(xs, ys, weights, idx, f, self.n_classes)
             {
-                if best.map_or(true, |(bi, _, _)| imp < bi) {
+                if best.is_none_or(|(bi, _, _)| imp < bi) {
                     best = Some((imp, f, thr));
                 }
             }
@@ -128,7 +135,12 @@ impl DecisionTree {
         self.nodes.push(Node::Leaf { dist: vec![] }); // placeholder
         let left = self.grow(xs, ys, weights, &left_idx, depth + 1, cfg, rng);
         let right = self.grow(xs, ys, weights, &right_idx, depth + 1, cfg, rng);
-        self.nodes[me] = Node::Split { feature, threshold, left, right };
+        self.nodes[me] = Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
         me
     }
 
@@ -138,8 +150,17 @@ impl DecisionTree {
         loop {
             match &self.nodes[node] {
                 Node::Leaf { dist } => return dist.clone(),
-                Node::Split { feature, threshold, left, right } => {
-                    node = if x[*feature] <= *threshold { *left } else { *right };
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if x[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -245,7 +266,7 @@ fn best_split_on_feature(
         let gr = gini_counts(&right_counts, right_total);
         let imp = (left_total * gl + right_total * gr) / total;
         let thr = (v + v_next) / 2.0;
-        if best.map_or(true, |(bi, _)| imp < bi) {
+        if best.is_none_or(|(bi, _)| imp < bi) {
             best = Some((imp, thr));
         }
     }
@@ -256,7 +277,10 @@ fn gini_counts(counts: &[f64], total: f64) -> f64 {
     if total <= 0.0 {
         return 0.0;
     }
-    1.0 - counts.iter().map(|c| (c / total) * (c / total)).sum::<f64>()
+    1.0 - counts
+        .iter()
+        .map(|c| (c / total) * (c / total))
+        .sum::<f64>()
 }
 
 #[cfg(test)]
@@ -293,7 +317,10 @@ mod tests {
     fn depth_one_is_a_stump() {
         let (xs, ys) = blobs();
         let mut rng = StdRng::seed_from_u64(2);
-        let cfg = TreeConfig { max_depth: 1, ..Default::default() };
+        let cfg = TreeConfig {
+            max_depth: 1,
+            ..Default::default()
+        };
         let tree = DecisionTree::fit(&xs, &ys, None, cfg, &mut rng);
         // Stump: 1 split + 2 leaves.
         assert!(tree.node_count() <= 3);

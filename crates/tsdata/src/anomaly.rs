@@ -174,9 +174,7 @@ pub fn inject(
             let original: Vec<f64> = seg.to_vec();
             for (i, v) in seg.iter_mut().enumerate() {
                 let src = (i * 2) % n;
-                let bump = scale
-                    * 1.5
-                    * (-((i as f64 - bump_center) / width).powi(2)).exp();
+                let bump = scale * 1.5 * (-((i as f64 - bump_center) / width).powi(2)).exp();
                 *v = -0.6 * original[src] + 0.4 * original[i] + bump;
             }
         }
@@ -191,7 +189,8 @@ pub fn inject(
             let _ = period;
         }
         AnomalyKind::TrendBreak => {
-            let slope = scale * rng.random_range(0.05..0.15)
+            let slope = scale
+                * rng.random_range(0.05..0.15)
                 * if rng.random_bool(0.5) { 1.0 } else { -1.0 };
             for (i, v) in seg.iter_mut().enumerate() {
                 *v += slope * i as f64;
@@ -224,7 +223,9 @@ mod tests {
     use rand::SeedableRng;
 
     fn sine(n: usize) -> Vec<f64> {
-        (0..n).map(|t| (2.0 * std::f64::consts::PI * t as f64 / 20.0).sin()).collect()
+        (0..n)
+            .map(|t| (2.0 * std::f64::consts::PI * t as f64 / 20.0).sin())
+            .collect()
     }
 
     #[test]
@@ -270,9 +271,17 @@ mod tests {
     fn amplitude_change_scales_around_mean() {
         let mut v = sine(200);
         let mut rng = StdRng::seed_from_u64(5);
-        inject(&mut v, AnomalyKind::AmplitudeChange, 60, 100, 1.0, 20, &mut rng);
+        inject(
+            &mut v,
+            AnomalyKind::AmplitudeChange,
+            60,
+            100,
+            1.0,
+            20,
+            &mut rng,
+        );
         let max_inside = v[60..100].iter().cloned().fold(f64::MIN, f64::max).abs();
-        assert!(max_inside > 1.5 || max_inside < 0.5, "max={max_inside}");
+        assert!(!(0.5..=1.5).contains(&max_inside), "max={max_inside}");
     }
 
     #[test]

@@ -93,7 +93,11 @@ impl Benchmark {
                 }
             }
         }
-        Self { config, train, test }
+        Self {
+            config,
+            train,
+            test,
+        }
     }
 
     /// Test series grouped by dataset family, in family order.
@@ -123,20 +127,14 @@ fn derive_seed(master: u64, a: u64, b: u64, c: u64) -> u64 {
 }
 
 /// Generates one labeled series of a family.
-pub fn generate_series(
-    family: &DatasetFamily,
-    length: usize,
-    seed: u64,
-    id: &str,
-) -> TimeSeries {
+pub fn generate_series(family: &DatasetFamily, length: usize, seed: u64, id: &str) -> TimeSeries {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut values = family.base.generate(length, &mut rng);
     let period = family.base.period();
 
     // Characteristic amplitude of the clean signal, for sizing distortions.
     let mean = values.iter().sum::<f64>() / length as f64;
-    let scale = (values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
-        / length as f64)
+    let scale = (values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / length as f64)
         .sqrt()
         .max(0.1);
 
@@ -176,7 +174,15 @@ pub fn generate_series(
     }
 
     for iv in &intervals {
-        inject(&mut values, iv.kind, iv.start, iv.end, scale, period, &mut rng);
+        inject(
+            &mut values,
+            iv.kind,
+            iv.start,
+            iv.end,
+            scale,
+            period,
+            &mut rng,
+        );
     }
 
     TimeSeries::new(id, family.name, values, intervals)
@@ -255,8 +261,10 @@ mod tests {
     #[test]
     fn fingerprint_distinguishes_configs() {
         let a = BenchmarkConfig::default().fingerprint();
-        let mut cfg = BenchmarkConfig::default();
-        cfg.seed = 8;
+        let cfg = BenchmarkConfig {
+            seed: 8,
+            ..BenchmarkConfig::default()
+        };
         assert_ne!(a, cfg.fingerprint());
     }
 

@@ -185,7 +185,11 @@ pub fn all_families() -> Vec<DatasetFamily> {
 
 /// Names of the 14 families used in the test split (the paper's Fig. 4).
 pub fn test_family_names() -> Vec<&'static str> {
-    all_families().iter().filter(|f| f.in_test_split).map(|f| f.name).collect()
+    all_families()
+        .iter()
+        .filter(|f| f.in_test_split)
+        .map(|f| f.name)
+        .collect()
 }
 
 /// Looks a family up by name.
@@ -224,8 +228,11 @@ mod tests {
     #[test]
     fn excluded_families_match_paper() {
         let fams = all_families();
-        let excluded: Vec<_> =
-            fams.iter().filter(|f| !f.in_test_split).map(|f| f.name).collect();
+        let excluded: Vec<_> = fams
+            .iter()
+            .filter(|f| !f.in_test_split)
+            .map(|f| f.name)
+            .collect();
         assert_eq!(excluded, vec!["Dodgers", "Occupancy"]);
     }
 

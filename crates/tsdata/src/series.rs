@@ -40,7 +40,12 @@ impl TimeSeries {
                 _ => merged.push(a),
             }
         }
-        Self { id: id.into(), dataset: dataset.into(), values, anomalies: merged }
+        Self {
+            id: id.into(),
+            dataset: dataset.into(),
+            values,
+            anomalies: merged,
+        }
     }
 
     /// Number of points.
@@ -90,12 +95,21 @@ mod tests {
     use crate::anomaly::AnomalyKind;
 
     fn interval(start: usize, end: usize) -> AnomalyInterval {
-        AnomalyInterval { start, end, kind: AnomalyKind::Spike }
+        AnomalyInterval {
+            start,
+            end,
+            kind: AnomalyKind::Spike,
+        }
     }
 
     #[test]
     fn point_labels_mark_intervals() {
-        let ts = TimeSeries::new("t", "D", vec![0.0; 10], vec![interval(2, 4), interval(7, 8)]);
+        let ts = TimeSeries::new(
+            "t",
+            "D",
+            vec![0.0; 10],
+            vec![interval(2, 4), interval(7, 8)],
+        );
         let labels = ts.point_labels();
         assert_eq!(
             labels,
@@ -105,7 +119,12 @@ mod tests {
 
     #[test]
     fn overlapping_intervals_are_merged() {
-        let ts = TimeSeries::new("t", "D", vec![0.0; 10], vec![interval(2, 5), interval(4, 7)]);
+        let ts = TimeSeries::new(
+            "t",
+            "D",
+            vec![0.0; 10],
+            vec![interval(2, 5), interval(4, 7)],
+        );
         assert_eq!(ts.anomalies.len(), 1);
         assert_eq!((ts.anomalies[0].start, ts.anomalies[0].end), (2, 7));
     }
@@ -126,7 +145,12 @@ mod tests {
 
     #[test]
     fn anomaly_lengths_reported() {
-        let ts = TimeSeries::new("t", "D", vec![0.0; 20], vec![interval(1, 4), interval(10, 15)]);
+        let ts = TimeSeries::new(
+            "t",
+            "D",
+            vec![0.0; 20],
+            vec![interval(1, 4), interval(10, 15)],
+        );
         assert_eq!(ts.anomaly_lengths(), vec![3, 5]);
     }
 }

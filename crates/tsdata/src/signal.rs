@@ -207,12 +207,24 @@ mod tests {
     #[test]
     fn all_generators_produce_finite_values_of_requested_length() {
         let signals = [
-            BaseSignal::SineMix { period: 24, harmonics: 3 },
+            BaseSignal::SineMix {
+                period: 24,
+                harmonics: 3,
+            },
             BaseSignal::EcgBeat { period: 48 },
             BaseSignal::MackeyGlass,
-            BaseSignal::Ar1 { phi: 0.9, drift: 0.001 },
-            BaseSignal::PulseTrain { period: 50, duty: 0.3 },
-            BaseSignal::StepRegime { dwell: 40, levels: 4 },
+            BaseSignal::Ar1 {
+                phi: 0.9,
+                drift: 0.001,
+            },
+            BaseSignal::PulseTrain {
+                period: 50,
+                duty: 0.3,
+            },
+            BaseSignal::StepRegime {
+                dwell: 40,
+                levels: 4,
+            },
             BaseSignal::Sawtooth { period: 30 },
         ];
         let mut rng = StdRng::seed_from_u64(11);
@@ -226,7 +238,11 @@ mod tests {
     #[test]
     fn sine_mix_is_periodic() {
         let mut rng = StdRng::seed_from_u64(3);
-        let v = BaseSignal::SineMix { period: 25, harmonics: 0 }.generate(500, &mut rng);
+        let v = BaseSignal::SineMix {
+            period: 25,
+            harmonics: 0,
+        }
+        .generate(500, &mut rng);
         // The biased ACF estimator tops out at (n-lag)/n = 0.95 for a
         // perfect sine; require most of that.
         assert!(autocorr(&v, 25) > 0.9);
@@ -253,7 +269,11 @@ mod tests {
     #[test]
     fn ar1_is_mean_reverting_without_drift() {
         let mut rng = StdRng::seed_from_u64(9);
-        let v = BaseSignal::Ar1 { phi: 0.8, drift: 0.0 }.generate(5000, &mut rng);
+        let v = BaseSignal::Ar1 {
+            phi: 0.8,
+            drift: 0.0,
+        }
+        .generate(5000, &mut rng);
         let m = v.iter().sum::<f64>() / v.len() as f64;
         assert!(m.abs() < 0.3, "mean={m}");
     }
@@ -261,7 +281,11 @@ mod tests {
     #[test]
     fn pulse_train_duty_cycle_roughly_respected() {
         let mut rng = StdRng::seed_from_u64(13);
-        let v = BaseSignal::PulseTrain { period: 40, duty: 0.25 }.generate(4000, &mut rng);
+        let v = BaseSignal::PulseTrain {
+            period: 40,
+            duty: 0.25,
+        }
+        .generate(4000, &mut rng);
         let high = v.iter().filter(|&&x| x > 0.5).count() as f64 / v.len() as f64;
         assert!((high - 0.25).abs() < 0.08, "duty={high}");
     }
@@ -269,7 +293,11 @@ mod tests {
     #[test]
     fn step_regime_uses_multiple_levels() {
         let mut rng = StdRng::seed_from_u64(15);
-        let v = BaseSignal::StepRegime { dwell: 30, levels: 4 }.generate(2000, &mut rng);
+        let v = BaseSignal::StepRegime {
+            dwell: 30,
+            levels: 4,
+        }
+        .generate(2000, &mut rng);
         let distinct: std::collections::BTreeSet<i64> =
             v.iter().map(|&x| (x * 10.0).round() as i64).collect();
         assert!(distinct.len() >= 3, "levels used: {}", distinct.len());

@@ -19,7 +19,11 @@ pub struct WindowConfig {
 
 impl Default for WindowConfig {
     fn default() -> Self {
-        Self { length: 64, stride: 64, znormalize: true }
+        Self {
+            length: 64,
+            stride: 64,
+            znormalize: true,
+        }
     }
 }
 
@@ -39,7 +43,10 @@ pub struct Window {
 /// If the series is shorter than `length`, a single window padded by edge
 /// replication is emitted so every series yields at least one window.
 pub fn extract_windows(ts: &TimeSeries, series_index: usize, cfg: &WindowConfig) -> Vec<Window> {
-    assert!(cfg.length > 0 && cfg.stride > 0, "length and stride must be positive");
+    assert!(
+        cfg.length > 0 && cfg.stride > 0,
+        "length and stride must be positive"
+    );
     let n = ts.len();
     let mut out = Vec::new();
     if n == 0 {
@@ -47,32 +54,45 @@ pub fn extract_windows(ts: &TimeSeries, series_index: usize, cfg: &WindowConfig)
     }
     if n < cfg.length {
         let mut values: Vec<f32> = ts.values.iter().map(|&v| v as f32).collect();
-        values.resize(cfg.length, *values.last().expect("non-empty") as f32);
+        values.resize(cfg.length, *values.last().expect("non-empty"));
         if cfg.znormalize {
             znorm(&mut values);
         }
-        out.push(Window { series_index, start: 0, values });
+        out.push(Window {
+            series_index,
+            start: 0,
+            values,
+        });
         return out;
     }
     let mut start = 0;
     while start + cfg.length <= n {
-        let mut values: Vec<f32> =
-            ts.values[start..start + cfg.length].iter().map(|&v| v as f32).collect();
+        let mut values: Vec<f32> = ts.values[start..start + cfg.length]
+            .iter()
+            .map(|&v| v as f32)
+            .collect();
         if cfg.znormalize {
             znorm(&mut values);
         }
-        out.push(Window { series_index, start, values });
+        out.push(Window {
+            series_index,
+            start,
+            values,
+        });
         start += cfg.stride;
     }
     // Cover the tail if the stride skipped it.
     let last_start = n - cfg.length;
-    if out.last().map(|w| w.start) != Some(last_start) && last_start % cfg.stride != 0 {
-        let mut values: Vec<f32> =
-            ts.values[last_start..].iter().map(|&v| v as f32).collect();
+    if out.last().map(|w| w.start) != Some(last_start) && !last_start.is_multiple_of(cfg.stride) {
+        let mut values: Vec<f32> = ts.values[last_start..].iter().map(|&v| v as f32).collect();
         if cfg.znormalize {
             znorm(&mut values);
         }
-        out.push(Window { series_index, start: last_start, values });
+        out.push(Window {
+            series_index,
+            start: last_start,
+            values,
+        });
     }
     out
 }
@@ -104,7 +124,11 @@ mod tests {
     #[test]
     fn window_count_matches_stride() {
         let ts = series(100);
-        let cfg = WindowConfig { length: 20, stride: 20, znormalize: false };
+        let cfg = WindowConfig {
+            length: 20,
+            stride: 20,
+            znormalize: false,
+        };
         let ws = extract_windows(&ts, 0, &cfg);
         assert_eq!(ws.len(), 5);
         assert_eq!(ws[2].start, 40);
@@ -114,7 +138,11 @@ mod tests {
     #[test]
     fn overlapping_windows() {
         let ts = series(100);
-        let cfg = WindowConfig { length: 40, stride: 20, znormalize: false };
+        let cfg = WindowConfig {
+            length: 40,
+            stride: 20,
+            znormalize: false,
+        };
         let ws = extract_windows(&ts, 0, &cfg);
         assert_eq!(ws.len(), 4); // starts 0,20,40,60
     }
@@ -122,7 +150,11 @@ mod tests {
     #[test]
     fn tail_window_added_when_stride_skips_it() {
         let ts = series(105);
-        let cfg = WindowConfig { length: 20, stride: 20, znormalize: false };
+        let cfg = WindowConfig {
+            length: 20,
+            stride: 20,
+            znormalize: false,
+        };
         let ws = extract_windows(&ts, 0, &cfg);
         assert_eq!(ws.last().unwrap().start, 85);
     }
@@ -130,7 +162,11 @@ mod tests {
     #[test]
     fn short_series_padded() {
         let ts = series(10);
-        let cfg = WindowConfig { length: 20, stride: 20, znormalize: false };
+        let cfg = WindowConfig {
+            length: 20,
+            stride: 20,
+            znormalize: false,
+        };
         let ws = extract_windows(&ts, 3, &cfg);
         assert_eq!(ws.len(), 1);
         assert_eq!(ws[0].values.len(), 20);
@@ -141,7 +177,11 @@ mod tests {
     #[test]
     fn znormalized_windows_have_zero_mean() {
         let ts = series(128);
-        let cfg = WindowConfig { length: 64, stride: 64, znormalize: true };
+        let cfg = WindowConfig {
+            length: 64,
+            stride: 64,
+            znormalize: true,
+        };
         for w in extract_windows(&ts, 0, &cfg) {
             let mean: f32 = w.values.iter().sum::<f32>() / 64.0;
             assert!(mean.abs() < 1e-4);

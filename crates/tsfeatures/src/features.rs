@@ -102,7 +102,11 @@ pub fn extract_features(xs: &[f64]) -> Vec<f64> {
     let slope = stats::linear_trend_slope(xs);
 
     // CID complexity estimate: sqrt(Σ diff²).
-    let cid: f64 = xs.windows(2).map(|w| (w[1] - w[0]) * (w[1] - w[0])).sum::<f64>().sqrt();
+    let cid: f64 = xs
+        .windows(2)
+        .map(|w| (w[1] - w[0]) * (w[1] - w[0]))
+        .sum::<f64>()
+        .sqrt();
 
     // Spectral features on the mean-removed signal.
     let centered: Vec<f64> = xs.iter().map(|v| v - mean).collect();
@@ -153,7 +157,9 @@ pub fn extract_features(xs: &[f64]) -> Vec<f64> {
         last_q,
     ];
     debug_assert_eq!(out.len(), FEATURE_COUNT);
-    out.into_iter().map(|v| if v.is_finite() { v } else { 0.0 }).collect()
+    out.into_iter()
+        .map(|v| if v.is_finite() { v } else { 0.0 })
+        .collect()
 }
 
 fn crossings(xs: &[f64], level: f64) -> f64 {
@@ -261,20 +267,25 @@ mod tests {
 
     #[test]
     fn periodic_signal_has_high_acf_and_peak_power() {
-        let xs: Vec<f64> =
-            (0..128).map(|i| (2.0 * std::f64::consts::PI * i as f64 / 16.0).sin()).collect();
+        let xs: Vec<f64> = (0..128)
+            .map(|i| (2.0 * std::f64::consts::PI * i as f64 / 16.0).sin())
+            .collect();
         let f = extract_features(&xs);
         let names = feature_names();
         let acf16 = f[names.iter().position(|&n| n == "acf_lag16").unwrap()];
-        let peak_power = f[names.iter().position(|&n| n == "spectral_peak_power").unwrap()];
+        let peak_power = f[names
+            .iter()
+            .position(|&n| n == "spectral_peak_power")
+            .unwrap()];
         assert!(acf16 > 0.8, "acf16={acf16}");
         assert!(peak_power > 0.5, "peak_power={peak_power}");
     }
 
     #[test]
     fn noise_has_higher_entropy_than_sine() {
-        let sine: Vec<f64> =
-            (0..128).map(|i| (2.0 * std::f64::consts::PI * i as f64 / 16.0).sin()).collect();
+        let sine: Vec<f64> = (0..128)
+            .map(|i| (2.0 * std::f64::consts::PI * i as f64 / 16.0).sin())
+            .collect();
         // Deterministic pseudo-noise.
         let noise: Vec<f64> = (0..128)
             .map(|i| {

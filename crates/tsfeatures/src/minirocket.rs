@@ -79,7 +79,13 @@ impl MiniRocket {
                 biases[ki][di] = qs;
             }
         }
-        Self { kernels, dilations, biases, input_len, features_per_pair }
+        Self {
+            kernels,
+            dilations,
+            biases,
+            input_len,
+            features_per_pair,
+        }
     }
 
     /// Number of output features.
@@ -108,9 +114,11 @@ impl MiniRocket {
         out
     }
 
-    /// Transforms a batch of windows.
+    /// Transforms a batch of windows, one pool task per window. Each window
+    /// is independent, so the output equals the serial map at any thread
+    /// count.
     pub fn transform_batch(&self, windows: &[Vec<f64>]) -> Vec<Vec<f64>> {
-        windows.iter().map(|w| self.transform(w)).collect()
+        tspar::par_map(windows.len(), |i| self.transform(&windows[i]))
     }
 }
 
@@ -118,7 +126,7 @@ impl MiniRocket {
 fn dilations_for(len: usize) -> Vec<usize> {
     let mut out = Vec::new();
     let mut d = 1;
-    while 8 * d + 1 <= len && out.len() < 5 {
+    while 8 * d < len && out.len() < 5 {
         out.push(d);
         d *= 2;
     }
@@ -225,6 +233,6 @@ mod tests {
     #[should_panic(expected = "window length mismatch")]
     fn wrong_length_rejected() {
         let mr = MiniRocket::fit(&toy_windows(), 2, 0);
-        let _ = mr.transform(&vec![0.0; 16]);
+        let _ = mr.transform(&[0.0; 16]);
     }
 }

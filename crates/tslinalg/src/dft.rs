@@ -21,7 +21,9 @@ pub fn magnitude_spectrum(signal: &[f64]) -> Vec<f64> {
     } else {
         dft_direct(signal)
     };
-    (0..=n / 2).map(|k| (re[k] * re[k] + im[k] * im[k]).sqrt()).collect()
+    (0..=n / 2)
+        .map(|k| (re[k] * re[k] + im[k] * im[k]).sqrt())
+        .collect()
 }
 
 /// Dominant period of a signal estimated from the magnitude spectrum,
@@ -128,8 +130,9 @@ mod tests {
     fn spectrum_of_pure_sine_peaks_at_its_frequency() {
         let n = 128;
         let freq = 8; // cycles over the window
-        let signal: Vec<f64> =
-            (0..n).map(|t| (2.0 * PI * freq as f64 * t as f64 / n as f64).sin()).collect();
+        let signal: Vec<f64> = (0..n)
+            .map(|t| (2.0 * PI * freq as f64 * t as f64 / n as f64).sin())
+            .collect();
         let spec = magnitude_spectrum(&signal);
         let peak = spec
             .iter()
@@ -142,7 +145,9 @@ mod tests {
 
     #[test]
     fn fft_matches_direct_dft() {
-        let signal: Vec<f64> = (0..64).map(|t| ((t * t) as f64 * 0.1).sin() + 0.3).collect();
+        let signal: Vec<f64> = (0..64)
+            .map(|t| ((t * t) as f64 * 0.1).sin() + 0.3)
+            .collect();
         let (fr, fi) = fft_radix2(&signal);
         let (dr, di) = dft_direct(&signal);
         for k in 0..64 {
@@ -162,8 +167,9 @@ mod tests {
     #[test]
     fn dominant_period_of_periodic_signal() {
         let period = 16;
-        let signal: Vec<f64> =
-            (0..512).map(|t| (2.0 * PI * t as f64 / period as f64).sin()).collect();
+        let signal: Vec<f64> = (0..512)
+            .map(|t| (2.0 * PI * t as f64 / period as f64).sin())
+            .collect();
         let p = dominant_period(&signal).unwrap();
         assert!(
             (p as i64 - period as i64).abs() <= 2,

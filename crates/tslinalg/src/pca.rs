@@ -57,7 +57,11 @@ impl Pca {
         } else {
             Matrix::from_rows(&components)
         };
-        Pca { mean, components: comp_mat, explained_variance: eigenvalues }
+        Pca {
+            mean,
+            components: comp_mat,
+            explained_variance: eigenvalues,
+        }
     }
 
     /// Number of retained components.
@@ -232,7 +236,11 @@ mod tests {
         }
         let pca = Pca::fit(&Matrix::from_rows(&rows), 3);
         for w in pca.explained_variance.windows(2) {
-            assert!(w[0] >= w[1] - 1e-9, "variance must be descending: {:?}", pca.explained_variance);
+            assert!(
+                w[0] >= w[1] - 1e-9,
+                "variance must be descending: {:?}",
+                pca.explained_variance
+            );
         }
     }
 

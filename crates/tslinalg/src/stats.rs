@@ -137,7 +137,11 @@ pub fn minmax_scale(xs: &mut [f64]) {
 /// Euclidean distance between two equal-length slices.
 pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
 }
 
 /// Simple linear-regression slope of `xs` against `0..n`.
@@ -192,8 +196,9 @@ mod tests {
 
     #[test]
     fn autocorrelation_of_periodic_signal() {
-        let xs: Vec<f64> =
-            (0..200).map(|t| (2.0 * std::f64::consts::PI * t as f64 / 10.0).sin()).collect();
+        let xs: Vec<f64> = (0..200)
+            .map(|t| (2.0 * std::f64::consts::PI * t as f64 / 10.0).sin())
+            .collect();
         assert!(autocorrelation(&xs, 10) > 0.9);
         assert!(autocorrelation(&xs, 5) < -0.9);
     }

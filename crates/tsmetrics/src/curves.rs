@@ -94,8 +94,12 @@ pub fn auc_roc(scores: &[f64], labels: &[bool]) -> f64 {
         i = j;
     }
     // Positives should have *small* ranks (high scores). Convert to AUC.
-    let pos_rank_sum: f64 =
-        rank.iter().zip(labels).filter(|(_, &y)| y).map(|(&r, _)| r).sum();
+    let pos_rank_sum: f64 = rank
+        .iter()
+        .zip(labels)
+        .filter(|(_, &y)| y)
+        .map(|(&r, _)| r)
+        .sum();
     // Sum of ranks if positives were ranked best: 1 + 2 + ... + pos.
     let best = (pos * (pos + 1)) as f64 / 2.0;
     let u = pos_rank_sum - best; // number of (pos, neg) inversions
@@ -145,7 +149,11 @@ pub fn best_f1(scores: &[f64], labels: &[bool]) -> (f64, f64) {
 /// Precision and recall for `score >= threshold` predictions.
 pub fn precision_recall_at(scores: &[f64], labels: &[bool], threshold: f64) -> PrPoint {
     let c = crate::Counts::at_threshold(scores, labels, threshold);
-    PrPoint { threshold, precision: c.precision(), recall: c.recall() }
+    PrPoint {
+        threshold,
+        precision: c.precision(),
+        recall: c.recall(),
+    }
 }
 
 #[cfg(test)]

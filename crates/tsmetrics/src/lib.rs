@@ -32,7 +32,12 @@ impl Counts {
     /// Panics if `scores` and `labels` have different lengths.
     pub fn at_threshold(scores: &[f64], labels: &[bool], threshold: f64) -> Self {
         assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
-        let mut c = Counts { tp: 0, fp: 0, tn: 0, fn_: 0 };
+        let mut c = Counts {
+            tp: 0,
+            fp: 0,
+            tn: 0,
+            fn_: 0,
+        };
         for (&s, &y) in scores.iter().zip(labels) {
             match (s >= threshold, y) {
                 (true, true) => c.tp += 1,
@@ -84,7 +89,11 @@ pub fn accuracy(predictions: &[usize], labels: &[usize]) -> f64 {
     if predictions.is_empty() {
         return 0.0;
     }
-    let hits = predictions.iter().zip(labels).filter(|(p, l)| p == l).count();
+    let hits = predictions
+        .iter()
+        .zip(labels)
+        .filter(|(p, l)| p == l)
+        .count();
     hits as f64 / predictions.len() as f64
 }
 
@@ -103,7 +112,11 @@ pub fn top_k_accuracy(probabilities: &[Vec<f64>], labels: &[usize], k: usize) ->
     for (probs, &label) in probabilities.iter().zip(labels) {
         assert!(!probs.is_empty(), "empty probability row");
         let mut idx: Vec<usize> = (0..probs.len()).collect();
-        idx.sort_by(|&a, &b| probs[b].partial_cmp(&probs[a]).unwrap_or(std::cmp::Ordering::Equal));
+        idx.sort_by(|&a, &b| {
+            probs[b]
+                .partial_cmp(&probs[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         if idx.iter().take(k).any(|&i| i == label) {
             hits += 1;
         }
@@ -120,7 +133,15 @@ mod tests {
         let scores = [0.9, 0.8, 0.3, 0.1];
         let labels = [true, false, true, false];
         let c = Counts::at_threshold(&scores, &labels, 0.5);
-        assert_eq!(c, Counts { tp: 1, fp: 1, tn: 1, fn_: 1 });
+        assert_eq!(
+            c,
+            Counts {
+                tp: 1,
+                fp: 1,
+                tn: 1,
+                fn_: 1
+            }
+        );
         assert!((c.precision() - 0.5).abs() < 1e-12);
         assert!((c.recall() - 0.5).abs() < 1e-12);
         assert!((c.f1() - 0.5).abs() < 1e-12);

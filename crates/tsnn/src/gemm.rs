@@ -1,0 +1,378 @@
+//! Cache-blocked, register-tiled, parallel `f32` GEMM kernels.
+//!
+//! One packed kernel serves the three tensor products the NN substrate
+//! needs (`A·B`, `Aᵀ·B`, `A·Bᵀ`) by reading either operand transposed
+//! during packing. The compute shape is the classic panel-dot formulation:
+//!
+//! * **B is packed once** into column panels of width [`NR`]: panel `j`
+//!   holds `B[p][j..j+NR]` contiguously for `p = 0..k`, zero-padded at the
+//!   right edge. Packing linearises the innermost streams so the micro-
+//!   kernel reads both operands sequentially (hardware-prefetch friendly).
+//! * **A is packed per row tile** of height [`MR`]: `A[i..i+MR][p]`
+//!   contiguously for `p = 0..k`, zero-padded at the bottom edge.
+//! * The micro-kernel keeps an `MR × NR` accumulator block in registers for
+//!   the whole `k` loop, so `C` is written exactly once per tile instead of
+//!   once per `k` step — the main win over the naive axpy loop, whose
+//!   output-row traffic grows with `k`.
+//!
+//! **Determinism.** Every `C[i][j]` is one scalar chain `Σ_p a·b` in fixed
+//! ascending-`p` order, computed by exactly one worker. Parallelism splits
+//! row tiles (fixed [`MR`]-aligned boundaries, independent of the worker
+//! count), so results are bit-identical at any thread count — the property
+//! `tests/parallel_determinism.rs` pins.
+//!
+//! `KD_BLOCK` overrides the number of row tiles per parallel task (the
+//! split granularity, which never affects values); `KD_THREADS` caps the
+//! workers (see [`tspar`]).
+
+/// Micro-kernel tile height (rows of `A` per register block).
+pub const MR: usize = 4;
+/// Micro-kernel tile width (columns of `B` per register block). Two SSE
+/// vectors per row keep the whole accumulator block in registers without
+/// assuming AVX.
+pub const NR: usize = 8;
+
+/// Work below this many fused multiply-adds is not worth packing.
+const PACK_FLOP_THRESHOLD: usize = 4096;
+/// Work below this many fused multiply-adds is not worth a parallel region
+/// (shared with the layer-level gates).
+const PAR_FLOP_THRESHOLD: usize = tspar::MIN_PAR_WORK;
+
+/// How one operand matrix is laid out relative to the product.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Layout {
+    /// Use the matrix as stored: element `(r, c)` at `data[r * ld + c]`.
+    Normal,
+    /// Use the transpose: element `(r, c)` at `data[c * ld + r]`.
+    Transposed,
+}
+
+/// `C = A' × B'` where `A'` is `n×k` and `B'` is `k×m` after applying the
+/// layouts. `c` must hold `n·m` elements and is fully overwritten.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm(
+    n: usize,
+    m: usize,
+    k: usize,
+    a: &[f32],
+    a_layout: Layout,
+    b: &[f32],
+    b_layout: Layout,
+    c: &mut [f32],
+) {
+    debug_assert_eq!(c.len(), n * m);
+    let flops = n * m * k;
+    if flops < PACK_FLOP_THRESHOLD {
+        gemm_naive(n, m, k, a, a_layout, b, b_layout, c);
+        return;
+    }
+
+    let packed_b = pack_b(m, k, b, b_layout);
+    let n_tiles = n.div_ceil(MR);
+    let tiles_per_task = block_rows().max(1);
+
+    if flops < PAR_FLOP_THRESHOLD || tspar::threads() <= 1 {
+        let mut packed_a = vec![0.0f32; k * MR];
+        for tile in 0..n_tiles {
+            gemm_row_tile(tile, n, m, k, a, a_layout, &packed_b, &mut packed_a, c);
+        }
+        return;
+    }
+
+    // Parallel: each task owns `tiles_per_task` consecutive row tiles and
+    // the matching rows of C. Tile boundaries depend only on MR and the
+    // task size, never on the worker count.
+    let rows_per_task = tiles_per_task * MR;
+    tspar::par_chunks_mut(c, rows_per_task * m, |task, c_chunk| {
+        let tile0 = task * tiles_per_task;
+        let mut packed_a = vec![0.0f32; k * MR];
+        let rows_here = c_chunk.len() / m;
+        let tiles_here = rows_here.div_ceil(MR);
+        for t in 0..tiles_here {
+            let tile = tile0 + t;
+            // Views are C-chunk-relative: pass a shifted row base.
+            gemm_row_tile_into(
+                tile,
+                tile0 * MR,
+                n,
+                m,
+                k,
+                a,
+                a_layout,
+                &packed_b,
+                &mut packed_a,
+                c_chunk,
+            );
+        }
+    });
+}
+
+/// Row tiles per parallel task (`KD_BLOCK`, default 8 → 32 rows/task).
+fn block_rows() -> usize {
+    static CACHE: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CACHE.get_or_init(|| {
+        std::env::var("KD_BLOCK")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&v| v >= 1)
+            .unwrap_or(8)
+    })
+}
+
+/// Packs `B'` (`k×m` after layout) into NR-wide column panels, zero-padded.
+fn pack_b(m: usize, k: usize, b: &[f32], layout: Layout) -> Vec<f32> {
+    let m_pad = m.div_ceil(NR) * NR;
+    let mut out = vec![0.0f32; k * m_pad];
+    match layout {
+        Layout::Normal => {
+            // B'[p][j] = b[p * m + j]; copy row slices panel by panel.
+            for (panel, j0) in (0..m).step_by(NR).enumerate() {
+                let width = NR.min(m - j0);
+                let dst_base = panel * (k * NR);
+                for p in 0..k {
+                    let src = &b[p * m + j0..p * m + j0 + width];
+                    out[dst_base + p * NR..dst_base + p * NR + width].copy_from_slice(src);
+                }
+            }
+        }
+        Layout::Transposed => {
+            // B'[p][j] = b[j * k + p]; source columns are contiguous rows.
+            for (panel, j0) in (0..m).step_by(NR).enumerate() {
+                let width = NR.min(m - j0);
+                let dst_base = panel * (k * NR);
+                for jj in 0..width {
+                    let src = &b[(j0 + jj) * k..(j0 + jj) * k + k];
+                    for (p, &v) in src.iter().enumerate() {
+                        out[dst_base + p * NR + jj] = v;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Packs row tile `tile` of `A'` (`n×k` after layout): `packed[p*MR + ii] =
+/// A'[tile*MR + ii][p]`, zero-padded below row `n`.
+fn pack_a(tile: usize, n: usize, k: usize, a: &[f32], layout: Layout, packed: &mut [f32]) {
+    let i0 = tile * MR;
+    let rows = MR.min(n - i0);
+    match layout {
+        Layout::Normal => {
+            // A'[i][p] = a[i * k + p].
+            for p in 0..k {
+                for ii in 0..MR {
+                    packed[p * MR + ii] = if ii < rows { a[(i0 + ii) * k + p] } else { 0.0 };
+                }
+            }
+        }
+        Layout::Transposed => {
+            // A'[i][p] = a[p * n + i]; each p is a contiguous source row.
+            for p in 0..k {
+                let src = &a[p * n + i0..p * n + i0 + rows];
+                let dst = &mut packed[p * MR..p * MR + MR];
+                dst[..rows].copy_from_slice(src);
+                for v in &mut dst[rows..] {
+                    *v = 0.0;
+                }
+            }
+        }
+    }
+}
+
+/// Computes one MR-row tile of C (C rows indexed from 0).
+#[allow(clippy::too_many_arguments)]
+fn gemm_row_tile(
+    tile: usize,
+    n: usize,
+    m: usize,
+    k: usize,
+    a: &[f32],
+    a_layout: Layout,
+    packed_b: &[f32],
+    packed_a: &mut [f32],
+    c: &mut [f32],
+) {
+    gemm_row_tile_into(tile, 0, n, m, k, a, a_layout, packed_b, packed_a, c);
+}
+
+/// Computes row tile `tile`, writing into `c_chunk` whose first row is
+/// global row `row_base`.
+#[allow(clippy::too_many_arguments)]
+fn gemm_row_tile_into(
+    tile: usize,
+    row_base: usize,
+    n: usize,
+    m: usize,
+    k: usize,
+    a: &[f32],
+    a_layout: Layout,
+    packed_b: &[f32],
+    packed_a: &mut [f32],
+    c_chunk: &mut [f32],
+) {
+    let i0 = tile * MR;
+    if i0 >= n {
+        return;
+    }
+    let rows = MR.min(n - i0);
+    pack_a(tile, n, k, a, a_layout, packed_a);
+    for (panel, j0) in (0..m).step_by(NR).enumerate() {
+        let width = NR.min(m - j0);
+        let bp = &packed_b[panel * (k * NR)..(panel + 1) * (k * NR)];
+        let acc = micro_kernel(k, packed_a, bp);
+        // Store the active part of the register tile.
+        for (ii, acc_row) in acc.iter().enumerate().take(rows) {
+            let row = i0 - row_base + ii;
+            let dst = &mut c_chunk[row * m + j0..row * m + j0 + width];
+            dst.copy_from_slice(&acc_row[..width]);
+        }
+    }
+}
+
+/// The MR×NR register-tile dot kernel: both operands stream sequentially,
+/// accumulators live in registers for the whole `k` loop. Per output
+/// element the sum runs in ascending-`p` order — identical to the naive
+/// reference, so blocked and naive results agree to the last bit.
+#[inline(always)]
+fn micro_kernel(k: usize, ap: &[f32], bp: &[f32]) -> [[f32; NR]; MR] {
+    let mut acc = [[0.0f32; NR]; MR];
+    debug_assert!(ap.len() >= k * MR && bp.len() >= k * NR);
+    // Fixed-size chunks give LLVM compile-time lengths: no bounds checks,
+    // clean 4-lane vectorisation of the jj loop.
+    for (a, b) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)).take(k) {
+        let a: &[f32; MR] = a.try_into().unwrap();
+        let b: &[f32; NR] = b.try_into().unwrap();
+        for (row, &av) in acc.iter_mut().zip(a) {
+            for (acc_v, &bv) in row.iter_mut().zip(b) {
+                *acc_v += av * bv;
+            }
+        }
+    }
+    acc
+}
+
+/// Reference implementation: straightforward loops, ascending-`p` sums.
+/// Public so tests and benchmarks can compare against the blocked path.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_naive(
+    n: usize,
+    m: usize,
+    k: usize,
+    a: &[f32],
+    a_layout: Layout,
+    b: &[f32],
+    b_layout: Layout,
+    c: &mut [f32],
+) {
+    debug_assert_eq!(c.len(), n * m);
+    let a_at = |i: usize, p: usize| match a_layout {
+        Layout::Normal => a[i * k + p],
+        Layout::Transposed => a[p * n + i],
+    };
+    let b_at = |p: usize, j: usize| match b_layout {
+        Layout::Normal => b[p * m + j],
+        Layout::Transposed => b[j * k + p],
+    };
+    for i in 0..n {
+        let out_row = &mut c[i * m..(i + 1) * m];
+        for (j, o) in out_row.iter_mut().enumerate() {
+            let mut sum = 0.0f32;
+            for p in 0..k {
+                sum += a_at(i, p) * b_at(p, j);
+            }
+            *o = sum;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_matrix(rng: &mut StdRng, len: usize) -> Vec<f32> {
+        (0..len).map(|_| rng.random_range(-1.0f32..1.0)).collect()
+    }
+
+    fn check_all_layouts(n: usize, m: usize, k: usize, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for (la, lb) in [
+            (Layout::Normal, Layout::Normal),
+            (Layout::Transposed, Layout::Normal),
+            (Layout::Normal, Layout::Transposed),
+        ] {
+            let a_len = n * k;
+            let b_len = k * m;
+            let a = random_matrix(&mut rng, a_len);
+            let b = random_matrix(&mut rng, b_len);
+            let mut fast = vec![0.0f32; n * m];
+            let mut slow = vec![0.0f32; n * m];
+            gemm(n, m, k, &a, la, &b, lb, &mut fast);
+            gemm_naive(n, m, k, &a, la, &b, lb, &mut slow);
+            for (i, (&x, &y)) in fast.iter().zip(&slow).enumerate() {
+                assert!(
+                    (x - y).abs() <= 1e-5,
+                    "({n},{m},{k}) {la:?}/{lb:?} idx {i}: {x} vs {y}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_matches_naive_on_rectangles() {
+        for &(n, m, k) in &[
+            (1, 1, 1),
+            (3, 5, 7),
+            (4, 8, 16),
+            (5, 9, 33),
+            (17, 13, 64),
+            (64, 12, 96),
+            (33, 65, 48),
+            (128, 40, 50),
+        ] {
+            check_all_layouts(n, m, k, (n * 1000 + m * 10 + k) as u64);
+        }
+    }
+
+    #[test]
+    fn degenerate_edges_survive() {
+        // m or n smaller than a tile; k = 1.
+        check_all_layouts(1, 8, 1, 1);
+        check_all_layouts(2, 3, 1, 2);
+        check_all_layouts(4, 1, 128, 3);
+    }
+
+    #[test]
+    fn identity_product() {
+        let k = 16;
+        let mut eye = vec![0.0f32; k * k];
+        for i in 0..k {
+            eye[i * k + i] = 1.0;
+        }
+        let mut rng = StdRng::seed_from_u64(9);
+        let a = random_matrix(&mut rng, 8 * k);
+        let mut c = vec![0.0f32; 8 * k];
+        gemm(8, k, k, &a, Layout::Normal, &eye, Layout::Normal, &mut c);
+        for (x, y) in c.iter().zip(&a) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn parallel_split_is_bit_identical() {
+        let (n, m, k) = (96, 80, 120);
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = random_matrix(&mut rng, n * k);
+        let b = random_matrix(&mut rng, k * m);
+        tspar::set_parallelism(tspar::Parallelism::Fixed(1));
+        let mut c1 = vec![0.0f32; n * m];
+        gemm(n, m, k, &a, Layout::Normal, &b, Layout::Normal, &mut c1);
+        tspar::set_parallelism(tspar::Parallelism::Fixed(7));
+        let mut c7 = vec![0.0f32; n * m];
+        gemm(n, m, k, &a, Layout::Normal, &b, Layout::Normal, &mut c7);
+        tspar::set_parallelism(tspar::Parallelism::Auto);
+        assert_eq!(c1, c7, "row-split parallel GEMM must be bit-identical");
+    }
+}

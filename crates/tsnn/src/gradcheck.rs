@@ -19,7 +19,11 @@ fn coeff(i: usize) -> f32 {
 
 /// Scalar probe loss `Σ c_i y_i` in f64 for precision.
 fn probe_loss(y: &Tensor) -> f64 {
-    y.data().iter().enumerate().map(|(i, &v)| coeff(i) as f64 * v as f64).sum()
+    y.data()
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| coeff(i) as f64 * v as f64)
+        .sum()
 }
 
 /// Gradient of the probe loss with respect to the output.
@@ -68,9 +72,13 @@ pub fn check_layer_gradients<L: Layer>(layer: &mut L, x: &Tensor, eps: f32, tol:
     }
 
     // Parameter gradients. Collect analytic copies first to avoid aliasing.
-    let analytic_param_grads: Vec<Vec<f32>> =
-        layer.params_mut().iter().map(|p| p.grad.data().to_vec()).collect();
+    let analytic_param_grads: Vec<Vec<f32>> = layer
+        .params_mut()
+        .iter()
+        .map(|p| p.grad.data().to_vec())
+        .collect();
     let n_params = analytic_param_grads.len();
+    #[allow(clippy::needless_range_loop)] // `pi` also re-borrows `layer.params_mut()`
     for pi in 0..n_params {
         let numel = layer.params_mut()[pi].value.numel();
         // Check every element of small params; stride through big ones.
@@ -139,8 +147,12 @@ mod tests {
         // f(x) = Σ x_i², ∇f = 2x.
         let x = Tensor::from_vec(&[3], vec![0.5, -1.0, 2.0]);
         let analytic = Tensor::from_vec(&[3], vec![1.0, -2.0, 4.0]);
-        let mut f =
-            |t: &Tensor| t.data().iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>();
+        let mut f = |t: &Tensor| {
+            t.data()
+                .iter()
+                .map(|&v| (v as f64) * (v as f64))
+                .sum::<f64>()
+        };
         check_function_gradient(&mut f, &x, &analytic, 1e-3, 1e-2);
     }
 
@@ -149,8 +161,12 @@ mod tests {
     fn function_gradcheck_rejects_wrong_gradient() {
         let x = Tensor::from_vec(&[2], vec![1.0, 2.0]);
         let wrong = Tensor::from_vec(&[2], vec![5.0, 5.0]);
-        let mut f =
-            |t: &Tensor| t.data().iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>();
+        let mut f = |t: &Tensor| {
+            t.data()
+                .iter()
+                .map(|&v| (v as f64) * (v as f64))
+                .sum::<f64>()
+        };
         check_function_gradient(&mut f, &x, &wrong, 1e-3, 1e-2);
     }
 }

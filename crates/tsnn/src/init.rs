@@ -10,7 +10,9 @@ pub fn kaiming_uniform(shape: &[usize], fan_in: usize, rng: &mut StdRng) -> Tens
     assert!(fan_in > 0, "fan_in must be positive");
     let bound = (6.0 / fan_in as f64).sqrt() as f32;
     let numel: usize = shape.iter().product();
-    let data = (0..numel).map(|_| rng.random_range(-bound..bound)).collect();
+    let data = (0..numel)
+        .map(|_| rng.random_range(-bound..bound))
+        .collect();
     Tensor::from_vec(shape, data)
 }
 
@@ -21,7 +23,9 @@ pub fn xavier_uniform(shape: &[usize], fan_in: usize, fan_out: usize, rng: &mut 
     assert!(fan_in + fan_out > 0, "fans must be positive");
     let bound = (6.0 / (fan_in + fan_out) as f64).sqrt() as f32;
     let numel: usize = shape.iter().product();
-    let data = (0..numel).map(|_| rng.random_range(-bound..bound)).collect();
+    let data = (0..numel)
+        .map(|_| rng.random_range(-bound..bound))
+        .collect();
     Tensor::from_vec(shape, data)
 }
 
@@ -66,8 +70,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let t = normal(&[10_000], 0.5, &mut rng);
         let mean: f32 = t.data().iter().sum::<f32>() / 10_000.0;
-        let var: f32 =
-            t.data().iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / 10_000.0;
+        let var: f32 = t
+            .data()
+            .iter()
+            .map(|&v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / 10_000.0;
         assert!(mean.abs() < 0.02, "mean={mean}");
         assert!((var.sqrt() - 0.5).abs() < 0.05, "std={}", var.sqrt());
     }

@@ -95,7 +95,10 @@ impl Layer for Gelu {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let x = self.cached_input.take().expect("backward without forward(train)");
+        let x = self
+            .cached_input
+            .take()
+            .expect("backward without forward(train)");
         let mut g = grad_out.clone();
         for (gv, &xv) in g.data_mut().iter_mut().zip(x.data()) {
             *gv *= Self::derivative(xv);

@@ -38,7 +38,10 @@ impl MultiHeadSelfAttention {
     /// # Panics
     /// Panics if `dim` is not divisible by `heads`.
     pub fn new(dim: usize, heads: usize, rng: &mut StdRng) -> Self {
-        assert!(heads > 0 && dim % heads == 0, "dim must divide by heads");
+        assert!(
+            heads > 0 && dim.is_multiple_of(heads),
+            "dim must divide by heads"
+        );
         Self {
             wq: Linear::new(dim, dim, rng),
             wk: Linear::new(dim, dim, rng),
@@ -78,7 +81,9 @@ fn add_head_block(
 ) {
     for ti in 0..t {
         let dst = &mut flat.data_mut()[(n * t + ti) * dim..(n * t + ti) * dim + dim];
-        for (d, &s) in dst[h * dh..(h + 1) * dh].iter_mut().zip(&block[ti * dh..(ti + 1) * dh])
+        for (d, &s) in dst[h * dh..(h + 1) * dh]
+            .iter_mut()
+            .zip(&block[ti * dh..(ti + 1) * dh])
         {
             *d += s;
         }
@@ -152,7 +157,14 @@ impl Layer for MultiHeadSelfAttention {
 
         let y = self.wo.forward(&o, train);
         if train {
-            self.cache = Some(AttnCache { n, t, q, k, v, attn: attn_cache });
+            self.cache = Some(AttnCache {
+                n,
+                t,
+                q,
+                k,
+                v,
+                attn: attn_cache,
+            });
         }
         y.reshape(&[n, t, d])
     }
@@ -290,7 +302,9 @@ mod tests {
         let mut attn = MultiHeadSelfAttention::new(4, 2, &mut rng);
         let x = Tensor::from_vec(
             &[2, 3, 4],
-            (0..24).map(|i| ((i * 7 % 13) as f32 - 6.0) * 0.15).collect(),
+            (0..24)
+                .map(|i| ((i * 7 % 13) as f32 - 6.0) * 0.15)
+                .collect(),
         );
         check_layer_gradients(&mut attn, &x, 1e-2, 3e-2);
     }

@@ -28,7 +28,10 @@ impl Conv1d {
     /// # Panics
     /// Panics if `kernel` is even (same-padding needs odd kernels).
     pub fn new(in_channels: usize, out_channels: usize, kernel: usize, rng: &mut StdRng) -> Self {
-        assert!(kernel % 2 == 1, "Conv1d requires odd kernel size, got {kernel}");
+        assert!(
+            kernel % 2 == 1,
+            "Conv1d requires odd kernel size, got {kernel}"
+        );
         let fan_in = in_channels * kernel;
         Self {
             weight: Param::new(kaiming_uniform(
@@ -60,19 +63,25 @@ impl Layer for Conv1d {
         let mut y = Tensor::zeros(&[n, self.out_channels, l]);
         let w = self.weight.value.data();
         let b = self.bias.value.data();
-        for ni in 0..n {
-            let xb = x.batch(ni);
-            let yb = y.batch_mut(ni);
-            for co in 0..self.out_channels {
+        let (c_in, c_out, kernel) = (self.in_channels, self.out_channels, self.kernel);
+        // Batch elements are independent: one pool task per element, each
+        // writing its own (C_out · L) output slab. Small convolutions stay
+        // serial — the work gate keeps per-minibatch 1×1 convs off the pool.
+        let x_data = x.data();
+        let in_stride = c_in * l;
+        let work = n * c_out * c_in * kernel * l;
+        tspar::par_chunks_mut_gated(y.data_mut(), c_out * l, work, |ni, yb| {
+            let xb = &x_data[ni * in_stride..(ni + 1) * in_stride];
+            for co in 0..c_out {
                 let y_row = &mut yb[co * l..(co + 1) * l];
                 let bias = b[co];
                 for v in y_row.iter_mut() {
                     *v = bias;
                 }
-                for ci in 0..self.in_channels {
+                for ci in 0..c_in {
                     let x_row = &xb[ci * l..(ci + 1) * l];
-                    let w_base = (co * self.in_channels + ci) * self.kernel;
-                    for k in 0..self.kernel {
+                    let w_base = (co * c_in + ci) * kernel;
+                    for k in 0..kernel {
                         let wv = w[w_base + k];
                         if wv == 0.0 {
                             continue;
@@ -80,15 +89,14 @@ impl Layer for Conv1d {
                         // y[t] += w * x[t + k - pad] over valid t.
                         let (t0, t1) = valid_range(l, k, pad);
                         let off = k as isize - pad as isize;
-                        let xs = &x_row[(t0 as isize + off) as usize
-                            ..(t1 as isize + off) as usize];
+                        let xs = &x_row[(t0 as isize + off) as usize..(t1 as isize + off) as usize];
                         for (yv, &xv) in y_row[t0..t1].iter_mut().zip(xs) {
                             *yv += wv * xv;
                         }
                     }
                 }
             }
-        }
+        });
         if train {
             self.cached_input = Some(x.clone());
         }
@@ -96,7 +104,10 @@ impl Layer for Conv1d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let x = self.cached_input.take().expect("backward without forward(train)");
+        let x = self
+            .cached_input
+            .take()
+            .expect("backward without forward(train)");
         let (n, l) = (x.dim(0), x.dim(2));
         assert_eq!(grad_out.shape(), &[n, self.out_channels, l]);
         let pad = self.kernel / 2;
@@ -119,8 +130,7 @@ impl Layer for Conv1d {
                             continue;
                         }
                         let off = k as isize - pad as isize;
-                        let xs = &x_row[(t0 as isize + off) as usize
-                            ..(t1 as isize + off) as usize];
+                        let xs = &x_row[(t0 as isize + off) as usize..(t1 as isize + off) as usize];
                         // dW[k] += Σ_t g[t] · x[t+k-pad]
                         let mut acc = 0.0f32;
                         for (&g, &xv) in g_row[t0..t1].iter().zip(xs) {
@@ -130,29 +140,38 @@ impl Layer for Conv1d {
                     }
                 }
             }
-            // dX: gx[ci][t+k-pad] += w[co][ci][k] * g[co][t]
-            let gxb = gx.batch_mut(ni);
-            for co in 0..self.out_channels {
+        }
+        // dX: gx[ci][t+k-pad] += w[co][ci][k] * g[co][t]. Unlike the weight
+        // gradient above (accumulated serially across the batch to keep one
+        // fixed summation order), each input-gradient slab belongs to one
+        // batch element, so the batch loop parallelises cleanly.
+        let (c_in, c_out, kernel) = (self.in_channels, self.out_channels, self.kernel);
+        let g_data = grad_out.data();
+        let out_stride = c_out * l;
+        let work = n * c_out * c_in * kernel * l;
+        tspar::par_chunks_mut_gated(gx.data_mut(), c_in * l, work, |ni, gxb| {
+            let gb = &g_data[ni * out_stride..(ni + 1) * out_stride];
+            for co in 0..c_out {
                 let g_row = &gb[co * l..(co + 1) * l];
-                for ci in 0..self.in_channels {
+                for ci in 0..c_in {
                     let gx_row = &mut gxb[ci * l..(ci + 1) * l];
-                    let w_base = (co * self.in_channels + ci) * self.kernel;
-                    for k in 0..self.kernel {
+                    let w_base = (co * c_in + ci) * kernel;
+                    for k in 0..kernel {
                         let wv = w[w_base + k];
                         if wv == 0.0 {
                             continue;
                         }
                         let (t0, t1) = valid_range(l, k, pad);
                         let off = k as isize - pad as isize;
-                        let gxs = &mut gx_row[(t0 as isize + off) as usize
-                            ..(t1 as isize + off) as usize];
+                        let gxs =
+                            &mut gx_row[(t0 as isize + off) as usize..(t1 as isize + off) as usize];
                         for (gxv, &g) in gxs.iter_mut().zip(&g_row[t0..t1]) {
                             *gxv += wv * g;
                         }
                     }
                 }
             }
-        }
+        });
         gx
     }
 

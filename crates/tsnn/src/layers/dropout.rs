@@ -22,7 +22,11 @@ impl Dropout {
     /// Panics unless `0 ≤ p < 1`.
     pub fn new(p: f32, seed: u64) -> Self {
         assert!((0.0..1.0).contains(&p), "p must be in [0, 1)");
-        Self { p, rng: StdRng::seed_from_u64(seed), mask: None }
+        Self {
+            p,
+            rng: StdRng::seed_from_u64(seed),
+            mask: None,
+        }
     }
 }
 
@@ -36,7 +40,13 @@ impl Layer for Dropout {
         }
         let keep = 1.0 - self.p;
         let mask: Vec<f32> = (0..x.numel())
-            .map(|_| if self.rng.random::<f32>() < keep { 1.0 / keep } else { 0.0 })
+            .map(|_| {
+                if self.rng.random::<f32>() < keep {
+                    1.0 / keep
+                } else {
+                    0.0
+                }
+            })
             .collect();
         let mut y = x.clone();
         for (v, &m) in y.data_mut().iter_mut().zip(&mask) {

@@ -19,7 +19,11 @@ impl Linear {
     /// New layer with Kaiming-uniform weights and zero bias.
     pub fn new(in_features: usize, out_features: usize, rng: &mut StdRng) -> Self {
         Self {
-            weight: Param::new(kaiming_uniform(&[in_features, out_features], in_features, rng)),
+            weight: Param::new(kaiming_uniform(
+                &[in_features, out_features],
+                in_features,
+                rng,
+            )),
             bias: Param::new(Tensor::zeros(&[out_features])),
             cached_input: None,
         }
@@ -56,7 +60,10 @@ impl Layer for Linear {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let x = self.cached_input.take().expect("backward without forward(train)");
+        let x = self
+            .cached_input
+            .take()
+            .expect("backward without forward(train)");
         // dW += xᵀ · g
         let dw = x.t_matmul(grad_out);
         self.weight.grad.add_assign(&dw);

@@ -44,7 +44,12 @@ impl Lstm {
             *v = 1.0;
         }
         Self {
-            w_x: Param::new(xavier_uniform(&[input_dim, 4 * hidden], input_dim, hidden, rng)),
+            w_x: Param::new(xavier_uniform(
+                &[input_dim, 4 * hidden],
+                input_dim,
+                hidden,
+                rng,
+            )),
             w_h: Param::new(xavier_uniform(&[hidden, 4 * hidden], hidden, hidden, rng)),
             bias: Param::new(bias),
             input_dim,
@@ -70,9 +75,24 @@ impl Layer for Lstm {
         let (n, t, i_dim) = (x.dim(0), x.dim(1), x.dim(2));
         assert_eq!(i_dim, self.input_dim, "input width mismatch");
         let h = self.hidden;
-        let wx = self.w_x.value.data();
-        let wh = self.w_h.value.data();
+        let h4 = 4 * h;
         let b = self.bias.value.data();
+
+        // The input projection of *every* timestep is one (N·T, I) × (I, 4H)
+        // product — hoist it onto the blocked GEMM path instead of
+        // recomputing scalar dot products per step. Computed straight from
+        // the borrowed input buffer; no reshape copy of `x`.
+        let mut x_proj = Tensor::zeros(&[n * t, h4]);
+        crate::gemm::gemm(
+            n * t,
+            h4,
+            i_dim,
+            x.data(),
+            crate::gemm::Layout::Normal,
+            self.w_x.value.data(),
+            crate::gemm::Layout::Normal,
+            x_proj.data_mut(),
+        );
 
         let mut h_prev = vec![0.0f32; n * h];
         let mut c_prev = vec![0.0f32; n * h];
@@ -82,29 +102,18 @@ impl Layer for Lstm {
         let mut tanh_c_t = Vec::with_capacity(t);
 
         for ti in 0..t {
-            let mut pre = vec![0.0f32; n * 4 * h];
+            // Recurrent contribution through the kernel as well: (N,H)·(H,4H).
+            // `h_prev` is only needed for this product, so move it into the
+            // tensor instead of cloning (it is replaced below).
+            let h_t = Tensor::from_vec(&[n, h], std::mem::take(&mut h_prev));
+            let rec = h_t.matmul(&self.w_h.value);
+            let mut pre = vec![0.0f32; n * h4];
             for ni in 0..n {
-                let x_row = &x.data()[(ni * t + ti) * i_dim..(ni * t + ti + 1) * i_dim];
-                let pre_row = &mut pre[ni * 4 * h..(ni + 1) * 4 * h];
-                pre_row.copy_from_slice(b);
-                for (ii, &xv) in x_row.iter().enumerate() {
-                    if xv == 0.0 {
-                        continue;
-                    }
-                    let w_row = &wx[ii * 4 * h..(ii + 1) * 4 * h];
-                    for (p, &w) in pre_row.iter_mut().zip(w_row) {
-                        *p += xv * w;
-                    }
-                }
-                let h_row = &h_prev[ni * h..(ni + 1) * h];
-                for (hi, &hv) in h_row.iter().enumerate() {
-                    if hv == 0.0 {
-                        continue;
-                    }
-                    let w_row = &wh[hi * 4 * h..(hi + 1) * 4 * h];
-                    for (p, &w) in pre_row.iter_mut().zip(w_row) {
-                        *p += hv * w;
-                    }
+                let pre_row = &mut pre[ni * h4..(ni + 1) * h4];
+                let xp_row = x_proj.row(ni * t + ti);
+                let rec_row = rec.row(ni);
+                for (((p, &bv), &xp), &rv) in pre_row.iter_mut().zip(b).zip(xp_row).zip(rec_row) {
+                    *p = bv + xp + rv;
                 }
             }
             // Nonlinearities and state update.
@@ -156,31 +165,27 @@ impl Layer for Lstm {
         let x = &cache.x;
         let (n, t, i_dim) = (x.dim(0), x.dim(1), x.dim(2));
         let h = self.hidden;
-        let wx = self.w_x.value.data().to_vec();
-        let wh = self.w_h.value.data().to_vec();
+        let h4 = 4 * h;
 
-        let mut gx = Tensor::zeros(&[n, t, i_dim]);
         let mut dh = grad_out.data().to_vec(); // (N, H) gradient on final h
         let mut dc = vec![0.0f32; n * h];
+        // All timesteps' gate pre-activation gradients, laid out like the
+        // forward's x-projection (row ni*T + ti), so the x-side gradients
+        // collapse into two blocked GEMMs after the time loop.
+        let mut dpre_all = vec![0.0f32; n * t * h4];
+        // Per-step scratch, reused across the whole reverse loop.
+        let mut dpre = vec![0.0f32; n * h4];
+        let mut dwh_step = vec![0.0f32; h * h4];
 
         for ti in (0..t).rev() {
             let gates = &cache.gates[ti];
             let tanh_c = &cache.tanh_c[ti];
-            let c_prev: &[f32] = if ti == 0 {
-                &[]
-            } else {
-                &cache.cells[ti - 1]
-            };
-            let h_prev: &[f32] = if ti == 0 {
-                &[]
-            } else {
-                &cache.hiddens[ti - 1]
-            };
+            let c_prev: &[f32] = if ti == 0 { &[] } else { &cache.cells[ti - 1] };
+            let h_prev: &[f32] = if ti == 0 { &[] } else { &cache.hiddens[ti - 1] };
             // Gate pre-activation gradients for this step.
-            let mut dpre = vec![0.0f32; n * 4 * h];
             for ni in 0..n {
                 for k in 0..h {
-                    let base = ni * 4 * h;
+                    let base = ni * h4;
                     let idx = ni * h + k;
                     let ig = gates[base + k];
                     let fg = gates[base + h + k];
@@ -198,62 +203,65 @@ impl Layer for Lstm {
                     dc[idx] = dc_k * fg; // carry to t-1
                 }
             }
-            // Parameter gradients and input/hidden gradients.
-            let mut dh_next = vec![0.0f32; n * h];
             for ni in 0..n {
-                let pre_row = &dpre[ni * 4 * h..(ni + 1) * 4 * h];
-                let x_row = &x.data()[(ni * t + ti) * i_dim..(ni * t + ti + 1) * i_dim];
-                // dWx += xᵀ · dpre
-                for (ii, &xv) in x_row.iter().enumerate() {
-                    if xv != 0.0 {
-                        let gw = &mut self.w_x.grad.data_mut()[ii * 4 * h..(ii + 1) * 4 * h];
-                        for (g, &p) in gw.iter_mut().zip(pre_row) {
-                            *g += xv * p;
-                        }
-                    }
-                }
-                // dWh += h_prevᵀ · dpre
-                if ti > 0 {
-                    let hp_row = &h_prev[ni * h..(ni + 1) * h];
-                    for (hi, &hv) in hp_row.iter().enumerate() {
-                        if hv != 0.0 {
-                            let gw =
-                                &mut self.w_h.grad.data_mut()[hi * 4 * h..(hi + 1) * 4 * h];
-                            for (g, &p) in gw.iter_mut().zip(pre_row) {
-                                *g += hv * p;
-                            }
-                        }
-                    }
-                }
-                // db += dpre
-                for (g, &p) in self.bias.grad.data_mut().iter_mut().zip(pre_row) {
+                dpre_all[(ni * t + ti) * h4..(ni * t + ti + 1) * h4]
+                    .copy_from_slice(&dpre[ni * h4..(ni + 1) * h4]);
+            }
+            // db += column sums of dpre.
+            let gb = self.bias.grad.data_mut();
+            for ni in 0..n {
+                for (g, &p) in gb.iter_mut().zip(&dpre[ni * h4..(ni + 1) * h4]) {
                     *g += p;
                 }
-                // dx = dpre · Wxᵀ
-                let gx_row =
-                    &mut gx.data_mut()[(ni * t + ti) * i_dim..(ni * t + ti + 1) * i_dim];
-                for (ii, gxv) in gx_row.iter_mut().enumerate() {
-                    let w_row = &wx[ii * 4 * h..(ii + 1) * 4 * h];
-                    let mut acc = 0.0f32;
-                    for (&w, &p) in w_row.iter().zip(pre_row) {
-                        acc += w * p;
-                    }
-                    *gxv = acc;
-                }
-                // dh_prev = dpre · Whᵀ
-                let dhn_row = &mut dh_next[ni * h..(ni + 1) * h];
-                for (hi, dhv) in dhn_row.iter_mut().enumerate() {
-                    let w_row = &wh[hi * 4 * h..(hi + 1) * 4 * h];
-                    let mut acc = 0.0f32;
-                    for (&w, &p) in w_row.iter().zip(pre_row) {
-                        acc += w * p;
-                    }
-                    *dhv = acc;
-                }
             }
-            dh = dh_next;
+            // dWh += h_prev^T . dpre and dh_prev = dpre . Wh^T, both through
+            // the kernel, reading the cached slices in place. At ti == 0
+            // there is no earlier step to feed, so neither product is
+            // needed.
+            if ti > 0 {
+                crate::gemm::gemm(
+                    h,
+                    h4,
+                    n,
+                    h_prev,
+                    crate::gemm::Layout::Transposed,
+                    &dpre,
+                    crate::gemm::Layout::Normal,
+                    &mut dwh_step,
+                );
+                for (g, &d) in self.w_h.grad.data_mut().iter_mut().zip(&dwh_step) {
+                    *g += d;
+                }
+                crate::gemm::gemm(
+                    n,
+                    h,
+                    h4,
+                    &dpre,
+                    crate::gemm::Layout::Normal,
+                    self.w_h.value.data(),
+                    crate::gemm::Layout::Transposed,
+                    &mut dh,
+                );
+            }
         }
-        gx
+
+        // x-side gradients in two blocked GEMMs over every timestep at once:
+        // dWx += x^T . dpre_all (read transposed straight from the cached
+        // input; no reshape copy), dx = dpre_all . Wx^T.
+        let mut dwx = Tensor::zeros(&[i_dim, h4]);
+        crate::gemm::gemm(
+            i_dim,
+            h4,
+            n * t,
+            x.data(),
+            crate::gemm::Layout::Transposed,
+            &dpre_all,
+            crate::gemm::Layout::Normal,
+            dwx.data_mut(),
+        );
+        self.w_x.grad.add_assign(&dwx);
+        let dpre_flat = Tensor::from_vec(&[n * t, h4], dpre_all);
+        dpre_flat.matmul_t(&self.w_x.value).reshape(&[n, t, i_dim])
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
@@ -280,7 +288,10 @@ mod tests {
     fn hidden_state_is_bounded() {
         let mut rng = StdRng::seed_from_u64(1);
         let mut lstm = Lstm::new(1, 4, &mut rng);
-        let x = Tensor::from_vec(&[1, 20, 1], (0..20).map(|i| (i as f32).sin() * 5.0).collect());
+        let x = Tensor::from_vec(
+            &[1, 20, 1],
+            (0..20).map(|i| (i as f32).sin() * 5.0).collect(),
+        );
         let y = lstm.forward(&x, false);
         // h = o ⊙ tanh(c) ∈ (-1, 1).
         assert!(y.data().iter().all(|&v| v.abs() < 1.0));
@@ -310,8 +321,14 @@ mod tests {
     fn different_inputs_give_different_states() {
         let mut rng = StdRng::seed_from_u64(4);
         let mut lstm = Lstm::new(1, 4, &mut rng);
-        let a = lstm.forward(&Tensor::from_vec(&[1, 5, 1], vec![1., 2., 3., 4., 5.]), false);
-        let b = lstm.forward(&Tensor::from_vec(&[1, 5, 1], vec![5., 4., 3., 2., 1.]), false);
+        let a = lstm.forward(
+            &Tensor::from_vec(&[1, 5, 1], vec![1., 2., 3., 4., 5.]),
+            false,
+        );
+        let b = lstm.forward(
+            &Tensor::from_vec(&[1, 5, 1], vec![5., 4., 3., 2., 1.]),
+            false,
+        );
         assert_ne!(a.data(), b.data());
     }
 }

@@ -97,8 +97,9 @@ impl Layer for BatchNorm1d {
             let hb = x_hat.batch_mut(ni);
             for ci in 0..c {
                 let (m, s) = (mean[ci], inv_std[ci]);
-                for (h, &v) in
-                    hb[ci * l..(ci + 1) * l].iter_mut().zip(&xb[ci * l..(ci + 1) * l])
+                for (h, &v) in hb[ci * l..(ci + 1) * l]
+                    .iter_mut()
+                    .zip(&xb[ci * l..(ci + 1) * l])
                 {
                     *h = (v - m) * s;
                 }
@@ -109,8 +110,9 @@ impl Layer for BatchNorm1d {
             let yb = y.batch_mut(ni);
             for ci in 0..c {
                 let (g, b) = (gamma[ci], beta[ci]);
-                for (yv, &h) in
-                    yb[ci * l..(ci + 1) * l].iter_mut().zip(&hb[ci * l..(ci + 1) * l])
+                for (yv, &h) in yb[ci * l..(ci + 1) * l]
+                    .iter_mut()
+                    .zip(&hb[ci * l..(ci + 1) * l])
                 {
                     *yv = g * h + b;
                 }
@@ -226,7 +228,10 @@ impl Layer for LayerNorm {
             }
         }
         if train {
-            self.cache = Some(LnCache { x_hat, inv_std: inv_stds });
+            self.cache = Some(LnCache {
+                x_hat,
+                inv_std: inv_stds,
+            });
         }
         y
     }
@@ -252,8 +257,7 @@ impl Layer for LayerNorm {
             let inv_std = cache.inv_std[r];
             let o_row = &mut gx.data_mut()[r * d..(r + 1) * d];
             for i in 0..d {
-                o_row[i] = inv_std / d as f32
-                    * (d as f32 * gg[i] - sum_gg - h_row[i] * sum_ggh);
+                o_row[i] = inv_std / d as f32 * (d as f32 * gg[i] - sum_gg - h_row[i] * sum_ggh);
             }
         }
         gx
@@ -281,9 +285,7 @@ mod tests {
         );
         let y = bn.forward(&x, true);
         // Channel 0 values across N·L should have ~0 mean, ~1 std.
-        let ch0: Vec<f32> = (0..2)
-            .flat_map(|n| y.batch(n)[0..4].to_vec())
-            .collect();
+        let ch0: Vec<f32> = (0..2).flat_map(|n| y.batch(n)[0..4].to_vec()).collect();
         let mean: f32 = ch0.iter().sum::<f32>() / 8.0;
         let var: f32 = ch0.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / 8.0;
         assert!(mean.abs() < 1e-5);

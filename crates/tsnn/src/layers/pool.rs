@@ -18,7 +18,11 @@ impl MaxPool1d {
     /// Panics if `kernel == 0`.
     pub fn new(kernel: usize) -> Self {
         assert!(kernel > 0, "kernel must be positive");
-        Self { kernel, argmax: None, in_shape: None }
+        Self {
+            kernel,
+            argmax: None,
+            in_shape: None,
+        }
     }
 }
 
@@ -60,7 +64,10 @@ impl Layer for MaxPool1d {
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let argmax = self.argmax.take().expect("backward without forward(train)");
-        let in_shape = self.in_shape.take().expect("backward without forward(train)");
+        let in_shape = self
+            .in_shape
+            .take()
+            .expect("backward without forward(train)");
         let (n, c, lo) = (grad_out.dim(0), grad_out.dim(1), grad_out.dim(2));
         let l = in_shape[2];
         let mut gx = Tensor::zeros(&in_shape);
@@ -114,7 +121,10 @@ impl Layer for GlobalAvgPool1d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let in_shape = self.in_shape.take().expect("backward without forward(train)");
+        let in_shape = self
+            .in_shape
+            .take()
+            .expect("backward without forward(train)");
         let (n, c, l) = (in_shape[0], in_shape[1], in_shape[2]);
         let mut gx = Tensor::zeros(&in_shape);
         for ni in 0..n {

@@ -21,6 +21,7 @@
 //! keeps the substrate small, fully deterministic, and easy to verify layer
 //! by layer.
 
+pub mod gemm;
 pub mod gradcheck;
 pub mod init;
 pub mod layers;

@@ -62,19 +62,14 @@ pub fn softmax_rows(logits: &Tensor) -> Tensor {
 ///
 /// # Panics
 /// Panics if a target is out of range or lengths mismatch.
-pub fn cross_entropy(
-    logits: &Tensor,
-    targets: &[usize],
-    weights: Option<&[f32]>,
-) -> PerSampleLoss {
+pub fn cross_entropy(logits: &Tensor, targets: &[usize], weights: Option<&[f32]>) -> PerSampleLoss {
     let (n, m) = (logits.dim(0), logits.dim(1));
     assert_eq!(targets.len(), n, "target count mismatch");
     let probs = softmax_rows(logits);
     let mut grad = Tensor::zeros(&[n, m]);
     let mut per_sample = Vec::with_capacity(n);
     let mut total = 0.0f64;
-    for i in 0..n {
-        let y = targets[i];
+    for (i, &y) in targets.iter().enumerate() {
         assert!(y < m, "target {y} out of range for {m} classes");
         let w = weight_of(weights, i);
         let p = probs.row(i)[y].max(1e-12);
@@ -88,7 +83,11 @@ pub fn cross_entropy(
             g_row[j] = scale * (p_row[j] - if j == y { 1.0 } else { 0.0 });
         }
     }
-    PerSampleLoss { loss: total / n as f64, per_sample, grad }
+    PerSampleLoss {
+        loss: total / n as f64,
+        per_sample,
+        grad,
+    }
 }
 
 /// Soft-label cross-entropy (the PISL objective): targets are probability
@@ -123,7 +122,11 @@ pub fn soft_cross_entropy(
             g_row[j] = scale * (t_sum * p_row[j] - t_row[j]);
         }
     }
-    PerSampleLoss { loss: total / n as f64, per_sample, grad }
+    PerSampleLoss {
+        loss: total / n as f64,
+        per_sample,
+        grad,
+    }
 }
 
 /// Mean squared error with per-sample weights (mean over all elements).
@@ -149,7 +152,11 @@ pub fn mse(pred: &Tensor, target: &Tensor, weights: Option<&[f32]>) -> PerSample
         per_sample.push(li);
         total += w as f64 * li;
     }
-    PerSampleLoss { loss: total / n as f64, per_sample, grad }
+    PerSampleLoss {
+        loss: total / n as f64,
+        per_sample,
+        grad,
+    }
 }
 
 /// Bidirectional InfoNCE (the MKI objective).
@@ -172,7 +179,12 @@ pub fn info_nce(
     let (n, d) = (z_t.dim(0), z_t.dim(1));
     if n < 2 {
         // A single pair carries no contrastive signal.
-        return (0.0, vec![0.0; n], Tensor::zeros(&[n, d]), Tensor::zeros(&[n, d]));
+        return (
+            0.0,
+            vec![0.0; n],
+            Tensor::zeros(&[n, d]),
+            Tensor::zeros(&[n, d]),
+        );
     }
 
     // L2-normalise rows, remembering norms for the backward pass.
@@ -214,8 +226,7 @@ pub fn info_nce(
     let mut total = 0.0f64;
     for i in 0..n {
         let w = weight_of(weights, i) as f64;
-        let li = -(p.row(i)[i].max(1e-12) as f64).ln()
-            - (q_t.row(i)[i].max(1e-12) as f64).ln();
+        let li = -(p.row(i)[i].max(1e-12) as f64).ln() - (q_t.row(i)[i].max(1e-12) as f64).ln();
         let li = li / 2.0;
         per_sample.push(li);
         total += w * li;
@@ -229,9 +240,8 @@ pub fn info_nce(
             let delta = if i == j { 1.0 } else { 0.0 };
             let wi = weight_of(weights, i);
             let wj = weight_of(weights, j);
-            ds.row_mut(i)[j] = (wi * (p.row(i)[j] - delta)
-                + wj * (q_t.row(j)[i] - delta))
-                / (2.0 * n as f32);
+            ds.row_mut(i)[j] =
+                (wi * (p.row(i)[j] - delta) + wj * (q_t.row(j)[i] - delta)) / (2.0 * n as f32);
         }
     }
     ds.scale_(1.0 / temperature);
@@ -242,13 +252,13 @@ pub fn info_nce(
 
     let denormalize = |g_hat: &Tensor, z_hat: &Tensor, norms: &[f32]| -> Tensor {
         let mut g = Tensor::zeros(&[n, d]);
-        for i in 0..n {
+        for (i, &norm_i) in norms.iter().enumerate() {
             let gh = g_hat.row(i);
             let zh = z_hat.row(i);
             let dot: f32 = gh.iter().zip(zh).map(|(&a, &b)| a * b).sum();
             let g_row = g.row_mut(i);
             for j in 0..d {
-                g_row[j] = (gh[j] - zh[j] * dot) / norms[i];
+                g_row[j] = (gh[j] - zh[j] * dot) / norm_i;
             }
         }
         g
@@ -345,18 +355,24 @@ mod tests {
     #[test]
     fn info_nce_aligned_pairs_have_lower_loss() {
         // Aligned: z_k = z_t ⇒ diagonal dominant ⇒ loss below log N.
-        let zt = Tensor::from_vec(&[3, 4], vec![
-            1.0, 0.0, 0.0, 0.0, //
-            0.0, 1.0, 0.0, 0.0, //
-            0.0, 0.0, 1.0, 0.0,
-        ]);
+        let zt = Tensor::from_vec(
+            &[3, 4],
+            vec![
+                1.0, 0.0, 0.0, 0.0, //
+                0.0, 1.0, 0.0, 0.0, //
+                0.0, 0.0, 1.0, 0.0,
+            ],
+        );
         let (aligned, _, _, _) = info_nce(&zt, &zt, 0.1, None);
         // Misaligned: z_k rows permuted.
-        let zk = Tensor::from_vec(&[3, 4], vec![
-            0.0, 1.0, 0.0, 0.0, //
-            0.0, 0.0, 1.0, 0.0, //
-            1.0, 0.0, 0.0, 0.0,
-        ]);
+        let zk = Tensor::from_vec(
+            &[3, 4],
+            vec![
+                0.0, 1.0, 0.0, 0.0, //
+                0.0, 0.0, 1.0, 0.0, //
+                1.0, 0.0, 0.0, 0.0,
+            ],
+        );
         let (misaligned, _, _, _) = info_nce(&zt, &zk, 0.1, None);
         assert!(aligned < 0.01, "aligned={aligned}");
         assert!(misaligned > aligned + 1.0, "misaligned={misaligned}");
@@ -364,8 +380,14 @@ mod tests {
 
     #[test]
     fn info_nce_gradients_match_finite_differences() {
-        let zt = Tensor::from_vec(&[3, 4], (0..12).map(|i| ((i * 7 % 13) as f32 - 6.0) * 0.2).collect());
-        let zk = Tensor::from_vec(&[3, 4], (0..12).map(|i| ((i * 5 % 11) as f32 - 5.0) * 0.2).collect());
+        let zt = Tensor::from_vec(
+            &[3, 4],
+            (0..12).map(|i| ((i * 7 % 13) as f32 - 6.0) * 0.2).collect(),
+        );
+        let zk = Tensor::from_vec(
+            &[3, 4],
+            (0..12).map(|i| ((i * 5 % 11) as f32 - 5.0) * 0.2).collect(),
+        );
         let (_, _, g_zt, g_zk) = info_nce(&zt, &zk, 0.5, None);
         let mut f_t = |x: &Tensor| info_nce(x, &zk, 0.5, None).0;
         check_function_gradient(&mut f_t, &zt, &g_zt, 1e-3, 2e-2);

@@ -29,7 +29,12 @@ pub struct Sgd {
 impl Sgd {
     /// New optimizer.
     pub fn new(lr: f32, momentum: f32, weight_decay: f32) -> Self {
-        Self { lr, momentum, weight_decay, velocity: Vec::new() }
+        Self {
+            lr,
+            momentum,
+            weight_decay,
+            velocity: Vec::new(),
+        }
     }
 
     /// Applies one update step. The parameter list must be the same (same
@@ -41,8 +46,12 @@ impl Sgd {
         assert_eq!(self.velocity.len(), params.len(), "parameter list changed");
         for (p, vel) in params.iter_mut().zip(&mut self.velocity) {
             let wd = self.weight_decay;
-            for ((w, &g), v) in
-                p.value.data_mut().iter_mut().zip(p.grad.data()).zip(vel.iter_mut())
+            for ((w, &g), v) in p
+                .value
+                .data_mut()
+                .iter_mut()
+                .zip(p.grad.data())
+                .zip(vel.iter_mut())
             {
                 let g = g + wd * *w;
                 *v = self.momentum * *v + g;

@@ -20,7 +20,10 @@ pub struct TensorData {
 
 impl From<&Tensor> for TensorData {
     fn from(t: &Tensor) -> Self {
-        Self { shape: t.shape().to_vec(), data: t.data().to_vec() }
+        Self {
+            shape: t.shape().to_vec(),
+            data: t.data().to_vec(),
+        }
     }
 }
 
@@ -43,7 +46,9 @@ pub struct StateDict {
 
 /// Extracts a state dict from a parameter list.
 pub fn save_params(params: &[&mut Param]) -> StateDict {
-    StateDict { tensors: params.iter().map(|p| TensorData::from(&p.value)).collect() }
+    StateDict {
+        tensors: params.iter().map(|p| TensorData::from(&p.value)).collect(),
+    }
 }
 
 /// Loads a state dict into a parameter list.

@@ -1,5 +1,7 @@
 //! Dense row-major `f32` tensor.
 
+use crate::gemm;
+
 /// A dense row-major tensor of `f32` values with a dynamic shape.
 ///
 /// The workspace uses three layouts:
@@ -16,7 +18,10 @@ impl Tensor {
     /// A tensor of zeros with the given shape.
     pub fn zeros(shape: &[usize]) -> Self {
         let numel = shape.iter().product();
-        Self { shape: shape.to_vec(), data: vec![0.0; numel] }
+        Self {
+            shape: shape.to_vec(),
+            data: vec![0.0; numel],
+        }
     }
 
     /// Builds a tensor from a flat row-major buffer.
@@ -26,7 +31,10 @@ impl Tensor {
     pub fn from_vec(shape: &[usize], data: Vec<f32>) -> Self {
         let numel: usize = shape.iter().product();
         assert_eq!(data.len(), numel, "buffer does not match shape {shape:?}");
-        Self { shape: shape.to_vec(), data }
+        Self {
+            shape: shape.to_vec(),
+            data,
+        }
     }
 
     /// Stacks equal-length rows into a `(rows.len(), row_len)` tensor.
@@ -38,7 +46,10 @@ impl Tensor {
             assert_eq!(r.len(), d, "ragged rows");
             data.extend_from_slice(r);
         }
-        Self { shape: vec![n, d], data }
+        Self {
+            shape: vec![n, d],
+            data,
+        }
     }
 
     /// The shape.
@@ -145,15 +156,94 @@ impl Tensor {
         self.data.iter().map(|&v| (v as f64) * (v as f64)).sum()
     }
 
+    /// Consumes the tensor, returning its flat buffer. Lets hot loops
+    /// recycle allocations (`Tensor::from_vec(shape, buf)` → use →
+    /// `buf = t.into_data()`).
+    #[inline]
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
     /// Matrix product of two rank-2 tensors: `(n,k) × (k,m) → (n,m)`.
     ///
-    /// i-k-j loop order for vectorisable inner loops.
+    /// Runs on the cache-blocked, register-tiled, parallel kernel in
+    /// [`crate::gemm`]; results are bit-identical at any thread count.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
         assert_eq!(self.shape.len(), 2);
         assert_eq!(other.shape.len(), 2);
         let (n, k) = (self.shape[0], self.shape[1]);
         let (k2, m) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "matmul inner dimension mismatch");
+        let mut out = Tensor::zeros(&[n, m]);
+        gemm::gemm(
+            n,
+            m,
+            k,
+            &self.data,
+            gemm::Layout::Normal,
+            &other.data,
+            gemm::Layout::Normal,
+            &mut out.data,
+        );
+        out
+    }
+
+    /// `selfᵀ × other` for rank-2 tensors: `(n,k)ᵀ × (n,m) → (k,m)`.
+    ///
+    /// The transpose is absorbed by the kernel's packing step — `self` is
+    /// never materialised transposed.
+    pub fn t_matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape.len(), 2);
+        assert_eq!(other.shape.len(), 2);
+        let (n, k) = (self.shape[0], self.shape[1]);
+        let (n2, m) = (other.shape[0], other.shape[1]);
+        assert_eq!(n, n2, "t_matmul outer dimension mismatch");
+        let mut out = Tensor::zeros(&[k, m]);
+        gemm::gemm(
+            k,
+            m,
+            n,
+            &self.data,
+            gemm::Layout::Transposed,
+            &other.data,
+            gemm::Layout::Normal,
+            &mut out.data,
+        );
+        out
+    }
+
+    /// `self × otherᵀ` for rank-2 tensors: `(n,k) × (m,k)ᵀ → (n,m)`.
+    ///
+    /// The transpose is absorbed by the kernel's packing step.
+    pub fn matmul_t(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape.len(), 2);
+        assert_eq!(other.shape.len(), 2);
+        let (n, k) = (self.shape[0], self.shape[1]);
+        let (m, k2) = (other.shape[0], other.shape[1]);
+        assert_eq!(k, k2, "matmul_t inner dimension mismatch");
+        let mut out = Tensor::zeros(&[n, m]);
+        gemm::gemm(
+            n,
+            m,
+            k,
+            &self.data,
+            gemm::Layout::Normal,
+            &other.data,
+            gemm::Layout::Transposed,
+            &mut out.data,
+        );
+        out
+    }
+
+    /// Reference `matmul`: the seed's single-threaded i-k-j axpy kernel,
+    /// kept verbatim so tests and benchmarks compare the blocked path
+    /// against the original implementation.
+    pub fn matmul_naive(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape.len(), 2);
+        assert_eq!(other.shape.len(), 2);
+        let (n, k) = (self.shape[0], self.shape[1]);
+        let m = other.shape[1];
+        assert_eq!(k, other.shape[0], "matmul inner dimension mismatch");
         let mut out = Tensor::zeros(&[n, m]);
         for i in 0..n {
             let a_row = self.row(i);
@@ -171,14 +261,13 @@ impl Tensor {
         out
     }
 
-    /// `selfᵀ × other` for rank-2 tensors: `(k,n)ᵀ=(n,k)` is avoided by
-    /// reading `self` column-wise: `(n,k) × (n,m) → (k,m)`.
-    pub fn t_matmul(&self, other: &Tensor) -> Tensor {
+    /// Reference `t_matmul`: the seed's column-wise accumulation kernel.
+    pub fn t_matmul_naive(&self, other: &Tensor) -> Tensor {
         assert_eq!(self.shape.len(), 2);
         assert_eq!(other.shape.len(), 2);
         let (n, k) = (self.shape[0], self.shape[1]);
-        let (n2, m) = (other.shape[0], other.shape[1]);
-        assert_eq!(n, n2, "t_matmul outer dimension mismatch");
+        let m = other.shape[1];
+        assert_eq!(n, other.shape[0], "t_matmul outer dimension mismatch");
         let mut out = Tensor::zeros(&[k, m]);
         for i in 0..n {
             let a_row = self.row(i);
@@ -196,13 +285,13 @@ impl Tensor {
         out
     }
 
-    /// `self × otherᵀ` for rank-2 tensors: `(n,k) × (m,k)ᵀ → (n,m)`.
-    pub fn matmul_t(&self, other: &Tensor) -> Tensor {
+    /// Reference `matmul_t`: the seed's row-dot kernel.
+    pub fn matmul_t_naive(&self, other: &Tensor) -> Tensor {
         assert_eq!(self.shape.len(), 2);
         assert_eq!(other.shape.len(), 2);
         let (n, k) = (self.shape[0], self.shape[1]);
-        let (m, k2) = (other.shape[0], other.shape[1]);
-        assert_eq!(k, k2, "matmul_t inner dimension mismatch");
+        let m = other.shape[0];
+        assert_eq!(k, other.shape[1], "matmul_t inner dimension mismatch");
         let mut out = Tensor::zeros(&[n, m]);
         for i in 0..n {
             let a_row = self.row(i);
@@ -266,7 +355,7 @@ mod tests {
         let a = Tensor::from_vec(&[3, 2], vec![1., 2., 3., 4., 5., 6.]);
         let b = Tensor::from_vec(&[3, 2], vec![1., 0., 0., 1., 1., 1.]);
         let got = a.t_matmul(&b); // (2,3)·(3,2) → (2,2)
-        // aᵀ = [[1,3,5],[2,4,6]]
+                                  // aᵀ = [[1,3,5],[2,4,6]]
         assert_eq!(got.data(), &[6., 8., 8., 10.]);
     }
 

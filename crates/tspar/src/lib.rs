@@ -1,0 +1,257 @@
+//! Deterministic fork-join parallelism for the KDSelector workspace.
+//!
+//! crates.io (and therefore rayon) is unavailable in this build
+//! environment, so the workspace carries its own small runtime built on
+//! [`std::thread::scope`]. Three design rules keep results **bit-identical
+//! at any thread count** — the property the end-to-end determinism tests
+//! pin down:
+//!
+//! 1. **Fixed partitions.** Work is split into chunks whose boundaries
+//!    depend only on the problem size (never on the worker count); workers
+//!    merely execute chunks.
+//! 2. **Disjoint writes.** Every chunk owns its slice of the output, so no
+//!    accumulation order depends on scheduling.
+//! 3. **Ordered reductions.** When chunk results must be combined, callers
+//!    receive them in chunk order ([`par_map`] preserves index order).
+//!
+//! The worker count comes from [`Parallelism`]: the `KD_THREADS`
+//! environment variable if set, otherwise all available cores, with a
+//! process-wide programmatic override ([`set_parallelism`]) used by tests
+//! and benchmarks.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Thread-count policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Parallelism {
+    /// `KD_THREADS` if set and valid, else all available cores.
+    Auto,
+    /// Exactly `n` worker threads (`1` disables parallelism).
+    Fixed(usize),
+}
+
+impl Parallelism {
+    /// Resolves the policy to a concrete thread count (≥ 1). The `Auto`
+    /// answer (`KD_THREADS` / core count) is computed once per process —
+    /// parallel regions open in the training hot loop, so re-reading the
+    /// environment and `available_parallelism` every entry would pay env
+    /// lock plus syscall per minibatch for a value that never changes.
+    pub fn resolve(self) -> usize {
+        match self {
+            Parallelism::Fixed(n) => n.max(1),
+            Parallelism::Auto => {
+                static CACHE: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+                *CACHE.get_or_init(|| {
+                    env_threads().unwrap_or_else(|| {
+                        std::thread::available_parallelism()
+                            .map(|v| v.get())
+                            .unwrap_or(1)
+                    })
+                })
+            }
+        }
+    }
+}
+
+fn env_threads() -> Option<usize> {
+    std::env::var("KD_THREADS")
+        .ok()?
+        .trim()
+        .parse::<usize>()
+        .ok()
+        .filter(|&n| n >= 1)
+}
+
+/// Process-wide override; 0 = follow [`Parallelism::Auto`].
+static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Installs a process-wide thread-count policy. `Auto` clears any override.
+pub fn set_parallelism(p: Parallelism) {
+    let v = match p {
+        Parallelism::Auto => 0,
+        Parallelism::Fixed(n) => n.max(1),
+    };
+    OVERRIDE.store(v, Ordering::SeqCst);
+}
+
+/// The effective worker count for new parallel regions. Inside a pool
+/// worker this is always 1: nested regions (e.g. a detector's GEMM inside
+/// the per-series label pass) run serially instead of oversubscribing the
+/// machine `threads() × threads()`-fold. Results are unchanged either way.
+pub fn threads() -> usize {
+    if IN_WORKER.with(|f| f.get()) {
+        return 1;
+    }
+    match OVERRIDE.load(Ordering::SeqCst) {
+        0 => Parallelism::Auto.resolve(),
+        n => n,
+    }
+}
+
+thread_local! {
+    /// True on threads spawned by this pool (fresh OS threads default to
+    /// false, so only nested regions see it set).
+    static IN_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Maps `f` over `0..n`, preserving index order in the output. Tasks are
+/// dealt to workers round-robin (task `i` → worker `i % workers`), which
+/// balances heterogeneous task costs the same way the seed's hand-rolled
+/// detector pool did.
+pub fn par_map<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = threads().min(n.max(1));
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    {
+        let mut lots: Vec<Vec<(usize, &mut Option<T>)>> = (0..workers)
+            .map(|_| Vec::with_capacity(n / workers + 1))
+            .collect();
+        for (i, slot) in out.iter_mut().enumerate() {
+            lots[i % workers].push((i, slot));
+        }
+        let f = &f;
+        std::thread::scope(|s| {
+            for lot in lots {
+                s.spawn(move || {
+                    IN_WORKER.with(|flag| flag.set(true));
+                    for (i, slot) in lot {
+                        *slot = Some(f(i));
+                    }
+                });
+            }
+        });
+    }
+    out.into_iter()
+        .map(|v| v.expect("worker filled every slot"))
+        .collect()
+}
+
+/// Minimum useful work (inner-loop multiply-adds, roughly) for a parallel
+/// region: workers are scoped OS threads spawned per region, so below this
+/// the spawn cost outweighs the compute and callers should stay serial.
+pub const MIN_PAR_WORK: usize = 1 << 21;
+
+/// [`par_chunks_mut`] gated by a work estimate: runs serially (same chunk
+/// boundaries, same results) when `work < MIN_PAR_WORK`. Hot per-minibatch
+/// layers use this so small shapes never pay thread-spawn overhead.
+pub fn par_chunks_mut_gated<T, F>(data: &mut [T], chunk_len: usize, work: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    if work < MIN_PAR_WORK {
+        for (i, chunk) in data.chunks_mut(chunk_len.max(1)).enumerate() {
+            f(i, chunk);
+        }
+    } else {
+        par_chunks_mut(data, chunk_len, f);
+    }
+}
+
+/// Splits `data` into fixed-length chunks (the last may be short) and runs
+/// `f(chunk_index, chunk)` on workers. Chunk boundaries depend only on
+/// `chunk_len`, so output is scheduling-independent for any `f` that writes
+/// only through its chunk.
+pub fn par_chunks_mut<T, F>(data: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    let n_chunks = data.len().div_ceil(chunk_len.max(1));
+    let workers = threads().min(n_chunks.max(1));
+    if workers <= 1 {
+        for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(i, chunk);
+        }
+        return;
+    }
+    let mut lots: Vec<Vec<(usize, &mut [T])>> = (0..workers)
+        .map(|_| Vec::with_capacity(n_chunks / workers + 1))
+        .collect();
+    for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+        lots[i % workers].push((i, chunk));
+    }
+    let f = &f;
+    std::thread::scope(|s| {
+        for lot in lots {
+            s.spawn(move || {
+                IN_WORKER.with(|flag| flag.set(true));
+                for (i, chunk) in lot {
+                    f(i, chunk);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_prefers_fixed() {
+        assert_eq!(Parallelism::Fixed(3).resolve(), 3);
+        assert_eq!(Parallelism::Fixed(0).resolve(), 1);
+        assert!(Parallelism::Auto.resolve() >= 1);
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let out = par_map(100, |i| i * 2);
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_empty_and_single() {
+        assert!(par_map(0, |i| i).is_empty());
+        assert_eq!(par_map(1, |i| i + 5), vec![5]);
+    }
+
+    #[test]
+    fn par_chunks_mut_writes_disjoint_slices() {
+        let mut data = vec![0usize; 103];
+        par_chunks_mut(&mut data, 10, |ci, chunk| {
+            for (j, v) in chunk.iter_mut().enumerate() {
+                *v = ci * 10 + j;
+            }
+        });
+        assert_eq!(data, (0..103).collect::<Vec<_>>());
+    }
+
+    /// One test (not several) so the process-global override is never
+    /// mutated concurrently by the multi-threaded test harness.
+    #[test]
+    fn global_override_behaviours() {
+        // Nested regions: pool workers must see threads() == 1.
+        set_parallelism(Parallelism::Fixed(4));
+        let inner = par_map(4, |_| threads());
+        assert!(
+            inner.iter().all(|&t| t == 1),
+            "workers must see threads() == 1 to keep nested regions serial: {inner:?}"
+        );
+
+        // Identical results at 1 vs 8 workers.
+        let run = || {
+            let mut v = vec![0.0f64; 777];
+            par_chunks_mut(&mut v, 13, |ci, chunk| {
+                for (j, x) in chunk.iter_mut().enumerate() {
+                    *x = ((ci * 13 + j) as f64).sqrt();
+                }
+            });
+            v
+        };
+        set_parallelism(Parallelism::Fixed(1));
+        let serial = run();
+        set_parallelism(Parallelism::Fixed(8));
+        let parallel = run();
+        set_parallelism(Parallelism::Auto);
+        assert_eq!(serial, parallel);
+    }
+}

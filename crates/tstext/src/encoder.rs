@@ -124,7 +124,11 @@ fn tokens_with_weights(text: &str) -> Vec<(String, f64)> {
         if let Ok(value) = word.parse::<f64>() {
             // Exact value token plus a magnitude bucket for smoothness.
             out.push((format!("num#{word}"), 0.6));
-            let bucket = if value.abs() < 1.0 { 0 } else { value.abs().log2().floor() as i64 };
+            let bucket = if value.abs() < 1.0 {
+                0
+            } else {
+                value.abs().log2().floor() as i64
+            };
             out.push((format!("mag#{bucket}"), 0.8));
             continue;
         }

@@ -40,8 +40,7 @@ pub fn render_metadata(meta: &SeriesMetadata) -> String {
         meta.num_anomalies(),
     );
     if !meta.anomaly_lengths.is_empty() {
-        let lengths: Vec<String> =
-            meta.anomaly_lengths.iter().map(|l| l.to_string()).collect();
+        let lengths: Vec<String> = meta.anomaly_lengths.iter().map(|l| l.to_string()).collect();
         text.push_str(&format!(
             " The lengths of the anomalies are {}.",
             lengths.join(", ")

@@ -40,14 +40,22 @@ impl Detector for RobustZScore {
         for d in &mut deviations {
             *d /= mad;
         }
-        let max = deviations.iter().cloned().fold(f64::MIN, f64::max).max(1e-9);
+        let max = deviations
+            .iter()
+            .cloned()
+            .fold(f64::MIN, f64::max)
+            .max(1e-9);
         deviations.iter().map(|d| d / max).collect()
     }
 }
 
 fn labeled_series(kind: AnomalyKind, seed: u64) -> TimeSeries {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    let mut values = BaseSignal::SineMix { period: 32, harmonics: 1 }.generate(800, &mut rng);
+    let mut values = BaseSignal::SineMix {
+        period: 32,
+        harmonics: 1,
+    }
+    .generate(800, &mut rng);
     let (start, end) = (400, 440);
     inject(&mut values, kind, start, end, 1.0, 32, &mut rng);
     TimeSeries::new(
@@ -64,7 +72,11 @@ fn main() {
         "{:<22} {:>14} {:>14} {:>16}",
         "Anomaly kind", "RobustZ AUC-PR", "RobustZ ROC", "Best built-in"
     );
-    for kind in [AnomalyKind::Spike, AnomalyKind::LevelShift, AnomalyKind::PatternDistortion] {
+    for kind in [
+        AnomalyKind::Spike,
+        AnomalyKind::LevelShift,
+        AnomalyKind::PatternDistortion,
+    ] {
         let ts = labeled_series(kind, 3);
         let labels = ts.point_labels();
         let custom_pr = auc_pr(&custom.score(&ts.values), &labels);

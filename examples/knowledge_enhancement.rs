@@ -32,8 +32,20 @@ fn main() {
     let base = pipeline.config.train;
     let variants: Vec<(&str, TrainConfig)> = vec![
         ("Standard", base),
-        ("+PISL", TrainConfig { pisl: Some(PislConfig::default()), ..base }),
-        ("+MKI", TrainConfig { mki: Some(MkiConfig::default()), ..base }),
+        (
+            "+PISL",
+            TrainConfig {
+                pisl: Some(PislConfig::default()),
+                ..base
+            },
+        ),
+        (
+            "+MKI",
+            TrainConfig {
+                mki: Some(MkiConfig::default()),
+                ..base
+            },
+        ),
         (
             "+PISL&MKI",
             TrainConfig {
@@ -52,7 +64,10 @@ fn main() {
         if name == "Standard" {
             standard_auc = auc;
         }
-        println!("{:<12} {:>10.4} {:>12.1}", name, auc, outcome.stats.train_seconds);
+        println!(
+            "{:<12} {:>10.4} {:>12.1}",
+            name, auc, outcome.stats.train_seconds
+        );
     }
     println!("\n(Standard = hard labels only; improvements over {standard_auc:.4} come from");
     println!(" the detector-performance soft labels and the metadata InfoNCE term.)");

@@ -62,7 +62,10 @@ fn main() {
         )
         .expect("save");
     for m in store.list().expect("list") {
-        println!("  saved selector: {} ({:?}, window {}) — {}", m.name, m.arch, m.window, m.notes);
+        println!(
+            "  saved selector: {} ({:?}, window {}) — {}",
+            m.name, m.arch, m.window, m.notes
+        );
     }
     let reloaded = store.load("resnet-kd").expect("load");
     let mut selector = NnSelector::new("resnet-kd", reloaded, pipeline.config.window);
@@ -71,7 +74,7 @@ fn main() {
     println!("\n== Model selection ==");
     let ts = &pipeline.benchmark.test[2];
     let votes = selector.window_votes(ts);
-    let mut counts = vec![0usize; 12];
+    let mut counts = [0usize; 12];
     for &v in &votes {
         counts[v] += 1;
     }
@@ -92,16 +95,23 @@ fn main() {
     let chosen_auc = auc_pr(&chosen.score(&ts.values), &labels);
     println!("  {} (selected): AUC-PR {:.3}", winner, chosen_auc);
     // Comparative analysis: run one alternative model.
-    let alternative = if winner == ModelId::Hbos { ModelId::Mp } else { ModelId::Hbos };
-    let alt = set.iter().find(|d| d.id() == alternative).expect("alternative model");
+    let alternative = if winner == ModelId::Hbos {
+        ModelId::Mp
+    } else {
+        ModelId::Hbos
+    };
+    let alt = set
+        .iter()
+        .find(|d| d.id() == alternative)
+        .expect("alternative model");
     let alt_auc = auc_pr(&alt.score(&ts.values), &labels);
     println!("  {} (alternative): AUC-PR {:.3}", alternative, alt_auc);
     println!(
         "  oracle on this series: {} (AUC-PR {:.3})",
+        pipeline.test_perf.best_model(2),
         pipeline
             .test_perf
-            .best_model(2),
-        pipeline.test_perf.perf_of(2, pipeline.test_perf.best_model(2))
+            .perf_of(2, pipeline.test_perf.best_model(2))
     );
     let _ = std::fs::remove_dir_all(&store_dir);
 }

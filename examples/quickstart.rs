@@ -51,7 +51,10 @@ fn main() {
         outcome.stats.train_seconds,
         outcome.stats.examined_fraction() * 100.0
     );
-    println!("  average selected-model AUC-PR: {:.3}", outcome.report.average_auc_pr());
+    println!(
+        "  average selected-model AUC-PR: {:.3}",
+        outcome.report.average_auc_pr()
+    );
 
     // 3. Model selection + anomaly detection on one test series.
     let ts = &pipeline.benchmark.test[0];
@@ -60,7 +63,10 @@ fn main() {
         use kdselector::core::selector::Selector;
         selector.select(ts)
     };
-    println!("\nTest series {} ({}): selected model = {}", ts.id, ts.dataset, choice);
+    println!(
+        "\nTest series {} ({}): selected model = {}",
+        ts.id, ts.dataset, choice
+    );
 
     let detector = default_model_set(7)
         .into_iter()

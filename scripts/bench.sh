@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Kernel micro-benchmark runner: times the blocked/parallel GEMM backend
+# against the seed's naive kernels and appends one JSON record per run to
+# BENCH_micro.json (repo root), so the perf trajectory accumulates PR over
+# PR.
+#
+# Usage:
+#   scripts/bench.sh                 # bench at the default thread count
+#   KD_THREADS=1 scripts/bench.sh    # pin the worker count
+#   scripts/bench.sh --criterion     # also run the full criterion micro bench
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run --release -p kdselector-bench --bin micro_kernels
+
+if [[ "${1:-}" == "--criterion" ]]; then
+    cargo bench -p kdselector-bench --bench micro
+fi

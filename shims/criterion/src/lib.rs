@@ -1,0 +1,245 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the harness surface the workspace's benches use:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`], the
+//! builder knobs (`sample_size`, `measurement_time`, `warm_up_time`) and the
+//! [`criterion_group!`]/[`criterion_main!`] macros. Statistics are
+//! deliberately simple — per-sample mean wall-clock with min/median/max over
+//! samples printed to stdout — but timing methodology follows criterion's
+//! shape: a calibration pass picks an iteration count per sample so each
+//! sample runs ≥ `measurement_time / sample_size`.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark harness configuration + runner.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(3),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total target measurement time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up time before sampling.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let cfg = self.clone();
+        let mut b = Bencher {
+            cfg,
+            name: name.to_string(),
+            ran: false,
+        };
+        f(&mut b);
+        assert!(b.ran, "benchmark {name:?} never called Bencher::iter");
+        self
+    }
+
+    /// Opens a named group of benchmarks sharing configuration tweaks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            prefix: name.to_string(),
+            overrides: None,
+        }
+    }
+}
+
+/// A group of related benchmarks (names are prefixed with the group name).
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    prefix: String,
+    overrides: Option<Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count within this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        let base = self.overrides.take().unwrap_or_else(|| self.parent.clone());
+        self.overrides = Some(base.sample_size(n));
+        self
+    }
+
+    /// Overrides the measurement time within this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        let base = self.overrides.take().unwrap_or_else(|| self.parent.clone());
+        self.overrides = Some(base.measurement_time(d));
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let cfg = self
+            .overrides
+            .clone()
+            .unwrap_or_else(|| self.parent.clone());
+        let full = format!("{}/{}", self.prefix, name);
+        let mut b = Bencher {
+            cfg,
+            name: full.clone(),
+            ran: false,
+        };
+        f(&mut b);
+        assert!(b.ran, "benchmark {full:?} never called Bencher::iter");
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Times one closure.
+pub struct Bencher {
+    cfg: Criterion,
+    name: String,
+    ran: bool,
+}
+
+impl Bencher {
+    /// Measures `f`, printing mean/min/median/max per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        self.ran = true;
+
+        // Warm-up + calibration: count iterations that fit the warm-up
+        // window to size the per-sample batch.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.cfg.warm_up_time || warm_iters == 0 {
+            black_box(f());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let per_sample = self.cfg.measurement_time.as_secs_f64() / self.cfg.sample_size as f64;
+        let batch = ((per_sample / per_iter.max(1e-9)).ceil() as u64).clamp(1, 10_000_000);
+
+        let mut samples: Vec<f64> = Vec::with_capacity(self.cfg.sample_size);
+        for _ in 0..self.cfg.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            samples.push(t0.elapsed().as_secs_f64() / batch as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let median = samples[samples.len() / 2];
+        println!(
+            "{:<40} time: [{} {} {}]  (mean {}, {} samples × {} iters)",
+            self.name,
+            fmt_time(samples[0]),
+            fmt_time(median),
+            fmt_time(*samples.last().unwrap()),
+            fmt_time(mean),
+            samples.len(),
+            batch,
+        );
+    }
+}
+
+/// Human-formats seconds.
+pub fn fmt_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.2} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.2} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{:.2} s", seconds)
+    }
+}
+
+/// Declares a benchmark group function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_times_and_prints() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        let mut calls = 0u64;
+        c.bench_function("noop", |b| b.iter(|| calls = calls.wrapping_add(1)));
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn groups_prefix_names_and_override_samples() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(5));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(2);
+        g.bench_function("inner", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+    }
+
+    #[test]
+    fn fmt_time_scales() {
+        assert!(fmt_time(2e-9).ends_with("ns"));
+        assert!(fmt_time(2e-6).ends_with("µs"));
+        assert!(fmt_time(2e-3).ends_with("ms"));
+        assert!(fmt_time(2.0).ends_with(" s"));
+    }
+}

@@ -1,0 +1,290 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! crates.io is unreachable in this build environment, so these derive
+//! macros are written directly against `proc_macro` token streams — no
+//! `syn`/`quote`. They support exactly the shapes this workspace uses:
+//!
+//! * structs with named fields,
+//! * enums whose variants are unit or have named fields.
+//!
+//! Generated code targets the sibling `serde` shim's `Value` data model:
+//! structs become objects, unit variants become strings, and struct variants
+//! become single-key objects (`{"Variant": {fields...}}`) — the same
+//! externally-tagged layout real serde_json produces.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed derive input: just names — field *types* never matter because the
+/// generated code defers to `Serialize`/`Deserialize` impls.
+enum Input {
+    Struct {
+        name: String,
+        fields: Vec<String>,
+    },
+    /// Variant field list is `None` for unit variants.
+    Enum {
+        name: String,
+        variants: Vec<(String, Option<Vec<String>>)>,
+    },
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let code = match &parsed {
+        Input::Struct { name, fields } => {
+            let pairs: String = fields
+                .iter()
+                .map(|f| {
+                    format!("(String::from(\"{f}\"), serde::Serialize::serialize(&self.{f})),")
+                })
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> serde::Value {{\n\
+                         serde::Value::Object(vec![{pairs}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|(v, fields)| match fields {
+                    None => format!("{name}::{v} => serde::Value::Str(String::from(\"{v}\")),"),
+                    Some(fs) => {
+                        let binds = fs.join(", ");
+                        let pairs: String = fs
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(String::from(\"{f}\"), serde::Serialize::serialize({f})),"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => serde::Value::Object(vec![\
+                                 (String::from(\"{v}\"), serde::Value::Object(vec![{pairs}]))\
+                             ]),"
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("derived Serialize impl must parse")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let code = match &parsed {
+        Input::Struct { name, fields } => {
+            let inits: String = fields.iter().map(|f| field_init(name, f, "v")).collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn deserialize(v: &serde::Value) -> Result<Self, serde::Error> {{\n\
+                         match v {{\n\
+                             serde::Value::Object(_) => Ok(Self {{ {inits} }}),\n\
+                             other => Err(serde::Error::expected(\"object for {name}\", other)),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|(_, f)| f.is_none())
+                .map(|(v, _)| format!("\"{v}\" => Ok({name}::{v}),"))
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter_map(|(v, f)| f.as_ref().map(|fs| (v, fs)))
+                .map(|(v, fs)| {
+                    let inits: String = fs.iter().map(|f| field_init(name, f, "inner")).collect();
+                    format!("\"{v}\" => Ok({name}::{v} {{ {inits} }}),")
+                })
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn deserialize(v: &serde::Value) -> Result<Self, serde::Error> {{\n\
+                         match v {{\n\
+                             serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 other => Err(serde::Error::msg(format!(\n\
+                                     \"unknown {name} variant {{other:?}}\"))),\n\
+                             }},\n\
+                             serde::Value::Object(pairs) if pairs.len() == 1 => {{\n\
+                                 let (tag, inner) = &pairs[0];\n\
+                                 let _ = inner;\n\
+                                 match tag.as_str() {{\n\
+                                     {tagged_arms}\n\
+                                     {unit_arms}\n\
+                                     other => Err(serde::Error::msg(format!(\n\
+                                         \"unknown {name} variant {{other:?}}\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             other => Err(serde::Error::expected(\"{name} variant\", other)),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("derived Deserialize impl must parse")
+}
+
+/// `field: Deserialize::deserialize(<src>.get("field") …)?,` with a
+/// path-qualified error message.
+fn field_init(type_name: &str, field: &str, src: &str) -> String {
+    format!(
+        "{field}: serde::Deserialize::deserialize(\
+             {src}.get(\"{field}\").unwrap_or(&serde::Value::Null))\
+             .map_err(|e| serde::Error::msg(\
+                 format!(\"{type_name}.{field}: {{}}\", e.0)))?,"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Token-level parsing
+// ---------------------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        t => panic!("expected `struct` or `enum`, got {t}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        t => panic!("expected type name, got {t}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derives do not support generic types ({name})");
+    }
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(_) => i += 1, // e.g. `where` clauses (unused here)
+            None => panic!("no braced body found for {name}"),
+        }
+    };
+    match kind.as_str() {
+        "struct" => Input::Struct {
+            name,
+            fields: parse_named_fields(body.stream()),
+        },
+        "enum" => Input::Enum {
+            name,
+            variants: parse_variants(body.stream()),
+        },
+        k => panic!("cannot derive serde traits for `{k}` items"),
+    }
+}
+
+/// Skips `#[...]` attributes (incl. doc comments) and `pub`/`pub(...)`.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g))
+                    if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parses `name: Type, ...` named-field lists, tracking `<...>` nesting so
+/// commas inside generic arguments don't split fields.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let field = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            t => panic!("expected field name, got {t}"),
+        };
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            t => panic!("expected `:` after field `{field}`, got {t}"),
+        }
+        // Consume the type up to a top-level comma.
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(field);
+    }
+    fields
+}
+
+/// Parses enum variants: `Unit` or `Variant { fields }` (tuple variants are
+/// rejected — the workspace has none that derive serde).
+fn parse_variants(stream: TokenStream) -> Vec<(String, Option<Vec<String>>)> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let variant = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            t => panic!("expected variant name, got {t}"),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Some(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde shim derives do not support tuple variants ({variant})")
+            }
+            _ => None,
+        };
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push((variant, fields));
+    }
+    variants
+}

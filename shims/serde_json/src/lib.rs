@@ -1,0 +1,446 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Implements the entry points the workspace uses — `to_string`,
+//! `to_string_pretty`, `to_vec`, `to_vec_pretty`, `from_str`, `from_slice`,
+//! the [`json!`] macro and the [`Value`] type — over the `serde` shim's
+//! value model. The parser is a straightforward recursive-descent JSON
+//! reader with the usual escapes; numbers parse to integers when they have
+//! no fraction/exponent and to `f64` otherwise.
+
+pub use serde::Value;
+
+/// Parse or serialization error.
+pub type Error = serde::Error;
+
+/// Serializes a value to compact JSON text.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.serialize(), &mut out, None, 0);
+    Ok(out)
+}
+
+/// Serializes a value to human-indented JSON text.
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.serialize(), &mut out, Some(2), 0);
+    Ok(out)
+}
+
+/// Serializes a value to compact JSON bytes.
+pub fn to_vec<T: serde::Serialize>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Serializes a value to indented JSON bytes.
+pub fn to_vec_pretty<T: serde::Serialize>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string_pretty(value).map(String::into_bytes)
+}
+
+/// Parses a value from JSON text.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::msg(format!("trailing data at byte {}", p.pos)));
+    }
+    T::deserialize(&v)
+}
+
+/// Parses a value from JSON bytes (must be UTF-8).
+pub fn from_slice<T: serde::Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error::msg(format!("invalid UTF-8: {e}")))?;
+    from_str(s)
+}
+
+/// Converts any serializable value to a [`Value`] (used by [`json!`]).
+pub fn to_value<T: serde::Serialize>(value: &T) -> Value {
+    value.serialize()
+}
+
+/// Builds a [`Value`] from JSON-like syntax. Object values and array
+/// elements are arbitrary expressions implementing `serde::Serialize`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $( $elem:expr ),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::to_value(&$elem) ),* ])
+    };
+    ({ $( $key:literal : $val:expr ),* $(,)? }) => {
+        $crate::Value::Object(vec![
+            $( (String::from($key), $crate::to_value(&$val)) ),*
+        ])
+    };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+// ---------------------------------------------------------------------------
+// Printing
+// ---------------------------------------------------------------------------
+
+fn write_value(v: &Value, out: &mut String, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => write_float(*f, out),
+        Value::Str(s) => write_string(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(item, out, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(pairs) => {
+            if pairs.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_string(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(item, out, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(w) = indent {
+        out.push('\n');
+        for _ in 0..w * depth {
+            out.push(' ');
+        }
+    }
+}
+
+/// JSON has no NaN/Infinity; mirror serde_json by emitting `null`.
+fn write_float(f: f64, out: &mut String) {
+    if f.is_finite() {
+        let s = format!("{f}");
+        out.push_str(&s);
+        // Ensure round-trip as a float, not an integer.
+        if !s.contains(['.', 'e', 'E']) {
+            out.push_str(".0");
+        }
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::msg(format!(
+                "expected {:?} at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            )))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(Error::msg(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(Error::msg(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|c| c as char),
+                self.pos
+            ))),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error::msg(format!("bad array at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            pairs.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(pairs));
+                }
+                _ => return Err(Error::msg(format!("bad object at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| Error::msg("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| Error::msg("bad \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| Error::msg("bad \\u escape"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::msg("bad \\u code point"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(Error::msg("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character.
+                    let s = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|e| Error::msg(format!("invalid UTF-8: {e}")))?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+                None => return Err(Error::msg("unterminated string")),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|e| Error::msg(format!("bad number {text:?}: {e}")))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(Value::Int)
+                .map_err(|e| Error::msg(format!("bad number {text:?}: {e}")))
+        } else {
+            text.parse::<u64>()
+                .map(Value::UInt)
+                .map_err(|e| Error::msg(format!("bad number {text:?}: {e}")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        for json in [
+            "null",
+            "true",
+            "false",
+            "42",
+            "-17",
+            "0.5",
+            "\"hi\\nthere\"",
+        ] {
+            let v: Value = from_str(json).unwrap();
+            let back = to_string(&v).unwrap();
+            let v2: Value = from_str(&back).unwrap();
+            assert_eq!(v, v2, "{json}");
+        }
+    }
+
+    #[test]
+    fn nested_round_trip() {
+        let src = r#"{"a": [1, 2.5, {"b": null}], "c": "x", "d": true}"#;
+        let v: Value = from_str(src).unwrap();
+        assert_eq!(v.get("c"), Some(&Value::Str("x".into())));
+        let compact = to_string(&v).unwrap();
+        let pretty = to_string_pretty(&v).unwrap();
+        assert_eq!(from_str::<Value>(&compact).unwrap(), v);
+        assert_eq!(from_str::<Value>(&pretty).unwrap(), v);
+        assert!(pretty.contains('\n'));
+    }
+
+    #[test]
+    fn floats_keep_float_shape() {
+        let s = to_string(&2.0f64).unwrap();
+        assert_eq!(s, "2.0");
+        let v: Value = from_str(&s).unwrap();
+        assert_eq!(v, Value::Float(2.0));
+    }
+
+    #[test]
+    fn json_macro_builds_objects() {
+        let rows = vec![1u32, 2, 3];
+        let v = json!({
+            "name": "bench",
+            "rows": rows,
+            "nested": json!({ "ok": true }),
+            "list": json!([1, "two"]),
+            "sum": 1.0 + 0.5,
+        });
+        assert_eq!(v.get("name"), Some(&Value::Str("bench".into())));
+        assert_eq!(v.get("nested").unwrap().get("ok"), Some(&Value::Bool(true)));
+        assert_eq!(v.get("sum"), Some(&Value::Float(1.5)));
+        let text = to_string(&v).unwrap();
+        assert!(text.contains("\"rows\":[1,2,3]"), "{text}");
+    }
+
+    #[test]
+    fn errors_on_garbage() {
+        assert!(from_str::<Value>("{bad}").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("12 34").is_err());
+    }
+
+    #[test]
+    fn unicode_and_escapes() {
+        let v: Value = from_str(r#""éé""#).unwrap();
+        assert_eq!(v, Value::Str("éé".into()));
+        let s = to_string(&Value::Str("tab\tquote\"".into())).unwrap();
+        assert_eq!(
+            from_str::<Value>(&s).unwrap(),
+            Value::Str("tab\tquote\"".into())
+        );
+    }
+}

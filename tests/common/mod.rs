@@ -4,11 +4,26 @@
 //! synthetic benchmark, all 12 detectors run for labels (cached in a
 //! process-unique temp dir), window dataset assembled.
 
+// Each integration binary includes this module and uses a subset of it.
+#![allow(dead_code)]
+
 use kdselector::core::pipeline::{Pipeline, PipelineConfig};
 use kdselector::core::train::TrainConfig;
 use kdselector::core::Architecture;
+use kdselector::nn::Tensor;
+use rand::rngs::StdRng;
+use rand::Rng as _;
 use std::path::PathBuf;
 use tsdata::{BenchmarkConfig, WindowConfig};
+
+/// A shape-filled tensor of uniform values in [-1, 1), for kernel tests.
+pub fn random_tensor(rng: &mut StdRng, shape: &[usize]) -> Tensor {
+    let numel: usize = shape.iter().product();
+    Tensor::from_vec(
+        shape,
+        (0..numel).map(|_| rng.random_range(-1.0f32..1.0)).collect(),
+    )
+}
 
 /// Process-unique cache dir so parallel test binaries do not race.
 pub fn temp_cache(tag: &str) -> PathBuf {
@@ -24,7 +39,11 @@ pub fn tiny_pipeline(tag: &str) -> Pipeline {
         series_length: 400,
         seed: 13,
     };
-    cfg.window = WindowConfig { length: 32, stride: 32, znormalize: true };
+    cfg.window = WindowConfig {
+        length: 32,
+        stride: 32,
+        znormalize: true,
+    };
     cfg.train = TrainConfig {
         arch: Architecture::ConvNet,
         width: 4,

@@ -15,7 +15,9 @@ fn all_detectors_score_all_families_within_bounds() {
             let scores = d.score(&ts.values);
             assert_eq!(scores.len(), ts.len(), "{} on {}", d.id(), family.name);
             assert!(
-                scores.iter().all(|&s| (0.0..=1.0).contains(&s) && s.is_finite()),
+                scores
+                    .iter()
+                    .all(|&s| (0.0..=1.0).contains(&s) && s.is_finite()),
                 "{} on {} out of bounds",
                 d.id(),
                 family.name

@@ -26,7 +26,11 @@ fn full_pipeline_trains_evaluates_and_round_trips() {
     // Train the full KDSelector stack (PISL + MKI) on the tiny dataset.
     let cfg = TrainConfig {
         pisl: Some(PislConfig::default()),
-        mki: Some(MkiConfig { hidden: 32, proj_dim: 16, ..MkiConfig::default() }),
+        mki: Some(MkiConfig {
+            hidden: 32,
+            proj_dim: 16,
+            ..MkiConfig::default()
+        }),
         ..pipeline.config.train
     };
     let outcome = pipeline.train_nn_with(&cfg, "kd-tiny");
@@ -46,13 +50,23 @@ fn full_pipeline_trains_evaluates_and_round_trips() {
     let store_dir = common::temp_cache("e2e-store");
     let store = SelectorStore::open(&store_dir).unwrap();
     let mut selector = outcome.selector;
-    let before: Vec<_> =
-        pipeline.benchmark.test.iter().map(|ts| selector.select(ts)).collect();
-    store.save("roundtrip", &mut selector.model, "integration").unwrap();
+    let before: Vec<_> = pipeline
+        .benchmark
+        .test
+        .iter()
+        .map(|ts| selector.select(ts))
+        .collect();
+    store
+        .save("roundtrip", &mut selector.model, "integration")
+        .unwrap();
     let loaded = store.load("roundtrip").unwrap();
     let mut reloaded = NnSelector::new("roundtrip", loaded, pipeline.config.window);
-    let after: Vec<_> =
-        pipeline.benchmark.test.iter().map(|ts| reloaded.select(ts)).collect();
+    let after: Vec<_> = pipeline
+        .benchmark
+        .test
+        .iter()
+        .map(|ts| reloaded.select(ts))
+        .collect();
     assert_eq!(before, after);
 
     let _ = std::fs::remove_dir_all(&store_dir);
@@ -79,8 +93,9 @@ fn evaluation_never_exceeds_oracle_per_dataset() {
         let mut n = 0usize;
         for (i, ts) in pipeline.benchmark.test.iter().enumerate() {
             if &ts.dataset == ds {
-                oracle_sum +=
-                    pipeline.test_perf.perf_of(i, pipeline.test_perf.best_model(i));
+                oracle_sum += pipeline
+                    .test_perf
+                    .perf_of(i, pipeline.test_perf.best_model(i));
                 n += 1;
             }
         }

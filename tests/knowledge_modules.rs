@@ -33,8 +33,7 @@ fn metadata_embeddings_cluster_by_family() {
     // embeddings than two series of different families, because the
     // rendered text shares the dataset name and the domain description.
     let enc = FrozenTextEncoder::new(256, 0xBEB7);
-    let texts: Vec<String> =
-        pipeline.benchmark.train.iter().map(metadata_text).collect();
+    let texts: Vec<String> = pipeline.benchmark.train.iter().map(metadata_text).collect();
     let embeds: Vec<Vec<f32>> = texts.iter().map(|t| enc.encode(t)).collect();
     // With 1 train series per family, test same-family via train/test pairs.
     let ecg_train = pipeline
@@ -69,7 +68,10 @@ fn pisl_alpha_zero_equals_standard_training() {
     let standard = pipeline.train_nn_with(&base, "standard");
     let alpha0 = pipeline.train_nn_with(
         &TrainConfig {
-            pisl: Some(PislConfig { alpha: 0.0, t_soft: 0.25 }),
+            pisl: Some(PislConfig {
+                alpha: 0.0,
+                t_soft: 0.25,
+            }),
             ..base
         },
         "alpha0",
@@ -87,7 +89,12 @@ fn mki_lambda_zero_matches_standard_selections() {
     let standard = pipeline.train_nn_with(&base, "standard");
     let lambda0 = pipeline.train_nn_with(
         &TrainConfig {
-            mki: Some(MkiConfig { lambda: 0.0, hidden: 16, proj_dim: 8, ..MkiConfig::default() }),
+            mki: Some(MkiConfig {
+                lambda: 0.0,
+                hidden: 16,
+                proj_dim: 8,
+                ..MkiConfig::default()
+            }),
             ..base
         },
         "lambda0",

@@ -1,0 +1,91 @@
+//! The compute backend must be scheduling-independent: a fixed-seed run
+//! produces bit-identical kernels, labels, and end-to-end model selections
+//! at 1 worker thread and at N worker threads.
+//!
+//! This lives in its own integration binary because it mutates the
+//! process-global `tspar` thread policy.
+
+use kdselector::core::pipeline::{Pipeline, PipelineConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tsdata::{BenchmarkConfig, WindowConfig};
+use tspar::Parallelism;
+
+mod common;
+use common::random_tensor;
+
+/// One test fn (not several) so the global thread-policy mutations never
+/// interleave.
+#[test]
+fn results_are_identical_across_thread_counts() {
+    // --- Kernel level: exact equality, not tolerance. -------------------
+    let mut rng = StdRng::seed_from_u64(40);
+    let a = random_tensor(&mut rng, &[96, 120]);
+    let b = random_tensor(&mut rng, &[120, 88]);
+    let c = random_tensor(&mut rng, &[96, 88]);
+
+    tspar::set_parallelism(Parallelism::Fixed(1));
+    let serial = (a.matmul(&b), a.t_matmul(&c), b.matmul_t(&b));
+    tspar::set_parallelism(Parallelism::Fixed(6));
+    let parallel = (a.matmul(&b), a.t_matmul(&c), b.matmul_t(&b));
+    assert_eq!(
+        serial.0, parallel.0,
+        "matmul must not depend on thread count"
+    );
+    assert_eq!(
+        serial.1, parallel.1,
+        "t_matmul must not depend on thread count"
+    );
+    assert_eq!(
+        serial.2, parallel.2,
+        "matmul_t must not depend on thread count"
+    );
+
+    // --- End to end: labels → training → per-dataset selections. -------
+    let run = |threads: usize, tag: &str| {
+        tspar::set_parallelism(Parallelism::Fixed(threads));
+        let mut cfg = PipelineConfig::quick();
+        cfg.benchmark = BenchmarkConfig {
+            train_series_per_family: 1,
+            test_series_per_family: 1,
+            series_length: 360,
+            seed: 5,
+        };
+        cfg.window = WindowConfig {
+            length: 32,
+            stride: 32,
+            znormalize: true,
+        };
+        cfg.train.epochs = 3;
+        cfg.train.width = 4;
+        // Separate cache dirs so the second run actually recomputes its
+        // labels on the other thread count instead of reading the first
+        // run's cache.
+        cfg.cache_dir =
+            std::env::temp_dir().join(format!("kdsel-det-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&cfg.cache_dir);
+        let pipeline = Pipeline::prepare(cfg).expect("pipeline");
+        let outcome = pipeline.train_nn_selector();
+        let mut selector = outcome.selector;
+        let preds = selector.model.predict_windows(&pipeline.dataset.windows);
+        let _ = std::fs::remove_dir_all(&pipeline.config.cache_dir);
+        (pipeline.train_perf, outcome.report.per_dataset, preds)
+    };
+
+    let (perf_1, selections_1, preds_1) = run(1, "serial");
+    let (perf_n, selections_n, preds_n) = run(4, "parallel");
+    tspar::set_parallelism(Parallelism::Auto);
+
+    assert_eq!(
+        perf_1, perf_n,
+        "label matrices must match across thread counts"
+    );
+    assert_eq!(
+        preds_1, preds_n,
+        "window predictions must match across thread counts"
+    );
+    assert_eq!(
+        selections_1, selections_n,
+        "per-dataset selection outcomes must match across thread counts"
+    );
+}

@@ -7,7 +7,22 @@ use kdselector::metrics::{auc_pr, auc_roc};
 use kdselector::nn::loss::{cross_entropy, info_nce, softmax_rows};
 use kdselector::nn::Tensor;
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng as _;
 use tsdata::{extract_windows, AnomalyInterval, AnomalyKind, TimeSeries, WindowConfig};
+
+mod common;
+use common::random_tensor;
+
+fn assert_close(fast: &Tensor, slow: &Tensor, what: &str) {
+    assert_eq!(fast.shape(), slow.shape(), "{what} shape");
+    for (i, (&x, &y)) in fast.data().iter().zip(slow.data()).enumerate() {
+        assert!(
+            (x - y).abs() <= 1e-5,
+            "{what} diverges at {i}: blocked {x} vs naive {y}"
+        );
+    }
+}
 
 fn scores_and_labels() -> impl Strategy<Value = (Vec<f64>, Vec<bool>)> {
     proptest::collection::vec((0.0f64..1.0, proptest::bool::ANY), 2..200)
@@ -163,6 +178,27 @@ proptest! {
         for &w in &plan.weights {
             prop_assert!((w - 1.0).abs() < 1e-5 || (w - rescale).abs() < 1e-4);
         }
+    }
+
+    #[test]
+    fn blocked_kernels_match_naive_reference(
+        n in 1usize..48,
+        m in 1usize..48,
+        k in 1usize..80,
+        seed in 0u64..10_000,
+    ) {
+        // Rectangular and degenerate shapes (dims of 1, non-multiples of
+        // the register tile) across all three products.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = random_tensor(&mut rng, &[n, k]);
+        let b = random_tensor(&mut rng, &[k, m]);
+        assert_close(&a.matmul(&b), &a.matmul_naive(&b), "matmul");
+
+        let at = random_tensor(&mut rng, &[k, n]); // (k,n)ᵀ × (k,m)
+        assert_close(&at.t_matmul(&b), &at.t_matmul_naive(&b), "t_matmul");
+
+        let bt = random_tensor(&mut rng, &[m, k]); // (n,k) × (m,k)ᵀ
+        assert_close(&a.matmul_t(&bt), &a.matmul_t_naive(&bt), "matmul_t");
     }
 
     #[test]

@@ -11,14 +11,31 @@ fn pa_visits_fewest_samples_and_stays_close_in_accuracy() {
     let mut base = pipeline.config.train;
     base.epochs = 8;
 
-    let full = pipeline.train_nn_with(&TrainConfig { pruning: PruningStrategy::None, ..base }, "full");
+    let full = pipeline.train_nn_with(
+        &TrainConfig {
+            pruning: PruningStrategy::None,
+            ..base
+        },
+        "full",
+    );
     let ib = pipeline.train_nn_with(
-        &TrainConfig { pruning: PruningStrategy::InfoBatch { ratio: 0.8, anneal: 0.125 }, ..base },
+        &TrainConfig {
+            pruning: PruningStrategy::InfoBatch {
+                ratio: 0.8,
+                anneal: 0.125,
+            },
+            ..base
+        },
         "infobatch",
     );
     let pa = pipeline.train_nn_with(
         &TrainConfig {
-            pruning: PruningStrategy::Pa { ratio: 0.8, lsh_bits: 14, bins: 8, anneal: 0.125 },
+            pruning: PruningStrategy::Pa {
+                ratio: 0.8,
+                lsh_bits: 14,
+                bins: 8,
+                anneal: 0.125,
+            },
             ..base
         },
         "pa",
@@ -26,8 +43,14 @@ fn pa_visits_fewest_samples_and_stays_close_in_accuracy() {
 
     // Visit counts: full > InfoBatch >= PA.
     let visits = |s: &kdselector::core::TrainStats| s.epoch_examined.iter().sum::<usize>();
-    assert!(visits(&full.stats) > visits(&ib.stats), "InfoBatch must prune");
-    assert!(visits(&ib.stats) >= visits(&pa.stats), "PA prunes at least as much");
+    assert!(
+        visits(&full.stats) > visits(&ib.stats),
+        "InfoBatch must prune"
+    );
+    assert!(
+        visits(&ib.stats) >= visits(&pa.stats),
+        "PA prunes at least as much"
+    );
 
     // Accuracy stays in a sane band (synthetic tiny data ⇒ loose tolerance).
     let f = full.report.average_auc_pr();
@@ -44,12 +67,20 @@ fn first_and_anneal_epochs_use_full_data() {
     let pipeline = common::tiny_pipeline("anneal");
     let mut cfg = pipeline.config.train;
     cfg.epochs = 8;
-    cfg.pruning = PruningStrategy::Pa { ratio: 0.8, lsh_bits: 12, bins: 4, anneal: 0.25 };
+    cfg.pruning = PruningStrategy::Pa {
+        ratio: 0.8,
+        lsh_bits: 12,
+        bins: 4,
+        anneal: 0.25,
+    };
     let outcome = pipeline.train_nn_with(&cfg, "pa");
     let n = outcome.stats.total_windows;
     let examined = &outcome.stats.epoch_examined;
     assert_eq!(examined[0], n, "epoch 0 must be full");
-    assert_eq!(examined[6], n, "anneal tail (25% of 8 = last 2 epochs) must be full");
+    assert_eq!(
+        examined[6], n,
+        "anneal tail (25% of 8 = last 2 epochs) must be full"
+    );
     assert_eq!(examined[7], n);
     // Some middle epoch must actually prune.
     assert!(examined[1..6].iter().any(|&e| e < n), "{examined:?}");

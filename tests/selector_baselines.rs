@@ -38,7 +38,11 @@ fn rocket_baseline_produces_report() {
 fn all_nn_architectures_train_on_the_pipeline() {
     let pipeline = common::tiny_pipeline("archs");
     for arch in Architecture::ALL {
-        let cfg = TrainConfig { arch, epochs: 2, ..pipeline.config.train };
+        let cfg = TrainConfig {
+            arch,
+            epochs: 2,
+            ..pipeline.config.train
+        };
         let outcome = pipeline.train_nn_with(&cfg, arch.name());
         assert_eq!(outcome.report.per_dataset.len(), 14, "{arch:?}");
         assert!(outcome.stats.train_seconds > 0.0);
