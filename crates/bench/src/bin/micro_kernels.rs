@@ -1,5 +1,7 @@
-//! Kernel-level speedup record: blocked/parallel GEMM vs the naive seed
-//! kernel, at matrix shapes drawn from the selector architectures.
+//! Kernel-level speedup record — blocked/parallel GEMM vs the naive seed
+//! kernel at matrix shapes drawn from the selector architectures — plus a
+//! serving-throughput record (selections/sec through the batched
+//! `SelectorEngine` at a fixed 64-series batch).
 //!
 //! Appends one compact JSON line per run to `BENCH_micro.json` (repo root,
 //! override with `KD_BENCH_OUT`) so the perf trajectory is tracked PR over
@@ -9,8 +11,14 @@
 //! cargo run --release -p kdselector-bench --bin micro_kernels
 //! ```
 
+use kdselector_core::selector::NnSelector;
+use kdselector_core::serve::SelectorEngine;
+use kdselector_core::train::TrainedSelector;
+use kdselector_core::Architecture;
 use std::io::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
+use tsdata::{TimeSeries, WindowConfig};
 use tsnn::Tensor;
 
 /// (label, op, n, m, k) — shapes taken from the workspace's hot paths:
@@ -59,6 +67,85 @@ fn time_ns(mut f: impl FnMut() -> Tensor) -> f64 {
     }
     samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
     samples[samples.len() / 2] * 1e9
+}
+
+/// Serving throughput numbers for the JSON record.
+struct ServeBench {
+    batch: usize,
+    series_len: usize,
+    window: usize,
+    width: usize,
+    windows_per_series: usize,
+    batch_seconds: f64,
+}
+
+impl ServeBench {
+    fn selections_per_sec(&self) -> f64 {
+        self.batch as f64 / self.batch_seconds
+    }
+
+    fn windows_per_sec(&self) -> f64 {
+        (self.batch * self.windows_per_series) as f64 / self.batch_seconds
+    }
+}
+
+/// Times the batch-first serving path: a fixed batch of synthetic series
+/// through a `SelectorEngine`-registered ConvNet selector, reported as
+/// selections (series) per second.
+fn serve_throughput() -> ServeBench {
+    const BATCH: usize = 64;
+    const SERIES_LEN: usize = 1024;
+    const WINDOW: usize = 64;
+    const WIDTH: usize = 8;
+
+    let window_cfg = WindowConfig {
+        length: WINDOW,
+        stride: WINDOW / 2,
+        znormalize: true,
+    };
+    let model = TrainedSelector::build(Architecture::ConvNet, WINDOW, WIDTH, 7);
+    let mut engine = SelectorEngine::new();
+    engine.register(
+        "convnet",
+        Arc::new(NnSelector::new("convnet", model, window_cfg)),
+    );
+    let batch: Vec<TimeSeries> = (0..BATCH)
+        .map(|i| {
+            TimeSeries::new(
+                format!("bench-{i}"),
+                "D",
+                (0..SERIES_LEN)
+                    .map(|t| {
+                        let x = t as f64 * 0.05 + i as f64 * 0.7;
+                        x.sin() + 0.3 * (x * 2.3).cos()
+                    })
+                    .collect(),
+                vec![],
+            )
+        })
+        .collect();
+    let windows_per_series = (SERIES_LEN - WINDOW) / (WINDOW / 2) + 1;
+
+    // Warm up once, then median-of-5 batch times.
+    let selections = engine.select_batch("convnet", &batch).expect("registered");
+    assert_eq!(selections.len(), BATCH);
+    let mut samples = Vec::with_capacity(5);
+    for _ in 0..5 {
+        let t = Instant::now();
+        std::hint::black_box(engine.select_batch("convnet", &batch).expect("registered"));
+        samples.push(t.elapsed().as_secs_f64());
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let batch_seconds = samples[samples.len() / 2];
+
+    ServeBench {
+        batch: BATCH,
+        series_len: SERIES_LEN,
+        window: WINDOW,
+        width: WIDTH,
+        windows_per_series,
+        batch_seconds,
+    }
 }
 
 fn max_abs_diff(a: &Tensor, b: &Tensor) -> f64 {
@@ -134,11 +221,34 @@ fn main() {
     let geomean = (log_speedup_sum / CASES.len() as f64).exp();
     println!("\ngeomean speedup: {geomean:.2}x at {threads} thread(s)");
 
+    // --- Serving throughput: selections/sec through the batched engine. ---
+    let serve = serve_throughput();
+    println!(
+        "\nserving throughput: {:.0} selections/sec, {:.0} windows/sec \
+         (batch {}, {} windows/series, ConvNet w{})",
+        serve.selections_per_sec(),
+        serve.windows_per_sec(),
+        serve.batch,
+        serve.windows_per_series,
+        serve.width,
+    );
+
+    let serve_record = serde_json::json!({
+        "batch": serve.batch,
+        "series_len": serve.series_len,
+        "window": serve.window,
+        "width": serve.width,
+        "windows_per_series": serve.windows_per_series,
+        "batch_seconds": serve.batch_seconds,
+        "selections_per_sec": serve.selections_per_sec(),
+        "windows_per_sec": serve.windows_per_sec(),
+    });
     let record = serde_json::json!({
         "bench": "micro_kernels",
         "threads": threads,
         "geomean_speedup": geomean,
         "cases": rows,
+        "serve": serve_record,
     });
     let path = std::env::var("KD_BENCH_OUT").unwrap_or_else(|_| "BENCH_micro.json".into());
     let line = serde_json::to_string(&record).expect("serializable record");

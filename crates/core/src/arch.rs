@@ -21,17 +21,31 @@ use tsnn::layers::{
 use tsnn::{init, Param, Tensor};
 
 /// A trainable time-series encoder.
-pub trait Encoder: Send {
+///
+/// Training goes through the stateful `forward`/`backward` pair; serving
+/// goes through [`Encoder::infer`], which takes `&self` and is
+/// bit-identical to `forward(x, false)`. `Send + Sync` makes a trained
+/// encoder shareable across serving threads without cloning.
+pub trait Encoder: Send + Sync {
     /// `(N, 1, L) → (N, D)` feature extraction.
     fn forward(&mut self, x: &Tensor, train: bool) -> Tensor;
+    /// Inference-mode feature extraction: identical output to
+    /// `forward(x, false)` but immutable and thread-safe.
+    fn infer(&self, x: &Tensor) -> Tensor;
     /// Backward pass; input gradient is discarded by callers (inputs are
     /// data), but parameter gradients accumulate.
     fn backward(&mut self, grad: &Tensor) -> Tensor;
     /// Trainable parameters in a stable order.
     fn params_mut(&mut self) -> Vec<&mut Param>;
+    /// Read-only view of the trainable parameters, `params_mut()` order.
+    fn params(&self) -> Vec<&Param>;
     /// Non-trainable state in a stable order — batch-norm running statistics
     /// — which persistence must save alongside the parameters.
     fn buffers_mut(&mut self) -> Vec<&mut Vec<f32>> {
+        Vec::new()
+    }
+    /// Read-only view of the non-trainable state, `buffers_mut()` order.
+    fn buffers(&self) -> Vec<&Vec<f32>> {
         Vec::new()
     }
     /// Output feature width `D`.
@@ -122,6 +136,16 @@ impl ConvStage {
         }
     }
 
+    fn infer(&self, x: &Tensor) -> Tensor {
+        let y = self.conv.infer(x);
+        let y = self.bn.infer(&y);
+        let y = self.relu.infer(&y);
+        match &self.pool {
+            Some(p) => p.infer(&y),
+            None => y,
+        }
+    }
+
     fn backward(&mut self, grad: &Tensor) -> Tensor {
         let g = match &mut self.pool {
             Some(p) => p.backward(grad),
@@ -138,8 +162,18 @@ impl ConvStage {
         p
     }
 
+    fn params(&self) -> Vec<&Param> {
+        let mut p = self.conv.params();
+        p.extend(self.bn.params());
+        p
+    }
+
     fn buffers_mut(&mut self) -> Vec<&mut Vec<f32>> {
         vec![&mut self.bn.running_mean, &mut self.bn.running_var]
+    }
+
+    fn buffers(&self) -> Vec<&Vec<f32>> {
+        vec![&self.bn.running_mean, &self.bn.running_var]
     }
 }
 
@@ -154,6 +188,13 @@ impl Gap {
     }
 
     fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        if train {
+            self.in_shape = Some(x.shape().to_vec());
+        }
+        self.infer(x)
+    }
+
+    fn infer(&self, x: &Tensor) -> Tensor {
         let (n, c, l) = (x.dim(0), x.dim(1), x.dim(2));
         let mut y = Tensor::zeros(&[n, c]);
         for ni in 0..n {
@@ -161,9 +202,6 @@ impl Gap {
             for ci in 0..c {
                 y.row_mut(ni)[ci] = xb[ci * l..(ci + 1) * l].iter().sum::<f32>() / l as f32;
             }
-        }
-        if train {
-            self.in_shape = Some(x.shape().to_vec());
         }
         y
     }
@@ -216,6 +254,13 @@ impl Encoder for ConvNetEncoder {
         self.gap.forward(&y, train)
     }
 
+    fn infer(&self, x: &Tensor) -> Tensor {
+        let y = self.s1.infer(x);
+        let y = self.s2.infer(&y);
+        let y = self.s3.infer(&y);
+        self.gap.infer(&y)
+    }
+
     fn backward(&mut self, grad: &Tensor) -> Tensor {
         let g = self.gap.backward(grad);
         let g = self.s3.backward(&g);
@@ -230,10 +275,24 @@ impl Encoder for ConvNetEncoder {
         p
     }
 
+    fn params(&self) -> Vec<&Param> {
+        let mut p = self.s1.params();
+        p.extend(self.s2.params());
+        p.extend(self.s3.params());
+        p
+    }
+
     fn buffers_mut(&mut self) -> Vec<&mut Vec<f32>> {
         let mut b = self.s1.buffers_mut();
         b.extend(self.s2.buffers_mut());
         b.extend(self.s3.buffers_mut());
+        b
+    }
+
+    fn buffers(&self) -> Vec<&Vec<f32>> {
+        let mut b = self.s1.buffers();
+        b.extend(self.s2.buffers());
+        b.extend(self.s3.buffers());
         b
     }
 
@@ -302,6 +361,23 @@ impl ResBlock {
         self.out_relu.forward(&y, train)
     }
 
+    fn infer(&self, x: &Tensor) -> Tensor {
+        let y = self.c1.infer(x);
+        let y = self.b1.infer(&y);
+        let y = self.r1.infer(&y);
+        let y = self.c2.infer(&y);
+        let y = self.b2.infer(&y);
+        let y = self.r2.infer(&y);
+        let y = self.c3.infer(&y);
+        let mut y = self.b3.infer(&y);
+        let sc = match &self.shortcut {
+            Some((conv, bn)) => bn.infer(&conv.infer(x)),
+            None => x.clone(),
+        };
+        y.add_assign(&sc);
+        self.out_relu.infer(&y)
+    }
+
     fn backward(&mut self, grad: &Tensor) -> Tensor {
         let g = self.out_relu.backward(grad);
         // Main path.
@@ -340,6 +416,20 @@ impl ResBlock {
         p
     }
 
+    fn params(&self) -> Vec<&Param> {
+        let mut p = self.c1.params();
+        p.extend(self.b1.params());
+        p.extend(self.c2.params());
+        p.extend(self.b2.params());
+        p.extend(self.c3.params());
+        p.extend(self.b3.params());
+        if let Some((conv, bn)) = &self.shortcut {
+            p.extend(conv.params());
+            p.extend(bn.params());
+        }
+        p
+    }
+
     fn buffers_mut(&mut self) -> Vec<&mut Vec<f32>> {
         let mut b = vec![
             &mut self.b1.running_mean,
@@ -352,6 +442,22 @@ impl ResBlock {
         if let Some((_, bn)) = &mut self.shortcut {
             b.push(&mut bn.running_mean);
             b.push(&mut bn.running_var);
+        }
+        b
+    }
+
+    fn buffers(&self) -> Vec<&Vec<f32>> {
+        let mut b = vec![
+            &self.b1.running_mean,
+            &self.b1.running_var,
+            &self.b2.running_mean,
+            &self.b2.running_var,
+            &self.b3.running_mean,
+            &self.b3.running_var,
+        ];
+        if let Some((_, bn)) = &self.shortcut {
+            b.push(&bn.running_mean);
+            b.push(&bn.running_var);
         }
         b
     }
@@ -388,6 +494,14 @@ impl Encoder for ResNetEncoder {
         self.gap.forward(&y, train)
     }
 
+    fn infer(&self, x: &Tensor) -> Tensor {
+        let mut y = x.clone();
+        for b in &self.blocks {
+            y = b.infer(&y);
+        }
+        self.gap.infer(&y)
+    }
+
     fn backward(&mut self, grad: &Tensor) -> Tensor {
         let mut g = self.gap.backward(grad);
         for b in self.blocks.iter_mut().rev() {
@@ -404,10 +518,26 @@ impl Encoder for ResNetEncoder {
         p
     }
 
+    fn params(&self) -> Vec<&Param> {
+        let mut p = Vec::new();
+        for b in &self.blocks {
+            p.extend(b.params());
+        }
+        p
+    }
+
     fn buffers_mut(&mut self) -> Vec<&mut Vec<f32>> {
         let mut out = Vec::new();
         for b in &mut self.blocks {
             out.extend(b.buffers_mut());
+        }
+        out
+    }
+
+    fn buffers(&self) -> Vec<&Vec<f32>> {
+        let mut out = Vec::new();
+        for b in &self.blocks {
+            out.extend(b.buffers());
         }
         out
     }
@@ -463,6 +593,30 @@ impl MaxPool3Same {
         if train {
             self.argmax = Some(argmax);
             self.in_shape = Some(x.shape().to_vec());
+        }
+        y
+    }
+
+    fn infer(&self, x: &Tensor) -> Tensor {
+        let (n, c, l) = (x.dim(0), x.dim(1), x.dim(2));
+        let mut y = Tensor::zeros(&[n, c, l]);
+        for ni in 0..n {
+            let xb = x.batch(ni);
+            let yb = y.batch_mut(ni);
+            for ci in 0..c {
+                let row = &xb[ci * l..(ci + 1) * l];
+                for t in 0..l {
+                    let lo = t.saturating_sub(1);
+                    let hi = (t + 2).min(l);
+                    let mut best = f32::NEG_INFINITY;
+                    for &v in &row[lo..hi] {
+                        if v > best {
+                            best = v;
+                        }
+                    }
+                    yb[ci * l + t] = best;
+                }
+            }
         }
         y
     }
@@ -567,6 +721,19 @@ impl InceptionModule {
         self.relu.forward(&y, train)
     }
 
+    fn infer(&self, x: &Tensor) -> Tensor {
+        let b = match &self.bottleneck {
+            Some(conv) => conv.infer(x),
+            None => x.clone(),
+        };
+        let mut parts: Vec<Tensor> = self.convs.iter().map(|c| c.infer(&b)).collect();
+        let pooled = self.pool.infer(x);
+        parts.push(self.pool_conv.infer(&pooled));
+        let y = concat_channels(&parts);
+        let y = self.bn.infer(&y);
+        self.relu.infer(&y)
+    }
+
     fn backward(&mut self, grad: &Tensor) -> Tensor {
         let g = self.relu.backward(grad);
         let g = self.bn.backward(&g);
@@ -605,8 +772,25 @@ impl InceptionModule {
         p
     }
 
+    fn params(&self) -> Vec<&Param> {
+        let mut p = Vec::new();
+        if let Some(b) = &self.bottleneck {
+            p.extend(b.params());
+        }
+        for c in &self.convs {
+            p.extend(c.params());
+        }
+        p.extend(self.pool_conv.params());
+        p.extend(self.bn.params());
+        p
+    }
+
     fn buffers_mut(&mut self) -> Vec<&mut Vec<f32>> {
         vec![&mut self.bn.running_mean, &mut self.bn.running_var]
+    }
+
+    fn buffers(&self) -> Vec<&Vec<f32>> {
+        vec![&self.bn.running_mean, &self.bn.running_var]
     }
 }
 
@@ -649,6 +833,16 @@ impl Encoder for InceptionEncoder {
         self.gap.forward(&y, train)
     }
 
+    fn infer(&self, x: &Tensor) -> Tensor {
+        let y1 = self.m1.infer(x);
+        let mut y2 = self.m2.infer(&y1);
+        let s = self.shortcut_conv.infer(x);
+        let s = self.shortcut_bn.infer(&s);
+        y2.add_assign(&s);
+        let y = self.out_relu.infer(&y2);
+        self.gap.infer(&y)
+    }
+
     fn backward(&mut self, grad: &Tensor) -> Tensor {
         let g = self.gap.backward(grad);
         let g = self.out_relu.backward(&g);
@@ -668,11 +862,27 @@ impl Encoder for InceptionEncoder {
         p
     }
 
+    fn params(&self) -> Vec<&Param> {
+        let mut p = self.m1.params();
+        p.extend(self.m2.params());
+        p.extend(self.shortcut_conv.params());
+        p.extend(self.shortcut_bn.params());
+        p
+    }
+
     fn buffers_mut(&mut self) -> Vec<&mut Vec<f32>> {
         let mut b = self.m1.buffers_mut();
         b.extend(self.m2.buffers_mut());
         b.push(&mut self.shortcut_bn.running_mean);
         b.push(&mut self.shortcut_bn.running_var);
+        b
+    }
+
+    fn buffers(&self) -> Vec<&Vec<f32>> {
+        let mut b = self.m1.buffers();
+        b.extend(self.m2.buffers());
+        b.push(&self.shortcut_bn.running_mean);
+        b.push(&self.shortcut_bn.running_var);
         b
     }
 
@@ -746,6 +956,24 @@ impl TransformerBlock {
         out
     }
 
+    fn infer(&self, x: &Tensor) -> Tensor {
+        let (n, t, d) = (x.dim(0), x.dim(1), x.dim(2));
+        // x + attn(ln(x))
+        let h = self.ln1.infer(x);
+        let a = self.attn.infer(&h);
+        let mut y = x.clone();
+        y.add_assign(&a);
+        // y + ff(ln(y))
+        let h2 = self.ln2.infer(&y);
+        let flat = h2.reshape(&[n * t, d]);
+        let f = self.ff1.infer(&flat);
+        let f = self.gelu.infer(&f);
+        let f = self.ff2.infer(&f).reshape(&[n, t, d]);
+        let mut out = y;
+        out.add_assign(&f);
+        out
+    }
+
     fn backward(&mut self, grad: &Tensor) -> Tensor {
         let shape = self.token_shape.take().expect("backward without forward");
         let (n, t, d) = (shape[0], shape[1], shape[2]);
@@ -770,6 +998,15 @@ impl TransformerBlock {
         p.extend(self.ln2.params_mut());
         p.extend(self.ff1.params_mut());
         p.extend(self.ff2.params_mut());
+        p
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        let mut p = self.ln1.params();
+        p.extend(self.attn.params());
+        p.extend(self.ln2.params());
+        p.extend(self.ff1.params());
+        p.extend(self.ff2.params());
         p
     }
 }
@@ -848,6 +1085,38 @@ impl Encoder for TransformerEncoder {
         out
     }
 
+    fn infer(&self, x: &Tensor) -> Tensor {
+        let n = x.dim(0);
+        let y = self.stem_conv.infer(x);
+        let y = self.stem_relu.infer(&y);
+        let y = self.stem_pool.infer(&y); // (N, D, T)
+        let mut tokens = transpose_cl(&y); // (N, T, D)
+        let (t, d) = (self.tokens, self.dim);
+        for ni in 0..n {
+            let tb = tokens.batch_mut(ni);
+            for (tv, &pv) in tb.iter_mut().zip(self.pos.value.data()) {
+                *tv += pv;
+            }
+        }
+        let mut z = tokens;
+        for b in &self.blocks {
+            z = b.infer(&z);
+        }
+        let z = self.final_ln.infer(&z);
+        // Mean pool over tokens.
+        let mut out = Tensor::zeros(&[n, d]);
+        for ni in 0..n {
+            let zb = z.batch(ni);
+            let o_row = out.row_mut(ni);
+            for ti in 0..t {
+                for di in 0..d {
+                    o_row[di] += zb[ti * d + di] / t as f32;
+                }
+            }
+        }
+        out
+    }
+
     fn backward(&mut self, grad: &Tensor) -> Tensor {
         let n = self.batch.take().expect("backward without forward");
         let (t, d) = (self.tokens, self.dim);
@@ -887,6 +1156,16 @@ impl Encoder for TransformerEncoder {
             p.extend(b.params_mut());
         }
         p.extend(self.final_ln.params_mut());
+        p
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        let mut p = self.stem_conv.params();
+        p.push(&self.pos);
+        for b in &self.blocks {
+            p.extend(b.params());
+        }
+        p.extend(self.final_ln.params());
         p
     }
 
@@ -940,6 +1219,44 @@ mod tests {
     #[test]
     fn transformer_forward_backward() {
         probe(Architecture::Transformer);
+    }
+
+    #[test]
+    fn infer_is_bit_identical_to_eval_forward() {
+        // The serving path (`infer`, &self) must reproduce the mutable
+        // eval-mode forward exactly — same operations, same order, same bits.
+        for arch in Architecture::ALL {
+            let mut enc = arch.build(64, 8, 11);
+            let x = Tensor::from_vec(
+                &[3, 1, 64],
+                (0..192)
+                    .map(|i| ((i * 17 % 31) as f32 - 15.0) * 0.07)
+                    .collect(),
+            );
+            // One training pass so batch-norm running stats are non-trivial.
+            let _ = enc.forward(&x, true);
+            let eval = enc.forward(&x, false);
+            let infer = enc.infer(&x);
+            assert_eq!(eval.data(), infer.data(), "{arch:?}");
+        }
+    }
+
+    #[test]
+    fn encoders_are_send_and_sync() {
+        fn check(_: &(dyn Encoder + Send + Sync)) {}
+        for arch in Architecture::ALL {
+            let enc = arch.build(64, 8, 1);
+            check(enc.as_ref());
+        }
+    }
+
+    #[test]
+    fn immutable_accessors_mirror_mutable_ones() {
+        for arch in Architecture::ALL {
+            let mut enc = arch.build(64, 8, 5);
+            assert_eq!(enc.params().len(), enc.params_mut().len(), "{arch:?}");
+            assert_eq!(enc.buffers().len(), enc.buffers_mut().len(), "{arch:?}");
+        }
     }
 
     #[test]

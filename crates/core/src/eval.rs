@@ -41,19 +41,21 @@ impl EvalReport {
 
 /// Evaluates a selector on the test series against the test perf matrix.
 ///
+/// Runs the whole test split through the selector's batch-first entry point
+/// ([`Selector::select_batch`]), which fans out over `tspar`'s fixed
+/// partitions — bit-identical to a per-series loop at any thread count.
+///
 /// # Panics
 /// Panics if `perf` does not cover `test`.
-pub fn evaluate(selector: &mut dyn Selector, test: &[TimeSeries], perf: &PerfMatrix) -> EvalReport {
+pub fn evaluate(selector: &dyn Selector, test: &[TimeSeries], perf: &PerfMatrix) -> EvalReport {
     assert_eq!(
         perf.len(),
         test.len(),
         "perf matrix must cover the test set"
     );
-    let mut selections = Vec::with_capacity(test.len());
+    let selections = selector.select_batch(test);
     let mut sums: Vec<(String, f64, usize)> = Vec::new();
-    for (i, ts) in test.iter().enumerate() {
-        let choice = selector.select(ts);
-        selections.push(choice);
+    for (i, (ts, &choice)) in test.iter().zip(&selections).enumerate() {
         let score = perf.perf_of(i, choice);
         match sums.iter_mut().find(|(d, _, _)| *d == ts.dataset) {
             Some((_, total, count)) => {
@@ -110,8 +112,10 @@ mod tests {
         fn name(&self) -> &str {
             "fixed"
         }
-        fn window_votes(&mut self, _ts: &TimeSeries) -> Vec<usize> {
-            vec![self.0]
+        fn series_scores(&self, _ts: &TimeSeries) -> Vec<Vec<f32>> {
+            let mut row = vec![0.0f32; 12];
+            row[self.0] = 1.0;
+            vec![row]
         }
     }
 
@@ -132,8 +136,8 @@ mod tests {
     #[test]
     fn evaluate_groups_by_dataset() {
         let (series, perf) = toy();
-        let mut sel = FixedSelector(0);
-        let report = evaluate(&mut sel, &series, &perf);
+        let sel = FixedSelector(0);
+        let report = evaluate(&sel, &series, &perf);
         assert_eq!(report.per_dataset.len(), 2);
         assert!((report.dataset_auc_pr("D1").unwrap() - 0.7).abs() < 1e-12);
         assert!((report.dataset_auc_pr("D2").unwrap() - 0.1).abs() < 1e-12);
@@ -145,8 +149,8 @@ mod tests {
         let (series, perf) = toy();
         let refs = reference_points(&perf);
         for m in 0..12 {
-            let mut sel = FixedSelector(m);
-            let report = evaluate(&mut sel, &series, &perf);
+            let sel = FixedSelector(m);
+            let report = evaluate(&sel, &series, &perf);
             // Oracle mean is over series (not datasets), so compare on the
             // same scale: recompute series-mean for the fixed selector.
             let fixed_mean: f64 = (0..3)

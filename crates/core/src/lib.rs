@@ -23,7 +23,10 @@
 //!   a disk cache),
 //! * evaluation ([`eval`]) that scores a selector by the AUC-PR of the TSAD
 //!   models it picks, per dataset — the paper's headline metric,
-//! * selector management ([`manage`]: save / load / list), and
+//! * selector management ([`manage`]: save / load / list),
+//! * a thread-safe, batch-first serving layer ([`serve`]: a
+//!   [`serve::SelectorEngine`] registry answering batched
+//!   [`serve::SelectRequest`]s with structured [`serve::Selection`]s), and
 //! * an end-to-end pipeline ([`pipeline`]) used by the examples and the
 //!   benchmark harness.
 
@@ -37,6 +40,7 @@ pub mod nonnn;
 pub mod pipeline;
 pub mod prune;
 pub mod selector;
+pub mod serve;
 pub mod train;
 
 pub use arch::Architecture;
@@ -44,4 +48,6 @@ pub use dataset::SelectorDataset;
 pub use eval::EvalReport;
 pub use labels::PerfMatrix;
 pub use prune::PruningStrategy;
+pub use selector::Selector;
+pub use serve::{SelectRequest, Selection, SelectorEngine};
 pub use train::{TrainConfig, TrainStats, TrainedSelector};

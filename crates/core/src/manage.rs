@@ -53,12 +53,11 @@ impl SelectorStore {
     }
 
     /// Saves a selector under `name`, overwriting any previous version.
-    pub fn save(
-        &self,
-        name: &str,
-        selector: &mut TrainedSelector,
-        notes: &str,
-    ) -> std::io::Result<()> {
+    ///
+    /// Takes the selector by shared reference: saving snapshots read-only
+    /// parameters and buffers, so a selector that is concurrently serving
+    /// requests can be persisted without exclusive access.
+    pub fn save(&self, name: &str, selector: &TrainedSelector, notes: &str) -> std::io::Result<()> {
         validate_name(name)?;
         let manifest = SelectorManifest {
             name: name.to_string(),
@@ -68,8 +67,8 @@ impl SelectorStore {
             seed: selector.seed,
             notes: notes.to_string(),
         };
-        let params = save_params(&selector.params_mut());
-        let buffers: Vec<Vec<f32>> = selector.buffers_mut().iter().map(|b| b.to_vec()).collect();
+        let params = save_params(&selector.params());
+        let buffers: Vec<Vec<f32>> = selector.buffers().iter().map(|b| b.to_vec()).collect();
         let state = SavedState { params, buffers };
         std::fs::write(
             self.manifest_path(name),
@@ -201,11 +200,9 @@ mod tests {
             .map(|s| (0..32).map(|t| ((t + s) as f32 * 0.3).sin()).collect())
             .collect();
         let before = original.predict_logits(&windows);
-        store
-            .save("my-selector", &mut original, "unit test")
-            .unwrap();
+        store.save("my-selector", &original, "unit test").unwrap();
 
-        let mut loaded = store.load("my-selector").unwrap();
+        let loaded = store.load("my-selector").unwrap();
         let after = loaded.predict_logits(&windows);
         assert_eq!(before, after);
         let _ = std::fs::remove_dir_all(store.dir());
@@ -214,9 +211,9 @@ mod tests {
     #[test]
     fn list_and_delete() {
         let store = temp_store("list");
-        let mut s = TrainedSelector::build(Architecture::ConvNet, 32, 4, 1);
-        store.save("a", &mut s, "").unwrap();
-        store.save("b", &mut s, "noted").unwrap();
+        let s = TrainedSelector::build(Architecture::ConvNet, 32, 4, 1);
+        store.save("a", &s, "").unwrap();
+        store.save("b", &s, "noted").unwrap();
         let listed = store.list().unwrap();
         assert_eq!(listed.len(), 2);
         assert_eq!(listed[0].name, "a");
@@ -230,9 +227,9 @@ mod tests {
     #[test]
     fn invalid_names_rejected() {
         let store = temp_store("names");
-        let mut s = TrainedSelector::build(Architecture::ConvNet, 32, 4, 1);
-        assert!(store.save("../evil", &mut s, "").is_err());
-        assert!(store.save("", &mut s, "").is_err());
+        let s = TrainedSelector::build(Architecture::ConvNet, 32, 4, 1);
+        assert!(store.save("../evil", &s, "").is_err());
+        assert!(store.save("", &s, "").is_err());
         assert!(store.load("no/slash").is_err());
         let _ = std::fs::remove_dir_all(store.dir());
     }

@@ -57,6 +57,15 @@ impl FittedModel {
     }
 }
 
+/// One-hot score row for classifiers that only expose a hard label.
+fn one_hot(class: usize, n_classes: usize) -> Vec<f32> {
+    let mut row = vec![0.0f32; n_classes];
+    if class < n_classes {
+        row[class] = 1.0;
+    }
+    row
+}
+
 /// A feature-based selector: window → features → classic classifier.
 pub struct FeatureSelector {
     label: String,
@@ -118,13 +127,17 @@ impl Selector for FeatureSelector {
         &self.label
     }
 
-    fn window_votes(&mut self, ts: &TimeSeries) -> Vec<usize> {
+    /// The classic classifiers expose only hard labels, so per-window
+    /// scores are one-hot on the predicted class — votes and selections
+    /// are unchanged from the label-only protocol.
+    fn series_scores(&self, ts: &TimeSeries) -> Vec<Vec<f32>> {
+        let classes = tsad_models::ModelId::ALL.len();
         extract_windows(ts, 0, &self.window_cfg)
             .into_iter()
             .map(|w| {
                 let as_f64: Vec<f64> = w.values.iter().map(|&v| v as f64).collect();
                 let f = self.scaler.transform(&extract_features(&as_f64));
-                self.model.predict(&f)
+                one_hot(self.model.predict(&f), classes)
             })
             .collect()
     }
@@ -163,12 +176,25 @@ impl Selector for RocketSelector {
         &self.label
     }
 
-    fn window_votes(&mut self, ts: &TimeSeries) -> Vec<usize> {
+    /// Ridge decision values per class — real margins, not one-hot — so
+    /// downstream consumers (vote margins, score inspection) see the
+    /// classifier's confidence. The ridge head only learns the classes
+    /// present in its training labels; rows are padded with `-∞` to the
+    /// full model-set width so the argmax can never pick an unseen class.
+    fn series_scores(&self, ts: &TimeSeries) -> Vec<Vec<f32>> {
+        let classes = tsad_models::ModelId::ALL.len();
         extract_windows(ts, 0, &self.window_cfg)
             .into_iter()
             .map(|w| {
                 let as_f64: Vec<f64> = w.values.iter().map(|&v| v as f64).collect();
-                self.ridge.predict(&self.rocket.transform(&as_f64))
+                let mut row: Vec<f32> = self
+                    .ridge
+                    .decision_function(&self.rocket.transform(&as_f64))
+                    .into_iter()
+                    .map(|v| v as f32)
+                    .collect();
+                row.resize(classes, f32::NEG_INFINITY);
+                row
             })
             .collect()
     }
@@ -215,7 +241,7 @@ mod tests {
             FeatureModel::AdaBoost,
             FeatureModel::RandomForest,
         ] {
-            let mut sel = FeatureSelector::train(&ds, kind, 3);
+            let sel = FeatureSelector::train(&ds, kind, 3);
             assert_eq!(sel.name(), kind.name());
             let votes = sel.window_votes(&series[0]);
             assert!(!votes.is_empty(), "{kind:?}");
@@ -226,21 +252,33 @@ mod tests {
     #[test]
     fn rocket_selector_trains_and_votes() {
         let (ds, series) = toy_dataset();
-        let mut sel = RocketSelector::train(&ds, 5);
+        let sel = RocketSelector::train(&ds, 5);
         assert_eq!(sel.name(), "Rocket");
         let votes = sel.window_votes(&series[1]);
         assert!(!votes.is_empty());
         assert!(votes.iter().all(|&v| v < 12));
+        // Rocket exposes real decision margins, not one-hot rows.
+        let scores = sel.series_scores(&series[1]);
+        assert_eq!(scores[0].len(), 12);
     }
 
     #[test]
     fn knn_memorises_training_windows() {
         let (ds, series) = toy_dataset();
-        let mut sel = FeatureSelector::train(&ds, FeatureModel::Knn, 0);
+        let sel = FeatureSelector::train(&ds, FeatureModel::Knn, 0);
         // Voting on a training series should mostly recover its label.
         let votes = sel.window_votes(&series[0]);
         let label = ds.hard_labels[0];
         let hits = votes.iter().filter(|&&v| v == label).count();
         assert!(hits * 2 >= votes.len(), "hits {hits}/{}", votes.len());
+    }
+
+    #[test]
+    fn baseline_batch_selection_matches_per_series() {
+        let (ds, series) = toy_dataset();
+        let sel = FeatureSelector::train(&ds, FeatureModel::Knn, 1);
+        let batched = sel.select_batch(&series);
+        let serial: Vec<_> = series.iter().map(|ts| sel.select(ts)).collect();
+        assert_eq!(batched, serial);
     }
 }

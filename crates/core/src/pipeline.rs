@@ -128,8 +128,8 @@ impl Pipeline {
     /// Trains an NN selector with an explicit config and display label.
     pub fn train_nn_with(&self, cfg: &TrainConfig, label: &str) -> TrainOutcome {
         let (model, stats) = train(&self.dataset, cfg);
-        let mut selector = NnSelector::new(label, model, self.config.window);
-        let report = evaluate(&mut selector, &self.benchmark.test, &self.test_perf);
+        let selector = NnSelector::new(label, model, self.config.window);
+        let report = evaluate(&selector, &self.benchmark.test, &self.test_perf);
         TrainOutcome {
             selector,
             stats,
@@ -140,10 +140,10 @@ impl Pipeline {
     /// Trains and evaluates a feature-based baseline.
     pub fn run_feature_baseline(&self, kind: FeatureModel) -> (EvalReport, f64) {
         let start = std::time::Instant::now();
-        let mut selector = FeatureSelector::train(&self.dataset, kind, self.config.train.seed);
+        let selector = FeatureSelector::train(&self.dataset, kind, self.config.train.seed);
         let seconds = start.elapsed().as_secs_f64();
         (
-            evaluate(&mut selector, &self.benchmark.test, &self.test_perf),
+            evaluate(&selector, &self.benchmark.test, &self.test_perf),
             seconds,
         )
     }
@@ -151,16 +151,16 @@ impl Pipeline {
     /// Trains and evaluates the Rocket baseline.
     pub fn run_rocket_baseline(&self) -> (EvalReport, f64) {
         let start = std::time::Instant::now();
-        let mut selector = RocketSelector::train(&self.dataset, self.config.train.seed);
+        let selector = RocketSelector::train(&self.dataset, self.config.train.seed);
         let seconds = start.elapsed().as_secs_f64();
         (
-            evaluate(&mut selector, &self.benchmark.test, &self.test_perf),
+            evaluate(&selector, &self.benchmark.test, &self.test_perf),
             seconds,
         )
     }
 
     /// Evaluates an already-trained selector on this pipeline's test split.
-    pub fn evaluate_selector(&self, selector: &mut dyn Selector) -> EvalReport {
+    pub fn evaluate_selector(&self, selector: &dyn Selector) -> EvalReport {
         evaluate(selector, &self.benchmark.test, &self.test_perf)
     }
 }

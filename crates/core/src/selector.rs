@@ -1,33 +1,103 @@
 //! The selector protocol and majority voting (§2 of the paper).
+//!
+//! Redesigned around **immutability and batching**: a trained selector is a
+//! read-only inference artefact (`&self` everywhere, `Send + Sync`), and the
+//! primary entry point is batch-first — [`Selector::window_scores`] maps a
+//! batch of series to per-window class *scores* (not just argmax votes).
+//! Per-series votes, per-series selection and batched selection are all
+//! derived from that one kernel, so every path — single series, batch,
+//! [`crate::serve::SelectorEngine`] — produces bit-identical decisions.
+//!
+//! The default batch implementation fans the per-series kernel out over
+//! [`tspar`]'s fixed work partitions: results are bit-identical at any
+//! `KD_THREADS` setting because each series is scored independently and the
+//! partition boundaries never depend on the worker count.
 
 use crate::train::TrainedSelector;
 use tsad_models::ModelId;
 use tsdata::{extract_windows, TimeSeries, WindowConfig};
 
 /// A TSAD model selector: predicts the best model for a series.
-pub trait Selector {
+///
+/// Implementors provide [`Selector::series_scores`] — per-window class
+/// scores for one series — and inherit batched scoring, voting and
+/// selection. All methods take `&self`; a selector must be shareable across
+/// serving threads (`Send + Sync`).
+pub trait Selector: Send + Sync {
     /// Display name, e.g. `"ResNet"` or `"Ours"`.
     fn name(&self) -> &str;
 
-    /// Per-window class votes for one series.
-    fn window_votes(&mut self, ts: &TimeSeries) -> Vec<usize>;
+    /// Per-window class scores for one series: one row per window, one
+    /// column per model in [`ModelId::ALL`] order. Higher is better; the
+    /// row argmax is the window's vote. Series too short for a single
+    /// window yield an empty matrix.
+    fn series_scores(&self, ts: &TimeSeries) -> Vec<Vec<f32>>;
+
+    /// Batch-first entry point: scores for every series in the batch,
+    /// preserving order. The default fans [`Selector::series_scores`] out
+    /// over [`tspar::par_map`]'s fixed partitions — bit-identical to the
+    /// serial per-series loop at any thread count.
+    fn window_scores(&self, batch: &[TimeSeries]) -> Vec<Vec<Vec<f32>>> {
+        tspar::par_map(batch.len(), |i| self.series_scores(&batch[i]))
+    }
+
+    /// Per-window class votes for one series (row argmax of the scores).
+    fn window_votes(&self, ts: &TimeSeries) -> Vec<usize> {
+        self.series_scores(ts)
+            .iter()
+            .map(|row| argmax(row))
+            .collect()
+    }
 
     /// Selects a model for a series by majority vote over its windows
     /// (ties break toward the lower model index, deterministically).
-    fn select(&mut self, ts: &TimeSeries) -> ModelId {
+    fn select(&self, ts: &TimeSeries) -> ModelId {
         let votes = self.window_votes(ts);
         ModelId::from_index(majority_vote(&votes, ModelId::ALL.len()))
     }
+
+    /// Selects a model for every series in the batch. Derived from the
+    /// batched scores, so it matches per-series [`Selector::select`] calls
+    /// exactly.
+    fn select_batch(&self, batch: &[TimeSeries]) -> Vec<ModelId> {
+        self.window_scores(batch)
+            .iter()
+            .map(|scores| {
+                let votes: Vec<usize> = scores.iter().map(|row| argmax(row)).collect();
+                ModelId::from_index(majority_vote(&votes, ModelId::ALL.len()))
+            })
+            .collect()
+    }
 }
 
-/// Majority vote with deterministic low-index tie-break.
-pub fn majority_vote(votes: &[usize], n_classes: usize) -> usize {
+/// Row argmax with the workspace's canonical tie behaviour (ties keep the
+/// highest index, matching `Iterator::max_by`). Every vote derivation in
+/// the crate goes through this one function so batched and per-series paths
+/// can never disagree.
+pub fn argmax(row: &[f32]) -> usize {
+    row.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+/// Tallies votes per class, ignoring out-of-range votes.
+pub fn vote_counts(votes: &[usize], n_classes: usize) -> Vec<usize> {
     let mut counts = vec![0usize; n_classes];
     for &v in votes {
         if v < n_classes {
             counts[v] += 1;
         }
     }
+    counts
+}
+
+/// The winning class of a tally, with deterministic low-index tie-break.
+/// The single majority rule every selection path shares — trait-derived
+/// `select`, batched `select_batch`, and the serving layer's
+/// [`crate::serve::Selection`] all go through here.
+pub fn majority_winner(counts: &[usize]) -> usize {
     counts
         .iter()
         .enumerate()
@@ -36,7 +106,16 @@ pub fn majority_vote(votes: &[usize], n_classes: usize) -> usize {
         .unwrap_or(0)
 }
 
+/// Majority vote with deterministic low-index tie-break.
+pub fn majority_vote(votes: &[usize], n_classes: usize) -> usize {
+    majority_winner(&vote_counts(votes, n_classes))
+}
+
 /// An NN selector: a trained encoder+classifier plus window preprocessing.
+///
+/// Inference runs through [`TrainedSelector::predict_logits`]'s immutable
+/// path, so an `NnSelector` is `Send + Sync` and can serve concurrent
+/// batches without cloning the network.
 pub struct NnSelector {
     /// Display name.
     pub label: String,
@@ -62,7 +141,7 @@ impl Selector for NnSelector {
         &self.label
     }
 
-    fn window_votes(&mut self, ts: &TimeSeries) -> Vec<usize> {
+    fn series_scores(&self, ts: &TimeSeries) -> Vec<Vec<f32>> {
         let windows: Vec<Vec<f32>> = extract_windows(ts, 0, &self.window_cfg)
             .into_iter()
             .map(|w| w.values)
@@ -70,7 +149,7 @@ impl Selector for NnSelector {
         if windows.is_empty() {
             return Vec::new();
         }
-        self.model.predict_windows(&windows)
+        self.model.predict_logits(&windows)
     }
 }
 
@@ -96,5 +175,57 @@ mod tests {
     #[test]
     fn out_of_range_votes_ignored() {
         assert_eq!(majority_vote(&[99, 99, 1], 12), 1);
+    }
+
+    #[test]
+    fn argmax_picks_peak() {
+        assert_eq!(argmax(&[0.1, 0.9, 0.3]), 1);
+        assert_eq!(argmax(&[]), 0);
+    }
+
+    /// A selector whose scores are a fixed ramp per window.
+    struct Ramp;
+
+    impl Selector for Ramp {
+        fn name(&self) -> &str {
+            "ramp"
+        }
+        fn series_scores(&self, ts: &TimeSeries) -> Vec<Vec<f32>> {
+            // One "window" per 10 points; class (len/10 % 12) peaks.
+            let w = ts.len() / 10;
+            (0..w)
+                .map(|_| {
+                    let mut row = vec![0.0f32; 12];
+                    row[(ts.len() / 10) % 12] = 1.0;
+                    row
+                })
+                .collect()
+        }
+    }
+
+    #[test]
+    fn batched_selection_matches_per_series() {
+        let batch: Vec<TimeSeries> = (1..7)
+            .map(|i| TimeSeries::new(format!("s{i}"), "D", vec![0.0; i * 17], vec![]))
+            .collect();
+        let sel = Ramp;
+        let batched = sel.select_batch(&batch);
+        let serial: Vec<ModelId> = batch.iter().map(|ts| sel.select(ts)).collect();
+        assert_eq!(batched, serial);
+        // Trait-object path agrees too.
+        let dyn_sel: &dyn Selector = &sel;
+        assert_eq!(dyn_sel.select_batch(&batch), serial);
+    }
+
+    #[test]
+    fn window_scores_preserves_batch_order() {
+        let batch: Vec<TimeSeries> = (1..5)
+            .map(|i| TimeSeries::new(format!("s{i}"), "D", vec![0.0; i * 10], vec![]))
+            .collect();
+        let scores = Ramp.window_scores(&batch);
+        assert_eq!(scores.len(), 4);
+        for (i, s) in scores.iter().enumerate() {
+            assert_eq!(s.len(), i + 1, "series {i} window count");
+        }
     }
 }

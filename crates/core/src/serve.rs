@@ -1,0 +1,367 @@
+//! The selector serving layer: a thread-safe registry of named selectors
+//! answering batched selection requests.
+//!
+//! [`SelectorEngine`] is the process-level entry point a service wraps: it
+//! owns `Arc<dyn Selector>`s (loadable from a [`SelectorStore`]), accepts a
+//! [`SelectRequest`] carrying a *batch* of series, and answers with one
+//! structured [`Selection`] per series — the chosen model plus the full
+//! per-class vote tally and the vote margin, so callers can reason about
+//! confidence, not just the argmax.
+//!
+//! # Determinism
+//!
+//! Batched serving runs each series through the selector's per-series
+//! scoring kernel, fanned out over [`tspar`]'s fixed work partitions.
+//! Partition boundaries depend only on the batch size, never on the worker
+//! count, so a batch served at `KD_THREADS=1` and at `KD_THREADS=64` —
+//! or the same series selected one at a time via [`Selector::select`] —
+//! produces bit-identical `Selection`s. The engine is `Send + Sync`;
+//! N threads serving the same engine concurrently also agree exactly.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use kdselector_core::manage::SelectorStore;
+//! use kdselector_core::serve::{SelectRequest, SelectorEngine};
+//! use tsdata::WindowConfig;
+//!
+//! let store = SelectorStore::open("selectors").unwrap();
+//! let window = WindowConfig { length: 64, stride: 64, znormalize: true };
+//! let mut engine = SelectorEngine::new();
+//! engine.load(&store, "resnet-kd", window).unwrap();
+//! let request = SelectRequest::new("resnet-kd", vec![/* series */]);
+//! for selection in engine.handle(&request).unwrap() {
+//!     println!("{} (margin {:.2})", selection.model, selection.margin);
+//! }
+//! ```
+
+use crate::manage::SelectorStore;
+use crate::selector::{argmax, majority_winner, vote_counts, NnSelector, Selector};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use tsad_models::ModelId;
+use tsdata::{TimeSeries, WindowConfig};
+
+/// A batched selection request: which registered selector to use and the
+/// series to select models for.
+#[derive(Debug, Clone)]
+pub struct SelectRequest {
+    /// Name of a registered selector.
+    pub selector: String,
+    /// The batch of series to serve.
+    pub batch: Vec<TimeSeries>,
+}
+
+impl SelectRequest {
+    /// New request for `selector` over `batch`.
+    pub fn new(selector: impl Into<String>, batch: Vec<TimeSeries>) -> Self {
+        Self {
+            selector: selector.into(),
+            batch,
+        }
+    }
+}
+
+/// The structured result of selecting a model for one series.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Selection {
+    /// The chosen model (majority vote over windows, low-index tie-break).
+    pub model: ModelId,
+    /// Per-class vote counts in [`ModelId::ALL`] order.
+    pub votes: Vec<usize>,
+    /// Number of windows that voted.
+    pub windows: usize,
+    /// Vote margin: `(top count − runner-up count) / windows`, in `[0, 1]`.
+    /// `0` for windowless series; `1` when every window agrees.
+    pub margin: f64,
+}
+
+impl Selection {
+    /// Derives a selection from one series' per-window class scores,
+    /// through the same argmax and majority rule as [`Selector::select`].
+    pub fn from_scores(scores: &[Vec<f32>]) -> Self {
+        let n_classes = ModelId::ALL.len();
+        let window_votes: Vec<usize> = scores.iter().map(|row| argmax(row)).collect();
+        let votes = vote_counts(&window_votes, n_classes);
+        let winner = majority_winner(&votes);
+        let mut sorted: Vec<usize> = votes.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let windows = scores.len();
+        let margin = if windows == 0 {
+            0.0
+        } else {
+            (sorted[0] - sorted[1]) as f64 / windows as f64
+        };
+        Self {
+            model: ModelId::from_index(winner),
+            votes,
+            windows,
+            margin,
+        }
+    }
+}
+
+/// Errors a serving call can produce.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The request named a selector that is not registered.
+    UnknownSelector(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::UnknownSelector(name) => {
+                write!(f, "no selector registered under {name:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// A registry of named, immutable selectors serving batched requests.
+///
+/// Registration (`register` / `load`) takes `&mut self`; serving
+/// (`handle` / `select_batch`) takes `&self`, so a configured engine can be
+/// shared across threads behind a plain reference or an `Arc`.
+#[derive(Default, Clone)]
+pub struct SelectorEngine {
+    registry: BTreeMap<String, Arc<dyn Selector>>,
+}
+
+impl SelectorEngine {
+    /// New empty engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a selector under `name`, replacing any previous entry.
+    pub fn register(&mut self, name: impl Into<String>, selector: Arc<dyn Selector>) {
+        self.registry.insert(name.into(), selector);
+    }
+
+    /// Loads a saved NN selector from `store` and registers it under its
+    /// store name.
+    ///
+    /// # Errors
+    /// Besides store I/O failures, fails with `InvalidInput` when
+    /// `window.length` disagrees with the window length the selector was
+    /// trained with — catching the mismatch here instead of panicking in a
+    /// serving thread on the first request.
+    pub fn load(
+        &mut self,
+        store: &SelectorStore,
+        name: &str,
+        window: WindowConfig,
+    ) -> std::io::Result<()> {
+        let model = store.load(name)?;
+        if model.window != window.length {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!(
+                    "selector {name:?} was trained with window length {}, \
+                     but the serving WindowConfig has length {}",
+                    model.window, window.length
+                ),
+            ));
+        }
+        self.register(name, Arc::new(NnSelector::new(name, model, window)));
+        Ok(())
+    }
+
+    /// The registered selector names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.registry.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Looks up a registered selector.
+    pub fn get(&self, name: &str) -> Option<&Arc<dyn Selector>> {
+        self.registry.get(name)
+    }
+
+    /// Number of registered selectors.
+    pub fn len(&self) -> usize {
+        self.registry.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.registry.is_empty()
+    }
+
+    /// Serves a batched request: one [`Selection`] per series, in request
+    /// order. Bit-identical to per-series [`Selector::select`] calls at any
+    /// thread count.
+    pub fn handle(&self, request: &SelectRequest) -> Result<Vec<Selection>, ServeError> {
+        self.select_batch(&request.selector, &request.batch)
+    }
+
+    /// Serves a batch against the named selector.
+    pub fn select_batch(
+        &self,
+        selector: &str,
+        batch: &[TimeSeries],
+    ) -> Result<Vec<Selection>, ServeError> {
+        let sel = self
+            .registry
+            .get(selector)
+            .ok_or_else(|| ServeError::UnknownSelector(selector.to_string()))?;
+        Ok(sel
+            .window_scores(batch)
+            .iter()
+            .map(|scores| Selection::from_scores(scores))
+            .collect())
+    }
+}
+
+impl std::fmt::Debug for SelectorEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SelectorEngine")
+            .field("selectors", &self.names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::Architecture;
+    use crate::train::TrainedSelector;
+
+    fn sine_series(id: usize, len: usize) -> TimeSeries {
+        TimeSeries::new(
+            format!("serve-{id}"),
+            "D",
+            (0..len)
+                .map(|t| ((t + 7 * id) as f64 * 0.21).sin() + 0.01 * id as f64)
+                .collect(),
+            vec![],
+        )
+    }
+
+    fn test_engine() -> SelectorEngine {
+        let window = WindowConfig {
+            length: 32,
+            stride: 32,
+            znormalize: true,
+        };
+        let model = TrainedSelector::build(Architecture::ConvNet, 32, 4, 3);
+        let mut engine = SelectorEngine::new();
+        engine.register(
+            "convnet",
+            Arc::new(NnSelector::new("convnet", model, window)),
+        );
+        engine
+    }
+
+    #[test]
+    fn unknown_selector_is_an_error() {
+        let engine = test_engine();
+        let err = engine.select_batch("ghost", &[]).unwrap_err();
+        assert!(matches!(err, ServeError::UnknownSelector(ref n) if n == "ghost"));
+        assert!(err.to_string().contains("ghost"));
+    }
+
+    #[test]
+    fn registry_lists_and_replaces() {
+        let mut engine = test_engine();
+        assert_eq!(engine.names(), vec!["convnet"]);
+        assert_eq!(engine.len(), 1);
+        assert!(!engine.is_empty());
+        assert!(engine.get("convnet").is_some());
+        let model = TrainedSelector::build(Architecture::ConvNet, 32, 4, 9);
+        let window = WindowConfig {
+            length: 32,
+            stride: 32,
+            znormalize: true,
+        };
+        engine.register("convnet", Arc::new(NnSelector::new("v2", model, window)));
+        assert_eq!(engine.len(), 1, "same name replaces");
+        assert_eq!(engine.get("convnet").unwrap().name(), "v2");
+    }
+
+    #[test]
+    fn batched_selection_matches_per_series_select() {
+        let engine = test_engine();
+        let batch: Vec<TimeSeries> = (0..6).map(|i| sine_series(i, 200)).collect();
+        let selections = engine.select_batch("convnet", &batch).unwrap();
+        assert_eq!(selections.len(), 6);
+        let sel = engine.get("convnet").unwrap();
+        for (ts, selection) in batch.iter().zip(&selections) {
+            assert_eq!(selection.model, sel.select(ts), "{}", ts.id);
+            assert_eq!(selection.windows, sel.window_votes(ts).len());
+            assert!(selection.windows > 0);
+            assert_eq!(selection.votes.iter().sum::<usize>(), selection.windows);
+            assert!((0.0..=1.0).contains(&selection.margin));
+        }
+    }
+
+    #[test]
+    fn handle_routes_requests() {
+        let engine = test_engine();
+        let request = SelectRequest::new("convnet", (0..3).map(|i| sine_series(i, 96)).collect());
+        let selections = engine.handle(&request).unwrap();
+        assert_eq!(selections.len(), 3);
+    }
+
+    #[test]
+    fn selection_from_scores_votes_and_margin() {
+        // 4 windows: classes 2, 2, 5, 2 → winner 2, margin (3-1)/4.
+        let mk = |c: usize| {
+            let mut row = vec![0.0f32; 12];
+            row[c] = 1.0;
+            row
+        };
+        let scores = vec![mk(2), mk(2), mk(5), mk(2)];
+        let s = Selection::from_scores(&scores);
+        assert_eq!(s.model, ModelId::from_index(2));
+        assert_eq!(s.votes[2], 3);
+        assert_eq!(s.votes[5], 1);
+        assert_eq!(s.windows, 4);
+        assert!((s.margin - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn windowless_series_selects_default_with_zero_margin() {
+        let s = Selection::from_scores(&[]);
+        assert_eq!(s.model, ModelId::from_index(0));
+        assert_eq!(s.windows, 0);
+        assert_eq!(s.margin, 0.0);
+    }
+
+    #[test]
+    fn load_rejects_mismatched_window_length() {
+        let dir = std::env::temp_dir().join(format!("kdsel-serve-load-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = SelectorStore::open(&dir).unwrap();
+        let model = TrainedSelector::build(Architecture::ConvNet, 64, 4, 1);
+        store.save("w64", &model, "").unwrap();
+
+        let mut engine = SelectorEngine::new();
+        let bad = WindowConfig {
+            length: 32,
+            stride: 32,
+            znormalize: true,
+        };
+        let err = engine.load(&store, "w64", bad).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+        assert!(engine.is_empty(), "failed load must not register");
+
+        let good = WindowConfig {
+            length: 64,
+            stride: 32,
+            znormalize: true,
+        };
+        engine.load(&store, "w64", good).unwrap();
+        assert_eq!(engine.names(), vec!["w64"]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn engine_is_send_and_sync() {
+        fn check<T: Send + Sync>(_: &T) {}
+        check(&test_engine());
+    }
+}

@@ -208,6 +208,15 @@ impl TrainedSelector {
         p
     }
 
+    /// Read-only view of the trainable parameters, `params_mut()` order.
+    /// Persistence snapshots a trained selector through this accessor —
+    /// saving is not a mutation.
+    pub fn params(&self) -> Vec<&tsnn::Param> {
+        let mut p = self.encoder.params();
+        p.extend(self.classifier.params());
+        p
+    }
+
     /// Non-trainable state (batch-norm running statistics). Persistence must
     /// save these alongside the parameters or inference-mode normalisation
     /// breaks after a reload.
@@ -215,13 +224,22 @@ impl TrainedSelector {
         self.encoder.buffers_mut()
     }
 
+    /// Read-only view of the non-trainable state, `buffers_mut()` order.
+    pub fn buffers(&self) -> Vec<&Vec<f32>> {
+        self.encoder.buffers()
+    }
+
     /// Class logits for a batch of windows (inference mode, chunked).
-    pub fn predict_logits(&mut self, windows: &[Vec<f32>]) -> Vec<Vec<f32>> {
+    ///
+    /// Immutable and thread-safe: the forward pass runs through the
+    /// encoder's [`Encoder::infer`] path, so one trained selector can score
+    /// concurrent batches from many threads.
+    pub fn predict_logits(&self, windows: &[Vec<f32>]) -> Vec<Vec<f32>> {
         let mut out = Vec::with_capacity(windows.len());
         for chunk in windows.chunks(256) {
             let x = Tensor::from_rows(chunk).reshape(&[chunk.len(), 1, self.window]);
-            let z = self.encoder.forward(&x, false);
-            let logits = self.classifier.forward(&z, false);
+            let z = self.encoder.infer(&x);
+            let logits = self.classifier.infer(&z);
             for i in 0..chunk.len() {
                 out.push(logits.row(i).to_vec());
             }
@@ -230,16 +248,10 @@ impl TrainedSelector {
     }
 
     /// Hard class predictions for a batch of windows.
-    pub fn predict_windows(&mut self, windows: &[Vec<f32>]) -> Vec<usize> {
+    pub fn predict_windows(&self, windows: &[Vec<f32>]) -> Vec<usize> {
         self.predict_logits(windows)
             .into_iter()
-            .map(|row| {
-                row.iter()
-                    .enumerate()
-                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
-                    .map(|(i, _)| i)
-                    .unwrap_or(0)
-            })
+            .map(|row| crate::selector::argmax(&row))
             .collect()
     }
 }
@@ -635,7 +647,7 @@ mod tests {
     #[test]
     fn trained_selector_predicts_in_class_range() {
         let ds = toy_dataset();
-        let (mut sel, _) = train(&ds, &quick_cfg());
+        let (sel, _) = train(&ds, &quick_cfg());
         let preds = sel.predict_windows(&ds.windows[..10.min(ds.len())]);
         assert!(preds.iter().all(|&p| p < 12));
     }
@@ -644,8 +656,8 @@ mod tests {
     fn training_is_deterministic_per_seed() {
         let ds = toy_dataset();
         let cfg = quick_cfg();
-        let (mut a, _) = train(&ds, &cfg);
-        let (mut b, _) = train(&ds, &cfg);
+        let (a, _) = train(&ds, &cfg);
+        let (b, _) = train(&ds, &cfg);
         assert_eq!(
             a.predict_windows(&ds.windows[..4]),
             b.predict_windows(&ds.windows[..4])

@@ -61,20 +61,32 @@ pub fn gemm(
     c: &mut [f32],
 ) {
     debug_assert_eq!(c.len(), n * m);
-    let flops = n * m * k;
-    if flops < PACK_FLOP_THRESHOLD {
+    if n * m * k < PACK_FLOP_THRESHOLD {
         gemm_naive(n, m, k, a, a_layout, b, b_layout, c);
         return;
     }
+    gemm_blocked(n, m, k, a, a_layout, &pack_b(m, k, b, b_layout), c);
+}
 
-    let packed_b = pack_b(m, k, b, b_layout);
+/// The blocked compute shared by [`gemm`] and [`gemm_prepacked`]: row-tile
+/// loop over pre-packed B panels, serial below the parallel work gate.
+fn gemm_blocked(
+    n: usize,
+    m: usize,
+    k: usize,
+    a: &[f32],
+    a_layout: Layout,
+    panels: &[f32],
+    c: &mut [f32],
+) {
+    let flops = n * m * k;
     let n_tiles = n.div_ceil(MR);
     let tiles_per_task = block_rows().max(1);
 
     if flops < PAR_FLOP_THRESHOLD || tspar::threads() <= 1 {
         let mut packed_a = vec![0.0f32; k * MR];
         for tile in 0..n_tiles {
-            gemm_row_tile(tile, n, m, k, a, a_layout, &packed_b, &mut packed_a, c);
+            gemm_row_tile(tile, n, m, k, a, a_layout, panels, &mut packed_a, c);
         }
         return;
     }
@@ -99,12 +111,58 @@ pub fn gemm(
                 k,
                 a,
                 a_layout,
-                &packed_b,
+                panels,
                 &mut packed_a,
                 c_chunk,
             );
         }
     });
+}
+
+/// A `B` operand packed once into [`NR`]-wide column panels, held by the
+/// caller for repeated products against a constant matrix.
+///
+/// [`gemm`] re-packs `B` on every call, which is the right trade for
+/// one-shot products but wasteful when the same `B` is reused many times —
+/// the LSTM multiplies by its recurrent weights `W_h` once per timestep in
+/// both directions. Packing once per sequence and calling
+/// [`gemm_prepacked`] amortises that cost; results are bit-identical to
+/// [`gemm`] because the micro-kernel sums in the same ascending-`p` order
+/// regardless of who packed the panels.
+#[derive(Debug, Clone)]
+pub struct PackedB {
+    m: usize,
+    k: usize,
+    panels: Vec<f32>,
+}
+
+impl PackedB {
+    /// Packs `B'` (`k×m` after applying `layout`) into column panels.
+    pub fn pack(m: usize, k: usize, b: &[f32], layout: Layout) -> Self {
+        Self {
+            m,
+            k,
+            panels: pack_b(m, k, b, layout),
+        }
+    }
+
+    /// Output width `m` of products against this operand.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Inner dimension `k` of products against this operand.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+/// `C = A' × B` with a caller-held pre-packed `B` (see [`PackedB`]).
+/// `A'` is `n×k` after applying `a_layout`; `c` must hold `n·m` elements
+/// and is fully overwritten. Bit-identical to [`gemm`] at every shape.
+pub fn gemm_prepacked(n: usize, a: &[f32], a_layout: Layout, b: &PackedB, c: &mut [f32]) {
+    debug_assert_eq!(c.len(), n * b.m);
+    gemm_blocked(n, b.m, b.k, a, a_layout, &b.panels, c);
 }
 
 /// Row tiles per parallel task (`KD_BLOCK`, default 8 → 32 rows/task).
@@ -358,6 +416,43 @@ mod tests {
         for (x, y) in c.iter().zip(&a) {
             assert!((x - y).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn prepacked_matches_gemm_bit_for_bit() {
+        // Shapes spanning the naive shortcut, the serial blocked path and
+        // parallel-eligible sizes, in both B layouts.
+        for &(n, m, k) in &[(2, 3, 4), (5, 9, 33), (64, 48, 96), (96, 80, 120)] {
+            let mut rng = StdRng::seed_from_u64((n * 100 + m * 10 + k) as u64);
+            let a = random_matrix(&mut rng, n * k);
+            let b = random_matrix(&mut rng, k * m);
+            for lb in [Layout::Normal, Layout::Transposed] {
+                let mut direct = vec![0.0f32; n * m];
+                gemm(n, m, k, &a, Layout::Normal, &b, lb, &mut direct);
+                let packed = PackedB::pack(m, k, &b, lb);
+                assert_eq!((packed.m(), packed.k()), (m, k));
+                let mut pre = vec![0.0f32; n * m];
+                gemm_prepacked(n, &a, Layout::Normal, &packed, &mut pre);
+                assert_eq!(direct, pre, "({n},{m},{k}) {lb:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn prepacked_parallel_split_is_bit_identical() {
+        let (n, m, k) = (96, 80, 120);
+        let mut rng = StdRng::seed_from_u64(11);
+        let a = random_matrix(&mut rng, n * k);
+        let b = random_matrix(&mut rng, k * m);
+        let packed = PackedB::pack(m, k, &b, Layout::Normal);
+        tspar::set_parallelism(tspar::Parallelism::Fixed(1));
+        let mut c1 = vec![0.0f32; n * m];
+        gemm_prepacked(n, &a, Layout::Normal, &packed, &mut c1);
+        tspar::set_parallelism(tspar::Parallelism::Fixed(7));
+        let mut c7 = vec![0.0f32; n * m];
+        gemm_prepacked(n, &a, Layout::Normal, &packed, &mut c7);
+        tspar::set_parallelism(tspar::Parallelism::Auto);
+        assert_eq!(c1, c7, "prepacked parallel GEMM must be bit-identical");
     }
 
     #[test]

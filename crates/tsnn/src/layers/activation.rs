@@ -18,20 +18,25 @@ impl Relu {
 
 impl Layer for Relu {
     fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        if !train {
+            return self.infer(x);
+        }
         let mut y = x.clone();
-        if train {
-            let mask: Vec<bool> = x.data().iter().map(|&v| v > 0.0).collect();
-            for (v, &keep) in y.data_mut().iter_mut().zip(&mask) {
-                if !keep {
-                    *v = 0.0;
-                }
+        let mask: Vec<bool> = x.data().iter().map(|&v| v > 0.0).collect();
+        for (v, &keep) in y.data_mut().iter_mut().zip(&mask) {
+            if !keep {
+                *v = 0.0;
             }
-            self.mask = Some(mask);
-        } else {
-            for v in y.data_mut() {
-                if *v < 0.0 {
-                    *v = 0.0;
-                }
+        }
+        self.mask = Some(mask);
+        y
+    }
+
+    fn infer(&self, x: &Tensor) -> Tensor {
+        let mut y = x.clone();
+        for v in y.data_mut() {
+            if *v < 0.0 {
+                *v = 0.0;
             }
         }
         y
@@ -49,6 +54,10 @@ impl Layer for Relu {
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    fn params(&self) -> Vec<&Param> {
         Vec::new()
     }
 }
@@ -84,12 +93,16 @@ impl Gelu {
 
 impl Layer for Gelu {
     fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        if train {
+            self.cached_input = Some(x.clone());
+        }
+        self.infer(x)
+    }
+
+    fn infer(&self, x: &Tensor) -> Tensor {
         let mut y = x.clone();
         for v in y.data_mut() {
             *v = Self::value(*v);
-        }
-        if train {
-            self.cached_input = Some(x.clone());
         }
         y
     }
@@ -107,6 +120,10 @@ impl Layer for Gelu {
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    fn params(&self) -> Vec<&Param> {
         Vec::new()
     }
 }

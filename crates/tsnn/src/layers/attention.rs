@@ -57,59 +57,30 @@ impl MultiHeadSelfAttention {
     fn head_dim(&self) -> usize {
         self.dim / self.heads
     }
-}
 
-/// Copies head `h`'s `(T, dh)` block out of a flat `(N·T, D)` tensor.
-fn head_block(flat: &Tensor, n: usize, t: usize, dim: usize, dh: usize, h: usize) -> Vec<f32> {
-    let mut out = Vec::with_capacity(t * dh);
-    for ti in 0..t {
-        let row = &flat.data()[(n * t + ti) * dim..(n * t + ti) * dim + dim];
-        out.extend_from_slice(&row[h * dh..(h + 1) * dh]);
-    }
-    out
-}
-
-/// Adds a `(T, dh)` head block back into a flat `(N·T, D)` gradient tensor.
-fn add_head_block(
-    flat: &mut Tensor,
-    block: &[f32],
-    n: usize,
-    t: usize,
-    dim: usize,
-    dh: usize,
-    h: usize,
-) {
-    for ti in 0..t {
-        let dst = &mut flat.data_mut()[(n * t + ti) * dim..(n * t + ti) * dim + dim];
-        for (d, &s) in dst[h * dh..(h + 1) * dh]
-            .iter_mut()
-            .zip(&block[ti * dh..(ti + 1) * dh])
-        {
-            *d += s;
-        }
-    }
-}
-
-impl Layer for MultiHeadSelfAttention {
-    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
-        assert_eq!(x.shape().len(), 3, "attention expects (N, T, D)");
-        let (n, t, d) = (x.dim(0), x.dim(1), x.dim(2));
-        assert_eq!(d, self.dim, "model width mismatch");
+    /// The attention core shared by training and inference: scaled
+    /// dot-product + row softmax + value mixing, per batch element and head.
+    /// Returns the concatenated head outputs and (when `keep_attn`) the
+    /// softmax matrices the backward pass needs.
+    fn attention_core(
+        &self,
+        q: &Tensor,
+        k: &Tensor,
+        v: &Tensor,
+        n: usize,
+        t: usize,
+        keep_attn: bool,
+    ) -> (Tensor, Vec<Vec<f32>>) {
+        let d = self.dim;
         let dh = self.head_dim();
         let scale = 1.0 / (dh as f32).sqrt();
-
-        let flat = x.clone().reshape(&[n * t, d]);
-        let q = self.wq.forward(&flat, train);
-        let k = self.wk.forward(&flat, train);
-        let v = self.wv.forward(&flat, train);
-
         let mut o = Tensor::zeros(&[n * t, d]);
-        let mut attn_cache = Vec::with_capacity(n * self.heads);
+        let mut attn_cache = Vec::with_capacity(if keep_attn { n * self.heads } else { 0 });
         for ni in 0..n {
             for h in 0..self.heads {
-                let qa = head_block(&q, ni, t, d, dh, h);
-                let ka = head_block(&k, ni, t, d, dh, h);
-                let va = head_block(&v, ni, t, d, dh, h);
+                let qa = head_block(q, ni, t, d, dh, h);
+                let ka = head_block(k, ni, t, d, dh, h);
+                let va = head_block(v, ni, t, d, dh, h);
                 // S = Q Kᵀ · scale, row softmax → A.
                 let mut attn = vec![0.0f32; t * t];
                 for i in 0..t {
@@ -149,11 +120,58 @@ impl Layer for MultiHeadSelfAttention {
                     }
                 }
                 add_head_block(&mut o, &oa, ni, t, d, dh, h);
-                if train {
+                if keep_attn {
                     attn_cache.push(attn);
                 }
             }
         }
+        (o, attn_cache)
+    }
+}
+
+/// Copies head `h`'s `(T, dh)` block out of a flat `(N·T, D)` tensor.
+fn head_block(flat: &Tensor, n: usize, t: usize, dim: usize, dh: usize, h: usize) -> Vec<f32> {
+    let mut out = Vec::with_capacity(t * dh);
+    for ti in 0..t {
+        let row = &flat.data()[(n * t + ti) * dim..(n * t + ti) * dim + dim];
+        out.extend_from_slice(&row[h * dh..(h + 1) * dh]);
+    }
+    out
+}
+
+/// Adds a `(T, dh)` head block back into a flat `(N·T, D)` gradient tensor.
+fn add_head_block(
+    flat: &mut Tensor,
+    block: &[f32],
+    n: usize,
+    t: usize,
+    dim: usize,
+    dh: usize,
+    h: usize,
+) {
+    for ti in 0..t {
+        let dst = &mut flat.data_mut()[(n * t + ti) * dim..(n * t + ti) * dim + dim];
+        for (d, &s) in dst[h * dh..(h + 1) * dh]
+            .iter_mut()
+            .zip(&block[ti * dh..(ti + 1) * dh])
+        {
+            *d += s;
+        }
+    }
+}
+
+impl Layer for MultiHeadSelfAttention {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        assert_eq!(x.shape().len(), 3, "attention expects (N, T, D)");
+        let (n, t, d) = (x.dim(0), x.dim(1), x.dim(2));
+        assert_eq!(d, self.dim, "model width mismatch");
+
+        let flat = x.clone().reshape(&[n * t, d]);
+        let q = self.wq.forward(&flat, train);
+        let k = self.wk.forward(&flat, train);
+        let v = self.wv.forward(&flat, train);
+
+        let (o, attn_cache) = self.attention_core(&q, &k, &v, n, t, train);
 
         let y = self.wo.forward(&o, train);
         if train {
@@ -167,6 +185,18 @@ impl Layer for MultiHeadSelfAttention {
             });
         }
         y.reshape(&[n, t, d])
+    }
+
+    fn infer(&self, x: &Tensor) -> Tensor {
+        assert_eq!(x.shape().len(), 3, "attention expects (N, T, D)");
+        let (n, t, d) = (x.dim(0), x.dim(1), x.dim(2));
+        assert_eq!(d, self.dim, "model width mismatch");
+        let flat = x.clone().reshape(&[n * t, d]);
+        let q = self.wq.infer(&flat);
+        let k = self.wk.infer(&flat);
+        let v = self.wv.infer(&flat);
+        let (o, _) = self.attention_core(&q, &k, &v, n, t, false);
+        self.wo.infer(&o).reshape(&[n, t, d])
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
@@ -264,6 +294,14 @@ impl Layer for MultiHeadSelfAttention {
         params.extend(self.wo.params_mut());
         params
     }
+
+    fn params(&self) -> Vec<&Param> {
+        let mut params = self.wq.params();
+        params.extend(self.wk.params());
+        params.extend(self.wv.params());
+        params.extend(self.wo.params());
+        params
+    }
 }
 
 #[cfg(test)]
@@ -312,7 +350,7 @@ mod tests {
     #[test]
     fn param_count_is_four_projections() {
         let mut rng = StdRng::seed_from_u64(3);
-        let mut attn = MultiHeadSelfAttention::new(8, 2, &mut rng);
+        let attn = MultiHeadSelfAttention::new(8, 2, &mut rng);
         assert_eq!(attn.param_count(), 4 * (8 * 8 + 8));
     }
 

@@ -56,6 +56,13 @@ impl Conv1d {
 
 impl Layer for Conv1d {
     fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        if train {
+            self.cached_input = Some(x.clone());
+        }
+        self.infer(x)
+    }
+
+    fn infer(&self, x: &Tensor) -> Tensor {
         assert_eq!(x.shape().len(), 3, "Conv1d expects (N, C, L)");
         assert_eq!(x.dim(1), self.in_channels, "channel mismatch");
         let (n, l) = (x.dim(0), x.dim(2));
@@ -97,9 +104,6 @@ impl Layer for Conv1d {
                 }
             }
         });
-        if train {
-            self.cached_input = Some(x.clone());
-        }
         y
     }
 
@@ -177,6 +181,10 @@ impl Layer for Conv1d {
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
         vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.weight, &self.bias]
     }
 }
 

@@ -65,7 +65,15 @@ impl Layer for Dropout {
         g
     }
 
+    fn infer(&self, x: &Tensor) -> Tensor {
+        x.clone()
+    }
+
     fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    fn params(&self) -> Vec<&Param> {
         Vec::new()
     }
 }

@@ -42,6 +42,13 @@ impl Linear {
 
 impl Layer for Linear {
     fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        if train {
+            self.cached_input = Some(x.clone());
+        }
+        self.infer(x)
+    }
+
+    fn infer(&self, x: &Tensor) -> Tensor {
         assert_eq!(x.shape().len(), 2, "Linear expects (N, in)");
         assert_eq!(x.dim(1), self.in_features(), "feature mismatch");
         let mut y = x.matmul(&self.weight.value);
@@ -52,9 +59,6 @@ impl Layer for Linear {
             for (v, &b) in row.iter_mut().zip(bias) {
                 *v += b;
             }
-        }
-        if train {
-            self.cached_input = Some(x.clone());
         }
         y
     }
@@ -82,6 +86,10 @@ impl Layer for Linear {
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
         vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.weight, &self.bias]
     }
 }
 
@@ -113,7 +121,7 @@ mod tests {
     #[test]
     fn param_count() {
         let mut rng = StdRng::seed_from_u64(2);
-        let mut l = Linear::new(5, 7, &mut rng);
+        let l = Linear::new(5, 7, &mut rng);
         assert_eq!(l.param_count(), 5 * 7 + 7);
     }
 }

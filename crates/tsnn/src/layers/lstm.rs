@@ -62,15 +62,9 @@ impl Lstm {
     pub fn hidden_dim(&self) -> usize {
         self.hidden
     }
-}
 
-#[inline]
-fn sigmoid(x: f32) -> f32 {
-    1.0 / (1.0 + (-x).exp())
-}
-
-impl Layer for Lstm {
-    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+    /// The shared forward computation; returns the cache when `keep` is set.
+    fn run_forward(&self, x: &Tensor, keep: bool) -> (Tensor, Option<LstmCache>) {
         assert_eq!(x.shape().len(), 3, "Lstm expects (N, T, I)");
         let (n, t, i_dim) = (x.dim(0), x.dim(1), x.dim(2));
         assert_eq!(i_dim, self.input_dim, "input width mismatch");
@@ -94,24 +88,34 @@ impl Layer for Lstm {
             x_proj.data_mut(),
         );
 
+        // W_h is constant across the sequence: pack its panels once and run
+        // every per-timestep recurrent product through the prepacked kernel
+        // instead of re-packing inside each gemm call.
+        let wh_packed =
+            crate::gemm::PackedB::pack(h4, h, self.w_h.value.data(), crate::gemm::Layout::Normal);
+
         let mut h_prev = vec![0.0f32; n * h];
         let mut c_prev = vec![0.0f32; n * h];
+        let mut rec = vec![0.0f32; n * h4];
         let mut gates_t = Vec::with_capacity(t);
         let mut cells_t = Vec::with_capacity(t);
         let mut hidden_t = Vec::with_capacity(t);
         let mut tanh_c_t = Vec::with_capacity(t);
 
         for ti in 0..t {
-            // Recurrent contribution through the kernel as well: (N,H)·(H,4H).
-            // `h_prev` is only needed for this product, so move it into the
-            // tensor instead of cloning (it is replaced below).
-            let h_t = Tensor::from_vec(&[n, h], std::mem::take(&mut h_prev));
-            let rec = h_t.matmul(&self.w_h.value);
+            // Recurrent contribution (N,H)·(H,4H) against the packed panels.
+            crate::gemm::gemm_prepacked(
+                n,
+                &h_prev,
+                crate::gemm::Layout::Normal,
+                &wh_packed,
+                &mut rec,
+            );
             let mut pre = vec![0.0f32; n * h4];
             for ni in 0..n {
                 let pre_row = &mut pre[ni * h4..(ni + 1) * h4];
                 let xp_row = x_proj.row(ni * t + ti);
-                let rec_row = rec.row(ni);
+                let rec_row = &rec[ni * h4..(ni + 1) * h4];
                 for (((p, &bv), &xp), &rv) in pre_row.iter_mut().zip(b).zip(xp_row).zip(rec_row) {
                     *p = bv + xp + rv;
                 }
@@ -139,8 +143,8 @@ impl Layer for Lstm {
                     h_new[ni * h + k] = og * tch;
                 }
             }
-            h_prev = h_new.clone();
-            c_prev = c_new.clone();
+            h_prev.copy_from_slice(&h_new);
+            c_prev.copy_from_slice(&c_new);
             gates_t.push(gates);
             cells_t.push(c_new);
             hidden_t.push(h_new);
@@ -148,16 +152,33 @@ impl Layer for Lstm {
         }
 
         let out = Tensor::from_vec(&[n, h], h_prev);
+        let cache = keep.then(|| LstmCache {
+            x: x.clone(),
+            gates: gates_t,
+            cells: cells_t,
+            hiddens: hidden_t,
+            tanh_c: tanh_c_t,
+        });
+        (out, cache)
+    }
+}
+
+#[inline]
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+impl Layer for Lstm {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let (out, cache) = self.run_forward(x, train);
         if train {
-            self.cache = Some(LstmCache {
-                x: x.clone(),
-                gates: gates_t,
-                cells: cells_t,
-                hiddens: hidden_t,
-                tanh_c: tanh_c_t,
-            });
+            self.cache = cache;
         }
         out
+    }
+
+    fn infer(&self, x: &Tensor) -> Tensor {
+        self.run_forward(x, false).0
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
@@ -169,6 +190,14 @@ impl Layer for Lstm {
 
         let mut dh = grad_out.data().to_vec(); // (N, H) gradient on final h
         let mut dc = vec![0.0f32; n * h];
+        // Whᵀ is constant across the reverse sweep: pack once for the
+        // per-timestep dh_prev products (mirror of the forward's W_h pack).
+        let wh_t_packed = crate::gemm::PackedB::pack(
+            h,
+            h4,
+            self.w_h.value.data(),
+            crate::gemm::Layout::Transposed,
+        );
         // All timesteps' gate pre-activation gradients, laid out like the
         // forward's x-projection (row ni*T + ti), so the x-side gradients
         // collapse into two blocked GEMMs after the time loop.
@@ -232,14 +261,11 @@ impl Layer for Lstm {
                 for (g, &d) in self.w_h.grad.data_mut().iter_mut().zip(&dwh_step) {
                     *g += d;
                 }
-                crate::gemm::gemm(
+                crate::gemm::gemm_prepacked(
                     n,
-                    h,
-                    h4,
                     &dpre,
                     crate::gemm::Layout::Normal,
-                    self.w_h.value.data(),
-                    crate::gemm::Layout::Transposed,
+                    &wh_t_packed,
                     &mut dh,
                 );
             }
@@ -266,6 +292,10 @@ impl Layer for Lstm {
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
         vec![&mut self.w_x, &mut self.w_h, &mut self.bias]
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.w_x, &self.w_h, &self.bias]
     }
 }
 

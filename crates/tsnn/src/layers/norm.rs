@@ -42,56 +42,42 @@ impl BatchNorm1d {
             cache: None,
         }
     }
-}
 
-impl Layer for BatchNorm1d {
-    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
-        assert_eq!(x.shape().len(), 3, "BatchNorm1d expects (N, C, L)");
-        assert_eq!(x.dim(1), self.channels, "channel mismatch");
+    /// Normalises with the given statistics: returns `γ·x̂ + β`, plus `x̂`
+    /// itself when `keep_x_hat` (the training path caches it for backward;
+    /// the serving path skips the input-sized allocation). Both branches
+    /// run the identical per-element arithmetic — `x̂ = (v − m)·s` then
+    /// `y = γ·x̂ + β` — so train-eval and infer outputs match bit-for-bit.
+    fn normalise(
+        &self,
+        x: &Tensor,
+        mean: &[f32],
+        inv_std: &[f32],
+        keep_x_hat: bool,
+    ) -> (Tensor, Option<Tensor>) {
         let (n, c, l) = (x.dim(0), x.dim(1), x.dim(2));
-        let count = (n * l) as f32;
         let mut y = Tensor::zeros(&[n, c, l]);
-
-        let (mean, var) = if train {
-            let mut mean = vec![0.0f32; c];
-            let mut var = vec![0.0f32; c];
-            for ni in 0..n {
-                let xb = x.batch(ni);
-                for ci in 0..c {
-                    mean[ci] += xb[ci * l..(ci + 1) * l].iter().sum::<f32>();
-                }
-            }
-            for m in &mut mean {
-                *m /= count;
-            }
-            for ni in 0..n {
-                let xb = x.batch(ni);
-                for ci in 0..c {
-                    let m = mean[ci];
-                    var[ci] += xb[ci * l..(ci + 1) * l]
-                        .iter()
-                        .map(|&v| (v - m) * (v - m))
-                        .sum::<f32>();
-                }
-            }
-            for v in &mut var {
-                *v /= count;
-            }
-            for ci in 0..c {
-                self.running_mean[ci] =
-                    (1.0 - self.momentum) * self.running_mean[ci] + self.momentum * mean[ci];
-                self.running_var[ci] =
-                    (1.0 - self.momentum) * self.running_var[ci] + self.momentum * var[ci];
-            }
-            (mean, var)
-        } else {
-            (self.running_mean.clone(), self.running_var.clone())
-        };
-
-        let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + EPS).sqrt()).collect();
-        let mut x_hat = Tensor::zeros(&[n, c, l]);
         let gamma = self.gamma.value.data();
         let beta = self.beta.value.data();
+        if !keep_x_hat {
+            for ni in 0..n {
+                let xb = x.batch(ni);
+                let yb = y.batch_mut(ni);
+                for ci in 0..c {
+                    let (m, s) = (mean[ci], inv_std[ci]);
+                    let (g, b) = (gamma[ci], beta[ci]);
+                    for (yv, &v) in yb[ci * l..(ci + 1) * l]
+                        .iter_mut()
+                        .zip(&xb[ci * l..(ci + 1) * l])
+                    {
+                        let h = (v - m) * s;
+                        *yv = g * h + b;
+                    }
+                }
+            }
+            return (y, None);
+        }
+        let mut x_hat = Tensor::zeros(&[n, c, l]);
         for ni in 0..n {
             let xb = x.batch(ni);
             let hb = x_hat.batch_mut(ni);
@@ -118,10 +104,69 @@ impl Layer for BatchNorm1d {
                 }
             }
         }
-        if train {
-            self.cache = Some(BnCache { x_hat, inv_std });
+        (y, Some(x_hat))
+    }
+}
+
+impl Layer for BatchNorm1d {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        if !train {
+            return self.infer(x);
         }
+        assert_eq!(x.shape().len(), 3, "BatchNorm1d expects (N, C, L)");
+        assert_eq!(x.dim(1), self.channels, "channel mismatch");
+        let (n, c, l) = (x.dim(0), x.dim(1), x.dim(2));
+        let count = (n * l) as f32;
+
+        let mut mean = vec![0.0f32; c];
+        let mut var = vec![0.0f32; c];
+        for ni in 0..n {
+            let xb = x.batch(ni);
+            for ci in 0..c {
+                mean[ci] += xb[ci * l..(ci + 1) * l].iter().sum::<f32>();
+            }
+        }
+        for m in &mut mean {
+            *m /= count;
+        }
+        for ni in 0..n {
+            let xb = x.batch(ni);
+            for ci in 0..c {
+                let m = mean[ci];
+                var[ci] += xb[ci * l..(ci + 1) * l]
+                    .iter()
+                    .map(|&v| (v - m) * (v - m))
+                    .sum::<f32>();
+            }
+        }
+        for v in &mut var {
+            *v /= count;
+        }
+        for ci in 0..c {
+            self.running_mean[ci] =
+                (1.0 - self.momentum) * self.running_mean[ci] + self.momentum * mean[ci];
+            self.running_var[ci] =
+                (1.0 - self.momentum) * self.running_var[ci] + self.momentum * var[ci];
+        }
+
+        let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + EPS).sqrt()).collect();
+        let (y, x_hat) = self.normalise(x, &mean, &inv_std, true);
+        self.cache = Some(BnCache {
+            x_hat: x_hat.expect("requested cache"),
+            inv_std,
+        });
         y
+    }
+
+    fn infer(&self, x: &Tensor) -> Tensor {
+        assert_eq!(x.shape().len(), 3, "BatchNorm1d expects (N, C, L)");
+        assert_eq!(x.dim(1), self.channels, "channel mismatch");
+        let inv_std: Vec<f32> = self
+            .running_var
+            .iter()
+            .map(|&v| 1.0 / (v + EPS).sqrt())
+            .collect();
+        self.normalise(x, &self.running_mean, &inv_std, false).0
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
@@ -171,6 +216,10 @@ impl Layer for BatchNorm1d {
     fn params_mut(&mut self) -> Vec<&mut Param> {
         vec![&mut self.gamma, &mut self.beta]
     }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.gamma, &self.beta]
+    }
 }
 
 /// Layer norm over the last dimension of `(N, T, D)` or `(N, D)`.
@@ -200,18 +249,34 @@ impl LayerNorm {
             cache: None,
         }
     }
-}
 
-impl Layer for LayerNorm {
-    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+    /// Shared normalisation: `y`, plus `(x̂, inv_std per row)` when
+    /// `keep_cache` (training needs them for backward; serving skips the
+    /// input-sized x̂ allocation). Identical per-element arithmetic either
+    /// way, so both paths produce the same bits.
+    fn normalise(&self, x: &Tensor, keep_cache: bool) -> (Tensor, Option<(Tensor, Vec<f32>)>) {
         let d = *x.shape().last().expect("non-scalar input");
         assert_eq!(d, self.dim, "last-dim mismatch");
         let rows = x.numel() / d;
         let mut y = Tensor::zeros(x.shape());
-        let mut x_hat = Tensor::zeros(x.shape());
-        let mut inv_stds = Vec::with_capacity(rows);
         let gamma = self.gamma.value.data();
         let beta = self.beta.value.data();
+        if !keep_cache {
+            for r in 0..rows {
+                let xs = &x.data()[r * d..(r + 1) * d];
+                let mean: f32 = xs.iter().sum::<f32>() / d as f32;
+                let var: f32 = xs.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+                let inv_std = 1.0 / (var + EPS).sqrt();
+                let yb = &mut y.data_mut()[r * d..(r + 1) * d];
+                for i in 0..d {
+                    let h = (xs[i] - mean) * inv_std;
+                    yb[i] = gamma[i] * h + beta[i];
+                }
+            }
+            return (y, None);
+        }
+        let mut x_hat = Tensor::zeros(x.shape());
+        let mut inv_stds = Vec::with_capacity(rows);
         for r in 0..rows {
             let xs = &x.data()[r * d..(r + 1) * d];
             let mean: f32 = xs.iter().sum::<f32>() / d as f32;
@@ -227,13 +292,22 @@ impl Layer for LayerNorm {
                 yb[i] = gamma[i] * x_hat.data()[r * d + i] + beta[i];
             }
         }
+        (y, Some((x_hat, inv_stds)))
+    }
+}
+
+impl Layer for LayerNorm {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let (y, cache) = self.normalise(x, train);
         if train {
-            self.cache = Some(LnCache {
-                x_hat,
-                inv_std: inv_stds,
-            });
+            let (x_hat, inv_std) = cache.expect("requested cache");
+            self.cache = Some(LnCache { x_hat, inv_std });
         }
         y
+    }
+
+    fn infer(&self, x: &Tensor) -> Tensor {
+        self.normalise(x, false).0
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
@@ -265,6 +339,10 @@ impl Layer for LayerNorm {
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
         vec![&mut self.gamma, &mut self.beta]
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.gamma, &self.beta]
     }
 }
 

@@ -62,6 +62,33 @@ impl Layer for MaxPool1d {
         y
     }
 
+    fn infer(&self, x: &Tensor) -> Tensor {
+        assert_eq!(x.shape().len(), 3, "MaxPool1d expects (N, C, L)");
+        let (n, c, l) = (x.dim(0), x.dim(1), x.dim(2));
+        let lo = l / self.kernel;
+        assert!(lo > 0, "sequence shorter than pooling kernel");
+        let mut y = Tensor::zeros(&[n, c, lo]);
+        for ni in 0..n {
+            let xb = x.batch(ni);
+            let yb = y.batch_mut(ni);
+            for ci in 0..c {
+                let x_row = &xb[ci * l..(ci + 1) * l];
+                let y_row = &mut yb[ci * lo..(ci + 1) * lo];
+                for (t, yv) in y_row.iter_mut().enumerate() {
+                    let base = t * self.kernel;
+                    let mut best = f32::NEG_INFINITY;
+                    for &v in &x_row[base..base + self.kernel] {
+                        if v > best {
+                            best = v;
+                        }
+                    }
+                    *yv = best;
+                }
+            }
+        }
+        y
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let argmax = self.argmax.take().expect("backward without forward(train)");
         let in_shape = self
@@ -87,6 +114,10 @@ impl Layer for MaxPool1d {
     fn params_mut(&mut self) -> Vec<&mut Param> {
         Vec::new()
     }
+
+    fn params(&self) -> Vec<&Param> {
+        Vec::new()
+    }
 }
 
 /// Global average pooling `(N, C, L) → (N, C)`.
@@ -104,6 +135,13 @@ impl GlobalAvgPool1d {
 
 impl Layer for GlobalAvgPool1d {
     fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        if train {
+            self.in_shape = Some(x.shape().to_vec());
+        }
+        self.infer(x)
+    }
+
+    fn infer(&self, x: &Tensor) -> Tensor {
         assert_eq!(x.shape().len(), 3, "GlobalAvgPool1d expects (N, C, L)");
         let (n, c, l) = (x.dim(0), x.dim(1), x.dim(2));
         let mut y = Tensor::zeros(&[n, c]);
@@ -113,9 +151,6 @@ impl Layer for GlobalAvgPool1d {
             for ci in 0..c {
                 y_row[ci] = xb[ci * l..(ci + 1) * l].iter().sum::<f32>() / l as f32;
             }
-        }
-        if train {
-            self.in_shape = Some(x.shape().to_vec());
         }
         y
     }
@@ -141,6 +176,10 @@ impl Layer for GlobalAvgPool1d {
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    fn params(&self) -> Vec<&Param> {
         Vec::new()
     }
 }

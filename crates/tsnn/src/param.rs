@@ -31,14 +31,25 @@ impl Param {
 
 /// The layer protocol: stateful forward (caches activations), backward
 /// (consumes the cache, accumulates parameter gradients, returns the input
-/// gradient), and parameter access for the optimizer.
+/// gradient), an immutable inference path, and parameter access for the
+/// optimizer and for persistence.
 ///
 /// `train` distinguishes training from inference for layers with different
 /// behaviours (dropout, batch-norm running statistics).
+///
+/// [`Layer::infer`] is the shared-state entry point: it computes exactly
+/// what `forward(x, false)` computes (bit-identically) but takes `&self`,
+/// so a trained layer can serve concurrent batches from many threads
+/// without cloning or locking.
 pub trait Layer {
     /// Forward pass. Caches whatever `backward` will need when `train` is
     /// true.
     fn forward(&mut self, x: &Tensor, train: bool) -> Tensor;
+
+    /// Inference pass: identical output to `forward(x, false)`, but `&self`
+    /// — no activation caches, no running-statistic updates, safe to call
+    /// from many threads at once.
+    fn infer(&self, x: &Tensor) -> Tensor;
 
     /// Backward pass: given ∂loss/∂output, accumulates parameter gradients
     /// and returns ∂loss/∂input. Must be called after a `forward` with
@@ -48,9 +59,13 @@ pub trait Layer {
     /// Mutable access to all trainable parameters (possibly empty).
     fn params_mut(&mut self) -> Vec<&mut Param>;
 
+    /// Read-only access to all trainable parameters, in `params_mut()`
+    /// order (persistence snapshots a trained model without `&mut`).
+    fn params(&self) -> Vec<&Param>;
+
     /// Total number of scalar parameters.
-    fn param_count(&mut self) -> usize {
-        self.params_mut().iter().map(|p| p.numel()).sum()
+    fn param_count(&self) -> usize {
+        self.params().iter().map(|p| p.numel()).sum()
     }
 }
 

@@ -44,8 +44,9 @@ pub struct StateDict {
     pub tensors: Vec<TensorData>,
 }
 
-/// Extracts a state dict from a parameter list.
-pub fn save_params(params: &[&mut Param]) -> StateDict {
+/// Extracts a state dict from a parameter list. Takes read-only parameter
+/// references — snapshotting a trained model is not a mutation.
+pub fn save_params(params: &[&Param]) -> StateDict {
     StateDict {
         tensors: params.iter().map(|p| TensorData::from(&p.value)).collect(),
     }
@@ -89,9 +90,9 @@ mod tests {
 
     #[test]
     fn params_roundtrip() {
-        let mut p1 = Param::new(Tensor::from_vec(&[2], vec![1.0, 2.0]));
-        let mut p2 = Param::new(Tensor::from_vec(&[1, 2], vec![3.0, 4.0]));
-        let state = save_params(&[&mut p1, &mut p2]);
+        let p1 = Param::new(Tensor::from_vec(&[2], vec![1.0, 2.0]));
+        let p2 = Param::new(Tensor::from_vec(&[1, 2], vec![3.0, 4.0]));
+        let state = save_params(&[&p1, &p2]);
 
         let mut q1 = Param::new(Tensor::zeros(&[2]));
         let mut q2 = Param::new(Tensor::zeros(&[1, 2]));
@@ -109,8 +110,8 @@ mod tests {
 
     #[test]
     fn load_rejects_shape_mismatch() {
-        let mut p1 = Param::new(Tensor::zeros(&[2]));
-        let state = save_params(&[&mut p1]);
+        let p1 = Param::new(Tensor::zeros(&[2]));
+        let state = save_params(&[&p1]);
         let mut q = Param::new(Tensor::zeros(&[3]));
         assert!(load_params(&mut [&mut q], &state).is_err());
     }

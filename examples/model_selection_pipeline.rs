@@ -53,11 +53,11 @@ fn main() {
     println!("\n== Selector management ==");
     let store_dir = std::env::temp_dir().join("kdselector-demo-store");
     let store = SelectorStore::open(&store_dir).expect("store");
-    let mut selector = outcome.selector;
+    let selector = outcome.selector;
     store
         .save(
             "resnet-kd",
-            &mut selector.model,
+            &selector.model,
             &format!("avg AUC-PR {:.3}", outcome.report.average_auc_pr()),
         )
         .expect("save");
@@ -68,7 +68,7 @@ fn main() {
         );
     }
     let reloaded = store.load("resnet-kd").expect("load");
-    let mut selector = NnSelector::new("resnet-kd", reloaded, pipeline.config.window);
+    let selector = NnSelector::new("resnet-kd", reloaded, pipeline.config.window);
 
     // --- Step 3: model selection ---------------------------------------
     println!("\n== Model selection ==");

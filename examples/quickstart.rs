@@ -56,9 +56,10 @@ fn main() {
         outcome.report.average_auc_pr()
     );
 
-    // 3. Model selection + anomaly detection on one test series.
+    // 3. Model selection + anomaly detection on one test series. The
+    //    selector is immutable at inference — `select` takes `&self`.
     let ts = &pipeline.benchmark.test[0];
-    let mut selector = outcome.selector;
+    let selector = outcome.selector;
     let choice = {
         use kdselector::core::selector::Selector;
         selector.select(ts)

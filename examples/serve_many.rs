@@ -1,0 +1,77 @@
+//! Serving many series through the batch-first `SelectorEngine`.
+//!
+//! ```sh
+//! cargo run --release --example serve_many
+//! ```
+//!
+//! Trains a quick selector, persists it, loads it back into a
+//! `SelectorEngine` (the path a service takes at startup), and serves a
+//! batched `SelectRequest` — once from one thread and once from four
+//! concurrent threads — printing the structured `Selection`s and the
+//! throughput. The engine is deterministic: every serving path returns
+//! bit-identical results at any `KD_THREADS` setting.
+
+use kdselector::core::manage::SelectorStore;
+use kdselector::core::pipeline::{Pipeline, PipelineConfig};
+use kdselector::core::serve::{SelectRequest, SelectorEngine};
+use std::time::Instant;
+
+fn main() {
+    // 1. Train a quick selector and persist it, as an offline job would.
+    println!("Preparing benchmark + training a quick selector...");
+    let pipeline = Pipeline::prepare(PipelineConfig::quick()).expect("label generation");
+    let outcome = pipeline.train_nn_selector();
+    let store_dir = std::env::temp_dir().join("kdselector-serve-demo");
+    let store = SelectorStore::open(&store_dir).expect("store");
+    store
+        .save("resnet", &outcome.selector.model, "serve_many demo")
+        .expect("save");
+
+    // 2. Service startup: load the registry from the store.
+    let mut engine = SelectorEngine::new();
+    engine
+        .load(&store, "resnet", pipeline.config.window)
+        .expect("load");
+    println!("engine ready with selectors: {:?}", engine.names());
+
+    // 3. Serve one batched request over the whole test split.
+    let request = SelectRequest::new("resnet", pipeline.benchmark.test.clone());
+    let t = Instant::now();
+    let selections = engine.handle(&request).expect("registered selector");
+    let secs = t.elapsed().as_secs_f64();
+    println!(
+        "\nserved {} series in {:.1} ms ({:.0} selections/sec):",
+        selections.len(),
+        secs * 1e3,
+        selections.len() as f64 / secs
+    );
+    for (ts, sel) in request.batch.iter().zip(&selections).take(6) {
+        println!(
+            "  {:<12} → {:<10} ({}/{} windows, margin {:.2})",
+            ts.id,
+            sel.model.name(),
+            sel.votes[sel.model.index()],
+            sel.windows,
+            sel.margin
+        );
+    }
+    if selections.len() > 6 {
+        println!("  ... and {} more", selections.len() - 6);
+    }
+
+    // 4. The same engine from four concurrent threads — same answers.
+    let concurrent = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| s.spawn(|| engine.handle(&request).expect("registered selector")))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("serving thread"))
+            .collect::<Vec<_>>()
+    });
+    let all_agree = concurrent.iter().all(|r| *r == selections);
+    println!("\n4 concurrent serving threads agree with the serial result: {all_agree}");
+    assert!(all_agree, "serving must be deterministic");
+
+    let _ = std::fs::remove_dir_all(&store_dir);
+}

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Kernel micro-benchmark runner: times the blocked/parallel GEMM backend
-# against the seed's naive kernels and appends one JSON record per run to
-# BENCH_micro.json (repo root), so the perf trajectory accumulates PR over
-# PR.
+# against the seed's naive kernels, measures serving throughput
+# (selections/sec through the batched SelectorEngine), and appends one JSON
+# record per run to BENCH_micro.json (repo root), so the perf trajectory
+# accumulates PR over PR.
 #
 # Usage:
 #   scripts/bench.sh                 # bench at the default thread count

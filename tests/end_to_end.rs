@@ -46,10 +46,11 @@ fn full_pipeline_trains_evaluates_and_round_trips() {
     let stats = &outcome.stats;
     assert!(stats.epoch_loss.iter().all(|l| l.is_finite() && *l > 0.0));
 
-    // Persistence round-trip preserves behaviour exactly.
+    // Persistence round-trip preserves behaviour exactly. Saving takes the
+    // selector by shared reference — no exclusive access needed.
     let store_dir = common::temp_cache("e2e-store");
     let store = SelectorStore::open(&store_dir).unwrap();
-    let mut selector = outcome.selector;
+    let selector = outcome.selector;
     let before: Vec<_> = pipeline
         .benchmark
         .test
@@ -57,10 +58,10 @@ fn full_pipeline_trains_evaluates_and_round_trips() {
         .map(|ts| selector.select(ts))
         .collect();
     store
-        .save("roundtrip", &mut selector.model, "integration")
+        .save("roundtrip", &selector.model, "integration")
         .unwrap();
     let loaded = store.load("roundtrip").unwrap();
-    let mut reloaded = NnSelector::new("roundtrip", loaded, pipeline.config.window);
+    let reloaded = NnSelector::new("roundtrip", loaded, pipeline.config.window);
     let after: Vec<_> = pipeline
         .benchmark
         .test
@@ -68,6 +69,8 @@ fn full_pipeline_trains_evaluates_and_round_trips() {
         .map(|ts| reloaded.select(ts))
         .collect();
     assert_eq!(before, after);
+    // The batch-first path agrees with the per-series loop.
+    assert_eq!(reloaded.select_batch(&pipeline.benchmark.test), after);
 
     let _ = std::fs::remove_dir_all(&store_dir);
     common::cleanup("e2e");

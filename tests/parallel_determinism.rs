@@ -66,14 +66,26 @@ fn results_are_identical_across_thread_counts() {
         let _ = std::fs::remove_dir_all(&cfg.cache_dir);
         let pipeline = Pipeline::prepare(cfg).expect("pipeline");
         let outcome = pipeline.train_nn_selector();
-        let mut selector = outcome.selector;
+        let selector = outcome.selector;
         let preds = selector.model.predict_windows(&pipeline.dataset.windows);
+        // Serve the test split through the engine's batched path as well:
+        // the structured Selections must be scheduling-independent too.
+        let mut engine = kdselector::core::serve::SelectorEngine::new();
+        engine.register("nn", std::sync::Arc::new(selector));
+        let served = engine
+            .select_batch("nn", &pipeline.benchmark.test)
+            .expect("registered");
         let _ = std::fs::remove_dir_all(&pipeline.config.cache_dir);
-        (pipeline.train_perf, outcome.report.per_dataset, preds)
+        (
+            pipeline.train_perf,
+            outcome.report.per_dataset,
+            preds,
+            served,
+        )
     };
 
-    let (perf_1, selections_1, preds_1) = run(1, "serial");
-    let (perf_n, selections_n, preds_n) = run(4, "parallel");
+    let (perf_1, selections_1, preds_1, served_1) = run(1, "serial");
+    let (perf_n, selections_n, preds_n, served_n) = run(4, "parallel");
     tspar::set_parallelism(Parallelism::Auto);
 
     assert_eq!(
@@ -87,5 +99,9 @@ fn results_are_identical_across_thread_counts() {
     assert_eq!(
         selections_1, selections_n,
         "per-dataset selection outcomes must match across thread counts"
+    );
+    assert_eq!(
+        served_1, served_n,
+        "engine Selections must match across thread counts"
     );
 }
