@@ -51,7 +51,7 @@ fn filled(shape: &[usize], seed: u32) -> Tensor {
 }
 
 /// Median-of-samples nanoseconds per call.
-fn time_ns(mut f: impl FnMut() -> Tensor) -> f64 {
+fn time_ns<R>(mut f: impl FnMut() -> R) -> f64 {
     // Calibrate batch size to ~10ms.
     let t0 = Instant::now();
     let _keep = f();
@@ -148,6 +148,60 @@ fn serve_throughput() -> ServeBench {
     }
 }
 
+/// Per-region dispatch overhead: the same fixed partitions executed on the
+/// persistent pool vs the pre-pool scoped spawn/join reference, at work
+/// sizes small enough that dispatch (not compute) dominates. Results are
+/// bit-identical by construction (`tests/pool_determinism.rs` enforces
+/// it); this measures only the fixed cost a region pays to go parallel.
+fn dispatch_overhead() -> Vec<serde_json::Value> {
+    const WIDTH: usize = 4;
+    tspar::set_parallelism(tspar::Parallelism::Fixed(WIDTH));
+
+    let mut records = Vec::new();
+    println!(
+        "\n{:<18} {:>8} {:>12} {:>12} {:>8}",
+        "region", "elems", "spawn ns", "pool ns", "speedup"
+    );
+    for &elems in &[4 * 1024usize, 64 * 1024] {
+        let chunk = elems.div_ceil(WIDTH);
+        let mut buf = vec![0.0f32; elems];
+        let mut region = |backend| {
+            tspar::set_backend(backend);
+            // Warm up (spawns the pool workers on the first pooled region).
+            tspar::par_chunks_mut(&mut buf, chunk, |ci, c| {
+                for (j, x) in c.iter_mut().enumerate() {
+                    *x = (ci * chunk + j) as f32 * 1.0009;
+                }
+            });
+            time_ns(|| {
+                tspar::par_chunks_mut(&mut buf, chunk, |ci, c| {
+                    for (j, x) in c.iter_mut().enumerate() {
+                        *x = (ci * chunk + j) as f32 * 1.0009;
+                    }
+                });
+            })
+        };
+        let spawn_ns = region(tspar::Backend::Spawn);
+        let pool_ns = region(tspar::Backend::Pool);
+        let speedup = spawn_ns / pool_ns;
+        println!(
+            "{:<18} {:>8} {:>12.0} {:>12.0} {:>7.2}x",
+            "par_chunks_mut", elems, spawn_ns, pool_ns, speedup
+        );
+        records.push(serde_json::json!({
+            "region": "par_chunks_mut",
+            "elems": elems,
+            "threads": WIDTH,
+            "spawn_ns": spawn_ns,
+            "pool_ns": pool_ns,
+            "speedup": speedup,
+        }));
+    }
+    tspar::set_backend(tspar::Backend::Pool);
+    tspar::set_parallelism(tspar::Parallelism::Auto);
+    records
+}
+
 fn max_abs_diff(a: &Tensor, b: &Tensor) -> f64 {
     a.data()
         .iter()
@@ -233,6 +287,9 @@ fn main() {
         serve.width,
     );
 
+    // --- Region dispatch overhead: persistent pool vs spawn/join. ---------
+    let dispatch = dispatch_overhead();
+
     let serve_record = serde_json::json!({
         "batch": serve.batch,
         "series_len": serve.series_len,
@@ -249,6 +306,7 @@ fn main() {
         "geomean_speedup": geomean,
         "cases": rows,
         "serve": serve_record,
+        "dispatch": dispatch,
     });
     let path = std::env::var("KD_BENCH_OUT").unwrap_or_else(|_| "BENCH_micro.json".into());
     let line = serde_json::to_string(&record).expect("serializable record");

@@ -9,9 +9,10 @@
 //! [`crate::serve::SelectorEngine`] — produces bit-identical decisions.
 //!
 //! The default batch implementation fans the per-series kernel out over
-//! [`tspar`]'s fixed work partitions: results are bit-identical at any
-//! `KD_THREADS` setting because each series is scored independently and the
-//! partition boundaries never depend on the worker count.
+//! [`tspar`]'s fixed work partitions, executed on the persistent worker
+//! pool: results are bit-identical at any `KD_THREADS` setting (and on the
+//! spawn reference backend) because each series is scored independently
+//! and the partition boundaries never depend on the worker count.
 
 use crate::train::TrainedSelector;
 use tsad_models::ModelId;

@@ -11,12 +11,16 @@
 //! # Determinism
 //!
 //! Batched serving runs each series through the selector's per-series
-//! scoring kernel, fanned out over [`tspar`]'s fixed work partitions.
-//! Partition boundaries depend only on the batch size, never on the worker
-//! count, so a batch served at `KD_THREADS=1` and at `KD_THREADS=64` —
+//! scoring kernel, fanned out over [`tspar`]'s fixed work partitions on
+//! the persistent worker pool (so a high-QPS serving loop pays queue
+//! dispatch per batch, not thread spawn/join). Partition boundaries depend
+//! only on the batch size, never on the worker count or the execution
+//! backend, so a batch served at `KD_THREADS=1` and at `KD_THREADS=64` —
 //! or the same series selected one at a time via [`Selector::select`] —
 //! produces bit-identical `Selection`s. The engine is `Send + Sync`;
-//! N threads serving the same engine concurrently also agree exactly.
+//! N threads serving the same engine concurrently also agree exactly
+//! (`tests/pool_determinism.rs` stresses concurrent callers across a
+//! thread-count sweep against the pre-pool spawn path).
 //!
 //! # Example
 //!

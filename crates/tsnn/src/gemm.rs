@@ -92,8 +92,9 @@ fn gemm_blocked(
     }
 
     // Parallel: each task owns `tiles_per_task` consecutive row tiles and
-    // the matching rows of C. Tile boundaries depend only on MR and the
-    // task size, never on the worker count.
+    // the matching rows of C, dispatched to tspar's persistent pool. Tile
+    // boundaries depend only on MR and the task size, never on the worker
+    // count or the execution backend.
     let rows_per_task = tiles_per_task * MR;
     tspar::par_chunks_mut(c, rows_per_task * m, |task, c_chunk| {
         let tile0 = task * tiles_per_task;

@@ -1,25 +1,58 @@
-//! Deterministic fork-join parallelism for the KDSelector workspace.
+//! Deterministic parallelism for the KDSelector workspace, executed on a
+//! persistent worker pool.
 //!
 //! crates.io (and therefore rayon) is unavailable in this build
-//! environment, so the workspace carries its own small runtime built on
-//! [`std::thread::scope`]. Three design rules keep results **bit-identical
-//! at any thread count** — the property the end-to-end determinism tests
-//! pin down:
+//! environment, so the workspace carries its own small runtime. Three
+//! design rules keep results **bit-identical at any thread count** — the
+//! property `tests/pool_determinism.rs` and the end-to-end determinism
+//! tests pin down:
 //!
 //! 1. **Fixed partitions.** Work is split into chunks whose boundaries
-//!    depend only on the problem size (never on the worker count); workers
-//!    merely execute chunks.
+//!    depend only on the problem size and the region's thread-count
+//!    snapshot (never on which executor runs what); executors merely
+//!    execute chunks.
 //! 2. **Disjoint writes.** Every chunk owns its slice of the output, so no
 //!    accumulation order depends on scheduling.
 //! 3. **Ordered reductions.** When chunk results must be combined, callers
 //!    receive them in chunk order ([`par_map`] preserves index order).
 //!
+//! # Execution backends
+//!
+//! Partitioning is separate from execution. The partitions of a region are
+//! handed to one of two [`Backend`]s:
+//!
+//! * [`Backend::Pool`] (default) — a lazily-initialized, process-wide pool
+//!   of long-lived workers ([`mod@pool`]): the caller runs partition 0
+//!   inline and claims leftovers, workers claim the rest from a shared
+//!   queue. Per-region cost is a queue push plus condvar wakeups instead of
+//!   `threads() − 1` OS thread spawns and joins.
+//! * [`Backend::Spawn`] — the original per-region scoped spawn/join,
+//!   kept as the reference implementation: benchmarks measure dispatch
+//!   overhead against it and the determinism harness pins pool ≡ spawn
+//!   bitwise.
+//!
+//! Because partitions and per-chunk work are identical under both backends
+//! and all writes are disjoint, the backend (and the number of live pool
+//! workers) can never affect results.
+//!
+//! # Thread-count snapshot semantics
+//!
 //! The worker count comes from [`Parallelism`]: the `KD_THREADS`
 //! environment variable if set, otherwise all available cores, with a
-//! process-wide programmatic override ([`set_parallelism`]) used by tests
-//! and benchmarks.
+//! process-wide programmatic override ([`set_parallelism`]) taking
+//! precedence. Every parallel region resolves [`threads`] **exactly once
+//! at entry** and derives both its partitioning and its dispatch width
+//! from that single snapshot — a `KD_THREADS` change mid-run takes effect
+//! at the next region boundary and can never desync the partitioner from
+//! the pool dispatch within a region (`crates/tspar/tests/env_snapshot.rs`
+//! is the regression test).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+mod pool;
+
+pub use pool::{pool_workers, shutdown_pool};
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
 
 /// Thread-count policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,24 +64,17 @@ pub enum Parallelism {
 }
 
 impl Parallelism {
-    /// Resolves the policy to a concrete thread count (≥ 1). The `Auto`
-    /// answer (`KD_THREADS` / core count) is computed once per process —
-    /// parallel regions open in the training hot loop, so re-reading the
-    /// environment and `available_parallelism` every entry would pay env
-    /// lock plus syscall per minibatch for a value that never changes.
+    /// Resolves the policy to a concrete thread count (≥ 1).
+    ///
+    /// `Auto` re-reads `KD_THREADS` on every call: regions resolve their
+    /// width once at entry (see the module docs), so the env read is paid
+    /// once per region — not once per task — and a mid-run change takes
+    /// effect at the next region boundary. The core-count fallback is
+    /// cached for the process (it never changes and costs a syscall).
     pub fn resolve(self) -> usize {
         match self {
             Parallelism::Fixed(n) => n.max(1),
-            Parallelism::Auto => {
-                static CACHE: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
-                *CACHE.get_or_init(|| {
-                    env_threads().unwrap_or_else(|| {
-                        std::thread::available_parallelism()
-                            .map(|v| v.get())
-                            .unwrap_or(1)
-                    })
-                })
-            }
+            Parallelism::Auto => env_threads().unwrap_or_else(available_cores),
         }
     }
 }
@@ -60,6 +86,15 @@ fn env_threads() -> Option<usize> {
         .parse::<usize>()
         .ok()
         .filter(|&n| n >= 1)
+}
+
+fn available_cores() -> usize {
+    static CACHE: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CACHE.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|v| v.get())
+            .unwrap_or(1)
+    })
 }
 
 /// Process-wide override; 0 = follow [`Parallelism::Auto`].
@@ -74,9 +109,16 @@ pub fn set_parallelism(p: Parallelism) {
     OVERRIDE.store(v, Ordering::SeqCst);
 }
 
-/// The effective worker count for new parallel regions. Inside a pool
-/// worker this is always 1: nested regions (e.g. a detector's GEMM inside
-/// the per-series label pass) run serially instead of oversubscribing the
+/// The effective worker count for a new parallel region.
+///
+/// **Snapshot semantics:** each region calls this exactly once at entry
+/// and uses the answer for both its fixed partitioning and its pool
+/// dispatch, so the two can never disagree; policy changes (env or
+/// [`set_parallelism`]) apply from the next region on.
+///
+/// Inside a pool executor this is always 1: nested regions (e.g. a
+/// detector's GEMM inside the per-series label pass) run inline on the
+/// executor instead of re-entering the pool and oversubscribing the
 /// machine `threads() × threads()`-fold. Results are unchanged either way.
 pub fn threads() -> usize {
     if IN_WORKER.with(|f| f.get()) {
@@ -88,58 +130,155 @@ pub fn threads() -> usize {
     }
 }
 
+/// How a region's fixed partitions are executed. Never affects results —
+/// see the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Persistent worker pool (default): caller runs partition 0 inline,
+    /// long-lived workers claim the rest from a shared queue.
+    Pool,
+    /// Per-region scoped spawn/join — the seed's implementation, kept as
+    /// the bitwise reference for the determinism harness and the dispatch
+    /// overhead benchmark.
+    Spawn,
+}
+
+/// 0 = Pool, 1 = Spawn.
+static BACKEND: AtomicU8 = AtomicU8::new(0);
+
+/// Selects the execution backend for subsequent parallel regions
+/// (process-wide; used by tests and benchmarks).
+pub fn set_backend(b: Backend) {
+    BACKEND.store(
+        match b {
+            Backend::Pool => 0,
+            Backend::Spawn => 1,
+        },
+        Ordering::SeqCst,
+    );
+}
+
+/// The backend new parallel regions execute on.
+pub fn backend() -> Backend {
+    match BACKEND.load(Ordering::SeqCst) {
+        0 => Backend::Pool,
+        _ => Backend::Spawn,
+    }
+}
+
 thread_local! {
-    /// True on threads spawned by this pool (fresh OS threads default to
-    /// false, so only nested regions see it set).
+    /// True while this thread is executing region partitions — on pool
+    /// workers, on spawn-backend scoped threads, and on a submitting caller
+    /// while it runs its own lots — so nested regions stay inline.
     static IN_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
 }
 
+/// RAII worker flag: marks the current thread as a region executor until
+/// dropped (restoring the previous state), so [`threads`] reports 1 and
+/// nested regions run inline.
+pub(crate) struct WorkerScope {
+    prev: bool,
+}
+
+pub(crate) fn worker_scope() -> WorkerScope {
+    WorkerScope {
+        prev: IN_WORKER.with(|f| f.replace(true)),
+    }
+}
+
+impl Drop for WorkerScope {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        IN_WORKER.with(|f| f.set(prev));
+    }
+}
+
+/// Interior-mutable cell for one partition's task list: each lot index is
+/// executed exactly once (spawn backend: one scoped thread per lot; pool
+/// backend: claimed once from the job's atomic counter), so the executor
+/// holds the only live access to the lot's contents.
+struct LotCell<T>(UnsafeCell<T>);
+
+// Safety: see `LotCell` — exclusive per-lot access is guaranteed by the
+// execution protocol, so sharing the container across executors only ever
+// sends each `T` to a single thread.
+unsafe impl<T: Send> Sync for LotCell<T> {}
+
+/// One [`par_map`] partition: `(task index, output slot)` pairs.
+type MapLot<'a, T> = LotCell<Vec<(usize, &'a mut Option<T>)>>;
+
+/// One [`par_chunks_mut`] partition: `(chunk index, chunk)` pairs.
+type ChunkLot<'a, T> = LotCell<Vec<(usize, &'a mut [T])>>;
+
+/// Executes `body(lot)` exactly once for every `lot in 0..n_lots` on the
+/// configured [`Backend`]. `n_lots >= 2`; panics from lot bodies propagate
+/// to the caller after all lots finish (both backends).
+fn execute(n_lots: usize, body: &(dyn Fn(usize) + Sync)) {
+    match backend() {
+        Backend::Pool => pool::run_region(n_lots, body),
+        Backend::Spawn => {
+            std::thread::scope(|s| {
+                for lot in 0..n_lots {
+                    s.spawn(move || {
+                        let _worker = worker_scope();
+                        body(lot);
+                    });
+                }
+            });
+        }
+    }
+}
+
 /// Maps `f` over `0..n`, preserving index order in the output. Tasks are
-/// dealt to workers round-robin (task `i` → worker `i % workers`), which
-/// balances heterogeneous task costs the same way the seed's hand-rolled
-/// detector pool did.
+/// dealt to partitions round-robin (task `i` → partition `i % workers`),
+/// which balances heterogeneous task costs the same way the seed's
+/// hand-rolled detector pool did.
 pub fn par_map<T, F>(n: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    // Region-entry snapshot: partition count and dispatch width both come
+    // from this single read.
     let workers = threads().min(n.max(1));
     if workers <= 1 {
         return (0..n).map(f).collect();
     }
     let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
     {
-        let mut lots: Vec<Vec<(usize, &mut Option<T>)>> = (0..workers)
+        let mut build: Vec<Vec<(usize, &mut Option<T>)>> = (0..workers)
             .map(|_| Vec::with_capacity(n / workers + 1))
             .collect();
         for (i, slot) in out.iter_mut().enumerate() {
-            lots[i % workers].push((i, slot));
+            build[i % workers].push((i, slot));
         }
+        let lots: Vec<MapLot<'_, T>> = build
+            .into_iter()
+            .map(|lot| LotCell(UnsafeCell::new(lot)))
+            .collect();
         let f = &f;
-        std::thread::scope(|s| {
-            for lot in lots {
-                s.spawn(move || {
-                    IN_WORKER.with(|flag| flag.set(true));
-                    for (i, slot) in lot {
-                        *slot = Some(f(i));
-                    }
-                });
+        execute(lots.len(), &|lot| {
+            // Safety: `lot` is executed exactly once (LotCell contract).
+            let items = unsafe { &mut *lots[lot].0.get() };
+            for (i, slot) in items.iter_mut() {
+                **slot = Some(f(*i));
             }
         });
     }
     out.into_iter()
-        .map(|v| v.expect("worker filled every slot"))
+        .map(|v| v.expect("executor filled every slot"))
         .collect()
 }
 
 /// Minimum useful work (inner-loop multiply-adds, roughly) for a parallel
-/// region: workers are scoped OS threads spawned per region, so below this
-/// the spawn cost outweighs the compute and callers should stay serial.
+/// region: even pool dispatch costs a queue push plus condvar wakeups, so
+/// below this the dispatch cost outweighs the compute and callers should
+/// stay serial.
 pub const MIN_PAR_WORK: usize = 1 << 21;
 
 /// [`par_chunks_mut`] gated by a work estimate: runs serially (same chunk
 /// boundaries, same results) when `work < MIN_PAR_WORK`. Hot per-minibatch
-/// layers use this so small shapes never pay thread-spawn overhead.
+/// layers use this so small shapes never pay dispatch overhead.
 pub fn par_chunks_mut_gated<T, F>(data: &mut [T], chunk_len: usize, work: usize, f: F)
 where
     T: Send,
@@ -155,9 +294,9 @@ where
 }
 
 /// Splits `data` into fixed-length chunks (the last may be short) and runs
-/// `f(chunk_index, chunk)` on workers. Chunk boundaries depend only on
-/// `chunk_len`, so output is scheduling-independent for any `f` that writes
-/// only through its chunk.
+/// `f(chunk_index, chunk)` on the region's executors. Chunk boundaries
+/// depend only on `chunk_len`, so output is scheduling-independent for any
+/// `f` that writes only through its chunk.
 pub fn par_chunks_mut<T, F>(data: &mut [T], chunk_len: usize, f: F)
 where
     T: Send,
@@ -165,6 +304,7 @@ where
 {
     assert!(chunk_len > 0, "chunk_len must be positive");
     let n_chunks = data.len().div_ceil(chunk_len.max(1));
+    // Region-entry snapshot (see `threads`).
     let workers = threads().min(n_chunks.max(1));
     if workers <= 1 {
         for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
@@ -172,21 +312,22 @@ where
         }
         return;
     }
-    let mut lots: Vec<Vec<(usize, &mut [T])>> = (0..workers)
+    let mut build: Vec<Vec<(usize, &mut [T])>> = (0..workers)
         .map(|_| Vec::with_capacity(n_chunks / workers + 1))
         .collect();
     for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
-        lots[i % workers].push((i, chunk));
+        build[i % workers].push((i, chunk));
     }
+    let lots: Vec<ChunkLot<'_, T>> = build
+        .into_iter()
+        .map(|lot| LotCell(UnsafeCell::new(lot)))
+        .collect();
     let f = &f;
-    std::thread::scope(|s| {
-        for lot in lots {
-            s.spawn(move || {
-                IN_WORKER.with(|flag| flag.set(true));
-                for (i, chunk) in lot {
-                    f(i, chunk);
-                }
-            });
+    execute(lots.len(), &|lot| {
+        // Safety: `lot` is executed exactly once (LotCell contract).
+        let items = unsafe { &mut *lots[lot].0.get() };
+        for (i, chunk) in items.iter_mut() {
+            f(*i, chunk);
         }
     });
 }
@@ -225,19 +366,21 @@ mod tests {
         assert_eq!(data, (0..103).collect::<Vec<_>>());
     }
 
-    /// One test (not several) so the process-global override is never
-    /// mutated concurrently by the multi-threaded test harness.
+    /// One test (not several) so the process-global override and backend
+    /// are never mutated concurrently by the multi-threaded test harness.
+    /// (Pool lifecycle, panic safety, and env snapshot behaviour live in
+    /// their own integration binaries — each is a separate process.)
     #[test]
     fn global_override_behaviours() {
-        // Nested regions: pool workers must see threads() == 1.
+        // Nested regions: executors must see threads() == 1.
         set_parallelism(Parallelism::Fixed(4));
         let inner = par_map(4, |_| threads());
         assert!(
             inner.iter().all(|&t| t == 1),
-            "workers must see threads() == 1 to keep nested regions serial: {inner:?}"
+            "executors must see threads() == 1 to keep nested regions inline: {inner:?}"
         );
 
-        // Identical results at 1 vs 8 workers.
+        // Identical results at 1 vs 8 workers, pool and spawn backends.
         let run = || {
             let mut v = vec![0.0f64; 777];
             par_chunks_mut(&mut v, 13, |ci, chunk| {
@@ -250,8 +393,22 @@ mod tests {
         set_parallelism(Parallelism::Fixed(1));
         let serial = run();
         set_parallelism(Parallelism::Fixed(8));
-        let parallel = run();
+        let pooled = run();
+        assert_eq!(serial, pooled, "pool backend at 8 workers");
+        set_backend(Backend::Spawn);
+        let spawned = run();
+        set_backend(Backend::Pool);
+        assert_eq!(serial, spawned, "spawn backend at 8 workers");
+
+        // Nested region inside a region body: inline, correct, no deadlock.
+        let nested = par_map(6, |i| {
+            par_map(5, move |j| (i * 5 + j) as u64).iter().sum::<u64>()
+        });
+        let expect: Vec<u64> = (0..6)
+            .map(|i| (0..5).map(|j| (i * 5 + j) as u64).sum())
+            .collect();
+        assert_eq!(nested, expect);
+
         set_parallelism(Parallelism::Auto);
-        assert_eq!(serial, parallel);
     }
 }
