@@ -24,9 +24,12 @@
 //! * evaluation ([`eval`]) that scores a selector by the AUC-PR of the TSAD
 //!   models it picks, per dataset — the paper's headline metric,
 //! * selector management ([`manage`]: save / load / list),
-//! * a thread-safe, batch-first serving layer ([`serve`]: a
+//! * a thread-safe, batch-first serving layer ([`serve`]: a hot-swappable
 //!   [`serve::SelectorEngine`] registry answering batched
-//!   [`serve::SelectRequest`]s with structured [`serve::Selection`]s), and
+//!   [`serve::SelectRequest`]s with structured [`serve::Selection`]s, a
+//!   queued, admission-controlled front-end [`serve::ServeQueue`] that
+//!   coalesces small concurrent requests, and a content-keyed LRU
+//!   [`serve::WindowCache`] for repeat series), and
 //! * an end-to-end pipeline ([`pipeline`]) used by the examples and the
 //!   benchmark harness.
 
@@ -49,5 +52,7 @@ pub use eval::EvalReport;
 pub use labels::PerfMatrix;
 pub use prune::PruningStrategy;
 pub use selector::Selector;
-pub use serve::{SelectRequest, Selection, SelectorEngine};
+pub use serve::{
+    QueueConfig, SelectRequest, Selection, SelectorEngine, ServeError, ServeQueue, WindowCache,
+};
 pub use train::{TrainConfig, TrainStats, TrainedSelector};

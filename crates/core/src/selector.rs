@@ -14,7 +14,9 @@
 //! spawn reference backend) because each series is scored independently
 //! and the partition boundaries never depend on the worker count.
 
+use crate::serve::WindowCache;
 use crate::train::TrainedSelector;
+use std::sync::Arc;
 use tsad_models::ModelId;
 use tsdata::{extract_windows, TimeSeries, WindowConfig};
 
@@ -35,11 +37,33 @@ pub trait Selector: Send + Sync {
     fn series_scores(&self, ts: &TimeSeries) -> Vec<Vec<f32>>;
 
     /// Batch-first entry point: scores for every series in the batch,
-    /// preserving order. The default fans [`Selector::series_scores`] out
-    /// over [`tspar::par_map`]'s fixed partitions — bit-identical to the
-    /// serial per-series loop at any thread count.
+    /// preserving order. Delegates to [`Selector::window_scores_refs`]
+    /// (collecting a reference view is free), so for non-overriders the
+    /// owned and borrowed batch paths cannot drift apart.
+    ///
+    /// **Batch-consistency contract:** the serving layer uses *both*
+    /// batch methods — `window_scores` for contiguous batches
+    /// ([`crate::serve::SelectorEngine::select_batch`]) and
+    /// [`Selector::window_scores_refs`] for coalesced queued requests —
+    /// and promises bit-identical results across those paths. The
+    /// defaults uphold that automatically; an implementor overriding
+    /// either batch method must override the other to match, or the
+    /// queued ≡ direct determinism contract silently breaks. Prefer
+    /// customising [`Selector::series_scores`] only.
     fn window_scores(&self, batch: &[TimeSeries]) -> Vec<Vec<Vec<f32>>> {
-        tspar::par_map(batch.len(), |i| self.series_scores(&batch[i]))
+        self.window_scores_refs(&batch.iter().collect::<Vec<_>>())
+    }
+
+    /// The batched scoring kernel, over borrowed series: fans
+    /// [`Selector::series_scores`] out over [`tspar::par_map`]'s fixed
+    /// partitions (which depend only on the count) — bit-identical to the
+    /// serial per-series loop at any thread count, and to
+    /// [`Selector::window_scores`] on the same series without the caller
+    /// materialising a contiguous batch. The serving queue's coalescer
+    /// uses this to merge requests with zero series copies. Subject to
+    /// the batch-consistency contract on [`Selector::window_scores`].
+    fn window_scores_refs(&self, batch: &[&TimeSeries]) -> Vec<Vec<Vec<f32>>> {
+        tspar::par_map(batch.len(), |i| self.series_scores(batch[i]))
     }
 
     /// Per-window class votes for one series (row argmax of the scores).
@@ -124,6 +148,11 @@ pub struct NnSelector {
     pub model: TrainedSelector,
     /// Window extraction used at inference (must match training).
     pub window_cfg: WindowConfig,
+    /// Optional shared window-extraction cache: repeat series (keyed by
+    /// content + window config, never by id) skip re-windowing and
+    /// z-normalisation. A hit returns the exact matrix the cold path
+    /// built, so caching can never change scores.
+    cache: Option<Arc<WindowCache>>,
 }
 
 impl NnSelector {
@@ -133,7 +162,27 @@ impl NnSelector {
             label: label.into(),
             model,
             window_cfg,
+            cache: None,
         }
+    }
+
+    /// Attaches a shared window-extraction cache (see
+    /// [`crate::serve::WindowCache`] for the keying contract).
+    pub fn with_cache(mut self, cache: Arc<WindowCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The attached window cache, if any.
+    pub fn cache(&self) -> Option<&Arc<WindowCache>> {
+        self.cache.as_ref()
+    }
+
+    fn extract(&self, ts: &TimeSeries) -> Vec<Vec<f32>> {
+        extract_windows(ts, 0, &self.window_cfg)
+            .into_iter()
+            .map(|w| w.values)
+            .collect()
     }
 }
 
@@ -143,10 +192,10 @@ impl Selector for NnSelector {
     }
 
     fn series_scores(&self, ts: &TimeSeries) -> Vec<Vec<f32>> {
-        let windows: Vec<Vec<f32>> = extract_windows(ts, 0, &self.window_cfg)
-            .into_iter()
-            .map(|w| w.values)
-            .collect();
+        let windows: Arc<Vec<Vec<f32>>> = match &self.cache {
+            Some(cache) => cache.get_or_insert(ts, &self.window_cfg, || self.extract(ts)),
+            None => Arc::new(self.extract(ts)),
+        };
         if windows.is_empty() {
             return Vec::new();
         }

@@ -1,0 +1,345 @@
+//! An LRU cache for per-series window extraction.
+//!
+//! Windowing a series (slice, tail-pad, z-normalise) is repeated work when
+//! the same series shows up in request after request — a monitoring loop
+//! re-submitting the same sensor stream hits the serving layer with
+//! byte-identical payloads. [`WindowCache`] memoises the extracted window
+//! matrix so repeat series skip re-windowing and z-normalisation entirely
+//! and go straight to the NN forward pass.
+//!
+//! # Cache key
+//!
+//! An entry is keyed by **series content, not identity**:
+//!
+//! * a 64-bit word-wise FNV-1a hash over the raw `f64` bit patterns of
+//!   [`TimeSeries::values`], plus the series length as an extra
+//!   collision guard (non-cryptographic — see [`Key::new`]), and
+//! * the full [`WindowConfig`] (`length`, `stride`, `znormalize`) — the
+//!   same values windowed differently are different entries.
+//!
+//! The series `id` and `dataset` name are deliberately **not** part of the
+//! key: two series with bit-equal values share one entry regardless of
+//! what they are called, which is exactly right because window extraction
+//! never reads either field. Anomaly labels are ignored for the same
+//! reason (serving-path extraction is label-blind).
+//!
+//! # Determinism
+//!
+//! A hit returns the `Arc` of the vector the cold path produced, so the
+//! hit path is bitwise-identical to re-extraction by construction —
+//! `tests/serve_queue.rs` pins cached ≡ uncached end to end. Eviction is
+//! least-recently-used on a monotonic touch counter under one mutex, so
+//! capacity only affects *speed*, never results.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use tsdata::{TimeSeries, WindowConfig};
+
+/// Cache key: content hash + extraction parameters (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Key {
+    /// 64-bit word-wise FNV-1a over the `f64` bit patterns of the values.
+    content: u64,
+    /// Series length, as an extra collision guard.
+    len: usize,
+    window: usize,
+    stride: usize,
+    znormalize: bool,
+}
+
+impl Key {
+    fn new(ts: &TimeSeries, cfg: &WindowConfig) -> Self {
+        const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+        const FNV_PRIME: u64 = 0x100000001b3;
+        // Word-wise FNV-1a variant: one 64-bit xor-multiply per f64
+        // instead of one per byte. Hashing is on the hit path (every
+        // lookup pays it), so at serving-size series a wider or byte-wise
+        // walk costs more than the re-windowing the cache saves. 64 bits
+        // of content hash + the length guard makes an accidental
+        // cross-content collision astronomically unlikely; like any
+        // non-cryptographic cache key, it is not proof against an
+        // adversary crafting colliding payloads.
+        let mut h = FNV_OFFSET;
+        for &v in &ts.values {
+            h ^= v.to_bits();
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        Self {
+            content: h,
+            len: ts.len(),
+            window: cfg.length,
+            stride: cfg.stride,
+            znormalize: cfg.znormalize,
+        }
+    }
+}
+
+struct Entry {
+    /// Touch stamp from the cache's monotonic counter; smallest = coldest.
+    last_used: u64,
+    windows: Arc<Vec<Vec<f32>>>,
+}
+
+struct Inner {
+    map: HashMap<Key, Entry>,
+    tick: u64,
+}
+
+/// Hit/miss/occupancy counters, for tests and operational visibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to extract windows.
+    pub misses: u64,
+    /// Entries currently held.
+    pub entries: usize,
+}
+
+/// A bounded, thread-safe LRU cache of extracted window matrices.
+///
+/// Shared via `Arc` between the selectors of one engine; every method takes
+/// `&self`. See the module docs for the keying and determinism contract.
+///
+/// **Sizing:** capacity bounds the *entry count*, not bytes. One entry
+/// holds one series' window matrix ≈
+/// `windows_per_series × window_length × 4` bytes (windows per series ≈
+/// `series_len / stride`), so size the capacity against your longest
+/// expected series — e.g. 1k-sample series at window 64 / stride 32 cost
+/// ~8 KB per entry, but a 10M-sample series costs ~80 MB. A byte-budgeted
+/// variant is future work; until then, don't put unboundedly long series
+/// behind a large entry count.
+pub struct WindowCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl WindowCache {
+    /// New cache holding at most `capacity` window matrices (min 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                tick: 0,
+            }),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Returns the cached window matrix for `(ts content, cfg)`, extracting
+    /// via `build` on a miss. The build runs *outside* the cache lock so a
+    /// long extraction never blocks hits on other series; if two threads
+    /// race on the same cold key, the first insert wins and both callers
+    /// share it (both builds produce bit-identical matrices, so the race
+    /// can only cost time, never change results).
+    pub fn get_or_insert(
+        &self,
+        ts: &TimeSeries,
+        cfg: &WindowConfig,
+        build: impl FnOnce() -> Vec<Vec<f32>>,
+    ) -> Arc<Vec<Vec<f32>>> {
+        let key = Key::new(ts, cfg);
+        {
+            let mut inner = self.inner.lock().unwrap();
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some(entry) = inner.map.get_mut(&key) {
+                entry.last_used = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(&entry.windows);
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let built = Arc::new(build());
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+        let entry = inner.map.entry(key).or_insert_with(|| Entry {
+            last_used: tick,
+            windows: Arc::clone(&built),
+        });
+        entry.last_used = tick;
+        let shared = Arc::clone(&entry.windows);
+        // Evict coldest-first down to capacity. O(entries) scan per evict:
+        // serving caches are tens-to-hundreds of entries, and eviction only
+        // runs on insert of a new key, so the scan is noise next to the
+        // extraction it just paid for.
+        while inner.map.len() > self.capacity {
+            let coldest = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+                .expect("non-empty map");
+            inner.map.remove(&coldest);
+        }
+        shared
+    }
+
+    /// Whether `(ts content, cfg)` currently has an entry (does not touch
+    /// LRU order; test/introspection helper).
+    pub fn contains(&self, ts: &TimeSeries, cfg: &WindowConfig) -> bool {
+        let key = Key::new(ts, cfg);
+        self.inner.lock().unwrap().map.contains_key(&key)
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the hit/miss/occupancy counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.len(),
+        }
+    }
+
+    /// Drops every entry (counters keep accumulating).
+    pub fn clear(&self) {
+        self.inner.lock().unwrap().map.clear();
+    }
+}
+
+impl std::fmt::Debug for WindowCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("WindowCache")
+            .field("capacity", &self.capacity)
+            .field("entries", &stats.entries)
+            .field("hits", &stats.hits)
+            .field("misses", &stats.misses)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsdata::extract_windows;
+
+    fn cfg() -> WindowConfig {
+        WindowConfig {
+            length: 8,
+            stride: 4,
+            znormalize: true,
+        }
+    }
+
+    fn series(id: &str, seed: usize, len: usize) -> TimeSeries {
+        TimeSeries::new(
+            id,
+            "D",
+            (0..len)
+                .map(|t| ((t + seed * 31) as f64 * 0.3).sin())
+                .collect(),
+            vec![],
+        )
+    }
+
+    fn windows_of(ts: &TimeSeries) -> Vec<Vec<f32>> {
+        extract_windows(ts, 0, &cfg())
+            .into_iter()
+            .map(|w| w.values)
+            .collect()
+    }
+
+    #[test]
+    fn hit_path_returns_the_cold_result_bitwise() {
+        let cache = WindowCache::new(4);
+        let ts = series("a", 1, 40);
+        let cold = cache.get_or_insert(&ts, &cfg(), || windows_of(&ts));
+        let hit = cache.get_or_insert(&ts, &cfg(), || panic!("must not rebuild"));
+        assert!(Arc::ptr_eq(&cold, &hit), "hit must share the cold matrix");
+        assert_eq!(*cold, windows_of(&ts), "cached matrix is the extraction");
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn equal_content_different_names_share_an_entry() {
+        // The key hashes values + window config only — id/dataset are not
+        // inputs to extraction, so they must not split the cache.
+        let cache = WindowCache::new(4);
+        let a = series("sensor-A", 7, 40);
+        let b = TimeSeries::new("sensor-B", "OTHER", a.values.clone(), vec![]);
+        let wa = cache.get_or_insert(&a, &cfg(), || windows_of(&a));
+        let wb = cache.get_or_insert(&b, &cfg(), || panic!("same content must hit"));
+        assert!(Arc::ptr_eq(&wa, &wb));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn different_window_config_is_a_different_entry() {
+        let cache = WindowCache::new(4);
+        let ts = series("a", 3, 40);
+        let other = WindowConfig {
+            length: 8,
+            stride: 8,
+            znormalize: true,
+        };
+        cache.get_or_insert(&ts, &cfg(), || windows_of(&ts));
+        cache.get_or_insert(&ts, &other, Vec::new);
+        assert_eq!(cache.len(), 2, "same series, two configs, two entries");
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry() {
+        let cache = WindowCache::new(2);
+        let a = series("a", 1, 40);
+        let b = series("b", 2, 40);
+        let c = series("c", 3, 40);
+        cache.get_or_insert(&a, &cfg(), || windows_of(&a));
+        cache.get_or_insert(&b, &cfg(), || windows_of(&b));
+        // Touch `a` so `b` is the LRU victim when `c` arrives.
+        cache.get_or_insert(&a, &cfg(), || panic!("hit"));
+        cache.get_or_insert(&c, &cfg(), || windows_of(&c));
+        assert_eq!(cache.len(), 2);
+        assert!(
+            cache.contains(&a, &cfg()),
+            "recently-touched entry survives"
+        );
+        assert!(!cache.contains(&b, &cfg()), "coldest entry evicted");
+        assert!(cache.contains(&c, &cfg()));
+    }
+
+    #[test]
+    fn capacity_one_still_serves() {
+        let cache = WindowCache::new(0); // clamped to 1
+        assert_eq!(cache.capacity(), 1);
+        let a = series("a", 1, 40);
+        let b = series("b", 2, 40);
+        let wa = cache.get_or_insert(&a, &cfg(), || windows_of(&a));
+        let wb = cache.get_or_insert(&b, &cfg(), || windows_of(&b));
+        assert_eq!(*wa, windows_of(&a));
+        assert_eq!(*wb, windows_of(&b));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn clear_drops_entries_but_keeps_counters() {
+        let cache = WindowCache::new(4);
+        let a = series("a", 1, 40);
+        cache.get_or_insert(&a, &cfg(), || windows_of(&a));
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().misses, 1);
+    }
+}

@@ -1,0 +1,624 @@
+//! The selector serving layer: a thread-safe, hot-swappable registry of
+//! named selectors answering batched selection requests, plus a queued
+//! front-end for high-concurrency traffic.
+//!
+//! [`SelectorEngine`] is the process-level entry point a service wraps: it
+//! owns `Arc<dyn Selector>`s (loadable from a [`SelectorStore`]), accepts a
+//! [`SelectRequest`] carrying a *batch* of series, and answers with one
+//! structured [`Selection`] per series — the chosen model plus the full
+//! per-class vote tally and the vote margin, so callers can reason about
+//! confidence, not just the argmax. The registry sits behind an `RwLock`:
+//! [`SelectorEngine::register`] and [`SelectorEngine::load`] take `&self`,
+//! so selectors can be **hot-swapped while serving threads are in flight**
+//! (in-flight batches finish on the selector they resolved; the next
+//! lookup sees the replacement).
+//!
+//! Two optional layers scale the serving path:
+//!
+//! * [`queue::ServeQueue`] — a bounded FIFO + coalescer thread that merges
+//!   many small same-selector requests into one engine batch, with
+//!   admission control ([`ServeError::Overloaded`]) for backpressure.
+//! * [`cache::WindowCache`] — an LRU keyed by series *content* (not id)
+//!   that lets repeated series skip re-windowing/z-normalisation; attach
+//!   one with [`SelectorEngine::with_window_cache`].
+//!
+//! # Determinism
+//!
+//! Batched serving runs each series through the selector's per-series
+//! scoring kernel, fanned out over [`tspar`]'s fixed work partitions on
+//! the persistent worker pool (so a high-QPS serving loop pays queue
+//! dispatch per batch, not thread spawn/join). Partition boundaries depend
+//! only on the batch size, never on the worker count or the execution
+//! backend, and each series is scored independently — so a batch served at
+//! `KD_THREADS=1` and at `KD_THREADS=64`, the same series selected one at
+//! a time via [`Selector::select`], a request served directly via
+//! [`SelectorEngine::handle`], or the same request coalesced with
+//! arbitrary neighbours by a [`queue::ServeQueue`] all produce
+//! bit-identical `Selection`s. The engine is `Send + Sync`; N threads
+//! serving the same engine concurrently also agree exactly
+//! (`tests/pool_determinism.rs` and `tests/serve_queue.rs` stress those
+//! paths).
+//!
+//! # Example
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use kdselector_core::manage::SelectorStore;
+//! use kdselector_core::serve::{QueueConfig, SelectRequest, SelectorEngine, ServeQueue};
+//! use tsdata::WindowConfig;
+//!
+//! let store = SelectorStore::open("selectors").unwrap();
+//! let window = WindowConfig { length: 64, stride: 64, znormalize: true };
+//! let engine = Arc::new(SelectorEngine::with_window_cache(256));
+//! engine.load(&store, "resnet-kd", window).unwrap();
+//!
+//! // Direct batch path:
+//! let request = SelectRequest::new("resnet-kd", vec![/* series */]);
+//! for selection in engine.handle(&request).unwrap() {
+//!     println!("{} (margin {:.2})", selection.model, selection.margin);
+//! }
+//!
+//! // Queued front-end for many small concurrent requests:
+//! let queue = ServeQueue::new(engine, QueueConfig::default());
+//! let ticket = queue.submit(SelectRequest::new("resnet-kd", vec![])).unwrap();
+//! let selections = ticket.wait().unwrap();
+//! ```
+
+pub mod cache;
+pub mod queue;
+
+pub use cache::{CacheStats, WindowCache};
+pub use queue::{QueueConfig, ServeQueue, Ticket};
+
+use crate::manage::SelectorStore;
+use crate::selector::{argmax, majority_winner, vote_counts, NnSelector, Selector};
+use std::collections::BTreeMap;
+use std::sync::{Arc, RwLock};
+use tsad_models::ModelId;
+use tsdata::{TimeSeries, WindowConfig};
+
+/// A batched selection request: which registered selector to use and the
+/// series to select models for.
+#[derive(Debug, Clone)]
+pub struct SelectRequest {
+    /// Name of a registered selector.
+    pub selector: String,
+    /// The batch of series to serve.
+    pub batch: Vec<TimeSeries>,
+}
+
+impl SelectRequest {
+    /// New request for `selector` over `batch`.
+    pub fn new(selector: impl Into<String>, batch: Vec<TimeSeries>) -> Self {
+        Self {
+            selector: selector.into(),
+            batch,
+        }
+    }
+}
+
+/// The structured result of selecting a model for one series.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Selection {
+    /// The chosen model (majority vote over windows, low-index tie-break).
+    pub model: ModelId,
+    /// Per-class vote counts in [`ModelId::ALL`] order.
+    pub votes: Vec<usize>,
+    /// Number of windows that voted.
+    pub windows: usize,
+    /// Vote margin: `(top count − runner-up count) / windows`, in `[0, 1]`.
+    /// `0` for windowless series; `1` when every window agrees.
+    pub margin: f64,
+}
+
+impl Selection {
+    /// Derives a selection from one series' per-window class scores,
+    /// through the same argmax and majority rule as [`Selector::select`].
+    pub fn from_scores(scores: &[Vec<f32>]) -> Self {
+        let n_classes = ModelId::ALL.len();
+        let window_votes: Vec<usize> = scores.iter().map(|row| argmax(row)).collect();
+        let votes = vote_counts(&window_votes, n_classes);
+        let winner = majority_winner(&votes);
+        // Top-2 counts in one pass (serving computes a margin per series,
+        // so no clone-and-full-sort of the tally on the hot path).
+        let (mut top, mut second) = (0usize, 0usize);
+        for &count in &votes {
+            if count > top {
+                second = top;
+                top = count;
+            } else if count > second {
+                second = count;
+            }
+        }
+        let windows = scores.len();
+        let margin = if windows == 0 {
+            0.0
+        } else {
+            (top - second) as f64 / windows as f64
+        };
+        Self {
+            model: ModelId::from_index(winner),
+            votes,
+            windows,
+            margin,
+        }
+    }
+}
+
+/// Errors a serving call can produce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The request named a selector that is not registered.
+    UnknownSelector(String),
+    /// A [`queue::ServeQueue`] refused admission: the FIFO already holds
+    /// `limit` pending requests. The request was **not** enqueued.
+    Overloaded {
+        /// Pending requests at rejection time. Under the current strict
+        /// admission rule the queue can never exceed its bound, so this
+        /// always equals `limit` — carried separately so the signal stays
+        /// meaningful if admission ever becomes soft (e.g. priority
+        /// lanes).
+        depth: usize,
+        /// The queue's configured `max_depth`.
+        limit: usize,
+    },
+    /// The queue is shutting down and no longer admits requests.
+    ShuttingDown,
+    /// The selector broke the batch contract: it returned a different
+    /// number of per-series score sets than series submitted, so the
+    /// coalescer could not split results back onto tickets without
+    /// misassigning them. Affects every request in the coalesced group.
+    MalformedOutput {
+        /// Series in the coalesced batch.
+        expected: usize,
+        /// Score sets the selector returned.
+        got: usize,
+    },
+    /// The selector panicked while serving the request (carries the
+    /// panic message). The queue survives and keeps serving.
+    Panicked(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::UnknownSelector(name) => {
+                write!(f, "no selector registered under {name:?}")
+            }
+            ServeError::Overloaded { depth, limit } => {
+                write!(
+                    f,
+                    "serve queue overloaded: {depth} pending requests (limit {limit})"
+                )
+            }
+            ServeError::ShuttingDown => write!(f, "serve queue is shutting down"),
+            ServeError::MalformedOutput { expected, got } => {
+                write!(
+                    f,
+                    "selector returned {got} results for a batch of {expected} series"
+                )
+            }
+            ServeError::Panicked(msg) => write!(f, "selector panicked while serving: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// A registry of named, immutable selectors serving batched requests.
+///
+/// Every method takes `&self` — registration (`register` / `load`) writes
+/// through an internal `RwLock`, serving (`handle` / `select_batch`) takes
+/// a read lock only to resolve the name, so a configured engine can be
+/// shared across threads behind a plain reference or an `Arc`, and
+/// selectors can be replaced (hot-swapped) while other threads serve.
+#[derive(Default)]
+pub struct SelectorEngine {
+    registry: RwLock<BTreeMap<String, Arc<dyn Selector>>>,
+    /// Shared window-extraction cache attached to selectors loaded via
+    /// [`SelectorEngine::load`] (keyed by content + window config, so one
+    /// cache safely serves every selector of the engine).
+    window_cache: Option<Arc<WindowCache>>,
+}
+
+impl SelectorEngine {
+    /// New empty engine (no window cache).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// New empty engine whose [`SelectorEngine::load`]ed selectors share an
+    /// LRU [`WindowCache`] holding up to `capacity` window matrices.
+    pub fn with_window_cache(capacity: usize) -> Self {
+        Self {
+            registry: RwLock::new(BTreeMap::new()),
+            window_cache: Some(Arc::new(WindowCache::new(capacity))),
+        }
+    }
+
+    /// The shared window cache, if one was configured (stats/introspection;
+    /// pass clones to hand-built selectors via [`NnSelector::with_cache`]).
+    pub fn window_cache(&self) -> Option<&Arc<WindowCache>> {
+        self.window_cache.as_ref()
+    }
+
+    /// Registers a selector under `name`, replacing any previous entry.
+    /// Takes `&self`: safe to call while other threads serve — in-flight
+    /// batches finish on the selector they already resolved, the next
+    /// request sees the replacement.
+    ///
+    /// Note that `register` takes the selector as-is and therefore does
+    /// **not** attach the engine's window cache (it cannot reach inside an
+    /// arbitrary `dyn Selector`): wire a hand-built [`NnSelector`] up with
+    /// [`NnSelector::with_cache`] yourself, or go through
+    /// [`SelectorEngine::load`], which attaches the cache automatically.
+    pub fn register(&self, name: impl Into<String>, selector: Arc<dyn Selector>) {
+        self.registry.write().unwrap().insert(name.into(), selector);
+    }
+
+    /// Removes a selector; returns it if it was registered.
+    pub fn unregister(&self, name: &str) -> Option<Arc<dyn Selector>> {
+        self.registry.write().unwrap().remove(name)
+    }
+
+    /// Loads a saved NN selector from `store` and registers it under its
+    /// store name, attaching the engine's window cache if one is
+    /// configured. Takes `&self` (see [`SelectorEngine::register`]).
+    ///
+    /// # Errors
+    /// Besides store I/O failures, fails with `InvalidInput` when
+    /// `window.length` disagrees with the window length the selector was
+    /// trained with — catching the mismatch here instead of panicking in a
+    /// serving thread on the first request.
+    pub fn load(
+        &self,
+        store: &SelectorStore,
+        name: &str,
+        window: WindowConfig,
+    ) -> std::io::Result<()> {
+        let model = store.load(name)?;
+        if model.window != window.length {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!(
+                    "selector {name:?} was trained with window length {}, \
+                     but the serving WindowConfig has length {}",
+                    model.window, window.length
+                ),
+            ));
+        }
+        let mut selector = NnSelector::new(name, model, window);
+        if let Some(cache) = &self.window_cache {
+            selector = selector.with_cache(Arc::clone(cache));
+        }
+        self.register(name, Arc::new(selector));
+        Ok(())
+    }
+
+    /// The registered selector names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.registry.read().unwrap().keys().cloned().collect()
+    }
+
+    /// Looks up a registered selector (a clone of the shared handle, so the
+    /// caller keeps serving on it even if the name is swapped afterwards).
+    pub fn get(&self, name: &str) -> Option<Arc<dyn Selector>> {
+        self.registry.read().unwrap().get(name).cloned()
+    }
+
+    /// Number of registered selectors.
+    pub fn len(&self) -> usize {
+        self.registry.read().unwrap().len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.registry.read().unwrap().is_empty()
+    }
+
+    /// Serves a batched request: one [`Selection`] per series, in request
+    /// order. Bit-identical to per-series [`Selector::select`] calls at any
+    /// thread count.
+    pub fn handle(&self, request: &SelectRequest) -> Result<Vec<Selection>, ServeError> {
+        self.select_batch(&request.selector, &request.batch)
+    }
+
+    /// Serves a batch against the named selector. The registry read lock is
+    /// held only for the name lookup, never during scoring — registration
+    /// stays responsive while long batches compute.
+    pub fn select_batch(
+        &self,
+        selector: &str,
+        batch: &[TimeSeries],
+    ) -> Result<Vec<Selection>, ServeError> {
+        // Contiguous batches go through the trait's documented batch entry
+        // point so a selector overriding `window_scores` keeps its
+        // override on the direct serving path (the default implementations
+        // of the two batch methods are consistent by construction — see
+        // the `Selector` docs).
+        let sel = self
+            .get(selector)
+            .ok_or_else(|| ServeError::UnknownSelector(selector.to_string()))?;
+        Ok(sel
+            .window_scores(batch)
+            .iter()
+            .map(|scores| Selection::from_scores(scores))
+            .collect())
+    }
+
+    /// [`SelectorEngine::select_batch`] over borrowed series — the path
+    /// the [`queue::ServeQueue`] coalescer takes to serve several merged
+    /// requests without copying their series into one contiguous batch.
+    /// Bit-identical to `select_batch` on the same series in the same
+    /// order (the fan-out partitions depend only on the count) for any
+    /// selector that upholds the [`Selector`] batch-consistency contract.
+    pub fn select_batch_refs(
+        &self,
+        selector: &str,
+        batch: &[&TimeSeries],
+    ) -> Result<Vec<Selection>, ServeError> {
+        let sel = self
+            .get(selector)
+            .ok_or_else(|| ServeError::UnknownSelector(selector.to_string()))?;
+        Ok(sel
+            .window_scores_refs(batch)
+            .iter()
+            .map(|scores| Selection::from_scores(scores))
+            .collect())
+    }
+}
+
+impl Clone for SelectorEngine {
+    fn clone(&self) -> Self {
+        Self {
+            registry: RwLock::new(self.registry.read().unwrap().clone()),
+            window_cache: self.window_cache.clone(),
+        }
+    }
+}
+
+impl std::fmt::Debug for SelectorEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SelectorEngine")
+            .field("selectors", &self.names())
+            .field("window_cache", &self.window_cache)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::Architecture;
+    use crate::train::TrainedSelector;
+
+    fn sine_series(id: usize, len: usize) -> TimeSeries {
+        TimeSeries::new(
+            format!("serve-{id}"),
+            "D",
+            (0..len)
+                .map(|t| ((t + 7 * id) as f64 * 0.21).sin() + 0.01 * id as f64)
+                .collect(),
+            vec![],
+        )
+    }
+
+    fn test_engine() -> SelectorEngine {
+        let window = WindowConfig {
+            length: 32,
+            stride: 32,
+            znormalize: true,
+        };
+        let model = TrainedSelector::build(Architecture::ConvNet, 32, 4, 3);
+        let engine = SelectorEngine::new();
+        engine.register(
+            "convnet",
+            Arc::new(NnSelector::new("convnet", model, window)),
+        );
+        engine
+    }
+
+    #[test]
+    fn unknown_selector_is_an_error() {
+        let engine = test_engine();
+        let err = engine.select_batch("ghost", &[]).unwrap_err();
+        assert!(matches!(err, ServeError::UnknownSelector(ref n) if n == "ghost"));
+        assert!(err.to_string().contains("ghost"));
+    }
+
+    #[test]
+    fn registry_lists_replaces_and_unregisters() {
+        let engine = test_engine();
+        assert_eq!(engine.names(), vec!["convnet".to_string()]);
+        assert_eq!(engine.len(), 1);
+        assert!(!engine.is_empty());
+        assert!(engine.get("convnet").is_some());
+        let model = TrainedSelector::build(Architecture::ConvNet, 32, 4, 9);
+        let window = WindowConfig {
+            length: 32,
+            stride: 32,
+            znormalize: true,
+        };
+        engine.register("convnet", Arc::new(NnSelector::new("v2", model, window)));
+        assert_eq!(engine.len(), 1, "same name replaces");
+        assert_eq!(engine.get("convnet").unwrap().name(), "v2");
+        let removed = engine.unregister("convnet").expect("was registered");
+        assert_eq!(removed.name(), "v2");
+        assert!(engine.is_empty());
+        assert!(engine.unregister("convnet").is_none());
+    }
+
+    #[test]
+    fn hot_swap_while_serving_keeps_in_flight_selector_alive() {
+        let engine = test_engine();
+        // A serving thread resolves the selector handle...
+        let in_flight = engine.get("convnet").unwrap();
+        // ...and a deployer swaps the name out from under it.
+        let model = TrainedSelector::build(Architecture::ConvNet, 32, 4, 11);
+        let window = WindowConfig {
+            length: 32,
+            stride: 32,
+            znormalize: true,
+        };
+        engine.register("convnet", Arc::new(NnSelector::new("v2", model, window)));
+        // The in-flight handle still works and still names the old version.
+        assert_eq!(in_flight.name(), "convnet");
+        let ts = sine_series(0, 96);
+        assert!(!in_flight.series_scores(&ts).is_empty());
+        assert_eq!(engine.get("convnet").unwrap().name(), "v2");
+    }
+
+    #[test]
+    fn batched_selection_matches_per_series_select() {
+        let engine = test_engine();
+        let batch: Vec<TimeSeries> = (0..6).map(|i| sine_series(i, 200)).collect();
+        let selections = engine.select_batch("convnet", &batch).unwrap();
+        assert_eq!(selections.len(), 6);
+        let sel = engine.get("convnet").unwrap();
+        for (ts, selection) in batch.iter().zip(&selections) {
+            assert_eq!(selection.model, sel.select(ts), "{}", ts.id);
+            assert_eq!(selection.windows, sel.window_votes(ts).len());
+            assert!(selection.windows > 0);
+            assert_eq!(selection.votes.iter().sum::<usize>(), selection.windows);
+            assert!((0.0..=1.0).contains(&selection.margin));
+        }
+    }
+
+    #[test]
+    fn handle_routes_requests() {
+        let engine = test_engine();
+        let request = SelectRequest::new("convnet", (0..3).map(|i| sine_series(i, 96)).collect());
+        let selections = engine.handle(&request).unwrap();
+        assert_eq!(selections.len(), 3);
+    }
+
+    #[test]
+    fn selection_from_scores_votes_and_margin() {
+        // 4 windows: classes 2, 2, 5, 2 → winner 2, margin (3-1)/4.
+        let mk = |c: usize| {
+            let mut row = vec![0.0f32; 12];
+            row[c] = 1.0;
+            row
+        };
+        let scores = vec![mk(2), mk(2), mk(5), mk(2)];
+        let s = Selection::from_scores(&scores);
+        assert_eq!(s.model, ModelId::from_index(2));
+        assert_eq!(s.votes[2], 3);
+        assert_eq!(s.votes[5], 1);
+        assert_eq!(s.windows, 4);
+        assert!((s.margin - 0.5).abs() < 1e-12);
+    }
+
+    /// Regression pins for the one-pass top-2 margin (the sort-based margin
+    /// it replaced is the reference): tie, unanimous, windowless, and a
+    /// split where top == second must subtract to zero.
+    #[test]
+    fn margin_pins_on_crafted_score_sets() {
+        let mk = |c: usize| {
+            let mut row = vec![0.0f32; 12];
+            row[c] = 1.0;
+            row
+        };
+        // Tie: 3 vs 3 → margin 0, winner is the lower index.
+        let tie = Selection::from_scores(&[mk(1), mk(4), mk(1), mk(4), mk(1), mk(4)]);
+        assert_eq!(tie.model, ModelId::from_index(1));
+        assert_eq!(tie.margin, 0.0);
+        // Unanimous: every window agrees → margin 1.
+        let unanimous = Selection::from_scores(&[mk(7), mk(7), mk(7)]);
+        assert_eq!(unanimous.model, ModelId::from_index(7));
+        assert_eq!(unanimous.margin, 1.0);
+        assert_eq!(unanimous.votes[7], 3);
+        // Windowless: no votes → default model, margin 0.
+        let empty = Selection::from_scores(&[]);
+        assert_eq!(empty.model, ModelId::from_index(0));
+        assert_eq!(empty.windows, 0);
+        assert_eq!(empty.margin, 0.0);
+        // Three-way 2/2/1 split over 5 windows → (2-2)/5 = 0.
+        let split = Selection::from_scores(&[mk(3), mk(3), mk(9), mk(9), mk(0)]);
+        assert_eq!(split.margin, 0.0);
+        assert_eq!(split.model, ModelId::from_index(3));
+        // Reference check against the replaced clone-and-sort computation.
+        for scores in [
+            vec![mk(2), mk(2), mk(5), mk(2)],
+            vec![mk(1), mk(4), mk(1), mk(4), mk(1), mk(4)],
+            vec![mk(7), mk(7), mk(7)],
+            vec![mk(3), mk(3), mk(9), mk(9), mk(0)],
+        ] {
+            let s = Selection::from_scores(&scores);
+            let mut sorted: Vec<usize> = s.votes.clone();
+            sorted.sort_unstable_by(|a, b| b.cmp(a));
+            let reference = (sorted[0] - sorted[1]) as f64 / scores.len() as f64;
+            assert_eq!(s.margin, reference, "one-pass top-2 must equal full sort");
+        }
+    }
+
+    #[test]
+    fn windowless_series_selects_default_with_zero_margin() {
+        let s = Selection::from_scores(&[]);
+        assert_eq!(s.model, ModelId::from_index(0));
+        assert_eq!(s.windows, 0);
+        assert_eq!(s.margin, 0.0);
+    }
+
+    #[test]
+    fn load_rejects_mismatched_window_length() {
+        let dir = std::env::temp_dir().join(format!("kdsel-serve-load-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = SelectorStore::open(&dir).unwrap();
+        let model = TrainedSelector::build(Architecture::ConvNet, 64, 4, 1);
+        store.save("w64", &model, "").unwrap();
+
+        let engine = SelectorEngine::new();
+        let bad = WindowConfig {
+            length: 32,
+            stride: 32,
+            znormalize: true,
+        };
+        let err = engine.load(&store, "w64", bad).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+        assert!(engine.is_empty(), "failed load must not register");
+
+        let good = WindowConfig {
+            length: 64,
+            stride: 32,
+            znormalize: true,
+        };
+        engine.load(&store, "w64", good).unwrap();
+        assert_eq!(engine.names(), vec!["w64".to_string()]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_attaches_the_engine_window_cache() {
+        let dir = std::env::temp_dir().join(format!("kdsel-serve-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = SelectorStore::open(&dir).unwrap();
+        let model = TrainedSelector::build(Architecture::ConvNet, 32, 4, 5);
+        store.save("cached", &model, "").unwrap();
+
+        let engine = SelectorEngine::with_window_cache(8);
+        let window = WindowConfig {
+            length: 32,
+            stride: 32,
+            znormalize: true,
+        };
+        engine.load(&store, "cached", window).unwrap();
+        let cache = Arc::clone(engine.window_cache().expect("configured"));
+        assert_eq!(cache.stats().misses, 0);
+
+        let batch: Vec<TimeSeries> = (0..3).map(|i| sine_series(i, 128)).collect();
+        let cold = engine.select_batch("cached", &batch).unwrap();
+        assert_eq!(cache.stats().misses, 3, "each series extracted once");
+        let warm = engine.select_batch("cached", &batch).unwrap();
+        assert_eq!(cold, warm, "hit path must be bit-identical to cold path");
+        assert_eq!(cache.stats().hits, 3);
+        assert_eq!(cache.stats().misses, 3, "no re-extraction on the hit path");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn engine_is_send_and_sync() {
+        fn check<T: Send + Sync>(_: &T) {}
+        check(&test_engine());
+    }
+}

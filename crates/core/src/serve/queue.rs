@@ -1,0 +1,353 @@
+//! The queued, admission-controlled serving front-end.
+//!
+//! [`super::SelectorEngine`] is batch-first: it is fastest when a request
+//! carries many series, because the selector fan-out amortises one `tspar`
+//! region over the whole batch. Real serving traffic is the opposite shape
+//! — many small concurrent requests. [`ServeQueue`] bridges the two:
+//!
+//! * **Submission.** Callers [`ServeQueue::submit`] a
+//!   [`super::SelectRequest`] and get a [`Ticket`] back immediately; the
+//!   ticket's [`Ticket::wait`] blocks until the response is ready.
+//! * **Coalescing.** A dedicated coalescer thread drains the bounded FIFO:
+//!   it pops the front request, then keeps merging *consecutive* requests
+//!   naming the same selector until [`QueueConfig::max_batch`] series are
+//!   gathered, runs the merged batch through the engine once (one selector
+//!   fan-out region on the `tspar` pool), and splits the results back per
+//!   request. Merging only consecutive same-selector requests keeps
+//!   completion in submission order. A single request larger than
+//!   `max_batch` is never split — it just rides alone.
+//! * **Admission control.** The queue holds at most
+//!   [`QueueConfig::max_depth`] pending requests. A submit beyond that is
+//!   rejected *immediately* with [`super::ServeError::Overloaded`] carrying
+//!   the observed depth, so callers can shed load or back off instead of
+//!   stacking unbounded latency. Once the coalescer drains below the bound,
+//!   submits are accepted again — overload is a state, not a terminal
+//!   condition.
+//!
+//! # Determinism
+//!
+//! Coalescing must not change answers. It cannot: per-series scores depend
+//! only on the series (each series runs through the selector's
+//! [`crate::selector::Selector::series_scores`] kernel independently, and
+//! `tspar` partitioning never leaks into values), so a request's
+//! [`super::Selection`]s are bit-identical whether it is served directly
+//! via [`super::SelectorEngine::handle`], queued alone, or coalesced with
+//! arbitrary neighbours, at any `KD_THREADS`. `tests/serve_queue.rs` sweeps
+//! exactly that matrix.
+//!
+//! # Shutdown
+//!
+//! Dropping the [`ServeQueue`] stops admissions (late submits get
+//! [`super::ServeError::ShuttingDown`]), drains every request already
+//! admitted, completes their tickets, and joins the coalescer — tickets can
+//! never be left dangling.
+
+use super::{SelectRequest, Selection, SelectorEngine, ServeError};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Tuning knobs for a [`ServeQueue`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueConfig {
+    /// Admission bound: maximum pending (admitted, not yet served)
+    /// requests. Submits beyond this are rejected with
+    /// [`ServeError::Overloaded`].
+    pub max_depth: usize,
+    /// Coalescing bound: maximum series merged into one engine batch.
+    /// `1` disables merging (every request rides alone).
+    pub max_batch: usize,
+}
+
+impl Default for QueueConfig {
+    fn default() -> Self {
+        Self {
+            max_depth: 1024,
+            max_batch: 64,
+        }
+    }
+}
+
+/// One-shot completion slot shared between a [`Ticket`] and the coalescer.
+struct Slot {
+    result: Mutex<Option<Result<Vec<Selection>, ServeError>>>,
+    ready: Condvar,
+}
+
+impl Slot {
+    fn complete(&self, result: Result<Vec<Selection>, ServeError>) {
+        *self.result.lock().unwrap() = Some(result);
+        self.ready.notify_all();
+    }
+}
+
+/// A handle to an admitted request: redeem it with [`Ticket::wait`].
+pub struct Ticket {
+    slot: Arc<Slot>,
+}
+
+impl Ticket {
+    /// Blocks until the request is served and returns its result: one
+    /// [`Selection`] per submitted series, in request order — bit-identical
+    /// to what [`SelectorEngine::handle`] returns for the same request.
+    pub fn wait(self) -> Result<Vec<Selection>, ServeError> {
+        let guard = self.slot.result.lock().unwrap();
+        let mut guard = self.slot.ready.wait_while(guard, |r| r.is_none()).unwrap();
+        guard.take().expect("slot completed exactly once")
+    }
+
+    /// Whether the response is ready (`wait` would not block).
+    pub fn is_ready(&self) -> bool {
+        self.slot.result.lock().unwrap().is_some()
+    }
+}
+
+impl std::fmt::Debug for Ticket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ticket")
+            .field("ready", &self.is_ready())
+            .finish()
+    }
+}
+
+/// An admitted request waiting in the FIFO.
+struct Pending {
+    request: SelectRequest,
+    slot: Arc<Slot>,
+}
+
+struct State {
+    queue: VecDeque<Pending>,
+    shutdown: bool,
+}
+
+struct Shared {
+    config: QueueConfig,
+    state: Mutex<State>,
+    /// Signalled on submit and on shutdown.
+    work: Condvar,
+}
+
+/// The queued serving front-end: FIFO + admission control + coalescer
+/// thread over a shared [`SelectorEngine`]. See the module docs.
+///
+/// `submit` takes `&self`; share the queue across producer threads behind a
+/// reference or an `Arc`. The underlying engine stays reachable through
+/// [`ServeQueue::engine`] — its registry is hot-swappable (`register` /
+/// `load` via `&self`), so selectors can be replaced while the queue is
+/// serving.
+pub struct ServeQueue {
+    engine: Arc<SelectorEngine>,
+    shared: Arc<Shared>,
+    coalescer: Option<JoinHandle<()>>,
+}
+
+impl ServeQueue {
+    /// Starts a queue (and its coalescer thread) over `engine`.
+    pub fn new(engine: Arc<SelectorEngine>, config: QueueConfig) -> Self {
+        let shared = Arc::new(Shared {
+            config: QueueConfig {
+                max_depth: config.max_depth.max(1),
+                max_batch: config.max_batch.max(1),
+            },
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+        });
+        let coalescer = {
+            let engine = Arc::clone(&engine);
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("kdsel-serve-coalescer".into())
+                .spawn(move || coalescer_loop(&engine, &shared))
+                .expect("spawn coalescer thread")
+        };
+        Self {
+            engine,
+            shared,
+            coalescer: Some(coalescer),
+        }
+    }
+
+    /// Starts a queue with [`QueueConfig::default`].
+    pub fn with_default_config(engine: Arc<SelectorEngine>) -> Self {
+        Self::new(engine, QueueConfig::default())
+    }
+
+    /// Admits a request, returning a [`Ticket`] redeemable for the
+    /// response.
+    ///
+    /// # Errors
+    /// [`ServeError::Overloaded`] when the FIFO already holds `max_depth`
+    /// pending requests (the request is **not** admitted — retry after
+    /// backing off); [`ServeError::ShuttingDown`] when the queue is being
+    /// dropped. An unknown selector name is *not* checked here: it
+    /// surfaces on the ticket, exactly as [`SelectorEngine::handle`] would
+    /// report it.
+    pub fn submit(&self, request: SelectRequest) -> Result<Ticket, ServeError> {
+        let slot = Arc::new(Slot {
+            result: Mutex::new(None),
+            ready: Condvar::new(),
+        });
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            if st.shutdown {
+                return Err(ServeError::ShuttingDown);
+            }
+            let depth = st.queue.len();
+            if depth >= self.shared.config.max_depth {
+                return Err(ServeError::Overloaded {
+                    depth,
+                    limit: self.shared.config.max_depth,
+                });
+            }
+            st.queue.push_back(Pending {
+                request,
+                slot: Arc::clone(&slot),
+            });
+        }
+        self.shared.work.notify_one();
+        Ok(Ticket { slot })
+    }
+
+    /// Convenience: submit and wait in one call (still goes through the
+    /// FIFO and coalescer, so it can be merged with neighbours).
+    pub fn serve(&self, request: SelectRequest) -> Result<Vec<Selection>, ServeError> {
+        self.submit(request)?.wait()
+    }
+
+    /// Current number of pending (admitted, not yet claimed) requests.
+    pub fn depth(&self) -> usize {
+        self.shared.state.lock().unwrap().queue.len()
+    }
+
+    /// The queue's configuration.
+    pub fn config(&self) -> QueueConfig {
+        self.shared.config
+    }
+
+    /// The engine behind the queue — use it to hot-swap selectors
+    /// (`engine().register(..)`) while serving.
+    pub fn engine(&self) -> &Arc<SelectorEngine> {
+        &self.engine
+    }
+}
+
+impl Drop for ServeQueue {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        if let Some(handle) = self.coalescer.take() {
+            // A panic on the coalescer thread has already completed the
+            // affected tickets; nothing useful to do with the payload here.
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for ServeQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeQueue")
+            .field("config", &self.shared.config)
+            .field("depth", &self.depth())
+            .field("engine", &self.engine)
+            .finish()
+    }
+}
+
+/// Coalescer: pop a group of consecutive same-selector requests (bounded
+/// by `max_batch` series), serve it as one engine batch, complete tickets
+/// in submission order; on shutdown, drain what was admitted, then exit.
+fn coalescer_loop(engine: &SelectorEngine, shared: &Shared) {
+    loop {
+        let group = {
+            let st = shared.state.lock().unwrap();
+            let mut st = shared
+                .work
+                .wait_while(st, |s| s.queue.is_empty() && !s.shutdown)
+                .unwrap();
+            let Some(first) = st.queue.pop_front() else {
+                debug_assert!(st.shutdown);
+                return;
+            };
+            let mut total = first.request.batch.len();
+            let mut group = vec![first];
+            while let Some(next) = st.queue.front() {
+                if next.request.selector != group[0].request.selector
+                    || total + next.request.batch.len() > shared.config.max_batch
+                {
+                    break;
+                }
+                total += next.request.batch.len();
+                group.push(st.queue.pop_front().expect("front just peeked"));
+            }
+            group
+        };
+        // The state lock is released here: producers keep submitting (and
+        // the admission bound keeps measuring true backlog) while the
+        // engine computes.
+        serve_group(engine, group);
+    }
+}
+
+fn serve_group(engine: &SelectorEngine, group: Vec<Pending>) {
+    let selector = &group[0].request.selector;
+    // Borrow, don't copy: the merged batch is a list of references into
+    // the pending requests, which stay alive until their slots complete.
+    let merged: Vec<&tsdata::TimeSeries> =
+        group.iter().flat_map(|p| p.request.batch.iter()).collect();
+    // A panicking selector must fail the group's tickets, not hang every
+    // future submitter by killing the coalescer.
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        engine.select_batch_refs(selector, &merged)
+    }));
+    match outcome {
+        Ok(Ok(all)) => {
+            // A selector that breaks the batch contract (one result per
+            // series) must fail the whole group loudly — splitting a
+            // short or long result vector would silently hand tickets
+            // results belonging to other requests.
+            if all.len() != merged.len() {
+                let err = ServeError::MalformedOutput {
+                    expected: merged.len(),
+                    got: all.len(),
+                };
+                for pending in group {
+                    pending.slot.complete(Err(err.clone()));
+                }
+                return;
+            }
+            let mut all = all.into_iter();
+            for pending in group {
+                let take = pending.request.batch.len();
+                let part: Vec<Selection> = all.by_ref().take(take).collect();
+                pending.slot.complete(Ok(part));
+            }
+        }
+        Ok(Err(err)) => {
+            // One selector name per group, so the error is the same for
+            // every member (e.g. UnknownSelector).
+            for pending in group {
+                pending.slot.complete(Err(err.clone()));
+            }
+        }
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "selector panicked".into());
+            for pending in group {
+                pending
+                    .slot
+                    .complete(Err(ServeError::Panicked(msg.clone())));
+            }
+        }
+    }
+}

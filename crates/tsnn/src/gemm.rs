@@ -34,9 +34,6 @@ pub const NR: usize = 8;
 
 /// Work below this many fused multiply-adds is not worth packing.
 const PACK_FLOP_THRESHOLD: usize = 4096;
-/// Work below this many fused multiply-adds is not worth a parallel region
-/// (shared with the layer-level gates).
-const PAR_FLOP_THRESHOLD: usize = tspar::MIN_PAR_WORK;
 
 /// How one operand matrix is laid out relative to the product.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -83,7 +80,9 @@ fn gemm_blocked(
     let n_tiles = n.div_ceil(MR);
     let tiles_per_task = block_rows().max(1);
 
-    if flops < PAR_FLOP_THRESHOLD || tspar::threads() <= 1 {
+    // Work below the execution backend's gate (`tspar::min_par_work`,
+    // shared with the layer-level gates) is not worth a parallel region.
+    if flops < tspar::min_par_work() || tspar::threads() <= 1 {
         let mut packed_a = vec![0.0f32; k * MR];
         for tile in 0..n_tiles {
             gemm_row_tile(tile, n, m, k, a, a_layout, panels, &mut packed_a, c);

@@ -274,17 +274,51 @@ where
 /// region: even pool dispatch costs a queue push plus condvar wakeups, so
 /// below this the dispatch cost outweighs the compute and callers should
 /// stay serial.
-pub const MIN_PAR_WORK: usize = 1 << 21;
+///
+/// Calibrated against the persistent pool by the `micro_kernels` bench's
+/// `par_gate` sweep (`BENCH_micro.json`): pool dispatch costs ≈ 4–5 µs per
+/// region where the pre-pool scoped spawn/join (which the original
+/// `1 << 21` gate was tuned for) cost ≈ 100 µs. A width-`w` region breaks
+/// even once its serial time exceeds `overhead · w / (w − 1)` — ≈ 6.5 µs
+/// at width 4, reached at the `1 << 17` rung of the sweep (~1 multiply-add
+/// per work unit), which is where this constant now sits — 16× lower than
+/// the spawn-era gate. Below-gate regions run the
+/// identical serial chunking (same boundaries, same results) — the
+/// `pool_props` proptest pins gated ≡ sequential on both sides of the
+/// gate, so retuning the constant can never change values.
+///
+/// This is the **pool-backend** gate; [`min_par_work`] returns the gate
+/// for the currently selected backend (the spawn reference keeps the
+/// spawn-era [`MIN_PAR_WORK_SPAWN`], since its ~100 µs/region dispatch is
+/// what the old value was calibrated against).
+pub const MIN_PAR_WORK: usize = 1 << 17;
+
+/// The gate for [`Backend::Spawn`]: per-region scoped spawn/join costs
+/// ~20× pool dispatch, so regions between the two gates that profit on
+/// the pool would regress under spawn. Kept at the original calibration.
+pub const MIN_PAR_WORK_SPAWN: usize = 1 << 21;
+
+/// The work gate for the currently selected [`Backend`] — what
+/// [`par_chunks_mut_gated`] (and the layer-level gates) compare their
+/// work estimate against. Backend choice never affects results, only
+/// whether a region's fixed chunking runs inline or dispatched.
+pub fn min_par_work() -> usize {
+    match backend() {
+        Backend::Pool => MIN_PAR_WORK,
+        Backend::Spawn => MIN_PAR_WORK_SPAWN,
+    }
+}
 
 /// [`par_chunks_mut`] gated by a work estimate: runs serially (same chunk
-/// boundaries, same results) when `work < MIN_PAR_WORK`. Hot per-minibatch
-/// layers use this so small shapes never pay dispatch overhead.
+/// boundaries, same results) when `work` is below the current backend's
+/// gate ([`min_par_work`]). Hot per-minibatch layers use this so small
+/// shapes never pay dispatch overhead.
 pub fn par_chunks_mut_gated<T, F>(data: &mut [T], chunk_len: usize, work: usize, f: F)
 where
     T: Send,
     F: Fn(usize, &mut [T]) + Sync,
 {
-    if work < MIN_PAR_WORK {
+    if work < min_par_work() {
         for (i, chunk) in data.chunks_mut(chunk_len.max(1)).enumerate() {
             f(i, chunk);
         }

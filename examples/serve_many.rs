@@ -1,19 +1,26 @@
-//! Serving many series through the batch-first `SelectorEngine`.
+//! Serving many series through the queued `ServeQueue` front-end.
 //!
 //! ```sh
 //! cargo run --release --example serve_many
 //! ```
 //!
 //! Trains a quick selector, persists it, loads it back into a
-//! `SelectorEngine` (the path a service takes at startup), and serves a
-//! batched `SelectRequest` — once from one thread and once from four
-//! concurrent threads — printing the structured `Selection`s and the
-//! throughput. The engine is deterministic: every serving path returns
-//! bit-identical results at any `KD_THREADS` setting.
+//! `SelectorEngine` with a content-keyed window cache (the path a service
+//! takes at startup), and serves the test split two ways:
+//!
+//! 1. one direct batched `SelectRequest` through `engine.handle`, and
+//! 2. the same series as many small concurrent requests submitted by four
+//!    producer threads through a `ServeQueue`, which coalesces them back
+//!    into engine batches.
+//!
+//! The queued responses are asserted bit-identical to the direct batch —
+//! the serving determinism contract — and the window-cache stats show
+//! repeat series skipping re-windowing.
 
 use kdselector::core::manage::SelectorStore;
 use kdselector::core::pipeline::{Pipeline, PipelineConfig};
-use kdselector::core::serve::{SelectRequest, SelectorEngine};
+use kdselector::core::serve::{QueueConfig, SelectRequest, Selection, SelectorEngine, ServeQueue};
+use std::sync::Arc;
 use std::time::Instant;
 
 fn main() {
@@ -27,25 +34,27 @@ fn main() {
         .save("resnet", &outcome.selector.model, "serve_many demo")
         .expect("save");
 
-    // 2. Service startup: load the registry from the store.
-    let mut engine = SelectorEngine::new();
+    // 2. Service startup: load the registry (plus a window cache) from the
+    //    store. `load` takes `&self`, so selectors can also be hot-swapped
+    //    later while the queue below is serving.
+    let engine = Arc::new(SelectorEngine::with_window_cache(256));
     engine
         .load(&store, "resnet", pipeline.config.window)
         .expect("load");
     println!("engine ready with selectors: {:?}", engine.names());
 
-    // 3. Serve one batched request over the whole test split.
+    // 3. Reference: one direct batched request over the whole test split.
     let request = SelectRequest::new("resnet", pipeline.benchmark.test.clone());
     let t = Instant::now();
-    let selections = engine.handle(&request).expect("registered selector");
+    let direct = engine.handle(&request).expect("registered selector");
     let secs = t.elapsed().as_secs_f64();
     println!(
-        "\nserved {} series in {:.1} ms ({:.0} selections/sec):",
-        selections.len(),
+        "\ndirect batch: {} series in {:.1} ms ({:.0} selections/sec):",
+        direct.len(),
         secs * 1e3,
-        selections.len() as f64 / secs
+        direct.len() as f64 / secs
     );
-    for (ts, sel) in request.batch.iter().zip(&selections).take(6) {
+    for (ts, sel) in request.batch.iter().zip(&direct).take(6) {
         println!(
             "  {:<12} → {:<10} ({}/{} windows, margin {:.2})",
             ts.id,
@@ -55,23 +64,75 @@ fn main() {
             sel.margin
         );
     }
-    if selections.len() > 6 {
-        println!("  ... and {} more", selections.len() - 6);
+    if direct.len() > 6 {
+        println!("  ... and {} more", direct.len() - 6);
     }
 
-    // 4. The same engine from four concurrent threads — same answers.
-    let concurrent = std::thread::scope(|s| {
+    // 4. The queued front-end: the same series as many small requests from
+    //    four concurrent producers. The coalescer merges consecutive
+    //    same-selector requests into engine batches (up to max_batch) and
+    //    completes tickets in submission order; a bounded queue depth gives
+    //    overload a defined failure (ServeError::Overloaded) instead of
+    //    unbounded latency.
+    let queue = ServeQueue::new(
+        Arc::clone(&engine),
+        QueueConfig {
+            max_depth: 256,
+            max_batch: 32,
+        },
+    );
+    let series = &pipeline.benchmark.test;
+    let t = Instant::now();
+    let queued: Vec<(usize, Vec<Selection>)> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..4)
-            .map(|_| s.spawn(|| engine.handle(&request).expect("registered selector")))
+            .map(|p| {
+                let queue = &queue;
+                s.spawn(move || {
+                    // Producer p submits every 4th series as its own
+                    // request, then redeems its tickets in order.
+                    let tickets: Vec<_> = series
+                        .iter()
+                        .enumerate()
+                        .skip(p)
+                        .step_by(4)
+                        .map(|(i, ts)| {
+                            let req = SelectRequest::new("resnet", vec![ts.clone()]);
+                            (i, queue.submit(req).expect("admitted"))
+                        })
+                        .collect();
+                    tickets
+                        .into_iter()
+                        .map(|(i, t)| (i, t.wait().expect("served")))
+                        .collect::<Vec<_>>()
+                })
+            })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("serving thread"))
-            .collect::<Vec<_>>()
+            .flat_map(|h| h.join().expect("producer thread"))
+            .collect()
     });
-    let all_agree = concurrent.iter().all(|r| *r == selections);
-    println!("\n4 concurrent serving threads agree with the serial result: {all_agree}");
-    assert!(all_agree, "serving must be deterministic");
+    let secs = t.elapsed().as_secs_f64();
+    println!(
+        "\nqueued: {} single-series requests from 4 producers in {:.1} ms \
+         ({:.0} selections/sec)",
+        queued.len(),
+        secs * 1e3,
+        queued.len() as f64 / secs
+    );
+    if let Some(stats) = engine.window_cache().map(|c| c.stats()) {
+        println!(
+            "window cache: {} hits / {} misses ({} entries)",
+            stats.hits, stats.misses, stats.entries
+        );
+    }
+
+    // 5. The determinism contract: queued-and-coalesced ≡ direct, bitwise.
+    let all_agree = queued
+        .iter()
+        .all(|(i, sels)| sels.as_slice() == &direct[*i..=*i]);
+    println!("queued responses agree with the direct batch: {all_agree}");
+    assert!(all_agree, "queued serving must be deterministic");
 
     let _ = std::fs::remove_dir_all(&store_dir);
 }

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Kernel micro-benchmark runner: times the blocked/parallel GEMM backend
-# against the seed's naive kernels, measures serving throughput
-# (selections/sec through the batched SelectorEngine), and appends one JSON
-# record per run to BENCH_micro.json (repo root), so the perf trajectory
-# accumulates PR over PR.
+# against the seed's naive kernels, measures serving throughput — direct
+# batch ("serve") and the queued, coalescing front-end ("serve_queue") —
+# plus pool dispatch overhead ("dispatch") and the MIN_PAR_WORK
+# calibration sweep ("par_gate"), and appends one JSON record per run to
+# BENCH_micro.json (repo root), so the perf trajectory accumulates PR
+# over PR.
 #
 # Usage:
 #   scripts/bench.sh                 # bench at the default thread count

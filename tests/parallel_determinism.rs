@@ -70,7 +70,7 @@ fn results_are_identical_across_thread_counts() {
         let preds = selector.model.predict_windows(&pipeline.dataset.windows);
         // Serve the test split through the engine's batched path as well:
         // the structured Selections must be scheduling-independent too.
-        let mut engine = kdselector::core::serve::SelectorEngine::new();
+        let engine = kdselector::core::serve::SelectorEngine::new();
         engine.register("nn", std::sync::Arc::new(selector));
         let served = engine
             .select_batch("nn", &pipeline.benchmark.test)

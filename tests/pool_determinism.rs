@@ -61,7 +61,7 @@ fn test_engine() -> SelectorEngine {
         stride: 32,
         znormalize: true,
     };
-    let mut engine = SelectorEngine::new();
+    let engine = SelectorEngine::new();
     for (name, arch, seed) in [
         ("convnet", Architecture::ConvNet, 17),
         ("transformer", Architecture::Transformer, 29),

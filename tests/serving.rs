@@ -48,7 +48,7 @@ fn batch(n: usize, len: usize) -> Vec<TimeSeries> {
 #[test]
 fn engine_serves_deterministically_and_round_trips() {
     // Two architectures: plain conv stack and the attention path.
-    let mut engine = SelectorEngine::new();
+    let engine = SelectorEngine::new();
     for (name, arch) in [
         ("convnet", Architecture::ConvNet),
         ("transformer", Architecture::Transformer),
@@ -113,7 +113,7 @@ fn engine_serves_deterministically_and_round_trips() {
     let nn = TrainedSelector::build(Architecture::ConvNet, 64, 8, 17);
     store.save("roundtrip", &nn, "serving test").unwrap();
 
-    let mut engine2 = SelectorEngine::new();
+    let engine2 = SelectorEngine::new();
     engine2.load(&store, "roundtrip", window_cfg()).unwrap();
     assert_eq!(engine2.names(), vec!["roundtrip"]);
     let reloaded = engine2.get("roundtrip").unwrap();
