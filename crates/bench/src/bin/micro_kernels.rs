@@ -1,7 +1,9 @@
 //! Kernel-level speedup record — blocked/parallel GEMM vs the naive seed
 //! kernel at matrix shapes drawn from the selector architectures — plus a
 //! serving-throughput record (selections/sec through the batched
-//! `SelectorEngine` at a fixed 64-series batch).
+//! `SelectorEngine` at a fixed 64-series batch) and a training-throughput
+//! record (windows/sec through the data-parallel session stack at 1 and N
+//! worker threads, with the bitwise cross-thread-count guard asserted).
 //!
 //! Appends one compact JSON line per run to `BENCH_micro.json` (repo root,
 //! override with `KD_BENCH_OUT`) so the perf trajectory is tracked PR over
@@ -11,15 +13,18 @@
 //! cargo run --release -p kdselector-bench --bin micro_kernels
 //! ```
 
+use kdselector_core::dataset::SelectorDataset;
+use kdselector_core::labels::PerfMatrix;
 use kdselector_core::selector::NnSelector;
 use kdselector_core::serve::{QueueConfig, SelectRequest, SelectorEngine, ServeQueue};
-use kdselector_core::train::TrainedSelector;
-use kdselector_core::Architecture;
+use kdselector_core::train::{MkiConfig, PislConfig, TrainConfig, TrainSession, TrainedSelector};
+use kdselector_core::{Architecture, PruningStrategy};
 use std::io::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
-use tsdata::{TimeSeries, WindowConfig};
+use tsdata::{Benchmark, BenchmarkConfig, TimeSeries, WindowConfig};
 use tsnn::Tensor;
+use tstext::FrozenTextEncoder;
 
 /// (label, op, n, m, k) — shapes taken from the workspace's hot paths:
 /// Linear forward/backward in the MKI projection MLPs (256-wide hidden),
@@ -429,6 +434,125 @@ fn dispatch_overhead() -> Vec<serde_json::Value> {
     records
 }
 
+/// Training throughput through the session stack: windows/sec over a
+/// synthetic-label dataset (no detector runs), with PISL + MKI active and
+/// `REPLICAS` data-parallel replicas, at 1 worker thread and at
+/// `THREADS_HI`. The same fixed micro-partitioning runs in both cases —
+/// only the execution width differs — so the two runs are measuring the
+/// identical computation and the bench asserts their final weights are
+/// bitwise equal (the `train::dp` determinism contract) before reporting.
+///
+/// On a single-core box the "speedup" hovers at/below 1 (the record is the
+/// point, not a pass/fail); on a multi-core box it shows the replica
+/// fan-out paying off.
+fn train_benchmark() -> serde_json::Value {
+    const REPLICAS: usize = 4;
+    const THREADS_HI: usize = 4;
+    const ROUNDS: usize = 5;
+
+    // Synthetic perf rows: selector-learning signal without detector cost.
+    let mut bcfg = BenchmarkConfig::tiny();
+    bcfg.series_length = 1024;
+    let b = Benchmark::generate(bcfg);
+    let series: Vec<TimeSeries> = b.train.into_iter().take(12).collect();
+    let rows: Vec<Vec<f64>> = (0..series.len())
+        .map(|i| {
+            (0..12)
+                .map(|m| if m == i % 4 { 0.85 } else { 0.1 })
+                .collect()
+        })
+        .collect();
+    let perf = PerfMatrix {
+        series_ids: series.iter().map(|s| s.id.clone()).collect(),
+        rows,
+    };
+    let encoder = FrozenTextEncoder::new(48, 0);
+    let window_cfg = WindowConfig {
+        length: 64,
+        stride: 32,
+        znormalize: true,
+    };
+    let dataset = SelectorDataset::build(&series, &perf, window_cfg, &encoder);
+
+    let cfg = TrainConfig {
+        arch: Architecture::ConvNet,
+        width: 6,
+        epochs: 3,
+        batch_size: 64,
+        replicas: REPLICAS,
+        pisl: Some(PislConfig::default()),
+        mki: Some(MkiConfig {
+            hidden: 64,
+            proj_dim: 32,
+            ..MkiConfig::default()
+        }),
+        // Full data keeps the visited-window count fixed, so windows/sec
+        // at the two thread counts divide out to a clean speedup.
+        pruning: PruningStrategy::None,
+        seed: 7,
+        ..TrainConfig::default()
+    };
+
+    let run = |threads: usize| {
+        tspar::set_parallelism(tspar::Parallelism::Fixed(threads));
+        // Warm-up (spawns pool workers, faults in the dataset).
+        let mut warm = TrainSession::new(&dataset, &cfg);
+        warm.run_epoch(&dataset);
+        let mut samples = Vec::with_capacity(ROUNDS);
+        let mut weights = None;
+        for _ in 0..ROUNDS {
+            let mut session = TrainSession::new(&dataset, &cfg);
+            let t = Instant::now();
+            session.run_to_completion(&dataset);
+            samples.push(t.elapsed().as_secs_f64());
+            let visited: usize = session.stats().epoch_examined.iter().sum();
+            let (model, _) = session.finish();
+            let snapshot = tsnn::serialize::save_params(&model.params());
+            match &weights {
+                None => weights = Some((snapshot, visited)),
+                Some((reference, _)) => assert_eq!(
+                    reference, &snapshot,
+                    "training must be deterministic run over run"
+                ),
+            }
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let seconds = samples[samples.len() / 2];
+        let (weights, visited) = weights.expect("at least one round");
+        (visited as f64 / seconds, seconds, weights)
+    };
+
+    let (wps_1, secs_1, weights_1) = run(1);
+    let (wps_n, secs_n, weights_n) = run(THREADS_HI);
+    tspar::set_parallelism(tspar::Parallelism::Auto);
+    assert_eq!(
+        weights_1, weights_n,
+        "data-parallel training diverged across thread counts"
+    );
+
+    let speedup = wps_n / wps_1;
+    println!(
+        "train throughput:   {wps_1:.0} windows/sec at 1 thread, {wps_n:.0} at {THREADS_HI} \
+         ({speedup:.2}x, {REPLICAS} replicas, {} windows x {} epochs, bitwise-equal weights)",
+        dataset.len(),
+        cfg.epochs,
+    );
+    serde_json::json!({
+        "windows": dataset.len(),
+        "epochs": cfg.epochs,
+        "batch_size": cfg.batch_size,
+        "replicas": REPLICAS,
+        "arch": "ConvNet",
+        "width": cfg.width,
+        "threads_hi": THREADS_HI,
+        "seconds_t1": secs_1,
+        "seconds_tn": secs_n,
+        "windows_per_sec_t1": wps_1,
+        "windows_per_sec_tn": wps_n,
+        "speedup": speedup,
+    })
+}
+
 fn max_abs_diff(a: &Tensor, b: &Tensor) -> f64 {
     a.data()
         .iter()
@@ -516,6 +640,9 @@ fn main() {
         serve.width,
     );
 
+    // --- Training throughput: session stack, 1 vs N threads. --------------
+    let train = train_benchmark();
+
     // --- Region dispatch overhead: persistent pool vs spawn/join. ---------
     let dispatch = dispatch_overhead();
 
@@ -539,6 +666,7 @@ fn main() {
         "cases": rows,
         "serve": serve_record,
         "serve_queue": serve_queue,
+        "train": train,
         "dispatch": dispatch,
         "par_gate": par_gate,
     });

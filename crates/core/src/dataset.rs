@@ -104,6 +104,43 @@ impl SelectorDataset {
         }
         v
     }
+
+    /// A 64-bit FNV-1a content fingerprint of the training set: window
+    /// config, every window's raw bits, labels, series mapping,
+    /// performance rows and knowledge embeddings. Training checkpoints
+    /// store this so resuming over a *different* dataset — even one with
+    /// the same window count — is a hard error instead of a silently
+    /// corrupted continuation.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = crate::hash::FNV_OFFSET;
+        let mut mix = |v: u64| crate::hash::fnv1a_mix(&mut h, v);
+        mix(self.window_cfg.length as u64);
+        mix(self.window_cfg.stride as u64);
+        mix(self.window_cfg.znormalize as u64);
+        mix(self.text_dim as u64);
+        mix(self.windows.len() as u64);
+        for ((w, &si), &label) in self
+            .windows
+            .iter()
+            .zip(&self.series_index)
+            .zip(&self.hard_labels)
+        {
+            mix(si as u64);
+            mix(label as u64);
+            for &x in w {
+                mix(u64::from(x.to_bits()));
+            }
+        }
+        for (perf, know) in self.series_perf.iter().zip(&self.series_knowledge) {
+            for &p in perf {
+                mix(p.to_bits());
+            }
+            for &k in know {
+                mix(u64::from(k.to_bits()));
+            }
+        }
+        h
+    }
 }
 
 /// Renders the paper's metadata template for a series, pulling the domain

@@ -1,0 +1,43 @@
+//! The crate's shared word-wise FNV-1a kernel.
+//!
+//! Both content-addressed paths — the serving layer's window-cache key
+//! ([`crate::serve::cache`]) and the training checkpoint's dataset
+//! fingerprint ([`crate::dataset::SelectorDataset::fingerprint`]) — hash
+//! 64-bit words through this one function, so the constants and the
+//! xor-multiply order can never drift apart between them. Word-wise (one
+//! xor-multiply per value, not per byte) because hashing sits on hot
+//! paths; 64 bits of state makes accidental collisions astronomically
+//! unlikely, but like any non-cryptographic hash it is not proof against
+//! adversarially crafted payloads.
+
+/// FNV-1a 64-bit offset basis — the initial `state`.
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Folds one 64-bit word into the running FNV-1a state.
+#[inline]
+pub(crate) fn fnv1a_mix(state: &mut u64, v: u64) {
+    *state ^= v;
+    *state = state.wrapping_mul(FNV_PRIME);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_the_reference_fnv1a_sequence() {
+        // One word hashed from the offset basis: (offset ^ v) * prime.
+        let mut h = FNV_OFFSET;
+        fnv1a_mix(&mut h, 42);
+        assert_eq!(h, (FNV_OFFSET ^ 42).wrapping_mul(FNV_PRIME));
+        // Order-sensitive: [1, 2] and [2, 1] diverge.
+        let (mut a, mut b) = (FNV_OFFSET, FNV_OFFSET);
+        fnv1a_mix(&mut a, 1);
+        fnv1a_mix(&mut a, 2);
+        fnv1a_mix(&mut b, 2);
+        fnv1a_mix(&mut b, 1);
+        assert_ne!(a, b);
+    }
+}

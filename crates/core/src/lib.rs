@@ -16,7 +16,10 @@
 //!   **MKI** (InfoNCE alignment with frozen metadata embeddings,
 //!   [`train::TrainConfig::mki`]), and
 //!   **PA** (LSH-bucketed dynamic pruning, [`prune`]) alongside the InfoBatch
-//!   baseline,
+//!   baseline — layered as composable loss terms ([`train::objective`]),
+//!   resumable, checkpointable sessions ([`train::TrainSession`]), and
+//!   deterministic data-parallel gradient accumulation ([`train::dp`]:
+//!   bitwise-identical results at any `KD_THREADS`),
 //! * the non-NN baselines ([`nonnn`]: KNN / SVC / AdaBoost / RandomForest on
 //!   TSFresh-style features, MiniRocket + ridge),
 //! * label generation by actually running the 12 detectors ([`labels`], with
@@ -36,6 +39,7 @@
 pub mod arch;
 pub mod dataset;
 pub mod eval;
+mod hash;
 pub mod labels;
 pub mod manage;
 pub mod mlp;
@@ -55,4 +59,4 @@ pub use selector::Selector;
 pub use serve::{
     QueueConfig, SelectRequest, Selection, SelectorEngine, ServeError, ServeQueue, WindowCache,
 };
-pub use train::{TrainConfig, TrainStats, TrainedSelector};
+pub use train::{TrainCheckpoint, TrainConfig, TrainSession, TrainStats, TrainedSelector};

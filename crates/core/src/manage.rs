@@ -2,10 +2,12 @@
 //! Management" module).
 //!
 //! A saved selector is a directory entry of two JSON files: a manifest
-//! describing how to rebuild the architecture and a weight snapshot.
+//! describing how to rebuild the architecture and a weight snapshot. The
+//! store also persists training checkpoints (`<name>.ckpt`,
+//! [`TrainCheckpoint`]) so interrupted sessions resume bitwise-identically.
 
 use crate::arch::Architecture;
-use crate::train::TrainedSelector;
+use crate::train::{TrainCheckpoint, TrainedSelector};
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
 use tsnn::serialize::{load_params, save_params, StateDict};
@@ -132,10 +134,15 @@ impl SelectorStore {
         Ok(out)
     }
 
-    /// Deletes a saved selector. Missing entries are not an error.
+    /// Deletes a saved selector (and any checkpoint of the same name).
+    /// Missing entries are not an error.
     pub fn delete(&self, name: &str) -> std::io::Result<()> {
         validate_name(name)?;
-        for path in [self.manifest_path(name), self.weights_path(name)] {
+        for path in [
+            self.manifest_path(name),
+            self.weights_path(name),
+            self.checkpoint_path(name),
+        ] {
             match std::fs::remove_file(path) {
                 Ok(()) => {}
                 Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
@@ -145,12 +152,56 @@ impl SelectorStore {
         Ok(())
     }
 
+    /// Persists a training checkpoint under `name`, overwriting any
+    /// previous checkpoint of that name. The usual caller is
+    /// [`crate::train::TrainSession::save_checkpoint`] at an epoch
+    /// boundary.
+    ///
+    /// The write is atomic (unique temp file + rename), so a crash
+    /// mid-save leaves the previous checkpoint intact — losing the
+    /// checkpoint to the very interruption it exists to survive would
+    /// defeat the point. Temp names are unique per (process, call), so
+    /// concurrent saves of the same name cannot interleave bytes; failed
+    /// writes clean their temp up (a hard kill between write and rename
+    /// can still leave a dot-prefixed `.…tmp…` file behind, which `list`
+    /// and `load_checkpoint` ignore).
+    pub fn save_checkpoint(&self, name: &str, checkpoint: &TrainCheckpoint) -> std::io::Result<()> {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+        validate_name(name)?;
+        let tmp = self.dir.join(format!(
+            ".{name}.ckpt.tmp-{}-{}",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let bytes = serde_json::to_vec(checkpoint)?;
+        let written = std::fs::write(&tmp, bytes)
+            .and_then(|()| std::fs::rename(&tmp, self.checkpoint_path(name)));
+        if written.is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+        written
+    }
+
+    /// Loads a training checkpoint by name (resume it with
+    /// [`crate::train::TrainSession::resume`]).
+    pub fn load_checkpoint(&self, name: &str) -> std::io::Result<TrainCheckpoint> {
+        validate_name(name)?;
+        Ok(serde_json::from_slice(&std::fs::read(
+            self.checkpoint_path(name),
+        )?)?)
+    }
+
     fn manifest_path(&self, name: &str) -> PathBuf {
         self.dir.join(format!("{name}.manifest"))
     }
 
     fn weights_path(&self, name: &str) -> PathBuf {
         self.dir.join(format!("{name}.weights"))
+    }
+
+    fn checkpoint_path(&self, name: &str) -> PathBuf {
+        self.dir.join(format!("{name}.ckpt"))
     }
 
     /// Store directory.

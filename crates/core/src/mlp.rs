@@ -44,6 +44,14 @@ impl Mlp {
         p
     }
 
+    /// Read-only view of the trainable parameters, `params_mut()` order
+    /// (checkpointing snapshots the MKI projections through this).
+    pub fn params(&self) -> Vec<&Param> {
+        let mut p = self.fc1.params();
+        p.extend(self.fc2.params());
+        p
+    }
+
     /// Output width.
     pub fn out_dim(&self) -> usize {
         self.fc2.out_features()

@@ -9,7 +9,7 @@ use crate::eval::{evaluate, EvalReport};
 use crate::labels::{cached_perf_matrix, default_cache_dir, PerfMatrix};
 use crate::nonnn::{FeatureModel, FeatureSelector, RocketSelector};
 use crate::selector::{NnSelector, Selector};
-use crate::train::{train, TrainConfig, TrainStats};
+use crate::train::{TrainConfig, TrainSession, TrainStats};
 use std::path::PathBuf;
 use tsdata::{Benchmark, BenchmarkConfig, WindowConfig};
 use tstext::FrozenTextEncoder;
@@ -125,9 +125,20 @@ impl Pipeline {
         self.train_nn_with(&self.config.train, self.config.train.arch.name())
     }
 
-    /// Trains an NN selector with an explicit config and display label.
+    /// Opens a training session over the pipeline's dataset — the entry
+    /// point for per-epoch control, checkpoint/resume, and deployment into
+    /// a live [`crate::serve::SelectorEngine`]. [`Pipeline::train_nn_with`]
+    /// is the run-to-completion convenience on top of this.
+    pub fn train_session(&self, cfg: &TrainConfig) -> TrainSession {
+        TrainSession::new(&self.dataset, cfg)
+    }
+
+    /// Trains an NN selector with an explicit config and display label by
+    /// driving a [`TrainSession`] to completion.
     pub fn train_nn_with(&self, cfg: &TrainConfig, label: &str) -> TrainOutcome {
-        let (model, stats) = train(&self.dataset, cfg);
+        let mut session = self.train_session(cfg);
+        session.run_to_completion(&self.dataset);
+        let (model, stats) = session.finish();
         let selector = NnSelector::new(label, model, self.config.window);
         let report = evaluate(&selector, &self.benchmark.test, &self.test_perf);
         TrainOutcome {

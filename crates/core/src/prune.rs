@@ -10,6 +10,15 @@
 //!
 //! Following InfoBatch, the final epochs anneal back to the full dataset so
 //! the last gradient steps are unbiased sample-for-sample.
+//!
+//! # Determinism and resume
+//!
+//! Pruning randomness is drawn from a **per-epoch stream**: the draws for
+//! epoch `e` depend only on the state's seed and `e`, never on how many
+//! draws earlier epochs made. Together with [`PruneState::snapshot`] /
+//! [`PruneState::restore`] (which round-trip the loss bookkeeping), a
+//! training session resumed from an epoch-`k` checkpoint replays epochs
+//! `k+1..n` with exactly the pruning plans of an uninterrupted run.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -88,6 +97,18 @@ impl EpochPlan {
     }
 }
 
+/// Serialisable snapshot of the per-sample loss bookkeeping — everything a
+/// checkpoint must carry to resume pruning exactly. LSH signatures and the
+/// per-epoch RNG streams are *not* part of the snapshot: both are derived
+/// deterministically from inputs a resumed session recomputes.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PruneSnapshot {
+    /// Summed past per-sample losses.
+    pub loss_sum: Vec<f64>,
+    /// Visit counts per sample.
+    pub loss_count: Vec<u32>,
+}
+
 /// Per-sample loss bookkeeping plus the pruning logic.
 pub struct PruneState {
     strategy: PruningStrategy,
@@ -96,7 +117,15 @@ pub struct PruneState {
     loss_count: Vec<u32>,
     /// LSH signature per sample (PA only).
     signatures: Option<Vec<u64>>,
-    rng: StdRng,
+    seed: u64,
+}
+
+/// Decorrelates the pruning draws of one epoch from every other epoch's:
+/// a SplitMix-style multiply keeps nearby epochs' streams unrelated.
+fn epoch_stream(seed: u64, epoch: usize) -> u64 {
+    seed ^ (epoch as u64)
+        .wrapping_add(1)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
 }
 
 impl PruneState {
@@ -128,8 +157,38 @@ impl PruneState {
             loss_sum: vec![0.0; n],
             loss_count: vec![0; n],
             signatures,
-            rng: StdRng::seed_from_u64(seed),
+            seed,
         }
+    }
+
+    /// Snapshots the loss bookkeeping for checkpointing.
+    pub fn snapshot(&self) -> PruneSnapshot {
+        PruneSnapshot {
+            loss_sum: self.loss_sum.clone(),
+            loss_count: self.loss_count.clone(),
+        }
+    }
+
+    /// Restores a snapshot taken by [`PruneState::snapshot`]. Subsequent
+    /// [`PruneState::plan_epoch`] calls then produce exactly the plans an
+    /// uninterrupted run would (per-epoch RNG streams make the draws
+    /// history-free).
+    ///
+    /// # Errors
+    /// Rejects snapshots whose length disagrees with this state's sample
+    /// count.
+    pub fn restore(&mut self, snapshot: &PruneSnapshot) -> Result<(), String> {
+        if snapshot.loss_sum.len() != self.n || snapshot.loss_count.len() != self.n {
+            return Err(format!(
+                "prune snapshot covers {} sums / {} counts, state has {} samples",
+                snapshot.loss_sum.len(),
+                snapshot.loss_count.len(),
+                self.n
+            ));
+        }
+        self.loss_sum.clone_from(&snapshot.loss_sum);
+        self.loss_count.clone_from(&snapshot.loss_count);
+        Ok(())
     }
 
     /// Records the unweighted per-sample losses of the samples visited in
@@ -148,7 +207,13 @@ impl PruneState {
     }
 
     /// Plans the sample set for `epoch` of `total_epochs`.
-    pub fn plan_epoch(&mut self, epoch: usize, total_epochs: usize) -> EpochPlan {
+    ///
+    /// Planning is read-only: the randomness comes from a per-epoch stream
+    /// derived from the state seed and `epoch`, so the same state (same
+    /// recorded losses) always yields the same plan for a given epoch —
+    /// regardless of which epochs were planned before.
+    pub fn plan_epoch(&self, epoch: usize, total_epochs: usize) -> EpochPlan {
+        let mut rng = StdRng::seed_from_u64(epoch_stream(self.seed, epoch));
         let (ratio, anneal) = match self.strategy {
             PruningStrategy::None => return EpochPlan::full(self.n),
             PruningStrategy::InfoBatch { ratio, anneal } => (ratio, anneal),
@@ -179,7 +244,7 @@ impl PruneState {
         let mut high: Vec<usize> = Vec::new();
         for (i, &avg_i) in avg.iter().enumerate() {
             if avg_i < mean {
-                if self.rng.random_bool(1.0 - ratio) {
+                if rng.random_bool(1.0 - ratio) {
                     indices.push(i);
                     weights.push(keep_weight);
                 }
@@ -197,7 +262,15 @@ impl PruneState {
                 }
             }
             PruningStrategy::Pa { bins, .. } => {
-                self.prune_high_buckets(&high, &avg, bins, ratio, &mut indices, &mut weights);
+                self.prune_high_buckets(
+                    &high,
+                    &avg,
+                    bins,
+                    ratio,
+                    &mut rng,
+                    &mut indices,
+                    &mut weights,
+                );
             }
             PruningStrategy::None => unreachable!(),
         }
@@ -207,12 +280,14 @@ impl PruneState {
     /// PA's above-mean handling: equi-depth bins over `¯L_i` × LSH signature
     /// → buckets; buckets with more than one member are pruned with gradient
     /// rescaling, singletons are kept untouched.
+    #[allow(clippy::too_many_arguments)]
     fn prune_high_buckets(
-        &mut self,
+        &self,
         high: &[usize],
         avg: &[f64],
         bins: usize,
         ratio: f64,
+        rng: &mut StdRng,
         indices: &mut Vec<usize>,
         weights: &mut Vec<f32>,
     ) {
@@ -244,7 +319,7 @@ impl PruneState {
                 weights.push(1.0);
             } else {
                 for &i in members {
-                    if self.rng.random_bool(1.0 - ratio) {
+                    if rng.random_bool(1.0 - ratio) {
                         indices.push(i);
                         weights.push(keep_weight);
                     }
@@ -280,7 +355,7 @@ mod tests {
 
     #[test]
     fn no_pruning_keeps_everything() {
-        let mut st = PruneState::new(PruningStrategy::None, None, 100, 0);
+        let st = PruneState::new(PruningStrategy::None, None, 100, 0);
         let plan = st.plan_epoch(3, 10);
         assert_eq!(plan.indices.len(), 100);
         assert!(plan.weights.iter().all(|&w| w == 1.0));
@@ -288,14 +363,14 @@ mod tests {
 
     #[test]
     fn first_epoch_is_always_full() {
-        let mut st = seeded_state(PruningStrategy::info_batch_default(), 100);
+        let st = seeded_state(PruningStrategy::info_batch_default(), 100);
         let plan = st.plan_epoch(0, 10);
         assert_eq!(plan.indices.len(), 100);
     }
 
     #[test]
     fn anneal_epochs_are_full() {
-        let mut st = seeded_state(PruningStrategy::info_batch_default(), 100);
+        let st = seeded_state(PruningStrategy::info_batch_default(), 100);
         let plan = st.plan_epoch(9, 10); // last epoch with anneal 0.125
         assert_eq!(plan.indices.len(), 100);
     }
@@ -303,7 +378,7 @@ mod tests {
     #[test]
     fn infobatch_prunes_only_low_loss_samples() {
         let n = 400;
-        let mut st = seeded_state(
+        let st = seeded_state(
             PruningStrategy::InfoBatch {
                 ratio: 0.8,
                 anneal: 0.0,
@@ -334,14 +409,14 @@ mod tests {
     #[test]
     fn pa_prunes_more_than_infobatch() {
         let n = 400;
-        let mut ib = seeded_state(
+        let ib = seeded_state(
             PruningStrategy::InfoBatch {
                 ratio: 0.8,
                 anneal: 0.0,
             },
             n,
         );
-        let mut pa = seeded_state(
+        let pa = seeded_state(
             PruningStrategy::Pa {
                 ratio: 0.8,
                 lsh_bits: 14,
@@ -405,7 +480,7 @@ mod tests {
     fn expected_weighted_count_is_unbiased() {
         // Σ w over kept low-loss samples ≈ number of low-loss samples.
         let n = 2000;
-        let mut st = seeded_state(
+        let st = seeded_state(
             PruningStrategy::InfoBatch {
                 ratio: 0.8,
                 anneal: 0.0,

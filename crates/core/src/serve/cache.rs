@@ -50,20 +50,17 @@ struct Key {
 
 impl Key {
     fn new(ts: &TimeSeries, cfg: &WindowConfig) -> Self {
-        const FNV_OFFSET: u64 = 0xcbf29ce484222325;
-        const FNV_PRIME: u64 = 0x100000001b3;
-        // Word-wise FNV-1a variant: one 64-bit xor-multiply per f64
-        // instead of one per byte. Hashing is on the hit path (every
-        // lookup pays it), so at serving-size series a wider or byte-wise
-        // walk costs more than the re-windowing the cache saves. 64 bits
-        // of content hash + the length guard makes an accidental
-        // cross-content collision astronomically unlikely; like any
-        // non-cryptographic cache key, it is not proof against an
-        // adversary crafting colliding payloads.
-        let mut h = FNV_OFFSET;
+        // Word-wise FNV-1a (shared kernel, see `crate::hash`): one 64-bit
+        // xor-multiply per f64 instead of one per byte. Hashing is on the
+        // hit path (every lookup pays it), so at serving-size series a
+        // wider or byte-wise walk costs more than the re-windowing the
+        // cache saves. 64 bits of content hash + the length guard makes
+        // an accidental cross-content collision astronomically unlikely;
+        // like any non-cryptographic cache key, it is not proof against
+        // an adversary crafting colliding payloads.
+        let mut h = crate::hash::FNV_OFFSET;
         for &v in &ts.values {
-            h ^= v.to_bits();
-            h = h.wrapping_mul(FNV_PRIME);
+            crate::hash::fnv1a_mix(&mut h, v.to_bits());
         }
         Self {
             content: h,

@@ -72,6 +72,7 @@ pub use queue::{QueueConfig, ServeQueue, Ticket};
 
 use crate::manage::SelectorStore;
 use crate::selector::{argmax, majority_winner, vote_counts, NnSelector, Selector};
+use crate::train::TrainedSelector;
 use std::collections::BTreeMap;
 use std::sync::{Arc, RwLock};
 use tsad_models::ModelId;
@@ -276,7 +277,38 @@ impl SelectorEngine {
         name: &str,
         window: WindowConfig,
     ) -> std::io::Result<()> {
-        let model = store.load(name)?;
+        self.deploy(name, store.load(name)?, window)
+    }
+
+    /// Deploys a freshly trained selector into the live registry: wraps it
+    /// for serving (attaching the engine's window cache if one is
+    /// configured, like [`SelectorEngine::load`]) and hot-swaps it under
+    /// `name` while other threads keep serving — in-flight batches finish
+    /// on the selector they already resolved, the next lookup sees the
+    /// deployment. The typical call site is the end of a training session:
+    ///
+    /// ```no_run
+    /// # use kdselector_core::serve::SelectorEngine;
+    /// # use kdselector_core::train::TrainSession;
+    /// # use tsdata::WindowConfig;
+    /// # fn demo(engine: &SelectorEngine, session: TrainSession, window: WindowConfig) {
+    /// let (model, _stats) = session.finish();
+    /// engine.deploy("kdselector", model, window).unwrap();
+    /// # }
+    /// ```
+    ///
+    /// # Errors
+    /// `InvalidInput` when `window.length` disagrees with the window
+    /// length the selector was trained with — the same guard
+    /// [`SelectorEngine::load`] applies, catching the mismatch at deploy
+    /// time instead of panicking in a serving thread.
+    pub fn deploy(
+        &self,
+        name: impl Into<String>,
+        model: TrainedSelector,
+        window: WindowConfig,
+    ) -> std::io::Result<()> {
+        let name = name.into();
         if model.window != window.length {
             return Err(std::io::Error::new(
                 std::io::ErrorKind::InvalidInput,
@@ -287,7 +319,7 @@ impl SelectorEngine {
                 ),
             ));
         }
-        let mut selector = NnSelector::new(name, model, window);
+        let mut selector = NnSelector::new(name.clone(), model, window);
         if let Some(cache) = &self.window_cache {
             selector = selector.with_cache(Arc::clone(cache));
         }
@@ -620,5 +652,60 @@ mod tests {
     fn engine_is_send_and_sync() {
         fn check<T: Send + Sync>(_: &T) {}
         check(&test_engine());
+    }
+
+    #[test]
+    fn deploy_validates_window_and_hot_swaps() {
+        let engine = test_engine();
+        let window = WindowConfig {
+            length: 32,
+            stride: 32,
+            znormalize: true,
+        };
+        // Window mismatch is rejected and leaves the registry untouched.
+        let wrong = TrainedSelector::build(Architecture::ConvNet, 64, 4, 21);
+        let err = engine.deploy("convnet", wrong, window).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+        assert_eq!(engine.get("convnet").unwrap().name(), "convnet");
+
+        // A matching model replaces the live entry; in-flight handles
+        // keep serving the old version.
+        let in_flight = engine.get("convnet").unwrap();
+        let fresh = TrainedSelector::build(Architecture::ConvNet, 32, 4, 23);
+        let reference = {
+            let probe = NnSelector::new(
+                "probe",
+                TrainedSelector::build(Architecture::ConvNet, 32, 4, 23),
+                window,
+            );
+            probe.series_scores(&sine_series(1, 96))
+        };
+        engine.deploy("convnet", fresh, window).unwrap();
+        assert_eq!(engine.len(), 1, "deploy replaces, never duplicates");
+        let swapped = engine.get("convnet").unwrap();
+        assert_eq!(
+            swapped.series_scores(&sine_series(1, 96)),
+            reference,
+            "deployed selector serves the new weights"
+        );
+        let _ = in_flight.series_scores(&sine_series(0, 96));
+    }
+
+    #[test]
+    fn deploy_attaches_the_engine_window_cache() {
+        let engine = SelectorEngine::with_window_cache(4);
+        let window = WindowConfig {
+            length: 32,
+            stride: 32,
+            znormalize: true,
+        };
+        let model = TrainedSelector::build(Architecture::ConvNet, 32, 4, 3);
+        engine.deploy("cached", model, window).unwrap();
+        let cache = Arc::clone(engine.window_cache().expect("configured"));
+        let batch: Vec<TimeSeries> = (0..2).map(|i| sine_series(i, 128)).collect();
+        engine.select_batch("cached", &batch).unwrap();
+        assert_eq!(cache.stats().misses, 2);
+        engine.select_batch("cached", &batch).unwrap();
+        assert_eq!(cache.stats().hits, 2, "deployed selector uses the cache");
     }
 }

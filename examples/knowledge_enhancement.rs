@@ -1,14 +1,18 @@
-//! PISL & MKI ablation (the paper's Table 1, example-sized).
+//! PISL & MKI ablation (the paper's Table 1, example-sized) on the
+//! session API.
 //!
 //! Trains the same ResNet selector four ways — Standard, +PISL, +MKI,
-//! +PISL&MKI — and prints per-dataset AUC-PR plus training time, showing
-//! that the knowledge modules improve accuracy with negligible overhead.
+//! +PISL&MKI — by driving a `TrainSession` epoch by epoch, prints
+//! per-dataset AUC-PR plus training time, and finally **deploys** the full
+//! knowledge-enhanced selector into a live `SelectorEngine` the way a
+//! continuously retrained service would.
 //!
 //! ```sh
 //! cargo run --release --example knowledge_enhancement
 //! ```
 
 use kdselector::core::pipeline::{Pipeline, PipelineConfig};
+use kdselector::core::serve::SelectorEngine;
 use kdselector::core::train::{MkiConfig, PislConfig, TrainConfig};
 use kdselector::core::Architecture;
 use tsdata::BenchmarkConfig;
@@ -56,19 +60,57 @@ fn main() {
         ),
     ];
 
+    // A live engine: every variant is deployed (hot-swapped) under the
+    // same name the moment its session finishes, exactly the
+    // retrain-and-redeploy loop a serving system runs.
+    let engine = SelectorEngine::with_window_cache(64);
+    let window = pipeline.config.window;
+
     println!("{:<12} {:>10} {:>12}", "Method", "AUC-PR", "Time (s)");
     let mut standard_auc = 0.0;
     for (name, cfg) in variants {
-        let outcome = pipeline.train_nn_with(&cfg, name);
-        let auc = outcome.report.average_auc_pr();
+        // Drive the session epoch by epoch (run_to_completion would do the
+        // same; the explicit loop is where a caller could checkpoint,
+        // early-stop, or report progress).
+        let mut session = pipeline.train_session(&cfg);
+        while !session.is_complete() {
+            let report = session.run_epoch(&pipeline.dataset);
+            if report.epoch == 0 || session.is_complete() {
+                eprintln!(
+                    "  [{name}] epoch {:>2}: loss {:.4}, acc {:.2}, {} windows",
+                    report.epoch, report.loss, report.accuracy, report.examined
+                );
+            }
+        }
+        let (model, stats) = session.finish();
+
+        // Deploy into the live engine (hot-swap under a stable name),
+        // then evaluate through the served handle — the same artefact
+        // concurrent callers would be selecting with.
+        engine
+            .deploy("selector", model, window)
+            .expect("window length matches");
+        let served = engine.get("selector").expect("just deployed");
+        let report = pipeline.evaluate_selector(&*served);
+        let auc = report.average_auc_pr();
         if name == "Standard" {
             standard_auc = auc;
         }
-        println!(
-            "{:<12} {:>10.4} {:>12.1}",
-            name, auc, outcome.stats.train_seconds
-        );
+        println!("{:<12} {:>10.4} {:>12.1}", name, auc, stats.train_seconds);
     }
-    println!("\n(Standard = hard labels only; improvements over {standard_auc:.4} come from");
+
+    // The engine now serves the last deployed variant; selections on the
+    // test split come from the hot-swapped registry entry.
+    let selections = engine
+        .select_batch("selector", &pipeline.benchmark.test)
+        .expect("deployed selector serves");
+    println!(
+        "\nlive engine serves {:?} → {} selections (first: {} at margin {:.2})",
+        engine.names(),
+        selections.len(),
+        selections[0].model,
+        selections[0].margin,
+    );
+    println!("(Standard = hard labels only; improvements over {standard_auc:.4} come from");
     println!(" the detector-performance soft labels and the metadata InfoNCE term.)");
 }

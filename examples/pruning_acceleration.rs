@@ -1,16 +1,22 @@
 //! PA vs InfoBatch vs full-data training (the paper's Table 2,
-//! example-sized).
+//! example-sized) on the session API, plus checkpoint/resume.
 //!
-//! All three runs keep PISL + MKI on (the paper's protocol) and differ only
-//! in the pruning strategy. The point of the demo: PA examines the fewest
-//! samples — and therefore trains fastest — with near-lossless accuracy.
+//! All three runs keep PISL + MKI on (the paper's protocol) and differ
+//! only in the pruning strategy. The point of the demo: PA examines the
+//! fewest samples — and therefore trains fastest — with near-lossless
+//! accuracy. The PA run is additionally **interrupted at the halfway
+//! epoch, checkpointed to disk, and resumed**, and the example verifies
+//! the resumed selector's AUC-PR equals the uninterrupted run's exactly
+//! (the session determinism contract).
 //!
 //! ```sh
 //! cargo run --release --example pruning_acceleration
 //! ```
 
+use kdselector::core::manage::SelectorStore;
 use kdselector::core::pipeline::{Pipeline, PipelineConfig};
 use kdselector::core::prune::PruningStrategy;
+use kdselector::core::selector::NnSelector;
 use kdselector::core::train::TrainConfig;
 use kdselector::core::Architecture;
 use tsdata::BenchmarkConfig;
@@ -42,22 +48,82 @@ fn main() {
         "Method", "AUC-PR", "Time (s)", "Samples visited"
     );
     let mut full_time = None;
+    let mut pa_auc = None;
     for (name, pruning) in variants {
         let cfg = TrainConfig { pruning, ..base };
-        let outcome = pipeline.train_nn_with(&cfg, name);
-        let t = outcome.stats.train_seconds;
+        // Drive the session to completion; the per-epoch loop is where the
+        // examined counts (pruning's whole point) are visible live.
+        let mut session = pipeline.train_session(&cfg);
+        let mut examined = Vec::with_capacity(cfg.epochs);
+        while !session.is_complete() {
+            examined.push(session.run_epoch(&pipeline.dataset).examined);
+        }
+        let (model, stats) = session.finish();
+        let selector = NnSelector::new(name, model, pipeline.config.window);
+        let report = pipeline.evaluate_selector(&selector);
+
+        let t = stats.train_seconds;
         let saved = full_time
             .map(|ft: f64| format!(" (−{:.0}%)", (1.0 - t / ft) * 100.0))
             .unwrap_or_default();
         if full_time.is_none() {
             full_time = Some(t);
         }
+        let auc = report.average_auc_pr();
+        if name == "+PA (Ours)" {
+            pa_auc = Some(auc);
+        }
         println!(
             "{:<12} {:>10.4} {:>9.1}{saved:<6} {:>13.0}%",
             name,
-            outcome.report.average_auc_pr(),
+            auc,
             t,
-            outcome.stats.examined_fraction() * 100.0,
+            stats.examined_fraction() * 100.0,
         );
+        eprintln!("  per-epoch examined: {examined:?}");
     }
+
+    // --- Checkpoint/resume: interrupt the PA run halfway, persist the ---
+    // --- session, resume from disk, and land on the identical result. ---
+    let pa_cfg = TrainConfig {
+        pruning: PruningStrategy::pa_default(),
+        ..base
+    };
+    let store_dir = std::env::temp_dir().join(format!("kdsel-example-ckpt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let store = SelectorStore::open(&store_dir).expect("store");
+
+    let mut interrupted = pipeline.train_session(&pa_cfg);
+    for _ in 0..pa_cfg.epochs / 2 {
+        interrupted.run_epoch(&pipeline.dataset);
+    }
+    interrupted
+        .save_checkpoint(&store, "pa-halfway")
+        .expect("checkpoint persists");
+    drop(interrupted); // the "crash"
+
+    let mut resumed =
+        kdselector::core::train::TrainSession::resume_from(&store, "pa-halfway", &pipeline.dataset)
+            .expect("checkpoint resumes");
+    println!(
+        "\nresumed PA session from disk at epoch {}/{}",
+        resumed.epoch(),
+        pa_cfg.epochs
+    );
+    resumed.run_to_completion(&pipeline.dataset);
+    let (resumed_model, _) = resumed.finish();
+    let resumed_auc = pipeline
+        .evaluate_selector(&NnSelector::new(
+            "+PA resumed",
+            resumed_model,
+            pipeline.config.window,
+        ))
+        .average_auc_pr();
+    let straight_auc = pa_auc.expect("PA variant ran");
+    assert_eq!(
+        resumed_auc, straight_auc,
+        "resumed run must reproduce the uninterrupted run exactly"
+    );
+    println!("resume is bitwise-faithful: AUC-PR {resumed_auc:.4} == {straight_auc:.4}");
+    let _ = std::fs::remove_dir_all(&store_dir);
 }

@@ -2,10 +2,12 @@
 # Kernel micro-benchmark runner: times the blocked/parallel GEMM backend
 # against the seed's naive kernels, measures serving throughput — direct
 # batch ("serve") and the queued, coalescing front-end ("serve_queue") —
-# plus pool dispatch overhead ("dispatch") and the MIN_PAR_WORK
-# calibration sweep ("par_gate"), and appends one JSON record per run to
-# BENCH_micro.json (repo root), so the perf trajectory accumulates PR
-# over PR.
+# training throughput through the data-parallel session stack ("train":
+# windows/sec at 1 and N worker threads, weights asserted bitwise-equal
+# across the two), plus pool dispatch overhead ("dispatch") and the
+# MIN_PAR_WORK calibration sweep ("par_gate"), and appends one JSON
+# record per run to BENCH_micro.json (repo root), so the perf trajectory
+# accumulates PR over PR.
 #
 # Usage:
 #   scripts/bench.sh                 # bench at the default thread count

@@ -1,9 +1,12 @@
-//! Cross-crate pruning behaviour: InfoBatch vs PA on a real training run.
+//! Cross-crate pruning behaviour: InfoBatch vs PA on a real training run,
+//! plus property-based invariants of `PruneState::plan_epoch` across epoch
+//! sweeps for all three strategies.
 
 mod common;
 
-use kdselector::core::prune::PruningStrategy;
+use kdselector::core::prune::{PruneState, PruningStrategy};
 use kdselector::core::train::TrainConfig;
+use proptest::prelude::*;
 
 #[test]
 fn pa_visits_fewest_samples_and_stays_close_in_accuracy() {
@@ -85,4 +88,162 @@ fn first_and_anneal_epochs_use_full_data() {
     // Some middle epoch must actually prune.
     assert!(examined[1..6].iter().any(|&e| e < n), "{examined:?}");
     common::cleanup("anneal");
+}
+
+/// Picks one of the three `PruningStrategy` variants.
+fn strategy_of(pick: usize, ratio: f64, anneal: f64) -> PruningStrategy {
+    match pick % 3 {
+        0 => PruningStrategy::None,
+        1 => PruningStrategy::InfoBatch { ratio, anneal },
+        _ => PruningStrategy::Pa {
+            ratio,
+            lsh_bits: 12,
+            bins: 4,
+            anneal,
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// `plan_epoch` invariants across a full epoch sweep, every strategy:
+    /// aligned index/weight vectors, in-range unique indices, weights from
+    /// the {1, 1/(1-r)} two-point set, mandatory full epochs (first epoch,
+    /// anneal tail, `None` always), the InfoBatch guarantee that above-mean
+    /// and never-visited samples survive unweighted, and an examined
+    /// fraction within the strategy's bounds.
+    #[test]
+    fn plan_epoch_invariants_hold_across_epoch_sweeps(
+        n in 16usize..160,
+        pick in 0usize..3,
+        ratio in 0.1f64..0.9,
+        anneal in 0.0f64..0.4,
+        epochs in 2usize..10,
+        seed in 0u64..500,
+    ) {
+        let strategy = strategy_of(pick, ratio, anneal);
+        // Clustered LSH inputs so PA actually forms multi-member buckets.
+        let inputs: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                if i % 2 == 0 {
+                    vec![1.0, 2.0, 3.0, (i / 16) as f64 * 1e-4]
+                } else {
+                    vec![-(i as f64), 1.0, (i * i) as f64 * 0.1, 5.0]
+                }
+            })
+            .collect();
+        let lsh = matches!(strategy, PruningStrategy::Pa { .. }).then_some(&inputs[..]);
+        let mut st = PruneState::new(strategy, lsh, n, seed);
+
+        let anneal_start = ((1.0 - anneal) * epochs as f64).ceil() as usize;
+        let keep_weight = (1.0 / (1.0 - ratio)) as f32;
+        let mut total_examined = 0usize;
+        let mut full_epochs = 0usize;
+
+        for epoch in 0..epochs {
+            let plan = st.plan_epoch(epoch, epochs);
+
+            // Index/weight alignment, range, uniqueness.
+            prop_assert_eq!(plan.indices.len(), plan.weights.len());
+            let mut seen = std::collections::BTreeSet::new();
+            for &i in &plan.indices {
+                prop_assert!(i < n, "index {i} out of range {n}");
+                prop_assert!(seen.insert(i), "duplicate index {i}");
+            }
+
+            // Weights come from the strategy's two-point set.
+            for &w in &plan.weights {
+                match strategy {
+                    PruningStrategy::None => prop_assert_eq!(w, 1.0),
+                    _ => prop_assert!(
+                        (w - 1.0).abs() < 1e-6 || (w - keep_weight).abs() < 1e-4,
+                        "weight {w} is neither 1 nor {keep_weight}"
+                    ),
+                }
+            }
+
+            // Mandatory full epochs.
+            let must_be_full = matches!(strategy, PruningStrategy::None)
+                || epoch == 0
+                || epoch >= anneal_start;
+            if must_be_full {
+                prop_assert_eq!(plan.indices.len(), n, "epoch {} must be full", epoch);
+                full_epochs += 1;
+            }
+
+            // InfoBatch keeps every above-mean (and never-visited) sample
+            // with weight 1 — checkable against the public running means.
+            if let PruningStrategy::InfoBatch { .. } = strategy {
+                if !must_be_full {
+                    let visited: Vec<f64> =
+                        (0..n).filter_map(|i| st.avg_loss(i)).collect();
+                    let mean: f64 =
+                        visited.iter().sum::<f64>() / visited.len().max(1) as f64;
+                    for i in 0..n {
+                        let high = st.avg_loss(i).is_none_or(|l| l >= mean);
+                        if high {
+                            let pos = plan.indices.iter().position(|&j| j == i);
+                            prop_assert!(pos.is_some(), "above-mean sample {i} pruned");
+                            prop_assert_eq!(plan.weights[pos.unwrap()], 1.0);
+                        }
+                    }
+                }
+            }
+
+            total_examined += plan.indices.len();
+            // Record synthetic losses so later epochs have running means:
+            // a stable per-sample loss keyed on the index.
+            let losses: Vec<f64> = plan
+                .indices
+                .iter()
+                .map(|&i| if i < n / 2 { 0.1 } else { 2.0 + i as f64 * 1e-3 })
+                .collect();
+            st.record_losses(&plan.indices, &losses);
+        }
+
+        // Examined fraction within strategy bounds: `None` examines
+        // everything; pruning strategies examine at least the mandatory
+        // full epochs and never more than everything.
+        let frac = total_examined as f64 / (n * epochs) as f64;
+        match strategy {
+            PruningStrategy::None => prop_assert!((frac - 1.0).abs() < 1e-12),
+            _ => {
+                let floor = (full_epochs * n) as f64 / (n * epochs) as f64;
+                prop_assert!(frac <= 1.0 + 1e-12, "fraction {frac} above 1");
+                prop_assert!(
+                    frac >= floor - 1e-12,
+                    "fraction {frac} below mandatory-full floor {floor}"
+                );
+            }
+        }
+    }
+
+    /// Planning is history-free: the same state produces the same plan for
+    /// an epoch no matter which (or how many) other epochs were planned —
+    /// the property bitwise checkpoint resume relies on.
+    #[test]
+    fn plan_epoch_is_history_free(
+        n in 16usize..100,
+        pick in 1usize..3,
+        seed in 0u64..500,
+    ) {
+        let strategy = strategy_of(pick, 0.6, 0.0);
+        let inputs: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![(i % 5) as f64, (i / 3) as f64, 1.0])
+            .collect();
+        let lsh = matches!(strategy, PruningStrategy::Pa { .. }).then_some(&inputs[..]);
+        let mut st = PruneState::new(strategy, lsh, n, seed);
+        let idx: Vec<usize> = (0..n).collect();
+        let losses: Vec<f64> = (0..n).map(|i| i as f64 / n as f64).collect();
+        st.record_losses(&idx, &losses);
+
+        let direct = st.plan_epoch(3, 10);
+        // Plan a detour of other epochs, then the same epoch again.
+        let _ = st.plan_epoch(1, 10);
+        let _ = st.plan_epoch(2, 10);
+        let again = st.plan_epoch(3, 10);
+        prop_assert_eq!(direct.indices, again.indices);
+        prop_assert_eq!(direct.weights, again.weights);
+    }
 }
