@@ -15,8 +15,10 @@
 
 use kdselector_core::dataset::SelectorDataset;
 use kdselector_core::labels::PerfMatrix;
-use kdselector_core::selector::NnSelector;
-use kdselector_core::serve::{QueueConfig, SelectRequest, SelectorEngine, ServeQueue};
+use kdselector_core::selector::{NnSelector, Selector};
+use kdselector_core::serve::{
+    QueueConfig, RouterConfig, SelectRequest, SelectorEngine, ServeQueue, ShardedRouter,
+};
 use kdselector_core::train::{MkiConfig, PislConfig, TrainConfig, TrainSession, TrainedSelector};
 use kdselector_core::{Architecture, PruningStrategy};
 use std::io::Write as _;
@@ -270,6 +272,175 @@ fn serving_benchmarks() -> (ServeBench, serde_json::Value) {
         "window_cache": cache_record,
     });
     (serve, queue_record)
+}
+
+/// Routed serving throughput: the same mixed-size 64-series load pushed
+/// through a 4-shard `ShardedRouter` by 4 producer threads, against the
+/// identical requests served by direct `select_batch` calls on the same
+/// producer threads. Eight selector names (same ConvNet weights) spread
+/// the traffic over the placement ring so every shard works.
+///
+/// Both paths run uncached and hold identical weights, so the ratio
+/// isolates what the routing tier adds per request: ring lookup, breaker
+/// admission, queue submit/ticket hand-off, and the coalescer hop. The
+/// routed replies are asserted bitwise-equal to the direct selections
+/// before anything is timed — the record tracks overhead, not drift.
+fn route_benchmark() -> serde_json::Value {
+    const BATCH: usize = 64;
+    const SERIES_LEN: usize = 1024;
+    const WINDOW: usize = 64;
+    const WIDTH: usize = 8;
+    const SHARDS: usize = 4;
+    const PRODUCERS: usize = 4;
+    const NAMES: usize = 8;
+    const ROUNDS: usize = 7;
+
+    let window_cfg = WindowConfig {
+        length: WINDOW,
+        stride: WINDOW / 2,
+        znormalize: true,
+    };
+    let direct_engine = Arc::new(SelectorEngine::new());
+    // cache_capacity 0 keeps the shards uncached like the direct engine,
+    // so repeat rounds don't hand the router a cache win the direct path
+    // lacks.
+    let router = ShardedRouter::new(RouterConfig {
+        shards: SHARDS,
+        cache_capacity: 0,
+        ..RouterConfig::default()
+    });
+    for n in 0..NAMES {
+        let name = format!("convnet-{n}");
+        let selector: Arc<dyn Selector> = Arc::new(NnSelector::new(
+            name.clone(),
+            TrainedSelector::build(Architecture::ConvNet, WINDOW, WIDTH, 7),
+            window_cfg,
+        ));
+        direct_engine.register(&name, Arc::clone(&selector));
+        router
+            .register(&name, selector)
+            .expect("inline registration needs no store");
+    }
+
+    let batch: Vec<TimeSeries> = (0..BATCH)
+        .map(|i| {
+            TimeSeries::new(
+                format!("route-bench-{i}"),
+                "D",
+                (0..SERIES_LEN)
+                    .map(|t| {
+                        let x = t as f64 * 0.05 + i as f64 * 0.7;
+                        x.sin() + 0.3 * (x * 2.3).cos()
+                    })
+                    .collect(),
+                vec![],
+            )
+        })
+        .collect();
+
+    // Mixed request sizes cycling 1, 2, 4, 8; selector names cycling so
+    // the ring spreads requests over all shards.
+    let mut requests: Vec<SelectRequest> = Vec::new();
+    let mut taken = 0usize;
+    let mut size_cycle = [1usize, 2, 4, 8].iter().cycle();
+    while taken < batch.len() {
+        let size = (*size_cycle.next().unwrap()).min(batch.len() - taken);
+        requests.push(SelectRequest::new(
+            format!("convnet-{}", requests.len() % NAMES),
+            batch[taken..taken + size].to_vec(),
+        ));
+        taken += size;
+    }
+    let per_producer = requests.len().div_ceil(PRODUCERS);
+
+    let run_direct = || {
+        std::thread::scope(|s| {
+            for chunk in requests.chunks(per_producer) {
+                let engine = &direct_engine;
+                s.spawn(move || {
+                    for r in chunk {
+                        let selections = engine
+                            .select_batch(&r.selector, &r.batch)
+                            .expect("registered");
+                        std::hint::black_box(selections);
+                    }
+                });
+            }
+        });
+    };
+    let run_routed = || {
+        std::thread::scope(|s| {
+            for chunk in requests.chunks(per_producer) {
+                let router = &router;
+                s.spawn(move || {
+                    for r in chunk {
+                        let reply = router.route(r).expect("healthy tier");
+                        assert!(!reply.degraded, "no faults injected");
+                        std::hint::black_box(reply.selections);
+                    }
+                });
+            }
+        });
+    };
+
+    // Correctness guard before timing: the routed tier must serve the
+    // exact bits the direct engine produces.
+    for r in &requests {
+        let direct = direct_engine
+            .select_batch(&r.selector, &r.batch)
+            .expect("registered");
+        let routed = router.route(r).expect("healthy tier").selections;
+        assert_eq!(direct, routed, "router drifted from the direct engine");
+    }
+
+    // Warm up, then sample interleaved and take each path's median.
+    run_direct();
+    run_routed();
+    let mut direct_samples = Vec::with_capacity(ROUNDS);
+    let mut routed_samples = Vec::with_capacity(ROUNDS);
+    for _ in 0..ROUNDS {
+        let t = Instant::now();
+        run_direct();
+        direct_samples.push(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        run_routed();
+        routed_samples.push(t.elapsed().as_secs_f64());
+    }
+    let median = |samples: &mut Vec<f64>| {
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        samples[samples.len() / 2]
+    };
+    let direct_seconds = median(&mut direct_samples);
+    let routed_seconds = median(&mut routed_samples);
+    let stats = router.stats();
+    router.shutdown();
+
+    let direct_per_sec = BATCH as f64 / direct_seconds;
+    let routed_per_sec = BATCH as f64 / routed_seconds;
+    let relative = routed_per_sec / direct_per_sec;
+    println!(
+        "routed serving:     {routed_per_sec:.0} selections/sec through {SHARDS} shards \
+         ({PRODUCERS} producers, {} requests, {:.0}% of direct {direct_per_sec:.0}/sec)",
+        requests.len(),
+        relative * 100.0,
+    );
+    serde_json::json!({
+        "shards": SHARDS,
+        "producers": PRODUCERS,
+        "selector_names": NAMES,
+        "batch": BATCH,
+        "requests": requests.len(),
+        "series_len": SERIES_LEN,
+        "window": WINDOW,
+        "width": WIDTH,
+        "batch_seconds": routed_seconds,
+        "selections_per_sec": routed_per_sec,
+        "direct_batch_seconds": direct_seconds,
+        "direct_selections_per_sec": direct_per_sec,
+        "relative_throughput": relative,
+        "routed": stats.routed,
+        "retries": stats.retries,
+    })
 }
 
 /// Calibrates the `MIN_PAR_WORK` gate against the persistent pool: the
@@ -640,6 +811,9 @@ fn main() {
         serve.width,
     );
 
+    // --- Routed serving: 4-shard router vs direct, same producers. --------
+    let route = route_benchmark();
+
     // --- Training throughput: session stack, 1 vs N threads. --------------
     let train = train_benchmark();
 
@@ -666,6 +840,7 @@ fn main() {
         "cases": rows,
         "serve": serve_record,
         "serve_queue": serve_queue,
+        "route": route,
         "train": train,
         "dispatch": dispatch,
         "par_gate": par_gate,

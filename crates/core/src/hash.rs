@@ -22,6 +22,35 @@ pub(crate) fn fnv1a_mix(state: &mut u64, v: u64) {
     *state = state.wrapping_mul(FNV_PRIME);
 }
 
+/// Byte-wise FNV-1a over a string — the textbook variant, used where the
+/// *distribution* of the low-order bits matters (consistent-hash ring
+/// placement, deterministic backoff jitter seeds) rather than raw
+/// throughput. Byte-wise, unlike [`fnv1a_mix`], because selector names are
+/// short and a per-byte avalanche spreads single-character differences
+/// across the whole state.
+#[inline]
+pub(crate) fn fnv1a_str(s: &str) -> u64 {
+    let mut state = FNV_OFFSET;
+    for b in s.bytes() {
+        state ^= b as u64;
+        state = state.wrapping_mul(FNV_PRIME);
+    }
+    state
+}
+
+/// SplitMix64 finaliser: avalanches a word so every output bit depends on
+/// every input bit. FNV-1a of short strings concentrates its entropy in
+/// the low-order bits (each byte feeds one xor-multiply); consumers that
+/// *order* or *partition* by the full 64-bit value — the consistent-hash
+/// ring, jitter derivation — must pass the state through this first.
+#[inline]
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -57,6 +57,8 @@ pub use labels::PerfMatrix;
 pub use prune::PruningStrategy;
 pub use selector::Selector;
 pub use serve::{
-    QueueConfig, SelectRequest, Selection, SelectorEngine, ServeError, ServeQueue, WindowCache,
+    FaultAction, FaultPlan, FaultPoint, FaultRule, QueueConfig, RouteError, RouteReply,
+    RouterConfig, SelectRequest, Selection, SelectorEngine, ServeError, ServeQueue, ShardedRouter,
+    WindowCache,
 };
 pub use train::{TrainCheckpoint, TrainConfig, TrainSession, TrainStats, TrainedSelector};

@@ -117,6 +117,15 @@ impl SelectorStore {
         Ok(selector)
     }
 
+    /// Whether a selector of this name is saved (both manifest and
+    /// weights present) — the cheap existence probe the sharded router
+    /// uses to validate a store-backed registration before placing it.
+    pub fn contains(&self, name: &str) -> bool {
+        validate_name(name).is_ok()
+            && self.manifest_path(name).is_file()
+            && self.weights_path(name).is_file()
+    }
+
     /// Lists all saved selector manifests, sorted by name.
     pub fn list(&self) -> std::io::Result<Vec<SelectorManifest>> {
         let mut out = Vec::new();

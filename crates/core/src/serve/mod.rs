@@ -21,6 +21,12 @@
 //! * [`cache::WindowCache`] — an LRU keyed by series *content* (not id)
 //!   that lets repeated series skip re-windowing/z-normalisation; attach
 //!   one with [`SelectorEngine::with_window_cache`].
+//! * [`router::ShardedRouter`] — the supervised sharded tier: selectors
+//!   placed on N shard workers (each its own engine + queue) by consistent
+//!   hashing, with worker supervision/respawn, per-request deadlines,
+//!   bounded deterministic retries, per-(shard, selector) circuit breakers,
+//!   and degraded-mode fallback ([`Selection::degraded`]). Failure paths
+//!   are exercised deterministically through [`fault::FaultPlan`].
 //!
 //! # Determinism
 //!
@@ -65,10 +71,21 @@
 //! ```
 
 pub mod cache;
+pub mod fault;
+pub mod policy;
 pub mod queue;
+pub mod router;
+pub mod shard;
 
 pub use cache::{CacheStats, WindowCache};
-pub use queue::{QueueConfig, ServeQueue, Ticket};
+pub use fault::{FaultAction, FaultInjector, FaultPlan, FaultPoint, FaultRule};
+pub use policy::{Breaker, BreakerConfig, BreakerVerdict, RetryPolicy};
+pub use queue::{QueueConfig, QueueHook, QueueStats, ServeQueue, Ticket};
+pub use router::{
+    HashRing, RouteError, RouteOptions, RouteReply, RouterConfig, RouterStats, ShardHealth,
+    ShardedRouter,
+};
+pub use shard::SelectorSpec;
 
 use crate::manage::SelectorStore;
 use crate::selector::{argmax, majority_winner, vote_counts, NnSelector, Selector};
@@ -110,6 +127,12 @@ pub struct Selection {
     /// Vote margin: `(top count − runner-up count) / windows`, in `[0, 1]`.
     /// `0` for windowless series; `1` when every window agrees.
     pub margin: f64,
+    /// `true` when the selection was served by a degraded-mode fallback
+    /// selector (circuit breaker open, or no deadline budget left for the
+    /// primary) rather than the selector the request named. Degraded
+    /// answers are best-effort: callers that need the primary's answer
+    /// should treat this flag as a retry-later signal.
+    pub degraded: bool,
 }
 
 impl Selection {
@@ -142,7 +165,15 @@ impl Selection {
             votes,
             windows,
             margin,
+            degraded: false,
         }
+    }
+
+    /// Marks the selection as served by a fallback selector (see
+    /// [`Selection::degraded`]).
+    pub fn into_degraded(mut self) -> Self {
+        self.degraded = true;
+        self
     }
 }
 
@@ -178,6 +209,15 @@ pub enum ServeError {
     /// The selector panicked while serving the request (carries the
     /// panic message). The queue survives and keeps serving.
     Panicked(String),
+    /// The worker thread serving the queue died (a panic escaped the
+    /// per-group guard, e.g. through an injected [`queue::QueueHook`])
+    /// before this request could be served, or would never serve it. The
+    /// supervision layer respawns workers; retrying covers the window.
+    WorkerDied,
+    /// An installed [`queue::QueueHook`] refused admission (fault
+    /// injection / custom admission policy). The request was **not**
+    /// enqueued.
+    Rejected,
 }
 
 impl std::fmt::Display for ServeError {
@@ -200,6 +240,10 @@ impl std::fmt::Display for ServeError {
                 )
             }
             ServeError::Panicked(msg) => write!(f, "selector panicked while serving: {msg}"),
+            ServeError::WorkerDied => {
+                write!(f, "the serve queue's worker thread died before serving")
+            }
+            ServeError::Rejected => write!(f, "admission hook rejected the request"),
         }
     }
 }

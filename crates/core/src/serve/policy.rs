@@ -1,0 +1,296 @@
+//! Request lifecycle policy for the sharded serving tier: bounded retries
+//! with deterministic jittered backoff, and per-(shard, selector) circuit
+//! breakers.
+//!
+//! Everything here is deliberately **clock- and RNG-free**:
+//!
+//! * Backoff jitter is a pure function of `(seed, selector, attempt)` —
+//!   the same request retries with the same delays on every run, which is
+//!   what lets the fault-injection replay contract extend to the retry
+//!   paths ("given a seed and a fault schedule, replay is bitwise-identical
+//!   to live").
+//! * The breaker is **count-based**, not time-based: it trips after N
+//!   consecutive failures and, while open, admits every K-th *arrival* as
+//!   a half-open probe. Arrival counts are part of the request stream, so
+//!   a scripted request sequence drives the breaker through the exact same
+//!   state transitions regardless of wall-clock timing or `KD_THREADS`.
+
+use crate::hash::{fnv1a_str, splitmix64};
+use std::time::Duration;
+
+/// Bounded-retry policy with deterministic jittered exponential backoff.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (`0` disables retrying; `3` means
+    /// up to 4 total attempts).
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles per subsequent retry.
+    pub backoff_base: Duration,
+    /// Upper bound on the un-jittered backoff.
+    pub backoff_cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 3,
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(50),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Total attempts this policy allows (first try + retries).
+    pub fn max_attempts(&self) -> u32 {
+        self.max_retries.saturating_add(1)
+    }
+
+    /// The backoff to sleep before retry number `attempt` (1-based: the
+    /// first retry is attempt 1). Exponential — `base · 2^(attempt−1)`,
+    /// capped at `backoff_cap` — then scaled into `[50%, 100%]` by a
+    /// deterministic jitter drawn from `(seed, selector, attempt)`.
+    /// Jitter decorrelates concurrent retry storms across selectors while
+    /// keeping every individual schedule replayable.
+    pub fn backoff(&self, seed: u64, selector: &str, attempt: u32) -> Duration {
+        if attempt == 0 {
+            return Duration::ZERO;
+        }
+        let exp = attempt.saturating_sub(1).min(32);
+        let raw = self
+            .backoff_base
+            .saturating_mul(1u32.checked_shl(exp).unwrap_or(u32::MAX))
+            .min(self.backoff_cap);
+        let jitter = jitter01(splitmix64(
+            seed ^ fnv1a_str(selector) ^ u64::from(attempt).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        ));
+        raw.mul_f64(0.5 + 0.5 * jitter)
+    }
+}
+
+/// Maps a hash word onto `[0, 1)` using its top 53 bits (the f64 mantissa
+/// width, so every representable step is equally likely).
+fn jitter01(x: u64) -> f64 {
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Circuit-breaker thresholds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip the breaker open.
+    pub trip_after: u32,
+    /// While open, every `probe_every`-th arrival is admitted as a
+    /// half-open probe (the first shed arrival starts the count; a
+    /// successful probe closes the breaker). `1` probes on every arrival.
+    pub probe_every: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        Self {
+            trip_after: 3,
+            probe_every: 4,
+        }
+    }
+}
+
+/// What the breaker says about an arriving request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerVerdict {
+    /// Closed: serve normally.
+    Serve,
+    /// Open, but this arrival is the half-open probe: serve it; its
+    /// outcome decides whether the breaker closes.
+    Probe,
+    /// Open: shed the request (the router degrades to the fallback).
+    Shed,
+}
+
+/// A count-based circuit breaker for one (shard, selector) pair.
+///
+/// Closed → [`BreakerConfig::trip_after`] consecutive failures → Open.
+/// While open, arrivals are shed except every
+/// [`BreakerConfig::probe_every`]-th one, which is admitted as a probe;
+/// a success (probe or otherwise) closes the breaker and clears the
+/// failure count. Not internally synchronised — the router serialises
+/// access through its breaker map lock.
+#[derive(Debug, Clone)]
+pub struct Breaker {
+    config: BreakerConfig,
+    /// Consecutive failures since the last success.
+    fails: u32,
+    state: BreakerState,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BreakerState {
+    Closed,
+    /// Arrivals seen since the breaker opened (probes included).
+    Open {
+        arrivals: u32,
+    },
+}
+
+impl Breaker {
+    /// A closed breaker with the given thresholds.
+    pub fn new(config: BreakerConfig) -> Self {
+        Self {
+            config: BreakerConfig {
+                trip_after: config.trip_after.max(1),
+                probe_every: config.probe_every.max(1),
+            },
+            fails: 0,
+            state: BreakerState::Closed,
+        }
+    }
+
+    /// Classifies an arriving request (and, while open, advances the probe
+    /// schedule).
+    pub fn admit(&mut self) -> BreakerVerdict {
+        match &mut self.state {
+            BreakerState::Closed => BreakerVerdict::Serve,
+            BreakerState::Open { arrivals } => {
+                let n = *arrivals;
+                *arrivals += 1;
+                // Arrival 0 (the first one after tripping) is shed; the
+                // probe_every-th, 2·probe_every-th, ... are probes.
+                if n % self.config.probe_every == self.config.probe_every - 1 {
+                    BreakerVerdict::Probe
+                } else {
+                    BreakerVerdict::Shed
+                }
+            }
+        }
+    }
+
+    /// Records a successful service: closes the breaker and clears the
+    /// consecutive-failure count.
+    pub fn on_success(&mut self) {
+        self.fails = 0;
+        self.state = BreakerState::Closed;
+    }
+
+    /// Records a service failure; trips the breaker once `trip_after`
+    /// consecutive failures accumulate (a failed probe re-opens with a
+    /// fresh arrival count).
+    pub fn on_failure(&mut self) {
+        self.fails = self.fails.saturating_add(1);
+        if self.fails >= self.config.trip_after {
+            self.state = BreakerState::Open { arrivals: 0 };
+        }
+    }
+
+    /// Whether the breaker is currently open (shedding).
+    pub fn is_open(&self) -> bool {
+        matches!(self.state, BreakerState::Open { .. })
+    }
+
+    /// Consecutive failures since the last success.
+    pub fn consecutive_failures(&self) -> u32 {
+        self.fails
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_and_exponential() {
+        let policy = RetryPolicy {
+            max_retries: 5,
+            backoff_base: Duration::from_millis(2),
+            backoff_cap: Duration::from_millis(40),
+        };
+        // Same inputs → same delay, bit-for-bit.
+        for attempt in 1..=5 {
+            assert_eq!(
+                policy.backoff(7, "resnet", attempt),
+                policy.backoff(7, "resnet", attempt)
+            );
+        }
+        // Jitter keeps each delay within [50%, 100%] of the raw backoff.
+        for (attempt, raw_ms) in [(1u32, 2u64), (2, 4), (3, 8), (4, 16), (5, 32)] {
+            let d = policy.backoff(7, "resnet", attempt);
+            let raw = Duration::from_millis(raw_ms);
+            assert!(d <= raw, "attempt {attempt}: {d:?} > {raw:?}");
+            assert!(d >= raw.mul_f64(0.5), "attempt {attempt}: {d:?} too small");
+        }
+        // The cap bounds late attempts.
+        assert!(policy.backoff(7, "resnet", 30) <= Duration::from_millis(40));
+        // Different seeds and selectors decorrelate.
+        assert_ne!(
+            policy.backoff(7, "resnet", 3),
+            policy.backoff(8, "resnet", 3)
+        );
+        assert_ne!(
+            policy.backoff(7, "resnet", 3),
+            policy.backoff(7, "convnet", 3)
+        );
+        // Attempt 0 (the first try) never sleeps.
+        assert_eq!(policy.backoff(7, "resnet", 0), Duration::ZERO);
+    }
+
+    #[test]
+    fn breaker_trips_probes_and_closes() {
+        let mut b = Breaker::new(BreakerConfig {
+            trip_after: 3,
+            probe_every: 4,
+        });
+        // Closed: serves, failures below the threshold don't trip.
+        assert_eq!(b.admit(), BreakerVerdict::Serve);
+        b.on_failure();
+        b.on_failure();
+        assert!(!b.is_open());
+        assert_eq!(b.admit(), BreakerVerdict::Serve);
+        // Third consecutive failure trips it.
+        b.on_failure();
+        assert!(b.is_open());
+        assert_eq!(b.consecutive_failures(), 3);
+        // Open: arrivals 0..=2 shed, arrival 3 probes.
+        assert_eq!(b.admit(), BreakerVerdict::Shed);
+        assert_eq!(b.admit(), BreakerVerdict::Shed);
+        assert_eq!(b.admit(), BreakerVerdict::Shed);
+        assert_eq!(b.admit(), BreakerVerdict::Probe);
+        // Failed probe: stays open, schedule continues (arrivals 4..=6
+        // shed, 7 probes).
+        b.on_failure();
+        assert!(b.is_open());
+        assert_eq!(b.admit(), BreakerVerdict::Shed);
+        assert_eq!(b.admit(), BreakerVerdict::Shed);
+        assert_eq!(b.admit(), BreakerVerdict::Shed);
+        assert_eq!(b.admit(), BreakerVerdict::Probe);
+        // Successful probe closes and resets.
+        b.on_success();
+        assert!(!b.is_open());
+        assert_eq!(b.consecutive_failures(), 0);
+        assert_eq!(b.admit(), BreakerVerdict::Serve);
+    }
+
+    #[test]
+    fn success_resets_the_consecutive_count() {
+        let mut b = Breaker::new(BreakerConfig {
+            trip_after: 2,
+            probe_every: 1,
+        });
+        b.on_failure();
+        b.on_success();
+        b.on_failure();
+        assert!(!b.is_open(), "non-consecutive failures must not trip");
+        b.on_failure();
+        assert!(b.is_open());
+        // probe_every = 1: every open arrival probes.
+        assert_eq!(b.admit(), BreakerVerdict::Probe);
+    }
+
+    #[test]
+    fn degenerate_configs_are_clamped() {
+        let mut b = Breaker::new(BreakerConfig {
+            trip_after: 0,
+            probe_every: 0,
+        });
+        b.on_failure(); // trip_after clamps to 1
+        assert!(b.is_open());
+        assert_eq!(b.admit(), BreakerVerdict::Probe); // probe_every clamps to 1
+    }
+}

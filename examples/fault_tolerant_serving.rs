@@ -1,0 +1,265 @@
+//! Fault-tolerant serving through the supervised sharded tier.
+//!
+//! ```sh
+//! cargo run --release --example fault_tolerant_serving
+//! ```
+//!
+//! Trains a quick selector, persists it, and registers it under several
+//! names on a 4-shard `ShardedRouter` — then injects the failure modes
+//! the tier is built to absorb and shows what each one turns into:
+//!
+//! * **admission rejects** → transparent bounded retries;
+//! * **a worker-thread panic** → the supervisor respawns the shard from
+//!   the `SelectorStore` and the retried request gets the exact bits the
+//!   old worker would have served;
+//! * **persistent scoring panics** → the per-(shard, selector) circuit
+//!   breaker trips and requests degrade to the cheap non-NN fallback
+//!   (replies marked `degraded`) until a half-open probe heals it;
+//! * **a wedged (stalled) worker** → the per-request deadline bounds the
+//!   caller's wait (degraded reply, never a hang) while the supervisor
+//!   detects the stagnant heartbeat and respawns the shard;
+//! * **live migration** → a selector moves to another shard under
+//!   traffic with the exactly-old-or-exactly-new guarantee.
+//!
+//! Every injected fault is a count-based `FaultRule`, so the same seed
+//! and schedule replay the same recovery outcomes and the same served
+//! bits (attempt counts and lifetime counters vary with scheduling —
+//! `tests/serve_router.rs` pins exactly what is bitwise-replayable).
+
+use kdselector::core::manage::SelectorStore;
+use kdselector::core::nonnn::{FeatureModel, FeatureSelector};
+use kdselector::core::pipeline::{Pipeline, PipelineConfig};
+use kdselector::core::serve::{
+    BreakerConfig, FaultAction, FaultPlan, FaultPoint, FaultRule, RetryPolicy, RouteOptions,
+    RouterConfig, SelectRequest, ShardedRouter,
+};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    // 1. Offline: quick-train a selector, persist it, and fit the cheap
+    //    feature-based fallback the tier degrades to when a primary is
+    //    unavailable.
+    println!("Preparing benchmark + training a quick selector...");
+    let pipeline = Pipeline::prepare(PipelineConfig::quick()).expect("label generation");
+    let outcome = pipeline.train_nn_selector();
+    let fallback = Arc::new(FeatureSelector::train(
+        &pipeline.dataset,
+        FeatureModel::Knn,
+        pipeline.config.train.seed,
+    ));
+    let store_dir = std::env::temp_dir().join("kdselector-fault-demo");
+    let store = SelectorStore::open(&store_dir).expect("store");
+    let names = ["sel-a", "sel-b", "sel-c", "sel-d"];
+    for name in names {
+        store
+            .save(name, &outcome.selector.model, "fault_tolerant_serving demo")
+            .expect("save");
+    }
+
+    // 2. The fault schedule. Count-based rules (`times(n)`) spend a fixed
+    //    budget and then stop firing, which is what makes the recovery
+    //    paths replayable.
+    let plan = Arc::new(
+        FaultPlan::new()
+            // sel-a: two rejects at admission — retries absorb them.
+            .with(
+                FaultRule::at(FaultPoint::Submit, FaultAction::Reject)
+                    .on_selector("sel-a")
+                    .times(2),
+            )
+            // sel-b: one worker-killing panic — supervision absorbs it.
+            .with(
+                FaultRule::at(
+                    FaultPoint::Group,
+                    FaultAction::Panic("drill: worker down".into()),
+                )
+                .on_selector("sel-b")
+                .times(1),
+            )
+            // sel-c: six scoring panics (= max attempts) — the breaker
+            // trips and traffic degrades to the fallback.
+            .with(
+                FaultRule::at(
+                    FaultPoint::Score,
+                    FaultAction::Panic("drill: score bomb".into()),
+                )
+                .on_selector("sel-c")
+                .times(6),
+            )
+            // sel-d: one 250 ms stall — the deadline bounds the caller
+            // while the supervisor respawns the wedged worker.
+            .with(
+                FaultRule::at(
+                    FaultPoint::Group,
+                    FaultAction::Stall(Duration::from_millis(250)),
+                )
+                .on_selector("sel-d")
+                .times(1),
+            ),
+    );
+
+    // 3. Service startup: a 4-shard tier with fast supervision and enough
+    //    retry budget to ride out a respawn, loading every selector from
+    //    the store onto its ring-placed shard.
+    let router = ShardedRouter::with_fault_injection(
+        RouterConfig {
+            shards: 4,
+            retry: RetryPolicy {
+                max_retries: 5,
+                backoff_base: Duration::from_millis(2),
+                backoff_cap: Duration::from_millis(10),
+            },
+            // Trip after 3 consecutive failures; while open, every 2nd
+            // arrival is a half-open probe.
+            breaker: BreakerConfig {
+                trip_after: 3,
+                probe_every: 2,
+            },
+            supervise_every: Duration::from_millis(2),
+            seed: 42,
+            ..RouterConfig::default()
+        },
+        plan,
+    );
+    for name in names {
+        router
+            .register_from_store(&store, name, pipeline.config.window)
+            .expect("register from store");
+    }
+    router.set_fallback(fallback);
+    for name in names {
+        println!("  {name} → shard {}", router.shard_of(name));
+    }
+
+    // The injected panics below are deliberate; keep their backtraces out
+    // of the demo output.
+    std::panic::set_hook(Box::new(|_| {}));
+    println!("\n(injected worker panics silenced for readability)");
+
+    let request =
+        |name: &str, i: usize| SelectRequest::new(name, vec![pipeline.benchmark.test[i].clone()]);
+
+    // 4. Rejects: the router retries with deterministic jittered backoff.
+    let reply = router
+        .route(&request("sel-a", 0))
+        .expect("retries cover rejects");
+    println!(
+        "\nsel-a (2 injected rejects): served on shard {:?} after {} attempts, degraded: {}",
+        reply.shard, reply.attempts, reply.degraded
+    );
+
+    // 5. Worker death: the first attempt dies with the worker; the
+    //    supervisor respawns the shard (re-registering its selectors from
+    //    the store) and a retry lands on the fresh worker.
+    let reply = router
+        .route(&request("sel-b", 1))
+        .expect("supervision covers the panic");
+    let again = router
+        .route(&request("sel-b", 1))
+        .expect("respawned worker serves");
+    let health = &router.stats().shards[router.shard_of("sel-b")];
+    println!(
+        "sel-b (worker panic):       served after {} attempts, shard respawns: {}, \
+         bits stable across the respawn: {}",
+        reply.attempts,
+        health.respawns,
+        reply.selections == again.selections,
+    );
+
+    // 6. Breaker: six straight scoring panics burn every attempt, trip the
+    //    (shard, selector) breaker, and the reply comes from the fallback,
+    //    marked degraded. Follow-up arrivals shed straight to the fallback
+    //    until a half-open probe succeeds and closes the breaker.
+    let reply = router
+        .route(&request("sel-c", 2))
+        .expect("fallback answers");
+    let open = router
+        .stats()
+        .shards
+        .iter()
+        .map(|s| s.breakers_open)
+        .sum::<usize>();
+    println!(
+        "sel-c (persistent panics):  degraded: {} (fallback answered; {open} breaker(s) open)",
+        reply.degraded
+    );
+    let reply = router
+        .route(&request("sel-c", 2))
+        .expect("shed to fallback");
+    println!(
+        "sel-c (breaker open):       degraded: {} after {} attempts (shed)",
+        reply.degraded, reply.attempts
+    );
+    let reply = router.route(&request("sel-c", 2)).expect("probe heals");
+    let open = router
+        .stats()
+        .shards
+        .iter()
+        .map(|s| s.breakers_open)
+        .sum::<usize>();
+    println!(
+        "sel-c (half-open probe):    degraded: {} ({open} breaker(s) open — the probe healed it)",
+        reply.degraded
+    );
+
+    // 7. Deadline on a wedged worker: the caller gets a degraded reply
+    //    within its budget — never a hang — and the supervisor replaces
+    //    the stalled worker behind the scenes.
+    let reply = router
+        .route_with(
+            &request("sel-d", 3),
+            RouteOptions {
+                deadline: Some(Duration::from_millis(60)),
+            },
+        )
+        .expect("deadline degrades instead of hanging");
+    println!(
+        "sel-d (250 ms stall):       degraded: {} (answered within the 60 ms budget)",
+        reply.degraded
+    );
+    std::thread::sleep(Duration::from_millis(100)); // let supervision catch the wedge
+    let reply = router
+        .route(&request("sel-d", 3))
+        .expect("respawned worker serves");
+    println!(
+        "sel-d (after respawn):      degraded: {} (primary is back)",
+        reply.degraded
+    );
+
+    let _ = std::panic::take_hook();
+
+    // 8. Live migration: move sel-a to the next shard under traffic.
+    let from = router.shard_of("sel-a");
+    let to = (from + 1) % 4;
+    router.migrate("sel-a", to).expect("drained hand-off");
+    let reply = router
+        .route(&request("sel-a", 4))
+        .expect("serves from the new shard");
+    println!(
+        "\nmigrated sel-a: shard {from} → {to}, now served on shard {:?}",
+        reply.shard
+    );
+
+    // 9. The tier's own accounting.
+    let stats = router.stats();
+    println!(
+        "\nrouter: {} routed, {} degraded, {} failed, {} retries",
+        stats.routed, stats.degraded, stats.failed, stats.retries
+    );
+    for shard in &stats.shards {
+        println!(
+            "  shard {}: alive {}, generation {}, admitted {}, served {}, rejected {}, panicked {}",
+            shard.shard,
+            shard.alive,
+            shard.generation,
+            shard.queue.admitted,
+            shard.queue.served,
+            shard.queue.rejected,
+            shard.queue.panicked,
+        );
+    }
+    router.shutdown();
+
+    let _ = std::fs::remove_dir_all(&store_dir);
+}

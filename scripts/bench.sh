@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Kernel micro-benchmark runner: times the blocked/parallel GEMM backend
 # against the seed's naive kernels, measures serving throughput — direct
-# batch ("serve") and the queued, coalescing front-end ("serve_queue") —
+# batch ("serve"), the queued, coalescing front-end ("serve_queue"), and
+# the supervised 4-shard router tier vs direct on the same producer
+# threads ("route", with a bitwise routed == direct guard) —
 # training throughput through the data-parallel session stack ("train":
 # windows/sec at 1 and N worker threads, weights asserted bitwise-equal
 # across the two), plus pool dispatch overhead ("dispatch") and the

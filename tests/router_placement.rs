@@ -1,0 +1,86 @@
+//! Property tests for the consistent-hash placement ring behind
+//! `ShardedRouter`:
+//!
+//! * **Balance** — at realistic selector counts the busiest shard carries
+//!   a bounded multiple of the ideal (uniform) load, and no shard starves.
+//! * **Stability** — growing the ring from N to N+1 shards relocates only
+//!   selectors that move *to* the new shard (never between two old
+//!   shards), and only about 1/(N+1) of them.
+//!
+//! The proptest shim draws deterministic cases from a fixed per-test
+//! seed, so the empirical bounds below are exact regression pins, not
+//! flaky statistical hopes.
+
+use kdselector::core::serve::HashRing;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Balance: with 64 vnodes per shard, the max/ideal load factor stays
+    /// small and every shard gets work.
+    fn ring_balances_load(
+        shards in 2usize..=8,
+        selectors in 100usize..=400,
+        salt in 0u64..1_000_000,
+    ) {
+        let ring = HashRing::new(shards, 64);
+        let mut counts = vec![0usize; shards];
+        for i in 0..selectors {
+            counts[ring.place(&format!("sel-{salt}-{i}"))] += 1;
+        }
+        let ideal = selectors as f64 / shards as f64;
+        let max = *counts.iter().max().unwrap() as f64;
+        let min = *counts.iter().min().unwrap();
+        prop_assert!(
+            max <= ideal * 2.0 + 8.0,
+            "busiest shard {max} vs ideal {ideal:.1} (shards={shards}, n={selectors}): {counts:?}"
+        );
+        prop_assert!(
+            min > 0,
+            "no shard may starve at n={selectors}, shards={shards}: {counts:?}"
+        );
+    }
+
+    /// Stability: adding one shard only relocates selectors TO the new
+    /// shard, and roughly the expected 1/(N+1) fraction of them.
+    fn ring_growth_is_stable(
+        shards in 2usize..=8,
+        selectors in 100usize..=400,
+        salt in 0u64..1_000_000,
+    ) {
+        let before = HashRing::new(shards, 64);
+        let after = HashRing::new(shards + 1, 64);
+        let mut moved = 0usize;
+        for i in 0..selectors {
+            let name = format!("sel-{salt}-{i}");
+            let (old, new) = (before.place(&name), after.place(&name));
+            if old != new {
+                prop_assert_eq!(
+                    new, shards,
+                    "{} moved {} → {}: consistent growth may only move keys to the NEW shard",
+                    name, old, new
+                );
+                moved += 1;
+            }
+        }
+        let expected = selectors as f64 / (shards + 1) as f64;
+        prop_assert!(
+            (moved as f64) <= expected * 2.5 + 8.0,
+            "{moved} moved vs ~{expected:.1} expected (shards {shards}→{}, n={selectors})",
+            shards + 1
+        );
+    }
+
+    /// Placement is a pure function of (ring geometry, name): two rings
+    /// built with the same parameters agree on every key.
+    fn ring_is_deterministic(shards in 1usize..=8, vnodes in 1usize..=128, salt in 0u64..1_000_000) {
+        let a = HashRing::new(shards, vnodes);
+        let b = HashRing::new(shards, vnodes);
+        for i in 0..50 {
+            let name = format!("k-{salt}-{i}");
+            prop_assert_eq!(a.place(&name), b.place(&name));
+            prop_assert!(a.place(&name) < shards);
+        }
+    }
+}

@@ -1,0 +1,572 @@
+//! The supervised sharded tier's contract, enforced end to end:
+//!
+//! 1. **Sharded ≡ direct, bitwise.** Requests routed through the 4-shard
+//!    tier under concurrent producers return `Selection`s bit-identical to
+//!    the direct engine, across `KD_THREADS ∈ {1, 4}`.
+//! 2. **Failure policy, deterministically.** With a scripted fault plan
+//!    (count-based, so schedules replay exactly): injected rejects are
+//!    retried to success; score panics trip the per-(shard, selector)
+//!    breaker, shed to the degraded fallback, half-open on the probe
+//!    schedule, and close on success; a worker-killing panic is respawned
+//!    by the supervisor with the re-registered selector serving the same
+//!    bits; a stalled worker blows the request's deadline into a degraded
+//!    reply, is declared wedged, and is respawned.
+//! 3. **Replay ≡ live.** The whole scripted failure sequence, run twice
+//!    with fresh routers and fresh fault plans at `KD_THREADS ∈ {1, 4}`,
+//!    produces byte-identical transcripts.
+//! 4. **Totality.** Under a concurrent fault storm (rejects + worker
+//!    deaths + score panics + stalls), every `route` call returns exactly
+//!    once — a result, a degraded result, or a typed error; never a hang.
+//! 5. **Migration.** A selector migrates between shards under live
+//!    traffic with every reply bit-identical to direct serving.
+//!
+//! Lives in its own integration binary because it mutates the
+//! process-global `tspar` thread policy (one test fn so mutations never
+//! interleave). CI additionally runs the whole binary at `KD_THREADS=1`
+//! and `KD_THREADS=4`, in release mode, via the matrix legs.
+
+use kdselector::core::manage::SelectorStore;
+use kdselector::core::selector::Selector;
+use kdselector::core::serve::{
+    BreakerConfig, FaultAction, FaultPlan, FaultPoint, FaultRule, QueueConfig, RetryPolicy,
+    RouteError, RouteOptions, RouterConfig, SelectRequest, Selection, SelectorEngine,
+    ShardedRouter,
+};
+use kdselector::core::train::TrainedSelector;
+use kdselector::core::Architecture;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tsdata::{TimeSeries, WindowConfig};
+use tspar::Parallelism;
+
+const KD_SWEEP: [usize; 2] = [1, 4];
+const PRODUCERS: usize = 4;
+
+fn window_cfg() -> WindowConfig {
+    WindowConfig {
+        length: 64,
+        stride: 32,
+        znormalize: true,
+    }
+}
+
+fn series_pool(n: usize, len: usize) -> Vec<TimeSeries> {
+    (0..n)
+        .map(|i| {
+            TimeSeries::new(
+                format!("route-{i}"),
+                format!("D{}", i % 3),
+                (0..len)
+                    .map(|t| {
+                        let x = t as f64 * 0.11 + i as f64 * 0.6;
+                        x.sin() + 0.4 * (x * 3.1).cos()
+                    })
+                    .collect(),
+                vec![],
+            )
+        })
+        .collect()
+}
+
+/// `(name, seed)` for every store-backed selector the suite registers.
+/// The dedicated failure-phase selectors get their own names so breaker
+/// state never leaks between phases.
+const SELECTORS: [(&str, u64); 10] = [
+    ("sel-0", 31),
+    ("sel-1", 32),
+    ("sel-2", 33),
+    ("sel-3", 34),
+    ("sel-4", 35),
+    ("sel-5", 36),
+    ("rej", 41),
+    ("brk", 43),
+    ("die", 47),
+    ("stall", 53),
+];
+
+/// The degraded-mode fallback: cheap, deterministic, obviously not an NN
+/// (votes by series length), so fallback replies are distinguishable from
+/// any primary's.
+struct LenFallback;
+
+impl Selector for LenFallback {
+    fn name(&self) -> &str {
+        "len-fallback"
+    }
+    fn series_scores(&self, ts: &TimeSeries) -> Vec<Vec<f32>> {
+        let mut row = vec![0.0f32; 12];
+        row[ts.len() % 12] = 1.0;
+        vec![row]
+    }
+}
+
+/// Registers every suite selector on `router` from the store.
+fn register_all(router: &ShardedRouter, store: &SelectorStore) {
+    for (name, _) in SELECTORS {
+        router
+            .register_from_store(store, name, window_cfg())
+            .expect("register from store");
+    }
+    router.set_fallback(Arc::new(LenFallback));
+}
+
+fn scripted_config() -> RouterConfig {
+    RouterConfig {
+        shards: 4,
+        vnodes: 64,
+        queue: QueueConfig::default(),
+        cache_capacity: 64,
+        retry: RetryPolicy {
+            max_retries: 5,
+            backoff_base: Duration::from_millis(2),
+            backoff_cap: Duration::from_millis(10),
+        },
+        breaker: BreakerConfig {
+            trip_after: 3,
+            probe_every: 2,
+        },
+        deadline: Duration::from_secs(2),
+        supervise_every: Duration::from_millis(2),
+        wedge_checks: 3,
+        seed: 42,
+    }
+}
+
+/// The scripted fault schedule: count-based rules, so it replays exactly.
+fn scripted_plan() -> Arc<FaultPlan> {
+    Arc::new(
+        FaultPlan::new()
+            // C: two rejects at admission, then clean.
+            .with(
+                FaultRule::at(FaultPoint::Submit, FaultAction::Reject)
+                    .on_selector("rej")
+                    .times(2),
+            )
+            // D: exactly max_attempts score panics — route #1 burns all six
+            // attempts and trips the breaker; the half-open probe then
+            // finds the budget spent and succeeds.
+            .with(
+                FaultRule::at(FaultPoint::Score, FaultAction::Panic("score-bomb".into()))
+                    .on_selector("brk")
+                    .times(6),
+            )
+            // E: one worker-killing panic.
+            .with(
+                FaultRule::at(FaultPoint::Group, FaultAction::Panic("shard-death".into()))
+                    .on_selector("die")
+                    .times(1),
+            )
+            // F: one stall far past the request deadline.
+            .with(
+                FaultRule::at(
+                    FaultPoint::Group,
+                    FaultAction::Stall(Duration::from_millis(400)),
+                )
+                .on_selector("stall")
+                .times(1),
+            ),
+    )
+}
+
+fn wait_for(what: &str, mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+/// One transcript line per routed request: phase tag, degraded flag, and
+/// the full Debug of the selections (which includes every vote count and
+/// the margin bits). Deliberately excludes attempt counts and shard
+/// respawn timing — those depend on scheduler interleaving; the
+/// determinism contract is about *what was answered*, bit for bit.
+fn record(transcript: &mut Vec<String>, tag: &str, degraded: bool, selections: &[Selection]) {
+    transcript.push(format!("{tag}: deg={degraded} {selections:?}"));
+}
+
+/// Runs the scripted failure sequence (phases C–F) against a fresh router
+/// with a fresh fault plan and returns the transcript. Called repeatedly,
+/// at different `KD_THREADS`, to prove replay ≡ live.
+fn run_scripted(store: &SelectorStore, pool: &[TimeSeries]) -> String {
+    let router = ShardedRouter::with_fault_injection(scripted_config(), scripted_plan());
+    register_all(&router, store);
+    let mut transcript = Vec::new();
+    let one = |name: &str, i: usize| SelectRequest::new(name, vec![pool[i % pool.len()].clone()]);
+
+    // ---- C: injected rejects are retried to success. --------------------
+    let reply = router.route(&one("rej", 0)).expect("retries cover rejects");
+    assert_eq!(reply.attempts, 3, "2 rejects + 1 success");
+    assert!(!reply.degraded);
+    record(
+        &mut transcript,
+        "reject-retry",
+        reply.degraded,
+        &reply.selections,
+    );
+
+    // ---- D: score panics trip the breaker; probe schedule closes it. ----
+    let brk_shard = router.shard_of("brk");
+    // Route #1: every attempt panics → degraded fallback, breaker trips.
+    let reply = router.route(&one("brk", 1)).expect("fallback serves");
+    assert!(reply.degraded, "exhausted retries must degrade");
+    assert_eq!(reply.shard, None, "fallback serves inline, not on a shard");
+    record(
+        &mut transcript,
+        "breaker-trip",
+        reply.degraded,
+        &reply.selections,
+    );
+    assert!(
+        router.stats().shards[brk_shard].breakers_open >= 1,
+        "breaker must be open after consecutive failures"
+    );
+    // Route #2: first open arrival is shed → degraded without an attempt.
+    let reply = router.route(&one("brk", 1)).expect("shed degrades");
+    assert!(reply.degraded);
+    assert_eq!(reply.attempts, 0, "shed requests never reach a shard");
+    record(
+        &mut transcript,
+        "breaker-shed",
+        reply.degraded,
+        &reply.selections,
+    );
+    // Route #3: second open arrival is the half-open probe; the fault
+    // budget is spent, so it succeeds and closes the breaker.
+    let reply = router.route(&one("brk", 1)).expect("probe succeeds");
+    assert!(!reply.degraded, "successful probe serves the primary");
+    record(
+        &mut transcript,
+        "breaker-probe",
+        reply.degraded,
+        &reply.selections,
+    );
+    assert_eq!(
+        router.stats().shards[brk_shard].breakers_open,
+        0,
+        "success must close the breaker"
+    );
+    // Route #4: plain service, breaker closed.
+    let reply = router.route(&one("brk", 1)).expect("closed breaker serves");
+    assert!(!reply.degraded);
+    assert_eq!(reply.attempts, 1);
+    record(
+        &mut transcript,
+        "breaker-closed",
+        reply.degraded,
+        &reply.selections,
+    );
+
+    // ---- E: worker death → supervisor respawn → same bits. --------------
+    let die_shard = router.shard_of("die");
+    let gen_before = router.stats().shards[die_shard].generation;
+    let reply = router
+        .route(&one("die", 2))
+        .expect("retries cover the respawn window");
+    assert!(!reply.degraded, "respawned shard serves the primary");
+    record(
+        &mut transcript,
+        "worker-death",
+        reply.degraded,
+        &reply.selections,
+    );
+    wait_for("supervisor respawn after worker death", || {
+        router.stats().shards[die_shard].generation > gen_before
+    });
+
+    // ---- F: stall past the deadline → degraded now, respawned shortly. --
+    let stall_shard = router.shard_of("stall");
+    let gen_before = router.stats().shards[stall_shard].generation;
+    let reply = router
+        .route_with(
+            &one("stall", 3),
+            RouteOptions {
+                deadline: Some(Duration::from_millis(60)),
+            },
+        )
+        .expect("deadline degrades instead of hanging");
+    assert!(reply.degraded, "stalled shard must degrade to the fallback");
+    record(
+        &mut transcript,
+        "stall-degrade",
+        reply.degraded,
+        &reply.selections,
+    );
+    // The supervisor declares the worker wedged (stagnant heartbeat with
+    // work in flight) and respawns it...
+    wait_for("wedge detection and respawn", || {
+        router.stats().shards[stall_shard].generation > gen_before
+    });
+    // ...after which the re-registered selector serves normally.
+    let reply = router
+        .route(&one("stall", 3))
+        .expect("respawned shard serves");
+    assert!(!reply.degraded);
+    record(
+        &mut transcript,
+        "stall-recovered",
+        reply.degraded,
+        &reply.selections,
+    );
+
+    // Cross-shard health reflects the scripted history.
+    let stats = router.stats();
+    assert!(stats.routed >= 8, "every scripted route was counted");
+    assert!(stats.degraded >= 3, "three degraded replies were served");
+    assert_eq!(stats.failed, 0, "no scripted request failed terminally");
+    let rejected: u64 = stats.shards.iter().map(|s| s.queue.rejected).sum();
+    assert!(rejected >= 2, "the two injected rejects were counted");
+    router.shutdown();
+    transcript.join("\n")
+}
+
+#[test]
+fn sharded_routing_is_deterministic_supervised_and_total() {
+    // ---- Shared fixtures: a store of saved selectors + a series pool. ---
+    tspar::set_parallelism(Parallelism::Fixed(1));
+    let store_dir = std::env::temp_dir().join(format!("kdsel-router-it-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let store = SelectorStore::open(&store_dir).expect("store");
+    for (name, seed) in SELECTORS {
+        let model = TrainedSelector::build(Architecture::ConvNet, 64, 8, seed);
+        store.save(name, &model, "router suite").expect("save");
+    }
+    let pool = series_pool(12, 380);
+
+    // References: the direct engine, loaded from the same store.
+    let direct = SelectorEngine::new();
+    for (name, _) in SELECTORS {
+        direct.load(&store, name, window_cfg()).expect("load");
+    }
+    let requests: Vec<SelectRequest> = (0..PRODUCERS * 10)
+        .map(|i| {
+            let (name, _) = SELECTORS[i % 6]; // the sel-* group
+            let size = 1 + i % 3;
+            let batch: Vec<TimeSeries> = (0..size)
+                .map(|j| pool[(i * 5 + j * 7) % pool.len()].clone())
+                .collect();
+            SelectRequest::new(name, batch)
+        })
+        .collect();
+    let expected: Vec<Vec<Selection>> = requests
+        .iter()
+        .map(|r| direct.handle(r).expect("direct serve"))
+        .collect();
+
+    // ---- 1. Sharded ≡ direct under concurrent producers, KD sweep. ------
+    for &threads in &KD_SWEEP {
+        tspar::set_parallelism(Parallelism::Fixed(threads));
+        let router = ShardedRouter::new(RouterConfig::default());
+        register_all(&router, &store);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..PRODUCERS)
+                .map(|p| {
+                    let router = &router;
+                    let requests = &requests;
+                    s.spawn(move || {
+                        (0..requests.len())
+                            .filter(|i| i % PRODUCERS == p)
+                            .map(|i| (i, router.route(&requests[i]).expect("routed")))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (i, reply) in handle.join().expect("producer thread") {
+                    assert_eq!(
+                        reply.selections, expected[i],
+                        "request {i} diverged from direct serving at KD_THREADS={threads}"
+                    );
+                    assert!(!reply.degraded, "no faults: nothing may degrade");
+                    assert_eq!(
+                        reply.shard,
+                        Some(router.shard_of(&requests[i].selector)),
+                        "request {i} must be served by its placed shard"
+                    );
+                }
+            }
+        });
+
+        // Placement and health sanity on the live tier.
+        let stats = router.stats();
+        assert_eq!(stats.routed, requests.len() as u64);
+        assert_eq!(stats.degraded, 0);
+        assert_eq!(stats.failed, 0);
+        let placed: usize = stats.shards.iter().map(|s| s.selectors.len()).sum();
+        assert_eq!(
+            placed,
+            SELECTORS.len(),
+            "every selector lives on exactly one shard"
+        );
+        for health in &stats.shards {
+            assert!(health.alive, "no faults: every worker stays alive");
+            assert_eq!(health.generation, 0, "no faults: no respawns");
+            for name in &health.selectors {
+                assert_eq!(router.shard_of(name), health.shard);
+            }
+        }
+        let admitted: u64 = stats.shards.iter().map(|s| s.queue.admitted).sum();
+        assert_eq!(admitted, requests.len() as u64);
+
+        // Unknown selectors fail fast and typed.
+        let err = router
+            .route(&SelectRequest::new("ghost", vec![pool[0].clone()]))
+            .unwrap_err();
+        assert_eq!(err, RouteError::UnknownSelector("ghost".into()));
+        router.shutdown();
+    }
+
+    // ---- 2+3. Scripted failure sequence; replay ≡ live, KD sweep. -------
+    let mut transcripts = Vec::new();
+    for &threads in &KD_SWEEP {
+        tspar::set_parallelism(Parallelism::Fixed(threads));
+        std::panic::set_hook(Box::new(|_| {})); // deliberate injected panics
+        let live = run_scripted(&store, &pool);
+        let replay = run_scripted(&store, &pool);
+        let _ = std::panic::take_hook();
+        assert_eq!(
+            live, replay,
+            "replay must be byte-identical to live at KD_THREADS={threads}"
+        );
+        transcripts.push(live);
+    }
+    assert_eq!(
+        transcripts[0], transcripts[1],
+        "the scripted transcript must be KD_THREADS-invariant"
+    );
+    // The scripted primaries answered with the direct engine's bits: the
+    // recovered phases' selections appear verbatim in the transcript.
+    for (name, idx) in [("rej", 0usize), ("brk", 1), ("die", 2), ("stall", 3)] {
+        let sels = direct
+            .select_batch(name, &pool[idx..=idx])
+            .expect("direct reference");
+        assert!(
+            transcripts[0].contains(&format!("{sels:?}")),
+            "{name}: the transcript must contain the direct engine's bits"
+        );
+    }
+
+    // ---- 4. Totality under a concurrent fault storm. --------------------
+    tspar::set_parallelism(Parallelism::Fixed(4));
+    {
+        let plan = Arc::new(
+            FaultPlan::new()
+                .with(FaultRule::at(FaultPoint::Submit, FaultAction::Reject).times(6))
+                .with(
+                    FaultRule::at(FaultPoint::Group, FaultAction::Panic("storm-death".into()))
+                        .times(2),
+                )
+                .with(
+                    FaultRule::at(FaultPoint::Score, FaultAction::Panic("storm-score".into()))
+                        .times(4),
+                )
+                .with(
+                    FaultRule::at(
+                        FaultPoint::Group,
+                        FaultAction::Stall(Duration::from_millis(30)),
+                    )
+                    .times(3),
+                ),
+        );
+        let router = ShardedRouter::with_fault_injection(scripted_config(), plan);
+        register_all(&router, &store);
+        std::panic::set_hook(Box::new(|_| {}));
+        let outcomes: Vec<(usize, bool)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..PRODUCERS)
+                .map(|p| {
+                    let router = &router;
+                    let requests = &requests;
+                    let expected = &expected;
+                    s.spawn(move || {
+                        (0..requests.len())
+                            .filter(|i| i % PRODUCERS == p)
+                            .map(|i| {
+                                // Totality: every call must RETURN — a
+                                // result, a degraded result, or a typed
+                                // error. The scope join below would hang
+                                // (and wait_for-style CI timeouts fail)
+                                // if any call did not.
+                                match router.route(&requests[i]) {
+                                    Ok(reply) => {
+                                        if !reply.degraded {
+                                            assert_eq!(
+                                                reply.selections, expected[i],
+                                                "storm request {i}: primary replies stay bitwise"
+                                            );
+                                        }
+                                        (i, reply.degraded)
+                                    }
+                                    Err(
+                                        RouteError::DeadlineExceeded { .. }
+                                        | RouteError::Exhausted { .. }
+                                        | RouteError::BreakerOpen,
+                                    ) => (i, true),
+                                    Err(other) => panic!("storm request {i}: {other}"),
+                                }
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("storm producer"))
+                .collect()
+        });
+        let _ = std::panic::take_hook();
+        assert_eq!(outcomes.len(), requests.len(), "every request completed");
+        assert_eq!(router.stats().routed, requests.len() as u64);
+        router.shutdown();
+    }
+
+    // ---- 5. Migration under live traffic stays bitwise. -----------------
+    tspar::set_parallelism(Parallelism::Fixed(4));
+    {
+        let router = ShardedRouter::new(RouterConfig::default());
+        register_all(&router, &store);
+        let source = router.shard_of("sel-0");
+        let target = (source + 1) % 4;
+        let mig_request = SelectRequest::new("sel-0", vec![pool[4].clone()]);
+        let mig_expected = direct.select_batch("sel-0", &pool[4..=4]).expect("direct");
+        std::thread::scope(|s| {
+            let producers: Vec<_> = (0..2)
+                .map(|_| {
+                    let router = &router;
+                    let mig_request = &mig_request;
+                    s.spawn(move || {
+                        (0..60)
+                            .map(|_| router.route(mig_request).expect("routed during migration"))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            // Migrate mid-traffic.
+            std::thread::sleep(Duration::from_millis(5));
+            router.migrate("sel-0", target).expect("migration");
+            for handle in producers {
+                for reply in handle.join().expect("migration producer") {
+                    assert_eq!(
+                        reply.selections, mig_expected,
+                        "every reply across the migration is bitwise identical"
+                    );
+                    assert!(!reply.degraded);
+                }
+            }
+        });
+        assert_eq!(router.shard_of("sel-0"), target, "placement flipped");
+        assert!(router.shard_serves(target, "sel-0"), "target serves it");
+        assert!(!router.shard_serves(source, "sel-0"), "source retired it");
+        // Post-migration service is still bitwise.
+        let reply = router.route(&mig_request).expect("served after migration");
+        assert_eq!(reply.selections, mig_expected);
+        assert_eq!(reply.shard, Some(target));
+        // Migrating to the current home is a no-op.
+        router
+            .migrate("sel-0", target)
+            .expect("idempotent migration");
+        router.shutdown();
+    }
+
+    let _ = std::fs::remove_dir_all(&store_dir);
+    tspar::set_parallelism(Parallelism::Auto);
+}
