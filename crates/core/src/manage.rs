@@ -181,6 +181,8 @@ impl SelectorStore {
         let tmp = self.dir.join(format!(
             ".{name}.ckpt.tmp-{}-{}",
             std::process::id(),
+            // kdlint: allow(relaxed): RMW-unique sequence — each caller gets
+            // a distinct temp suffix; nothing is published through it.
             TMP_SEQ.fetch_add(1, Ordering::Relaxed)
         ));
         let bytes = serde_json::to_vec(checkpoint)?;

@@ -150,6 +150,8 @@ impl Pipeline {
 
     /// Trains and evaluates a feature-based baseline.
     pub fn run_feature_baseline(&self, kind: FeatureModel) -> (EvalReport, f64) {
+        // kdlint: allow(wallclock): reported training-time metric only — the
+        // selector and its evaluation never read the clock.
         let start = std::time::Instant::now();
         let selector = FeatureSelector::train(&self.dataset, kind, self.config.train.seed);
         let seconds = start.elapsed().as_secs_f64();
@@ -161,6 +163,8 @@ impl Pipeline {
 
     /// Trains and evaluates the Rocket baseline.
     pub fn run_rocket_baseline(&self) -> (EvalReport, f64) {
+        // kdlint: allow(wallclock): reported training-time metric only — the
+        // selector and its evaluation never read the clock.
         let start = std::time::Instant::now();
         let selector = RocketSelector::train(&self.dataset, self.config.train.seed);
         let seconds = start.elapsed().as_secs_f64();

@@ -303,17 +303,15 @@ impl PruneState {
         });
         let m = order.len();
         let bins = bins.max(1);
-        let mut buckets: std::collections::HashMap<(u64, usize), Vec<usize>> =
-            std::collections::HashMap::new();
+        // BTreeMap iterates in key order, which is exactly the sorted-key
+        // order the RNG consumption sequence depends on.
+        let mut buckets: std::collections::BTreeMap<(u64, usize), Vec<usize>> =
+            std::collections::BTreeMap::new();
         for (rank, &i) in order.iter().enumerate() {
             let bin = rank * bins / m.max(1);
             buckets.entry((signatures[i], bin)).or_default().push(i);
         }
-        // Deterministic iteration order (HashMap order is not stable).
-        let mut keys: Vec<(u64, usize)> = buckets.keys().copied().collect();
-        keys.sort_unstable();
-        for key in keys {
-            let members = &buckets[&key];
+        for members in buckets.values() {
             if members.len() == 1 {
                 indices.push(members[0]);
                 weights.push(1.0);

@@ -31,13 +31,15 @@
 //! least-recently-used on a monotonic touch counter under one mutex, so
 //! capacity only affects *speed*, never results.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use tsdata::{TimeSeries, WindowConfig};
 
 /// Cache key: content hash + extraction parameters (see the module docs).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// `Ord` (not `Hash`) because the map is a `BTreeMap` — eviction scans in
+/// key order, so victim selection is deterministic under ties.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 struct Key {
     /// 64-bit word-wise FNV-1a over the `f64` bit patterns of the values.
     content: u64,
@@ -79,7 +81,7 @@ struct Entry {
 }
 
 struct Inner {
-    map: HashMap<Key, Entry>,
+    map: BTreeMap<Key, Entry>,
     tick: u64,
 }
 
@@ -119,7 +121,7 @@ impl WindowCache {
     pub fn new(capacity: usize) -> Self {
         Self {
             inner: Mutex::new(Inner {
-                map: HashMap::new(),
+                map: BTreeMap::new(),
                 tick: 0,
             }),
             capacity: capacity.max(1),
@@ -152,10 +154,14 @@ impl WindowCache {
             let tick = inner.tick;
             if let Some(entry) = inner.map.get_mut(&key) {
                 entry.last_used = tick;
+                // kdlint: allow(relaxed): stat counter — read only by
+                // `stats()` snapshots; nothing branches on it.
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 return Arc::clone(&entry.windows);
             }
         }
+        // kdlint: allow(relaxed): stat counter — read only by `stats()`
+        // snapshots; nothing branches on it.
         self.misses.fetch_add(1, Ordering::Relaxed);
         let built = Arc::new(build());
         let mut inner = self.inner.lock().unwrap();
@@ -203,7 +209,10 @@ impl WindowCache {
     /// Snapshot of the hit/miss/occupancy counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
+            // kdlint: allow(relaxed): stat snapshot — approximate reads are
+            // fine; tests that assert exact values quiesce first.
             hits: self.hits.load(Ordering::Relaxed),
+            // kdlint: allow(relaxed): stat snapshot — same as above.
             misses: self.misses.load(Ordering::Relaxed),
             entries: self.len(),
         }

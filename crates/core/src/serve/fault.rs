@@ -139,8 +139,12 @@ impl FaultRule {
         }
         if let Some(remaining) = &self.remaining {
             // Claim one occurrence atomically; concurrent matchers race for
-            // the budget but never over-fire.
-            let mut cur = remaining.load(Ordering::Relaxed);
+            // the budget but never over-fire. AcqRel on the claim (Acquire
+            // on the loads) so a thread that observes the budget exhausted
+            // also observes every effect of the faults that drained it —
+            // callers branch on this value, so it is control flow, not a
+            // stat counter.
+            let mut cur = remaining.load(Ordering::Acquire);
             loop {
                 if cur == 0 {
                     return None;
@@ -148,8 +152,8 @@ impl FaultRule {
                 match remaining.compare_exchange_weak(
                     cur,
                     cur - 1,
-                    Ordering::Relaxed,
-                    Ordering::Relaxed,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
                 ) {
                     Ok(_) => break,
                     Err(seen) => cur = seen,

@@ -141,10 +141,16 @@ struct Counters {
 impl Counters {
     fn snapshot(&self) -> QueueStats {
         QueueStats {
+            // kdlint: allow(relaxed): stat snapshot — monotonic telemetry;
+            // tests asserting exact values quiesce the queue first.
             admitted: self.admitted.load(Ordering::Relaxed),
+            // kdlint: allow(relaxed): stat snapshot — see `admitted`.
             served: self.served.load(Ordering::Relaxed),
+            // kdlint: allow(relaxed): stat snapshot — see `admitted`.
             rejected: self.rejected.load(Ordering::Relaxed),
+            // kdlint: allow(relaxed): stat snapshot — see `admitted`.
             coalesced: self.coalesced.load(Ordering::Relaxed),
+            // kdlint: allow(relaxed): stat snapshot — see `admitted`.
             panicked: self.panicked.load(Ordering::Relaxed),
         }
     }
@@ -177,8 +183,19 @@ pub trait QueueHook: Send + Sync {
 }
 
 /// One-shot completion slot shared between a [`Ticket`] and the coalescer.
+struct SlotState {
+    /// Set by the winning `complete` and never cleared. Completion must be
+    /// remembered separately from `value`: the waiter consumes `value`, and
+    /// if "completed" were inferred from `value.is_some()`, a drop-guard
+    /// running after the waiter redeemed the ticket would see `None` and
+    /// "win" a second completion on an already-served slot (miscounting it
+    /// as a worker death).
+    completed: bool,
+    value: Option<Result<Vec<Selection>, ServeError>>,
+}
+
 struct Slot {
-    result: Mutex<Option<Result<Vec<Selection>, ServeError>>>,
+    state: Mutex<SlotState>,
     ready: Condvar,
 }
 
@@ -189,11 +206,12 @@ impl Slot {
     /// already failed (or re-served) the same tickets — first writer wins,
     /// every ticket still resolves exactly once.
     fn complete(&self, result: Result<Vec<Selection>, ServeError>) -> bool {
-        let mut guard = self.result.lock().unwrap();
-        if guard.is_some() {
+        let mut guard = self.state.lock().unwrap();
+        if guard.completed {
             return false;
         }
-        *guard = Some(result);
+        guard.completed = true;
+        guard.value = Some(result);
         self.ready.notify_all();
         true
     }
@@ -209,9 +227,13 @@ impl Ticket {
     /// [`Selection`] per submitted series, in request order — bit-identical
     /// to what [`SelectorEngine::handle`] returns for the same request.
     pub fn wait(self) -> Result<Vec<Selection>, ServeError> {
-        let guard = self.slot.result.lock().unwrap();
-        let mut guard = self.slot.ready.wait_while(guard, |r| r.is_none()).unwrap();
-        guard.take().expect("slot completed exactly once")
+        let guard = self.slot.state.lock().unwrap();
+        // kdlint: allow(unbounded-wait): bounded by the queue totality
+        // contract — every admitted slot completes exactly once (worker,
+        // drain, or Pending drop-guard on worker death), so this wait
+        // always ends; deadline-budgeted callers use `wait_for`.
+        let mut guard = self.slot.ready.wait_while(guard, |s| !s.completed).unwrap();
+        guard.value.take().expect("slot completed exactly once")
     }
 
     /// [`Ticket::wait`] with a deadline: returns the result if it arrives
@@ -220,22 +242,22 @@ impl Ticket {
     /// deadline-budgeted router path. An abandoned ticket is safe to drop;
     /// the response is discarded when it arrives.
     pub fn wait_for(self, timeout: Duration) -> Result<Result<Vec<Selection>, ServeError>, Ticket> {
-        let guard = self.slot.result.lock().unwrap();
+        let guard = self.slot.state.lock().unwrap();
         let (mut guard, timed_out) = self
             .slot
             .ready
-            .wait_timeout_while(guard, timeout, |r| r.is_none())
+            .wait_timeout_while(guard, timeout, |s| !s.completed)
             .unwrap();
-        if timed_out.timed_out() && guard.is_none() {
+        if timed_out.timed_out() && !guard.completed {
             drop(guard);
             return Err(self);
         }
-        Ok(guard.take().expect("slot completed exactly once"))
+        Ok(guard.value.take().expect("slot completed exactly once"))
     }
 
     /// Whether the response is ready (`wait` would not block).
     pub fn is_ready(&self) -> bool {
-        self.slot.result.lock().unwrap().is_some()
+        self.slot.state.lock().unwrap().completed
     }
 }
 
@@ -262,6 +284,7 @@ pub(crate) struct Pending {
 impl Drop for Pending {
     fn drop(&mut self) {
         if self.slot.complete(Err(ServeError::WorkerDied)) {
+            // kdlint: allow(relaxed): stat counter — snapshot-only reads.
             self.counters.panicked.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -373,7 +396,10 @@ impl ServeQueue {
     /// ticket, exactly as [`SelectorEngine::handle`] would report it.
     pub fn submit(&self, request: SelectRequest) -> Result<Ticket, ServeError> {
         let slot = Arc::new(Slot {
-            result: Mutex::new(None),
+            state: Mutex::new(SlotState {
+                completed: false,
+                value: None,
+            }),
             ready: Condvar::new(),
         });
         {
@@ -386,6 +412,7 @@ impl ServeQueue {
                     self.shared
                         .counters
                         .rejected
+                        // kdlint: allow(relaxed): stat counter — snapshot-only.
                         .fetch_add(1, Ordering::Relaxed);
                     return Err(err);
                 }
@@ -402,6 +429,7 @@ impl ServeQueue {
                 self.shared
                     .counters
                     .rejected
+                    // kdlint: allow(relaxed): stat counter — snapshot-only.
                     .fetch_add(1, Ordering::Relaxed);
                 return Err(ServeError::Overloaded {
                     depth,
@@ -411,6 +439,9 @@ impl ServeQueue {
             self.shared
                 .counters
                 .admitted
+                // kdlint: allow(relaxed): stat counter — snapshot-only; the
+                // admission bound itself reads `st.queue.len()` under the
+                // state lock, never this counter.
                 .fetch_add(1, Ordering::Relaxed);
             st.queue.push_back(Pending {
                 request,
@@ -425,6 +456,8 @@ impl ServeQueue {
     /// Convenience: submit and wait in one call (still goes through the
     /// FIFO and coalescer, so it can be merged with neighbours).
     pub fn serve(&self, request: SelectRequest) -> Result<Vec<Selection>, ServeError> {
+        // kdlint: allow(unbounded-wait): `Ticket::wait` — bounded by the
+        // queue totality contract (see its annotation).
         self.submit(request)?.wait()
     }
 
@@ -448,14 +481,21 @@ impl ServeQueue {
     /// that sees the beat stagnate while [`ServeQueue::has_work`] holds
     /// should treat the worker as wedged.
     pub fn heartbeat(&self) -> u64 {
-        self.shared.beats.load(Ordering::Relaxed)
+        // Acquire pairs with the worker's Release bumps: a supervisor that
+        // observes a beat also observes the group claim/completion behind
+        // it — this is cross-thread control flow (wedge detection), not a
+        // stat counter.
+        self.shared.beats.load(Ordering::Acquire)
     }
 
     /// Whether the worker currently has anything to do: requests pending in
     /// the FIFO or a claimed group in flight. A stagnant heartbeat is only
     /// suspicious while this is `true`.
     pub fn has_work(&self) -> bool {
-        self.shared.in_flight.load(Ordering::Relaxed) || self.depth() > 0
+        // Acquire pairs with the worker's Release stores: supervisors
+        // branch on this flag (a stagnant beat is only suspicious while
+        // work is pending), so it must not be weaker than the beat.
+        self.shared.in_flight.load(Ordering::Acquire) || self.depth() > 0
     }
 
     /// Whether the coalescer thread is still running. `false` after
@@ -489,6 +529,10 @@ impl ServeQueue {
             // A panic on the coalescer thread has already completed the
             // affected tickets (Pending drop-guards); nothing useful to do
             // with the payload here.
+            // kdlint: allow(unbounded-wait): bounded by the drain — the
+            // shutdown flag is already set, so the worker exits after at
+            // most the admitted backlog; wedged workers are handled by the
+            // supervision layer via `begin_shutdown`, which never joins.
             let _ = handle.join();
         }
     }
@@ -559,6 +603,10 @@ fn coalescer_loop(engine: &SelectorEngine, shared: &Shared) {
             let st = shared.state.lock().unwrap();
             let mut st = shared
                 .work
+                // kdlint: allow(unbounded-wait): idle worker parking —
+                // every submit and shutdown notifies under the same mutex,
+                // so the wait is bounded by the arrival of work or
+                // shutdown, not by a timer.
                 .wait_while(st, |s| s.queue.is_empty() && !s.shutdown)
                 .unwrap();
             let Some(first) = st.queue.pop_front() else {
@@ -581,8 +629,11 @@ fn coalescer_loop(engine: &SelectorEngine, shared: &Shared) {
         // The state lock is released here: producers keep submitting (and
         // the admission bound keeps measuring true backlog) while the
         // engine computes.
-        shared.in_flight.store(true, Ordering::Relaxed);
-        shared.beats.fetch_add(1, Ordering::Relaxed);
+        // Release pairs with the supervisor's Acquire loads in `heartbeat`
+        // and `has_work`: wedge detection branches on these, so the claim
+        // must be published before the beat that advertises it.
+        shared.in_flight.store(true, Ordering::Release);
+        shared.beats.fetch_add(1, Ordering::Release);
         if let Some(hook) = &shared.hook {
             // Deliberately outside the scoring panic guard: a panicking
             // hook kills the worker (the supervision fault path). The
@@ -590,8 +641,10 @@ fn coalescer_loop(engine: &SelectorEngine, shared: &Shared) {
             hook.on_group(&group[0].request.selector);
         }
         serve_group(engine, shared, group);
-        shared.beats.fetch_add(1, Ordering::Relaxed);
-        shared.in_flight.store(false, Ordering::Relaxed);
+        // Release, as above: the completed group happens-before the beat
+        // and the in-flight clear a supervisor may branch on.
+        shared.beats.fetch_add(1, Ordering::Release);
+        shared.in_flight.store(false, Ordering::Release);
     }
 }
 
@@ -601,6 +654,7 @@ fn serve_group(engine: &SelectorEngine, shared: &Shared, group: Vec<Pending>) {
     if group.len() > 1 {
         counters
             .coalesced
+            // kdlint: allow(relaxed): stat counter — snapshot-only.
             .fetch_add(group.len() as u64, Ordering::Relaxed);
     }
     // Borrow, don't copy: the merged batch is a list of references into
@@ -633,6 +687,7 @@ fn serve_group(engine: &SelectorEngine, shared: &Shared, group: Vec<Pending>) {
                 let take = pending.request.batch.len();
                 let part: Vec<Selection> = all.by_ref().take(take).collect();
                 if pending.slot.complete(Ok(part)) {
+                    // kdlint: allow(relaxed): stat counter — snapshot-only.
                     counters.served.fetch_add(1, Ordering::Relaxed);
                 }
             }
@@ -655,6 +710,7 @@ fn serve_group(engine: &SelectorEngine, shared: &Shared, group: Vec<Pending>) {
                     .slot
                     .complete(Err(ServeError::Panicked(msg.clone())))
                 {
+                    // kdlint: allow(relaxed): stat counter — snapshot-only.
                     counters.panicked.fetch_add(1, Ordering::Relaxed);
                 }
             }
@@ -721,6 +777,29 @@ mod tests {
     }
 
     #[test]
+    fn a_redeemed_slot_stays_completed() {
+        // Regression: completion used to be inferred from `value.is_some()`,
+        // so once the waiter consumed the value, a late drop-guard
+        // `complete(WorkerDied)` would "win" again and miscount a served
+        // request as a worker death (flaking the stats tests above).
+        let slot = Arc::new(Slot {
+            state: Mutex::new(SlotState {
+                completed: false,
+                value: None,
+            }),
+            ready: Condvar::new(),
+        });
+        assert!(slot.complete(Ok(vec![])));
+        let ticket = Ticket {
+            slot: Arc::clone(&slot),
+        };
+        // kdlint: allow(unbounded-wait): the slot is completed above, so
+        // this returns without blocking.
+        assert!(ticket.wait().is_ok());
+        assert!(!slot.complete(Err(ServeError::WorkerDied)));
+    }
+
+    #[test]
     fn stats_count_panicked_requests() {
         struct Bomb;
         impl Selector for Bomb {
@@ -755,6 +834,8 @@ mod tests {
         queue.shutdown();
         queue.shutdown(); // double shutdown: no join panic, no deadlock
         for ticket in tickets {
+            // kdlint: allow(unbounded-wait): shutdown above drained the
+            // queue, so every slot is already complete.
             assert_eq!(ticket.wait().expect("drained").len(), 1);
         }
         // Admissions stay closed, idempotently.
@@ -777,6 +858,8 @@ mod tests {
             }
         });
         for ticket in tickets {
+            // kdlint: allow(unbounded-wait): the scope joined the shutdown
+            // threads, so the drain already completed every slot.
             assert!(ticket.wait().is_ok(), "drained during concurrent shutdown");
         }
     }
@@ -790,6 +873,8 @@ mod tests {
             }
             fn series_scores(&self, _ts: &TimeSeries) -> Vec<Vec<f32>> {
                 let open = self.0.lock().unwrap();
+                // kdlint: allow(unbounded-wait): test gate — the test body
+                // opens it right after the bounded wait times out.
                 drop(self.1.wait_while(open, |o| !*o).unwrap());
                 vec![vec![1.0; 12]]
             }
@@ -823,6 +908,8 @@ mod tests {
         struct RejectOnce(AtomicU64);
         impl QueueHook for RejectOnce {
             fn on_submit(&self, _selector: &str) -> Option<ServeError> {
+                // kdlint: allow(relaxed): RMW-unique claim — exactly one
+                // caller observes 0; no data is published through it.
                 if self.0.fetch_add(1, Ordering::Relaxed) == 0 {
                     Some(ServeError::Rejected)
                 } else {
@@ -850,6 +937,8 @@ mod tests {
         struct KillOnce(AtomicU64);
         impl QueueHook for KillOnce {
             fn on_group(&self, _selector: &str) {
+                // kdlint: allow(relaxed): RMW-unique claim — exactly one
+                // caller observes 0; no data is published through it.
                 if self.0.fetch_add(1, Ordering::Relaxed) == 0 {
                     panic!("injected worker death");
                 }

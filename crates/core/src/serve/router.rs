@@ -42,10 +42,12 @@ use crate::hash::{fnv1a_mix, fnv1a_str, splitmix64};
 use crate::manage::SelectorStore;
 use crate::selector::Selector;
 use crate::train::TrainedSelector;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, Weak};
+// kdlint: allow(wallclock): the router's clock use is deadline budgeting
+// only — each site below carries its own annotation.
 use std::time::{Duration, Instant};
 use tsdata::WindowConfig;
 
@@ -282,7 +284,8 @@ pub struct ShardedRouter {
     /// before the ring.
     overrides: Mutex<BTreeMap<String, usize>>,
     fallback: Mutex<Option<Arc<dyn Selector>>>,
-    breakers: Mutex<HashMap<(usize, String), Breaker>>,
+    /// `BTreeMap` so `stats()` aggregates in deterministic key order.
+    breakers: Mutex<BTreeMap<(usize, String), Breaker>>,
     routed: AtomicU64,
     degraded: AtomicU64,
     failed: AtomicU64,
@@ -328,7 +331,7 @@ impl ShardedRouter {
             specs: Mutex::new(BTreeMap::new()),
             overrides: Mutex::new(BTreeMap::new()),
             fallback: Mutex::new(None),
-            breakers: Mutex::new(HashMap::new()),
+            breakers: Mutex::new(BTreeMap::new()),
             routed: AtomicU64::new(0),
             degraded: AtomicU64::new(0),
             failed: AtomicU64::new(0),
@@ -511,14 +514,18 @@ impl ShardedRouter {
         //    empty batch is free (no windows to score) and cannot change
         //    any counter callers observe.
         let barrier = SelectRequest::new(name, Vec::new());
+        // kdlint: allow(wallclock): drain deadline — bounds how long the
+        // migration waits, never what any request computes.
         let deadline = Instant::now() + self.config.deadline;
         loop {
             let queue = self.shards[source].queue();
             match queue.submit(barrier.clone()) {
                 Ok(ticket) => {
+                    // kdlint: allow(wallclock): remaining drain budget.
                     let remaining = deadline.saturating_duration_since(Instant::now());
                     match ticket.wait_for(remaining) {
                         Ok(_) => break,
+                        // kdlint: allow(wallclock): deadline check only.
                         Err(_) if Instant::now() >= deadline => {
                             return Err(std::io::Error::new(
                                 std::io::ErrorKind::TimedOut,
@@ -532,6 +539,7 @@ impl ShardedRouter {
                 // transplant (respawn) preserves FIFO order, so retry the
                 // barrier against the replacement queue.
                 Err(ServeError::WorkerDied | ServeError::ShuttingDown) => {
+                    // kdlint: allow(wallclock): deadline check only.
                     if Instant::now() >= deadline {
                         return Err(std::io::Error::new(
                             std::io::ErrorKind::TimedOut,
@@ -541,6 +549,7 @@ impl ShardedRouter {
                     std::thread::sleep(Duration::from_millis(1));
                 }
                 Err(ServeError::Overloaded { .. } | ServeError::Rejected) => {
+                    // kdlint: allow(wallclock): deadline check only.
                     if Instant::now() >= deadline {
                         return Err(std::io::Error::new(
                             std::io::ErrorKind::TimedOut,
@@ -583,10 +592,14 @@ impl ShardedRouter {
         // Authoritative existence check: unknown names fail fast and
         // typed, without burning retries against every shard.
         if !self.specs.lock().unwrap().contains_key(&request.selector) {
+            // kdlint: allow(relaxed): stat counter — snapshot-only.
             self.failed.fetch_add(1, Ordering::Relaxed);
             return Err(RouteError::UnknownSelector(request.selector.clone()));
         }
+        // kdlint: allow(relaxed): stat counter — snapshot-only.
         self.routed.fetch_add(1, Ordering::Relaxed);
+        // kdlint: allow(wallclock): request deadline — bounds waiting and
+        // retry policy; the selections themselves never read the clock.
         let deadline = Instant::now() + opts.deadline.unwrap_or(self.config.deadline);
 
         // Breaker gate. The breaker is keyed on the *current* placement so
@@ -602,6 +615,7 @@ impl ShardedRouter {
             .admit();
         if verdict == BreakerVerdict::Shed {
             return self.degrade(request, 0).map_err(|err| {
+                // kdlint: allow(relaxed): stat counter — snapshot-only.
                 self.failed.fetch_add(1, Ordering::Relaxed);
                 match err {
                     DegradeFailure::NoFallback => RouteError::BreakerOpen,
@@ -615,17 +629,20 @@ impl ShardedRouter {
         while attempts < self.config.retry.max_attempts() {
             attempts += 1;
             if attempts > 1 {
+                // kdlint: allow(relaxed): stat counter — snapshot-only.
                 self.retries.fetch_add(1, Ordering::Relaxed);
                 let backoff =
                     self.config
                         .retry
                         .backoff(self.config.seed, &request.selector, attempts - 1);
+                // kdlint: allow(wallclock): remaining retry budget.
                 let remaining = deadline.saturating_duration_since(Instant::now());
                 if remaining.is_zero() {
                     break;
                 }
                 std::thread::sleep(backoff.min(remaining));
             }
+            // kdlint: allow(wallclock): remaining retry budget.
             let remaining = deadline.saturating_duration_since(Instant::now());
             if remaining.is_zero() {
                 break;
@@ -652,6 +669,7 @@ impl ShardedRouter {
                     break;
                 }
             };
+            // kdlint: allow(wallclock): remaining wait budget.
             let remaining = deadline.saturating_duration_since(Instant::now());
             match ticket.wait_for(remaining) {
                 Ok(Ok(selections)) => {
@@ -688,6 +706,7 @@ impl ShardedRouter {
                     // response is discarded when (if) it lands.
                     self.breaker_outcome(shard, &request.selector, false);
                     return self.degrade(request, attempts).map_err(|err| {
+                        // kdlint: allow(relaxed): stat counter — snapshot-only.
                         self.failed.fetch_add(1, Ordering::Relaxed);
                         match err {
                             DegradeFailure::NoFallback => RouteError::DeadlineExceeded { attempts },
@@ -719,13 +738,17 @@ impl ShardedRouter {
         request: &SelectRequest,
         attempts: u32,
         last: ServeError,
+        // kdlint: allow(wallclock): deadline handoff for error typing.
         deadline: Instant,
     ) -> Result<RouteReply, RouteError> {
         self.degrade(request, attempts).map_err(|err| {
+            // kdlint: allow(relaxed): stat counter — snapshot-only.
             self.failed.fetch_add(1, Ordering::Relaxed);
             match err {
                 DegradeFailure::FallbackPanicked(msg) => RouteError::FallbackFailed(msg),
                 DegradeFailure::NoFallback => {
+                    // kdlint: allow(wallclock): picks the error type
+                    // (deadline vs exhausted); the reply data is fixed.
                     if Instant::now() >= deadline {
                         RouteError::DeadlineExceeded { attempts }
                     } else {
@@ -751,6 +774,7 @@ impl ShardedRouter {
         let scored = catch_unwind(AssertUnwindSafe(|| fallback.window_scores_refs(&refs)));
         match scored {
             Ok(scores) => {
+                // kdlint: allow(relaxed): stat counter — snapshot-only.
                 self.degraded.fetch_add(1, Ordering::Relaxed);
                 Ok(RouteReply {
                     selections: scores
@@ -799,9 +823,14 @@ impl ShardedRouter {
             })
             .collect();
         RouterStats {
+            // kdlint: allow(relaxed): stat snapshot — approximate reads;
+            // exact-value tests quiesce the tier first.
             routed: self.routed.load(Ordering::Relaxed),
+            // kdlint: allow(relaxed): stat snapshot — see `routed`.
             degraded: self.degraded.load(Ordering::Relaxed),
+            // kdlint: allow(relaxed): stat snapshot — see `routed`.
             failed: self.failed.load(Ordering::Relaxed),
+            // kdlint: allow(relaxed): stat snapshot — see `routed`.
             retries: self.retries.load(Ordering::Relaxed),
             shards,
         }
@@ -819,6 +848,9 @@ impl ShardedRouter {
         self.shutdown.store(true, Ordering::Release);
         let supervisor = self.supervisor.lock().unwrap().take();
         if let Some(handle) = supervisor {
+            // kdlint: allow(unbounded-wait): bounded by the supervisor's
+            // probe interval — it re-checks the shutdown flag (and its
+            // Weak upgrade) every tick, so the join ends within one tick.
             let _ = handle.join();
         }
         for shard in &self.shards {
@@ -838,7 +870,7 @@ impl std::fmt::Debug for ShardedRouter {
         f.debug_struct("ShardedRouter")
             .field("shards", &self.shards.len())
             .field("selectors", &self.names())
-            .field("shutdown", &self.shutdown.load(Ordering::Relaxed))
+            .field("shutdown", &self.shutdown.load(Ordering::Acquire))
             .finish()
     }
 }

@@ -308,6 +308,8 @@ impl TrainSession {
     /// Panics if the dataset is empty.
     pub fn new(dataset: &SelectorDataset, cfg: &TrainConfig) -> Self {
         assert!(!dataset.is_empty(), "cannot train on an empty dataset");
+        // kdlint: allow(wallclock): reported setup-seconds metric only —
+        // training math never reads the clock.
         let start = std::time::Instant::now();
         let window = dataset.window_cfg.length;
         let n = dataset.len();
@@ -381,6 +383,8 @@ impl TrainSession {
             self.n,
             "dataset changed under the session (window count mismatch)"
         );
+        // kdlint: allow(wallclock): reported epoch-seconds metric only —
+        // training math never reads the clock.
         let t0 = std::time::Instant::now();
         let epoch = self.next_epoch;
 

@@ -1,0 +1,11 @@
+//! annotation grammar: passes — well-formed, reasoned, *used* allows in
+//! both placements: stacked above the target line and trailing on it.
+
+// kdlint: allow(wallclock): fixture for annotation placement — the import
+// only feeds the annotated probe below.
+use std::time::Instant;
+
+pub fn probe_nanos() -> u64 {
+    let probe = Instant::now(); // kdlint: allow(wallclock): operator-log latency probe; never reaches a scored value
+    probe.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,16 @@
+//! annotation grammar: fails three ways — a reason-less allow, an unknown
+//! rule key, and an unused allow suppressing nothing.
+
+pub fn idle() {
+    // kdlint: allow(wallclock):
+    let t = std::time::Instant::now();
+    let _ = t;
+
+    // kdlint: allow(clocks): not a rule name anyone knows
+    let t2 = std::time::Instant::now();
+    let _ = t2;
+
+    // kdlint: allow(ambient-rng): nothing random happens on the next line
+    let x = 42;
+    let _ = x;
+}

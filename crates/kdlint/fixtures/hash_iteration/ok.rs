@@ -1,0 +1,13 @@
+//! hash-iteration: passes — BTreeMap iterates in key order, and the
+//! HashMap here is only probed point-wise (get/insert/entry), never
+//! iterated.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub fn ordered_sum(scores: &BTreeMap<String, f64>) -> f64 {
+    scores.values().sum()
+}
+
+pub fn memo(cache: &mut HashMap<u64, f64>, key: u64) -> f64 {
+    *cache.entry(key).or_insert_with(|| (key as f64).sqrt())
+}

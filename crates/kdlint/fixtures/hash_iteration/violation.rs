@@ -1,0 +1,17 @@
+//! hash-iteration: fails — iterating hash containers leaks randomized
+//! per-process order into results.
+
+use std::collections::{HashMap, HashSet};
+
+pub fn first_key(totals: &HashMap<String, f64>) -> Option<&String> {
+    // `.keys()` order differs between runs.
+    totals.keys().next()
+}
+
+pub fn drain_all(mut seen: HashSet<u64>) -> Vec<u64> {
+    let mut out = Vec::new();
+    for v in seen.drain() {
+        out.push(v);
+    }
+    out
+}

@@ -1,0 +1,13 @@
+//! no-ambient-rng: passes — randomness is derived from explicit seeds.
+
+use rand::{Rng, SeedableRng, StdRng};
+
+pub fn seeded_draw(seed: u64) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // The ident `random_range` is fine; only ambient sources are banned.
+    rng.random_range(0.0..1.0)
+}
+
+pub fn described() -> &'static str {
+    "thread_rng inside a string literal is not a call"
+}

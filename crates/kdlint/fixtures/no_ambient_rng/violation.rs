@@ -1,0 +1,11 @@
+//! no-ambient-rng: fails — three ambient randomness sources.
+
+use rand::thread_rng;
+use std::collections::hash_map::RandomState;
+
+pub fn unseeded() -> f64 {
+    let mut rng = thread_rng();
+    let _state = RandomState::new();
+    let _coin: bool = rand::random();
+    rng.gen()
+}

@@ -1,0 +1,17 @@
+//! no-wallclock: passes — deadline arithmetic is annotated with a reason,
+//! and clock-y words inside strings/comments are not code.
+
+use std::time::Duration;
+
+/// Mentions Instant and SystemTime in a doc comment — comments are not code.
+pub fn budget(after: Duration) -> Duration {
+    let banner = "Instant::now() in a string literal is data, not a clock read";
+    let _ = banner;
+    after / 2
+}
+
+// kdlint: allow(wallclock): deadline bound only — the value it produces
+// bounds a wait's latency and never reaches any scored result.
+pub fn deadline_from(now: std::time::Instant, budget: Duration) -> std::time::Instant {
+    now + budget
+}

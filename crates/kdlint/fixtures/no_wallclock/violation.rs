@@ -1,0 +1,8 @@
+//! no-wallclock: fails — a raw wall-clock read with no annotation.
+
+use std::time::Instant;
+
+pub fn jitter_seed() -> u64 {
+    // Seeding anything from the clock makes replay impossible.
+    Instant::now().elapsed().as_nanos() as u64
+}

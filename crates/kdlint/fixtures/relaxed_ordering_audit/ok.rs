@@ -1,0 +1,26 @@
+//! relaxed-ordering-audit: passes — a stat counter with a written reason,
+//! and an upgraded liveness flag needing no exemption.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+pub struct Stats {
+    served: AtomicU64,
+    alive: AtomicBool,
+}
+
+impl Stats {
+    pub fn record(&self) {
+        // kdlint: allow(relaxed): stat counter — monotonic tally read only
+        // for reporting; no thread branches on it and no data is published
+        // through it.
+        self.served.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn mark_dead(&self) {
+        self.alive.store(false, Ordering::Release);
+    }
+
+    pub fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::Acquire)
+    }
+}

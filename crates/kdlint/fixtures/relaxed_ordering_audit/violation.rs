@@ -1,0 +1,14 @@
+//! relaxed-ordering-audit: fails — a Relaxed liveness flag other threads
+//! branch on, with no audit annotation.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub struct Worker {
+    alive: AtomicBool,
+}
+
+impl Worker {
+    pub fn should_respawn(&self) -> bool {
+        !self.alive.load(Ordering::Relaxed)
+    }
+}

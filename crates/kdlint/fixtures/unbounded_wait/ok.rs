@@ -1,0 +1,22 @@
+//! unbounded-wait: passes — deadline-bounded waits, plus one annotated
+//! idle sleep whose bound is the shutdown protocol.
+
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+pub fn bounded(ready: &Condvar, flag: &Mutex<bool>, budget: Duration) -> bool {
+    let guard = flag.lock().unwrap();
+    let (guard, timeout) = ready
+        .wait_timeout_while(guard, budget, |done| !*done)
+        .unwrap();
+    drop(guard);
+    !timeout.timed_out()
+}
+
+pub fn idle(ready: &Condvar, flag: &Mutex<bool>) {
+    let guard = flag.lock().unwrap();
+    // kdlint: allow(unbounded-wait): idle worker parking — shutdown sets
+    // the flag under the same mutex and notifies, so this wait is bounded
+    // by the shutdown protocol, not by a timer.
+    drop(ready.wait_while(guard, |done| !*done).unwrap());
+}

@@ -1,0 +1,9 @@
+//! unbounded-wait: fails — a join and a receive that can block forever.
+
+use std::sync::mpsc::Receiver;
+use std::thread::JoinHandle;
+
+pub fn collect(worker: JoinHandle<u64>, inbox: Receiver<u64>) -> u64 {
+    let first = inbox.recv().unwrap_or(0);
+    first + worker.join().unwrap_or(0)
+}

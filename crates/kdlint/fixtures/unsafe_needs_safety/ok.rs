@@ -1,0 +1,15 @@
+//! unsafe-needs-safety: passes — every `unsafe` states its obligation.
+
+use std::cell::UnsafeCell;
+
+pub struct OneShot<T>(UnsafeCell<Option<T>>);
+
+// SAFETY: the execution protocol hands each cell to exactly one thread
+// (claimed once from an atomic counter), so aliased mutation is impossible.
+unsafe impl<T: Send> Sync for OneShot<T> {}
+
+pub fn take<T>(slot: &OneShot<T>) -> Option<T> {
+    // SAFETY: the caller holds the unique claim on this slot (see the
+    // Sync justification above), so no other reference is live.
+    unsafe { (*slot.0.get()).take() }
+}

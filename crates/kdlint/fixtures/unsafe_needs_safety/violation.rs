@@ -1,0 +1,6 @@
+//! unsafe-needs-safety: fails — no SAFETY comment anywhere near the block.
+
+pub fn read_first(values: &[u32]) -> u32 {
+    // A comment that is not a SAFETY justification does not count.
+    unsafe { *values.as_ptr() }
+}

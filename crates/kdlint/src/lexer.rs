@@ -1,0 +1,374 @@
+//! A token-level Rust lexer.
+//!
+//! kdlint's rules match on identifier and punctuation tokens, so the one
+//! thing the lexer must get right is *not* hallucinating tokens out of
+//! places Rust hides arbitrary text: string literals (including raw
+//! strings with any number of `#` guards and byte/C-string prefixes),
+//! nested block comments, char literals, and lifetimes. Everything the
+//! rules never inspect (literal values, exact number grammar) is collapsed
+//! into a single [`Tok::Lit`] kind.
+//!
+//! The lexer is lossless about *comments* — they carry their text — because
+//! two of the engine's mechanisms live in comments: `// SAFETY:`
+//! justifications and `// kdlint: allow(rule): reason` annotations.
+
+/// One lexed token. Lines are 1-based.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: Tok,
+    /// Line the token starts on.
+    pub line: u32,
+    /// Line the token ends on (differs from `line` only for block comments
+    /// and multi-line string literals).
+    pub end_line: u32,
+}
+
+/// Token kinds, collapsed to what the rule engine matches on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (raw identifiers are stripped of `r#`).
+    Ident(String),
+    /// The `::` path separator (merged so a lone `:` is unambiguous).
+    PathSep,
+    /// Any other single punctuation character.
+    Punct(char),
+    /// A literal: string, raw string, byte string, char, byte, or number.
+    Lit,
+    /// A lifetime such as `'a` (kept distinct so char-literal
+    /// disambiguation is testable).
+    Lifetime,
+    /// `// ...` comment text (without the slashes), including doc comments.
+    LineComment(String),
+    /// `/* ... */` comment text, nesting handled.
+    BlockComment(String),
+}
+
+impl Tok {
+    /// The identifier text, if this is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            Tok::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The comment text, if this is a comment of either flavour.
+    pub fn comment(&self) -> Option<&str> {
+        match self {
+            Tok::LineComment(s) | Tok::BlockComment(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        // The lexer only dispatches on ASCII structure; multi-byte UTF-8
+        // continuation bytes fall through to the Punct catch-all, which no
+        // rule matches on. That keeps the hot loop byte-wise without
+        // mis-lexing any construct kdlint cares about.
+        self.src.get(self.pos + ahead).map(|&b| b as char)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    /// Consumes chars while `f` holds, returning the consumed text.
+    fn eat_while(&mut self, f: impl Fn(char) -> bool) -> String {
+        let mut out = String::new();
+        while let Some(c) = self.peek(0) {
+            if !f(c) {
+                break;
+            }
+            out.push(c);
+            self.bump();
+        }
+        out
+    }
+}
+
+/// Lexes `src` into tokens. Never fails: malformed input (e.g. an
+/// unterminated string at EOF) just ends the token stream early — kdlint
+/// lints code that rustc already accepts, so recovery niceties would be
+/// dead weight.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    let mut tokens = Vec::new();
+    while let Some(c) = cur.peek(0) {
+        let line = cur.line;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                cur.bump();
+            }
+            '/' if cur.peek(1) == Some('/') => {
+                cur.bump();
+                cur.bump();
+                let text = cur.eat_while(|c| c != '\n');
+                tokens.push(Token {
+                    kind: Tok::LineComment(text),
+                    line,
+                    end_line: line,
+                });
+            }
+            '/' if cur.peek(1) == Some('*') => {
+                cur.bump();
+                cur.bump();
+                let mut depth = 1usize;
+                let mut text = String::new();
+                while depth > 0 {
+                    match (cur.peek(0), cur.peek(1)) {
+                        (Some('/'), Some('*')) => {
+                            depth += 1;
+                            text.push_str("/*");
+                            cur.bump();
+                            cur.bump();
+                        }
+                        (Some('*'), Some('/')) => {
+                            depth -= 1;
+                            if depth > 0 {
+                                text.push_str("*/");
+                            }
+                            cur.bump();
+                            cur.bump();
+                        }
+                        (Some(c), _) => {
+                            text.push(c);
+                            cur.bump();
+                        }
+                        (None, _) => break, // unterminated at EOF
+                    }
+                }
+                tokens.push(Token {
+                    kind: Tok::BlockComment(text),
+                    line,
+                    end_line: cur.line,
+                });
+            }
+            '"' => {
+                cur.bump();
+                lex_string_body(&mut cur);
+                tokens.push(Token {
+                    kind: Tok::Lit,
+                    line,
+                    end_line: cur.line,
+                });
+            }
+            '\'' => {
+                lex_quote(&mut cur, &mut tokens, line);
+            }
+            ':' if cur.peek(1) == Some(':') => {
+                cur.bump();
+                cur.bump();
+                tokens.push(Token {
+                    kind: Tok::PathSep,
+                    line,
+                    end_line: line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                lex_number(&mut cur);
+                tokens.push(Token {
+                    kind: Tok::Lit,
+                    line,
+                    end_line: cur.line,
+                });
+            }
+            c if is_ident_start(c) => {
+                if let Some(tok) = lex_ident_or_prefixed_literal(&mut cur) {
+                    tokens.push(Token {
+                        kind: tok,
+                        line,
+                        end_line: cur.line,
+                    });
+                }
+            }
+            c => {
+                cur.bump();
+                tokens.push(Token {
+                    kind: Tok::Punct(c),
+                    line,
+                    end_line: line,
+                });
+            }
+        }
+    }
+    tokens
+}
+
+/// Consumes the body of a non-raw string literal (opening quote already
+/// consumed), honouring escapes.
+fn lex_string_body(cur: &mut Cursor) {
+    while let Some(c) = cur.bump() {
+        match c {
+            '\\' => {
+                cur.bump(); // whatever is escaped, including `"` and `\`
+            }
+            '"' => return,
+            _ => {}
+        }
+    }
+}
+
+/// Consumes a raw string starting at `r`/`br`/`cr` — the cursor sits on
+/// the first `#` or `"`. Returns false if this is not actually a raw
+/// string opener (caller falls back to ident lexing).
+fn lex_raw_string_body(cur: &mut Cursor) -> bool {
+    let mut hashes = 0usize;
+    while cur.peek(hashes) == Some('#') {
+        hashes += 1;
+    }
+    if cur.peek(hashes) != Some('"') {
+        return false;
+    }
+    for _ in 0..=hashes {
+        cur.bump(); // the hashes and the opening quote
+    }
+    // Scan for `"` followed by `hashes` hashes.
+    'outer: while let Some(c) = cur.bump() {
+        if c == '"' {
+            for i in 0..hashes {
+                if cur.peek(i) != Some('#') {
+                    continue 'outer;
+                }
+            }
+            for _ in 0..hashes {
+                cur.bump();
+            }
+            return true;
+        }
+    }
+    true // unterminated at EOF
+}
+
+/// A `'` token: lifetime (`'a`), loop label (`'outer:`), or char literal
+/// (`'x'`, `'\n'`, `'\u{1F600}'`).
+fn lex_quote(cur: &mut Cursor, tokens: &mut Vec<Token>, line: u32) {
+    cur.bump(); // the quote
+    match (cur.peek(0), cur.peek(1)) {
+        // `'a` where the following char is not a closing quote: lifetime
+        // or loop label. (`'a'` is a char literal.)
+        (Some(c), next) if is_ident_start(c) && next != Some('\'') => {
+            cur.eat_while(is_ident_continue);
+            tokens.push(Token {
+                kind: Tok::Lifetime,
+                line,
+                end_line: line,
+            });
+        }
+        // Char literal. Escapes (`'\''`, `'\u{..}'`) consume until the
+        // closing quote; a plain char is `X'`.
+        (Some('\\'), _) => {
+            cur.bump();
+            cur.bump(); // the escaped char (or `u` of `\u{..}`)
+            while let Some(c) = cur.bump() {
+                if c == '\'' {
+                    break;
+                }
+            }
+            tokens.push(Token {
+                kind: Tok::Lit,
+                line,
+                end_line: line,
+            });
+        }
+        (Some(_), _) => {
+            cur.bump();
+            if cur.peek(0) == Some('\'') {
+                cur.bump();
+            }
+            tokens.push(Token {
+                kind: Tok::Lit,
+                line,
+                end_line: line,
+            });
+        }
+        (None, _) => {}
+    }
+}
+
+/// A number literal: decimal, hex/oct/bin, float with optional exponent,
+/// type suffix. The only subtlety is `1..n` — the dot is part of the float
+/// only when followed by a digit.
+fn lex_number(cur: &mut Cursor) {
+    cur.eat_while(|c| c.is_alphanumeric() || c == '_');
+    if cur.peek(0) == Some('.') && cur.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+        cur.bump();
+        let frac = cur.eat_while(|c| c.is_alphanumeric() || c == '_');
+        // Exponent sign: `1.0e-5` stops the alphanumeric scan at `-`.
+        if frac.ends_with(['e', 'E'])
+            && matches!(cur.peek(0), Some('+') | Some('-'))
+            && cur.peek(1).is_some_and(|c| c.is_ascii_digit())
+        {
+            cur.bump();
+            cur.eat_while(|c| c.is_alphanumeric() || c == '_');
+        }
+    }
+}
+
+/// An identifier — or a literal with an identifier-looking prefix: raw
+/// strings (`r"`, `r#"`), byte strings (`b"`, `br#"`), C strings (`c"`),
+/// byte chars (`b'x'`), and raw identifiers (`r#ident`).
+fn lex_ident_or_prefixed_literal(cur: &mut Cursor) -> Option<Tok> {
+    let c = cur.peek(0)?;
+    // Raw string / raw identifier dispatch on what follows the prefix.
+    let prefix_len = match (c, cur.peek(1)) {
+        ('r', Some('"')) | ('r', Some('#')) => 1,
+        ('b', Some('"')) => 1,
+        ('c', Some('"')) => 1,
+        ('b', Some('r')) if matches!(cur.peek(2), Some('"') | Some('#')) => 2,
+        ('b', Some('\'')) => {
+            cur.bump(); // b
+            let mut toks = Vec::new();
+            lex_quote(cur, &mut toks, cur.line);
+            return Some(Tok::Lit);
+        }
+        _ => 0,
+    };
+    if prefix_len > 0 {
+        // `r#ident` (raw identifier) also matches the `r` + `#` arm; probe
+        // whether a raw-string opener actually follows.
+        let mut probe = prefix_len;
+        while cur.peek(probe) == Some('#') {
+            probe += 1;
+        }
+        if cur.peek(probe) == Some('"') {
+            for _ in 0..prefix_len {
+                cur.bump();
+            }
+            lex_raw_string_body(cur);
+            return Some(Tok::Lit);
+        }
+        if c == 'r' && cur.peek(1) == Some('#') {
+            cur.bump();
+            cur.bump();
+            let name = cur.eat_while(is_ident_continue);
+            return Some(Tok::Ident(name));
+        }
+    }
+    let name = cur.eat_while(is_ident_continue);
+    Some(Tok::Ident(name))
+}

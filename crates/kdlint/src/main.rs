@@ -1,0 +1,155 @@
+//! The `kdlint` CLI. Exit status 0 = clean, 1 = violations (or fixture
+//! failures), 2 = usage/IO error — so CI can gate on it directly.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+kdlint — determinism/totality lints for the KDSelector workspace
+
+USAGE:
+    kdlint --workspace [--root DIR]     lint the whole tree (scoped rules)
+    kdlint --fixtures  [--root DIR]     self-test the fixture corpus
+    kdlint --rule NAME FILE...          run one rule on files (scope bypassed)
+    kdlint FILE...                      run all rules on files (scoped paths)
+    kdlint --list-rules
+
+Diagnostics print as `path:line: [rule] message`. Suppress a finding with
+`// kdlint: allow(<rule>): <reason>` on (or directly above) the line; the
+reason is mandatory and unused annotations are themselves violations.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(msg) => {
+            eprintln!("kdlint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<bool, String> {
+    let mut root = PathBuf::from(".");
+    let mut mode: Option<&str> = None;
+    let mut rule_name: Option<String> = None;
+    let mut files: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workspace" | "--fixtures" | "--list-rules" => {
+                if mode.is_some() {
+                    return Err(format!("{arg} conflicts with an earlier mode flag"));
+                }
+                mode = Some(match arg.as_str() {
+                    "--workspace" => "workspace",
+                    "--fixtures" => "fixtures",
+                    _ => "list",
+                });
+            }
+            "--root" => {
+                root = PathBuf::from(it.next().ok_or("--root needs a directory")?);
+            }
+            "--rule" => {
+                rule_name = Some(it.next().ok_or("--rule needs a rule name")?.clone());
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(true);
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag {other}\n\n{USAGE}"));
+            }
+            file => files.push(file.to_string()),
+        }
+    }
+
+    match mode {
+        Some("list") => {
+            for rule in kdlint::default_rules() {
+                println!("{}", rule.name());
+            }
+            Ok(true)
+        }
+        Some("workspace") => {
+            let diags = kdlint::lint_workspace(&root).map_err(|e| e.to_string())?;
+            report(&diags);
+            Ok(diags.is_empty())
+        }
+        Some("fixtures") => {
+            let dir = root.join("crates/kdlint/fixtures");
+            let failures = kdlint::run_fixtures(&dir).map_err(|e| e.to_string())?;
+            for f in &failures {
+                eprintln!("fixture failure: {f}");
+            }
+            if failures.is_empty() {
+                println!("kdlint: fixture corpus green");
+            }
+            Ok(failures.is_empty())
+        }
+        None if !files.is_empty() => {
+            let (rules, enforce_scope, audit) = match &rule_name {
+                Some(name) => {
+                    let rule = kdlint::rule_by_name(name)
+                        .ok_or_else(|| format!("no rule named {name} (see --list-rules)"))?;
+                    // Single-rule runs bypass path scope (fixture/debug
+                    // mode) and skip the allow-audit: an allow for a rule
+                    // not being run would always look unused.
+                    (vec![rule], false, false)
+                }
+                None => (kdlint::default_rules(), true, true),
+            };
+            let mut diags = Vec::new();
+            for file in &files {
+                let source = std::fs::read_to_string(file)
+                    .map_err(|e| format!("cannot read {file}: {e}"))?;
+                let rel = normalize(file);
+                diags.extend(kdlint::lint_source(
+                    &rel,
+                    &source,
+                    &rules,
+                    enforce_scope,
+                    audit,
+                ));
+            }
+            report(&diags);
+            Ok(diags.is_empty())
+        }
+        _ => Err(format!("nothing to do\n\n{USAGE}")),
+    }
+}
+
+/// Renders a user-supplied path with `/` separators so rule scopes (which
+/// match on `/`-joined prefixes) apply regardless of platform.
+fn normalize(path: &str) -> String {
+    let mut out = String::new();
+    for c in Path::new(path).components() {
+        match c {
+            std::path::Component::RootDir => out.push('/'),
+            c => {
+                if !out.is_empty() && !out.ends_with('/') {
+                    out.push('/');
+                }
+                out.push_str(&c.as_os_str().to_string_lossy());
+            }
+        }
+    }
+    out
+}
+
+fn report(diags: &[kdlint::Diagnostic]) {
+    for d in diags {
+        println!("{d}");
+    }
+    if diags.is_empty() {
+        println!("kdlint: clean");
+    } else {
+        println!("kdlint: {} violation(s)", diags.len());
+    }
+}

@@ -1,0 +1,105 @@
+//! Lexer edge cases: the rules only stay false-positive-free if the lexer
+//! never hallucinates identifier tokens out of literals or comments, and
+//! never swallows real code into a mis-parsed literal.
+
+use kdlint::lexer::{lex, Tok};
+
+/// Identifier tokens in lexing order.
+fn idents(src: &str) -> Vec<String> {
+    lex(src)
+        .into_iter()
+        .filter_map(|t| t.kind.ident().map(str::to_string))
+        .collect()
+}
+
+#[test]
+fn hazard_words_inside_string_literals_are_not_idents() {
+    let src = r#"let msg = "Instant::now() thread_rng unsafe join()";"#;
+    assert_eq!(idents(src), ["let", "msg"]);
+}
+
+#[test]
+fn raw_strings_with_hash_guards_hide_their_contents() {
+    // The r#".."# body contains a quote and hazard words; one Lit, no
+    // idents from the body, and the trailing code still lexes.
+    let src = r##"let s = r#"say "Instant" and wait()"#; s.recv()"##;
+    assert_eq!(idents(src), ["let", "s", "s", "recv"]);
+    let lits = lex(src).iter().filter(|t| t.kind == Tok::Lit).count();
+    assert_eq!(lits, 1);
+}
+
+#[test]
+fn byte_and_c_string_prefixes_are_literals() {
+    let src = "let a = b\"SystemTime\"; let b2 = br#\"thread_rng\"#; let c = c\"join\";";
+    assert_eq!(idents(src), ["let", "a", "let", "b2", "let", "c"]);
+}
+
+#[test]
+fn nested_block_comments_are_one_token() {
+    let src = "/* outer /* inner unsafe */ still comment */ fn f() {}";
+    let toks = lex(src);
+    assert_eq!(
+        toks[0].kind.comment(),
+        Some(" outer /* inner unsafe */ still comment "),
+        "nesting must not end the comment early"
+    );
+    assert_eq!(idents(src), ["fn", "f"]);
+}
+
+#[test]
+fn multi_line_block_comment_tracks_end_line() {
+    let src = "/* a\nb\nc */\nfn f() {}";
+    let toks = lex(src);
+    assert_eq!((toks[0].line, toks[0].end_line), (1, 3));
+    let f = toks.iter().find(|t| t.kind.ident() == Some("fn")).unwrap();
+    assert_eq!(f.line, 4);
+}
+
+#[test]
+fn char_literal_versus_lifetime() {
+    let src = "fn f<'a>(x: &'a u8) { let c = 'a'; let n = '\\n'; let q = '\\''; }";
+    let toks = lex(src);
+    let lifetimes = toks.iter().filter(|t| t.kind == Tok::Lifetime).count();
+    let lits = toks.iter().filter(|t| t.kind == Tok::Lit).count();
+    assert_eq!(lifetimes, 2, "two uses of 'a as a lifetime");
+    assert_eq!(lits, 3, "'a', '\\n', '\\'' are char literals");
+}
+
+#[test]
+fn path_separator_is_merged_and_lone_colon_survives() {
+    let src = "let x: std::time::Instant = y;";
+    let toks = lex(src);
+    let pathseps = toks.iter().filter(|t| t.kind == Tok::PathSep).count();
+    let colons = toks.iter().filter(|t| t.kind == Tok::Punct(':')).count();
+    assert_eq!(pathseps, 2);
+    assert_eq!(colons, 1, "the binding colon must stay a lone ':'");
+}
+
+#[test]
+fn numbers_with_dots_and_exponents_do_not_eat_code() {
+    // `1.0e-3` is one literal; `0..n` is two tokens around a range; `x.0`
+    // must leave the following `.get` reachable.
+    assert_eq!(idents("let a = 1.0e-3;"), ["let", "a"]);
+    assert_eq!(idents("for i in 0..n {}"), ["for", "i", "in", "n"]);
+    assert_eq!(idents("x.0.get()"), ["x", "get"]);
+}
+
+#[test]
+fn raw_identifiers_are_stripped() {
+    assert_eq!(idents("let r#type = 1;"), ["let", "type"]);
+}
+
+#[test]
+fn line_comments_keep_text_and_doc_marker() {
+    let src = "// plain note\n/// doc note\n//! inner doc\nfn f() {}";
+    let comments: Vec<String> = lex(src)
+        .into_iter()
+        .filter_map(|t| t.kind.comment().map(str::to_string))
+        .collect();
+    assert_eq!(comments, [" plain note", "/ doc note", "! inner doc"]);
+}
+
+#[test]
+fn byte_char_literal_is_a_literal() {
+    assert_eq!(idents("let b = b'x';"), ["let", "b"]);
+}

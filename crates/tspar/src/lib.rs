@@ -47,6 +47,8 @@
 //! the pool dispatch within a region (`crates/tspar/tests/env_snapshot.rs`
 //! is the regression test).
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 mod pool;
 
 pub use pool::{pool_workers, shutdown_pool};
@@ -199,7 +201,7 @@ impl Drop for WorkerScope {
 /// holds the only live access to the lot's contents.
 struct LotCell<T>(UnsafeCell<T>);
 
-// Safety: see `LotCell` — exclusive per-lot access is guaranteed by the
+// SAFETY: see `LotCell` — exclusive per-lot access is guaranteed by the
 // execution protocol, so sharing the container across executors only ever
 // sends each `T` to a single thread.
 unsafe impl<T: Send> Sync for LotCell<T> {}
@@ -258,7 +260,7 @@ where
             .collect();
         let f = &f;
         execute(lots.len(), &|lot| {
-            // Safety: `lot` is executed exactly once (LotCell contract).
+            // SAFETY: `lot` is executed exactly once (LotCell contract).
             let items = unsafe { &mut *lots[lot].0.get() };
             for (i, slot) in items.iter_mut() {
                 **slot = Some(f(*i));
@@ -358,7 +360,7 @@ where
         .collect();
     let f = &f;
     execute(lots.len(), &|lot| {
-        // Safety: `lot` is executed exactly once (LotCell contract).
+        // SAFETY: `lot` is executed exactly once (LotCell contract).
         let items = unsafe { &mut *lots[lot].0.get() };
         for (i, chunk) in items.iter_mut() {
             f(*i, chunk);

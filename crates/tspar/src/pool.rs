@@ -57,11 +57,14 @@ const MAX_WORKERS: usize = 256;
 /// Lifetime-erased pointer to a region body (`Fn(lot_index)`).
 struct BodyPtr(*const (dyn Fn(usize) + Sync + 'static));
 
-// Safety: the pointee is only dereferenced by [`run_lot`] under the job
+// SAFETY: the pointee is only dereferenced by [`run_lot`] under the job
 // invariant documented in the module header (the submitting caller outlives
-// every dereference), and `dyn Fn(usize) + Sync` is callable from any
-// thread by definition.
+// every dereference), so moving the pointer to another thread cannot
+// outlive the borrow it erases.
 unsafe impl Send for BodyPtr {}
+// SAFETY: `dyn Fn(usize) + Sync` is callable from any thread by
+// definition, so shared references to the pointer are as safe as the
+// pointee's own `Sync` bound.
 unsafe impl Sync for BodyPtr {}
 
 /// One submitted parallel region: `n_lots` fixed partitions, each executed
@@ -127,7 +130,7 @@ fn pool() -> &'static Pool {
 pub(crate) fn run_region(n_lots: usize, body: &(dyn Fn(usize) + Sync)) {
     debug_assert!(n_lots >= 2, "serial regions must not be dispatched");
     let erased: *const (dyn Fn(usize) + Sync) = body;
-    // Safety: lifetime erasure only — see the module header. We do not
+    // SAFETY: lifetime erasure only — see the module header. We do not
     // return until `remaining == 0`, so `body` outlives every dereference.
     let erased = BodyPtr(unsafe {
         std::mem::transmute::<*const (dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync + 'static)>(
@@ -154,6 +157,9 @@ pub(crate) fn run_region(n_lots: usize, body: &(dyn Fn(usize) + Sync)) {
         let _nested_inline = crate::worker_scope();
         run_lot(&job, 0);
         loop {
+            // kdlint: allow(relaxed): RMW-unique lot claim — fetch_add hands
+            // each index to exactly one executor; lot data is published by
+            // the submit-side mutex, not by this counter.
             let lot = job.next.fetch_add(1, Ordering::Relaxed);
             if lot >= n_lots {
                 break;
@@ -225,6 +231,8 @@ fn worker_loop() {
     while let Some((job, lot)) = next_assignment(pool) {
         run_lot(&job, lot);
         loop {
+            // kdlint: allow(relaxed): RMW-unique lot claim — see run_region;
+            // the job Arc itself arrived through the pool mutex.
             let lot = job.next.fetch_add(1, Ordering::Relaxed);
             if lot >= job.n_lots {
                 break;
@@ -245,6 +253,9 @@ fn next_assignment(pool: &Pool) -> Option<(Arc<Job>, usize)> {
         // Front-check and pop happen under one lock hold, so an exhausted
         // job is popped by exactly the worker that observed it exhausted.
         while let Some(front) = st.queue.front() {
+            // kdlint: allow(relaxed): RMW-unique lot claim under the pool
+            // lock — the queue mutex publishes the job; the counter only
+            // partitions indices.
             let lot = front.next.fetch_add(1, Ordering::Relaxed);
             if lot < front.n_lots {
                 return Some((Arc::clone(front), lot));
@@ -258,7 +269,7 @@ fn next_assignment(pool: &Pool) -> Option<(Arc<Job>, usize)> {
 /// Runs one claimed lot, capturing a panic instead of unwinding through the
 /// executor, and opens the completion latch when the lot is the last.
 fn run_lot(job: &Job, lot: usize) {
-    // Safety: `lot < n_lots` was claimed exactly once, so `remaining > 0`
+    // SAFETY: `lot < n_lots` was claimed exactly once, so `remaining > 0`
     // holds until this call returns and the submitter is still blocked in
     // `run_region` — the body borrow is live (module-header invariant).
     let body = unsafe { &*job.body.0 };

@@ -102,11 +102,15 @@ fn panics_propagate_and_the_pool_stays_usable() {
                 for _ in 0..20 {
                     let got = tspar::par_map(300, |i| (i as f64 * 0.7).cos());
                     assert_eq!(got, expect, "clean region poisoned by a concurrent panic");
+                    // kdlint: allow(relaxed): stat counter — the final value
+                    // is published by scope join, not by this ordering.
                     clean_runs.fetch_add(1, Ordering::Relaxed);
                 }
             });
         });
     });
+    // kdlint: allow(relaxed): read after scope join — the join edge already
+    // ordered every increment before this load.
     assert_eq!(clean_runs.load(Ordering::Relaxed), 20);
 
     // --- Parity: the spawn reference backend also fails the region

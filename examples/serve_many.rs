@@ -21,6 +21,7 @@ use kdselector::core::manage::SelectorStore;
 use kdselector::core::pipeline::{Pipeline, PipelineConfig};
 use kdselector::core::serve::{QueueConfig, SelectRequest, Selection, SelectorEngine, ServeQueue};
 use std::sync::Arc;
+// kdlint: allow(wallclock): demo throughput reporting only.
 use std::time::Instant;
 
 fn main() {
@@ -45,6 +46,7 @@ fn main() {
 
     // 3. Reference: one direct batched request over the whole test split.
     let request = SelectRequest::new("resnet", pipeline.benchmark.test.clone());
+    // kdlint: allow(wallclock): demo throughput reporting only.
     let t = Instant::now();
     let direct = engine.handle(&request).expect("registered selector");
     let secs = t.elapsed().as_secs_f64();
@@ -82,6 +84,7 @@ fn main() {
         },
     );
     let series = &pipeline.benchmark.test;
+    // kdlint: allow(wallclock): demo throughput reporting only.
     let t = Instant::now();
     let queued: Vec<(usize, Vec<Selection>)> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..4)

@@ -26,6 +26,7 @@ use kdselector::core::serve::{
 use kdselector::core::train::TrainedSelector;
 use kdselector::core::Architecture;
 use std::sync::{Arc, Condvar, Mutex};
+// kdlint: allow(wallclock): test poll-deadline helper only.
 use std::time::{Duration, Instant};
 use tsdata::{TimeSeries, WindowConfig};
 use tspar::Parallelism;
@@ -137,8 +138,10 @@ impl Selector for GateSelector {
 /// Polls `cond` up to 5s; panics with `what` on timeout so a scheduling bug
 /// fails the test instead of hanging CI.
 fn wait_for(what: &str, mut cond: impl FnMut() -> bool) {
+    // kdlint: allow(wallclock): poll deadline so a bug fails, not hangs.
     let deadline = Instant::now() + Duration::from_secs(5);
     while !cond() {
+        // kdlint: allow(wallclock): poll deadline check.
         assert!(Instant::now() < deadline, "timed out waiting for {what}");
         std::thread::sleep(Duration::from_millis(1));
     }

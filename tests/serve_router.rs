@@ -35,6 +35,7 @@ use kdselector::core::serve::{
 use kdselector::core::train::TrainedSelector;
 use kdselector::core::Architecture;
 use std::sync::Arc;
+// kdlint: allow(wallclock): test poll-deadline helper only.
 use std::time::{Duration, Instant};
 use tsdata::{TimeSeries, WindowConfig};
 use tspar::Parallelism;
@@ -169,8 +170,10 @@ fn scripted_plan() -> Arc<FaultPlan> {
 }
 
 fn wait_for(what: &str, mut cond: impl FnMut() -> bool) {
+    // kdlint: allow(wallclock): poll deadline so a bug fails, not hangs.
     let deadline = Instant::now() + Duration::from_secs(5);
     while !cond() {
+        // kdlint: allow(wallclock): poll deadline check.
         assert!(Instant::now() < deadline, "timed out waiting for {what}");
         std::thread::sleep(Duration::from_millis(1));
     }

@@ -293,7 +293,9 @@ fn deploy_hot_swaps_session_output_under_concurrent_serving() {
         for _ in 0..4 {
             callers.push(scope.spawn(|| {
                 let mut observed_v2 = false;
-                while !stop.load(Ordering::Relaxed) {
+                // Acquire pairs with the Release store below — callers
+                // branch on the flag, so it is control flow.
+                while !stop.load(Ordering::Acquire) {
                     let got = engine.select_batch("live", &series).expect("registered");
                     if got == reference_v2 {
                         if !observed_v2 {
@@ -328,15 +330,17 @@ fn deploy_hot_swaps_session_output_under_concurrent_serving() {
         // the deployed version — on a loaded single-core box the callers
         // may be starved for a while, but the registry already holds v2,
         // so their next completed iteration must observe it.
+        // kdlint: allow(wallclock): bounded test poll — fail, not hang.
         let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
         while v2_observations.load(Ordering::SeqCst) == 0 {
             assert!(
+                // kdlint: allow(wallclock): poll deadline check.
                 std::time::Instant::now() < deadline,
                 "no concurrent caller observed the deployed selector in 30s"
             );
             std::thread::yield_now();
         }
-        stop.store(true, Ordering::Relaxed);
+        stop.store(true, Ordering::Release);
         let observations: Vec<bool> = callers.into_iter().map(|c| c.join().unwrap()).collect();
         assert!(
             observations.iter().any(|&v| v),
