@@ -76,6 +76,82 @@ fn time_ns<R>(mut f: impl FnMut() -> R) -> f64 {
     samples[samples.len() / 2] * 1e9
 }
 
+/// Lane-kernel speedup over the previous-generation blocked kernel
+/// (`gemm_blocked_ref`, the 4-row compiler-vectorised tile this PR
+/// replaced), at the same shapes as the naive comparison. The two kernels
+/// must agree **bitwise** (`max_abs_diff == 0.0` asserted, not just
+/// printed): per output element both run the identical ascending-`p`
+/// scalar sum, so any nonzero diff is a determinism-contract break, not
+/// rounding.
+fn simd_benchmark(threads: usize) -> serde_json::Value {
+    use tsnn::gemm::{self, Layout};
+
+    println!(
+        "\n{:<16} {:>10} {:>5}x{:<4}x{:<4} {:>12} {:>12} {:>8} {:>8}",
+        "case", "op", "n", "m", "k", "ref ns", "lane ns", "speedup", "max|Δ|"
+    );
+    let mut rows = Vec::new();
+    let mut log_speedup_sum = 0.0f64;
+    for &(label, op, n, m, k) in CASES {
+        // Same operand layouts the Tensor entry points use for each op.
+        let (a_shape, b_shape, la, lb) = match op {
+            "matmul" => ([n, k], [k, m], Layout::Normal, Layout::Normal),
+            "t_matmul" => ([k, n], [k, m], Layout::Transposed, Layout::Normal),
+            "matmul_t" => ([n, k], [m, k], Layout::Normal, Layout::Transposed),
+            _ => unreachable!(),
+        };
+        let a = filled(&a_shape, 1).data().to_vec();
+        let b = filled(&b_shape, 2).data().to_vec();
+
+        let mut lane = vec![0.0f32; n * m];
+        gemm::gemm(n, m, k, &a, la, &b, lb, &mut lane);
+        let mut reference = vec![0.0f32; n * m];
+        gemm::gemm_blocked_ref(n, m, k, &a, la, &b, lb, &mut reference);
+        let diff = lane
+            .iter()
+            .zip(&reference)
+            .map(|(&x, &y)| (x - y).abs() as f64)
+            .fold(0.0, f64::max);
+        assert!(
+            diff == 0.0,
+            "{label}: lane kernel must be bitwise identical to the blocked reference ({diff})"
+        );
+
+        let ref_ns = time_ns(|| {
+            gemm::gemm_blocked_ref(n, m, k, &a, la, &b, lb, &mut reference);
+            reference[0]
+        });
+        let lane_ns = time_ns(|| {
+            gemm::gemm(n, m, k, &a, la, &b, lb, &mut lane);
+            lane[0]
+        });
+        let speedup = ref_ns / lane_ns;
+        log_speedup_sum += speedup.ln();
+        println!(
+            "{:<16} {:>10} {:>5}x{:<4}x{:<4} {:>12.0} {:>12.0} {:>7.2}x {:>8.1}",
+            label, op, n, m, k, ref_ns, lane_ns, speedup, diff
+        );
+        rows.push(serde_json::json!({
+            "case": label,
+            "op": op,
+            "n": n,
+            "m": m,
+            "k": k,
+            "ref_ns": ref_ns,
+            "lane_ns": lane_ns,
+            "speedup": speedup,
+            "max_abs_diff": diff,
+        }));
+    }
+    let geomean = (log_speedup_sum / CASES.len() as f64).exp();
+    println!("\nsimd geomean speedup over blocked reference: {geomean:.2}x at {threads} thread(s)");
+    serde_json::json!({
+        "threads": threads,
+        "geomean_speedup": geomean,
+        "cases": rows,
+    })
+}
+
 /// Serving throughput numbers for the JSON record.
 struct ServeBench {
     batch: usize,
@@ -797,6 +873,9 @@ fn main() {
     let geomean = (log_speedup_sum / CASES.len() as f64).exp();
     println!("\ngeomean speedup: {geomean:.2}x at {threads} thread(s)");
 
+    // --- Lane kernel vs the previous blocked kernel, bitwise-guarded. -----
+    let simd = simd_benchmark(threads);
+
     // --- Serving throughput: direct batch vs the queued front-end, --------
     // --- sampled interleaved (see serving_benchmarks). --------------------
     println!();
@@ -838,6 +917,7 @@ fn main() {
         "threads": threads,
         "geomean_speedup": geomean,
         "cases": rows,
+        "simd": simd,
         "serve": serve_record,
         "serve_queue": serve_queue,
         "route": route,

@@ -34,6 +34,12 @@ pub trait Selector: Send + Sync {
     /// column per model in [`ModelId::ALL`] order. Higher is better; the
     /// row argmax is the window's vote. Series too short for a single
     /// window yield an empty matrix.
+    ///
+    /// Scores need not be finite: vote derivation uses [`argmax`], whose
+    /// contract is pinned — ties keep the lowest index, `NaN` scores are
+    /// ignored, and an all-`NaN` row votes for index 0 — so a selector
+    /// emitting `NaN`s degrades deterministically instead of making the
+    /// winner depend on score order.
     fn series_scores(&self, ts: &TimeSeries) -> Vec<Vec<f32>>;
 
     /// Batch-first entry point: scores for every series in the batch,
@@ -95,16 +101,26 @@ pub trait Selector: Send + Sync {
     }
 }
 
-/// Row argmax with the workspace's canonical tie behaviour (ties keep the
-/// highest index, matching `Iterator::max_by`). Every vote derivation in
-/// the crate goes through this one function so batched and per-series paths
-/// can never disagree.
+/// Row argmax with the workspace's canonical semantics: one forward scan
+/// where only a strictly greater score displaces the incumbent, so the
+/// **first** greatest score wins (ties keep the lowest index) and `NaN`
+/// scores are skipped — `NaN` never compares greater than anything,
+/// including the `NEG_INFINITY` the scan starts from. An all-`NaN` or
+/// empty row deterministically selects index 0. The previous `max_by`
+/// formulation mapped incomparable pairs to `Equal`, which made the
+/// winner under `NaN`s depend on where they sat in the row. Every vote
+/// derivation in the crate goes through this one function so batched and
+/// per-series paths can never disagree.
 pub fn argmax(row: &[f32]) -> usize {
-    row.iter()
-        .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
-        .map(|(i, _)| i)
-        .unwrap_or(0)
+    let mut best = f32::NEG_INFINITY;
+    let mut idx = 0;
+    for (i, &v) in row.iter().enumerate() {
+        if v > best {
+            best = v;
+            idx = i;
+        }
+    }
+    idx
 }
 
 /// Tallies votes per class, ignoring out-of-range votes.

@@ -479,6 +479,34 @@ mod tests {
         )
     }
 
+    #[test]
+    fn nan_scores_select_deterministically() {
+        use crate::selector::argmax;
+        // NaN never displaces an incumbent or wins a comparison: the
+        // first finite maximum wins regardless of where the NaNs sit.
+        assert_eq!(argmax(&[2.0, f32::NAN, 1.0]), 0);
+        assert_eq!(argmax(&[f32::NAN, 1.0, 2.0]), 2);
+        assert_eq!(argmax(&[1.0, f32::NAN, 2.0, f32::NAN]), 2);
+        // Degenerate rows fall back to index 0, not an arbitrary winner.
+        assert_eq!(argmax(&[f32::NAN, f32::NAN, f32::NAN]), 0);
+        assert_eq!(argmax(&[f32::NEG_INFINITY, f32::NEG_INFINITY]), 0);
+        assert_eq!(argmax(&[]), 0);
+        // Ties keep the lowest index.
+        assert_eq!(argmax(&[3.0, 3.0, 1.0]), 0);
+
+        // The same contract holds through Selection::from_scores: a row
+        // poisoned by NaNs still votes first-wins, so the selection and
+        // its vote tally are reproducible.
+        let sel = Selection::from_scores(&[
+            vec![2.0, f32::NAN, 1.0, 0.0],
+            vec![f32::NAN; 4],
+            vec![2.0, f32::NAN, 1.0, 0.0],
+        ]);
+        assert_eq!(sel.model, ModelId::from_index(0));
+        assert_eq!(sel.votes[0], 3);
+        assert_eq!(sel.windows, 3);
+    }
+
     fn test_engine() -> SelectorEngine {
         let window = WindowConfig {
             length: 32,

@@ -81,9 +81,12 @@ pub fn extract_windows(ts: &TimeSeries, series_index: usize, cfg: &WindowConfig)
         });
         start += cfg.stride;
     }
-    // Cover the tail if the stride skipped it.
+    // Cover the tail if the stride skipped it. (Checking the last emitted
+    // start is sufficient on its own: the loop above emits `last_start`
+    // exactly when it is a stride multiple, and emitted starts ascend, so
+    // a divisibility re-check would be redundant.)
     let last_start = n - cfg.length;
-    if out.last().map(|w| w.start) != Some(last_start) && !last_start.is_multiple_of(cfg.stride) {
+    if out.last().map(|w| w.start) != Some(last_start) {
         let mut values: Vec<f32> = ts.values[last_start..].iter().map(|&v| v as f32).collect();
         if cfg.znormalize {
             znorm(&mut values);
@@ -99,8 +102,11 @@ pub fn extract_windows(ts: &TimeSeries, series_index: usize, cfg: &WindowConfig)
 
 fn znorm(values: &mut [f32]) {
     let n = values.len() as f32;
-    let mean: f32 = values.iter().sum::<f32>() / n;
-    let var: f32 = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
+    // Lane-striped reductions from the compute core; the mean/variance
+    // summation order is canonical (see `tsnn::simd`), so results do not
+    // depend on whether the lane path or its scalar fallback runs.
+    let mean = tsnn::simd::sum(values) / n;
+    let var = tsnn::simd::sum_sq_diff(values, mean) / n;
     let std = var.sqrt();
     if std < 1e-6 {
         for v in values.iter_mut() {
@@ -193,6 +199,29 @@ mod tests {
         let ts = TimeSeries::new("t", "D", vec![5.0; 64], vec![]);
         let ws = extract_windows(&ts, 0, &WindowConfig::default());
         assert!(ws[0].values.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn znorm_bitwise_equal_across_simd_paths() {
+        use tsnn::simd::{set_simd_policy, SimdPolicy};
+        // 67 is not a lane multiple, so the striped tail handling runs.
+        let base: Vec<f32> = (0..67)
+            .map(|i| (i as f32 * 0.31).sin() * 3.0 + 0.2)
+            .collect();
+        set_simd_policy(SimdPolicy::Lanes);
+        let mut lanes = base.clone();
+        znorm(&mut lanes);
+        set_simd_policy(SimdPolicy::Scalar);
+        let mut scalar = base;
+        znorm(&mut scalar);
+        set_simd_policy(SimdPolicy::Auto);
+        assert!(
+            lanes
+                .iter()
+                .zip(&scalar)
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "znorm lane and scalar paths diverge"
+        );
     }
 
     #[test]

@@ -1,0 +1,87 @@
+//! Property tests for window extraction: across arbitrary series lengths,
+//! window lengths and strides, every tail point must be covered by some
+//! window and no window may be emitted twice. These pin the simplified
+//! tail-cover condition (the last emitted start alone decides whether the
+//! tail window is added).
+
+use proptest::prelude::*;
+use tsdata::series::TimeSeries;
+use tsdata::windows::{extract_windows, WindowConfig};
+
+fn series(n: usize) -> TimeSeries {
+    TimeSeries::new(
+        "prop",
+        "D",
+        (0..n).map(|i| (i as f64 * 0.37).sin()).collect(),
+        vec![],
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 200, ..ProptestConfig::default() })]
+
+    #[test]
+    fn every_point_covered_and_no_window_twice(
+        n in 1usize..300,
+        length in 1usize..64,
+        stride in 1usize..80,
+    ) {
+        let cfg = WindowConfig { length, stride, znormalize: false };
+        let ws = extract_windows(&series(n), 0, &cfg);
+
+        // At least one window, each of exactly `length` values.
+        prop_assert!(!ws.is_empty(), "n={} len={} stride={}", n, length, stride);
+        for w in &ws {
+            prop_assert_eq!(w.values.len(), length);
+        }
+
+        // Starts strictly ascend — no window emitted twice.
+        for pair in ws.windows(2) {
+            prop_assert!(
+                pair[0].start < pair[1].start,
+                "duplicate/unsorted starts {} {} (n={} len={} stride={})",
+                pair[0].start, pair[1].start, n, length, stride
+            );
+        }
+
+        if n < length {
+            // Short series: one padded window starting at 0.
+            prop_assert_eq!(ws.len(), 1);
+            prop_assert_eq!(ws[0].start, 0);
+        } else {
+            let mut covered = vec![false; n];
+            for w in &ws {
+                prop_assert!(w.start + length <= n, "window overruns the series");
+                for c in &mut covered[w.start..w.start + length] {
+                    *c = true;
+                }
+            }
+            // Every tail point is covered — the guarantee the tail clause
+            // exists to provide. (With stride > length interior gaps are
+            // intentional subsampling, so only the tail is promised.)
+            if let Some(gap) = covered[n - length..].iter().position(|&c| !c) {
+                prop_assert!(
+                    false,
+                    "tail point {} uncovered (n={} len={} stride={})",
+                    n - length + gap, n, length, stride
+                );
+            }
+            // With stride <= length windows overlap or abut: full cover.
+            if stride <= length {
+                if let Some(gap) = covered.iter().position(|&c| !c) {
+                    prop_assert!(
+                        false,
+                        "point {} uncovered (n={} len={} stride={})",
+                        gap, n, length, stride
+                    );
+                }
+            }
+            // The final window ends exactly at the series end.
+            prop_assert_eq!(ws.last().unwrap().start, n - length);
+            // Non-tail windows sit on the stride grid.
+            for w in &ws[..ws.len() - 1] {
+                prop_assert_eq!(w.start % stride, 0);
+            }
+        }
+    }
+}

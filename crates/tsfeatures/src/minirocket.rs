@@ -138,20 +138,21 @@ fn dilations_for(len: usize) -> Vec<usize> {
 /// The sum of all weights is −6 + 3·2 = 0, so the output is invariant to
 /// constant offsets in the input (inside the valid region).
 fn convolve(x: &[f64], kernel: &[usize; 3], dilation: usize, out: &mut [f64]) {
-    let n = x.len();
-    let span = 4 * dilation;
-    for (t, o) in out.iter_mut().enumerate() {
-        let mut acc = 0.0;
-        for k in 0..9usize {
-            let offset = t as isize + (k as isize - 4) * dilation as isize;
-            if offset < 0 || offset >= n as isize {
-                continue;
-            }
-            let w = if kernel.contains(&k) { 2.0 } else { -1.0 };
-            acc += w * x[offset as usize];
-        }
-        let _ = span;
-        *o = acc;
+    // Tap-major: one strided axpy sweep per kernel tap instead of a 9-tap
+    // gather per output. Each out[t] still accumulates its in-range taps in
+    // ascending-k order starting from 0.0, so the result is bitwise
+    // identical to the per-t formulation — only the loop nest changed.
+    let n = x.len() as isize;
+    out.fill(0.0);
+    for k in 0..9usize {
+        let w = if kernel.contains(&k) { 2.0 } else { -1.0 };
+        let off = (k as isize - 4) * dilation as isize;
+        // Valid outputs: t + off ∈ [0, n).
+        let t0 = (-off).max(0).min(out.len() as isize);
+        let t1 = (n - off).clamp(t0, out.len() as isize);
+        let (t0, t1) = (t0 as usize, t1 as usize);
+        let xs = &x[(t0 as isize + off) as usize..(t1 as isize + off) as usize];
+        tsnn::simd::axpy_f64(&mut out[t0..t1], w, xs);
     }
 }
 
@@ -226,6 +227,50 @@ mod tests {
         // Interior (away from padding) is identical.
         for t in 8..24 {
             assert!((a[t] - b[t]).abs() < 1e-9, "t={t}");
+        }
+    }
+
+    /// The per-t gather formulation the tap-major `convolve` replaced.
+    fn convolve_per_t(x: &[f64], kernel: &[usize; 3], dilation: usize, out: &mut [f64]) {
+        let n = x.len();
+        for (t, o) in out.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for k in 0..9usize {
+                let offset = t as isize + (k as isize - 4) * dilation as isize;
+                if offset < 0 || offset >= n as isize {
+                    continue;
+                }
+                let w = if kernel.contains(&k) { 2.0 } else { -1.0 };
+                acc += w * x[offset as usize];
+            }
+            *o = acc;
+        }
+    }
+
+    #[test]
+    fn tap_major_convolve_bitwise_equals_per_t_reference() {
+        use tsnn::simd::{set_simd_policy, SimdPolicy};
+        let x: Vec<f64> = (0..61)
+            .map(|t| (t as f64 * 0.23).sin() * 1.7 - 0.4)
+            .collect();
+        for kernel in [[0usize, 1, 2], [0, 4, 8], [2, 5, 7], [6, 7, 8]] {
+            // Dilation 8 pushes every tap out of range for some outputs.
+            for dilation in [1usize, 2, 4, 8] {
+                let mut want = vec![0.0; x.len()];
+                convolve_per_t(&x, &kernel, dilation, &mut want);
+                for policy in [SimdPolicy::Lanes, SimdPolicy::Scalar] {
+                    set_simd_policy(policy);
+                    let mut got = vec![f64::NAN; x.len()];
+                    convolve(&x, &kernel, dilation, &mut got);
+                    assert!(
+                        got.iter()
+                            .zip(&want)
+                            .all(|(a, b)| a.to_bits() == b.to_bits()),
+                        "kernel={kernel:?} dilation={dilation} policy={policy:?}"
+                    );
+                }
+                set_simd_policy(SimdPolicy::Auto);
+            }
         }
     }
 

@@ -14,23 +14,49 @@
 //!   the whole `k` loop, so `C` is written exactly once per tile instead of
 //!   once per `k` step — the main win over the naive axpy loop, whose
 //!   output-row traffic grows with `k`.
+//! * The micro-kernel is written over [`crate::simd::F32x16`] lane types:
+//!   each accumulator row is one 16-wide lane vector held in an
+//!   individually named local (one 512-bit register on AVX-512 targets —
+//!   see the [`F32x16`] docs for why arrays of accumulators and 8-wide
+//!   rows both compile to shuffle-heavy spills instead), the `NR` output
+//!   columns are the vector lanes, and each `k` step broadcasts one packed
+//!   `A` value against one packed `B` row. Eight rows give eight
+//!   independent add chains, enough to hide vector-add latency. A scalar
+//!   fallback with identical semantics stays compiled (`KD_NO_SIMD=1` or
+//!   [`crate::simd::set_simd_policy`]) — see the determinism note below.
 //!
 //! **Determinism.** Every `C[i][j]` is one scalar chain `Σ_p a·b` in fixed
-//! ascending-`p` order, computed by exactly one worker. Parallelism splits
-//! row tiles (fixed [`MR`]-aligned boundaries, independent of the worker
-//! count), so results are bit-identical at any thread count — the property
+//! ascending-`p` order, computed by exactly one worker. Vectorisation runs
+//! *across* the `NR` output columns (each lane is one output element's
+//! chain), never across `k`, and lane arithmetic is plain IEEE-754 with no
+//! FMA contraction — so the lane kernel, the scalar fallback, the previous
+//! 4-row blocked kernel ([`gemm_blocked_ref`]) and the naive seed kernel
+//! ([`gemm_naive`]) all agree **bitwise**. Parallelism splits row tiles
+//! (fixed [`MR`]-aligned boundaries, independent of the worker count), so
+//! results are also bit-identical at any thread count — the property
 //! `tests/parallel_determinism.rs` pins.
 //!
 //! `KD_BLOCK` overrides the number of row tiles per parallel task (the
 //! split granularity, which never affects values); `KD_THREADS` caps the
 //! workers (see [`tspar`]).
 
-/// Micro-kernel tile height (rows of `A` per register block).
-pub const MR: usize = 4;
-/// Micro-kernel tile width (columns of `B` per register block). Two SSE
-/// vectors per row keep the whole accumulator block in registers without
-/// assuming AVX.
-pub const NR: usize = 8;
+use crate::simd::{self, F32x16};
+
+/// Micro-kernel tile height (rows of `A` per register block). Eight rows —
+/// one lane accumulator each — give eight independent add chains per `k`
+/// step, enough to hide vector-add latency on any recent x86/ARM core
+/// (the previous 4-row kernel, kept as [`gemm_blocked_ref`], was
+/// latency-bound at half the chains).
+pub const MR: usize = 8;
+/// Micro-kernel tile width (columns of `B` per register block) — the lane
+/// count of [`F32x16`], so one accumulator row is exactly one vector.
+pub const NR: usize = 16;
+
+/// Row-tile height of the previous-generation reference kernel
+/// ([`gemm_blocked_ref`]).
+pub const REF_MR: usize = 4;
+/// Panel width of the previous-generation reference kernel.
+pub const REF_NR: usize = 8;
 
 /// Work below this many fused multiply-adds is not worth packing.
 const PACK_FLOP_THRESHOLD: usize = 4096;
@@ -62,7 +88,7 @@ pub fn gemm(
         gemm_naive(n, m, k, a, a_layout, b, b_layout, c);
         return;
     }
-    gemm_blocked(n, m, k, a, a_layout, &pack_b(m, k, b, b_layout), c);
+    gemm_blocked(n, m, k, a, a_layout, &pack_b::<NR>(m, k, b, b_layout), c);
 }
 
 /// The blocked compute shared by [`gemm`] and [`gemm_prepacked`]: row-tile
@@ -142,7 +168,7 @@ impl PackedB {
         Self {
             m,
             k,
-            panels: pack_b(m, k, b, layout),
+            panels: pack_b::<NR>(m, k, b, layout),
         }
     }
 
@@ -165,7 +191,7 @@ pub fn gemm_prepacked(n: usize, a: &[f32], a_layout: Layout, b: &PackedB, c: &mu
     gemm_blocked(n, b.m, b.k, a, a_layout, &b.panels, c);
 }
 
-/// Row tiles per parallel task (`KD_BLOCK`, default 8 → 32 rows/task).
+/// Row tiles per parallel task (`KD_BLOCK`, default 8 → 64 rows/task).
 fn block_rows() -> usize {
     static CACHE: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
     *CACHE.get_or_init(|| {
@@ -177,31 +203,33 @@ fn block_rows() -> usize {
     })
 }
 
-/// Packs `B'` (`k×m` after layout) into NR-wide column panels, zero-padded.
-fn pack_b(m: usize, k: usize, b: &[f32], layout: Layout) -> Vec<f32> {
-    let m_pad = m.div_ceil(NR) * NR;
+/// Packs `B'` (`k×m` after layout) into `W`-wide column panels,
+/// zero-padded. `W` is [`NR`] for the lane kernel, [`REF_NR`] for the
+/// reference kernel.
+fn pack_b<const W: usize>(m: usize, k: usize, b: &[f32], layout: Layout) -> Vec<f32> {
+    let m_pad = m.div_ceil(W) * W;
     let mut out = vec![0.0f32; k * m_pad];
     match layout {
         Layout::Normal => {
             // B'[p][j] = b[p * m + j]; copy row slices panel by panel.
-            for (panel, j0) in (0..m).step_by(NR).enumerate() {
-                let width = NR.min(m - j0);
-                let dst_base = panel * (k * NR);
+            for (panel, j0) in (0..m).step_by(W).enumerate() {
+                let width = W.min(m - j0);
+                let dst_base = panel * (k * W);
                 for p in 0..k {
                     let src = &b[p * m + j0..p * m + j0 + width];
-                    out[dst_base + p * NR..dst_base + p * NR + width].copy_from_slice(src);
+                    out[dst_base + p * W..dst_base + p * W + width].copy_from_slice(src);
                 }
             }
         }
         Layout::Transposed => {
             // B'[p][j] = b[j * k + p]; source columns are contiguous rows.
-            for (panel, j0) in (0..m).step_by(NR).enumerate() {
-                let width = NR.min(m - j0);
-                let dst_base = panel * (k * NR);
+            for (panel, j0) in (0..m).step_by(W).enumerate() {
+                let width = W.min(m - j0);
+                let dst_base = panel * (k * W);
                 for jj in 0..width {
                     let src = &b[(j0 + jj) * k..(j0 + jj) * k + k];
                     for (p, &v) in src.iter().enumerate() {
-                        out[dst_base + p * NR + jj] = v;
+                        out[dst_base + p * W + jj] = v;
                     }
                 }
             }
@@ -210,17 +238,24 @@ fn pack_b(m: usize, k: usize, b: &[f32], layout: Layout) -> Vec<f32> {
     out
 }
 
-/// Packs row tile `tile` of `A'` (`n×k` after layout): `packed[p*MR + ii] =
-/// A'[tile*MR + ii][p]`, zero-padded below row `n`.
-fn pack_a(tile: usize, n: usize, k: usize, a: &[f32], layout: Layout, packed: &mut [f32]) {
-    let i0 = tile * MR;
-    let rows = MR.min(n - i0);
+/// Packs row tile `tile` (height `TH`) of `A'` (`n×k` after layout):
+/// `packed[p*TH + ii] = A'[tile*TH + ii][p]`, zero-padded below row `n`.
+fn pack_a_tile<const TH: usize>(
+    tile: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    layout: Layout,
+    packed: &mut [f32],
+) {
+    let i0 = tile * TH;
+    let rows = TH.min(n - i0);
     match layout {
         Layout::Normal => {
             // A'[i][p] = a[i * k + p].
             for p in 0..k {
-                for ii in 0..MR {
-                    packed[p * MR + ii] = if ii < rows { a[(i0 + ii) * k + p] } else { 0.0 };
+                for ii in 0..TH {
+                    packed[p * TH + ii] = if ii < rows { a[(i0 + ii) * k + p] } else { 0.0 };
                 }
             }
         }
@@ -228,7 +263,7 @@ fn pack_a(tile: usize, n: usize, k: usize, a: &[f32], layout: Layout, packed: &m
             // A'[i][p] = a[p * n + i]; each p is a contiguous source row.
             for p in 0..k {
                 let src = &a[p * n + i0..p * n + i0 + rows];
-                let dst = &mut packed[p * MR..p * MR + MR];
+                let dst = &mut packed[p * TH..p * TH + TH];
                 dst[..rows].copy_from_slice(src);
                 for v in &mut dst[rows..] {
                     *v = 0.0;
@@ -274,11 +309,18 @@ fn gemm_row_tile_into(
         return;
     }
     let rows = MR.min(n - i0);
-    pack_a(tile, n, k, a, a_layout, packed_a);
+    pack_a_tile::<MR>(tile, n, k, a, a_layout, packed_a);
+    // One dispatch decision per row tile; the micro-kernels themselves
+    // never consult the flag inside the k loop.
+    let lanes = simd::simd_enabled();
     for (panel, j0) in (0..m).step_by(NR).enumerate() {
         let width = NR.min(m - j0);
         let bp = &packed_b[panel * (k * NR)..(panel + 1) * (k * NR)];
-        let acc = micro_kernel(k, packed_a, bp);
+        let acc = if lanes {
+            micro_kernel_lanes(k, packed_a, bp)
+        } else {
+            micro_kernel_scalar(k, packed_a, bp)
+        };
         // Store the active part of the register tile.
         for (ii, acc_row) in acc.iter().enumerate().take(rows) {
             let row = i0 - row_base + ii;
@@ -288,19 +330,120 @@ fn gemm_row_tile_into(
     }
 }
 
-/// The MR×NR register-tile dot kernel: both operands stream sequentially,
-/// accumulators live in registers for the whole `k` loop. Per output
-/// element the sum runs in ascending-`p` order — identical to the naive
-/// reference, so blocked and naive results agree to the last bit.
+/// The MR×NR lane-tile dot kernel: each accumulator row is one [`F32x16`]
+/// whose lanes are the `NR` output columns, held in registers for the
+/// whole `k` loop. Each `k` step broadcasts one packed-`A` value against
+/// the packed-`B` row — per output element the sum runs in ascending-`p`
+/// order, identical to the naive reference, so lane, scalar, reference
+/// and naive kernels agree to the last bit.
+///
+/// The eight rows are individually named locals on purpose: an
+/// accumulator *array* this size defeats LLVM's scalar replacement and
+/// spills the whole tile to the stack every `k` step (measured ~5× slower
+/// than this shape).
 #[inline(always)]
-fn micro_kernel(k: usize, ap: &[f32], bp: &[f32]) -> [[f32; NR]; MR] {
-    let mut acc = [[0.0f32; NR]; MR];
+fn micro_kernel_lanes(k: usize, ap: &[f32], bp: &[f32]) -> [[f32; NR]; MR] {
     debug_assert!(ap.len() >= k * MR && bp.len() >= k * NR);
-    // Fixed-size chunks give LLVM compile-time lengths: no bounds checks,
-    // clean 4-lane vectorisation of the jj loop.
+    let (mut c0, mut c1, mut c2, mut c3) = (
+        F32x16::zero(),
+        F32x16::zero(),
+        F32x16::zero(),
+        F32x16::zero(),
+    );
+    let (mut c4, mut c5, mut c6, mut c7) = (
+        F32x16::zero(),
+        F32x16::zero(),
+        F32x16::zero(),
+        F32x16::zero(),
+    );
+    // Fixed-size chunks give LLVM compile-time lengths: no bounds checks
+    // inside the k loop.
+    for (a, b) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)).take(k) {
+        let bv = F32x16::load(b);
+        c0 = c0.mul_add_to(a[0], bv);
+        c1 = c1.mul_add_to(a[1], bv);
+        c2 = c2.mul_add_to(a[2], bv);
+        c3 = c3.mul_add_to(a[3], bv);
+        c4 = c4.mul_add_to(a[4], bv);
+        c5 = c5.mul_add_to(a[5], bv);
+        c6 = c6.mul_add_to(a[6], bv);
+        c7 = c7.mul_add_to(a[7], bv);
+    }
+    [
+        c0.to_array(),
+        c1.to_array(),
+        c2.to_array(),
+        c3.to_array(),
+        c4.to_array(),
+        c5.to_array(),
+        c6.to_array(),
+        c7.to_array(),
+    ]
+}
+
+/// The scalar fallback of [`micro_kernel_lanes`]: the same MR×NR
+/// accumulator walked with plain scalar loops in the same order — bitwise
+/// identical by construction, kept compiled and exercised by the
+/// `KD_NO_SIMD=1` CI leg.
+#[inline(always)]
+fn micro_kernel_scalar(k: usize, ap: &[f32], bp: &[f32]) -> [[f32; NR]; MR] {
+    debug_assert!(ap.len() >= k * MR && bp.len() >= k * NR);
+    let mut acc = [[0.0f32; NR]; MR];
     for (a, b) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)).take(k) {
         let a: &[f32; MR] = a.try_into().unwrap();
         let b: &[f32; NR] = b.try_into().unwrap();
+        for (row, &av) in acc.iter_mut().zip(a) {
+            for (acc_v, &bv) in row.iter_mut().zip(b) {
+                *acc_v += av * bv;
+            }
+        }
+    }
+    acc
+}
+
+/// The previous-generation blocked kernel: [`REF_MR`]-row tiles with the
+/// compiler-vectorised scalar micro-kernel, serial. Kept as the timing and
+/// equality reference for the lane kernel (as [`gemm_naive`] is the seed
+/// reference) — `BENCH_micro.json`'s `simd` entry records the lane
+/// kernel's speedup over this, with a `max_abs_diff = 0` guard.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_blocked_ref(
+    n: usize,
+    m: usize,
+    k: usize,
+    a: &[f32],
+    a_layout: Layout,
+    b: &[f32],
+    b_layout: Layout,
+    c: &mut [f32],
+) {
+    debug_assert_eq!(c.len(), n * m);
+    let panels = pack_b::<REF_NR>(m, k, b, b_layout);
+    let mut packed_a = vec![0.0f32; k * REF_MR];
+    for tile in 0..n.div_ceil(REF_MR) {
+        let i0 = tile * REF_MR;
+        let rows = REF_MR.min(n - i0);
+        pack_a_tile::<REF_MR>(tile, n, k, a, a_layout, &mut packed_a);
+        for (panel, j0) in (0..m).step_by(REF_NR).enumerate() {
+            let width = REF_NR.min(m - j0);
+            let bp = &panels[panel * (k * REF_NR)..(panel + 1) * (k * REF_NR)];
+            let acc = micro_kernel_ref(k, &packed_a, bp);
+            for (ii, acc_row) in acc.iter().enumerate().take(rows) {
+                let dst = &mut c[(i0 + ii) * m + j0..(i0 + ii) * m + j0 + width];
+                dst.copy_from_slice(&acc_row[..width]);
+            }
+        }
+    }
+}
+
+/// The previous 4×8 register-tile kernel, verbatim.
+#[inline(always)]
+fn micro_kernel_ref(k: usize, ap: &[f32], bp: &[f32]) -> [[f32; REF_NR]; REF_MR] {
+    let mut acc = [[0.0f32; REF_NR]; REF_MR];
+    debug_assert!(ap.len() >= k * REF_MR && bp.len() >= k * REF_NR);
+    for (a, b) in ap.chunks_exact(REF_MR).zip(bp.chunks_exact(REF_NR)).take(k) {
+        let a: &[f32; REF_MR] = a.try_into().unwrap();
+        let b: &[f32; REF_NR] = b.try_into().unwrap();
         for (row, &av) in acc.iter_mut().zip(a) {
             for (acc_v, &bv) in row.iter_mut().zip(b) {
                 *acc_v += av * bv;
@@ -347,6 +490,7 @@ pub fn gemm_naive(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::simd::{set_simd_policy, SimdPolicy};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
@@ -369,12 +513,7 @@ mod tests {
             let mut slow = vec![0.0f32; n * m];
             gemm(n, m, k, &a, la, &b, lb, &mut fast);
             gemm_naive(n, m, k, &a, la, &b, lb, &mut slow);
-            for (i, (&x, &y)) in fast.iter().zip(&slow).enumerate() {
-                assert!(
-                    (x - y).abs() <= 1e-5,
-                    "({n},{m},{k}) {la:?}/{lb:?} idx {i}: {x} vs {y}"
-                );
-            }
+            assert_eq!(fast, slow, "({n},{m},{k}) {la:?}/{lb:?}");
         }
     }
 
@@ -400,6 +539,80 @@ mod tests {
         check_all_layouts(1, 8, 1, 1);
         check_all_layouts(2, 3, 1, 2);
         check_all_layouts(4, 1, 128, 3);
+    }
+
+    /// simd ≡ blocked-reference ≡ naive, bitwise, at the ragged shapes the
+    /// tiling has to pad — `n % MR != 0`, `m % NR != 0`, `m < NR`,
+    /// `n < MR`, `k == 0` — across both dispatch paths and
+    /// `KD_THREADS ∈ {1, 4}`. The blocked path is driven directly (not
+    /// through `gemm`'s naive small-shape shortcut) so the tile padding is
+    /// really exercised at the tiny shapes.
+    ///
+    /// Flipping the global simd policy mid-suite is safe for concurrently
+    /// running tests: both paths are bitwise identical, so any dispatch a
+    /// neighbour happens to observe produces the same results — the same
+    /// argument `tspar`'s pool property tests rely on.
+    #[test]
+    fn ragged_shapes_bitwise_equal_across_kernels_paths_and_threads() {
+        // (n, m, k): n ragged vs MR=8, m ragged vs NR=16 (above and below
+        // one panel), m < NR, n < MR, both ragged, k = 0, and one aligned
+        // control.
+        let shapes = [
+            (13, 16, 24), // n % MR != 0
+            (16, 21, 24), // m % NR != 0, m > NR
+            (16, 13, 24), // m % NR != 0, m < NR
+            (16, 5, 24),  // m < NR, below the ref panel width too
+            (5, 16, 24),  // n < MR
+            (11, 7, 33),  // both ragged, odd k
+            (9, 9, 0),    // k == 0 → all-zero C
+            (16, 16, 16), // aligned control
+        ];
+        for &threads in &[1usize, 4] {
+            tspar::set_parallelism(tspar::Parallelism::Fixed(threads));
+            for &policy in &[SimdPolicy::Lanes, SimdPolicy::Scalar] {
+                set_simd_policy(policy);
+                for &(n, m, k) in &shapes {
+                    let mut rng = StdRng::seed_from_u64((n * 971 + m * 31 + k) as u64);
+                    for (la, lb) in [
+                        (Layout::Normal, Layout::Normal),
+                        (Layout::Transposed, Layout::Normal),
+                        (Layout::Normal, Layout::Transposed),
+                    ] {
+                        let a = random_matrix(&mut rng, n * k);
+                        let b = random_matrix(&mut rng, k * m);
+                        let mut naive = vec![f32::NAN; n * m];
+                        gemm_naive(n, m, k, &a, la, &b, lb, &mut naive);
+                        let mut blocked_ref = vec![f32::NAN; n * m];
+                        gemm_blocked_ref(n, m, k, &a, la, &b, lb, &mut blocked_ref);
+                        let mut lane = vec![f32::NAN; n * m];
+                        gemm_blocked(n, m, k, &a, la, &pack_b::<NR>(m, k, &b, lb), &mut lane);
+                        let ctx =
+                            format!("({n},{m},{k}) {la:?}/{lb:?} threads={threads} {policy:?}");
+                        assert_eq!(naive, blocked_ref, "naive vs ref {ctx}");
+                        assert_eq!(naive, lane, "naive vs lane {ctx}");
+                        if k == 0 {
+                            assert!(lane.iter().all(|&v| v == 0.0), "k=0 zeroes C {ctx}");
+                        }
+                    }
+                }
+            }
+            set_simd_policy(SimdPolicy::Auto);
+        }
+        tspar::set_parallelism(tspar::Parallelism::Auto);
+    }
+
+    #[test]
+    fn lane_and_scalar_micro_kernels_bitwise_equal() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for &k in &[0usize, 1, 7, 32, 129] {
+            let ap = random_matrix(&mut rng, k * MR);
+            let bp = random_matrix(&mut rng, k * NR);
+            assert_eq!(
+                micro_kernel_lanes(k, &ap, &bp),
+                micro_kernel_scalar(k, &ap, &bp),
+                "k={k}"
+            );
+        }
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::init::kaiming_uniform;
 use crate::param::{Layer, Param};
+use crate::simd;
 use crate::tensor::Tensor;
 use rand::rngs::StdRng;
 
@@ -97,9 +98,7 @@ impl Layer for Conv1d {
                         let (t0, t1) = valid_range(l, k, pad);
                         let off = k as isize - pad as isize;
                         let xs = &x_row[(t0 as isize + off) as usize..(t1 as isize + off) as usize];
-                        for (yv, &xv) in y_row[t0..t1].iter_mut().zip(xs) {
-                            *yv += wv * xv;
-                        }
+                        simd::axpy(&mut y_row[t0..t1], wv, xs);
                     }
                 }
             }
@@ -123,8 +122,8 @@ impl Layer for Conv1d {
             let gb = grad_out.batch(ni);
             for co in 0..self.out_channels {
                 let g_row = &gb[co * l..(co + 1) * l];
-                // Bias gradient: sum over time.
-                self.bias.grad.data_mut()[co] += g_row.iter().sum::<f32>();
+                // Bias gradient: sum over time (striped canonical order).
+                self.bias.grad.data_mut()[co] += simd::sum(g_row);
                 for ci in 0..self.in_channels {
                     let x_row = &xb[ci * l..(ci + 1) * l];
                     let w_base = (co * self.in_channels + ci) * self.kernel;
@@ -136,11 +135,7 @@ impl Layer for Conv1d {
                         let off = k as isize - pad as isize;
                         let xs = &x_row[(t0 as isize + off) as usize..(t1 as isize + off) as usize];
                         // dW[k] += Σ_t g[t] · x[t+k-pad]
-                        let mut acc = 0.0f32;
-                        for (&g, &xv) in g_row[t0..t1].iter().zip(xs) {
-                            acc += g * xv;
-                        }
-                        gw[w_base + k] += acc;
+                        gw[w_base + k] += simd::dot(&g_row[t0..t1], xs);
                     }
                 }
             }
@@ -169,9 +164,7 @@ impl Layer for Conv1d {
                         let off = k as isize - pad as isize;
                         let gxs =
                             &mut gx_row[(t0 as isize + off) as usize..(t1 as isize + off) as usize];
-                        for (gxv, &g) in gxs.iter_mut().zip(&g_row[t0..t1]) {
-                            *gxv += wv * g;
-                        }
+                        simd::axpy(gxs, wv, &g_row[t0..t1]);
                     }
                 }
             }
@@ -251,6 +244,36 @@ mod tests {
     fn even_kernel_rejected() {
         let mut rng = StdRng::seed_from_u64(3);
         let _ = Conv1d::new(1, 1, 4, &mut rng);
+    }
+
+    #[test]
+    fn forward_and_backward_bitwise_equal_across_simd_paths() {
+        use crate::simd::{set_simd_policy, SimdPolicy};
+        let run = || {
+            let mut rng = StdRng::seed_from_u64(9);
+            let mut c = Conv1d::new(3, 4, 5, &mut rng);
+            let x = Tensor::from_vec(
+                &[2, 3, 19], // odd length exercises the lane-remainder tails
+                (0..114)
+                    .map(|i| ((i * 13 % 29) as f32 - 14.0) * 0.07)
+                    .collect(),
+            );
+            let y = c.forward(&x, true);
+            let g = Tensor::from_vec(&[2, 4, 19], y.data().iter().map(|v| v * 0.5).collect());
+            let gx = c.backward(&g);
+            (
+                y.data().to_vec(),
+                gx.data().to_vec(),
+                c.weight.grad.data().to_vec(),
+                c.bias.grad.data().to_vec(),
+            )
+        };
+        set_simd_policy(SimdPolicy::Lanes);
+        let lanes = run();
+        set_simd_policy(SimdPolicy::Scalar);
+        let scalar = run();
+        set_simd_policy(SimdPolicy::Auto);
+        assert!(lanes == scalar, "Conv1d lane and scalar paths diverge");
     }
 
     #[test]

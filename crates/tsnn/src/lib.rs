@@ -15,6 +15,9 @@
 //!   clipping (the boundedness assumption of the paper's §A.1).
 //! * [`gradcheck`] — finite-difference gradient verification used throughout
 //!   the test suite.
+//! * [`simd`] — dependency-free fixed-width lane types (`F32x8`, `F64x4`)
+//!   behind the GEMM micro-kernel and the other measured hot loops, each
+//!   with a bitwise-identical scalar fallback (`KD_NO_SIMD=1`).
 //!
 //! Design notes: layers are stateful (`forward` caches, `backward` consumes)
 //! and models compose them explicitly — there is no autograd graph. That
@@ -29,6 +32,7 @@ pub mod loss;
 pub mod optim;
 pub mod param;
 pub mod serialize;
+pub mod simd;
 pub mod tensor;
 
 pub use param::Param;
