@@ -3,7 +3,9 @@
 //! serving-throughput record (selections/sec through the batched
 //! `SelectorEngine` at a fixed 64-series batch) and a training-throughput
 //! record (windows/sec through the data-parallel session stack at 1 and N
-//! worker threads, with the bitwise cross-thread-count guard asserted).
+//! worker threads, with the bitwise cross-thread-count guard asserted) and
+//! a streaming-loop record (windows/sec through incremental ingestion with
+//! cache publishing, plus the daemon's drift → retrain → deploy latency).
 //!
 //! Appends one compact JSON line per run to `BENCH_micro.json` (repo root,
 //! override with `KD_BENCH_OUT`) so the perf trajectory is tracked PR over
@@ -800,6 +802,126 @@ fn train_benchmark() -> serde_json::Value {
     })
 }
 
+/// Streaming-loop record: ingestion throughput (windows/sec through
+/// chunked `StreamIngestor` appends, cache publishing included — the
+/// steady-state serving path), plus the `RetrainDaemon`'s drift → retrain
+/// → deploy latency on a synthetic-label corpus (the time from the ingest
+/// that raises the drift signal to the retrained model being live in the
+/// serving engine).
+fn stream_benchmark() -> serde_json::Value {
+    use kdselector_core::manage::SelectorStore;
+    use kdselector_core::serve::WindowCache;
+    use kdselector_core::stream::{
+        DaemonConfig, DaemonEvent, DriftConfig, LabelOracle, RetrainDaemon, StreamIngestor,
+    };
+
+    let window = WindowConfig {
+        length: 64,
+        stride: 32,
+        znormalize: true,
+    };
+
+    // --- Ingestion throughput: one long stream, fixed-size appends, each
+    // followed by a cache publish (every append changes the prefix key, so
+    // every publish is an insert — the worst case).
+    const CHUNK: usize = 512;
+    const CHUNKS: usize = 128;
+    let chunks: Vec<Vec<f64>> = (0..CHUNKS)
+        .map(|c| {
+            (0..CHUNK)
+                .map(|i| ((c * CHUNK + i) as f64 * 0.19).sin())
+                .collect()
+        })
+        .collect();
+    let cache = Arc::new(WindowCache::with_byte_budget(8, 1 << 22));
+    let mut ingestor = StreamIngestor::new(window).with_cache(Arc::clone(&cache));
+    let t = Instant::now();
+    let mut produced = 0usize;
+    for chunk in &chunks {
+        produced += ingestor.append("bench", chunk).len();
+        let _ = ingestor.publish("bench");
+    }
+    let ingest_secs = t.elapsed().as_secs_f64();
+    let ingest_wps = produced as f64 / ingest_secs;
+
+    // --- Drift → retrain → deploy latency. Synthetic oracle: labels flip
+    // with the series mean, no detector runs.
+    struct MeanOracle;
+    impl LabelOracle for MeanOracle {
+        fn perf_row(&self, ts: &TimeSeries) -> Vec<f64> {
+            let mean = ts.values.iter().sum::<f64>() / ts.len().max(1) as f64;
+            let best = usize::from(mean >= 1.0);
+            (0..12).map(|m| if m == best { 0.9 } else { 0.1 }).collect()
+        }
+    }
+    let dir = std::env::temp_dir().join(format!("kdsel-bench-stream-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = SelectorStore::open(&dir).expect("bench store");
+    let engine = Arc::new(SelectorEngine::with_shared_cache(Arc::new(
+        WindowCache::with_byte_budget(8, 1 << 22),
+    )));
+    let cfg = DaemonConfig {
+        selector: "bench-stream".to_string(),
+        window,
+        train: TrainConfig {
+            arch: Architecture::ConvNet,
+            width: 6,
+            epochs: 2,
+            batch_size: 64,
+            pruning: PruningStrategy::None,
+            ..TrainConfig::default()
+        },
+        drift: DriftConfig {
+            window: 256,
+            threshold: 6.0,
+        },
+        quota: usize::MAX,
+        min_samples: 1024,
+        text_dim: 32,
+    };
+    let epochs = cfg.train.epochs;
+    let mut daemon = RetrainDaemon::new(Arc::clone(&engine), store, Box::new(MeanOracle), cfg);
+    // Stable reference traffic (anchors the drift window, builds corpus).
+    for chunk in chunks.iter().take(8) {
+        let events = daemon.ingest("bench", chunk).expect("ingest");
+        assert!(events.is_empty(), "stable traffic must not trigger");
+    }
+    // The level shift: drift fires inside this ingest, and the clock runs
+    // until the retrained model is deployed and serving.
+    let shifted: Vec<f64> = chunks[8].iter().map(|v| v + 30.0).collect();
+    let t = Instant::now();
+    let mut events = daemon.ingest("bench", &shifted).expect("ingest");
+    events.extend(daemon.run_pending().expect("retrain"));
+    let retrain_secs = t.elapsed().as_secs_f64();
+    let retrain_windows = events
+        .iter()
+        .find_map(|e| match e {
+            DaemonEvent::RetrainStarted { windows, .. } => Some(*windows),
+            _ => None,
+        })
+        .expect("the shift must trigger a retrain");
+    assert!(
+        matches!(events.last(), Some(DaemonEvent::Deployed { .. })),
+        "the retrain must end in a deploy"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+
+    println!(
+        "stream loop:        {ingest_wps:.0} windows/sec ingested ({produced} windows, publish \
+         included), drift->deploy {retrain_secs:.3}s ({retrain_windows} windows x {epochs} epochs)"
+    );
+    serde_json::json!({
+        "chunk": CHUNK,
+        "chunks": CHUNKS,
+        "ingest_windows": produced,
+        "ingest_secs": ingest_secs,
+        "ingest_windows_per_sec": ingest_wps,
+        "retrain_windows": retrain_windows,
+        "epochs": epochs,
+        "drift_to_deploy_secs": retrain_secs,
+    })
+}
+
 fn max_abs_diff(a: &Tensor, b: &Tensor) -> f64 {
     a.data()
         .iter()
@@ -896,6 +1018,9 @@ fn main() {
     // --- Training throughput: session stack, 1 vs N threads. --------------
     let train = train_benchmark();
 
+    // --- Streaming loop: ingest throughput + drift->deploy latency. -------
+    let stream = stream_benchmark();
+
     // --- Region dispatch overhead: persistent pool vs spawn/join. ---------
     let dispatch = dispatch_overhead();
 
@@ -922,6 +1047,7 @@ fn main() {
         "serve_queue": serve_queue,
         "route": route,
         "train": train,
+        "stream": stream,
         "dispatch": dispatch,
         "par_gate": par_gate,
     });

@@ -32,7 +32,13 @@
 //!   [`serve::SelectRequest`]s with structured [`serve::Selection`]s, a
 //!   queued, admission-controlled front-end [`serve::ServeQueue`] that
 //!   coalesces small concurrent requests, and a content-keyed LRU
-//!   [`serve::WindowCache`] for repeat series), and
+//!   [`serve::WindowCache`] for repeat series),
+//! * a streaming tier ([`stream`]): incremental, cache-publishing window
+//!   ingestion ([`stream::StreamIngestor`]), deterministic count-windowed
+//!   drift detection ([`stream::DriftMonitor`]), and a drift/quota-triggered
+//!   retraining daemon ([`stream::RetrainDaemon`]) that checkpoints every
+//!   epoch and hot-deploys into the serving engine — all bitwise-replayable
+//!   from the append log, and
 //! * an end-to-end pipeline ([`pipeline`]) used by the examples and the
 //!   benchmark harness.
 
@@ -48,6 +54,7 @@ pub mod pipeline;
 pub mod prune;
 pub mod selector;
 pub mod serve;
+pub mod stream;
 pub mod train;
 
 pub use arch::Architecture;
@@ -58,7 +65,11 @@ pub use prune::PruningStrategy;
 pub use selector::Selector;
 pub use serve::{
     FaultAction, FaultPlan, FaultPoint, FaultRule, QueueConfig, RouteError, RouteReply,
-    RouterConfig, SelectRequest, Selection, SelectorEngine, ServeError, ServeQueue, ShardedRouter,
-    WindowCache,
+    RouterConfig, SelectRequest, Selection, SelectionTap, SelectorEngine, ServeError, ServeQueue,
+    ShardedRouter, WindowCache,
+};
+pub use stream::{
+    DaemonConfig, DaemonEvent, DriftConfig, DriftKind, DriftMonitor, DriftSignal, LabelOracle,
+    MarginDriftTap, RetrainDaemon, RetrainReason, StreamIngestor,
 };
 pub use train::{TrainCheckpoint, TrainConfig, TrainSession, TrainStats, TrainedSelector};

@@ -77,23 +77,34 @@ impl Key {
 struct Entry {
     /// Touch stamp from the cache's monotonic counter; smallest = coldest.
     last_used: u64,
+    /// Payload bytes of `windows` (counted against the byte budget).
+    bytes: usize,
     windows: Arc<Vec<Vec<f32>>>,
 }
 
 struct Inner {
     map: BTreeMap<Key, Entry>,
     tick: u64,
+    /// Sum of `Entry::bytes` over the map (kept incrementally so the
+    /// budget check is O(1), not a scan).
+    bytes: usize,
 }
 
 /// Hit/miss/occupancy counters, for tests and operational visibility.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Lookups answered from the cache.
+    /// Lookups answered from the cache — including lookups that lost a
+    /// same-key race and adopted the winner's entry at insert time (see
+    /// [`WindowCache::get_or_insert`]), so `hits + misses` always equals
+    /// the number of lookups.
     pub hits: u64,
-    /// Lookups that had to extract windows.
+    /// Lookups whose extraction was actually inserted.
     pub misses: u64,
     /// Entries currently held.
     pub entries: usize,
+    /// Payload bytes currently held (window matrices only, not map
+    /// overhead).
+    pub bytes: usize,
 }
 
 /// A bounded, thread-safe LRU cache of extracted window matrices.
@@ -101,32 +112,54 @@ pub struct CacheStats {
 /// Shared via `Arc` between the selectors of one engine; every method takes
 /// `&self`. See the module docs for the keying and determinism contract.
 ///
-/// **Sizing:** capacity bounds the *entry count*, not bytes. One entry
-/// holds one series' window matrix ≈
+/// **Sizing:** capacity bounds the *entry count*; entry sizes vary wildly
+/// with series length. One entry holds one series' window matrix ≈
 /// `windows_per_series × window_length × 4` bytes (windows per series ≈
-/// `series_len / stride`), so size the capacity against your longest
-/// expected series — e.g. 1k-sample series at window 64 / stride 32 cost
-/// ~8 KB per entry, but a 10M-sample series costs ~80 MB. A byte-budgeted
-/// variant is future work; until then, don't put unboundedly long series
-/// behind a large entry count.
+/// `series_len / stride`) — e.g. 1k-sample series at window 64 / stride 32
+/// cost ~8 KB per entry, but a 10M-sample series costs ~80 MB, so an entry
+/// count alone is no memory bound when series lengths are unbounded. Use
+/// [`WindowCache::with_byte_budget`] to cap payload bytes alongside the
+/// entry count: eviction then runs while *either* limit is exceeded, still
+/// coldest-first, so the budget — like capacity — only affects speed,
+/// never results. A single entry larger than the whole budget is still
+/// admitted (the cache never holds fewer than one entry); it is evicted as
+/// soon as a warmer insert displaces it.
 pub struct WindowCache {
     inner: Mutex<Inner>,
     capacity: usize,
+    /// Optional payload-byte bound enforced alongside `capacity`.
+    byte_budget: Option<usize>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
 
 impl WindowCache {
-    /// New cache holding at most `capacity` window matrices (min 1).
+    /// New cache holding at most `capacity` window matrices (min 1), with
+    /// no byte bound.
     pub fn new(capacity: usize) -> Self {
         Self {
             inner: Mutex::new(Inner {
                 map: BTreeMap::new(),
                 tick: 0,
+                bytes: 0,
             }),
             capacity: capacity.max(1),
+            byte_budget: None,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+        }
+    }
+
+    /// New cache bounded by *both* an entry count and a payload-byte
+    /// budget (window matrices only; map/Arc overhead is not counted).
+    /// Whenever either bound is exceeded, coldest entries are evicted
+    /// first, deterministically (key order breaks LRU ties), down to a
+    /// floor of one entry — so one oversized matrix still serves rather
+    /// than thrash.
+    pub fn with_byte_budget(capacity: usize, max_bytes: usize) -> Self {
+        Self {
+            byte_budget: Some(max_bytes),
+            ..Self::new(capacity)
         }
     }
 
@@ -135,12 +168,23 @@ impl WindowCache {
         self.capacity
     }
 
+    /// The configured payload-byte budget, if any.
+    pub fn byte_budget(&self) -> Option<usize> {
+        self.byte_budget
+    }
+
     /// Returns the cached window matrix for `(ts content, cfg)`, extracting
     /// via `build` on a miss. The build runs *outside* the cache lock so a
     /// long extraction never blocks hits on other series; if two threads
     /// race on the same cold key, the first insert wins and both callers
     /// share it (both builds produce bit-identical matrices, so the race
     /// can only cost time, never change results).
+    ///
+    /// **Stat accounting:** the miss is counted at *insert resolution*, not
+    /// at lookup time. The racing loser finds the winner's entry when it
+    /// returns to insert and is served from the cache, so it counts as a
+    /// hit — `hits + misses` therefore always equals the lookup count, and
+    /// `misses` equals the number of matrices actually inserted.
     pub fn get_or_insert(
         &self,
         ts: &TimeSeries,
@@ -160,33 +204,59 @@ impl WindowCache {
                 return Arc::clone(&entry.windows);
             }
         }
-        // kdlint: allow(relaxed): stat counter — read only by `stats()`
-        // snapshots; nothing branches on it.
-        self.misses.fetch_add(1, Ordering::Relaxed);
         let built = Arc::new(build());
         let mut inner = self.inner.lock().unwrap();
         inner.tick += 1;
         let tick = inner.tick;
-        let entry = inner.map.entry(key).or_insert_with(|| Entry {
-            last_used: tick,
-            windows: Arc::clone(&built),
-        });
-        entry.last_used = tick;
-        let shared = Arc::clone(&entry.windows);
-        // Evict coldest-first down to capacity. O(entries) scan per evict:
-        // serving caches are tens-to-hundreds of entries, and eviction only
-        // runs on insert of a new key, so the scan is noise next to the
+        if let Some(entry) = inner.map.get_mut(&key) {
+            // Lost the cold-key race: another thread inserted while we were
+            // building. This lookup is answered from the cache, so it is a
+            // hit — counting it as a second miss would make `hits + misses`
+            // overshoot the lookup count.
+            entry.last_used = tick;
+            // kdlint: allow(relaxed): stat counter — read only by
+            // `stats()` snapshots; nothing branches on it.
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(&entry.windows);
+        }
+        // kdlint: allow(relaxed): stat counter — read only by `stats()`
+        // snapshots; nothing branches on it.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let bytes: usize = built
+            .iter()
+            .map(|row| row.len() * std::mem::size_of::<f32>())
+            .sum();
+        inner.bytes += bytes;
+        inner.map.insert(
+            key,
+            Entry {
+                last_used: tick,
+                bytes,
+                windows: Arc::clone(&built),
+            },
+        );
+        // Evict coldest-first while over the entry cap *or* the byte
+        // budget, down to a floor of one entry (the just-inserted entry
+        // carries the freshest tick, so it is never the victim while
+        // anything colder remains). O(entries) scan per evict: serving
+        // caches are tens-to-hundreds of entries, and eviction only runs
+        // on insert of a new key, so the scan is noise next to the
         // extraction it just paid for.
-        while inner.map.len() > self.capacity {
+        while inner.map.len() > 1
+            && (inner.map.len() > self.capacity
+                || self.byte_budget.is_some_and(|b| inner.bytes > b))
+        {
             let coldest = inner
                 .map
                 .iter()
                 .min_by_key(|(_, e)| e.last_used)
                 .map(|(k, _)| *k)
                 .expect("non-empty map");
-            inner.map.remove(&coldest);
+            if let Some(evicted) = inner.map.remove(&coldest) {
+                inner.bytes -= evicted.bytes;
+            }
         }
-        shared
+        built
     }
 
     /// Whether `(ts content, cfg)` currently has an entry (does not touch
@@ -208,19 +278,23 @@ impl WindowCache {
 
     /// Snapshot of the hit/miss/occupancy counters.
     pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().unwrap();
         CacheStats {
             // kdlint: allow(relaxed): stat snapshot — approximate reads are
             // fine; tests that assert exact values quiesce first.
             hits: self.hits.load(Ordering::Relaxed),
             // kdlint: allow(relaxed): stat snapshot — same as above.
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self.len(),
+            entries: inner.map.len(),
+            bytes: inner.bytes,
         }
     }
 
     /// Drops every entry (counters keep accumulating).
     pub fn clear(&self) {
-        self.inner.lock().unwrap().map.clear();
+        let mut inner = self.inner.lock().unwrap();
+        inner.map.clear();
+        inner.bytes = 0;
     }
 }
 
@@ -229,7 +303,9 @@ impl std::fmt::Debug for WindowCache {
         let stats = self.stats();
         f.debug_struct("WindowCache")
             .field("capacity", &self.capacity)
+            .field("byte_budget", &self.byte_budget)
             .field("entries", &stats.entries)
+            .field("bytes", &stats.bytes)
             .field("hits", &stats.hits)
             .field("misses", &stats.misses)
             .finish()
@@ -347,5 +423,104 @@ mod tests {
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.stats().bytes, 0, "clear resets the byte ledger");
+    }
+
+    /// One 40-sample series at window 8 / stride 4 yields 9 windows of 8
+    /// f32s = 288 payload bytes per entry (the sizes the budget tests
+    /// below are tuned around).
+    const ENTRY_BYTES: usize = 9 * 8 * 4;
+
+    #[test]
+    fn byte_budget_evicts_coldest_until_under_budget() {
+        // Two entries (576 B) fit a 600 B budget; a third (864 B) forces
+        // the coldest out even though the entry cap (10) is nowhere near.
+        let cache = WindowCache::with_byte_budget(10, 2 * ENTRY_BYTES + 24);
+        assert_eq!(cache.byte_budget(), Some(600));
+        let a = series("a", 1, 40);
+        let b = series("b", 2, 40);
+        let c = series("c", 3, 40);
+        cache.get_or_insert(&a, &cfg(), || windows_of(&a));
+        cache.get_or_insert(&b, &cfg(), || windows_of(&b));
+        assert_eq!(cache.stats().bytes, 2 * ENTRY_BYTES);
+        cache.get_or_insert(&c, &cfg(), || windows_of(&c));
+        assert_eq!(cache.len(), 2);
+        assert!(!cache.contains(&a, &cfg()), "coldest entry paid the budget");
+        assert!(cache.contains(&b, &cfg()));
+        assert!(cache.contains(&c, &cfg()));
+        assert_eq!(cache.stats().bytes, 2 * ENTRY_BYTES);
+    }
+
+    #[test]
+    fn entry_larger_than_the_budget_is_still_admitted() {
+        // The budget never evicts below one entry: a single oversized
+        // matrix serves (and keeps serving hits) instead of thrashing.
+        let cache = WindowCache::with_byte_budget(10, ENTRY_BYTES / 2);
+        let a = series("a", 1, 40);
+        let b = series("b", 2, 40);
+        let wa = cache.get_or_insert(&a, &cfg(), || windows_of(&a));
+        assert_eq!(*wa, windows_of(&a));
+        assert_eq!(cache.len(), 1, "oversized sole entry is kept");
+        let hit = cache.get_or_insert(&a, &cfg(), || panic!("must hit"));
+        assert!(Arc::ptr_eq(&wa, &hit));
+        cache.get_or_insert(&b, &cfg(), || windows_of(&b));
+        assert_eq!(cache.len(), 1, "warmer insert displaces it");
+        assert!(!cache.contains(&a, &cfg()));
+        assert!(cache.contains(&b, &cfg()));
+    }
+
+    #[test]
+    fn budget_eviction_only_costs_speed_not_results() {
+        // Same lookups against a thrashing byte-budgeted cache and an
+        // uncached extraction: bitwise-equal matrices throughout.
+        let cache = WindowCache::with_byte_budget(10, ENTRY_BYTES);
+        for round in 0..3 {
+            for seed in 0..5 {
+                let ts = series("s", seed, 40);
+                let got = cache.get_or_insert(&ts, &cfg(), || windows_of(&ts));
+                assert_eq!(*got, windows_of(&ts), "round {round} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn racing_cold_lookups_count_one_miss_and_one_hit() {
+        // Regression: the miss used to be counted *before* the build, so
+        // two threads racing one cold key both counted a miss and
+        // `hits + misses` overshot the lookup count by one.
+        use std::sync::Barrier;
+        let cache = Arc::new(WindowCache::new(4));
+        let ts = Arc::new(series("race", 5, 40));
+        let barrier = Arc::new(Barrier::new(2));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let ts = Arc::clone(&ts);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    cache.get_or_insert(&ts, &cfg(), || {
+                        // Both threads reach their build before either
+                        // returns to insert, forcing the race every run.
+                        // kdlint: allow(unbounded-wait): two-party test barrier; both threads reach it unconditionally.
+                        barrier.wait();
+                        windows_of(&ts)
+                    })
+                })
+            })
+            .collect();
+        let results: Vec<_> = handles
+            .into_iter()
+            // kdlint: allow(unbounded-wait): joining test threads that terminate after the barrier releases.
+            .map(|h| h.join().expect("worker panicked"))
+            .collect();
+        assert!(
+            Arc::ptr_eq(&results[0], &results[1]),
+            "the losing thread adopts the winner's entry"
+        );
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1, "one insert, one miss");
+        assert_eq!(stats.hits, 1, "the losing lookup is a hit");
+        assert_eq!(stats.hits + stats.misses, 2, "hits + misses == lookups");
+        assert_eq!(stats.entries, 1);
     }
 }

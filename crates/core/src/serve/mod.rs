@@ -21,6 +21,9 @@
 //! * [`cache::WindowCache`] — an LRU keyed by series *content* (not id)
 //!   that lets repeated series skip re-windowing/z-normalisation; attach
 //!   one with [`SelectorEngine::with_window_cache`].
+//! * [`SelectionTap`] — an observer hook invoked after every served batch
+//!   (margin taps for drift monitoring; install with
+//!   [`SelectorEngine::set_selection_tap`]).
 //! * [`router::ShardedRouter`] — the supervised sharded tier: selectors
 //!   placed on N shard workers (each its own engine + queue) by consistent
 //!   hashing, with worker supervision/respawn, per-request deadlines,
@@ -250,6 +253,28 @@ impl std::fmt::Display for ServeError {
 
 impl std::error::Error for ServeError {}
 
+/// An observer of served [`Selection`]s, for operational monitoring.
+///
+/// Install one with [`SelectorEngine::set_selection_tap`]; every
+/// [`SelectorEngine::select_batch`] / [`SelectorEngine::select_batch_refs`]
+/// call invokes it *after* computing the batch's selections (the tap can
+/// never change results, only watch them). The canonical consumer is a
+/// drift monitor watching vote margins decay on a live selector — see
+/// [`crate::stream::MarginDriftTap`].
+///
+/// Taps observe in the serving threads' call order: under concurrent
+/// serving that order is scheduling-dependent, so a tap that needs a
+/// *reproducible* observation stream must be driven single-threaded (the
+/// [`crate::stream::RetrainDaemon`] instead scores windows on its own
+/// ingest path, keeping its drift decisions replayable regardless of
+/// serving concurrency). Implementations must be cheap or hand off
+/// quickly: they run inside the serving call.
+pub trait SelectionTap: Send + Sync {
+    /// Called once per served batch with the selector's registered name
+    /// and the selections just produced, in batch order.
+    fn observe(&self, selector: &str, selections: &[Selection]);
+}
+
 /// A registry of named, immutable selectors serving batched requests.
 ///
 /// Every method takes `&self` — registration (`register` / `load`) writes
@@ -264,6 +289,8 @@ pub struct SelectorEngine {
     /// [`SelectorEngine::load`] (keyed by content + window config, so one
     /// cache safely serves every selector of the engine).
     window_cache: Option<Arc<WindowCache>>,
+    /// Optional post-serve observer (margin taps; see [`SelectionTap`]).
+    tap: RwLock<Option<Arc<dyn SelectionTap>>>,
 }
 
 impl SelectorEngine {
@@ -276,8 +303,35 @@ impl SelectorEngine {
     /// LRU [`WindowCache`] holding up to `capacity` window matrices.
     pub fn with_window_cache(capacity: usize) -> Self {
         Self {
-            registry: RwLock::new(BTreeMap::new()),
             window_cache: Some(Arc::new(WindowCache::new(capacity))),
+            ..Self::default()
+        }
+    }
+
+    /// New empty engine sharing `cache` (e.g. a byte-budgeted
+    /// [`WindowCache::with_byte_budget`], or a cache a
+    /// [`crate::stream::StreamIngestor`] publishes streamed window
+    /// matrices into so serving the streamed series never re-windows).
+    pub fn with_shared_cache(cache: Arc<WindowCache>) -> Self {
+        Self {
+            window_cache: Some(cache),
+            ..Self::default()
+        }
+    }
+
+    /// Installs (`Some`) or removes (`None`) the engine's [`SelectionTap`].
+    /// Takes `&self`: safe while other threads serve — in-flight batches
+    /// finish under the tap they already resolved.
+    pub fn set_selection_tap(&self, tap: Option<Arc<dyn SelectionTap>>) {
+        *self.tap.write().unwrap() = tap;
+    }
+
+    fn tap_observe(&self, selector: &str, selections: &[Selection]) {
+        // Clone the handle out of the lock so a slow tap never holds the
+        // registry of observers against `set_selection_tap`.
+        let tap = self.tap.read().unwrap().clone();
+        if let Some(tap) = tap {
+            tap.observe(selector, selections);
         }
     }
 
@@ -415,11 +469,13 @@ impl SelectorEngine {
         let sel = self
             .get(selector)
             .ok_or_else(|| ServeError::UnknownSelector(selector.to_string()))?;
-        Ok(sel
+        let selections: Vec<Selection> = sel
             .window_scores(batch)
             .iter()
             .map(|scores| Selection::from_scores(scores))
-            .collect())
+            .collect();
+        self.tap_observe(selector, &selections);
+        Ok(selections)
     }
 
     /// [`SelectorEngine::select_batch`] over borrowed series — the path
@@ -436,11 +492,13 @@ impl SelectorEngine {
         let sel = self
             .get(selector)
             .ok_or_else(|| ServeError::UnknownSelector(selector.to_string()))?;
-        Ok(sel
+        let selections: Vec<Selection> = sel
             .window_scores_refs(batch)
             .iter()
             .map(|scores| Selection::from_scores(scores))
-            .collect())
+            .collect();
+        self.tap_observe(selector, &selections);
+        Ok(selections)
     }
 }
 
@@ -449,6 +507,7 @@ impl Clone for SelectorEngine {
         Self {
             registry: RwLock::new(self.registry.read().unwrap().clone()),
             window_cache: self.window_cache.clone(),
+            tap: RwLock::new(self.tap.read().unwrap().clone()),
         }
     }
 }
@@ -520,6 +579,47 @@ mod tests {
             Arc::new(NnSelector::new("convnet", model, window)),
         );
         engine
+    }
+
+    #[test]
+    fn selection_tap_observes_served_batches_without_changing_them() {
+        use std::sync::Mutex;
+        struct Recorder {
+            seen: Mutex<Vec<(String, usize, f64)>>,
+        }
+        impl SelectionTap for Recorder {
+            fn observe(&self, selector: &str, selections: &[Selection]) {
+                let mut seen = self.seen.lock().unwrap();
+                for s in selections {
+                    seen.push((selector.to_string(), s.windows, s.margin));
+                }
+            }
+        }
+
+        let engine = test_engine();
+        let batch: Vec<TimeSeries> = (0..3).map(|i| sine_series(i, 200)).collect();
+        let untapped = engine.select_batch("convnet", &batch).unwrap();
+
+        let tap = Arc::new(Recorder {
+            seen: Mutex::new(Vec::new()),
+        });
+        engine.set_selection_tap(Some(Arc::clone(&tap) as Arc<dyn SelectionTap>));
+        let tapped = engine.select_batch("convnet", &batch).unwrap();
+        assert_eq!(tapped, untapped, "the tap must never change results");
+
+        let seen = tap.seen.lock().unwrap().clone();
+        assert_eq!(seen.len(), batch.len(), "one observation per series");
+        for ((name, windows, margin), sel) in seen.iter().zip(&tapped) {
+            assert_eq!(name, "convnet");
+            assert_eq!(*windows, sel.windows);
+            assert_eq!(*margin, sel.margin);
+        }
+
+        // Removing the tap stops observation; serving is unaffected.
+        engine.set_selection_tap(None);
+        let after = engine.select_batch("convnet", &batch).unwrap();
+        assert_eq!(after, untapped);
+        assert_eq!(tap.seen.lock().unwrap().len(), batch.len());
     }
 
     #[test]

@@ -1,0 +1,643 @@
+//! The continuous-retraining daemon: drift or data quota → checkpointed
+//! training → hot deploy.
+//!
+//! [`RetrainDaemon`] closes the loop between ingestion and serving. Every
+//! [`RetrainDaemon::ingest`] call appends samples through the daemon's
+//! [`StreamIngestor`], publishes the streamed window matrix into the
+//! serving cache, feeds the [`DriftMonitor`] (raw input samples, plus the
+//! deployed model's per-window decision margins), and — when a drift
+//! signal fires or the sample quota since the last retrain is reached —
+//! opens a **versioned retrain**: the training corpus is assembled from
+//! the retained stream prefixes (reusing the incrementally built window
+//! matrices, never re-extracting history), labeled by the configured
+//! [`LabelOracle`], and a [`TrainSession`] is created through
+//! [`TrainSession::resume_or_start`] under the name
+//! `<selector>-v<version>`.
+//!
+//! Training then advances one epoch per [`RetrainDaemon::step`] call, with
+//! a checkpoint saved at every epoch boundary — so the daemon can be
+//! killed at any point and a **fresh daemon replaying the same append log
+//! against the same store resumes the interrupted session from its
+//! checkpoint and produces bitwise-identical weights** (the
+//! `tests/stream_loop.rs` contract). When the session completes, the model
+//! is persisted, hot-deployed into the live [`SelectorEngine`] under the
+//! stable selector name (in-flight requests finish on the old model, the
+//! next lookup serves the new one), reloaded as the daemon's own scoring
+//! copy, and the drift monitor re-anchors.
+//!
+//! # Determinism
+//!
+//! The daemon reads no clock and draws no ambient randomness: its entire
+//! state is a function of the append log (the sequence of
+//! `(stream, samples)` calls), the configuration, and the training seed.
+//! Drift statistics are windowed by observation *count*; margins are
+//! scored on the daemon's own ingest path (not through serving-thread
+//! taps), so concurrent serving traffic cannot perturb retrain decisions.
+
+use super::drift::{DriftConfig, DriftKind, DriftMonitor, DriftSignal};
+use super::ingest::StreamIngestor;
+use crate::dataset::{metadata_text, SelectorDataset};
+use crate::labels::PerfMatrix;
+use crate::manage::SelectorStore;
+use crate::serve::SelectorEngine;
+use crate::train::{TrainConfig, TrainSession, TrainedSelector};
+use std::sync::Arc;
+use tsdata::{TimeSeries, WindowConfig};
+use tstext::FrozenTextEncoder;
+
+/// Source of per-model performance rows for retraining labels.
+///
+/// The production implementation is [`DetectorOracle`] (actually runs the
+/// 12-detector model set); tests and bootstrap flows substitute synthetic
+/// oracles. Implementations must be deterministic functions of the series
+/// content — the replay contract extends through labeling.
+pub trait LabelOracle: Send + Sync {
+    /// The 12-column performance row (AUC-PR per model) for one series.
+    fn perf_row(&self, ts: &TimeSeries) -> Vec<f64>;
+}
+
+/// [`LabelOracle`] that runs the full detector set via
+/// [`crate::labels::score_series`]. Meaningful scores require the series
+/// to carry anomaly ground truth; unlabeled live streams score every
+/// detector 0.0, so pair this oracle with labeled replay logs.
+pub struct DetectorOracle {
+    seed: u64,
+}
+
+impl DetectorOracle {
+    /// New oracle seeding the detector set with `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+}
+
+impl LabelOracle for DetectorOracle {
+    fn perf_row(&self, ts: &TimeSeries) -> Vec<f64> {
+        crate::labels::score_series(ts, self.seed)
+    }
+}
+
+/// What pushed a retrain over the line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetrainReason {
+    /// A [`DriftSignal`] fired during the triggering ingest.
+    Drift,
+    /// `quota` samples arrived since the last retrain started.
+    Quota,
+}
+
+/// An event the daemon emitted during [`RetrainDaemon::ingest`] or
+/// [`RetrainDaemon::step`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum DaemonEvent {
+    /// A drift signal fired (also the trigger of a `Drift` retrain).
+    Drift(DriftSignal),
+    /// A versioned retrain opened.
+    RetrainStarted {
+        /// The retrain's version (checkpoint name `<selector>-v<version>`).
+        version: u32,
+        /// What triggered it.
+        reason: RetrainReason,
+        /// Training windows in the assembled dataset.
+        windows: usize,
+        /// Epochs already done when the session opened — non-zero exactly
+        /// when [`TrainSession::resume_or_start`] found an interrupted
+        /// run's checkpoint and resumed it.
+        resumed_epochs: usize,
+    },
+    /// One training epoch ran and its checkpoint was saved.
+    EpochCompleted {
+        /// The active retrain's version.
+        version: u32,
+        /// Zero-based epoch index that just ran.
+        epoch: usize,
+        /// Mean combined loss of the epoch.
+        loss: f64,
+    },
+    /// The retrained model was persisted and hot-deployed.
+    Deployed {
+        /// The completed retrain's version.
+        version: u32,
+        /// The stable serving name it was deployed under.
+        selector: String,
+    },
+}
+
+/// Configuration of a [`RetrainDaemon`].
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Stable serving name the daemon deploys under (versioned artifacts
+    /// are stored as `<selector>-v<n>`).
+    pub selector: String,
+    /// Window extraction shared by ingestion, training, and serving
+    /// (`window.length` must equal the trained window length, which it
+    /// does by construction — the daemon trains on its own extraction).
+    pub window: WindowConfig,
+    /// Training configuration of every retrain (the seed also keys the
+    /// frozen metadata encoder).
+    pub train: TrainConfig,
+    /// Drift detection parameters.
+    pub drift: DriftConfig,
+    /// New samples since the last retrain start that trigger a `Quota`
+    /// retrain.
+    pub quota: usize,
+    /// Minimum total samples across streams before any retrain may start
+    /// (a drift signal on a tiny corpus would train on noise).
+    pub min_samples: usize,
+    /// Width of the frozen metadata embeddings.
+    pub text_dim: usize,
+}
+
+/// The in-flight retrain a daemon is stepping through.
+struct ActiveRetrain {
+    version: u32,
+    /// Versioned store name (`<selector>-v<version>`).
+    name: String,
+    dataset: SelectorDataset,
+    session: TrainSession,
+}
+
+/// Drift- and quota-triggered continuous retraining over live streams.
+/// See the [module docs](self) for the loop and the replay contract.
+pub struct RetrainDaemon {
+    cfg: DaemonConfig,
+    engine: Arc<SelectorEngine>,
+    store: SelectorStore,
+    oracle: Box<dyn LabelOracle>,
+    ingestor: StreamIngestor,
+    monitor: DriftMonitor,
+    /// The daemon's own copy of the deployed model, used to score new
+    /// windows for margin drift (kept separate from the engine's registry
+    /// so serving traffic and drift decisions cannot interleave).
+    model: Option<TrainedSelector>,
+    active: Option<ActiveRetrain>,
+    samples_since_retrain: usize,
+    version: u32,
+}
+
+impl RetrainDaemon {
+    /// New daemon feeding `engine` (whose shared window cache, if any, the
+    /// ingestor publishes into) and persisting through `store`.
+    pub fn new(
+        engine: Arc<SelectorEngine>,
+        store: SelectorStore,
+        oracle: Box<dyn LabelOracle>,
+        cfg: DaemonConfig,
+    ) -> Self {
+        let mut ingestor = StreamIngestor::new(cfg.window);
+        if let Some(cache) = engine.window_cache() {
+            ingestor = ingestor.with_cache(Arc::clone(cache));
+        }
+        let monitor = DriftMonitor::new(cfg.drift);
+        Self {
+            cfg,
+            engine,
+            store,
+            oracle,
+            ingestor,
+            monitor,
+            model: None,
+            active: None,
+            samples_since_retrain: 0,
+            version: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DaemonConfig {
+        &self.cfg
+    }
+
+    /// The ingestor (stream lengths, snapshots, matrices).
+    pub fn ingestor(&self) -> &StreamIngestor {
+        &self.ingestor
+    }
+
+    /// The drift monitor (channel observation counts).
+    pub fn monitor(&self) -> &DriftMonitor {
+        &self.monitor
+    }
+
+    /// Retrains started so far (the latest version number).
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// Whether a retrain is currently in flight (advance it with
+    /// [`RetrainDaemon::step`]).
+    pub fn is_training(&self) -> bool {
+        self.active.is_some()
+    }
+
+    /// Appends samples to `stream`: windows them incrementally, publishes
+    /// the streamed matrix to the serving cache, observes drift (raw
+    /// inputs; plus per-window margins when a model is deployed), and
+    /// opens a retrain when drift or the quota says so. Training itself
+    /// advances via [`RetrainDaemon::step`] — ingest never blocks on an
+    /// epoch.
+    pub fn ingest(&mut self, stream: &str, samples: &[f64]) -> std::io::Result<Vec<DaemonEvent>> {
+        let mut events = Vec::new();
+        let new_windows = self.ingestor.append(stream, samples);
+        let _ = self.ingestor.publish(stream);
+        self.samples_since_retrain += samples.len();
+
+        let mut drifted = false;
+        let input_channel = format!("input:{stream}");
+        for &x in samples {
+            if let Some(sig) = self
+                .monitor
+                .observe(&input_channel, DriftKind::InputShift, x)
+            {
+                drifted = true;
+                events.push(DaemonEvent::Drift(sig));
+            }
+        }
+        if let Some(model) = &self.model {
+            if !new_windows.is_empty() {
+                let values: Vec<Vec<f32>> = new_windows.iter().map(|w| w.values.clone()).collect();
+                let margin_channel = format!("margin:{}", self.cfg.selector);
+                for row in model.predict_logits(&values) {
+                    let margin = logit_margin(&row);
+                    if let Some(sig) =
+                        self.monitor
+                            .observe(&margin_channel, DriftKind::MarginShift, margin)
+                    {
+                        drifted = true;
+                        events.push(DaemonEvent::Drift(sig));
+                    }
+                }
+            }
+        }
+
+        if self.active.is_none() && self.ingestor.total_samples() >= self.cfg.min_samples {
+            let reason = if drifted {
+                Some(RetrainReason::Drift)
+            } else if self.samples_since_retrain >= self.cfg.quota {
+                Some(RetrainReason::Quota)
+            } else {
+                None
+            };
+            if let Some(reason) = reason {
+                events.push(self.start_retrain(reason)?);
+            }
+        }
+        Ok(events)
+    }
+
+    /// Advances the in-flight retrain by **one epoch** (checkpointing at
+    /// the epoch boundary) and, when the session completes, persists the
+    /// model, hot-deploys it under the stable selector name, reloads the
+    /// daemon's scoring copy, and re-anchors the drift monitor. No-op when
+    /// no retrain is active.
+    pub fn step(&mut self) -> std::io::Result<Vec<DaemonEvent>> {
+        let Some(mut active) = self.active.take() else {
+            return Ok(Vec::new());
+        };
+        let mut events = Vec::new();
+        if !active.session.is_complete() {
+            let report = active.session.run_epoch(&active.dataset);
+            active.session.save_checkpoint(&self.store, &active.name)?;
+            events.push(DaemonEvent::EpochCompleted {
+                version: active.version,
+                epoch: report.epoch,
+                loss: report.loss,
+            });
+        }
+        if active.session.is_complete() {
+            let (model, _stats) = active.session.finish();
+            self.store
+                .save(&active.name, &model, "retrained by RetrainDaemon")?;
+            self.engine
+                .deploy(&self.cfg.selector, model, self.cfg.window)?;
+            // The daemon's scoring copy goes through the same store
+            // round-trip on every path (live or replay-after-interrupt),
+            // so margin observations downstream of a deploy are identical
+            // in both.
+            self.model = Some(self.store.load(&active.name)?);
+            self.monitor.reset();
+            events.push(DaemonEvent::Deployed {
+                version: active.version,
+                selector: self.cfg.selector.clone(),
+            });
+        } else {
+            self.active = Some(active);
+        }
+        Ok(events)
+    }
+
+    /// Steps until no retrain is in flight; returns every event.
+    pub fn run_pending(&mut self) -> std::io::Result<Vec<DaemonEvent>> {
+        let mut events = Vec::new();
+        while self.is_training() {
+            events.extend(self.step()?);
+        }
+        Ok(events)
+    }
+
+    /// Opens the next versioned retrain: assembles the corpus, labels it,
+    /// and resumes-or-starts the session.
+    fn start_retrain(&mut self, reason: RetrainReason) -> std::io::Result<DaemonEvent> {
+        self.version += 1;
+        self.samples_since_retrain = 0;
+        let name = format!("{}-v{}", self.cfg.selector, self.version);
+        let dataset = self.build_dataset();
+        let (session, _resumed) =
+            TrainSession::resume_or_start(&self.store, &name, &dataset, &self.cfg.train)?;
+        let event = DaemonEvent::RetrainStarted {
+            version: self.version,
+            reason,
+            windows: dataset.len(),
+            resumed_epochs: session.epoch(),
+        };
+        self.active = Some(ActiveRetrain {
+            version: self.version,
+            name,
+            dataset,
+            session,
+        });
+        Ok(event)
+    }
+
+    /// Assembles the retraining dataset from the retained stream prefixes,
+    /// reusing the incrementally built window matrices — bitwise-equal to
+    /// [`SelectorDataset::build`] over the same snapshots (pinned by a
+    /// unit test below) without re-extracting history.
+    fn build_dataset(&self) -> SelectorDataset {
+        let series = self.ingestor.series();
+        let matrices = self.ingestor.matrices();
+        let perf = PerfMatrix {
+            series_ids: series.iter().map(|s| s.id.clone()).collect(),
+            rows: series.iter().map(|ts| self.oracle.perf_row(ts)).collect(),
+        };
+        let encoder = FrozenTextEncoder::new(self.cfg.text_dim, self.cfg.train.seed);
+        let mut windows = Vec::new();
+        let mut series_index = Vec::new();
+        let mut hard_labels = Vec::new();
+        let mut series_perf = Vec::with_capacity(series.len());
+        let mut series_knowledge = Vec::with_capacity(series.len());
+        for (si, ts) in series.iter().enumerate() {
+            let label = perf.best_model(si).index();
+            series_perf.push(perf.row(si).to_vec());
+            series_knowledge.push(encoder.encode(&metadata_text(ts)));
+            for values in &matrices[si] {
+                windows.push(values.clone());
+                series_index.push(si);
+                hard_labels.push(label);
+            }
+        }
+        SelectorDataset {
+            windows,
+            series_index,
+            hard_labels,
+            series_perf,
+            series_knowledge,
+            window_cfg: self.cfg.window,
+            text_dim: self.cfg.text_dim,
+        }
+    }
+}
+
+impl std::fmt::Debug for RetrainDaemon {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RetrainDaemon")
+            .field("selector", &self.cfg.selector)
+            .field("version", &self.version)
+            .field("training", &self.active.is_some())
+            .field("streams", &self.ingestor.len())
+            .field("samples_since_retrain", &self.samples_since_retrain)
+            .finish()
+    }
+}
+
+/// Decision margin of one window's logit row: top-1 minus top-2. Returns
+/// 0.0 for rows with fewer than two finite entries.
+fn logit_margin(row: &[f32]) -> f64 {
+    let (mut top, mut second) = (f32::NEG_INFINITY, f32::NEG_INFINITY);
+    for &v in row {
+        if v > top {
+            second = top;
+            top = v;
+        } else if v > second {
+            second = v;
+        }
+    }
+    if top.is_finite() && second.is_finite() {
+        f64::from(top - second)
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::Architecture;
+    use crate::prune::PruningStrategy;
+    use crate::serve::{SelectRequest, WindowCache};
+
+    /// Synthetic oracle: best model keyed on the series mean sign — a
+    /// deterministic function of content, like the contract demands.
+    struct MeanOracle;
+    impl LabelOracle for MeanOracle {
+        fn perf_row(&self, ts: &TimeSeries) -> Vec<f64> {
+            let mean = ts.values.iter().sum::<f64>() / ts.len().max(1) as f64;
+            let best = if mean >= 0.0 { 0 } else { 1 };
+            (0..12).map(|m| if m == best { 0.9 } else { 0.1 }).collect()
+        }
+    }
+
+    fn daemon_cfg(quota: usize) -> DaemonConfig {
+        DaemonConfig {
+            selector: "stream-sel".to_string(),
+            window: WindowConfig {
+                length: 32,
+                stride: 32,
+                znormalize: true,
+            },
+            train: TrainConfig {
+                arch: Architecture::ConvNet,
+                width: 4,
+                epochs: 2,
+                batch_size: 16,
+                lr: 5e-3,
+                pruning: PruningStrategy::None,
+                ..TrainConfig::default()
+            },
+            drift: DriftConfig {
+                window: 64,
+                threshold: 8.0,
+            },
+            quota,
+            min_samples: quota,
+            text_dim: 16,
+        }
+    }
+
+    fn temp_store(tag: &str) -> SelectorStore {
+        let dir = std::env::temp_dir().join(format!("kdsel-daemon-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        SelectorStore::open(dir).unwrap()
+    }
+
+    fn wave(n: usize, phase: f64) -> Vec<f64> {
+        (0..n).map(|i| (i as f64 * 0.21 + phase).sin()).collect()
+    }
+
+    #[test]
+    fn quota_triggers_train_checkpoint_deploy_and_serving() {
+        let store = temp_store("quota");
+        let cache = Arc::new(WindowCache::with_byte_budget(32, 1 << 20));
+        let engine = Arc::new(SelectorEngine::with_shared_cache(Arc::clone(&cache)));
+        let mut daemon = RetrainDaemon::new(
+            Arc::clone(&engine),
+            store.clone(),
+            Box::new(MeanOracle),
+            daemon_cfg(256),
+        );
+
+        // Below quota: no retrain.
+        let events = daemon.ingest("a", &wave(128, 0.0)).unwrap();
+        assert!(events
+            .iter()
+            .all(|e| !matches!(e, DaemonEvent::RetrainStarted { .. })));
+        assert!(!daemon.is_training());
+
+        // Quota crossed: retrain v1 opens, steps to completion, deploys.
+        let events = daemon.ingest("b", &wave(128, 1.0)).unwrap();
+        assert!(matches!(
+            events.last(),
+            Some(DaemonEvent::RetrainStarted {
+                version: 1,
+                reason: RetrainReason::Quota,
+                resumed_epochs: 0,
+                ..
+            })
+        ));
+        assert!(daemon.is_training());
+        let events = daemon.run_pending().unwrap();
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| matches!(e, DaemonEvent::EpochCompleted { .. }))
+                .count(),
+            2,
+            "one event per configured epoch"
+        );
+        assert!(matches!(
+            events.last(),
+            Some(DaemonEvent::Deployed { version: 1, .. })
+        ));
+        assert_eq!(daemon.version(), 1);
+
+        // The versioned artifacts exist; the engine serves the deployment.
+        assert!(store.contains("stream-sel-v1"));
+        assert!(store.load_checkpoint("stream-sel-v1").is_ok());
+        let batch = vec![daemon.ingestor().snapshot("a").unwrap()];
+        let served = engine
+            .handle(&SelectRequest::new("stream-sel", batch))
+            .unwrap();
+        assert_eq!(served.len(), 1);
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn input_drift_triggers_a_drift_retrain() {
+        let store = temp_store("drift");
+        let engine = Arc::new(SelectorEngine::new());
+        let mut cfg = daemon_cfg(100_000); // quota far away: drift must act
+        cfg.min_samples = 64;
+        cfg.drift = DriftConfig {
+            window: 32,
+            threshold: 6.0,
+        };
+        let mut daemon = RetrainDaemon::new(
+            Arc::clone(&engine),
+            store.clone(),
+            Box::new(MeanOracle),
+            cfg,
+        );
+
+        // Stable reference.
+        let events = daemon.ingest("s", &wave(96, 0.0)).unwrap();
+        assert!(events.is_empty(), "stable stream: no events, {events:?}");
+        // Hard level shift: drift signal + drift-reasoned retrain.
+        let shifted: Vec<f64> = wave(64, 0.0).iter().map(|v| v + 40.0).collect();
+        let events = daemon.ingest("s", &shifted).unwrap();
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, DaemonEvent::Drift(s) if s.kind == DriftKind::InputShift)),
+            "{events:?}"
+        );
+        assert!(matches!(
+            events.last(),
+            Some(DaemonEvent::RetrainStarted {
+                reason: RetrainReason::Drift,
+                ..
+            })
+        ));
+        daemon.run_pending().unwrap();
+        assert_eq!(daemon.version(), 1);
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn assembled_dataset_is_bitwise_equal_to_batch_build() {
+        let store = temp_store("dataset");
+        let engine = Arc::new(SelectorEngine::new());
+        let mut daemon = RetrainDaemon::new(
+            Arc::clone(&engine),
+            store.clone(),
+            Box::new(MeanOracle),
+            daemon_cfg(1 << 30),
+        );
+        for chunk in wave(200, 0.0).chunks(37) {
+            daemon.ingest("a", chunk).unwrap();
+        }
+        for chunk in wave(150, 2.0).chunks(11) {
+            daemon.ingest("b", chunk).unwrap();
+        }
+
+        let incremental = daemon.build_dataset();
+        let series = daemon.ingestor().series();
+        let perf = PerfMatrix {
+            series_ids: series.iter().map(|s| s.id.clone()).collect(),
+            rows: series.iter().map(|ts| MeanOracle.perf_row(ts)).collect(),
+        };
+        let encoder = FrozenTextEncoder::new(16, daemon.config().train.seed);
+        let batch = SelectorDataset::build(&series, &perf, daemon.config().window, &encoder);
+        assert_eq!(
+            incremental.fingerprint(),
+            batch.fingerprint(),
+            "incrementally assembled dataset must match batch extraction bitwise"
+        );
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn no_retrain_below_min_samples_even_on_drift() {
+        let store = temp_store("min");
+        let engine = Arc::new(SelectorEngine::new());
+        let mut cfg = daemon_cfg(1 << 30);
+        cfg.min_samples = 1 << 30;
+        cfg.drift = DriftConfig {
+            window: 8,
+            threshold: 4.0,
+        };
+        let mut daemon = RetrainDaemon::new(
+            Arc::clone(&engine),
+            store.clone(),
+            Box::new(MeanOracle),
+            cfg,
+        );
+        daemon.ingest("s", &wave(16, 0.0)).unwrap();
+        let shifted: Vec<f64> = wave(16, 0.0).iter().map(|v| v + 40.0).collect();
+        let events = daemon.ingest("s", &shifted).unwrap();
+        assert!(events.iter().any(|e| matches!(e, DaemonEvent::Drift(_))));
+        assert!(
+            !daemon.is_training(),
+            "drift on a tiny corpus must not train"
+        );
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+}

@@ -1,0 +1,370 @@
+//! Deterministic, clock-free drift detection over observation streams.
+//!
+//! [`DriftMonitor`] watches named scalar channels — vote margins of a
+//! deployed selector, raw input samples of a stream — in windows of a
+//! fixed *observation count* (never wall-clock time). The first full
+//! window of a channel becomes its **reference**: mean and standard
+//! deviation via a sequential Welford pass. Every later full window's mean
+//! is compared against the reference with a z-score on the standard error
+//! of the window mean; crossing the configured threshold raises a typed
+//! [`DriftSignal`].
+//!
+//! Everything is a pure function of the observation sequence: no clocks,
+//! no RNG, sequential `f64` arithmetic, channels in a `BTreeMap`. Feeding
+//! the same observations in the same order — live or replayed — produces
+//! bitwise-identical state and signals, which is what lets the
+//! [`super::RetrainDaemon`] replay an append log and land on the same
+//! retrain decisions.
+
+use std::collections::BTreeMap;
+
+/// Drift-detection parameters.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DriftConfig {
+    /// Observations per comparison window (and per reference window).
+    pub window: usize,
+    /// |z| threshold on the window mean before a signal is raised.
+    pub threshold: f64,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        Self {
+            window: 64,
+            threshold: 6.0,
+        }
+    }
+}
+
+/// What kind of distribution a drift signal came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum DriftKind {
+    /// The deployed selector's decision margins shifted — the model is
+    /// less (or differently) certain than it was on the reference window.
+    MarginShift,
+    /// The raw input distribution shifted (level shift, regime change).
+    InputShift,
+}
+
+/// A raised drift signal: which channel moved, and by how much.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DriftSignal {
+    /// Channel name (e.g. `margin:kdselector`, `input:sensor-3`).
+    pub channel: String,
+    /// Distribution kind of the channel.
+    pub kind: DriftKind,
+    /// Reference window mean.
+    pub reference_mean: f64,
+    /// The drifted window's mean.
+    pub observed_mean: f64,
+    /// Signed z-score of the observed mean against the reference
+    /// (standard error of the window mean; what crossed the threshold).
+    pub zscore: f64,
+    /// Total observations on the channel when the signal fired.
+    pub observations: u64,
+}
+
+/// One channel's running state.
+struct Channel {
+    kind: DriftKind,
+    count: u64,
+    /// Reference window accumulation (Welford), frozen once full.
+    ref_n: usize,
+    ref_mean: f64,
+    ref_m2: f64,
+    /// Current comparison window.
+    cur_sum: f64,
+    cur_n: usize,
+}
+
+impl Channel {
+    fn new(kind: DriftKind) -> Self {
+        Self {
+            kind,
+            count: 0,
+            ref_n: 0,
+            ref_mean: 0.0,
+            ref_m2: 0.0,
+            cur_sum: 0.0,
+            cur_n: 0,
+        }
+    }
+}
+
+/// Count-windowed drift detection over named channels. See the
+/// [module docs](self) for the algorithm and determinism contract.
+pub struct DriftMonitor {
+    cfg: DriftConfig,
+    channels: BTreeMap<String, Channel>,
+}
+
+impl DriftMonitor {
+    /// New monitor with the given windowing/threshold configuration.
+    ///
+    /// # Panics
+    /// Panics if `cfg.window` is zero or `cfg.threshold` is not positive.
+    pub fn new(cfg: DriftConfig) -> Self {
+        assert!(cfg.window > 0, "drift window must be positive");
+        assert!(
+            cfg.threshold > 0.0,
+            "drift threshold must be positive, got {}",
+            cfg.threshold
+        );
+        Self {
+            cfg,
+            channels: BTreeMap::new(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DriftConfig {
+        &self.cfg
+    }
+
+    /// Feeds one observation into `channel` (created with `kind` on first
+    /// sight). Returns a signal iff this observation completed a
+    /// comparison window whose mean sits more than `threshold` standard
+    /// errors from the reference mean.
+    pub fn observe(&mut self, channel: &str, kind: DriftKind, x: f64) -> Option<DriftSignal> {
+        let w = self.cfg.window;
+        let ch = self
+            .channels
+            .entry(channel.to_string())
+            .or_insert_with(|| Channel::new(kind));
+        ch.count += 1;
+        if ch.ref_n < w {
+            // Still building the reference: sequential Welford update.
+            ch.ref_n += 1;
+            let delta = x - ch.ref_mean;
+            ch.ref_mean += delta / ch.ref_n as f64;
+            ch.ref_m2 += delta * (x - ch.ref_mean);
+            return None;
+        }
+        ch.cur_sum += x;
+        ch.cur_n += 1;
+        if ch.cur_n < w {
+            return None;
+        }
+        let observed_mean = ch.cur_sum / w as f64;
+        ch.cur_sum = 0.0;
+        ch.cur_n = 0;
+        // Standard error of a window mean under the reference
+        // distribution; floored so a constant reference still yields a
+        // finite z-score instead of dividing by zero.
+        let ref_var = ch.ref_m2 / (w as f64 - 1.0).max(1.0);
+        let se = (ref_var / w as f64).sqrt().max(1e-12);
+        let zscore = (observed_mean - ch.ref_mean) / se;
+        if zscore.abs() > self.cfg.threshold {
+            Some(DriftSignal {
+                channel: channel.to_string(),
+                kind: ch.kind,
+                reference_mean: ch.ref_mean,
+                observed_mean,
+                zscore,
+                observations: ch.count,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Feeds a slice of observations; returns every signal raised, in
+    /// order.
+    pub fn observe_all(&mut self, channel: &str, kind: DriftKind, xs: &[f64]) -> Vec<DriftSignal> {
+        xs.iter()
+            .filter_map(|&x| self.observe(channel, kind, x))
+            .collect()
+    }
+
+    /// Total observations fed into `channel` (0 if never seen).
+    pub fn observations(&self, channel: &str) -> u64 {
+        self.channels.get(channel).map_or(0, |c| c.count)
+    }
+
+    /// Channel names, sorted.
+    pub fn channels(&self) -> Vec<String> {
+        self.channels.keys().cloned().collect()
+    }
+
+    /// Drops every channel — references re-anchor on the next
+    /// observations. The [`super::RetrainDaemon`] calls this after a
+    /// deploy: a new model has a new margin distribution, so comparing it
+    /// against the old reference would re-trigger immediately.
+    pub fn reset(&mut self) {
+        self.channels.clear();
+    }
+}
+
+impl std::fmt::Debug for DriftMonitor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DriftMonitor")
+            .field("config", &self.cfg)
+            .field("channels", &self.channels.len())
+            .finish()
+    }
+}
+
+/// A [`crate::serve::SelectionTap`] adapter feeding served vote margins
+/// into a shared [`DriftMonitor`] (channel `margin:<selector>`), for live
+/// operational monitoring on the serving path. Raised signals queue up for
+/// [`MarginDriftTap::drain`].
+///
+/// Taps observe in serving-thread call order, so signals from a
+/// concurrently-serving engine are *operational* hints, not replayable
+/// decisions — a [`super::RetrainDaemon`] makes its replay-deterministic
+/// drift decisions on its own ingest path instead.
+pub struct MarginDriftTap {
+    inner: std::sync::Mutex<(DriftMonitor, Vec<DriftSignal>)>,
+}
+
+impl MarginDriftTap {
+    /// New tap around a fresh monitor.
+    pub fn new(cfg: DriftConfig) -> Self {
+        Self {
+            inner: std::sync::Mutex::new((DriftMonitor::new(cfg), Vec::new())),
+        }
+    }
+
+    /// Takes every signal raised since the last drain.
+    pub fn drain(&self) -> Vec<DriftSignal> {
+        std::mem::take(&mut self.inner.lock().unwrap().1)
+    }
+}
+
+impl crate::serve::SelectionTap for MarginDriftTap {
+    fn observe(&self, selector: &str, selections: &[crate::serve::Selection]) {
+        let channel = format!("margin:{selector}");
+        let mut inner = self.inner.lock().unwrap();
+        let (monitor, pending) = &mut *inner;
+        for sel in selections {
+            if let Some(sig) = monitor.observe(&channel, DriftKind::MarginShift, sel.margin) {
+                pending.push(sig);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn monitor(window: usize, threshold: f64) -> DriftMonitor {
+        DriftMonitor::new(DriftConfig { window, threshold })
+    }
+
+    #[test]
+    fn stable_stream_raises_no_signal() {
+        let mut m = monitor(8, 4.0);
+        for i in 0..200 {
+            let x = ((i as f64) * 0.73).sin();
+            assert!(m.observe("c", DriftKind::InputShift, x).is_none());
+        }
+        assert_eq!(m.observations("c"), 200);
+    }
+
+    #[test]
+    fn level_shift_raises_a_typed_signal_at_a_window_boundary() {
+        let mut m = monitor(8, 4.0);
+        // Reference window around 0, then a jump to 10.
+        let mut signals = Vec::new();
+        for i in 0..64 {
+            let x = if i < 32 {
+                (i as f64 * 0.9).sin() * 0.1
+            } else {
+                10.0
+            };
+            if let Some(s) = m.observe("c", DriftKind::InputShift, x) {
+                signals.push(s);
+            }
+        }
+        assert!(!signals.is_empty(), "level shift must signal");
+        let s = &signals[0];
+        assert_eq!(s.kind, DriftKind::InputShift);
+        assert_eq!(s.channel, "c");
+        assert!(s.zscore > 4.0, "z {}", s.zscore);
+        assert!(s.observed_mean > s.reference_mean);
+        // Signals only fire when a window completes: observation count is
+        // a multiple of the window size.
+        assert_eq!(s.observations % 8, 0);
+    }
+
+    #[test]
+    fn constant_reference_still_yields_finite_decisions() {
+        let mut m = monitor(4, 4.0);
+        for _ in 0..4 {
+            assert!(m.observe("c", DriftKind::MarginShift, 1.0).is_none());
+        }
+        // Identical window: zero deviation, no signal, no NaN.
+        for _ in 0..4 {
+            let s = m.observe("c", DriftKind::MarginShift, 1.0);
+            assert!(s.is_none());
+        }
+        // Any deviation from a constant reference is a signal.
+        let mut last = None;
+        for _ in 0..4 {
+            last = m.observe("c", DriftKind::MarginShift, 1.001);
+        }
+        let s = last.expect("deviation from constant reference signals");
+        assert!(s.zscore.is_finite());
+    }
+
+    #[test]
+    fn replay_is_bitwise_identical() {
+        let xs: Vec<f64> = (0..300)
+            .map(|i| (i as f64 * 0.37).sin() + if i > 200 { 3.0 } else { 0.0 })
+            .collect();
+        let run = |xs: &[f64]| {
+            let mut m = monitor(16, 5.0);
+            m.observe_all("c", DriftKind::InputShift, xs)
+        };
+        let a = run(&xs);
+        let b = run(&xs);
+        assert!(!a.is_empty());
+        assert_eq!(a.len(), b.len());
+        for (s, t) in a.iter().zip(&b) {
+            assert_eq!(s, t);
+            assert_eq!(s.zscore.to_bits(), t.zscore.to_bits());
+            assert_eq!(s.observed_mean.to_bits(), t.observed_mean.to_bits());
+        }
+    }
+
+    #[test]
+    fn reset_reanchors_the_reference() {
+        let mut m = monitor(4, 4.0);
+        for _ in 0..4 {
+            m.observe("c", DriftKind::MarginShift, 0.0);
+        }
+        m.reset();
+        assert_eq!(m.observations("c"), 0);
+        // Post-reset, 5.0 becomes the new reference — no signal.
+        for _ in 0..8 {
+            assert!(m.observe("c", DriftKind::MarginShift, 5.0).is_none());
+        }
+    }
+
+    #[test]
+    fn margin_tap_feeds_served_margins() {
+        use crate::serve::SelectionTap;
+        let tap = MarginDriftTap::new(DriftConfig {
+            window: 4,
+            threshold: 4.0,
+        });
+        let sel = |margin: f64| crate::serve::Selection {
+            model: tsad_models::ModelId::from_index(0),
+            votes: vec![1],
+            windows: 1,
+            margin,
+            degraded: false,
+        };
+        // Reference window of confident margins, then a collapse.
+        tap.observe("kd", &[sel(0.9), sel(0.92), sel(0.88), sel(0.9)]);
+        assert!(tap.drain().is_empty(), "reference window only");
+        tap.observe("kd", &[sel(0.1), sel(0.12), sel(0.08), sel(0.1)]);
+        let signals = tap.drain();
+        assert_eq!(signals.len(), 1);
+        assert_eq!(signals[0].kind, DriftKind::MarginShift);
+        assert_eq!(signals[0].channel, "margin:kd");
+        assert!(signals[0].zscore < -4.0);
+        assert!(tap.drain().is_empty(), "drain empties the queue");
+    }
+}

@@ -1,0 +1,277 @@
+//! Multi-stream incremental ingestion feeding the serving cache.
+//!
+//! [`StreamIngestor`] owns one [`StreamWindower`] per named stream and
+//! accumulates each stream's completed window matrix as samples arrive, so
+//! the matrix the serving layer needs is maintained *incrementally* — an
+//! append only windows the new samples, never the history. When a shared
+//! [`WindowCache`] is attached, [`StreamIngestor::publish`] inserts the
+//! accumulated matrix under the stream's current full-prefix content key:
+//! because the streamed matrix is bitwise-equal to batch extraction (the
+//! [`StreamWindower`] contract), a subsequent
+//! [`crate::serve::SelectorEngine`] request over the same prefix *hits*
+//! that entry instead of re-windowing the entire stream. Steady-state
+//! serving of appended streams therefore pays O(new samples) windowing per
+//! append, not O(stream length).
+//!
+//! Publishes insert a fresh entry per prefix (the content key changes with
+//! every append), so pair the cache with
+//! [`WindowCache::with_byte_budget`] — stale prefixes are the coldest
+//! entries and evict first.
+
+use crate::serve::WindowCache;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use tsdata::{StreamWindower, TimeSeries, Window, WindowConfig};
+
+/// Per-stream state: the incremental windower plus the accumulated matrix
+/// and full sample log (retained for snapshots, cache publishing, and
+/// retraining datasets).
+struct StreamState {
+    samples: Vec<f64>,
+    windower: StreamWindower,
+    /// Values of every grid window emitted so far.
+    grid: Vec<Vec<f32>>,
+}
+
+/// Incremental window extraction over many named append-only streams,
+/// with optional publishing into a serving [`WindowCache`]. See the
+/// [module docs](self).
+///
+/// Streams are keyed by name in a `BTreeMap`, so every whole-ingestor
+/// iteration ([`StreamIngestor::series`], [`StreamIngestor::names`]) is in
+/// deterministic name order regardless of arrival order.
+pub struct StreamIngestor {
+    cfg: WindowConfig,
+    cache: Option<Arc<WindowCache>>,
+    streams: BTreeMap<String, StreamState>,
+}
+
+impl StreamIngestor {
+    /// New ingestor extracting with `cfg`, publishing to no cache.
+    pub fn new(cfg: WindowConfig) -> Self {
+        Self {
+            cfg,
+            cache: None,
+            streams: BTreeMap::new(),
+        }
+    }
+
+    /// Attaches the serving cache [`StreamIngestor::publish`] inserts into
+    /// (share the same `Arc` with the [`crate::serve::SelectorEngine`]).
+    pub fn with_cache(mut self, cache: Arc<WindowCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The window configuration.
+    pub fn config(&self) -> &WindowConfig {
+        &self.cfg
+    }
+
+    /// Appends samples to `stream` (created on first sight, `series_index`
+    /// = creation order) and returns the newly completed grid windows —
+    /// exactly once each, bitwise-equal to batch extraction over the full
+    /// prefix.
+    pub fn append(&mut self, stream: &str, samples: &[f64]) -> Vec<Window> {
+        let next_index = self.streams.len();
+        let cfg = self.cfg;
+        let state = self
+            .streams
+            .entry(stream.to_string())
+            .or_insert_with(|| StreamState {
+                samples: Vec::new(),
+                // Registration order becomes `series_index` on emitted
+                // windows.
+                windower: StreamWindower::new(next_index, cfg),
+                grid: Vec::new(),
+            });
+        state.samples.extend_from_slice(samples);
+        let new = state.windower.append(samples);
+        state.grid.extend(new.iter().map(|w| w.values.clone()));
+        new
+    }
+
+    /// The full window matrix of `stream`'s current prefix (accumulated
+    /// grid windows plus the completion window, the batch-extraction
+    /// layout a selector scores). `None` for unknown streams.
+    pub fn matrix(&self, stream: &str) -> Option<Vec<Vec<f32>>> {
+        let state = self.streams.get(stream)?;
+        let mut m = state.grid.clone();
+        m.extend(state.windower.tail_windows().into_iter().map(|w| w.values));
+        Some(m)
+    }
+
+    /// A [`TimeSeries`] snapshot of `stream`'s full prefix (id = stream
+    /// name, dataset `"stream"`). `None` for unknown streams.
+    pub fn snapshot(&self, stream: &str) -> Option<TimeSeries> {
+        let state = self.streams.get(stream)?;
+        Some(TimeSeries::new(
+            stream,
+            "stream",
+            state.samples.clone(),
+            vec![],
+        ))
+    }
+
+    /// Publishes `stream`'s accumulated matrix into the attached cache
+    /// under the current prefix's content key, and returns the shared
+    /// matrix. A serving request over the same prefix now hits instead of
+    /// re-windowing. `None` when no cache is attached, the stream is
+    /// unknown, or it is still empty.
+    pub fn publish(&self, stream: &str) -> Option<Arc<Vec<Vec<f32>>>> {
+        let cache = self.cache.as_ref()?;
+        let state = self.streams.get(stream)?;
+        if state.samples.is_empty() {
+            return None;
+        }
+        let ts = self.snapshot(stream)?;
+        Some(cache.get_or_insert(&ts, &self.cfg, || {
+            self.matrix(stream).expect("stream exists")
+        }))
+    }
+
+    /// Stream names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.streams.keys().cloned().collect()
+    }
+
+    /// Full-prefix snapshots of every *non-empty* stream, in name order —
+    /// the retraining corpus a [`super::RetrainDaemon`] labels and trains
+    /// over.
+    pub fn series(&self) -> Vec<TimeSeries> {
+        self.streams
+            .iter()
+            .filter(|(_, s)| !s.samples.is_empty())
+            .map(|(name, state)| TimeSeries::new(name, "stream", state.samples.clone(), vec![]))
+            .collect()
+    }
+
+    /// Full window matrices aligned with [`StreamIngestor::series`] (same
+    /// filter, same order) — lets a retraining dataset reuse the
+    /// incrementally built windows instead of re-extracting history.
+    pub fn matrices(&self) -> Vec<Vec<Vec<f32>>> {
+        self.streams
+            .iter()
+            .filter(|(_, s)| !s.samples.is_empty())
+            .map(|(name, _)| self.matrix(name).expect("stream exists"))
+            .collect()
+    }
+
+    /// Samples appended to `stream` so far (0 for unknown streams).
+    pub fn stream_len(&self, stream: &str) -> usize {
+        self.streams.get(stream).map_or(0, |s| s.samples.len())
+    }
+
+    /// Total samples appended across all streams.
+    pub fn total_samples(&self) -> usize {
+        self.streams.values().map(|s| s.samples.len()).sum()
+    }
+
+    /// Number of streams seen.
+    pub fn len(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Whether no stream has been seen yet.
+    pub fn is_empty(&self) -> bool {
+        self.streams.is_empty()
+    }
+}
+
+impl std::fmt::Debug for StreamIngestor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamIngestor")
+            .field("streams", &self.streams.len())
+            .field("total_samples", &self.total_samples())
+            .field("cached", &self.cache.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsdata::extract_windows;
+
+    fn cfg() -> WindowConfig {
+        WindowConfig {
+            length: 16,
+            stride: 8,
+            znormalize: true,
+        }
+    }
+
+    fn wave(n: usize, phase: f64) -> Vec<f64> {
+        (0..n).map(|i| (i as f64 * 0.23 + phase).sin()).collect()
+    }
+
+    #[test]
+    fn matrix_equals_batch_extraction_at_every_append() {
+        let mut ing = StreamIngestor::new(cfg());
+        let samples = wave(200, 0.0);
+        let mut fed = 0;
+        for chunk in samples.chunks(23) {
+            ing.append("s0", chunk);
+            fed += chunk.len();
+            let ts = TimeSeries::new("s0", "stream", samples[..fed].to_vec(), vec![]);
+            let reference: Vec<Vec<f32>> = extract_windows(&ts, 0, &cfg())
+                .into_iter()
+                .map(|w| w.values)
+                .collect();
+            assert_eq!(ing.matrix("s0").unwrap(), reference, "prefix {fed}");
+        }
+    }
+
+    #[test]
+    fn streams_get_stable_indices_and_sorted_iteration() {
+        let mut ing = StreamIngestor::new(cfg());
+        // Arrival order z, a — indices stick to arrival, iteration sorts.
+        let wz = ing.append("z", &wave(20, 0.0));
+        let wa = ing.append("a", &wave(20, 1.0));
+        assert_eq!(wz[0].series_index, 0);
+        assert_eq!(wa[0].series_index, 1);
+        assert_eq!(ing.names(), vec!["a".to_string(), "z".to_string()]);
+        let series = ing.series();
+        assert_eq!(series[0].id, "a");
+        assert_eq!(series[1].id, "z");
+        assert_eq!(ing.matrices().len(), 2);
+        assert_eq!(ing.total_samples(), 40);
+    }
+
+    #[test]
+    fn publish_makes_the_serving_lookup_hit() {
+        let cache = Arc::new(WindowCache::with_byte_budget(64, 1 << 20));
+        let mut ing = StreamIngestor::new(cfg()).with_cache(Arc::clone(&cache));
+        ing.append("s0", &wave(120, 0.0));
+        let published = ing.publish("s0").expect("published");
+        // A serving-path lookup over the same prefix must hit the entry.
+        let ts = ing.snapshot("s0").unwrap();
+        let served = cache.get_or_insert(&ts, &cfg(), || panic!("must hit, not re-window"));
+        assert!(Arc::ptr_eq(&published, &served));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+
+        // Append + republish: new prefix, new entry; old one stays until
+        // evicted, and the new lookup hits again.
+        ing.append("s0", &wave(40, 7.0));
+        let republished = ing.publish("s0").expect("published");
+        assert!(!Arc::ptr_eq(&published, &republished));
+        let ts = ing.snapshot("s0").unwrap();
+        let served = cache.get_or_insert(&ts, &cfg(), || panic!("must hit"));
+        assert!(Arc::ptr_eq(&republished, &served));
+    }
+
+    #[test]
+    fn unknown_and_empty_streams_are_none() {
+        let mut ing = StreamIngestor::new(cfg());
+        assert!(ing.matrix("ghost").is_none());
+        assert!(ing.snapshot("ghost").is_none());
+        assert!(ing.publish("ghost").is_none());
+        assert_eq!(ing.stream_len("ghost"), 0);
+        // A stream created by an empty append exists but yields nothing.
+        ing.append("hollow", &[]);
+        assert_eq!(ing.len(), 1);
+        assert!(ing.series().is_empty(), "empty streams are filtered");
+        assert!(ing.publish("hollow").is_none());
+    }
+}

@@ -1,0 +1,42 @@
+//! Streaming ingestion and drift-triggered continuous retraining.
+//!
+//! Offline, the KDSelector pipeline is batch-shaped: collect series, run
+//! the detectors for labels, train a selector, deploy it. This module
+//! keeps that loop running *while data keeps arriving*:
+//!
+//! * [`StreamIngestor`] ([`ingest`]) — incremental window extraction over
+//!   many named append-only streams, bitwise-identical to re-running
+//!   batch extraction on each full prefix, publishing the accumulated
+//!   matrices into the serving [`crate::serve::WindowCache`] so
+//!   steady-state appends never re-window history;
+//! * [`DriftMonitor`] ([`drift`]) — deterministic, clock-free drift
+//!   detection over named observation channels (raw inputs, the deployed
+//!   selector's decision margins), windowed by observation **count** and
+//!   emitting typed [`DriftSignal`]s; [`MarginDriftTap`] adapts it to the
+//!   serving-side [`crate::serve::SelectionTap`] hook;
+//! * [`RetrainDaemon`] ([`daemon`]) — on drift or a data quota, assembles
+//!   a training corpus from the retained prefixes (labels via a
+//!   [`LabelOracle`]), drives a checkpointed
+//!   [`crate::train::TrainSession`] one epoch per step under a versioned
+//!   name, and hot-deploys the result into the live
+//!   [`crate::serve::SelectorEngine`].
+//!
+//! # The replay contract
+//!
+//! Everything here is a pure function of the append log: no wall-clock,
+//! no ambient randomness, `BTreeMap` iteration everywhere. Replaying the
+//! same `(stream, samples)` sequence — even after killing the daemon
+//! mid-training and starting a fresh one against the same store —
+//! reproduces windows, drift signals, datasets, checkpoints, weights and
+//! selections **bitwise**, at any `KD_THREADS`. `tests/stream_loop.rs`
+//! pins this end to end.
+
+pub mod daemon;
+pub mod drift;
+pub mod ingest;
+
+pub use daemon::{
+    DaemonConfig, DaemonEvent, DetectorOracle, LabelOracle, RetrainDaemon, RetrainReason,
+};
+pub use drift::{DriftConfig, DriftKind, DriftMonitor, DriftSignal, MarginDriftTap};
+pub use ingest::StreamIngestor;

@@ -547,6 +547,49 @@ impl TrainSession {
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
     }
 
+    /// Resumes the checkpoint saved under `name` in `store` if one exists,
+    /// otherwise starts a fresh session over `dataset` with `cfg` — one
+    /// code path whether a prior run was interrupted or never started,
+    /// which is what makes a replayed
+    /// [`crate::stream::RetrainDaemon`] land on the interrupted daemon's
+    /// checkpoint and continue it bitwise. Returns the session and whether
+    /// it resumed.
+    ///
+    /// # Errors
+    /// A *missing* checkpoint is not an error (a fresh session starts). A
+    /// checkpoint that exists but was taken under a different
+    /// [`TrainConfig`], over a different dataset (content fingerprint), or
+    /// with a mismatched window count is a hard `InvalidData` error —
+    /// silently continuing under different training inputs would corrupt
+    /// the run instead of reproducing it.
+    pub fn resume_or_start(
+        store: &SelectorStore,
+        name: &str,
+        dataset: &SelectorDataset,
+        cfg: &TrainConfig,
+    ) -> std::io::Result<(Self, bool)> {
+        match store.load_checkpoint(name) {
+            Ok(ckpt) => {
+                if ckpt.config != *cfg {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!(
+                            "checkpoint {name:?} was taken under a different TrainConfig; \
+                             resuming it with this configuration would not reproduce the run"
+                        ),
+                    ));
+                }
+                let session = Self::resume(dataset, &ckpt)
+                    .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+                Ok((session, true))
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                Ok((Self::new(dataset, cfg), false))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
     /// Converts the session into its trained selector and statistics. The
     /// session may be finished early (before all configured epochs ran).
     pub fn finish(self) -> (TrainedSelector, TrainStats) {
@@ -661,6 +704,48 @@ mod tests {
         assert_eq!(straight_stats.epoch_loss, resumed_stats.epoch_loss);
         assert_eq!(straight_stats.epoch_accuracy, resumed_stats.epoch_accuracy);
         assert_eq!(straight_stats.epoch_examined, resumed_stats.epoch_examined);
+    }
+
+    #[test]
+    fn resume_or_start_covers_fresh_resumed_and_mismatched() {
+        let dir =
+            std::env::temp_dir().join(format!("kdsel-resume-or-start-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = SelectorStore::open(&dir).expect("store");
+        let ds = toy_dataset();
+        let cfg = full_cfg();
+
+        // No checkpoint: a fresh session starts at epoch 0.
+        let (mut session, resumed) =
+            TrainSession::resume_or_start(&store, "daemon", &ds, &cfg).expect("fresh");
+        assert!(!resumed);
+        assert_eq!(session.epoch(), 0);
+        for _ in 0..2 {
+            session.run_epoch(&ds);
+        }
+        session.save_checkpoint(&store, "daemon").expect("save");
+
+        // Checkpoint present: resumes at its epoch boundary.
+        let (resumed_session, resumed) =
+            TrainSession::resume_or_start(&store, "daemon", &ds, &cfg).expect("resume");
+        assert!(resumed);
+        assert_eq!(resumed_session.epoch(), 2);
+
+        // Same name, different config: hard error, not a silent restart.
+        let mut other_cfg = cfg;
+        other_cfg.seed ^= 1;
+        match TrainSession::resume_or_start(&store, "daemon", &ds, &other_cfg) {
+            Err(err) => assert_eq!(err.kind(), std::io::ErrorKind::InvalidData),
+            Ok(_) => panic!("config mismatch must be a hard error"),
+        }
+
+        // Same config, different dataset content: hard error too.
+        let other_ds = testutil::toy_dataset(6, 48, |i| (i + 1) % 3);
+        match TrainSession::resume_or_start(&store, "daemon", &other_ds, &cfg) {
+            Err(err) => assert_eq!(err.kind(), std::io::ErrorKind::InvalidData),
+            Ok(_) => panic!("dataset mismatch must be a hard error"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -23,10 +23,12 @@ pub mod benchmark;
 pub mod families;
 pub mod series;
 pub mod signal;
+pub mod stream;
 pub mod windows;
 
 pub use anomaly::{AnomalyInterval, AnomalyKind};
 pub use benchmark::{Benchmark, BenchmarkConfig};
 pub use families::{all_families, test_family_names, DatasetFamily};
 pub use series::TimeSeries;
+pub use stream::StreamWindower;
 pub use windows::{extract_windows, Window, WindowConfig};

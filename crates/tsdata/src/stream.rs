@@ -1,0 +1,318 @@
+//! Incremental window extraction over an append-only sample stream.
+//!
+//! [`StreamWindower`] is the streaming twin of [`extract_windows`]: samples
+//! arrive in chunks of any size, and every window whose span is complete is
+//! emitted exactly once, z-normalised by the same kernel as the batch path.
+//! History is never re-windowed — an append only touches the retained
+//! suffix — and the retained buffer is bounded by one window length
+//! regardless of how long the stream runs.
+//!
+//! # Batch-equivalence contract
+//!
+//! At **every** append boundary,
+//!
+//! ```text
+//! emitted-so-far ++ tail_windows()  ==  extract_windows(prefix)
+//! ```
+//!
+//! bitwise — same starts, same `f64 → f32` conversion, same z-norm bits —
+//! where `prefix` is a [`TimeSeries`] holding every sample appended so far.
+//! [`StreamWindower::append`] returns the newly completed *stride-grid*
+//! windows (starts at multiples of `stride`); [`StreamWindower::tail_windows`]
+//! returns the zero-or-one completion window the batch extractor adds beyond
+//! the grid — the edge-padded window while the stream is still shorter than
+//! one window length, or the tail window when the stride grid has skipped
+//! the newest samples. Grid windows are final the moment they are returned;
+//! the completion window is a *view* of the current prefix and changes as
+//! the stream grows, which is why it is returned by a separate
+//! non-consuming call instead of being mixed into the append stream.
+//!
+//! `crates/tsdata/tests/window_props.rs` pins the contract across
+//! n × length × stride × append-chunking sweeps; the serving-side consumer
+//! is `kdselector_core::stream::StreamIngestor`.
+
+use crate::series::TimeSeries;
+use crate::windows::{extract_windows, Window, WindowConfig};
+
+/// Incremental, bounded-memory window extraction for one append-only
+/// stream. See the [module docs](self) for the batch-equivalence contract.
+#[derive(Debug, Clone)]
+pub struct StreamWindower {
+    cfg: WindowConfig,
+    series_index: usize,
+    /// Retained suffix of the stream: `buf[0]` is absolute sample
+    /// `buf_start`. Holds at most `cfg.length` samples between appends.
+    buf: Vec<f64>,
+    buf_start: usize,
+    /// Absolute start of the next stride-grid window.
+    next_start: usize,
+    /// Total samples appended so far.
+    total: usize,
+    /// Grid windows emitted so far.
+    emitted: usize,
+}
+
+impl StreamWindower {
+    /// New windower for stream `series_index` (the index stamped on every
+    /// emitted [`Window`], like the batch extractor's parameter).
+    ///
+    /// # Panics
+    /// Panics if `cfg.length` or `cfg.stride` is zero (same contract as
+    /// [`extract_windows`]).
+    pub fn new(series_index: usize, cfg: WindowConfig) -> Self {
+        assert!(
+            cfg.length > 0 && cfg.stride > 0,
+            "length and stride must be positive"
+        );
+        Self {
+            cfg,
+            series_index,
+            buf: Vec::new(),
+            buf_start: 0,
+            next_start: 0,
+            total: 0,
+            emitted: 0,
+        }
+    }
+
+    /// The window configuration.
+    pub fn config(&self) -> &WindowConfig {
+        &self.cfg
+    }
+
+    /// Total samples appended so far.
+    pub fn len(&self) -> usize {
+        self.total
+    }
+
+    /// Whether no samples have been appended yet.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Grid windows emitted by [`StreamWindower::append`] so far.
+    pub fn emitted(&self) -> usize {
+        self.emitted
+    }
+
+    /// Samples currently buffered (bounded by `cfg.length` between
+    /// appends — the memory contract).
+    pub fn retained(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Appends a chunk and returns every newly completed stride-grid
+    /// window, in ascending start order. Each grid window is returned
+    /// exactly once across the life of the stream, and its bits equal the
+    /// corresponding window of [`extract_windows`] over the full series.
+    pub fn append(&mut self, samples: &[f64]) -> Vec<Window> {
+        self.buf.extend_from_slice(samples);
+        self.total += samples.len();
+        let mut out = Vec::new();
+        while self.next_start + self.cfg.length <= self.total {
+            let lo = self.next_start - self.buf_start;
+            out.push(self.window_at(self.next_start, &self.buf[lo..lo + self.cfg.length]));
+            self.next_start += self.cfg.stride;
+            self.emitted += 1;
+        }
+        // Compact: keep the last `length` samples (the batch extractor's
+        // tail/padded window needs them) — the emit loop above guarantees
+        // `next_start > total - length`, so no future grid window reaches
+        // further back than this.
+        let keep_from = self.total.saturating_sub(self.cfg.length);
+        if keep_from > self.buf_start {
+            self.buf.drain(..keep_from - self.buf_start);
+            self.buf_start = keep_from;
+        }
+        out
+    }
+
+    /// The zero-or-one window that completes the current prefix beyond the
+    /// emitted grid: the edge-padded window while `len() < length`, or the
+    /// tail window when the grid's last start falls short of
+    /// `len() - length` (exactly the two extra cases of
+    /// [`extract_windows`]). Empty when the stream is empty or the grid
+    /// already ends flush with the newest sample. Non-consuming: this is a
+    /// *view* of the current prefix and changes as the stream grows.
+    pub fn tail_windows(&self) -> Vec<Window> {
+        if self.total == 0 {
+            return Vec::new();
+        }
+        if self.total < self.cfg.length {
+            let mut values: Vec<f32> = self.buf.iter().map(|&v| v as f32).collect();
+            values.resize(self.cfg.length, *values.last().expect("non-empty"));
+            return vec![self.finish_window(0, values)];
+        }
+        let last_start = self.total - self.cfg.length;
+        let last_grid = self.next_start.checked_sub(self.cfg.stride);
+        if last_grid == Some(last_start) {
+            return Vec::new();
+        }
+        let lo = last_start - self.buf_start;
+        vec![self.window_at(last_start, &self.buf[lo..lo + self.cfg.length])]
+    }
+
+    /// The full prefix extraction: emitted grid windows are **not**
+    /// re-derived (the caller accumulated them from
+    /// [`StreamWindower::append`]); this helper only exists for tests and
+    /// callers that want the count.
+    pub fn prefix_window_count(&self) -> usize {
+        self.emitted + self.tail_windows().len()
+    }
+
+    fn window_at(&self, start: usize, raw: &[f64]) -> Window {
+        let values: Vec<f32> = raw.iter().map(|&v| v as f32).collect();
+        self.finish_window(start, values)
+    }
+
+    fn finish_window(&self, start: usize, mut values: Vec<f32>) -> Window {
+        if self.cfg.znormalize {
+            crate::windows::znorm(&mut values);
+        }
+        Window {
+            series_index: self.series_index,
+            start,
+            values,
+        }
+    }
+}
+
+/// Convenience reference implementation of the contract: batch-extracts a
+/// full series (what a streaming run must reproduce bitwise).
+pub fn batch_reference(values: &[f64], series_index: usize, cfg: &WindowConfig) -> Vec<Window> {
+    let ts = TimeSeries::new("stream-reference", "stream", values.to_vec(), vec![]);
+    extract_windows(&ts, series_index, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(length: usize, stride: usize, znormalize: bool) -> WindowConfig {
+        WindowConfig {
+            length,
+            stride,
+            znormalize,
+        }
+    }
+
+    fn ramp(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| (i as f64 * 0.31).sin() * 2.0 + 0.1)
+            .collect()
+    }
+
+    /// Streams `values` in `chunk`-sized appends and asserts the contract
+    /// at every boundary.
+    fn check_stream(values: &[f64], cfg: &WindowConfig, chunk: usize) {
+        let mut sw = StreamWindower::new(3, *cfg);
+        let mut emitted = Vec::new();
+        let mut fed = 0;
+        while fed < values.len() || fed == 0 {
+            let end = (fed + chunk).min(values.len());
+            emitted.extend(sw.append(&values[fed..end]));
+            fed = end;
+            let mut streamed = emitted.clone();
+            streamed.extend(sw.tail_windows());
+            let reference = batch_reference(&values[..fed], 3, cfg);
+            assert_eq!(streamed.len(), reference.len(), "prefix {fed}");
+            for (s, r) in streamed.iter().zip(&reference) {
+                assert_eq!(s.start, r.start, "prefix {fed}");
+                assert_eq!(s.series_index, r.series_index);
+                assert!(
+                    s.values
+                        .iter()
+                        .zip(&r.values)
+                        .all(|(a, b)| a.to_bits() == b.to_bits()),
+                    "window at {} diverges at prefix {fed}",
+                    s.start
+                );
+            }
+            if fed == values.len() {
+                break;
+            }
+        }
+        assert!(
+            sw.retained() <= cfg.length,
+            "retained {} exceeds one window length {}",
+            sw.retained(),
+            cfg.length
+        );
+        assert_eq!(
+            sw.prefix_window_count(),
+            sw.emitted() + sw.tail_windows().len()
+        );
+    }
+
+    #[test]
+    fn streaming_matches_batch_at_every_boundary() {
+        for &(n, l, s) in &[
+            (100, 20, 20),
+            (105, 20, 20),
+            (97, 16, 8),
+            (40, 64, 32),
+            (64, 64, 64),
+        ] {
+            for chunk in [1, 3, 7, 64, 200] {
+                check_stream(&ramp(n), &cfg(l, s, true), chunk);
+                check_stream(&ramp(n), &cfg(l, s, false), chunk);
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_grid_stride_larger_than_length() {
+        check_stream(&ramp(130), &cfg(16, 40, true), 9);
+    }
+
+    #[test]
+    fn grid_windows_are_emitted_exactly_once() {
+        let values = ramp(200);
+        let mut sw = StreamWindower::new(0, cfg(20, 10, false));
+        let mut starts = Vec::new();
+        for chunk in values.chunks(17) {
+            starts.extend(sw.append(chunk).iter().map(|w| w.start));
+        }
+        let mut dedup = starts.clone();
+        dedup.dedup();
+        assert_eq!(starts, dedup, "no duplicate grid emissions");
+        assert_eq!(sw.emitted(), starts.len());
+        assert!(starts.windows(2).all(|p| p[0] < p[1]), "ascending starts");
+    }
+
+    #[test]
+    fn empty_stream_has_no_windows() {
+        let sw = StreamWindower::new(0, cfg(8, 8, true));
+        assert!(sw.is_empty());
+        assert!(sw.tail_windows().is_empty());
+        assert_eq!(sw.prefix_window_count(), 0);
+    }
+
+    #[test]
+    fn short_stream_pads_like_batch() {
+        let values = ramp(5);
+        let mut sw = StreamWindower::new(7, cfg(12, 12, true));
+        assert!(sw.append(&values).is_empty(), "no grid window yet");
+        let tail = sw.tail_windows();
+        assert_eq!(tail.len(), 1);
+        let reference = batch_reference(&values, 7, &cfg(12, 12, true));
+        assert_eq!(tail[0], reference[0]);
+    }
+
+    #[test]
+    fn memory_stays_bounded_over_a_long_stream() {
+        let mut sw = StreamWindower::new(0, cfg(64, 32, true));
+        for chunk in ramp(100_000).chunks(257) {
+            sw.append(chunk);
+            assert!(sw.retained() <= 64 + 257, "mid-append bound");
+        }
+        assert!(sw.retained() <= 64, "steady-state bound is one window");
+        assert_eq!(sw.len(), 100_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "length and stride must be positive")]
+    fn zero_length_panics() {
+        let _ = StreamWindower::new(0, cfg(0, 8, true));
+    }
+}

@@ -100,7 +100,7 @@ pub fn extract_windows(ts: &TimeSeries, series_index: usize, cfg: &WindowConfig)
     out
 }
 
-fn znorm(values: &mut [f32]) {
+pub(crate) fn znorm(values: &mut [f32]) {
     let n = values.len() as f32;
     // Lane-striped reductions from the compute core; the mean/variance
     // summation order is canonical (see `tsnn::simd`), so results do not
@@ -108,7 +108,19 @@ fn znorm(values: &mut [f32]) {
     let mean = tsnn::simd::sum(values) / n;
     let var = tsnn::simd::sum_sq_diff(values, mean) / n;
     let std = var.sqrt();
-    if std < 1e-6 {
+    // Flat-window guard, **relative** to the window's magnitude. An
+    // absolute `std < 1e-6` misses constant windows around a large
+    // baseline: a window of 64 copies of `1e6 + 0.3` accumulates a few
+    // ulps of f32 rounding in the striped mean (ulp(1e6) = 0.0625), so
+    // `x - mean` is a nonzero constant, std lands around 0.25, and every
+    // z-score comes out as the same garbage value (−1-ish) instead of the
+    // zeros the constant-window contract promises. Relative variation
+    // below 1e-6 (≈ 8 f32 ulps) is indistinguishable from that rounding
+    // noise, so it is flattened to zeros deterministically. The threshold
+    // is a pure function of `mean`/`std`, which the lane and scalar
+    // reduction paths compute bitwise-identically, so the branch taken
+    // never depends on the SIMD policy.
+    if std < 1e-6 * mean.abs().max(1.0) {
         for v in values.iter_mut() {
             *v = 0.0;
         }
@@ -199,6 +211,57 @@ mod tests {
         let ts = TimeSeries::new("t", "D", vec![5.0; 64], vec![]);
         let ws = extract_windows(&ts, 0, &WindowConfig::default());
         assert!(ws[0].values.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn constant_window_at_large_offset_znorms_to_zero_on_both_simd_paths() {
+        use tsnn::simd::{set_simd_policy, SimdPolicy};
+        // Regression: these baselines are not exactly representable as f32
+        // multiples, so the striped f32 mean picks up rounding noise and
+        // the old absolute `std < 1e-6` guard let a *constant* window emit
+        // a constant garbage z-score (−1 at 1e6 + 0.3) instead of zeros.
+        for base in [1e6 + 0.3, 12345.678, 2.5e6 + 0.7, -1e6 - 0.3] {
+            for policy in [SimdPolicy::Lanes, SimdPolicy::Scalar] {
+                set_simd_policy(policy);
+                let ts = TimeSeries::new("t", "D", vec![base; 64], vec![]);
+                let ws = extract_windows(&ts, 0, &WindowConfig::default());
+                assert!(
+                    ws[0].values.iter().all(|&v| v == 0.0),
+                    "constant window at offset {base} must z-norm to zeros \
+                     ({policy:?} path), got {:?}",
+                    &ws[0].values[..4]
+                );
+            }
+        }
+        set_simd_policy(SimdPolicy::Auto);
+    }
+
+    #[test]
+    fn near_constant_large_offset_window_flattens_not_amplifies() {
+        // A large baseline with sub-noise jitter (well under 1e-6 relative)
+        // is rounding noise in f32, not signal: the relative guard zeroes
+        // it instead of amplifying it to full-scale z-scores.
+        let values: Vec<f64> = (0..64)
+            .map(|i| 1e6 + 1e-3 * (i as f64 * 0.37).sin())
+            .collect();
+        let ts = TimeSeries::new("t", "D", values, vec![]);
+        let ws = extract_windows(&ts, 0, &WindowConfig::default());
+        assert!(ws[0].values.iter().all(|&v| v == 0.0));
+        // Genuine variation at the same offset still z-normalises: ±40
+        // around 1e6 is 4e-5 relative, far above the 1e-6 guard.
+        let values: Vec<f64> = (0..64)
+            .map(|i| 1e6 + 40.0 * (i as f64 * 0.37).sin())
+            .collect();
+        let ts = TimeSeries::new("t", "D", values, vec![]);
+        let ws = extract_windows(&ts, 0, &WindowConfig::default());
+        let mean: f32 = ws[0].values.iter().sum::<f32>() / 64.0;
+        assert!(
+            ws[0].values.iter().any(|&v| v.abs() > 0.5),
+            "real signal survives"
+        );
+        // f32 input quantisation at 1e6 (ulp 0.0625) leaves a few-permille
+        // residual in the z-score mean — centred up to that noise floor.
+        assert!(mean.abs() < 1e-2, "z-scores centred, mean {mean}");
     }
 
     #[test]

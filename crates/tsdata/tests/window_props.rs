@@ -6,6 +6,7 @@
 
 use proptest::prelude::*;
 use tsdata::series::TimeSeries;
+use tsdata::stream::StreamWindower;
 use tsdata::windows::{extract_windows, WindowConfig};
 
 fn series(n: usize) -> TimeSeries {
@@ -83,5 +84,57 @@ proptest! {
                 prop_assert_eq!(w.start % stride, 0);
             }
         }
+    }
+
+    /// Incremental streaming extraction ≡ batch `extract_windows`,
+    /// bitwise, across n × length × stride × append-chunking sweeps —
+    /// including at every intermediate append boundary (prefix
+    /// equivalence), not just at the end of the stream. Chunk sizes are
+    /// drawn per-append from the same generator, so the sweep covers
+    /// single-sample trickles, window-straddling chunks, and one-shot
+    /// appends of the whole series.
+    #[test]
+    fn streaming_extraction_is_bitwise_equal_to_batch(
+        n in 1usize..300,
+        length in 1usize..64,
+        stride in 1usize..80,
+        znormalize in proptest::bool::ANY,
+        chunks in proptest::collection::vec(1usize..90, 1..40),
+    ) {
+        let cfg = WindowConfig { length, stride, znormalize };
+        let ts = series(n);
+        let mut sw = StreamWindower::new(0, cfg);
+        let mut emitted = Vec::new();
+        let mut fed = 0;
+        let mut chunk_iter = chunks.iter().cycle();
+        while fed < n {
+            let chunk = (*chunk_iter.next().expect("cycle")).min(n - fed);
+            emitted.extend(sw.append(&ts.values[fed..fed + chunk]));
+            fed += chunk;
+
+            // Prefix equivalence at this append boundary.
+            let mut streamed = emitted.clone();
+            streamed.extend(sw.tail_windows());
+            let reference = extract_windows(&series(fed), 0, &cfg);
+            prop_assert_eq!(
+                streamed.len(), reference.len(),
+                "window count diverges at prefix {} (n={} len={} stride={})",
+                fed, n, length, stride
+            );
+            for (s, r) in streamed.iter().zip(&reference) {
+                prop_assert_eq!(s.start, r.start);
+                prop_assert_eq!(s.values.len(), r.values.len());
+                for (a, b) in s.values.iter().zip(&r.values) {
+                    prop_assert_eq!(
+                        a.to_bits(), b.to_bits(),
+                        "window at start {} diverges bitwise at prefix {}",
+                        s.start, fed
+                    );
+                }
+            }
+        }
+        // Steady-state memory: one window length retained, regardless of n.
+        prop_assert!(sw.retained() <= length);
+        prop_assert_eq!(sw.len(), n);
     }
 }

@@ -9,7 +9,9 @@
 //!    `max_depth + 1`-th pending request with `ServeError::Overloaded`
 //!    (carrying the observed depth) and accepts again after draining.
 //! 3. **Window cache.** A cached engine serves bitwise-identically to an
-//!    uncached one, and repeat series hit instead of re-extracting.
+//!    uncached one, and repeat series hit instead of re-extracting; a
+//!    byte-budgeted cache thrashing under eviction still serves the same
+//!    bits (capacity and budget only cost speed, never results).
 //! 4. **Hot swap + failure surfacing.** Selectors can be registered on the
 //!    live engine between submits; unknown selectors and panicking
 //!    selectors fail the affected tickets without killing the queue.
@@ -231,6 +233,27 @@ fn queued_serving_is_deterministic_bounded_and_recoverable() {
             stats.hits > stats.misses,
             "repeat series must hit: {stats:?}"
         );
+    }
+
+    // ---- Byte-budgeted cache: thrashing evictions only cost speed. ------
+    // Each 380-sample entry holds 11 windows × 64 f32 = 2816 payload
+    // bytes; a 6000-byte budget caps the cache at 2 of the 10 distinct
+    // entries, so this pass evicts constantly — and must still serve the
+    // exact bits of the uncached reference.
+    {
+        let cache = Arc::new(WindowCache::with_byte_budget(64, 6000));
+        let cached_engine = nn_engine(Some(Arc::clone(&cache)));
+        let queue = ServeQueue::new(Arc::clone(&cached_engine), QueueConfig::default());
+        for (i, request) in requests.iter().enumerate() {
+            let got = queue.serve(request.clone()).expect("served");
+            assert_eq!(
+                got, expected[i],
+                "byte-budgeted request {i} diverged from the uncached path"
+            );
+        }
+        let stats = cache.stats();
+        assert!(stats.bytes <= 6000, "byte budget enforced: {stats:?}");
+        assert!(stats.entries < 10, "budget must force evictions: {stats:?}");
     }
 
     // ---- Hot swap: register on the live engine between submits. ---------

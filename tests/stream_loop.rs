@@ -1,0 +1,336 @@
+//! The streaming-loop replay contract, end to end:
+//!
+//! 1. A full ingest → drift → retrain → deploy → serve loop driven from a
+//!    fixed append log is **bitwise-identical across `KD_THREADS`**: same
+//!    daemon events (drift signals, retrain triggers, per-epoch losses),
+//!    same persisted per-version weights, same served selections at
+//!    1 and 4 threads.
+//! 2. **Checkpoint-interrupt-resume:** killing the daemon mid-training and
+//!    replaying the same append log with a *fresh* daemon against the same
+//!    store resumes the interrupted session from its epoch checkpoint and
+//!    converges to the same weights, selections, and decision trace as a
+//!    never-interrupted run — even when the replay uses a different
+//!    `KD_THREADS` than the interrupted live run.
+//!
+//! Lives in its own binary because the sweep mutates the process-global
+//! `tspar` thread policy. CI additionally runs this binary in release mode
+//! at `KD_THREADS=1` and `KD_THREADS=4` via the matrix legs.
+
+use kdselector::core::manage::SelectorStore;
+use kdselector::core::prune::PruningStrategy;
+use kdselector::core::serve::{SelectRequest, SelectorEngine, WindowCache};
+use kdselector::core::stream::{
+    DaemonConfig, DaemonEvent, DriftConfig, LabelOracle, RetrainDaemon, RetrainReason,
+};
+use kdselector::core::train::TrainConfig;
+use kdselector::core::Architecture;
+use kdselector::nn::serialize::{save_params, StateDict};
+use std::path::PathBuf;
+use std::sync::Arc;
+use tsdata::{TimeSeries, WindowConfig};
+use tspar::Parallelism;
+
+const SELECTOR: &str = "stream-sel";
+const EPOCHS: usize = 2;
+
+/// Deterministic content-keyed oracle (no detector runs): the best model
+/// follows the series mean, so the post-shift corpus relabels.
+struct MeanOracle;
+impl LabelOracle for MeanOracle {
+    fn perf_row(&self, ts: &TimeSeries) -> Vec<f64> {
+        let mean = ts.values.iter().sum::<f64>() / ts.len().max(1) as f64;
+        let best = if mean >= 1.0 {
+            2
+        } else {
+            usize::from(mean < 0.0)
+        };
+        (0..12).map(|m| if m == best { 0.9 } else { 0.1 }).collect()
+    }
+}
+
+fn wave(n: usize, phase: f64, offset: f64) -> Vec<f64> {
+    (0..n)
+        .map(|i| (i as f64 * 0.17 + phase).sin() + offset)
+        .collect()
+}
+
+/// The fixed append log every leg replays. Designed to cross the sample
+/// quota twice (versions 1 and 2) and then level-shift stream `a` after a
+/// re-anchoring chunk, raising an input-drift retrain (version 3).
+fn append_log() -> Vec<(&'static str, Vec<f64>)> {
+    vec![
+        // Phase 1 — both streams fill to the quota: v1 (Quota).
+        ("a", wave(160, 0.0, 0.0)),
+        ("b", wave(160, 1.3, 0.0)),
+        // Phase 2 — steady arrivals cross the quota again: v2 (Quota).
+        ("a", wave(96, 2.1, 0.0)),
+        ("b", wave(96, 0.7, 0.0)),
+        ("a", wave(96, 4.0, 0.0)),
+        // Phase 3 — anchor the post-deploy drift reference, then shift.
+        ("a", wave(96, 5.0, 0.0)),
+        ("a", wave(96, 5.5, 35.0)), // level shift: drift → v3.
+        ("b", wave(32, 2.2, 0.0)),
+    ]
+}
+
+fn daemon_cfg() -> DaemonConfig {
+    DaemonConfig {
+        selector: SELECTOR.to_string(),
+        window: WindowConfig {
+            length: 32,
+            stride: 32,
+            znormalize: true,
+        },
+        train: TrainConfig {
+            arch: Architecture::ConvNet,
+            width: 4,
+            epochs: EPOCHS,
+            batch_size: 16,
+            lr: 5e-3,
+            pruning: PruningStrategy::None,
+            ..TrainConfig::default()
+        },
+        drift: DriftConfig {
+            window: 64,
+            threshold: 6.0,
+        },
+        quota: 256,
+        min_samples: 256,
+        text_dim: 16,
+    }
+}
+
+/// Everything a run produces that the contract pins.
+struct Outcome {
+    events: Vec<DaemonEvent>,
+    version: u32,
+    /// Per-version persisted weights, `(name, state)` in version order.
+    weights: Vec<(String, StateDict)>,
+    /// Served selections over the final snapshots, one per stream:
+    /// `(stream, model index, votes, windows, margin bits)`.
+    selections: Vec<(String, usize, Vec<usize>, usize, u64)>,
+    /// Whether the run was abandoned mid-training (interrupt leg).
+    interrupted: bool,
+}
+
+fn store_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("kdsel-stream-loop-{tag}-{}", std::process::id()))
+}
+
+/// Drives the full loop over [`append_log`] at `threads`. With
+/// `interrupt_after_steps = Some(n)`, the daemon is dropped right after
+/// its `n`-th training step — mid-session — and the partial outcome is
+/// returned with `interrupted = true`.
+fn run(threads: usize, dir: &PathBuf, interrupt_after_steps: Option<usize>) -> Outcome {
+    tspar::set_parallelism(Parallelism::Fixed(threads));
+    let store = SelectorStore::open(dir).expect("store");
+    let cache = Arc::new(WindowCache::with_byte_budget(64, 1 << 20));
+    let engine = Arc::new(SelectorEngine::with_shared_cache(Arc::clone(&cache)));
+    let mut daemon = RetrainDaemon::new(
+        Arc::clone(&engine),
+        store.clone(),
+        Box::new(MeanOracle),
+        daemon_cfg(),
+    );
+
+    let mut events = Vec::new();
+    let mut steps = 0usize;
+    for (stream, samples) in append_log() {
+        events.extend(daemon.ingest(stream, &samples).expect("ingest"));
+        while daemon.is_training() {
+            events.extend(daemon.step().expect("step"));
+            steps += 1;
+            if interrupt_after_steps == Some(steps) {
+                assert!(
+                    daemon.is_training(),
+                    "interrupt landed between sessions, not mid-training — \
+                     pick a different step index"
+                );
+                return Outcome {
+                    events,
+                    version: daemon.version(),
+                    weights: Vec::new(),
+                    selections: Vec::new(),
+                    interrupted: true,
+                };
+            }
+        }
+    }
+
+    let version = daemon.version();
+    let weights = (1..=version)
+        .map(|v| {
+            let name = format!("{SELECTOR}-v{v}");
+            let model = store.load(&name).expect("versioned selector");
+            (name, save_params(&model.params()))
+        })
+        .collect();
+    let selections = daemon
+        .ingestor()
+        .names()
+        .into_iter()
+        .map(|stream| {
+            let ts = daemon.ingestor().snapshot(&stream).expect("snapshot");
+            let sel = engine
+                .handle(&SelectRequest::new(SELECTOR, vec![ts]))
+                .expect("serve")
+                .remove(0);
+            (
+                stream,
+                sel.model.index(),
+                sel.votes,
+                sel.windows,
+                sel.margin.to_bits(),
+            )
+        })
+        .collect();
+    Outcome {
+        events,
+        version,
+        weights,
+        selections,
+        interrupted: false,
+    }
+}
+
+/// The decision trace: every event except the per-epoch ones, with
+/// `resumed_epochs` zeroed — the part of the event stream that must be
+/// identical even across an interrupt/resume (a resumed run legitimately
+/// reports non-zero `resumed_epochs` and fewer `EpochCompleted`s).
+fn decision_trace(events: &[DaemonEvent]) -> Vec<DaemonEvent> {
+    events
+        .iter()
+        .filter(|e| !matches!(e, DaemonEvent::EpochCompleted { .. }))
+        .cloned()
+        .map(|e| match e {
+            DaemonEvent::RetrainStarted {
+                version,
+                reason,
+                windows,
+                ..
+            } => DaemonEvent::RetrainStarted {
+                version,
+                reason,
+                windows,
+                resumed_epochs: 0,
+            },
+            other => other,
+        })
+        .collect()
+}
+
+/// Per-version `(epoch, loss bits)` sequences, for the suffix pin.
+fn epoch_trace(events: &[DaemonEvent]) -> Vec<Vec<(usize, u64)>> {
+    let mut per_version: Vec<Vec<(usize, u64)>> = Vec::new();
+    for e in events {
+        if let DaemonEvent::EpochCompleted {
+            version,
+            epoch,
+            loss,
+        } = e
+        {
+            let v = *version as usize;
+            while per_version.len() < v {
+                per_version.push(Vec::new());
+            }
+            per_version[v - 1].push((*epoch, loss.to_bits()));
+        }
+    }
+    per_version
+}
+
+/// One test fn: the `tspar` policy sweep is process-global and must never
+/// interleave with itself.
+#[test]
+fn streaming_loop_replays_bitwise_and_survives_interrupts() {
+    // ---- Leg 1: plain runs at KD_THREADS ∈ {1, 4} are fully identical.
+    let (d1, d4) = (store_dir("t1"), store_dir("t4"));
+    let _ = std::fs::remove_dir_all(&d1);
+    let _ = std::fs::remove_dir_all(&d4);
+    let base = run(1, &d1, None);
+    let threaded = run(4, &d4, None);
+
+    assert_eq!(base.version, 3, "quota ×2 + drift must open three retrains");
+    let reasons: Vec<RetrainReason> = base
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            DaemonEvent::RetrainStarted { reason, .. } => Some(*reason),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        reasons,
+        vec![
+            RetrainReason::Quota,
+            RetrainReason::Quota,
+            RetrainReason::Drift
+        ]
+    );
+    assert!(
+        base.events
+            .iter()
+            .any(|e| matches!(e, DaemonEvent::Drift(_))),
+        "the level shift must raise a drift signal"
+    );
+
+    assert_eq!(base.events, threaded.events, "events at 1 vs 4 threads");
+    assert_eq!(base.weights, threaded.weights, "weights at 1 vs 4 threads");
+    assert_eq!(
+        base.selections, threaded.selections,
+        "served selections at 1 vs 4 threads"
+    );
+
+    // ---- Leg 2: interrupt mid-v2-training at 1 thread, then replay the
+    // full log with a fresh daemon on the SAME store at 4 threads.
+    let di = store_dir("interrupt");
+    let _ = std::fs::remove_dir_all(&di);
+    let partial = run(1, &di, Some(EPOCHS + 1)); // v1 done, v2 one epoch in
+    assert!(partial.interrupted);
+    assert_eq!(partial.version, 2, "the cut must land inside v2's session");
+
+    let resumed = run(4, &di, None);
+    assert!(
+        resumed.events.iter().any(|e| matches!(
+            e,
+            DaemonEvent::RetrainStarted {
+                version: 2,
+                resumed_epochs: 1,
+                ..
+            }
+        )),
+        "v2 must resume from its epoch-1 checkpoint, got {:?}",
+        decision_trace(&resumed.events)
+    );
+    assert_eq!(
+        decision_trace(&resumed.events),
+        decision_trace(&base.events),
+        "interrupt + replay must reproduce the decision trace"
+    );
+    // Replayed epochs are a per-version suffix of the uninterrupted run's,
+    // bitwise (resumed sessions re-run only the missing epochs).
+    let (full, replayed) = (epoch_trace(&base.events), epoch_trace(&resumed.events));
+    assert_eq!(full.len(), replayed.len());
+    for (v, (f, r)) in full.iter().zip(&replayed).enumerate() {
+        assert!(
+            r.len() <= f.len() && &f[f.len() - r.len()..] == r.as_slice(),
+            "v{}: replayed epochs {:?} must suffix the full run's {:?}",
+            v + 1,
+            r,
+            f
+        );
+    }
+    assert_eq!(
+        resumed.weights, base.weights,
+        "interrupt + replay must converge to identical per-version weights"
+    );
+    assert_eq!(
+        resumed.selections, base.selections,
+        "interrupt + replay must serve identical selections"
+    );
+
+    tspar::set_parallelism(Parallelism::Auto);
+    for d in [d1, d4, di] {
+        let _ = std::fs::remove_dir_all(d);
+    }
+}
