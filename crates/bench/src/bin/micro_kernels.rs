@@ -154,6 +154,103 @@ fn simd_benchmark(threads: usize) -> serde_json::Value {
     })
 }
 
+/// Large-inner-dimension cases for the k-blocked, dual-panel GEMM path.
+///
+/// Both sides run through [`tsnn::gemm::gemm_prepacked_with_kc`] on the
+/// same pre-packed `B`, so packing cost cancels and the comparison
+/// isolates the kernel: `kc = usize::MAX` forces the pre-blocking
+/// single-panel full-`k` sweep (the kernel every earlier record
+/// measured), the [`tsnn::gemm::KC`] side is what [`tsnn::gemm::gemm`]
+/// now does for `k > KC`. The two must agree **bitwise**
+/// (`max_abs_diff == 0.0` asserted): blocking only introduces exact
+/// `f32` round trips through `C`, and panel fusion never reorders any
+/// output element's chain. Timing is interleaved A/B/A/B per round —
+/// this host's clock wanders enough that back-to-back medians would
+/// charge one side for a frequency dip the other side never saw.
+fn large_k_benchmark() -> serde_json::Value {
+    use tsnn::gemm::{gemm_prepacked_with_kc, Layout, PackedB, KC};
+
+    println!(
+        "\n{:<16} {:>5}x{:<4}x{:<4} {:>14} {:>12} {:>8} {:>8}",
+        "large-k case", "n", "m", "k", "unblocked ns", "blocked ns", "speedup", "max|Δ|"
+    );
+    let mut rows = Vec::new();
+    let mut log_speedup_sum = 0.0f64;
+    let shapes: &[(&str, usize, usize, usize)] = &[
+        ("large_k_1024", 64, 128, 1024),
+        ("large_k_2048", 64, 128, 2048),
+        ("large_k_wide", 64, 512, 2048),
+    ];
+    for &(label, n, m, k) in shapes {
+        let a = filled(&[n, k], 1).data().to_vec();
+        let b = filled(&[k, m], 2).data().to_vec();
+        let packed = PackedB::pack(m, k, &b, Layout::Normal);
+        let mut blocked = vec![0.0f32; n * m];
+        gemm_prepacked_with_kc(n, &a, Layout::Normal, &packed, KC, &mut blocked);
+        let mut unblocked = vec![0.0f32; n * m];
+        gemm_prepacked_with_kc(n, &a, Layout::Normal, &packed, usize::MAX, &mut unblocked);
+        let diff = blocked
+            .iter()
+            .zip(&unblocked)
+            .map(|(&x, &y)| (x - y).abs() as f64)
+            .fold(0.0, f64::max);
+        assert!(
+            diff == 0.0,
+            "{label}: k-blocked kernel must be bitwise identical to the unblocked sweep ({diff})"
+        );
+
+        // Interleaved medians: one timed batch of each variant per round.
+        let t0 = Instant::now();
+        gemm_prepacked_with_kc(n, &a, Layout::Normal, &packed, usize::MAX, &mut unblocked);
+        let once = t0.elapsed().as_secs_f64().max(1e-7);
+        let batch = ((0.01 / once).ceil() as usize).clamp(1, 1000);
+        let mut un_samples = Vec::with_capacity(7);
+        let mut bl_samples = Vec::with_capacity(7);
+        for _ in 0..7 {
+            let t = Instant::now();
+            for _ in 0..batch {
+                gemm_prepacked_with_kc(n, &a, Layout::Normal, &packed, usize::MAX, &mut unblocked);
+                std::hint::black_box(unblocked[0]);
+            }
+            un_samples.push(t.elapsed().as_secs_f64() / batch as f64);
+            let t = Instant::now();
+            for _ in 0..batch {
+                gemm_prepacked_with_kc(n, &a, Layout::Normal, &packed, KC, &mut blocked);
+                std::hint::black_box(blocked[0]);
+            }
+            bl_samples.push(t.elapsed().as_secs_f64() / batch as f64);
+        }
+        un_samples.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        bl_samples.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        let un_ns = un_samples[un_samples.len() / 2] * 1e9;
+        let bl_ns = bl_samples[bl_samples.len() / 2] * 1e9;
+        let speedup = un_ns / bl_ns;
+        log_speedup_sum += speedup.ln();
+        println!(
+            "{:<16} {:>5}x{:<4}x{:<4} {:>14.0} {:>12.0} {:>7.2}x {:>8.1}",
+            label, n, m, k, un_ns, bl_ns, speedup, diff
+        );
+        rows.push(serde_json::json!({
+            "case": label,
+            "n": n,
+            "m": m,
+            "k": k,
+            "kc": KC,
+            "unblocked_ns": un_ns,
+            "blocked_ns": bl_ns,
+            "speedup": speedup,
+            "max_abs_diff": diff,
+        }));
+    }
+    let geomean = (log_speedup_sum / shapes.len() as f64).exp();
+    println!("large-k geomean speedup, k-blocked over unblocked sweep: {geomean:.2}x");
+    serde_json::json!({
+        "kc": KC,
+        "geomean_speedup": geomean,
+        "cases": rows,
+    })
+}
+
 /// Serving throughput numbers for the JSON record.
 struct ServeBench {
     batch: usize,
@@ -279,6 +376,20 @@ fn serving_benchmarks() -> (ServeBench, serde_json::Value) {
         assert_eq!(selections.len(), BATCH);
         selections
     };
+    // Queued ≡ direct guard, asserted before anything is timed: the
+    // coalesced, cached, arena-pooled queue front-end must hand back the
+    // exact selections the raw uncached batch path computes.
+    {
+        let direct_ref = run_direct();
+        let mut queued_all = Vec::new();
+        for r in requests.clone() {
+            queued_all.extend(queue.serve(r).expect("served"));
+        }
+        assert_eq!(
+            direct_ref, queued_all,
+            "queued serving drifted from the direct batch path"
+        );
+    }
     // Payloads are materialised outside the timed section for both paths
     // (the direct batch above is prebuilt too): one owned request set per
     // round, handed to submit by value.
@@ -922,6 +1033,56 @@ fn stream_benchmark() -> serde_json::Value {
     })
 }
 
+/// Snapshot of the kdprof aggregates accumulated so far — the serving
+/// phase breakdown (admit → coalesce → window → pack → score → complete)
+/// plus the deterministic counters (cache, arena, coalescer). The bench
+/// binary builds with kdprof's `timing` feature, so spans carry real
+/// nanoseconds here; library builds without the bench compile them out.
+fn profile_record() -> serde_json::Value {
+    let phases = kdprof::phase_stats();
+    let counters = kdprof::counter_stats();
+    println!("\nserving phase profile (kdprof, spans inclusive):");
+    println!(
+        "{:<12} {:>10} {:>14} {:>12}",
+        "phase", "calls", "total ms", "ns/call"
+    );
+    for p in &phases {
+        if p.calls == 0 {
+            continue;
+        }
+        println!(
+            "{:<12} {:>10} {:>14.3} {:>12.0}",
+            p.name,
+            p.calls,
+            p.nanos as f64 / 1e6,
+            p.nanos as f64 / p.calls as f64
+        );
+    }
+    let counter_line: Vec<String> = counters
+        .iter()
+        .filter(|c| c.value > 0)
+        .map(|c| format!("{}={}", c.name, c.value))
+        .collect();
+    println!("counters: {}", counter_line.join(" "));
+    serde_json::json!({
+        "timing": kdprof::timing_enabled(),
+        "phases": phases
+            .iter()
+            .map(|p| {
+                serde_json::json!({
+                    "phase": p.name,
+                    "calls": p.calls,
+                    "nanos": p.nanos,
+                })
+            })
+            .collect::<Vec<_>>(),
+        "counters": counters
+            .iter()
+            .map(|c| serde_json::json!({"counter": c.name, "value": c.value}))
+            .collect::<Vec<_>>(),
+    })
+}
+
 fn max_abs_diff(a: &Tensor, b: &Tensor) -> f64 {
     a.data()
         .iter()
@@ -998,10 +1159,17 @@ fn main() {
     // --- Lane kernel vs the previous blocked kernel, bitwise-guarded. -----
     let simd = simd_benchmark(threads);
 
+    // --- k-blocked dual-panel kernel vs the unblocked sweep, large k. -----
+    let gemm_large_k = large_k_benchmark();
+
     // --- Serving throughput: direct batch vs the queued front-end, --------
     // --- sampled interleaved (see serving_benchmarks). --------------------
     println!();
+    kdprof::reset();
     let (serve, serve_queue) = serving_benchmarks();
+    // Snapshot the profile before the router/train sections add their own
+    // phases, so the record isolates the serving hot path.
+    let profile = profile_record();
     println!(
         "serving throughput: {:.0} selections/sec, {:.0} windows/sec \
          (batch {}, {} windows/series, ConvNet w{})",
@@ -1043,8 +1211,10 @@ fn main() {
         "geomean_speedup": geomean,
         "cases": rows,
         "simd": simd,
+        "gemm_large_k": gemm_large_k,
         "serve": serve_record,
         "serve_queue": serve_queue,
+        "profile": profile,
         "route": route,
         "train": train,
         "stream": stream,

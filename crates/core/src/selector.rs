@@ -195,10 +195,24 @@ impl NnSelector {
     }
 
     fn extract(&self, ts: &TimeSeries) -> Vec<Vec<f32>> {
-        extract_windows(ts, 0, &self.window_cfg)
+        kdprof::span!(kdprof::Phase::Window);
+        let out: Vec<Vec<f32>> = extract_windows(ts, 0, &self.window_cfg)
             .into_iter()
             .map(|w| w.values)
-            .collect()
+            .collect();
+        kdprof::incr(kdprof::Counter::WindowsBuilt, out.len() as u64);
+        out
+    }
+
+    /// The cache-aware window matrix for one series: a shared hit, or a
+    /// freshly extracted (and, with a cache, inserted) matrix. Hits return
+    /// the exact matrix the cold path built, so caching never changes
+    /// scores.
+    fn windows_for(&self, ts: &TimeSeries) -> Arc<Vec<Vec<f32>>> {
+        match &self.cache {
+            Some(cache) => cache.get_or_insert(ts, &self.window_cfg, || self.extract(ts)),
+            None => Arc::new(self.extract(ts)),
+        }
     }
 }
 
@@ -207,15 +221,76 @@ impl Selector for NnSelector {
         &self.label
     }
 
+    // kdprof: hot
     fn series_scores(&self, ts: &TimeSeries) -> Vec<Vec<f32>> {
-        let windows: Arc<Vec<Vec<f32>>> = match &self.cache {
-            Some(cache) => cache.get_or_insert(ts, &self.window_cfg, || self.extract(ts)),
-            None => Arc::new(self.extract(ts)),
-        };
+        kdprof::incr(kdprof::Counter::SeriesScored, 1);
+        if self.cache.is_some() {
+            let windows = self.windows_for(ts);
+            if windows.is_empty() {
+                return Vec::new();
+            }
+            let rows: Vec<&[f32]> = windows.iter().map(Vec::as_slice).collect();
+            return self.model.predict_logits_rows(&rows);
+        }
+        // Uncached single-series path: window buffers come from this
+        // thread's scratch arena and return to it after scoring, so
+        // repeated uncached selections re-window allocation-free. The
+        // arena borrow is released before prediction (which pools its own
+        // staging through the same arena) and re-taken to return buffers.
+        let mut windows: Vec<Vec<f32>> = Vec::new();
+        {
+            kdprof::span!(kdprof::Phase::Window);
+            crate::serve::arena::with_arena(|a| {
+                tsdata::extract_window_values_into(
+                    ts,
+                    &self.window_cfg,
+                    || a.take_window_buf(),
+                    &mut windows,
+                );
+            });
+        }
+        kdprof::incr(kdprof::Counter::WindowsBuilt, windows.len() as u64);
         if windows.is_empty() {
             return Vec::new();
         }
-        self.model.predict_logits(&windows)
+        let rows: Vec<&[f32]> = windows.iter().map(Vec::as_slice).collect();
+        let scores = self.model.predict_logits_rows(&rows);
+        crate::serve::arena::with_arena(|a| a.put_window_bufs(windows));
+        scores
+    }
+
+    /// Group-batched scoring: gather every series' window matrix (in
+    /// parallel, cache-aware), then run **one** chunked forward pass over
+    /// the concatenated window rows and split the logits back per series.
+    /// Batching per-window rows across series amortises the per-layer
+    /// dispatch overhead the per-series default pays once per series.
+    ///
+    /// Bit-identical to the default (`series_scores` per series): every
+    /// layer of the forward pass is per-batch-element independent, the
+    /// GEMM kernels are row-independent with all dispatch variants pinned
+    /// bitwise-equal, and `tests/serve_arena.rs` pins grouped ≡ per-series
+    /// directly. `window_scores` delegates here, so the batch-consistency
+    /// contract holds by construction.
+    // kdprof: hot
+    fn window_scores_refs(&self, batch: &[&TimeSeries]) -> Vec<Vec<Vec<f32>>> {
+        if batch.is_empty() {
+            return Vec::new();
+        }
+        kdprof::incr(kdprof::Counter::SeriesScored, batch.len() as u64);
+        let per_series: Vec<Arc<Vec<Vec<f32>>>> =
+            tspar::par_map(batch.len(), |i| self.windows_for(batch[i]));
+        let rows: Vec<&[f32]> = per_series
+            .iter()
+            .flat_map(|w| w.iter().map(Vec::as_slice))
+            .collect();
+        if rows.is_empty() {
+            return vec![Vec::new(); batch.len()];
+        }
+        let mut scores = self.model.predict_logits_rows(&rows).into_iter();
+        per_series
+            .iter()
+            .map(|w| scores.by_ref().take(w.len()).collect())
+            .collect()
     }
 }
 

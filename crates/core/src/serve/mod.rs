@@ -73,6 +73,7 @@
 //! let selections = ticket.wait().unwrap();
 //! ```
 
+pub mod arena;
 pub mod cache;
 pub mod fault;
 pub mod policy;
@@ -80,6 +81,7 @@ pub mod queue;
 pub mod router;
 pub mod shard;
 
+pub use arena::{arena_enabled, set_arena_enabled, ScratchArena};
 pub use cache::{CacheStats, WindowCache};
 pub use fault::{FaultAction, FaultInjector, FaultPlan, FaultPoint, FaultRule};
 pub use policy::{Breaker, BreakerConfig, BreakerVerdict, RetryPolicy};

@@ -394,7 +394,9 @@ impl ServeQueue {
     /// worker thread is gone (nothing would ever serve the request). An
     /// unknown selector name is *not* checked here: it surfaces on the
     /// ticket, exactly as [`SelectorEngine::handle`] would report it.
+    // kdprof: hot
     pub fn submit(&self, request: SelectRequest) -> Result<Ticket, ServeError> {
+        kdprof::span!(kdprof::Phase::Admit);
         let slot = Arc::new(Slot {
             state: Mutex::new(SlotState {
                 completed: false,
@@ -443,6 +445,7 @@ impl ServeQueue {
                 // admission bound itself reads `st.queue.len()` under the
                 // state lock, never this counter.
                 .fetch_add(1, Ordering::Relaxed);
+            kdprof::incr(kdprof::Counter::RequestsAdmitted, 1);
             st.queue.push_back(Pending {
                 request,
                 slot: Arc::clone(&slot),
@@ -609,6 +612,9 @@ fn coalescer_loop(engine: &SelectorEngine, shared: &Shared) {
                 // shutdown, not by a timer.
                 .wait_while(st, |s| s.queue.is_empty() && !s.shutdown)
                 .unwrap();
+            // Span opens *after* the idle park above, so Coalesce measures
+            // group claiming, not time spent waiting for work.
+            kdprof::span!(kdprof::Phase::Coalesce);
             let Some(first) = st.queue.pop_front() else {
                 debug_assert!(st.shutdown);
                 return;
@@ -648,9 +654,11 @@ fn coalescer_loop(engine: &SelectorEngine, shared: &Shared) {
     }
 }
 
+// kdprof: hot
 fn serve_group(engine: &SelectorEngine, shared: &Shared, group: Vec<Pending>) {
     let selector = &group[0].request.selector;
     let counters = &shared.counters;
+    kdprof::incr(kdprof::Counter::GroupsCoalesced, 1);
     if group.len() > 1 {
         counters
             .coalesced
@@ -678,10 +686,13 @@ fn serve_group(engine: &SelectorEngine, shared: &Shared, group: Vec<Pending>) {
                     got: all.len(),
                 };
                 for pending in group {
+                    // kdlint: allow(hot-alloc): contract-violation fault
+                    // path — a well-formed selector never reaches it.
                     pending.slot.complete(Err(err.clone()));
                 }
                 return;
             }
+            kdprof::span!(kdprof::Phase::Complete);
             let mut all = all.into_iter();
             for pending in group {
                 let take = pending.request.batch.len();
@@ -696,6 +707,8 @@ fn serve_group(engine: &SelectorEngine, shared: &Shared, group: Vec<Pending>) {
             // One selector name per group, so the error is the same for
             // every member (e.g. UnknownSelector).
             for pending in group {
+                // kdlint: allow(hot-alloc): error completion — cold by
+                // definition; steady-state requests resolve `Ok`.
                 pending.slot.complete(Err(err.clone()));
             }
         }
@@ -706,10 +719,10 @@ fn serve_group(engine: &SelectorEngine, shared: &Shared, group: Vec<Pending>) {
                 .or_else(|| payload.downcast_ref::<String>().cloned())
                 .unwrap_or_else(|| "selector panicked".into());
             for pending in group {
-                if pending
-                    .slot
-                    .complete(Err(ServeError::Panicked(msg.clone())))
-                {
+                // kdlint: allow(hot-alloc): panic fault path — the group
+                // is already lost; steady state never panics.
+                let err = ServeError::Panicked(msg.clone());
+                if pending.slot.complete(Err(err)) {
                     // kdlint: allow(relaxed): stat counter — snapshot-only.
                     counters.panicked.fetch_add(1, Ordering::Relaxed);
                 }

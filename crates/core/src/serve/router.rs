@@ -586,6 +586,8 @@ impl ShardedRouter {
         request: &SelectRequest,
         opts: RouteOptions,
     ) -> Result<RouteReply, RouteError> {
+        kdprof::span!(kdprof::Phase::Route);
+        kdprof::incr(kdprof::Counter::RouteHops, 1);
         if self.shutdown.load(Ordering::Acquire) {
             return Err(RouteError::ShuttingDown);
         }

@@ -259,6 +259,11 @@ pub struct TrainedSelector {
     pub seed: u64,
     pub(crate) encoder: Box<dyn Encoder>,
     pub(crate) classifier: Linear,
+    /// Lazily pre-packed classifier weight panels: the serving hot path
+    /// multiplies against the same (frozen) weights every batch, so the
+    /// GEMM packing step runs once instead of per chunk. Invalidated
+    /// whenever the parameters are handed out mutably.
+    packed_classifier: std::sync::OnceLock<tsnn::gemm::PackedB>,
 }
 
 impl TrainedSelector {
@@ -274,11 +279,36 @@ impl TrainedSelector {
             seed,
             encoder,
             classifier,
+            packed_classifier: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// Assembles a trained selector from its parts (the session's
+    /// `finish` path).
+    pub(crate) fn from_parts(
+        arch: Architecture,
+        window: usize,
+        width: usize,
+        seed: u64,
+        encoder: Box<dyn Encoder>,
+        classifier: Linear,
+    ) -> Self {
+        Self {
+            arch,
+            window,
+            width,
+            seed,
+            encoder,
+            classifier,
+            packed_classifier: std::sync::OnceLock::new(),
         }
     }
 
     /// All trainable parameters (encoder then classifier), stable order.
     pub fn params_mut(&mut self) -> Vec<&mut tsnn::Param> {
+        // The caller may rewrite the classifier weights (weight loading);
+        // drop the pre-packed panels so inference re-packs lazily.
+        let _ = self.packed_classifier.take();
         let mut p = self.encoder.params_mut();
         p.extend(self.classifier.params_mut());
         p
@@ -311,14 +341,64 @@ impl TrainedSelector {
     /// encoder's [`Encoder::infer`] path, so one trained selector can score
     /// concurrent batches from many threads.
     pub fn predict_logits(&self, windows: &[Vec<f32>]) -> Vec<Vec<f32>> {
-        let mut out = Vec::with_capacity(windows.len());
-        for chunk in windows.chunks(256) {
-            let x = Tensor::from_rows(chunk).reshape(&[chunk.len(), 1, self.window]);
+        let rows: Vec<&[f32]> = windows.iter().map(Vec::as_slice).collect();
+        self.predict_logits_rows(&rows)
+    }
+
+    /// The chunked inference kernel over borrowed window rows — one logit
+    /// row per input row, in order.
+    ///
+    /// This is the serving hot path: input and logit staging buffers come
+    /// from the per-thread [`crate::serve::ScratchArena`] (recycled via
+    /// `Tensor::into_data`, so steady-state serving allocates nothing
+    /// here), and the classifier multiplies against pre-packed weight
+    /// panels instead of re-packing per chunk. Chunk grouping never
+    /// affects results: every layer of the forward pass is
+    /// per-batch-element independent and the GEMM kernels are bitwise
+    /// row-independent (pinned by the `tsnn::gemm` equality sweeps), so
+    /// scoring rows in one call or many yields identical bytes.
+    // kdprof: hot
+    pub fn predict_logits_rows(&self, rows: &[&[f32]]) -> Vec<Vec<f32>> {
+        kdprof::span!(kdprof::Phase::Score);
+        let packed = self.packed_classifier.get_or_init(|| {
+            let w = &self.classifier.weight.value;
+            tsnn::gemm::PackedB::pack(w.dim(1), w.dim(0), w.data(), tsnn::gemm::Layout::Normal)
+        });
+        let n_out = self.classifier.out_features();
+        let bias = self.classifier.bias.value.data();
+        let mut out = Vec::with_capacity(rows.len());
+        for chunk in rows.chunks(256) {
+            let x = {
+                kdprof::span!(kdprof::Phase::Pack);
+                let mut buf = crate::serve::arena::with_arena(|a| a.take_input());
+                buf.reserve(chunk.len() * self.window);
+                for r in chunk {
+                    assert_eq!(r.len(), self.window, "window length mismatch");
+                    buf.extend_from_slice(r);
+                }
+                Tensor::from_vec(&[chunk.len(), 1, self.window], buf)
+            };
             let z = self.encoder.infer(&x);
-            let logits = self.classifier.infer(&z);
+            let mut logits = crate::serve::arena::with_arena(|a| a.take_logits());
+            logits.resize(chunk.len() * n_out, 0.0);
+            tsnn::gemm::gemm_prepacked(
+                chunk.len(),
+                z.data(),
+                tsnn::gemm::Layout::Normal,
+                packed,
+                &mut logits,
+            );
             for i in 0..chunk.len() {
-                out.push(logits.row(i).to_vec());
+                let row = &mut logits[i * n_out..(i + 1) * n_out];
+                for (v, &b) in row.iter_mut().zip(bias) {
+                    *v += b;
+                }
+                out.push(row.to_vec());
             }
+            crate::serve::arena::with_arena(|a| {
+                a.put_input(x.into_data());
+                a.put_logits(logits);
+            });
         }
         out
     }

@@ -386,6 +386,7 @@ impl TrainSession {
         // kdlint: allow(wallclock): reported epoch-seconds metric only —
         // training math never reads the clock.
         let t0 = std::time::Instant::now();
+        kdprof::span!(kdprof::Phase::Train);
         let epoch = self.next_epoch;
 
         let mut plan = self.prune.plan_epoch(epoch, self.cfg.epochs);
@@ -414,6 +415,7 @@ impl TrainSession {
                 self.opt.step(&mut params);
             }
             self.prune.record_losses(batch_idx, &out.per_sample);
+            kdprof::incr(kdprof::Counter::TrainSteps, 1);
             epoch_loss += out.loss * b as f64;
             correct += out.correct;
             seen += b;
@@ -594,14 +596,14 @@ impl TrainSession {
     /// session may be finished early (before all configured epochs ran).
     pub fn finish(self) -> (TrainedSelector, TrainStats) {
         (
-            TrainedSelector {
-                arch: self.cfg.arch,
-                window: self.core.window,
-                width: self.cfg.width,
-                seed: self.cfg.seed,
-                encoder: self.core.encoder,
-                classifier: self.core.classifier,
-            },
+            TrainedSelector::from_parts(
+                self.cfg.arch,
+                self.core.window,
+                self.cfg.width,
+                self.cfg.seed,
+                self.core.encoder,
+                self.core.classifier,
+            ),
             self.stats,
         )
     }

@@ -5,9 +5,10 @@
 //! **every route returns exactly once**. The test suites pin those
 //! dynamically; kdlint drift-proofs them mechanically by banning the
 //! constructs that erode them — wall-clock reads, ambient RNG, hash-order
-//! iteration, unjustified `unsafe`, unaudited `Ordering::Relaxed`, and
-//! unbounded waits in the serving tier. See [`rules`] for the rule
-//! catalogue and the `// kdlint: allow(<rule>): <reason>` grammar.
+//! iteration, unjustified `unsafe`, unaudited `Ordering::Relaxed`,
+//! unbounded waits in the serving tier, and allocation in `kdprof: hot`
+//! functions. See [`rules`] for the rule catalogue and the
+//! `// kdlint: allow(<rule>): <reason>` grammar.
 //!
 //! The crate is dependency-free by design (no syn, no proc-macro): it
 //! carries its own token-level lexer ([`lexer`]) so it builds before — and

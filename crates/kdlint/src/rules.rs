@@ -1,4 +1,4 @@
-//! The rule engine: six contract rules plus the annotation grammar.
+//! The rule engine: seven contract rules plus the annotation grammar.
 //!
 //! Every rule is keyed to an invariant the workspace's tests pin
 //! dynamically — bitwise-identical results at any `KD_THREADS`, every
@@ -13,6 +13,7 @@
 //! | `unsafe-needs-safety` | every `unsafe` carries its proof obligation |
 //! | `relaxed-ordering-audit` | `Relaxed` only on audited stat counters |
 //! | `unbounded-wait` | `core::serve` waits are deadline-bounded |
+//! | `no-hot-alloc` | profiled hot paths stay allocation-free |
 //!
 //! Rules report candidate findings; the engine suppresses those whose line
 //! carries a `// kdlint: allow(<key>): <reason>` annotation and flags
@@ -71,12 +72,13 @@ pub struct FileCtx {
 }
 
 /// The canonical allow-keys, in rule order.
-const ALLOW_KEYS: [&str; 5] = [
+const ALLOW_KEYS: [&str; 6] = [
     "wallclock",
     "ambient-rng",
     "hash-iteration",
     "relaxed",
     "unbounded-wait",
+    "hot-alloc",
 ];
 
 impl FileCtx {
@@ -615,10 +617,141 @@ impl Rule for UnboundedWait {
 }
 
 // ---------------------------------------------------------------------
+// no-hot-alloc
+// ---------------------------------------------------------------------
+
+/// The serving hot path's steady-state contract: after warmup, a request
+/// is served without touching the allocator (the kdprof profile record
+/// pins `ArenaGrowth == 0` dynamically; this rule drift-proofs it
+/// statically). Functions marked `// kdprof: hot` — the ones the profile
+/// showed on the per-request path — must not call `Vec::new`,
+/// `.to_vec()`, or `.clone()`; scratch comes from the per-worker arena,
+/// and cold branches (error completion, shutdown) carry an annotation
+/// saying why they never run in steady state.
+pub struct NoHotAlloc;
+
+impl NoHotAlloc {
+    /// Token-index ranges `[body_open, body_close)` of every function
+    /// marked by a `// kdprof: hot` comment (trailing the signature line
+    /// or on its own line directly above, attributes in between fine —
+    /// the same targeting as allow-annotations).
+    fn hot_ranges(ctx: &FileCtx) -> Vec<(usize, usize)> {
+        let code = &ctx.code;
+        let mut ranges = Vec::new();
+        for (&line, text) in &ctx.plain_comments {
+            if !text.contains("kdprof: hot") {
+                continue;
+            }
+            let target = if ctx.code_lines.contains(&line) {
+                line
+            } else {
+                ctx.next_code_line(line)
+            };
+            if target == 0 {
+                continue;
+            }
+            // First `fn` at or after the marked line, then its body: the
+            // brace block after the signature.
+            let Some(fn_idx) = code
+                .iter()
+                .position(|t| t.line >= target && t.kind.ident() == Some("fn"))
+            else {
+                continue;
+            };
+            let Some(open) = code[fn_idx..]
+                .iter()
+                .position(|t| t.kind == Tok::Punct('{'))
+                .map(|p| fn_idx + p)
+            else {
+                continue;
+            };
+            let mut depth = 0usize;
+            let mut close = code.len();
+            for (i, t) in code.iter().enumerate().skip(open) {
+                match t.kind {
+                    Tok::Punct('{') => depth += 1,
+                    Tok::Punct('}') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            close = i;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            ranges.push((open, close));
+        }
+        ranges
+    }
+}
+
+impl Rule for NoHotAlloc {
+    fn name(&self) -> &'static str {
+        "no-hot-alloc"
+    }
+    fn allow_key(&self) -> &'static str {
+        "hot-alloc"
+    }
+    fn applies(&self, path: &str) -> bool {
+        // The profiled per-request path: the serving tier and the GEMM
+        // kernel it bottoms out in. Train-time code may allocate.
+        path.starts_with("crates/core/src/serve/") || path == "crates/tsnn/src/gemm.rs"
+    }
+    fn check(&self, ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+        let code = &ctx.code;
+        for (start, close) in Self::hot_ranges(ctx) {
+            for i in start..close {
+                let t = &code[i];
+                let Some(name) = t.kind.ident() else { continue };
+                // `Vec::new(..)` / `Vec::with_capacity(..)`.
+                if name == "Vec"
+                    && code.get(i + 1).map(|t| &t.kind) == Some(&Tok::PathSep)
+                    && matches!(
+                        code.get(i + 2).and_then(|t| t.kind.ident()),
+                        Some("new" | "with_capacity")
+                    )
+                {
+                    let ctor = code[i + 2].kind.ident().unwrap_or("new");
+                    out.push(diag(
+                        ctx,
+                        t.line,
+                        self.name(),
+                        format!(
+                            "`Vec::{ctor}` allocates inside a `kdprof: hot` function; \
+                             steady-state serving must be allocation-free — take scratch \
+                             from the worker arena, or annotate why this branch is cold"
+                        ),
+                    ));
+                    continue;
+                }
+                // `.to_vec()` / `.clone()` method calls.
+                if matches!(name, "to_vec" | "clone")
+                    && i > start
+                    && code[i - 1].kind == Tok::Punct('.')
+                    && code.get(i + 1).map(|t| &t.kind) == Some(&Tok::Punct('('))
+                {
+                    out.push(diag(
+                        ctx,
+                        t.line,
+                        self.name(),
+                        format!(
+                            "`.{name}()` allocates inside a `kdprof: hot` function; \
+                             steady-state serving must be allocation-free — borrow or \
+                             reuse arena scratch, or annotate why this branch is cold"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Engine
 // ---------------------------------------------------------------------
 
-/// The six contract rules, in reporting order.
+/// The seven contract rules, in reporting order.
 pub fn default_rules() -> Vec<Box<dyn Rule>> {
     vec![
         Box::new(NoWallclock),
@@ -627,6 +760,7 @@ pub fn default_rules() -> Vec<Box<dyn Rule>> {
         Box::new(UnsafeNeedsSafety),
         Box::new(RelaxedOrderingAudit),
         Box::new(UnboundedWait),
+        Box::new(NoHotAlloc),
     ]
 }
 

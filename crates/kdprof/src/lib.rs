@@ -1,0 +1,346 @@
+//! In-repo profiling: scoped phase spans + deterministic counters.
+//!
+//! The serving hot path is instrumented with two orthogonal primitives:
+//!
+//! * **Counters** ([`Counter`], [`incr`]) — monotonic event counts
+//!   (requests admitted, cache hits, arena growth, …). Always compiled,
+//!   always deterministic for a deterministic workload: a relaxed atomic
+//!   add is order-independent, so the totals are reproducible and tests
+//!   can pin them exactly.
+//! * **Spans** ([`span!`]) — scoped wall-clock timing aggregated per
+//!   [`Phase`] (`admit → coalesce → window → pack → score → complete`,
+//!   plus `route` and `train`). Spans exist only when the `timing`
+//!   feature is on; otherwise the macro expands to nothing and the hot
+//!   path carries **zero** profiling cost. Only the bench binary enables
+//!   the feature, to emit the `profile` record in `BENCH_micro.json`.
+//!
+//! # Determinism contract
+//!
+//! Wall-clock reads are confined to the single audited [`now_ns`] site
+//! below and only ever feed *reported timings* — no value or branch in
+//! the serving path depends on them. Counters never read the clock.
+//!
+//! # Span nesting
+//!
+//! Phase accumulators are **inclusive**: a `Pack` span opened inside an
+//! enclosing `Score` span contributes to both phases. The bench's
+//! `profile` record reports phases side by side, so read `pack` as "time
+//! inside score spent staging the input", not as a disjoint slice.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Serving/training phases, in hot-path order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Request admission (`ServeQueue::submit`).
+    Admit,
+    /// Coalescer group claim (queue lock + batch assembly).
+    Coalesce,
+    /// Window extraction + z-normalisation (cache miss path).
+    Window,
+    /// Staging the batch input tensor from window rows.
+    Pack,
+    /// The model forward (encoder + classifier). Includes `Pack`.
+    Score,
+    /// Ticket completion (splitting scores, waking producers).
+    Complete,
+    /// Sharded-router hop (placement, shard queue round-trip).
+    Route,
+    /// Training step (forward + backward + update).
+    Train,
+}
+
+impl Phase {
+    /// All phases, reporting order.
+    pub const ALL: [Phase; 8] = [
+        Phase::Admit,
+        Phase::Coalesce,
+        Phase::Window,
+        Phase::Pack,
+        Phase::Score,
+        Phase::Complete,
+        Phase::Route,
+        Phase::Train,
+    ];
+
+    /// Canonical lowercase name (the `profile` record's keys).
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Admit => "admit",
+            Phase::Coalesce => "coalesce",
+            Phase::Window => "window",
+            Phase::Pack => "pack",
+            Phase::Score => "score",
+            Phase::Complete => "complete",
+            Phase::Route => "route",
+            Phase::Train => "train",
+        }
+    }
+}
+
+/// Deterministic event counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Counter {
+    /// Requests admitted by `ServeQueue::submit`.
+    RequestsAdmitted,
+    /// Groups claimed by the coalescer.
+    GroupsCoalesced,
+    /// Series scored through `Selector` batch paths.
+    SeriesScored,
+    /// Window matrices built (cache misses + uncached extraction).
+    WindowsBuilt,
+    /// Window-cache hits.
+    CacheHits,
+    /// Window-cache misses.
+    CacheMisses,
+    /// Scratch-arena buffer growth events (allocations).
+    ArenaGrowth,
+    /// Scratch-arena buffer reuses (allocation avoided).
+    ArenaReuse,
+    /// Requests routed through the sharded tier.
+    RouteHops,
+    /// Training steps executed.
+    TrainSteps,
+}
+
+impl Counter {
+    /// All counters, reporting order.
+    pub const ALL: [Counter; 10] = [
+        Counter::RequestsAdmitted,
+        Counter::GroupsCoalesced,
+        Counter::SeriesScored,
+        Counter::WindowsBuilt,
+        Counter::CacheHits,
+        Counter::CacheMisses,
+        Counter::ArenaGrowth,
+        Counter::ArenaReuse,
+        Counter::RouteHops,
+        Counter::TrainSteps,
+    ];
+
+    /// Canonical snake_case name (the `profile` record's keys).
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::RequestsAdmitted => "requests_admitted",
+            Counter::GroupsCoalesced => "groups_coalesced",
+            Counter::SeriesScored => "series_scored",
+            Counter::WindowsBuilt => "windows_built",
+            Counter::CacheHits => "cache_hits",
+            Counter::CacheMisses => "cache_misses",
+            Counter::ArenaGrowth => "arena_growth",
+            Counter::ArenaReuse => "arena_reuse",
+            Counter::RouteHops => "route_hops",
+            Counter::TrainSteps => "train_steps",
+        }
+    }
+}
+
+const N_PHASES: usize = Phase::ALL.len();
+const N_COUNTERS: usize = Counter::ALL.len();
+
+static PHASE_NANOS: [AtomicU64; N_PHASES] = [const { AtomicU64::new(0) }; N_PHASES];
+static PHASE_CALLS: [AtomicU64; N_PHASES] = [const { AtomicU64::new(0) }; N_PHASES];
+static COUNTERS: [AtomicU64; N_COUNTERS] = [const { AtomicU64::new(0) }; N_COUNTERS];
+
+/// Adds `by` to a counter. Always compiled; a relaxed add is the whole
+/// cost, so instrumenting a hot loop is safe.
+#[inline]
+pub fn incr(c: Counter, by: u64) {
+    // kdlint: allow(relaxed): stat counter — nothing branches on it; totals are order-independent
+    COUNTERS[c as usize].fetch_add(by, Ordering::Relaxed);
+}
+
+/// Current value of a counter.
+#[inline]
+pub fn counter_value(c: Counter) -> u64 {
+    // kdlint: allow(relaxed): stat counter read — reported totals only, no happens-before needed
+    COUNTERS[c as usize].load(Ordering::Relaxed)
+}
+
+/// Accumulated statistics for one phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseStat {
+    /// Phase name (see [`Phase::name`]).
+    pub name: &'static str,
+    /// Number of spans recorded.
+    pub calls: u64,
+    /// Total inclusive nanoseconds across those spans.
+    pub nanos: u64,
+}
+
+/// Accumulated value for one counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterStat {
+    /// Counter name (see [`Counter::name`]).
+    pub name: &'static str,
+    /// Current total.
+    pub value: u64,
+}
+
+/// Whether span timing is compiled in (the `timing` cargo feature).
+#[inline]
+pub const fn timing_enabled() -> bool {
+    cfg!(feature = "timing")
+}
+
+/// Per-phase span statistics. All zeros when timing is compiled out.
+pub fn phase_stats() -> Vec<PhaseStat> {
+    Phase::ALL
+        .iter()
+        .map(|&p| PhaseStat {
+            name: p.name(),
+            // kdlint: allow(relaxed): stat counter reads — aggregate report only
+            calls: PHASE_CALLS[p as usize].load(Ordering::Relaxed),
+            // kdlint: allow(relaxed): stat counter reads — aggregate report only
+            nanos: PHASE_NANOS[p as usize].load(Ordering::Relaxed),
+        })
+        .collect()
+}
+
+/// Snapshot of every counter.
+pub fn counter_stats() -> Vec<CounterStat> {
+    Counter::ALL
+        .iter()
+        .map(|&c| CounterStat {
+            name: c.name(),
+            value: counter_value(c),
+        })
+        .collect()
+}
+
+/// Zeroes every phase accumulator and counter. Benchmarks call this
+/// between sections so each `profile` breakdown covers one workload.
+pub fn reset() {
+    for a in PHASE_NANOS.iter().chain(&PHASE_CALLS).chain(&COUNTERS) {
+        // kdlint: allow(relaxed): stat counter reset — callers quiesce the workload first
+        a.store(0, Ordering::Relaxed);
+    }
+}
+
+/// The single audited wall-clock site: monotonic nanoseconds since the
+/// first read. Feeds span accumulators only — reported timings, never
+/// results — so the determinism contract (`no-wallclock`) holds.
+#[cfg(feature = "timing")]
+fn now_ns() -> u64 {
+    // kdlint: allow(wallclock): the one audited profiling clock — spans only feed the bench profile record, never results or control flow
+    static ANCHOR: std::sync::OnceLock<std::time::Instant> = std::sync::OnceLock::new();
+    ANCHOR
+        // kdlint: allow(wallclock): anchor-relative monotonic read for
+        // span timing; affects reported latency only
+        .get_or_init(std::time::Instant::now)
+        .elapsed()
+        .as_nanos() as u64
+}
+
+/// RAII guard: records `now − enter` into its phase on drop. Construct
+/// through [`span!`], which compiles the whole thing out when the
+/// `timing` feature is off.
+#[cfg(feature = "timing")]
+pub struct SpanGuard {
+    phase: usize,
+    start: u64,
+}
+
+#[cfg(feature = "timing")]
+impl SpanGuard {
+    /// Opens a span on `phase`.
+    #[inline]
+    pub fn enter(phase: Phase) -> Self {
+        Self {
+            phase: phase as usize,
+            start: now_ns(),
+        }
+    }
+}
+
+#[cfg(feature = "timing")]
+impl Drop for SpanGuard {
+    #[inline]
+    fn drop(&mut self) {
+        let elapsed = now_ns().saturating_sub(self.start);
+        // kdlint: allow(relaxed): stat counter — span totals are reported aggregates only
+        PHASE_NANOS[self.phase].fetch_add(elapsed, Ordering::Relaxed);
+        // kdlint: allow(relaxed): stat counter — span totals are reported aggregates only
+        PHASE_CALLS[self.phase].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Opens a scoped span on a [`Phase`], recorded when the enclosing scope
+/// ends: `kdprof::span!(kdprof::Phase::Score);`. Expands to nothing
+/// (zero cost, argument not evaluated) unless the `timing` feature is on.
+#[cfg(feature = "timing")]
+#[macro_export]
+macro_rules! span {
+    ($phase:expr) => {
+        let _kdprof_span = $crate::SpanGuard::enter($phase);
+    };
+}
+
+/// Opens a scoped span on a [`Phase`], recorded when the enclosing scope
+/// ends: `kdprof::span!(kdprof::Phase::Score);`. Expands to nothing
+/// (zero cost, argument not evaluated) unless the `timing` feature is on.
+#[cfg(not(feature = "timing"))]
+#[macro_export]
+macro_rules! span {
+    ($phase:expr) => {};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The accumulators are process-global; serialise tests that reset
+    /// them so parallel test threads cannot interleave.
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let _g = LOCK.lock().unwrap();
+        reset();
+        incr(Counter::CacheHits, 3);
+        incr(Counter::CacheHits, 2);
+        incr(Counter::ArenaGrowth, 1);
+        assert_eq!(counter_value(Counter::CacheHits), 5);
+        assert_eq!(counter_value(Counter::ArenaGrowth), 1);
+        let stats = counter_stats();
+        assert_eq!(stats.len(), Counter::ALL.len());
+        assert!(stats.iter().any(|s| s.name == "cache_hits" && s.value == 5));
+        reset();
+        assert_eq!(counter_value(Counter::CacheHits), 0);
+    }
+
+    #[test]
+    fn phase_names_are_stable() {
+        let names: Vec<_> = Phase::ALL.iter().map(|p| p.name()).collect();
+        assert_eq!(
+            names,
+            ["admit", "coalesce", "window", "pack", "score", "complete", "route", "train"]
+        );
+    }
+
+    #[test]
+    #[cfg(feature = "timing")]
+    fn spans_record_calls() {
+        let _g = LOCK.lock().unwrap();
+        reset();
+        {
+            span!(Phase::Score);
+            std::hint::black_box(0u64);
+        }
+        let stats = phase_stats();
+        let score = stats.iter().find(|s| s.name == "score").unwrap();
+        assert_eq!(score.calls, 1);
+        reset();
+    }
+
+    #[test]
+    #[cfg(not(feature = "timing"))]
+    fn spans_compile_out() {
+        let _g = LOCK.lock().unwrap();
+        reset();
+        {
+            span!(Phase::Score);
+        }
+        assert!(phase_stats().iter().all(|s| s.calls == 0 && s.nanos == 0));
+    }
+}

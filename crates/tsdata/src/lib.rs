@@ -31,4 +31,4 @@ pub use benchmark::{Benchmark, BenchmarkConfig};
 pub use families::{all_families, test_family_names, DatasetFamily};
 pub use series::TimeSeries;
 pub use stream::StreamWindower;
-pub use windows::{extract_windows, Window, WindowConfig};
+pub use windows::{extract_window_values_into, extract_windows, Window, WindowConfig};

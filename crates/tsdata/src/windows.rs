@@ -100,6 +100,69 @@ pub fn extract_windows(ts: &TimeSeries, series_index: usize, cfg: &WindowConfig)
     out
 }
 
+/// Extracts window *values* into caller-provided buffers — the pooled
+/// twin of [`extract_windows`] for allocation-free serving hot paths.
+///
+/// `take_buf` supplies an empty (cleared) `Vec<f32>` per window —
+/// typically recycled from a scratch arena — and each filled buffer is
+/// pushed onto `out` in window order. The window boundaries, `f64 → f32`
+/// conversion, edge padding and z-normalisation replay
+/// [`extract_windows`] exactly, so the produced values are bitwise
+/// identical to `extract_windows(ts, _, cfg)`'s `values` fields: both
+/// paths map the same source slices through the same `as f32` casts and
+/// the same [`znorm`] call, and buffer provenance cannot affect
+/// arithmetic.
+pub fn extract_window_values_into(
+    ts: &TimeSeries,
+    cfg: &WindowConfig,
+    mut take_buf: impl FnMut() -> Vec<f32>,
+    out: &mut Vec<Vec<f32>>,
+) {
+    assert!(
+        cfg.length > 0 && cfg.stride > 0,
+        "length and stride must be positive"
+    );
+    let n = ts.len();
+    if n == 0 {
+        return;
+    }
+    let mut fill = |src: &[f64]| {
+        let mut values = take_buf();
+        debug_assert!(values.is_empty(), "take_buf must supply cleared buffers");
+        values.extend(src.iter().map(|&v| v as f32));
+        values
+    };
+    if n < cfg.length {
+        let mut values = fill(&ts.values);
+        values.resize(cfg.length, *values.last().expect("non-empty"));
+        if cfg.znormalize {
+            znorm(&mut values);
+        }
+        out.push(values);
+        return;
+    }
+    let mut start = 0;
+    let mut last_emitted = None;
+    while start + cfg.length <= n {
+        let mut values = fill(&ts.values[start..start + cfg.length]);
+        if cfg.znormalize {
+            znorm(&mut values);
+        }
+        out.push(values);
+        last_emitted = Some(start);
+        start += cfg.stride;
+    }
+    // Tail coverage, mirroring `extract_windows` (see the comment there).
+    let last_start = n - cfg.length;
+    if last_emitted != Some(last_start) {
+        let mut values = fill(&ts.values[last_start..]);
+        if cfg.znormalize {
+            znorm(&mut values);
+        }
+        out.push(values);
+    }
+}
+
 pub(crate) fn znorm(values: &mut [f32]) {
     let n = values.len() as f32;
     // Lane-striped reductions from the compute core; the mean/variance
@@ -291,5 +354,61 @@ mod tests {
     fn empty_series_yields_no_windows() {
         let ts = TimeSeries::new("t", "D", vec![], vec![]);
         assert!(extract_windows(&ts, 0, &WindowConfig::default()).is_empty());
+        let mut out = Vec::new();
+        extract_window_values_into(&ts, &WindowConfig::default(), Vec::new, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn values_into_matches_extract_windows_bitwise() {
+        // Sweep the structural cases: short (padded), exact multiple,
+        // stride-skipped tail, overlap — with and without z-norm, and with
+        // recycled dirty buffers in the pool.
+        let cfgs = [
+            WindowConfig {
+                length: 20,
+                stride: 20,
+                znormalize: false,
+            },
+            WindowConfig {
+                length: 40,
+                stride: 20,
+                znormalize: true,
+            },
+            WindowConfig::default(),
+        ];
+        for n in [0usize, 7, 40, 100, 105, 128] {
+            let ts = TimeSeries::new(
+                "t",
+                "D",
+                (0..n)
+                    .map(|i| (i as f64 * 0.37).sin() * 5.0 + 2.0)
+                    .collect(),
+                vec![],
+            );
+            for cfg in &cfgs {
+                let reference = extract_windows(&ts, 0, cfg);
+                // Pool primed with dirty buffers to prove recycling is inert.
+                let mut pool: Vec<Vec<f32>> = (0..3)
+                    .map(|_| {
+                        let mut b = vec![99.0f32; 64];
+                        b.clear();
+                        b
+                    })
+                    .collect();
+                let mut out = Vec::new();
+                extract_window_values_into(&ts, cfg, || pool.pop().unwrap_or_default(), &mut out);
+                assert_eq!(out.len(), reference.len(), "n={n} cfg={cfg:?}");
+                for (got, want) in out.iter().zip(&reference) {
+                    assert_eq!(got.len(), want.values.len());
+                    assert!(
+                        got.iter()
+                            .zip(&want.values)
+                            .all(|(a, b)| a.to_bits() == b.to_bits()),
+                        "pooled extraction diverged at n={n} cfg={cfg:?}"
+                    );
+                }
+            }
+        }
     }
 }

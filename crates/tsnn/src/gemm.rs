@@ -25,16 +25,39 @@
 //!   fallback with identical semantics stays compiled (`KD_NO_SIMD=1` or
 //!   [`crate::simd::set_simd_policy`]) — see the determinism note below.
 //!
-//! **Determinism.** Every `C[i][j]` is one scalar chain `Σ_p a·b` in fixed
-//! ascending-`p` order, computed by exactly one worker. Vectorisation runs
+//! * For large `k` the inner dimension is **cache-blocked** in steps of
+//!   [`KC`]: the packed `A` tile slice for one `k` block ([`KC`]·[`MR`]
+//!   floats ≈ 8 KiB) stays L1-resident while the tile sweeps every `B`
+//!   panel, instead of a full-`k` `A` tile (32 KiB at `k = 1024`) getting
+//!   evicted by each 64 KiB panel stream and re-fetched from L2 per panel.
+//!   Partial tiles round-trip through `C` between blocks — see the
+//!   determinism note for why that is bitwise inert.
+//!
+//! **Determinism.** Every `C[i][j]` is one scalar chain of fused
+//! multiply-adds `sum = fma(a, b, sum)` in fixed ascending-`p` order,
+//! computed by exactly one worker. The fusion is *explicit*
+//! (`f32::mul_add` / the lane types' `fma_to`), never left to compiler
+//! contraction: IEEE-754 `fusedMultiplyAdd` is correctly rounded, so the
+//! value is the same on every platform whether the target has hardware
+//! FMA or falls back to libm — unlike `-ffast-math`-style contraction,
+//! which is allowed to differ per compilation. (Single rounding per step
+//! also makes the products *more* accurate than the seed kernel's
+//! separate mul-then-add, and on FMA hardware halves the FP-port cost —
+//! which is what lets the dual-panel blocked kernel below actually run
+//! faster instead of hitting the same port wall.) Vectorisation runs
 //! *across* the `NR` output columns (each lane is one output element's
-//! chain), never across `k`, and lane arithmetic is plain IEEE-754 with no
-//! FMA contraction — so the lane kernel, the scalar fallback, the previous
-//! 4-row blocked kernel ([`gemm_blocked_ref`]) and the naive seed kernel
-//! ([`gemm_naive`]) all agree **bitwise**. Parallelism splits row tiles
-//! (fixed [`MR`]-aligned boundaries, independent of the worker count), so
-//! results are also bit-identical at any thread count — the property
-//! `tests/parallel_determinism.rs` pins.
+//! chain), never across `k` — so the lane kernel, the scalar fallback,
+//! the previous 4-row blocked kernel ([`gemm_blocked_ref`]) and the naive
+//! seed kernel ([`gemm_naive`]) all agree **bitwise**. `k` blocking does not perturb
+//! the chains either: the micro-kernel seeds its accumulators from the
+//! partial sums stored in `C` by the previous block, and an `f32`
+//! register → memory → register round trip is bit-preserving (including
+//! NaN payloads and signed zeros), so "accumulate [`KC`] steps, store,
+//! reload, continue" is the *same* ascending-`p` chain as one uninterrupted
+//! pass — `k_blocked_matches_unblocked_bitwise` pins this at every block
+//! size. Parallelism splits row tiles (fixed [`MR`]-aligned boundaries,
+//! independent of the worker count), so results are also bit-identical at
+//! any thread count — the property `tests/parallel_determinism.rs` pins.
 //!
 //! `KD_BLOCK` overrides the number of row tiles per parallel task (the
 //! split granularity, which never affects values); `KD_THREADS` caps the
@@ -60,6 +83,26 @@ pub const REF_NR: usize = 8;
 
 /// Work below this many fused multiply-adds is not worth packing.
 const PACK_FLOP_THRESHOLD: usize = 4096;
+
+/// Inner-dimension block size. One packed `A` block is `KC · MR` floats
+/// (8 KiB) — small enough to stay L1-resident across a full panel sweep —
+/// and one packed `B` panel block is `KC · NR` floats (16 KiB), one
+/// hardware-prefetch-friendly stream per micro-kernel call. `k ≤ KC`
+/// degenerates to a single block, i.e. exactly the pre-blocking kernel.
+pub const KC: usize = 256;
+
+/// Whether the k-blocked path may fuse two adjacent `B` panels into one
+/// micro-kernel call (an `MR × 2NR` register tile), so every packed-`A`
+/// broadcast feeds 32 output columns instead of 16 — at large `k` the
+/// kernel is issue-bound on the broadcast + loop streams, and halving
+/// them per MAC is where the blocked path's speedup comes from. The dual
+/// tile needs 16 lane accumulators plus two `B` vectors live at once:
+/// comfortable in AVX-512's 32-register file, guaranteed spills on
+/// 16-register files (AVX2, NEON) where each [`F32x16`] already occupies
+/// two native vectors — so the fusion is compiled in only for AVX-512
+/// targets. Values are unaffected either way: the tile shape never
+/// changes any output element's summation chain.
+const PAIR_PANELS: bool = cfg!(target_feature = "avx512f");
 
 /// How one operand matrix is laid out relative to the product.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -88,11 +131,53 @@ pub fn gemm(
         gemm_naive(n, m, k, a, a_layout, b, b_layout, c);
         return;
     }
-    gemm_blocked(n, m, k, a, a_layout, &pack_b::<NR>(m, k, b, b_layout), c);
+    gemm_blocked(
+        n,
+        m,
+        k,
+        a,
+        a_layout,
+        &pack_b::<NR>(m, k, b, b_layout),
+        KC,
+        c,
+    );
+}
+
+/// [`gemm`] with an explicit inner-dimension block size `kc` instead of
+/// the tuned [`KC`]. `kc ≥ k` disables blocking entirely (one pass, the
+/// pre-blocking kernel); any `kc ≥ 1` produces bitwise-identical results
+/// (see the module determinism note). Exists so benchmarks and tests can
+/// compare blocked against unblocked on the same inputs — production
+/// callers want [`gemm`].
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_with_kc(
+    n: usize,
+    m: usize,
+    k: usize,
+    a: &[f32],
+    a_layout: Layout,
+    b: &[f32],
+    b_layout: Layout,
+    kc: usize,
+    c: &mut [f32],
+) {
+    debug_assert_eq!(c.len(), n * m);
+    gemm_blocked(
+        n,
+        m,
+        k,
+        a,
+        a_layout,
+        &pack_b::<NR>(m, k, b, b_layout),
+        kc,
+        c,
+    );
 }
 
 /// The blocked compute shared by [`gemm`] and [`gemm_prepacked`]: row-tile
 /// loop over pre-packed B panels, serial below the parallel work gate.
+/// `kc` is the inner-dimension block size (see [`KC`]).
+#[allow(clippy::too_many_arguments)]
 fn gemm_blocked(
     n: usize,
     m: usize,
@@ -100,18 +185,22 @@ fn gemm_blocked(
     a: &[f32],
     a_layout: Layout,
     panels: &[f32],
+    kc: usize,
     c: &mut [f32],
 ) {
     let flops = n * m * k;
     let n_tiles = n.div_ceil(MR);
     let tiles_per_task = block_rows().max(1);
+    let kc = kc.max(1);
+    // The packed-A scratch only ever holds one k block.
+    let pa_len = kc.min(k) * MR;
 
     // Work below the execution backend's gate (`tspar::min_par_work`,
     // shared with the layer-level gates) is not worth a parallel region.
     if flops < tspar::min_par_work() || tspar::threads() <= 1 {
-        let mut packed_a = vec![0.0f32; k * MR];
+        let mut packed_a = vec![0.0f32; pa_len];
         for tile in 0..n_tiles {
-            gemm_row_tile(tile, n, m, k, a, a_layout, panels, &mut packed_a, c);
+            gemm_row_tile_into(tile, 0, n, m, k, kc, a, a_layout, panels, &mut packed_a, c);
         }
         return;
     }
@@ -123,7 +212,7 @@ fn gemm_blocked(
     let rows_per_task = tiles_per_task * MR;
     tspar::par_chunks_mut(c, rows_per_task * m, |task, c_chunk| {
         let tile0 = task * tiles_per_task;
-        let mut packed_a = vec![0.0f32; k * MR];
+        let mut packed_a = vec![0.0f32; pa_len];
         let rows_here = c_chunk.len() / m;
         let tiles_here = rows_here.div_ceil(MR);
         for t in 0..tiles_here {
@@ -135,6 +224,7 @@ fn gemm_blocked(
                 n,
                 m,
                 k,
+                kc,
                 a,
                 a_layout,
                 panels,
@@ -188,7 +278,22 @@ impl PackedB {
 /// and is fully overwritten. Bit-identical to [`gemm`] at every shape.
 pub fn gemm_prepacked(n: usize, a: &[f32], a_layout: Layout, b: &PackedB, c: &mut [f32]) {
     debug_assert_eq!(c.len(), n * b.m);
-    gemm_blocked(n, b.m, b.k, a, a_layout, &b.panels, c);
+    gemm_blocked(n, b.m, b.k, a, a_layout, &b.panels, KC, c);
+}
+
+/// [`gemm_prepacked`] with an explicit inner-dimension block size — the
+/// prepacked twin of [`gemm_with_kc`], isolating the blocked-vs-unblocked
+/// comparison from packing cost. Bitwise identical at every `kc ≥ 1`.
+pub fn gemm_prepacked_with_kc(
+    n: usize,
+    a: &[f32],
+    a_layout: Layout,
+    b: &PackedB,
+    kc: usize,
+    c: &mut [f32],
+) {
+    debug_assert_eq!(c.len(), n * b.m);
+    gemm_blocked(n, b.m, b.k, a, a_layout, &b.panels, kc, c);
 }
 
 /// Row tiles per parallel task (`KD_BLOCK`, default 8 → 64 rows/task).
@@ -248,21 +353,43 @@ fn pack_a_tile<const TH: usize>(
     layout: Layout,
     packed: &mut [f32],
 ) {
+    pack_a_tile_range::<TH>(tile, n, k, 0, k, a, layout, packed);
+}
+
+/// Packs the `p ∈ [p0, p0 + pc)` slice of row tile `tile` (height `TH`)
+/// of `A'` (`n×k` after layout): `packed[p*TH + ii] = A'[tile*TH + ii]
+/// [p0 + p]`, zero-padded below row `n`. The k-blocked tile loop packs
+/// one [`KC`]-step block at a time so the scratch stays L1-sized.
+#[allow(clippy::too_many_arguments)]
+fn pack_a_tile_range<const TH: usize>(
+    tile: usize,
+    n: usize,
+    k: usize,
+    p0: usize,
+    pc: usize,
+    a: &[f32],
+    layout: Layout,
+    packed: &mut [f32],
+) {
     let i0 = tile * TH;
     let rows = TH.min(n - i0);
     match layout {
         Layout::Normal => {
             // A'[i][p] = a[i * k + p].
-            for p in 0..k {
+            for p in 0..pc {
                 for ii in 0..TH {
-                    packed[p * TH + ii] = if ii < rows { a[(i0 + ii) * k + p] } else { 0.0 };
+                    packed[p * TH + ii] = if ii < rows {
+                        a[(i0 + ii) * k + p0 + p]
+                    } else {
+                        0.0
+                    };
                 }
             }
         }
         Layout::Transposed => {
             // A'[i][p] = a[p * n + i]; each p is a contiguous source row.
-            for p in 0..k {
-                let src = &a[p * n + i0..p * n + i0 + rows];
+            for p in 0..pc {
+                let src = &a[(p0 + p) * n + i0..(p0 + p) * n + i0 + rows];
                 let dst = &mut packed[p * TH..p * TH + TH];
                 dst[..rows].copy_from_slice(src);
                 for v in &mut dst[rows..] {
@@ -273,24 +400,14 @@ fn pack_a_tile<const TH: usize>(
     }
 }
 
-/// Computes one MR-row tile of C (C rows indexed from 0).
-#[allow(clippy::too_many_arguments)]
-fn gemm_row_tile(
-    tile: usize,
-    n: usize,
-    m: usize,
-    k: usize,
-    a: &[f32],
-    a_layout: Layout,
-    packed_b: &[f32],
-    packed_a: &mut [f32],
-    c: &mut [f32],
-) {
-    gemm_row_tile_into(tile, 0, n, m, k, a, a_layout, packed_b, packed_a, c);
-}
-
 /// Computes row tile `tile`, writing into `c_chunk` whose first row is
-/// global row `row_base`.
+/// global row `row_base`, accumulating over `kc`-step blocks of the inner
+/// dimension. The first block writes the tile; later blocks seed the
+/// micro-kernel accumulators from the partial sums already in `C` — an
+/// exact round trip, so the result is bitwise one uninterrupted
+/// ascending-`p` chain (module determinism note). `packed_a` must hold
+/// `kc.min(k) * MR` floats.
+// kdprof: hot
 #[allow(clippy::too_many_arguments)]
 fn gemm_row_tile_into(
     tile: usize,
@@ -298,6 +415,7 @@ fn gemm_row_tile_into(
     n: usize,
     m: usize,
     k: usize,
+    kc: usize,
     a: &[f32],
     a_layout: Layout,
     packed_b: &[f32],
@@ -309,65 +427,143 @@ fn gemm_row_tile_into(
         return;
     }
     let rows = MR.min(n - i0);
-    pack_a_tile::<MR>(tile, n, k, a, a_layout, packed_a);
+    let row0 = i0 - row_base;
     // One dispatch decision per row tile; the micro-kernels themselves
     // never consult the flag inside the k loop.
     let lanes = simd::simd_enabled();
-    for (panel, j0) in (0..m).step_by(NR).enumerate() {
-        let width = NR.min(m - j0);
-        let bp = &packed_b[panel * (k * NR)..(panel + 1) * (k * NR)];
-        let acc = if lanes {
-            micro_kernel_lanes(k, packed_a, bp)
-        } else {
-            micro_kernel_scalar(k, packed_a, bp)
-        };
-        // Store the active part of the register tile.
-        for (ii, acc_row) in acc.iter().enumerate().take(rows) {
-            let row = i0 - row_base + ii;
-            let dst = &mut c_chunk[row * m + j0..row * m + j0 + width];
-            dst.copy_from_slice(&acc_row[..width]);
+    // Panel fusion rides with k blocking: both target the same
+    // large-inner-dimension regime, and keeping `kc ≥ k` (the "unblocked"
+    // setting) on the exact single-panel code path gives benchmarks a
+    // faithful pre-blocking baseline.
+    let pair = PAIR_PANELS && lanes && k > kc;
+    let n_panels = m.div_ceil(NR);
+    let mut p0 = 0;
+    loop {
+        let pc = kc.min(k - p0);
+        pack_a_tile_range::<MR>(tile, n, k, p0, pc, a, a_layout, packed_a);
+        let ap = &packed_a[..pc * MR];
+        let first = p0 == 0;
+        let mut panel = 0;
+        while panel < n_panels {
+            let j0 = panel * NR;
+            let base = panel * (k * NR);
+            // Fuse two full-width panels when possible (see
+            // [`PAIR_PANELS`]); ragged tail panels take the single path.
+            if pair && j0 + 2 * NR <= m {
+                let bp0 = &packed_b[base + p0 * NR..base + (p0 + pc) * NR];
+                let base1 = base + k * NR;
+                let bp1 = &packed_b[base1 + p0 * NR..base1 + (p0 + pc) * NR];
+                let init0 = load_tile(c_chunk, row0, m, j0, NR, rows, first);
+                let init1 = load_tile(c_chunk, row0, m, j0 + NR, NR, rows, first);
+                let (acc0, acc1) = micro_kernel_lanes_x2(pc, ap, bp0, bp1, &init0, &init1);
+                store_tile(&acc0, c_chunk, row0, m, j0, NR, rows);
+                store_tile(&acc1, c_chunk, row0, m, j0 + NR, NR, rows);
+                panel += 2;
+                continue;
+            }
+            let width = NR.min(m - j0);
+            let bp = &packed_b[base + p0 * NR..base + (p0 + pc) * NR];
+            let init = load_tile(c_chunk, row0, m, j0, width, rows, first);
+            let acc = if lanes {
+                micro_kernel_lanes(pc, ap, bp, &init)
+            } else {
+                micro_kernel_scalar(pc, ap, bp, &init)
+            };
+            store_tile(&acc, c_chunk, row0, m, j0, width, rows);
+            panel += 1;
         }
+        p0 += pc;
+        if p0 >= k {
+            return;
+        }
+    }
+}
+
+/// The accumulator seed for one register tile: zeros for the first `k`
+/// block (and always in the zero-padded edge lanes, whose values are
+/// never stored back), the partial sums already in `C` otherwise.
+fn load_tile(
+    c_chunk: &[f32],
+    row0: usize,
+    m: usize,
+    j0: usize,
+    width: usize,
+    rows: usize,
+    first: bool,
+) -> [[f32; NR]; MR] {
+    let mut init = [[0.0f32; NR]; MR];
+    if !first {
+        for (ii, row) in init.iter_mut().enumerate().take(rows) {
+            let src = &c_chunk[(row0 + ii) * m + j0..(row0 + ii) * m + j0 + width];
+            row[..width].copy_from_slice(src);
+        }
+    }
+    init
+}
+
+/// Stores the active `rows × width` part of a register tile into `C`.
+fn store_tile(
+    acc: &[[f32; NR]; MR],
+    c_chunk: &mut [f32],
+    row0: usize,
+    m: usize,
+    j0: usize,
+    width: usize,
+    rows: usize,
+) {
+    for (ii, acc_row) in acc.iter().enumerate().take(rows) {
+        let dst = &mut c_chunk[(row0 + ii) * m + j0..(row0 + ii) * m + j0 + width];
+        dst.copy_from_slice(&acc_row[..width]);
     }
 }
 
 /// The MR×NR lane-tile dot kernel: each accumulator row is one [`F32x16`]
 /// whose lanes are the `NR` output columns, held in registers for the
-/// whole `k` loop. Each `k` step broadcasts one packed-`A` value against
-/// the packed-`B` row — per output element the sum runs in ascending-`p`
+/// whole `kc` loop. Each step broadcasts one packed-`A` value against the
+/// packed-`B` row — per output element the sum runs in ascending-`p`
 /// order, identical to the naive reference, so lane, scalar, reference
-/// and naive kernels agree to the last bit.
+/// and naive kernels agree to the last bit. The accumulators are seeded
+/// from `init` (all zeros for the first — or only — `k` block; the
+/// previous block's partial sums otherwise); loading zeros is bitwise
+/// [`F32x16::zero`], so the unblocked case is unchanged.
 ///
 /// The eight rows are individually named locals on purpose: an
 /// accumulator *array* this size defeats LLVM's scalar replacement and
 /// spills the whole tile to the stack every `k` step (measured ~5× slower
 /// than this shape).
+// kdprof: hot
 #[inline(always)]
-fn micro_kernel_lanes(k: usize, ap: &[f32], bp: &[f32]) -> [[f32; NR]; MR] {
-    debug_assert!(ap.len() >= k * MR && bp.len() >= k * NR);
+fn micro_kernel_lanes(
+    kc: usize,
+    ap: &[f32],
+    bp: &[f32],
+    init: &[[f32; NR]; MR],
+) -> [[f32; NR]; MR] {
+    debug_assert!(ap.len() >= kc * MR && bp.len() >= kc * NR);
     let (mut c0, mut c1, mut c2, mut c3) = (
-        F32x16::zero(),
-        F32x16::zero(),
-        F32x16::zero(),
-        F32x16::zero(),
+        F32x16::load(&init[0]),
+        F32x16::load(&init[1]),
+        F32x16::load(&init[2]),
+        F32x16::load(&init[3]),
     );
     let (mut c4, mut c5, mut c6, mut c7) = (
-        F32x16::zero(),
-        F32x16::zero(),
-        F32x16::zero(),
-        F32x16::zero(),
+        F32x16::load(&init[4]),
+        F32x16::load(&init[5]),
+        F32x16::load(&init[6]),
+        F32x16::load(&init[7]),
     );
     // Fixed-size chunks give LLVM compile-time lengths: no bounds checks
     // inside the k loop.
-    for (a, b) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)).take(k) {
+    for (a, b) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)).take(kc) {
         let bv = F32x16::load(b);
-        c0 = c0.mul_add_to(a[0], bv);
-        c1 = c1.mul_add_to(a[1], bv);
-        c2 = c2.mul_add_to(a[2], bv);
-        c3 = c3.mul_add_to(a[3], bv);
-        c4 = c4.mul_add_to(a[4], bv);
-        c5 = c5.mul_add_to(a[5], bv);
-        c6 = c6.mul_add_to(a[6], bv);
-        c7 = c7.mul_add_to(a[7], bv);
+        c0 = c0.fma_to(a[0], bv);
+        c1 = c1.fma_to(a[1], bv);
+        c2 = c2.fma_to(a[2], bv);
+        c3 = c3.fma_to(a[3], bv);
+        c4 = c4.fma_to(a[4], bv);
+        c5 = c5.fma_to(a[5], bv);
+        c6 = c6.fma_to(a[6], bv);
+        c7 = c7.fma_to(a[7], bv);
     }
     [
         c0.to_array(),
@@ -381,20 +577,133 @@ fn micro_kernel_lanes(k: usize, ap: &[f32], bp: &[f32]) -> [[f32; NR]; MR] {
     ]
 }
 
+/// Two [`micro_kernel_lanes`] tiles over the same packed-`A` stream: an
+/// `MR × 2NR` register tile spanning two adjacent full-width `B` panels.
+/// Each broadcast `a[i]` feeds both panels' lanes, halving the broadcast
+/// and loop-overhead cost per MAC — the large-`k` win the blocked path
+/// banks on (see [`PAIR_PANELS`] for why this is AVX-512-only). Per
+/// output element the chain is exactly the single-panel kernel's
+/// ascending-`p` chain, so fused and unfused panel sweeps are bitwise
+/// identical.
+// kdprof: hot
+#[inline(always)]
+fn micro_kernel_lanes_x2(
+    kc: usize,
+    ap: &[f32],
+    bp0: &[f32],
+    bp1: &[f32],
+    init0: &[[f32; NR]; MR],
+    init1: &[[f32; NR]; MR],
+) -> ([[f32; NR]; MR], [[f32; NR]; MR]) {
+    debug_assert!(ap.len() >= kc * MR && bp0.len() >= kc * NR && bp1.len() >= kc * NR);
+    let (mut c0, mut c1, mut c2, mut c3) = (
+        F32x16::load(&init0[0]),
+        F32x16::load(&init0[1]),
+        F32x16::load(&init0[2]),
+        F32x16::load(&init0[3]),
+    );
+    let (mut c4, mut c5, mut c6, mut c7) = (
+        F32x16::load(&init0[4]),
+        F32x16::load(&init0[5]),
+        F32x16::load(&init0[6]),
+        F32x16::load(&init0[7]),
+    );
+    let (mut d0, mut d1, mut d2, mut d3) = (
+        F32x16::load(&init1[0]),
+        F32x16::load(&init1[1]),
+        F32x16::load(&init1[2]),
+        F32x16::load(&init1[3]),
+    );
+    let (mut d4, mut d5, mut d6, mut d7) = (
+        F32x16::load(&init1[4]),
+        F32x16::load(&init1[5]),
+        F32x16::load(&init1[6]),
+        F32x16::load(&init1[7]),
+    );
+    for ((a, b0), b1) in ap
+        .chunks_exact(MR)
+        .zip(bp0.chunks_exact(NR))
+        .zip(bp1.chunks_exact(NR))
+        .take(kc)
+    {
+        let bv0 = F32x16::load(b0);
+        let bv1 = F32x16::load(b1);
+        // The splat is hoisted into a named register on purpose: written
+        // as two `fma_to` calls, LLVM folds a *separate* broadcast load
+        // into each multiply, and the kernel stays load-port bound at the
+        // single-panel rate. One explicit splat with two register uses
+        // halves the broadcast traffic — the point of the fusion.
+        // `fma_vv(splat(s), x)` is bitwise `fma_to(s, x)`, so values are
+        // unchanged.
+        let av = F32x16::splat(a[0]);
+        c0 = c0.fma_vv(av, bv0);
+        d0 = d0.fma_vv(av, bv1);
+        let av = F32x16::splat(a[1]);
+        c1 = c1.fma_vv(av, bv0);
+        d1 = d1.fma_vv(av, bv1);
+        let av = F32x16::splat(a[2]);
+        c2 = c2.fma_vv(av, bv0);
+        d2 = d2.fma_vv(av, bv1);
+        let av = F32x16::splat(a[3]);
+        c3 = c3.fma_vv(av, bv0);
+        d3 = d3.fma_vv(av, bv1);
+        let av = F32x16::splat(a[4]);
+        c4 = c4.fma_vv(av, bv0);
+        d4 = d4.fma_vv(av, bv1);
+        let av = F32x16::splat(a[5]);
+        c5 = c5.fma_vv(av, bv0);
+        d5 = d5.fma_vv(av, bv1);
+        let av = F32x16::splat(a[6]);
+        c6 = c6.fma_vv(av, bv0);
+        d6 = d6.fma_vv(av, bv1);
+        let av = F32x16::splat(a[7]);
+        c7 = c7.fma_vv(av, bv0);
+        d7 = d7.fma_vv(av, bv1);
+    }
+    (
+        [
+            c0.to_array(),
+            c1.to_array(),
+            c2.to_array(),
+            c3.to_array(),
+            c4.to_array(),
+            c5.to_array(),
+            c6.to_array(),
+            c7.to_array(),
+        ],
+        [
+            d0.to_array(),
+            d1.to_array(),
+            d2.to_array(),
+            d3.to_array(),
+            d4.to_array(),
+            d5.to_array(),
+            d6.to_array(),
+            d7.to_array(),
+        ],
+    )
+}
+
 /// The scalar fallback of [`micro_kernel_lanes`]: the same MR×NR
 /// accumulator walked with plain scalar loops in the same order — bitwise
 /// identical by construction, kept compiled and exercised by the
 /// `KD_NO_SIMD=1` CI leg.
+// kdprof: hot
 #[inline(always)]
-fn micro_kernel_scalar(k: usize, ap: &[f32], bp: &[f32]) -> [[f32; NR]; MR] {
-    debug_assert!(ap.len() >= k * MR && bp.len() >= k * NR);
-    let mut acc = [[0.0f32; NR]; MR];
-    for (a, b) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)).take(k) {
+fn micro_kernel_scalar(
+    kc: usize,
+    ap: &[f32],
+    bp: &[f32],
+    init: &[[f32; NR]; MR],
+) -> [[f32; NR]; MR] {
+    debug_assert!(ap.len() >= kc * MR && bp.len() >= kc * NR);
+    let mut acc = *init;
+    for (a, b) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)).take(kc) {
         let a: &[f32; MR] = a.try_into().unwrap();
         let b: &[f32; NR] = b.try_into().unwrap();
         for (row, &av) in acc.iter_mut().zip(a) {
             for (acc_v, &bv) in row.iter_mut().zip(b) {
-                *acc_v += av * bv;
+                *acc_v = av.mul_add(bv, *acc_v);
             }
         }
     }
@@ -446,7 +755,7 @@ fn micro_kernel_ref(k: usize, ap: &[f32], bp: &[f32]) -> [[f32; REF_NR]; REF_MR]
         let b: &[f32; REF_NR] = b.try_into().unwrap();
         for (row, &av) in acc.iter_mut().zip(a) {
             for (acc_v, &bv) in row.iter_mut().zip(b) {
-                *acc_v += av * bv;
+                *acc_v = av.mul_add(bv, *acc_v);
             }
         }
     }
@@ -480,7 +789,7 @@ pub fn gemm_naive(
         for (j, o) in out_row.iter_mut().enumerate() {
             let mut sum = 0.0f32;
             for p in 0..k {
-                sum += a_at(i, p) * b_at(p, j);
+                sum = a_at(i, p).mul_add(b_at(p, j), sum);
             }
             *o = sum;
         }
@@ -585,7 +894,7 @@ mod tests {
                         let mut blocked_ref = vec![f32::NAN; n * m];
                         gemm_blocked_ref(n, m, k, &a, la, &b, lb, &mut blocked_ref);
                         let mut lane = vec![f32::NAN; n * m];
-                        gemm_blocked(n, m, k, &a, la, &pack_b::<NR>(m, k, &b, lb), &mut lane);
+                        gemm_blocked(n, m, k, &a, la, &pack_b::<NR>(m, k, &b, lb), KC, &mut lane);
                         let ctx =
                             format!("({n},{m},{k}) {la:?}/{lb:?} threads={threads} {policy:?}");
                         assert_eq!(naive, blocked_ref, "naive vs ref {ctx}");
@@ -604,14 +913,87 @@ mod tests {
     #[test]
     fn lane_and_scalar_micro_kernels_bitwise_equal() {
         let mut rng = StdRng::seed_from_u64(77);
+        let zero = [[0.0f32; NR]; MR];
         for &k in &[0usize, 1, 7, 32, 129] {
             let ap = random_matrix(&mut rng, k * MR);
             let bp = random_matrix(&mut rng, k * NR);
             assert_eq!(
-                micro_kernel_lanes(k, &ap, &bp),
-                micro_kernel_scalar(k, &ap, &bp),
-                "k={k}"
+                micro_kernel_lanes(k, &ap, &bp, &zero),
+                micro_kernel_scalar(k, &ap, &bp, &zero),
+                "k={k} zero seed"
             );
+            // Non-trivial accumulator seeds (the k-blocked continuation
+            // path) must agree too.
+            let mut init = [[0.0f32; NR]; MR];
+            for row in &mut init {
+                for v in row.iter_mut() {
+                    *v = rng.random_range(-2.0f32..2.0);
+                }
+            }
+            assert_eq!(
+                micro_kernel_lanes(k, &ap, &bp, &init),
+                micro_kernel_scalar(k, &ap, &bp, &init),
+                "k={k} seeded"
+            );
+        }
+    }
+
+    /// k-blocked ≡ unblocked, bitwise, at every block size — including
+    /// `kc = 1` (one store/reload round trip per `p` step, the worst
+    /// case for the "memory round trips are exact" argument), ragged
+    /// shapes, every layout pair, and both simd policies. This is the
+    /// pin the module-level determinism note points at.
+    #[test]
+    fn k_blocked_matches_unblocked_bitwise() {
+        let shapes = [
+            (5, 9, 40),    // ragged everything
+            (13, 21, 70),  // ragged rows and columns
+            (16, 16, 300), // aligned, k > KC at kc = 256
+            (8, 16, 513),  // one step past a kc = 256 boundary
+        ];
+        for &policy in &[SimdPolicy::Lanes, SimdPolicy::Scalar] {
+            set_simd_policy(policy);
+            for &(n, m, k) in &shapes {
+                let mut rng = StdRng::seed_from_u64((n * 7919 + m * 131 + k) as u64);
+                for (la, lb) in [
+                    (Layout::Normal, Layout::Normal),
+                    (Layout::Transposed, Layout::Normal),
+                    (Layout::Normal, Layout::Transposed),
+                ] {
+                    let a = random_matrix(&mut rng, n * k);
+                    let b = random_matrix(&mut rng, k * m);
+                    let mut unblocked = vec![f32::NAN; n * m];
+                    gemm_with_kc(n, m, k, &a, la, &b, lb, usize::MAX, &mut unblocked);
+                    let mut naive = vec![f32::NAN; n * m];
+                    gemm_naive(n, m, k, &a, la, &b, lb, &mut naive);
+                    assert_eq!(naive, unblocked, "({n},{m},{k}) {la:?}/{lb:?} {policy:?}");
+                    for &kc in &[1usize, 3, 64, 256] {
+                        let mut blocked = vec![f32::NAN; n * m];
+                        gemm_with_kc(n, m, k, &a, la, &b, lb, kc, &mut blocked);
+                        assert_eq!(
+                            unblocked, blocked,
+                            "({n},{m},{k}) {la:?}/{lb:?} kc={kc} {policy:?}"
+                        );
+                    }
+                }
+            }
+        }
+        set_simd_policy(SimdPolicy::Auto);
+    }
+
+    #[test]
+    fn prepacked_with_kc_matches_gemm() {
+        let (n, m, k) = (24, 40, 600);
+        let mut rng = StdRng::seed_from_u64(42);
+        let a = random_matrix(&mut rng, n * k);
+        let b = random_matrix(&mut rng, k * m);
+        let mut direct = vec![0.0f32; n * m];
+        gemm(n, m, k, &a, Layout::Normal, &b, Layout::Normal, &mut direct);
+        let packed = PackedB::pack(m, k, &b, Layout::Normal);
+        for &kc in &[7usize, KC, usize::MAX] {
+            let mut pre = vec![f32::NAN; n * m];
+            gemm_prepacked_with_kc(n, &a, Layout::Normal, &packed, kc, &mut pre);
+            assert_eq!(direct, pre, "kc={kc}");
         }
     }
 

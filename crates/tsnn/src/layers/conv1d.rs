@@ -78,29 +78,40 @@ impl Layer for Conv1d {
         let x_data = x.data();
         let in_stride = c_in * l;
         let work = n * c_out * c_in * kernel * l;
+        // Hoisted out of the tap loops: the old tap-major axpy formulation
+        // paid this (SeqCst) policy load, a length assert and a splat per
+        // (co, ci, k) tap — ~1.5k times per 64-sample window through the
+        // ConvNet encoder. The policy is stable within one infer call.
+        let use_lanes = simd::simd_enabled();
+        // Dense non-zero tap lists, one per output channel, shared by every
+        // batch element: the `w == 0.0` skip and the weight bounds checks
+        // move here, so the per-block accumulate loop in `conv_row` is
+        // branch-free straight-line code LLVM keeps in lane registers.
+        // Taps are pushed in ascending (ci, k) order — the canonical
+        // accumulation chain.
+        let taps: Vec<Vec<Tap>> = (0..c_out)
+            .map(|co| {
+                let mut v = Vec::with_capacity(c_in * kernel);
+                for ci in 0..c_in {
+                    for k in 0..kernel {
+                        let wv = w[(co * c_in + ci) * kernel + k];
+                        if wv != 0.0 {
+                            v.push(Tap {
+                                base: ci * l + k,
+                                k,
+                                wv,
+                            });
+                        }
+                    }
+                }
+                v
+            })
+            .collect();
         tspar::par_chunks_mut_gated(y.data_mut(), c_out * l, work, |ni, yb| {
             let xb = &x_data[ni * in_stride..(ni + 1) * in_stride];
             for co in 0..c_out {
                 let y_row = &mut yb[co * l..(co + 1) * l];
-                let bias = b[co];
-                for v in y_row.iter_mut() {
-                    *v = bias;
-                }
-                for ci in 0..c_in {
-                    let x_row = &xb[ci * l..(ci + 1) * l];
-                    let w_base = (co * c_in + ci) * kernel;
-                    for k in 0..kernel {
-                        let wv = w[w_base + k];
-                        if wv == 0.0 {
-                            continue;
-                        }
-                        // y[t] += w * x[t + k - pad] over valid t.
-                        let (t0, t1) = valid_range(l, k, pad);
-                        let off = k as isize - pad as isize;
-                        let xs = &x_row[(t0 as isize + off) as usize..(t1 as isize + off) as usize];
-                        simd::axpy(&mut y_row[t0..t1], wv, xs);
-                    }
-                }
+                conv_row(y_row, xb, &taps[co], b[co], pad, l, use_lanes);
             }
         });
         y
@@ -179,6 +190,98 @@ impl Layer for Conv1d {
     fn params(&self) -> Vec<&Param> {
         vec![&self.weight, &self.bias]
     }
+}
+
+/// One non-zero convolution tap: weight plus its flat input offset
+/// (`base = ci·l + k`, so a lane block at `tb` reads
+/// `xb[base + tb − pad ..]`).
+#[derive(Clone, Copy)]
+struct Tap {
+    base: usize,
+    k: usize,
+    wv: f32,
+}
+
+/// One output row `y[t] = bias + Σ_{taps} w·x[t+k−pad]`, accumulated in
+/// registers: each lane block (or scalar element) folds **all** taps into
+/// one accumulator and stores once, instead of the old tap-major
+/// formulation that re-read and re-wrote the output row once per tap
+/// (`c_in · kernel` passes of y-row memory traffic plus per-tap axpy call
+/// overhead).
+///
+/// # Determinism
+///
+/// Per output element the arithmetic chain is *identical* to the old
+/// code: start from the bias, then add `w · x` for each `(ci, k)` tap in
+/// ascending `(ci, k)` order (the tap-list build order), skipping
+/// `w == 0.0` taps and out-of-range reads. Both paths use a plain
+/// (uncontracted) multiply-then-add per tap, so lane blocks, the
+/// overlapped final block (which *recomputes* its leading elements with
+/// the same chain — same bits), the scalar edges and the full scalar
+/// fallback all produce byte-identical rows. The `w == 0.0` skip (applied
+/// when the tap list is built) is load-bearing for that equivalence:
+/// folding a zero tap in would turn `-0.0` outputs into `+0.0` and could
+/// launder `inf`/`NaN` through `0.0 · x`.
+fn conv_row(
+    y_row: &mut [f32],
+    xb: &[f32],
+    taps: &[Tap],
+    bias: f32,
+    pad: usize,
+    l: usize,
+    use_lanes: bool,
+) {
+    // Every tap is in-range for t ∈ [pad, l − pad): the interior where
+    // lane blocks need no boundary checks.
+    let lo = pad.min(l);
+    let hi = l.saturating_sub(pad).max(lo);
+    const LANES: usize = simd::F32_LANES;
+    if use_lanes && hi - lo >= LANES {
+        let mut tb = lo;
+        loop {
+            // tb ≥ pad, so base + tb − pad ≥ 0; the block end stays within
+            // the tap's input row: in-row index tb + k − pad ≤
+            // (hi − LANES) + pad − pad + pad... bounded by l − LANES since
+            // tb ≤ l − pad − LANES and k − pad ≤ pad.
+            let shift = tb - pad;
+            let mut acc = simd::F32x8::splat(bias);
+            for tap in taps {
+                let x0 = tap.base + shift;
+                acc = acc + simd::F32x8::splat(tap.wv) * simd::F32x8::load(&xb[x0..x0 + LANES]);
+            }
+            acc.store(&mut y_row[tb..tb + LANES]);
+            if tb + LANES >= hi {
+                break;
+            }
+            // Step a full block, or overlap the final block back to end
+            // exactly at `hi` — overlapped elements recompute the same
+            // chain, so the double store is bitwise inert.
+            tb = (tb + LANES).min(hi - LANES);
+        }
+        for t in (0..lo).chain(hi..l) {
+            y_row[t] = conv_elem(xb, taps, bias, pad, l, t);
+        }
+    } else {
+        for (t, yv) in y_row.iter_mut().enumerate() {
+            *yv = conv_elem(xb, taps, bias, pad, l, t);
+        }
+    }
+}
+
+/// One output element, replaying the canonical tap chain (see
+/// [`conv_row`]).
+#[inline]
+fn conv_elem(xb: &[f32], taps: &[Tap], bias: f32, pad: usize, l: usize, t: usize) -> f32 {
+    let mut acc = bias;
+    for tap in taps {
+        let xi = t as isize + tap.k as isize - pad as isize;
+        if xi < 0 || xi >= l as isize {
+            continue;
+        }
+        // base − k + xi = ci·l + (t + k − pad): the tap's in-range read.
+        acc += tap.wv * xb[tap.base - tap.k + xi as usize];
+    }
+    acc
 }
 
 /// Valid output range `[t0, t1)` such that `t + k - pad ∈ [0, l)`.
@@ -274,6 +377,96 @@ mod tests {
         let scalar = run();
         set_simd_policy(SimdPolicy::Auto);
         assert!(lanes == scalar, "Conv1d lane and scalar paths diverge");
+    }
+
+    /// The pre-register-blocking formulation: bias fill, then one axpy
+    /// pass over the row per (ci, k) tap. Kept as the reference the
+    /// blocked kernel must reproduce bitwise.
+    fn infer_tap_major(c: &Conv1d, x: &Tensor) -> Tensor {
+        let (n, l) = (x.dim(0), x.dim(2));
+        let (c_in, c_out, kernel) = (c.in_channels, c.out_channels, c.kernel);
+        let pad = kernel / 2;
+        let mut y = Tensor::zeros(&[n, c_out, l]);
+        let w = c.weight.value.data().to_vec();
+        let b = c.bias.value.data().to_vec();
+        let x_data = x.data().to_vec();
+        let in_stride = c_in * l;
+        let yd = y.data_mut();
+        for ni in 0..n {
+            let xb = &x_data[ni * in_stride..(ni + 1) * in_stride];
+            let yb = &mut yd[ni * c_out * l..(ni + 1) * c_out * l];
+            for co in 0..c_out {
+                let y_row = &mut yb[co * l..(co + 1) * l];
+                for v in y_row.iter_mut() {
+                    *v = b[co];
+                }
+                for ci in 0..c_in {
+                    let x_row = &xb[ci * l..(ci + 1) * l];
+                    let w_base = (co * c_in + ci) * kernel;
+                    for k in 0..kernel {
+                        let wv = w[w_base + k];
+                        if wv == 0.0 {
+                            continue;
+                        }
+                        let (t0, t1) = valid_range(l, k, pad);
+                        if t0 >= t1 {
+                            // Rows shorter than the pad: the original code
+                            // paths never saw these (encoder rows are ≥ 16);
+                            // the guard mirrors `backward`'s.
+                            continue;
+                        }
+                        let off = k as isize - pad as isize;
+                        let xs = &x_row[(t0 as isize + off) as usize..(t1 as isize + off) as usize];
+                        simd::axpy(&mut y_row[t0..t1], wv, xs);
+                    }
+                }
+            }
+        }
+        y
+    }
+
+    #[test]
+    fn register_blocked_matches_tap_major_bitwise() {
+        use crate::simd::{set_simd_policy, SimdPolicy};
+        let mut rng = StdRng::seed_from_u64(11);
+        // Shapes spanning the ConvNet encoder stages (l = 64/32/16), a
+        // sub-lane row, a kernel-1 conv, and a row shorter than the pad.
+        let shapes: &[(usize, usize, usize, usize, usize)] = &[
+            (2, 1, 8, 7, 64),
+            (2, 8, 16, 5, 32),
+            (2, 16, 16, 3, 16),
+            (1, 2, 3, 3, 5),
+            (1, 4, 4, 1, 32),
+            (1, 2, 2, 7, 2),
+        ];
+        for &(n, cin, cout, k, l) in shapes {
+            let mut c = Conv1d::new(cin, cout, k, &mut rng);
+            // Exercise the w == 0.0 skip and non-finite propagation.
+            c.weight.value.data_mut()[0] = 0.0;
+            if cin * k > 2 {
+                c.weight.value.data_mut()[2] = -0.0;
+            }
+            let mut xv: Vec<f32> = (0..n * cin * l)
+                .map(|i| ((i * 13 % 31) as f32 - 15.0) * 0.11)
+                .collect();
+            xv[0] = f32::NAN;
+            xv[n * cin * l - 1] = f32::INFINITY;
+            let x = Tensor::from_vec(&[n, cin, l], xv);
+            for policy in [SimdPolicy::Lanes, SimdPolicy::Scalar] {
+                set_simd_policy(policy);
+                let got = c.infer(&x);
+                let want = infer_tap_major(&c, &x);
+                assert!(
+                    got.data()
+                        .iter()
+                        .zip(want.data())
+                        .all(|(a, b)| a.to_bits() == b.to_bits()),
+                    "blocked conv diverged from tap-major at \
+                     (n={n}, cin={cin}, cout={cout}, k={k}, l={l}, {policy:?})"
+                );
+            }
+            set_simd_policy(SimdPolicy::Auto);
+        }
     }
 
     #[test]

@@ -181,6 +181,35 @@ impl F32x16 {
     pub fn mul_add_to(self, a: f32, x: Self) -> Self {
         self + Self::splat(a) * x
     }
+
+    /// `self + splat(a) * x` with a *single* rounding per lane: lane `i`
+    /// is exactly `a.mul_add(x[i], self[i])` (`f32::mul_add`, the IEEE-754
+    /// correctly-rounded fusedMultiplyAdd — deterministic on every
+    /// platform, hardware FMA or libm fallback). The GEMM kernels use
+    /// this as their canonical per-step op; [`Self::mul_add_to`] keeps
+    /// the two-rounding form for callers that need it.
+    #[inline(always)]
+    pub fn fma_to(self, a: f32, x: Self) -> Self {
+        let mut out = self.0;
+        for (o, &xv) in out.iter_mut().zip(&x.0) {
+            *o = a.mul_add(xv, *o);
+        }
+        Self(out)
+    }
+
+    /// Lane-wise fused multiply-add with a vector multiplicand: lane `i`
+    /// is exactly `a[i].mul_add(x[i], self[i])`. The dual-panel GEMM
+    /// kernel hoists one broadcast into a register and feeds it to two
+    /// `fma_vv` calls — bitwise [`Self::fma_to`] with `a = splat(s)`,
+    /// minus the second broadcast load.
+    #[inline(always)]
+    pub fn fma_vv(self, a: Self, x: Self) -> Self {
+        let mut out = self.0;
+        for ((o, &av), &xv) in out.iter_mut().zip(&a.0).zip(&x.0) {
+            *o = av.mul_add(xv, *o);
+        }
+        Self(out)
+    }
 }
 
 /// Four `f64` lanes: one AVX register / two SSE2 registers.
@@ -504,6 +533,25 @@ mod tests {
             assert_eq!(lane.to_bits(), (1.0f32 + 0.5 * x).to_bits());
         }
         assert_eq!(F32x16::zero().to_array(), [0.0; 16]);
+    }
+
+    #[test]
+    fn fma_ops_are_single_rounded_per_lane() {
+        // Values where fused (single-rounding) and mul-then-add differ in
+        // the last bit, so the test fails if fma_to ever degrades to
+        // mul_add_to semantics.
+        let x: Vec<f32> = (0..16).map(|i| 1.0 + (i as f32) * 1e-7).collect();
+        let a = 1.000_000_1_f32;
+        let acc = F32x16::splat(0.25).fma_to(a, F32x16::load(&x));
+        for (lane, &xv) in acc.to_array().iter().zip(&x) {
+            assert_eq!(lane.to_bits(), a.mul_add(xv, 0.25).to_bits());
+        }
+        // fma_vv with a splat multiplicand is bitwise fma_to — the
+        // contract the dual-panel GEMM kernel's hoisted broadcast rides on.
+        let vv = F32x16::splat(0.25).fma_vv(F32x16::splat(a), F32x16::load(&x));
+        for (l, r) in vv.to_array().iter().zip(acc.to_array()) {
+            assert_eq!(l.to_bits(), r.to_bits());
+        }
     }
 
     #[test]
